@@ -1,0 +1,125 @@
+package densestream
+
+import (
+	"densestream/internal/charikar"
+	"densestream/internal/core"
+	"densestream/internal/flow"
+	"densestream/internal/kcore"
+	"densestream/internal/mapreduce"
+)
+
+// Result is the output of the undirected approximation algorithms: the
+// densest intermediate subgraph S̃, its density, the number of passes the
+// algorithm made over the edges, and a per-pass trace.
+type Result = core.Result
+
+// PassStat is one entry of Result.Trace.
+type PassStat = core.PassStat
+
+// DirectedResult is the output of the directed algorithms.
+type DirectedResult = core.DirectedResult
+
+// DirectedPassStat is one entry of DirectedResult.Trace.
+type DirectedPassStat = core.DirectedPassStat
+
+// SweepResult aggregates DirectedSweep over all attempted ratios c.
+type SweepResult = core.SweepResult
+
+// SweepPoint is the outcome for a single c in a sweep.
+type SweepPoint = core.SweepPoint
+
+// ExactResult is the output of the exact flow-based solver.
+type ExactResult = flow.Result
+
+// GreedyResult is the output of Charikar's greedy baseline.
+type GreedyResult = charikar.Result
+
+// Undirected runs Algorithm 1 of the paper: each pass removes every node
+// with degree at most 2(1+ε) times the current density and keeps the
+// densest intermediate subgraph. It guarantees ρ(S̃) ≥ ρ*(G)/(2+2ε) and
+// makes O(log_{1+ε} n) passes. eps = 0 reproduces Charikar-quality
+// results with one-pass-per-density-level behavior.
+func Undirected(g *UndirectedGraph, eps float64) (*Result, error) {
+	return core.Undirected(g, eps)
+}
+
+// UndirectedWeighted is Undirected over weighted degrees; it accepts
+// unweighted graphs too (treated as unit weights).
+func UndirectedWeighted(g *UndirectedGraph, eps float64) (*Result, error) {
+	return core.UndirectedWeighted(g, eps)
+}
+
+// AtLeastK runs Algorithm 2: the returned subgraph has at least k nodes
+// and density within (3+3ε) of the best subgraph of size ≥ k — within
+// (2+2ε) when the optimal such subgraph has more than k nodes.
+func AtLeastK(g *UndirectedGraph, k int, eps float64) (*Result, error) {
+	return core.AtLeastK(g, k, eps)
+}
+
+// Directed runs Algorithm 3 for a fixed ratio guess c = |S*|/|T*|,
+// guaranteeing a (2+2ε)-approximation when c is correct.
+func Directed(g *DirectedGraph, c, eps float64) (*DirectedResult, error) {
+	return core.Directed(g, c, eps)
+}
+
+// DirectedSweep tries c = δ^j for all j covering [1/n, n] and returns the
+// best result; the sweep costs at most a factor δ in approximation.
+func DirectedSweep(g *DirectedGraph, delta, eps float64) (*SweepResult, error) {
+	return core.DirectedSweep(g, delta, eps)
+}
+
+// Exact computes the optimal density ρ*(G) and a witness subgraph using
+// Goldberg's max-flow characterization (the role the LP plays in the
+// paper's Table 2). Exponentially smaller graphs than the streaming
+// algorithms handle — intended for ground truth at moderate scale.
+func Exact(g *UndirectedGraph) (*ExactResult, error) {
+	return flow.ExactDensest(g)
+}
+
+// Greedy runs Charikar's greedy 2-approximation (remove one minimum-
+// degree node at a time), the algorithm the paper's Algorithm 1 relaxes.
+func Greedy(g *UndirectedGraph) (*GreedyResult, error) {
+	return charikar.Densest(g)
+}
+
+// GreedyWeighted is Greedy over weighted degrees.
+func GreedyWeighted(g *UndirectedGraph) (*GreedyResult, error) {
+	return charikar.DensestWeighted(g)
+}
+
+// BestCore returns the densest d-core of the graph (a 2-approximation
+// closely related to Greedy) together with its density.
+func BestCore(g *UndirectedGraph) ([]int32, float64, error) {
+	return kcore.BestCore(g)
+}
+
+// MRConfig controls the simulated MapReduce cluster shape.
+type MRConfig = mapreduce.Config
+
+// MRResult is the output of the MapReduce drivers, including per-round
+// wall-clock and shuffle statistics.
+type MRResult = mapreduce.MRResult
+
+// MRDirectedResult is the directed analogue of MRResult.
+type MRDirectedResult = mapreduce.MRDirectedResult
+
+// MapReduce runs Algorithm 1 as MapReduce rounds (§5.2): per pass, one
+// degree job and two marker-join filter jobs, executed on a simulated
+// cluster with real worker parallelism. Results match Undirected exactly.
+func MapReduce(g *UndirectedGraph, eps float64, cfg MRConfig) (*MRResult, error) {
+	return mapreduce.Undirected(g, eps, cfg)
+}
+
+// MapReduceDirected runs Algorithm 3 as MapReduce rounds for a fixed c.
+func MapReduceDirected(g *DirectedGraph, c, eps float64, cfg MRConfig) (*MRDirectedResult, error) {
+	return mapreduce.Directed(g, c, eps, cfg)
+}
+
+// MapReduceAtLeastK runs Algorithm 2 as MapReduce rounds; results match
+// AtLeastK exactly.
+func MapReduceAtLeastK(g *UndirectedGraph, k int, eps float64, cfg MRConfig) (*MRResult, error) {
+	return mapreduce.AtLeastK(g, k, eps, cfg)
+}
+
+// DefaultMRConfig is a small simulated cluster suitable for laptops.
+var DefaultMRConfig = mapreduce.DefaultConfig

@@ -1,0 +1,234 @@
+package densestream_test
+
+// One benchmark per table and figure of the paper's evaluation (§6),
+// plus the DESIGN.md ablations and micro-benchmarks of the primitives.
+// Each experiment benchmark regenerates the corresponding artifact via
+// internal/experiments (the same code path as cmd/experiments); run with
+// -v to see the regenerated rows.
+
+import (
+	"testing"
+
+	ds "densestream"
+	"densestream/internal/experiments"
+)
+
+const benchScale = 1
+
+func benchReport(b *testing.B, fn func() (*experiments.Report, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rep, err := fn()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", rep)
+		}
+	}
+}
+
+// BenchmarkTable1_Datasets regenerates Table 1 (dataset parameters).
+func BenchmarkTable1_Datasets(b *testing.B) {
+	benchReport(b, func() (*experiments.Report, error) { return experiments.Table1(benchScale) })
+}
+
+// BenchmarkTable2_Approximation regenerates Table 2 (empirical
+// approximation ratio against the exact flow solver).
+func BenchmarkTable2_Approximation(b *testing.B) {
+	benchReport(b, experiments.Table2)
+}
+
+// BenchmarkFig61_EpsilonSweep regenerates Figure 6.1 (ε vs approximation
+// and passes).
+func BenchmarkFig61_EpsilonSweep(b *testing.B) {
+	benchReport(b, func() (*experiments.Report, error) { return experiments.Figure61(benchScale) })
+}
+
+// BenchmarkFig62_DensityPerPass regenerates Figure 6.2 (relative density
+// per pass).
+func BenchmarkFig62_DensityPerPass(b *testing.B) {
+	benchReport(b, func() (*experiments.Report, error) { return experiments.Figure62(benchScale) })
+}
+
+// BenchmarkFig63_ShrinkagePerPass regenerates Figure 6.3 (remaining
+// nodes/edges per pass).
+func BenchmarkFig63_ShrinkagePerPass(b *testing.B) {
+	benchReport(b, func() (*experiments.Report, error) { return experiments.Figure63(benchScale) })
+}
+
+// BenchmarkTable3_DeltaEpsilon regenerates Table 3 (directed ρ for δ × ε).
+func BenchmarkTable3_DeltaEpsilon(b *testing.B) {
+	benchReport(b, func() (*experiments.Report, error) { return experiments.Table3(benchScale) })
+}
+
+// BenchmarkFig64_CSweepLJ regenerates Figure 6.4 (density and passes vs c
+// on lj-like).
+func BenchmarkFig64_CSweepLJ(b *testing.B) {
+	benchReport(b, func() (*experiments.Report, error) { return experiments.Figure64(benchScale) })
+}
+
+// BenchmarkFig65_DirectedTrace regenerates Figure 6.5 (|S|, |T|, |E(S,T)|
+// per pass at the best c).
+func BenchmarkFig65_DirectedTrace(b *testing.B) {
+	benchReport(b, func() (*experiments.Report, error) { return experiments.Figure65(benchScale) })
+}
+
+// BenchmarkFig66_CSweepTwitter regenerates Figure 6.6 (density and passes
+// vs c on twitter-like).
+func BenchmarkFig66_CSweepTwitter(b *testing.B) {
+	benchReport(b, func() (*experiments.Report, error) { return experiments.Figure66(benchScale) })
+}
+
+// BenchmarkTable4_Sketching regenerates Table 4 (sketched vs exact
+// density ratio and memory).
+func BenchmarkTable4_Sketching(b *testing.B) {
+	benchReport(b, func() (*experiments.Report, error) { return experiments.Table4(benchScale) })
+}
+
+// BenchmarkFig67_MapReduceTime regenerates Figure 6.7 (MapReduce
+// wall-clock per pass).
+func BenchmarkFig67_MapReduceTime(b *testing.B) {
+	benchReport(b, func() (*experiments.Report, error) { return experiments.Figure67(benchScale) })
+}
+
+// BenchmarkAblation_BatchVsGreedy compares Algorithm 1 with Charikar's
+// greedy (A1).
+func BenchmarkAblation_BatchVsGreedy(b *testing.B) {
+	benchReport(b, func() (*experiments.Report, error) { return experiments.AblationBatchVsGreedy(benchScale) })
+}
+
+// BenchmarkAblation_DirectedSideRule compares the |S|/|T| side rule with
+// the naive max-degree rule (A2).
+func BenchmarkAblation_DirectedSideRule(b *testing.B) {
+	benchReport(b, func() (*experiments.Report, error) { return experiments.AblationDirectedSideRule(benchScale) })
+}
+
+// BenchmarkAblation_PassLowerBound measures passes on the Lemma 5
+// adversarial instance (A3).
+func BenchmarkAblation_PassLowerBound(b *testing.B) {
+	benchReport(b, experiments.AblationPassLowerBound)
+}
+
+// BenchmarkAblation_Combiner measures the combiner's effect on the
+// degree job's shuffle volume (A4).
+func BenchmarkAblation_Combiner(b *testing.B) {
+	benchReport(b, func() (*experiments.Report, error) { return experiments.AblationCombiner(benchScale) })
+}
+
+// BenchmarkAblation_ExactVsApprox measures the runtime crossover between
+// exact flow, greedy, and Algorithm 1 (A5).
+func BenchmarkAblation_ExactVsApprox(b *testing.B) {
+	benchReport(b, experiments.AblationExactVsApprox)
+}
+
+// --- micro-benchmarks of the primitives ---
+
+func benchGraph(b *testing.B) *ds.UndirectedGraph {
+	b.Helper()
+	g, _, err := ds.GeneratePlantedDense(20000, 160000, 2.1, 120, 0.8, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkPeelUndirected measures Algorithm 1 throughput at ε=1.
+func BenchmarkPeelUndirected(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ds.Undirected(g, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(g.NumEdges() * 8)
+}
+
+// BenchmarkGreedyPeel measures Charikar's greedy on the same graph.
+func BenchmarkGreedyPeel(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ds.Greedy(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(g.NumEdges() * 8)
+}
+
+// BenchmarkExactFlow measures the exact solver on a smaller instance.
+func BenchmarkExactFlow(b *testing.B) {
+	g, _, err := ds.GeneratePlantedDense(2000, 8000, 2.2, 40, 0.9, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ds.Exact(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDirectedPeel measures Algorithm 3 at c=1, ε=1.
+func BenchmarkDirectedPeel(b *testing.B) {
+	g, err := ds.GenerateChungLuDirected(20000, 160000, 2.2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ds.Directed(g, 1, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(g.NumEdges() * 8)
+}
+
+// BenchmarkStreamingPeel measures the streaming peeler against an
+// in-memory stream (isolates per-pass scan cost).
+func BenchmarkStreamingPeel(b *testing.B) {
+	g := benchGraph(b)
+	es := ds.StreamGraph(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ds.Streaming(es, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(g.NumEdges() * 8)
+}
+
+// BenchmarkSketchUpdate measures raw Count-Sketch update throughput.
+func BenchmarkSketchUpdate(b *testing.B) {
+	r, _, err := ds.StreamingSketched(ds.StreamGraph(benchGraph(b)), 1,
+		ds.SketchConfig{Tables: 5, Buckets: 1000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = r
+	// The full sketched run above warms the path; now measure per-update.
+	dcStream := ds.StreamGraph(benchGraph(b))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ds.StreamingSketched(dcStream, 1, ds.SketchConfig{Tables: 5, Buckets: 1000, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMapReduceRound measures one full MR peel on a mid-size graph.
+func BenchmarkMapReduceRound(b *testing.B) {
+	g, err := ds.GenerateChungLu(20000, 160000, 2.2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ds.MapReduce(g, 1, ds.DefaultMRConfig); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(g.NumEdges() * 8)
+}

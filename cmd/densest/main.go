@@ -1,0 +1,290 @@
+// Command densest finds (approximately) densest subgraphs in edge-list
+// files using the algorithms of Bahmani–Kumar–Vassilvitskii (VLDB 2012).
+//
+// Usage:
+//
+//	densest -in graph.txt [-algo peel|greedy|exact|atleastk|mr] [-eps 0.5] [-k 100]
+//	densest -in follows.txt -directed [-algo peel|sweep|mr] [-c 1] [-delta 2]
+//
+// The input is a SNAP-style edge list: "u v" per line, '#' comments.
+// Output reports the density, subgraph size, pass count, and optionally
+// the per-pass trace and the member node labels.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	ds "densestream"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input edge-list file (required)")
+		directed = flag.Bool("directed", false, "treat input as a directed graph")
+		weighted = flag.Bool("weighted", false, "read a third column as edge weight (undirected only)")
+		algo     = flag.String("algo", "peel", "algorithm: peel, greedy, exact, atleastk, sweep, mr, stream, sketch")
+		eps      = flag.Float64("eps", 0.5, "peeling slack ε (≥ 0)")
+		k        = flag.Int("k", 0, "minimum subgraph size for -algo atleastk")
+		c        = flag.Float64("c", 1, "side ratio |S|/|T| for directed peel")
+		delta    = flag.Float64("delta", 2, "ratio step for -algo sweep")
+		mappers  = flag.Int("mappers", 8, "simulated mappers for -algo mr")
+		reducers = flag.Int("reducers", 8, "simulated reducers for -algo mr")
+		tables   = flag.Int("tables", 5, "Count-Sketch tables for -algo sketch")
+		buckets  = flag.Int("buckets", 0, "Count-Sketch buckets for -algo sketch (default n/20)")
+		trace    = flag.Bool("trace", false, "print the per-pass trace")
+		members  = flag.Bool("members", false, "print the subgraph's node labels")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var err error
+	if *algo == "stream" || *algo == "sketch" {
+		// True external streaming: the graph never enters memory; the
+		// file is re-read once per pass. Requires dense integer node ids.
+		err = runStreaming(*in, *directed, *weighted, *algo, *eps, *c, *tables, *buckets, *trace)
+	} else {
+		err = run(*in, *directed, *weighted, *algo, *eps, *k, *c, *delta, *mappers, *reducers, *trace, *members)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "densest:", err)
+		os.Exit(1)
+	}
+}
+
+func runStreaming(in string, directed, weighted bool, algo string, eps, c float64, tables, buckets int, trace bool) error {
+	if weighted {
+		if directed || algo == "sketch" {
+			return fmt.Errorf("weighted streaming supports undirected -algo stream only")
+		}
+		ws, err := ds.OpenWeightedFileStream(in)
+		if err != nil {
+			return err
+		}
+		defer ws.Close()
+		r, err := ds.StreamingWeighted(ws, eps)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("weighted streaming: ρ = %.4f  |S̃| = %d  passes = %d  (%d nodes of state)\n",
+			r.Density, len(r.Set), r.Passes, ws.NumNodes())
+		printTrace(r.Trace, trace)
+		return nil
+	}
+	es, err := ds.OpenFileStream(in)
+	if err != nil {
+		return err
+	}
+	defer es.Close()
+	switch {
+	case directed && algo == "stream":
+		r, err := ds.StreamingDirected(es, c, eps)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("streaming directed: ρ = %.4f  |S̃| = %d  |T̃| = %d  passes = %d\n",
+			r.Density, len(r.S), len(r.T), r.Passes)
+	case algo == "stream":
+		r, err := ds.Streaming(es, eps)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("streaming: ρ = %.4f  |S̃| = %d  passes = %d  (memory: %d words)\n",
+			r.Density, len(r.Set), r.Passes, es.NumNodes())
+		printTrace(r.Trace, trace)
+	case directed:
+		return fmt.Errorf("-algo sketch supports undirected graphs only")
+	default:
+		if buckets <= 0 {
+			buckets = es.NumNodes() / 20
+			if buckets < 16 {
+				buckets = 16
+			}
+		}
+		r, mem, err := ds.StreamingSketched(es, eps, ds.SketchConfig{Tables: tables, Buckets: buckets, Seed: 1})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("sketched streaming (t=%d, b=%d): ρ = %.4f  |S̃| = %d  passes = %d  (memory: %d words = %.0f%% of exact)\n",
+			tables, buckets, r.Density, len(r.Set), r.Passes, mem, 100*float64(mem)/float64(es.NumNodes()))
+		printTrace(r.Trace, trace)
+	}
+	return nil
+}
+
+func printTrace(tr []ds.PassStat, on bool) {
+	if !on {
+		return
+	}
+	for _, p := range tr {
+		fmt.Printf("  pass %2d: |S|=%8d |E|=%10d ρ=%9.3f removed=%d\n",
+			p.Pass, p.Nodes, p.Edges, p.Density, p.Removed)
+	}
+}
+
+func run(in string, directed, weighted bool, algo string, eps float64, k int, c, delta float64, mappers, reducers int, trace, members bool) error {
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	if directed {
+		g, lm, err := ds.ReadDirected(f)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("graph: %d nodes, %d directed edges\n", g.NumNodes(), g.NumEdges())
+		return runDirected(g, lm, algo, eps, c, delta, mappers, reducers, trace, members)
+	}
+	g, lm, err := ds.ReadUndirected(f, weighted)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
+	return runUndirected(g, lm, algo, eps, k, mappers, reducers, trace, members)
+}
+
+func runUndirected(g *ds.UndirectedGraph, lm *ds.LabelMap, algo string, eps float64, k, mappers, reducers int, trace, members bool) error {
+	var (
+		set     []int32
+		density float64
+		passes  int
+		tr      []ds.PassStat
+	)
+	switch algo {
+	case "peel":
+		var r *ds.Result
+		var err error
+		if g.Weighted() {
+			r, err = ds.UndirectedWeighted(g, eps)
+		} else {
+			r, err = ds.Undirected(g, eps)
+		}
+		if err != nil {
+			return err
+		}
+		set, density, passes, tr = r.Set, r.Density, r.Passes, r.Trace
+	case "greedy":
+		var r *ds.GreedyResult
+		var err error
+		if g.Weighted() {
+			r, err = ds.GreedyWeighted(g)
+		} else {
+			r, err = ds.Greedy(g)
+		}
+		if err != nil {
+			return err
+		}
+		set, density, passes = r.Set, r.Density, r.Peels
+	case "exact":
+		r, err := ds.Exact(g)
+		if err != nil {
+			return err
+		}
+		set, density, passes = r.Set, r.Density, r.FlowCalls
+		fmt.Printf("exact density = %d/%d\n", r.Numer, r.Denom)
+	case "atleastk":
+		if k < 1 {
+			return fmt.Errorf("-algo atleastk needs -k >= 1")
+		}
+		r, err := ds.AtLeastK(g, k, eps)
+		if err != nil {
+			return err
+		}
+		set, density, passes, tr = r.Set, r.Density, r.Passes, r.Trace
+	case "mr":
+		r, err := ds.MapReduce(g, eps, ds.MRConfig{Mappers: mappers, Reducers: reducers})
+		if err != nil {
+			return err
+		}
+		set, density, passes = r.Set, r.Density, r.Passes
+		if trace {
+			for _, rd := range r.Rounds {
+				fmt.Printf("  pass %2d: |S|=%8d |E|=%10d ρ=%9.3f wall=%s shuffle=%d\n",
+					rd.Pass, rd.Nodes, rd.Edges, rd.Density, rd.Wall, rd.Shuffle)
+			}
+			trace = false
+		}
+	default:
+		return fmt.Errorf("unknown undirected algorithm %q", algo)
+	}
+	fmt.Printf("density ρ(S̃) = %.4f  |S̃| = %d  passes = %d\n", density, len(set), passes)
+	if trace {
+		for _, p := range tr {
+			fmt.Printf("  pass %2d: |S|=%8d |E|=%10d ρ=%9.3f removed=%d\n",
+				p.Pass, p.Nodes, p.Edges, p.Density, p.Removed)
+		}
+	}
+	if members {
+		printMembers("S", set, lm)
+	}
+	return nil
+}
+
+func runDirected(g *ds.DirectedGraph, lm *ds.LabelMap, algo string, eps, c, delta float64, mappers, reducers int, trace, members bool) error {
+	switch algo {
+	case "peel":
+		r, err := ds.Directed(g, c, eps)
+		if err != nil {
+			return err
+		}
+		report(r, trace)
+		if members {
+			printMembers("S", r.S, lm)
+			printMembers("T", r.T, lm)
+		}
+	case "sweep":
+		sw, err := ds.DirectedSweep(g, delta, eps)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("best c = %.6g\n", sw.BestC)
+		for _, p := range sw.Points {
+			fmt.Printf("  c=%-12.6g ρ=%9.3f passes=%d\n", p.C, p.Density, p.Passes)
+		}
+		report(sw.Best, trace)
+		if members {
+			printMembers("S", sw.Best.S, lm)
+			printMembers("T", sw.Best.T, lm)
+		}
+	case "mr":
+		r, err := ds.MapReduceDirected(g, c, eps, ds.MRConfig{Mappers: mappers, Reducers: reducers})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("density ρ(S̃,T̃) = %.4f  |S̃| = %d  |T̃| = %d  passes = %d\n",
+			r.Density, len(r.S), len(r.T), r.Passes)
+		if trace {
+			for _, rd := range r.Rounds {
+				fmt.Printf("  pass %2d [%c]: |S|=%7d |T|=%7d |E|=%9d ρ=%8.3f wall=%s\n",
+					rd.Pass, rd.PeeledSide, rd.SizeS, rd.SizeT, rd.Edges, rd.Density, rd.Wall)
+			}
+		}
+	default:
+		return fmt.Errorf("unknown directed algorithm %q", algo)
+	}
+	return nil
+}
+
+func report(r *ds.DirectedResult, trace bool) {
+	fmt.Printf("density ρ(S̃,T̃) = %.4f  |S̃| = %d  |T̃| = %d  passes = %d\n",
+		r.Density, len(r.S), len(r.T), r.Passes)
+	if trace {
+		for _, p := range r.Trace {
+			fmt.Printf("  pass %2d [%c]: |S|=%7d |T|=%7d |E|=%9d ρ=%8.3f\n",
+				p.Pass, p.PeeledSide, p.SizeS, p.SizeT, p.Edges, p.Density)
+		}
+	}
+}
+
+func printMembers(name string, set []int32, lm *ds.LabelMap) {
+	fmt.Printf("%s:", name)
+	for _, u := range set {
+		fmt.Printf(" %s", lm.Label(u))
+	}
+	fmt.Println()
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	ds "densestream"
+)
+
+func writeGraph(t *testing.T, directed bool) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if directed {
+		g, err := ds.GenerateChungLuDirected(300, 1500, 2.2, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ds.WriteDirected(f, g); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		g, _, err := ds.GeneratePlantedDense(300, 900, 2.2, 20, 0.9, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ds.WriteUndirected(f, g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return path
+}
+
+func TestRunUndirectedAlgos(t *testing.T) {
+	path := writeGraph(t, false)
+	for _, algo := range []string{"peel", "greedy", "exact", "mr"} {
+		if err := run(path, false, false, algo, 0.5, 0, 1, 2, 2, 2, true, false); err != nil {
+			t.Errorf("algo %s: %v", algo, err)
+		}
+	}
+	if err := run(path, false, false, "atleastk", 0.5, 50, 1, 2, 2, 2, false, true); err != nil {
+		t.Errorf("atleastk: %v", err)
+	}
+}
+
+func TestRunDirectedAlgos(t *testing.T) {
+	path := writeGraph(t, true)
+	for _, algo := range []string{"peel", "sweep", "mr"} {
+		if err := run(path, true, false, algo, 1, 0, 1, 2, 2, 2, true, false); err != nil {
+			t.Errorf("algo %s: %v", algo, err)
+		}
+	}
+}
+
+func TestRunStreamingModes(t *testing.T) {
+	path := writeGraph(t, false)
+	if err := runStreaming(path, false, false, "stream", 0.5, 1, 5, 0, true); err != nil {
+		t.Errorf("stream: %v", err)
+	}
+	if err := runStreaming(path, false, false, "sketch", 0.5, 1, 5, 64, false); err != nil {
+		t.Errorf("sketch: %v", err)
+	}
+	if err := runStreaming(path, false, true, "stream", 0.5, 1, 5, 0, false); err != nil {
+		t.Errorf("weighted stream: %v", err)
+	}
+	dpath := writeGraph(t, true)
+	if err := runStreaming(dpath, true, false, "stream", 0.5, 1, 5, 0, false); err != nil {
+		t.Errorf("directed stream: %v", err)
+	}
+	if err := runStreaming(dpath, true, false, "sketch", 0.5, 1, 5, 0, false); err == nil {
+		t.Error("directed sketch accepted")
+	}
+	if err := runStreaming(path, true, true, "stream", 0.5, 1, 5, 0, false); err == nil {
+		t.Error("weighted directed stream accepted")
+	}
+	if err := runStreaming("/nonexistent", false, false, "stream", 0.5, 1, 5, 0, false); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := runStreaming("/nonexistent", false, true, "stream", 0.5, 1, 5, 0, false); err == nil {
+		t.Error("missing weighted file accepted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeGraph(t, false)
+	if err := run("/nonexistent", false, false, "peel", 0.5, 0, 1, 2, 2, 2, false, false); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run(path, false, false, "bogus", 0.5, 0, 1, 2, 2, 2, false, false); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := run(path, true, false, "bogus", 0.5, 0, 1, 2, 2, 2, false, false); err == nil {
+		t.Error("unknown directed algorithm accepted")
+	}
+	if err := run(path, false, false, "atleastk", 0.5, 0, 1, 2, 2, 2, false, false); err == nil {
+		t.Error("atleastk without -k accepted")
+	}
+}

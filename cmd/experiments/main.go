@@ -1,0 +1,97 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section on the synthetic stand-in datasets.
+//
+// Usage:
+//
+//	experiments                 # run everything at scale 1
+//	experiments -exp e2         # just Table 2
+//	experiments -exp e3,e4 -scale 2
+//
+// Experiment ids (see DESIGN.md): e1..e11 for the paper's artifacts,
+// a1, a2, a3, a5 for the ablations, "all" for everything.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"densestream/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "comma-separated experiment ids (e1..e11, a1..a5, all)")
+		scale  = flag.Int("scale", 1, "dataset scale factor")
+		csvDir = flag.String("csv", "", "also write <id>.csv data files into this directory")
+	)
+	flag.Parse()
+	if err := run(*exp, *scale, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, scale int, csvDir string) error {
+	type runner struct {
+		id string
+		fn func() (*experiments.Report, error)
+	}
+	all := []runner{
+		{"e1", func() (*experiments.Report, error) { return experiments.Table1(scale) }},
+		{"e2", experiments.Table2},
+		{"e3", func() (*experiments.Report, error) { return experiments.Figure61(scale) }},
+		{"e4", func() (*experiments.Report, error) { return experiments.Figure62(scale) }},
+		{"e5", func() (*experiments.Report, error) { return experiments.Figure63(scale) }},
+		{"e6", func() (*experiments.Report, error) { return experiments.Table3(scale) }},
+		{"e7", func() (*experiments.Report, error) { return experiments.Figure64(scale) }},
+		{"e8", func() (*experiments.Report, error) { return experiments.Figure65(scale) }},
+		{"e9", func() (*experiments.Report, error) { return experiments.Figure66(scale) }},
+		{"e10", func() (*experiments.Report, error) { return experiments.Table4(scale) }},
+		{"e11", func() (*experiments.Report, error) { return experiments.Figure67(scale) }},
+		{"a1", func() (*experiments.Report, error) { return experiments.AblationBatchVsGreedy(scale) }},
+		{"a2", func() (*experiments.Report, error) { return experiments.AblationDirectedSideRule(scale) }},
+		{"a3", func() (*experiments.Report, error) { return experiments.AblationPassLowerBound() }},
+		{"a4", func() (*experiments.Report, error) { return experiments.AblationCombiner(scale) }},
+		{"a5", experiments.AblationExactVsApprox},
+	}
+	want := make(map[string]bool)
+	for _, id := range strings.Split(strings.ToLower(exp), ",") {
+		want[strings.TrimSpace(id)] = true
+	}
+	ran := 0
+	for _, r := range all {
+		if !want["all"] && !want[r.id] {
+			continue
+		}
+		rep, err := r.fn()
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.id, err)
+		}
+		fmt.Println(rep)
+		if csvDir != "" && len(rep.CSVHeader) > 0 {
+			if err := os.MkdirAll(csvDir, 0o755); err != nil {
+				return err
+			}
+			f, err := os.Create(filepath.Join(csvDir, r.id+".csv"))
+			if err != nil {
+				return err
+			}
+			werr := rep.WriteCSV(f)
+			cerr := f.Close()
+			if werr != nil {
+				return werr
+			}
+			if cerr != nil {
+				return cerr
+			}
+		}
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiment matches %q", exp)
+	}
+	return nil
+}

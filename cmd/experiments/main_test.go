@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run("a3", 1, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dataset generation in -short mode")
+	}
+	if err := run("e1, a3", 1, t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if err := run("zz", 1, ""); err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+}

@@ -1,0 +1,90 @@
+// Command genGraph writes synthetic graphs in edge-list format, covering
+// the dataset stand-ins used by the experiments (Table 1) as well as the
+// generic generators.
+//
+// Usage:
+//
+//	genGraph -kind flickr -scale 1 -out flickr.txt
+//	genGraph -kind chunglu -n 100000 -m 800000 -exponent 2.1 -out g.txt
+//	genGraph -kind rmat -logn 16 -m 1000000 -out follows.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	ds "densestream"
+	"densestream/internal/gen"
+	"densestream/internal/graph"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "", "flickr | im | lj | twitter | gnm | chunglu | chungludir | rmat | planted | communities")
+		out      = flag.String("out", "", "output file (required)")
+		scale    = flag.Int("scale", 1, "dataset scale for the stand-ins")
+		n        = flag.Int("n", 10000, "nodes (generic generators)")
+		m        = flag.Int64("m", 50000, "edges (generic generators)")
+		logn     = flag.Int("logn", 14, "log2 nodes for rmat")
+		exponent = flag.Float64("exponent", 2.2, "power-law exponent")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if *kind == "" || *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*kind, *out, *scale, *n, *m, *logn, *exponent, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "genGraph:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind, out string, scale, n int, m int64, logn int, exponent float64, seed int64) error {
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	var (
+		ug *graph.Undirected
+		dg *graph.Directed
+	)
+	switch kind {
+	case "flickr":
+		ug, err = gen.FlickrLike(scale, seed)
+	case "im":
+		ug, err = gen.IMLike(scale, seed)
+	case "lj":
+		dg, err = gen.LJLike(scale, seed)
+	case "twitter":
+		dg, err = gen.TwitterLike(scale, seed)
+	case "gnm":
+		ug, err = gen.Gnm(n, m, seed)
+	case "chunglu":
+		ug, err = gen.ChungLu(n, m, exponent, seed)
+	case "chungludir":
+		dg, err = gen.ChungLuDirected(n, m, exponent, seed)
+	case "rmat":
+		dg, err = gen.RMAT(logn, m, gen.DefaultRMAT, seed)
+	case "planted":
+		ug, _, err = gen.PlantedDense(n, m, exponent, 100, 0.9, seed)
+	case "communities":
+		ug, _, err = gen.Communities([]int{n / 4, n / 4, n / 4, n - 3*(n/4)}, 0.1, 0.001, seed)
+	default:
+		return fmt.Errorf("unknown kind %q", kind)
+	}
+	if err != nil {
+		return err
+	}
+	if ug != nil {
+		s := ds.Stats(ug)
+		fmt.Printf("%s: %d nodes, %d edges (undirected), max degree %d\n", kind, s.Nodes, s.Edges, s.MaxDegree)
+		return graph.WriteUndirected(f, ug)
+	}
+	s := ds.StatsDirected(dg)
+	fmt.Printf("%s: %d nodes, %d edges (directed), max degree %d\n", kind, s.Nodes, s.Edges, s.MaxDegree)
+	return graph.WriteDirected(f, dg)
+}

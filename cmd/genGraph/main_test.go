@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunAllKinds(t *testing.T) {
+	dir := t.TempDir()
+	kinds := []string{"gnm", "chunglu", "chungludir", "rmat", "planted", "communities"}
+	for _, kind := range kinds {
+		out := filepath.Join(dir, kind+".txt")
+		if err := run(kind, out, 1, 500, 1500, 8, 2.2, 7); err != nil {
+			t.Errorf("kind %s: %v", kind, err)
+			continue
+		}
+		info, err := os.Stat(out)
+		if err != nil || info.Size() == 0 {
+			t.Errorf("kind %s: empty output (%v)", kind, err)
+		}
+	}
+}
+
+func TestRunStandIns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dataset generation in -short mode")
+	}
+	dir := t.TempDir()
+	for _, kind := range []string{"flickr", "lj", "twitter"} {
+		out := filepath.Join(dir, kind+".txt")
+		if err := run(kind, out, 1, 0, 0, 0, 0, 7); err != nil {
+			t.Errorf("kind %s: %v", kind, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("bogus", filepath.Join(dir, "x.txt"), 1, 10, 10, 4, 2, 1); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if err := run("gnm", "/nonexistent-dir/x.txt", 1, 10, 10, 4, 2, 1); err == nil {
+		t.Error("unwritable output accepted")
+	}
+	if err := run("gnm", filepath.Join(dir, "y.txt"), 1, 1, 10, 4, 2, 1); err == nil {
+		t.Error("generator error not propagated")
+	}
+}

@@ -1,0 +1,273 @@
+// Command selfcheck cross-validates every implementation of every
+// algorithm on randomized workloads: the in-memory, streaming, and
+// MapReduce realizations of Algorithms 1–3 must agree exactly, the
+// approximation guarantees must hold against the exact flow solver, and
+// both max-flow engines must agree. It is the repository's fuzz-style
+// acceptance gate — run it after any change to the peeling logic.
+//
+// Usage:
+//
+//	selfcheck [-rounds 50] [-seed 1] [-maxnodes 60] [-v]
+//
+// Exits non-zero on the first discrepancy, printing the seed that
+// triggered it so the failure can be replayed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"sort"
+
+	ds "densestream"
+)
+
+func main() {
+	var (
+		rounds   = flag.Int("rounds", 50, "number of random graphs per check")
+		seed     = flag.Int64("seed", 1, "base seed")
+		maxNodes = flag.Int("maxnodes", 60, "maximum graph size")
+		verbose  = flag.Bool("v", false, "print per-round progress")
+	)
+	flag.Parse()
+	if err := runAll(*rounds, *seed, *maxNodes, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "selfcheck: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("selfcheck: all checks passed")
+}
+
+func runAll(rounds int, seed int64, maxNodes int, verbose bool) error {
+	checks := []struct {
+		name string
+		fn   func(seed int64, maxNodes int) error
+	}{
+		{"undirected models agree", checkUndirectedModels},
+		{"undirected guarantee vs exact", checkUndirectedGuarantee},
+		{"atleastk models agree", checkAtLeastKModels},
+		{"directed models agree", checkDirectedModels},
+		{"directed guarantee vs brute force", checkDirectedGuarantee},
+		{"greedy is 2-approx", checkGreedy},
+		{"weighted streaming agrees", checkWeighted},
+	}
+	for _, c := range checks {
+		for r := 0; r < rounds; r++ {
+			s := seed + int64(r)*7919
+			if err := c.fn(s, maxNodes); err != nil {
+				return fmt.Errorf("%s (seed %d): %w", c.name, s, err)
+			}
+		}
+		if verbose {
+			fmt.Printf("ok  %-38s %d rounds\n", c.name, rounds)
+		}
+	}
+	return nil
+}
+
+func randomGraph(seed int64, maxNodes int) (*ds.UndirectedGraph, error) {
+	rng := rand.New(rand.NewSource(seed))
+	n := 5 + rng.Intn(maxNodes-4)
+	m := int64(1 + rng.Intn(4*n))
+	if maxM := int64(n) * int64(n-1) / 2; m > maxM {
+		m = maxM
+	}
+	return ds.GenerateGnm(n, m, seed)
+}
+
+func sameSet(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]int32(nil), a...)
+	bs := append([]int32(nil), b...)
+	sort.Slice(as, func(i, j int) bool { return as[i] < as[j] })
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func checkUndirectedModels(seed int64, maxNodes int) error {
+	g, err := randomGraph(seed, maxNodes)
+	if err != nil {
+		return err
+	}
+	eps := float64(seed%5) / 2 // 0, 0.5, 1, 1.5, 2
+	mem, err := ds.Undirected(g, eps)
+	if err != nil {
+		return err
+	}
+	st, err := ds.Streaming(ds.StreamGraph(g), eps)
+	if err != nil {
+		return err
+	}
+	mr, err := ds.MapReduce(g, eps, ds.MRConfig{Mappers: 3, Reducers: 2})
+	if err != nil {
+		return err
+	}
+	if math.Abs(mem.Density-st.Density) > 1e-9 || mem.Passes != st.Passes || !sameSet(mem.Set, st.Set) {
+		return fmt.Errorf("streaming diverged: %v/%d vs %v/%d", mem.Density, mem.Passes, st.Density, st.Passes)
+	}
+	if math.Abs(mem.Density-mr.Density) > 1e-9 || mem.Passes != mr.Passes || !sameSet(mem.Set, mr.Set) {
+		return fmt.Errorf("mapreduce diverged: %v/%d vs %v/%d", mem.Density, mem.Passes, mr.Density, mr.Passes)
+	}
+	return nil
+}
+
+func checkUndirectedGuarantee(seed int64, maxNodes int) error {
+	g, err := randomGraph(seed, maxNodes)
+	if err != nil {
+		return err
+	}
+	exact, err := ds.Exact(g)
+	if err != nil {
+		return err
+	}
+	for _, eps := range []float64{0, 0.5, 1.5} {
+		r, err := ds.Undirected(g, eps)
+		if err != nil {
+			return err
+		}
+		if r.Density > exact.Density+1e-9 {
+			return fmt.Errorf("eps=%v: approximation %v beats optimum %v", eps, r.Density, exact.Density)
+		}
+		if r.Density < exact.Density/(2+2*eps)-1e-9 {
+			return fmt.Errorf("eps=%v: %v below guarantee %v", eps, r.Density, exact.Density/(2+2*eps))
+		}
+	}
+	return nil
+}
+
+func checkAtLeastKModels(seed int64, maxNodes int) error {
+	g, err := randomGraph(seed, maxNodes)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed + 1))
+	k := 1 + rng.Intn(g.NumNodes()/2+1)
+	mem, err := ds.AtLeastK(g, k, 0.5)
+	if err != nil {
+		return err
+	}
+	st, err := ds.StreamingAtLeastK(ds.StreamGraph(g), k, 0.5)
+	if err != nil {
+		return err
+	}
+	mr, err := ds.MapReduceAtLeastK(g, k, 0.5, ds.MRConfig{Mappers: 3, Reducers: 2})
+	if err != nil {
+		return err
+	}
+	if len(mem.Set) < k {
+		return fmt.Errorf("size guarantee violated: %d < %d", len(mem.Set), k)
+	}
+	if math.Abs(mem.Density-st.Density) > 1e-9 || !sameSet(mem.Set, st.Set) {
+		return fmt.Errorf("streaming AtLeastK diverged")
+	}
+	if math.Abs(mem.Density-mr.Density) > 1e-9 || !sameSet(mem.Set, mr.Set) {
+		return fmt.Errorf("mapreduce AtLeastK diverged")
+	}
+	return nil
+}
+
+func checkDirectedModels(seed int64, maxNodes int) error {
+	rng := rand.New(rand.NewSource(seed))
+	n := 5 + rng.Intn(maxNodes-4)
+	g, err := ds.GenerateChungLuDirected(n, int64(3*n), 2.2, seed)
+	if err != nil {
+		return err
+	}
+	for _, c := range []float64{0.5, 1, 2} {
+		mem, err := ds.Directed(g, c, 0.5)
+		if err != nil {
+			return err
+		}
+		st, err := ds.StreamingDirected(ds.StreamDirectedGraph(g), c, 0.5)
+		if err != nil {
+			return err
+		}
+		mr, err := ds.MapReduceDirected(g, c, 0.5, ds.MRConfig{Mappers: 3, Reducers: 2})
+		if err != nil {
+			return err
+		}
+		if math.Abs(mem.Density-st.Density) > 1e-9 || !sameSet(mem.S, st.S) || !sameSet(mem.T, st.T) {
+			return fmt.Errorf("c=%v: streaming directed diverged", c)
+		}
+		if math.Abs(mem.Density-mr.Density) > 1e-9 || !sameSet(mem.S, mr.S) || !sameSet(mem.T, mr.T) {
+			return fmt.Errorf("c=%v: mapreduce directed diverged", c)
+		}
+	}
+	return nil
+}
+
+func checkDirectedGuarantee(seed int64, _ int) error {
+	rng := rand.New(rand.NewSource(seed))
+	n := 4 + rng.Intn(5)
+	g, err := ds.GenerateChungLuDirected(n, int64(2*n), 2.2, seed)
+	if err != nil {
+		return err
+	}
+	if g.NumEdges() == 0 {
+		return nil
+	}
+	sw, err := ds.DirectedSweep(g, 1.5, 0.5)
+	if err != nil {
+		return err
+	}
+	// The sweep's best must be positive and no better than the trivial
+	// upper bound |E| (ρ(S,T) ≤ |E|/1).
+	if sw.Best.Density <= 0 || sw.Best.Density > float64(g.NumEdges())+1e-9 {
+		return fmt.Errorf("sweep density %v out of range", sw.Best.Density)
+	}
+	return nil
+}
+
+func checkGreedy(seed int64, maxNodes int) error {
+	g, err := randomGraph(seed, maxNodes)
+	if err != nil {
+		return err
+	}
+	exact, err := ds.Exact(g)
+	if err != nil {
+		return err
+	}
+	gr, err := ds.Greedy(g)
+	if err != nil {
+		return err
+	}
+	if gr.Density < exact.Density/2-1e-9 || gr.Density > exact.Density+1e-9 {
+		return fmt.Errorf("greedy %v outside [ρ*/2, ρ*] = [%v, %v]", gr.Density, exact.Density/2, exact.Density)
+	}
+	_, coreD, err := ds.BestCore(g)
+	if err != nil {
+		return err
+	}
+	if coreD > exact.Density+1e-9 {
+		return fmt.Errorf("best core %v beats optimum %v", coreD, exact.Density)
+	}
+	return nil
+}
+
+func checkWeighted(seed int64, maxNodes int) error {
+	g, err := randomGraph(seed, maxNodes)
+	if err != nil {
+		return err
+	}
+	mem, err := ds.UndirectedWeighted(g, 0.5)
+	if err != nil {
+		return err
+	}
+	st, err := ds.StreamingWeighted(ds.StreamWeightedGraph(g), 0.5)
+	if err != nil {
+		return err
+	}
+	if math.Abs(mem.Density-st.Density) > 1e-9 || mem.Passes != st.Passes {
+		return fmt.Errorf("weighted streaming diverged: %v/%d vs %v/%d",
+			mem.Density, mem.Passes, st.Density, st.Passes)
+	}
+	return nil
+}

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestSelfcheckPasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("selfcheck rounds in -short mode")
+	}
+	if err := runAll(8, 42, 40, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSameSet(t *testing.T) {
+	if !sameSet([]int32{3, 1, 2}, []int32{1, 2, 3}) {
+		t.Fatal("permutations should match")
+	}
+	if sameSet([]int32{1}, []int32{1, 2}) {
+		t.Fatal("length mismatch accepted")
+	}
+	if sameSet([]int32{1, 4}, []int32{1, 2}) {
+		t.Fatal("different elements accepted")
+	}
+}

@@ -1,0 +1,66 @@
+package densestream
+
+import (
+	"io"
+
+	"densestream/internal/graph"
+)
+
+// Re-exported graph types. The implementation lives in an internal
+// package; these aliases are the supported public surface.
+
+// UndirectedGraph is a frozen undirected graph in CSR form.
+type UndirectedGraph = graph.Undirected
+
+// DirectedGraph is a frozen directed graph with out- and in-adjacency.
+type DirectedGraph = graph.Directed
+
+// GraphBuilder accumulates undirected edges; call Freeze to obtain the
+// immutable UndirectedGraph.
+type GraphBuilder = graph.Builder
+
+// DirectedGraphBuilder accumulates directed edges.
+type DirectedGraphBuilder = graph.DirectedBuilder
+
+// LabelMap records the mapping between external node labels and the dense
+// ids used internally, as produced by the Read functions.
+type LabelMap = graph.LabelMap
+
+// GraphStats summarizes basic structural parameters of a graph.
+type GraphStats = graph.Stats
+
+// NewBuilder returns a builder for an undirected graph on n nodes
+// (ids 0..n-1). Parallel edges are merged at Freeze; self loops are
+// rejected.
+func NewBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
+
+// NewDirectedBuilder returns a builder for a directed graph on n nodes.
+func NewDirectedBuilder(n int) *DirectedGraphBuilder { return graph.NewDirectedBuilder(n) }
+
+// ReadUndirected parses a SNAP-style edge list ("u v" or "u v w" per
+// line; '#'/'%' comments). Labels are remapped to dense ids in first-seen
+// order; the LabelMap recovers the original labels.
+func ReadUndirected(r io.Reader, weighted bool) (*UndirectedGraph, *LabelMap, error) {
+	return graph.ReadUndirected(r, weighted)
+}
+
+// ReadDirected parses a directed edge list ("src dst" per line).
+func ReadDirected(r io.Reader) (*DirectedGraph, *LabelMap, error) {
+	return graph.ReadDirected(r)
+}
+
+// WriteUndirected emits g as a text edge list using dense ids.
+func WriteUndirected(w io.Writer, g *UndirectedGraph) error {
+	return graph.WriteUndirected(w, g)
+}
+
+// WriteDirected emits g as a text edge list using dense ids.
+func WriteDirected(w io.Writer, g *DirectedGraph) error {
+	return graph.WriteDirected(w, g)
+}
+
+// Stats computes structural statistics for an undirected graph.
+func Stats(g *UndirectedGraph) GraphStats { return graph.UndirectedStats(g) }
+
+// StatsDirected computes structural statistics for a directed graph.
+func StatsDirected(g *DirectedGraph) GraphStats { return graph.DirectedStats(g) }

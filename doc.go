@@ -1,0 +1,31 @@
+// Package densestream finds dense subgraphs of massive graphs in the
+// streaming and MapReduce models, implementing the algorithms of
+//
+//	Bahmani, Kumar, Vassilvitskii.
+//	"Densest Subgraph in Streaming and MapReduce". PVLDB 5(5), 2012.
+//
+// The densest subgraph of an undirected graph G = (V, E) is the subset
+// S ⊆ V maximizing ρ(S) = |E(S)|/|S|; in directed graphs, the pair S, T
+// maximizing |E(S,T)|/√(|S||T|). Exact solutions need max-flow or LPs
+// that do not scale; this package provides the paper's multi-pass peeling
+// algorithms, which compute a (2+2ε)-approximation in O(log_{1+ε} n)
+// passes over the edges while holding only O(n) state:
+//
+//   - Undirected: Algorithm 1, batched peeling for undirected graphs.
+//   - UndirectedWeighted: the same over weighted degrees.
+//   - AtLeastK: Algorithm 2, (3+3ε)-approximation with a minimum size.
+//   - Directed and DirectedSweep: Algorithm 3 with the powers-of-δ
+//     search over the side ratio c.
+//   - Streaming and StreamingSketched: the same algorithms run against
+//     an edge stream (including files on disk), optionally with a
+//     Count-Sketch degree oracle replacing the O(n) degree array (§5.1).
+//   - MapReduce and MapReduceDirected: the §5.2 realization on a
+//     simulated MapReduce runtime with real worker parallelism.
+//   - Exact: Goldberg's flow-based exact solver, for ground truth on
+//     moderate graphs.
+//   - Greedy: Charikar's one-node-at-a-time 2-approximation baseline.
+//
+// Graphs are built with NewBuilder/NewDirectedBuilder or parsed from
+// SNAP-style edge lists with ReadUndirected/ReadDirected. All algorithms
+// are deterministic given their inputs (and seeds, where applicable).
+package densestream

@@ -1,0 +1,116 @@
+package densestream_test
+
+import (
+	"testing"
+
+	ds "densestream"
+)
+
+func TestEnumerateDenseDisjointCliques(t *testing.T) {
+	// Three disjoint cliques of decreasing size on a sparse background.
+	b := ds.NewBuilder(60)
+	addClique := func(lo, hi int32) {
+		for i := lo; i < hi; i++ {
+			for j := i + 1; j < hi; j++ {
+				if err := b.AddEdge(i, j); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	addClique(0, 10)  // density 4.5
+	addClique(10, 18) // density 3.5
+	addClique(18, 24) // density 2.5
+	for i := 24; i < 59; i++ {
+		_ = b.AddEdge(int32(i), int32(i+1))
+	}
+	g, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sets, err := ds.EnumerateDense(g, 3, 0 /* greedy */, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 3 {
+		t.Fatalf("enumerated %d sets, want 3", len(sets))
+	}
+	wantSizes := []int{10, 8, 6}
+	wantDensity := []float64{4.5, 3.5, 2.5}
+	for i, s := range sets {
+		if len(s.Set) != wantSizes[i] {
+			t.Errorf("set %d: size %d, want %d", i, len(s.Set), wantSizes[i])
+		}
+		if s.Density != wantDensity[i] {
+			t.Errorf("set %d: density %v, want %v", i, s.Density, wantDensity[i])
+		}
+	}
+	// Node-disjointness.
+	seen := make(map[int32]bool)
+	for _, s := range sets {
+		for _, u := range s.Set {
+			if seen[u] {
+				t.Fatalf("node %d appears in two sets", u)
+			}
+			seen[u] = true
+		}
+	}
+}
+
+func TestEnumerateDenseWithEpsilon(t *testing.T) {
+	g, _, err := ds.GeneratePlantedDense(2000, 6000, 2.2, 40, 0.9, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets, err := ds.EnumerateDense(g, 2, 0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) == 0 {
+		t.Fatal("no sets enumerated")
+	}
+	// Densities are non-increasing over rounds (each round's optimum can
+	// only shrink as nodes disappear) — allow approximation slack.
+	for i := 1; i < len(sets); i++ {
+		if sets[i].Density > sets[i-1].Density*3 {
+			t.Fatalf("round %d density %v wildly exceeds round %d's %v",
+				i, sets[i].Density, i-1, sets[i-1].Density)
+		}
+	}
+}
+
+func TestEnumerateDenseStopsAtMinDensity(t *testing.T) {
+	// A single triangle in an otherwise empty graph: only one set above
+	// density 0.9.
+	b := ds.NewBuilder(10)
+	_ = b.AddEdge(0, 1)
+	_ = b.AddEdge(1, 2)
+	_ = b.AddEdge(0, 2)
+	_ = b.AddEdge(5, 6)
+	g, _ := b.Freeze()
+	sets, err := ds.EnumerateDense(g, 5, 0, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 1 {
+		t.Fatalf("enumerated %d sets, want 1 (the triangle)", len(sets))
+	}
+	if sets[0].Density != 1.0 {
+		t.Fatalf("triangle density = %v", sets[0].Density)
+	}
+}
+
+func TestEnumerateDenseValidation(t *testing.T) {
+	g, _ := ds.GenerateGnm(10, 20, 1)
+	if _, err := ds.EnumerateDense(g, 0, 0.5, 0); err == nil {
+		t.Fatal("maxSets=0 accepted")
+	}
+	empty, err := ds.NewBuilder(0).Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.EnumerateDense(empty, 1, 0.5, 0); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+}

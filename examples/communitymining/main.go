@@ -1,0 +1,94 @@
+// Community mining (application 1 of the paper's introduction): iterate
+// the densest-subgraph primitive to enumerate node-disjoint dense
+// communities — find the densest subgraph, remove it, repeat on the
+// residual graph (§6, "It is easy to adapt our algorithm to iteratively
+// enumerate node-disjoint (approximately) densest subgraphs").
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	ds "densestream"
+)
+
+func main() {
+	// Planted partition: four communities of different sizes (hence
+	// different densities, 0.5·(size-1)/2 each) on a sparse background.
+	sizes := []int{80, 50, 40, 30}
+	g, truth, err := ds.GenerateCommunities(sizes, 0.5, 0.002, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
+	fmt.Printf("planted: %d communities of sizes %v\n\n", len(sizes), sizes)
+
+	alive := make([]bool, g.NumNodes())
+	for i := range alive {
+		alive[i] = true
+	}
+
+	for round := 1; round <= len(sizes); round++ {
+		// Rebuild the residual graph on surviving nodes.
+		var ids []int32
+		for u, ok := range alive {
+			if ok {
+				ids = append(ids, int32(u))
+			}
+		}
+		if len(ids) < 2 {
+			break
+		}
+		sub, mapping, err := g.InducedSubgraph(ids)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Enumeration wants the sharpest boundary each round, so use the
+		// exact greedy peel (Charikar); Algorithm 1 with ε > 0 would trade
+		// some of that precision for fewer passes — the right trade on
+		// billion-edge graphs, but not needed at this scale.
+		r, err := ds.Greedy(sub)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(r.Set) == 0 || r.Density < 1 {
+			fmt.Println("residual graph has no dense community left; stopping")
+			break
+		}
+		// Map back to original ids and report community purity.
+		members := make([]int32, len(r.Set))
+		votes := make(map[int]int)
+		for i, u := range r.Set {
+			members[i] = mapping[u]
+			votes[communityOf(members[i], sizes)]++
+		}
+		bestComm, bestVotes := -1, 0
+		for c, v := range votes {
+			if v > bestVotes {
+				bestComm, bestVotes = c, v
+			}
+		}
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		fmt.Printf("community %d: %3d nodes, density %.3f, peels %d — %3.0f%% from planted community %d\n",
+			round, len(members), r.Density, r.Peels,
+			100*float64(bestVotes)/float64(len(members)), bestComm)
+		for _, u := range members {
+			alive[u] = false
+		}
+		_ = truth
+	}
+}
+
+// communityOf recovers the planted community of a node id given the
+// contiguous block sizes used by the generator.
+func communityOf(u int32, sizes []int) int {
+	acc := 0
+	for c, s := range sizes {
+		acc += s
+		if int(u) < acc {
+			return c
+		}
+	}
+	return -1
+}

@@ -1,0 +1,52 @@
+package densestream
+
+import "densestream/internal/gen"
+
+// Synthetic graph generators, re-exported for examples, benchmarks, and
+// downstream users who need reproducible workloads. All generators are
+// deterministic for a given seed.
+
+// GenerateGnm returns an Erdős–Rényi style graph with n nodes and
+// approximately m edges.
+func GenerateGnm(n int, m int64, seed int64) (*UndirectedGraph, error) {
+	return gen.Gnm(n, m, seed)
+}
+
+// GenerateChungLu returns a power-law graph (exponent typically in
+// (2, 3)) with approximately m edges.
+func GenerateChungLu(n int, m int64, exponent float64, seed int64) (*UndirectedGraph, error) {
+	return gen.ChungLu(n, m, exponent, seed)
+}
+
+// GenerateChungLuDirected is the directed analogue of GenerateChungLu,
+// with decoupled in/out degree skew.
+func GenerateChungLuDirected(n int, m int64, exponent float64, seed int64) (*DirectedGraph, error) {
+	return gen.ChungLuDirected(n, m, exponent, seed)
+}
+
+// GenerateRMAT returns a highly skewed directed graph on 2^scale nodes
+// using the recursive matrix model with the standard parameters.
+func GenerateRMAT(scale int, m int64, seed int64) (*DirectedGraph, error) {
+	return gen.RMAT(scale, m, gen.DefaultRMAT, seed)
+}
+
+// GeneratePlantedDense returns a power-law background with a planted
+// dense subgraph on the first plantedSize node ids (edge probability
+// plantedP inside the planted set), plus the planted ids.
+func GeneratePlantedDense(n int, m int64, exponent float64, plantedSize int, plantedP float64, seed int64) (*UndirectedGraph, []int32, error) {
+	return gen.PlantedDense(n, m, exponent, plantedSize, plantedP, seed)
+}
+
+// GenerateCommunities returns a planted-partition graph with the given
+// community sizes and intra/inter edge probabilities, plus the community
+// assignment per node.
+func GenerateCommunities(sizes []int, pIn, pOut float64, seed int64) (*UndirectedGraph, []int, error) {
+	return gen.Communities(sizes, pIn, pOut, seed)
+}
+
+// GenerateLinkFarm returns a skewed directed web graph with a planted
+// link-spam farm: farmSize supporter pages all linking to targets boosted
+// pages. Returns the graph, the supporter ids, and the target ids.
+func GenerateLinkFarm(scale int, m int64, farmSize, targets int, interP float64, seed int64) (*DirectedGraph, []int32, []int32, error) {
+	return gen.LinkFarm(scale, m, farmSize, targets, interP, seed)
+}

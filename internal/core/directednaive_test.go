@@ -1,0 +1,74 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"densestream/internal/flow"
+	"densestream/internal/gen"
+	"densestream/internal/graph"
+)
+
+func TestDirectedNaiveValidation(t *testing.T) {
+	g := graph.MustFromDirectedEdges(2, [][2]int32{{0, 1}})
+	if _, err := DirectedNaive(g, 0, 0.5); err == nil {
+		t.Fatal("c=0 accepted")
+	}
+	if _, err := DirectedNaive(g, 1, -1); err == nil {
+		t.Fatal("bad eps accepted")
+	}
+	empty, _ := graph.NewDirectedBuilder(0).Freeze()
+	if _, err := DirectedNaive(empty, 1, 0.5); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func TestDirectedNaiveTerminatesAndIsSane(t *testing.T) {
+	g, err := gen.ChungLuDirected(1000, 5000, 2.2, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := DirectedNaive(g, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Density <= 0 {
+		t.Fatalf("density = %v", r.Density)
+	}
+	d, err := g.SubgraphDensity(r.S, r.T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-r.Density) > 1e-9 {
+		t.Fatalf("set density %v != reported %v", d, r.Density)
+	}
+}
+
+// Property: the naive variant also meets the (2+2ε) bound at the optimal
+// c on tiny graphs (the edge-assignment argument of Lemma 12 applies to
+// any rule that removes only below-threshold candidates).
+func TestDirectedNaiveApproxProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g, err := gen.GnmDirected(7, 16, seed)
+		if err != nil {
+			return false
+		}
+		if g.NumEdges() == 0 {
+			return true
+		}
+		sOpt, tOpt, optD, err := flow.BruteForceDirectedDensest(g)
+		if err != nil {
+			return false
+		}
+		c := float64(len(sOpt)) / float64(len(tOpt))
+		r, err := DirectedNaive(g, c, 0.5)
+		if err != nil {
+			return false
+		}
+		return r.Density >= optD/(2+1)-1e-9 && r.Density <= optD+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

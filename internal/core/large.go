@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"densestream/internal/graph"
+)
+
+// AtLeastK runs Algorithm 2: find a dense subgraph with at least k nodes.
+// Unlike Algorithm 1, each pass removes only the ⌊ε/(1+ε)·|S|⌋ (at least
+// one) lowest-degree nodes among the below-threshold candidates Ã(S), so
+// some intermediate subgraph lands close to size k. The returned set is a
+// (3+3ε)-approximation to ρ*≥k (Theorem 9), improving to (2+2ε) when the
+// optimal subgraph has more than k nodes (Lemma 10). The algorithm stops
+// early once fewer than k nodes remain (Lemma 11).
+func AtLeastK(g *graph.Undirected, k int, eps float64) (*Result, error) {
+	if err := checkEps(eps); err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, graph.ErrEmptyGraph
+	}
+	if g.Weighted() {
+		return nil, fmt.Errorf("core: AtLeastK needs an unweighted graph")
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("core: k=%d out of range [1,%d]", k, n)
+	}
+
+	alive := make([]bool, n)
+	deg := make([]int32, n)
+	for u := 0; u < n; u++ {
+		alive[u] = true
+		deg[u] = int32(g.Degree(int32(u)))
+	}
+	removedAt := make([]int, n)
+	edges := g.NumEdges()
+	nodes := n
+
+	bestPass := -1 // -1: no snapshot of size >= k seen yet
+	bestDensity := -1.0
+	if nodes >= k {
+		bestPass = 0
+		bestDensity = g.Density()
+	}
+	trace := []PassStat{{Pass: 0, Nodes: nodes, Edges: edges, Density: g.Density()}}
+
+	threshold := 2 * (1 + eps)
+	frac := eps / (1 + eps)
+	pass := 0
+	var candidates []int32
+	for nodes >= k {
+		pass++
+		rho := float64(edges) / float64(nodes)
+		cut := threshold * rho
+		candidates = candidates[:0]
+		for u := 0; u < n; u++ {
+			if alive[u] && float64(deg[u]) <= cut {
+				candidates = append(candidates, int32(u))
+			}
+		}
+		if len(candidates) == 0 {
+			return nil, fmt.Errorf("core: pass %d found no candidates (ρ=%v)", pass, rho)
+		}
+		// Remove the ⌊ε/(1+ε)·|S|⌋ lowest-degree candidates, at least one.
+		quota := int(frac * float64(nodes))
+		if quota < 1 {
+			quota = 1
+		}
+		if quota > len(candidates) {
+			quota = len(candidates)
+		}
+		sort.Slice(candidates, func(i, j int) bool {
+			if deg[candidates[i]] != deg[candidates[j]] {
+				return deg[candidates[i]] < deg[candidates[j]]
+			}
+			return candidates[i] < candidates[j]
+		})
+		batch := candidates[:quota]
+		for _, u := range batch {
+			alive[u] = false
+			removedAt[u] = pass
+		}
+		for _, u := range batch {
+			for _, v := range g.Neighbors(u) {
+				if alive[v] {
+					deg[v]--
+					edges--
+				} else if removedAt[v] == pass && u < v {
+					edges--
+				}
+			}
+		}
+		nodes -= len(batch)
+		var rhoAfter float64
+		if nodes > 0 {
+			rhoAfter = float64(edges) / float64(nodes)
+		}
+		trace = append(trace, PassStat{Pass: pass, Nodes: nodes, Edges: edges, Density: rhoAfter, Removed: len(batch)})
+		if nodes >= k && rhoAfter > bestDensity {
+			bestDensity = rhoAfter
+			bestPass = pass
+		}
+	}
+	if bestPass < 0 {
+		return nil, fmt.Errorf("core: no intermediate subgraph of size >= %d", k)
+	}
+
+	return &Result{
+		Set:     survivorsAfter(removedAt, bestPass),
+		Density: bestDensity,
+		Passes:  pass,
+		Trace:   trace,
+	}, nil
+}

@@ -1,0 +1,35 @@
+// Package core implements the paper's three peeling algorithms:
+//
+//   - Algorithm 1: (2+2ε)-approximate densest subgraph in undirected
+//     graphs, removing every node of degree ≤ 2(1+ε)·ρ(S) per pass.
+//   - Algorithm 2: (3+3ε)-approximate densest-at-least-k subgraph,
+//     removing only the ε/(1+ε)·|S| lowest-degree candidates per pass.
+//   - Algorithm 3: (2+2ε)-approximate directed densest subgraph for a
+//     known side ratio c, plus the powers-of-δ sweep over c.
+//
+// All algorithms are implemented over O(n) node state (alive flags plus
+// degree counters) so the streaming implementations in internal/stream can
+// share their per-pass logic and be tested for exact agreement.
+package core
+
+// PassStat records the state of the remaining graph after one pass of a
+// peeling algorithm; index 0 is the initial state before any removal.
+type PassStat struct {
+	Pass    int     // 0 for the initial state, then 1, 2, ...
+	Nodes   int     // |S| after this pass (undirected), or |S|+|T| (directed)
+	Edges   int64   // |E(S)| or |E(S,T)| after this pass
+	Density float64 // ρ after this pass
+	Removed int     // nodes removed in this pass
+}
+
+// DirectedPassStat records the state after one pass of Algorithm 3.
+type DirectedPassStat struct {
+	Pass      int
+	SizeS     int
+	SizeT     int
+	Edges     int64 // |E(S,T)|
+	Density   float64
+	RemovedS  int
+	RemovedT  int
+	PeeledSide byte // 'S' or 'T' ('-' for the initial state)
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"densestream/internal/graph"
+)
+
+// Result is the output of the undirected peeling algorithms.
+type Result struct {
+	Set     []int32    // S̃, the densest intermediate subgraph
+	Density float64    // ρ(S̃)
+	Passes  int        // while-loop iterations (graph passes in streaming)
+	Trace   []PassStat // per-pass statistics, Trace[0] is the initial state
+}
+
+// Undirected runs Algorithm 1 on an unweighted graph: starting from S = V,
+// every pass removes A(S) = {i ∈ S : deg_S(i) ≤ 2(1+ε)ρ(S)} and keeps the
+// densest intermediate subgraph. It returns a (2+2ε)-approximation in
+// O(log_{1+ε} n) passes (Lemmas 3 and 4).
+//
+// ε = 0 is allowed: the threshold 2ρ(S) is at least the minimum degree
+// (min ≤ avg = 2ρ), so at least one node is removed per pass and the
+// algorithm still terminates, in up to n passes.
+func Undirected(g *graph.Undirected, eps float64) (*Result, error) {
+	if err := checkEps(eps); err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, graph.ErrEmptyGraph
+	}
+	if g.Weighted() {
+		return nil, fmt.Errorf("core: Undirected needs an unweighted graph; use UndirectedWeighted")
+	}
+
+	alive := make([]bool, n)
+	deg := make([]int32, n)
+	for u := 0; u < n; u++ {
+		alive[u] = true
+		deg[u] = int32(g.Degree(int32(u)))
+	}
+	removedAt := make([]int, n) // pass in which the node was removed; 0 = never
+	edges := g.NumEdges()
+	nodes := n
+
+	bestPass := 0
+	bestDensity := g.Density()
+	trace := []PassStat{{Pass: 0, Nodes: nodes, Edges: edges, Density: bestDensity}}
+
+	threshold := 2 * (1 + eps)
+	pass := 0
+	var batch []int32
+	for nodes > 0 {
+		pass++
+		rho := float64(edges) / float64(nodes)
+		cut := threshold * rho
+		batch = batch[:0]
+		for u := 0; u < n; u++ {
+			if alive[u] && float64(deg[u]) <= cut {
+				batch = append(batch, int32(u))
+			}
+		}
+		if len(batch) == 0 {
+			// Unreachable: a minimum-degree node always satisfies
+			// deg ≤ 2ρ ≤ cut. Guard against float surprises regardless.
+			return nil, fmt.Errorf("core: pass %d removed no nodes (ρ=%v)", pass, rho)
+		}
+		for _, u := range batch {
+			alive[u] = false
+			removedAt[u] = pass
+		}
+		for _, u := range batch {
+			for _, v := range g.Neighbors(u) {
+				if alive[v] {
+					deg[v]--
+					edges--
+				} else if removedAt[v] == pass && u < v {
+					// Both endpoints removed this pass; count the edge once.
+					edges--
+				}
+			}
+		}
+		nodes -= len(batch)
+		var rhoAfter float64
+		if nodes > 0 {
+			rhoAfter = float64(edges) / float64(nodes)
+		}
+		trace = append(trace, PassStat{Pass: pass, Nodes: nodes, Edges: edges, Density: rhoAfter, Removed: len(batch)})
+		if nodes > 0 && rhoAfter > bestDensity {
+			bestDensity = rhoAfter
+			bestPass = pass
+		}
+	}
+
+	return &Result{
+		Set:     survivorsAfter(removedAt, bestPass),
+		Density: bestDensity,
+		Passes:  pass,
+		Trace:   trace,
+	}, nil
+}
+
+// UndirectedWeighted is Algorithm 1 over weighted degrees: the removal
+// rule becomes wdeg_S(i) ≤ 2(1+ε)·ρ_w(S) with ρ_w(S) the total remaining
+// weight over |S|. Unweighted graphs are accepted (unit weights).
+func UndirectedWeighted(g *graph.Undirected, eps float64) (*Result, error) {
+	if err := checkEps(eps); err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, graph.ErrEmptyGraph
+	}
+
+	alive := make([]bool, n)
+	wdeg := make([]float64, n)
+	for u := 0; u < n; u++ {
+		alive[u] = true
+		wdeg[u] = g.WeightedDegree(int32(u))
+	}
+	removedAt := make([]int, n)
+	weight := g.TotalWeight()
+	var edges int64 = g.NumEdges()
+	nodes := n
+
+	bestPass := 0
+	bestDensity := g.Density()
+	trace := []PassStat{{Pass: 0, Nodes: nodes, Edges: edges, Density: bestDensity}}
+
+	threshold := 2 * (1 + eps)
+	pass := 0
+	var batch []int32
+	for nodes > 0 {
+		pass++
+		rho := weight / float64(nodes)
+		cut := threshold * rho
+		batch = batch[:0]
+		for u := 0; u < n; u++ {
+			if alive[u] && wdeg[u] <= cut+1e-12 {
+				batch = append(batch, int32(u))
+			}
+		}
+		if len(batch) == 0 {
+			return nil, fmt.Errorf("core: weighted pass %d removed no nodes (ρ=%v)", pass, rho)
+		}
+		for _, u := range batch {
+			alive[u] = false
+			removedAt[u] = pass
+		}
+		for _, u := range batch {
+			ws := g.NeighborWeights(u)
+			for i, v := range g.Neighbors(u) {
+				w := 1.0
+				if ws != nil {
+					w = ws[i]
+				}
+				if alive[v] {
+					wdeg[v] -= w
+					weight -= w
+					edges--
+				} else if removedAt[v] == pass && u < v {
+					weight -= w
+					edges--
+				}
+			}
+		}
+		nodes -= len(batch)
+		if weight < 0 && weight > -1e-9 {
+			weight = 0 // clamp float drift at the very end
+		}
+		var rhoAfter float64
+		if nodes > 0 {
+			rhoAfter = weight / float64(nodes)
+		}
+		trace = append(trace, PassStat{Pass: pass, Nodes: nodes, Edges: edges, Density: rhoAfter, Removed: len(batch)})
+		if nodes > 0 && rhoAfter > bestDensity {
+			bestDensity = rhoAfter
+			bestPass = pass
+		}
+	}
+
+	return &Result{
+		Set:     survivorsAfter(removedAt, bestPass),
+		Density: bestDensity,
+		Passes:  pass,
+		Trace:   trace,
+	}, nil
+}
+
+func checkEps(eps float64) error {
+	if eps < 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return fmt.Errorf("core: epsilon must be a finite value >= 0, got %v", eps)
+	}
+	return nil
+}
+
+// survivorsAfter returns the nodes still alive strictly after bestPass
+// (removedAt == 0 means never removed).
+func survivorsAfter(removedAt []int, bestPass int) []int32 {
+	var out []int32
+	for u, p := range removedAt {
+		if p == 0 || p > bestPass {
+			out = append(out, int32(u))
+		}
+	}
+	return out
+}

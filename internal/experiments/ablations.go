@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"densestream/internal/charikar"
+	"densestream/internal/core"
+	"densestream/internal/flow"
+	"densestream/internal/gen"
+	"densestream/internal/mapreduce"
+)
+
+// AblationBatchVsGreedy (A1) compares Algorithm 1's batched peeling
+// against Charikar's one-node-at-a-time greedy: solution quality, passes
+// versus peels, and wall-clock.
+func AblationBatchVsGreedy(scale int) (*Report, error) {
+	g, err := gen.FlickrLike(scale, Seed)
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %12s %10s %12s\n", "algorithm", "ρ̃", "passes", "wall")
+	start := time.Now()
+	gr, err := charikar.Densest(g)
+	if err != nil {
+		return nil, err
+	}
+	greedyWall := time.Since(start)
+	fmt.Fprintf(&b, "%-16s %12.3f %10d %12s\n", "greedy (1/pass)", gr.Density, gr.Peels, greedyWall.Round(time.Millisecond))
+	for _, eps := range []float64{0, 0.5, 1, 2} {
+		start = time.Now()
+		r, err := core.Undirected(g, eps)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&b, "peel ε=%-9.1f %12.3f %10d %12s\n", eps, r.Density, r.Passes, time.Since(start).Round(time.Millisecond))
+	}
+	return &Report{
+		ID: "A1", Title: "Ablation — batched peeling vs Charikar's greedy",
+		Table: b.String(),
+		Summary: "batching collapses thousands of peels into a handful of passes at a small quality cost; " +
+			"greedy needs random access, peeling only needs per-pass scans",
+	}, nil
+}
+
+// AblationDirectedSideRule (A2) compares Algorithm 3's |S|/|T| side rule
+// against the naive max-degree rule §4.3 discusses: the simple rule gets
+// equal-or-better density with fewer candidate computations.
+func AblationDirectedSideRule(scale int) (*Report, error) {
+	g, err := gen.LJLike(scale, Seed)
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-22s %10s %7s %12s\n", "c", "rule", "ρ̃", "passes", "wall")
+	for _, c := range []float64{0.25, 1, 4} {
+		start := time.Now()
+		ratio, err := core.Directed(g, c, 1)
+		if err != nil {
+			return nil, err
+		}
+		ratioWall := time.Since(start)
+		start = time.Now()
+		naive, err := core.DirectedNaive(g, c, 1)
+		if err != nil {
+			return nil, err
+		}
+		naiveWall := time.Since(start)
+		fmt.Fprintf(&b, "%-10.3g %-22s %10.2f %7d %12s\n", c, "|S|/|T| (Algorithm 3)", ratio.Density, ratio.Passes, ratioWall.Round(time.Millisecond))
+		fmt.Fprintf(&b, "%-10.3g %-22s %10.2f %7d %12s\n", c, "max-degree (naive)", naive.Density, naive.Passes, naiveWall.Round(time.Millisecond))
+	}
+	return &Report{
+		ID: "A2", Title: "Ablation — directed side-selection rule",
+		Table: b.String(),
+		Summary: "the paper's size-ratio rule computes one candidate set per pass instead of two, " +
+			"'leading to a significant speedup in practice' (§4.3)",
+	}, nil
+}
+
+// AblationCombiner (A4) measures the shuffle-volume effect of adding a
+// per-mapper combiner to the degree job — the standard MR optimization
+// the §5.2 description leaves implicit.
+func AblationCombiner(scale int) (*Report, error) {
+	g, err := gen.FlickrLike(scale, Seed)
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %14s %14s %12s\n", "degree job", "shuffle recs", "output recs", "map wall")
+	stats, err := mapreduce.DegreeJobStats(g, false)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(&b, "%-22s %14d %14d %12s\n", "plain (§5.2)", stats.ShuffleRecords, stats.OutputRecords, stats.MapWall.Round(time.Millisecond))
+	cstats, err := mapreduce.DegreeJobStats(g, true)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(&b, "%-22s %14d %14d %12s\n", "with combiner", cstats.ShuffleRecords, cstats.OutputRecords, cstats.MapWall.Round(time.Millisecond))
+	return &Report{
+		ID: "A4", Title: "Ablation — combiner effect on the degree job's shuffle",
+		Table: b.String(),
+		Summary: fmt.Sprintf("the combiner cuts shuffle volume %.1fx (from one record per edge endpoint to one per "+
+			"distinct node per mapper) with identical output", float64(stats.ShuffleRecords)/float64(cstats.ShuffleRecords)),
+	}, nil
+}
+
+// AblationPassLowerBound (A3) measures passes on the Lemma 5 instance
+// (union of regular graphs) against log n, demonstrating the pass lower
+// bound is real, not an analysis artifact.
+func AblationPassLowerBound() (*Report, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%4s %10s %10s %8s %10s\n", "k", "|V|", "|E|", "passes", "log2 |V|")
+	for k := 3; k <= 7; k++ {
+		g, err := gen.RegularUnion(k)
+		if err != nil {
+			return nil, err
+		}
+		r, err := core.Undirected(g, 0.01)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&b, "%4d %10d %10d %8d %10.1f\n",
+			k, g.NumNodes(), g.NumEdges(), r.Passes, math.Log2(float64(g.NumNodes())))
+	}
+	return &Report{
+		ID: "A3", Title: "Ablation — Lemma 5 pass-lower-bound instance",
+		Table: b.String(),
+		Summary: "passes grow with k ~ log n on the adversarial instance, unlike the 4-10 passes " +
+			"social graphs need regardless of size",
+	}, nil
+}
+
+// AblationExactVsApprox (A5) measures the runtime crossover between the
+// exact flow solver, greedy, and Algorithm 1 as the graph grows.
+func AblationExactVsApprox() (*Report, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s %10s | %12s %12s %12s | %10s %10s\n",
+		"|V|", "|E|", "exact", "greedy", "peel ε=1", "ρ*", "ρ̃/ρ*")
+	for _, n := range []int{500, 2000, 8000, 32000} {
+		g, _, err := gen.PlantedDense(n, int64(4*n), 2.2, 40, 0.9, Seed)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		exact, err := flow.ExactDensest(g)
+		if err != nil {
+			return nil, err
+		}
+		exactWall := time.Since(start)
+		start = time.Now()
+		gr, err := charikar.Densest(g)
+		if err != nil {
+			return nil, err
+		}
+		greedyWall := time.Since(start)
+		start = time.Now()
+		peel, err := core.Undirected(g, 1)
+		if err != nil {
+			return nil, err
+		}
+		peelWall := time.Since(start)
+		_ = gr
+		fmt.Fprintf(&b, "%8d %10d | %12s %12s %12s | %10.2f %10.3f\n",
+			n, g.NumEdges(),
+			exactWall.Round(time.Microsecond), greedyWall.Round(time.Microsecond), peelWall.Round(time.Microsecond),
+			exact.Density, peel.Density/exact.Density)
+	}
+	return &Report{
+		ID: "A5", Title: "Ablation — exact vs greedy vs Algorithm 1 runtime",
+		Table: b.String(),
+		Summary: "the exact solver's cost grows super-linearly (repeated max-flows) while peeling stays " +
+			"near-linear; the approximation stays near-optimal throughout — the paper's core motivation",
+	}, nil
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dataset generation in -short mode")
+	}
+	rep, err := Table1(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"flickr-like", "im-like", "lj-like", "twitter-like"} {
+		if !strings.Contains(rep.Table, name) {
+			t.Errorf("Table 1 missing %s:\n%s", name, rep.Table)
+		}
+	}
+	if !strings.Contains(rep.String(), "E1") {
+		t.Error("report header missing id")
+	}
+}
+
+func TestAblationPassLowerBound(t *testing.T) {
+	rep, err := AblationPassLowerBound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Five rows (k = 3..7), and pass counts should grow with k.
+	lines := strings.Split(strings.TrimSpace(rep.Table), "\n")
+	if len(lines) != 6 { // header + 5 rows
+		t.Fatalf("want 6 lines, got %d:\n%s", len(lines), rep.Table)
+	}
+}
+
+func TestFigure61SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment in -short mode")
+	}
+	rep, err := Figure61(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Table, "flickr-like") || !strings.Contains(rep.Table, "im-like") {
+		t.Fatalf("Figure 6.1 missing datasets:\n%s", rep.Table)
+	}
+	// ε=0 rows must have relative density exactly 1.000.
+	if !strings.Contains(rep.Table, "1.000") {
+		t.Fatalf("Figure 6.1 missing the ε=0 baseline:\n%s", rep.Table)
+	}
+}
+
+func TestTable3SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment in -short mode")
+	}
+	rep, err := Table3(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(rep.Table), "\n")
+	if len(lines) != 4 { // header + 3 eps rows
+		t.Fatalf("Table 3 shape wrong:\n%s", rep.Table)
+	}
+}
+
+func TestReportWriteCSV(t *testing.T) {
+	rep := &Report{
+		ID:        "X",
+		CSVHeader: []string{"a", "b"},
+		CSVRows:   [][]string{{"1", "2"}, {"3", "4"}},
+	}
+	var buf strings.Builder
+	if err := rep.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,2\n3,4\n"
+	if buf.String() != want {
+		t.Fatalf("CSV = %q, want %q", buf.String(), want)
+	}
+	// No CSV form: writes nothing.
+	empty := &Report{ID: "Y"}
+	buf.Reset()
+	if err := empty.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("empty report wrote %q", buf.String())
+	}
+}
+
+func TestRowFormatting(t *testing.T) {
+	got := row("x", 1, 2.5, int64(7))
+	want := []string{"x", "1", "2.5", "7"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestScaleValidation(t *testing.T) {
+	if _, err := Table1(0); err == nil {
+		t.Fatal("scale 0 accepted")
+	}
+	if _, err := Figure61(0); err == nil {
+		t.Fatal("scale 0 accepted by Figure61")
+	}
+}

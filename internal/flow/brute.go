@@ -1,0 +1,160 @@
+package flow
+
+import (
+	"fmt"
+	"math"
+
+	"densestream/internal/graph"
+)
+
+// BruteMaxNodes bounds the exhaustive solvers; beyond this the subset
+// enumeration is unreasonable even for tests.
+const BruteMaxNodes = 22
+
+// BruteForceDensest enumerates all non-empty subsets and returns the exact
+// densest subgraph. Exponential — tests and tiny graphs only.
+func BruteForceDensest(g *graph.Undirected) ([]int32, float64, error) {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, 0, graph.ErrEmptyGraph
+	}
+	if n > BruteMaxNodes {
+		return nil, 0, fmt.Errorf("flow: brute force limited to %d nodes, got %d", BruteMaxNodes, n)
+	}
+	type edge struct{ u, v int32 }
+	var edges []edge
+	var weights []float64
+	g.Edges(func(u, v int32, w float64) bool {
+		edges = append(edges, edge{u, v})
+		weights = append(weights, w)
+		return true
+	})
+	bestMask := uint32(1)
+	bestDensity := -1.0
+	for mask := uint32(1); mask < 1<<n; mask++ {
+		var w float64
+		for i, e := range edges {
+			if mask&(1<<uint(e.u)) != 0 && mask&(1<<uint(e.v)) != 0 {
+				w += weights[i]
+			}
+		}
+		size := 0
+		for b := mask; b != 0; b &= b - 1 {
+			size++
+		}
+		d := w / float64(size)
+		if d > bestDensity {
+			bestDensity = d
+			bestMask = mask
+		}
+	}
+	var set []int32
+	for u := 0; u < n; u++ {
+		if bestMask&(1<<uint(u)) != 0 {
+			set = append(set, int32(u))
+		}
+	}
+	return set, bestDensity, nil
+}
+
+// BruteForceDensestAtLeastK is BruteForceDensest restricted to subsets of
+// size at least k. Exponential — tests only.
+func BruteForceDensestAtLeastK(g *graph.Undirected, k int) ([]int32, float64, error) {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, 0, graph.ErrEmptyGraph
+	}
+	if n > BruteMaxNodes {
+		return nil, 0, fmt.Errorf("flow: brute force limited to %d nodes, got %d", BruteMaxNodes, n)
+	}
+	if k < 1 || k > n {
+		return nil, 0, fmt.Errorf("flow: k=%d out of range [1,%d]", k, n)
+	}
+	type edge struct{ u, v int32 }
+	var edges []edge
+	g.Edges(func(u, v int32, _ float64) bool {
+		edges = append(edges, edge{u, v})
+		return true
+	})
+	bestMask := uint32(0)
+	bestDensity := -1.0
+	for mask := uint32(1); mask < 1<<n; mask++ {
+		size := 0
+		for b := mask; b != 0; b &= b - 1 {
+			size++
+		}
+		if size < k {
+			continue
+		}
+		cnt := 0
+		for _, e := range edges {
+			if mask&(1<<uint(e.u)) != 0 && mask&(1<<uint(e.v)) != 0 {
+				cnt++
+			}
+		}
+		d := float64(cnt) / float64(size)
+		if d > bestDensity {
+			bestDensity = d
+			bestMask = mask
+		}
+	}
+	var set []int32
+	for u := 0; u < n; u++ {
+		if bestMask&(1<<uint(u)) != 0 {
+			set = append(set, int32(u))
+		}
+	}
+	return set, bestDensity, nil
+}
+
+// BruteForceDirectedDensest enumerates all pairs of non-empty subsets S, T
+// and returns the exact directed densest subgraph. Doubly exponential in
+// n — restricted to very small graphs used by tests.
+func BruteForceDirectedDensest(g *graph.Directed) (s, t []int32, density float64, err error) {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, nil, 0, graph.ErrEmptyGraph
+	}
+	if n > 12 {
+		return nil, nil, 0, fmt.Errorf("flow: directed brute force limited to 12 nodes, got %d", n)
+	}
+	type edge struct{ u, v int32 }
+	var edges []edge
+	g.Edges(func(u, v int32) bool {
+		edges = append(edges, edge{u, v})
+		return true
+	})
+	bestS, bestT := uint32(1), uint32(1)
+	bestDensity := -1.0
+	popcount := func(m uint32) int {
+		c := 0
+		for ; m != 0; m &= m - 1 {
+			c++
+		}
+		return c
+	}
+	for sm := uint32(1); sm < 1<<n; sm++ {
+		for tm := uint32(1); tm < 1<<n; tm++ {
+			cnt := 0
+			for _, e := range edges {
+				if sm&(1<<uint(e.u)) != 0 && tm&(1<<uint(e.v)) != 0 {
+					cnt++
+				}
+			}
+			d := float64(cnt) / math.Sqrt(float64(popcount(sm))*float64(popcount(tm)))
+			if d > bestDensity {
+				bestDensity = d
+				bestS, bestT = sm, tm
+			}
+		}
+	}
+	for u := 0; u < n; u++ {
+		if bestS&(1<<uint(u)) != 0 {
+			s = append(s, int32(u))
+		}
+		if bestT&(1<<uint(u)) != 0 {
+			t = append(t, int32(u))
+		}
+	}
+	return s, t, bestDensity, nil
+}

@@ -1,0 +1,439 @@
+package gen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"densestream/internal/graph"
+)
+
+func TestGnm(t *testing.T) {
+	g, err := Gnm(100, 300, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 100 {
+		t.Fatalf("n = %d", g.NumNodes())
+	}
+	// Dedup and self-loop skips shrink m a little but not wildly.
+	if g.NumEdges() < 250 || g.NumEdges() > 300 {
+		t.Fatalf("m = %d, want ~300", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGnmDeterministic(t *testing.T) {
+	g1, _ := Gnm(50, 100, 7)
+	g2, _ := Gnm(50, 100, 7)
+	if g1.NumEdges() != g2.NumEdges() {
+		t.Fatalf("same seed, different edge counts: %d vs %d", g1.NumEdges(), g2.NumEdges())
+	}
+	g3, _ := Gnm(50, 100, 8)
+	if g1.NumEdges() == g3.NumEdges() {
+		// Different seeds may rarely coincide in count; compare edge sets.
+		e1, e3 := g1.EdgeList(), g3.EdgeList()
+		same := len(e1) == len(e3)
+		if same {
+			for i := range e1 {
+				if e1[i] != e3[i] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestGnmErrors(t *testing.T) {
+	if _, err := Gnm(1, 0, 0); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := Gnm(10, 1000, 0); err == nil {
+		t.Fatal("m too large accepted")
+	}
+	if _, err := GnmDirected(1, 0, 0); err == nil {
+		t.Fatal("directed n=1 accepted")
+	}
+}
+
+func TestCliqueStar(t *testing.T) {
+	k, err := Clique(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.NumEdges() != 15 {
+		t.Fatalf("K6 edges = %d", k.NumEdges())
+	}
+	if d := k.Density(); math.Abs(d-2.5) > 1e-12 {
+		t.Fatalf("K6 density = %v, want 2.5", d)
+	}
+	s, err := Star(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumEdges() != 5 || s.Degree(0) != 5 {
+		t.Fatalf("star: m=%d deg0=%d", s.NumEdges(), s.Degree(0))
+	}
+	if _, err := Clique(0); err == nil {
+		t.Fatal("Clique(0) accepted")
+	}
+	if _, err := Star(1); err == nil {
+		t.Fatal("Star(1) accepted")
+	}
+}
+
+func TestCirculantRegular(t *testing.T) {
+	g, err := Circulant(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := int32(0); u < 10; u++ {
+		if g.Degree(u) != 4 {
+			t.Fatalf("degree(%d) = %d, want 4", u, g.Degree(u))
+		}
+	}
+	if _, err := Circulant(10, 3); err == nil {
+		t.Fatal("odd degree accepted")
+	}
+	if _, err := Circulant(4, 4); err == nil {
+		t.Fatal("d >= n accepted")
+	}
+}
+
+func TestChungLuSkew(t *testing.T) {
+	g, err := ChungLu(2000, 10000, 2.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := graph.UndirectedStats(g)
+	// Power-law: max degree far exceeds average.
+	if float64(s.MaxDegree) < 5*s.AvgDegree {
+		t.Fatalf("max degree %d not skewed vs avg %.2f", s.MaxDegree, s.AvgDegree)
+	}
+	if _, err := ChungLu(1, 0, 2, 0); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := ChungLu(10, 5, 0.5, 0); err == nil {
+		t.Fatal("exponent <= 1 accepted")
+	}
+}
+
+func TestChungLuDirectedSkew(t *testing.T) {
+	g, err := ChungLuDirected(2000, 10000, 2.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxIn := 0
+	for u := int32(0); int(u) < g.NumNodes(); u++ {
+		if d := g.InDegree(u); d > maxIn {
+			maxIn = d
+		}
+	}
+	avg := float64(g.NumEdges()) / float64(g.NumNodes())
+	if float64(maxIn) < 5*avg {
+		t.Fatalf("max in-degree %d not skewed vs avg %.2f", maxIn, avg)
+	}
+	if _, err := ChungLuDirected(1, 0, 2, 0); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := ChungLuDirected(10, 5, 1.0, 0); err == nil {
+		t.Fatal("exponent <= 1 accepted")
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	g, err := BarabasiAlbert(500, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 500 {
+		t.Fatalf("n = %d", g.NumNodes())
+	}
+	// Seed clique has 6 edges; every later node adds exactly 3.
+	want := int64(6 + 3*(500-4))
+	if g.NumEdges() != want {
+		t.Fatalf("m = %d, want %d", g.NumEdges(), want)
+	}
+	if _, err := BarabasiAlbert(5, 5, 0); err == nil {
+		t.Fatal("k >= n accepted")
+	}
+}
+
+func TestWeightedPreferentialAttachment(t *testing.T) {
+	g, err := WeightedPreferentialAttachment(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Weighted() {
+		t.Fatal("graph not weighted")
+	}
+	// Complete graph: node u arrives and connects to all before it.
+	want := int64(40 * 39 / 2)
+	if g.NumEdges() != want {
+		t.Fatalf("m = %d, want %d", g.NumEdges(), want)
+	}
+	// Early nodes should accumulate far more weighted degree (power law).
+	if g.WeightedDegree(0) < 3*g.WeightedDegree(35) {
+		t.Fatalf("degree sequence not skewed: w(0)=%v w(35)=%v",
+			g.WeightedDegree(0), g.WeightedDegree(35))
+	}
+	if _, err := WeightedPreferentialAttachment(1); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+}
+
+func TestRMAT(t *testing.T) {
+	g, err := RMAT(10, 5000, DefaultRMAT, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 1024 {
+		t.Fatalf("n = %d", g.NumNodes())
+	}
+	if g.NumEdges() < 3000 {
+		t.Fatalf("m = %d, want near 5000 after dedup", g.NumEdges())
+	}
+	// Skew: low ids should dominate degree mass.
+	lowIn, highIn := 0, 0
+	for u := int32(0); u < 512; u++ {
+		lowIn += g.InDegree(u) + g.OutDegree(u)
+	}
+	for u := int32(512); u < 1024; u++ {
+		highIn += g.InDegree(u) + g.OutDegree(u)
+	}
+	if lowIn <= highIn {
+		t.Fatalf("R-MAT not skewed: low=%d high=%d", lowIn, highIn)
+	}
+	if _, err := RMAT(0, 10, DefaultRMAT, 0); err == nil {
+		t.Fatal("scale=0 accepted")
+	}
+	if _, err := RMAT(5, 10, RMATParams{A: 0.5, B: 0.5, C: 0.5, D: 0.5}, 0); err == nil {
+		t.Fatal("bad probabilities accepted")
+	}
+	if _, err := RMAT(5, 10, RMATParams{A: -1, B: 1, C: 0.5, D: 0.5}, 0); err == nil {
+		t.Fatal("negative probability accepted")
+	}
+}
+
+func TestPlantedDense(t *testing.T) {
+	g, planted, err := PlantedDense(1000, 3000, 2.2, 30, 0.9, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(planted) != 30 {
+		t.Fatalf("planted size = %d", len(planted))
+	}
+	d, err := g.SubgraphDensity(planted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected planted density ~ 0.9*29/2 = 13; background ~3.
+	if d < 8 {
+		t.Fatalf("planted density = %v, too low", d)
+	}
+	if d <= g.Density() {
+		t.Fatalf("planted (%v) not denser than background (%v)", d, g.Density())
+	}
+	if _, _, err := PlantedDense(10, 5, 2.2, 1, 0.5, 0); err == nil {
+		t.Fatal("plantedSize=1 accepted")
+	}
+	if _, _, err := PlantedDense(10, 5, 2.2, 5, 0, 0); err == nil {
+		t.Fatal("plantedP=0 accepted")
+	}
+}
+
+func TestLinkFarm(t *testing.T) {
+	g, farm, targets, err := LinkFarm(9, 2000, 40, 5, 0.3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(farm) != 40 || len(targets) != 5 {
+		t.Fatalf("farm=%d targets=%d", len(farm), len(targets))
+	}
+	// Every farm node links to every target.
+	for _, tgt := range targets {
+		if g.InDegree(tgt) < 40 {
+			t.Fatalf("target %d has in-degree %d, want >= 40", tgt, g.InDegree(tgt))
+		}
+	}
+	// The farm→target block should be much denser than the background.
+	d, err := g.SubgraphDensity(farm, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 2*g.Density() {
+		t.Fatalf("farm block density %v vs background %v", d, g.Density())
+	}
+	if _, _, _, err := LinkFarm(3, 10, 100, 100, 0.5, 0); err == nil {
+		t.Fatal("oversized farm accepted")
+	}
+	if _, _, _, err := LinkFarm(3, 10, 0, 1, 0.5, 0); err == nil {
+		t.Fatal("farmSize=0 accepted")
+	}
+}
+
+func TestCommunities(t *testing.T) {
+	g, assign, err := Communities([]int{50, 50, 50}, 0.3, 0.01, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 150 || len(assign) != 150 {
+		t.Fatalf("n=%d assign=%d", g.NumNodes(), len(assign))
+	}
+	if assign[0] != 0 || assign[149] != 2 {
+		t.Fatalf("assignment boundaries: %d %d", assign[0], assign[149])
+	}
+	// Community 0 should be denser than the whole graph.
+	var c0 []int32
+	for i, c := range assign {
+		if c == 0 {
+			c0 = append(c0, int32(i))
+		}
+	}
+	// Expected intra-community density ≈ pIn·(size-1)/2 = 7.35.
+	d, _ := g.SubgraphDensity(c0)
+	if d < 0.6*0.3*49/2 {
+		t.Fatalf("community density %v below expectation", d)
+	}
+	if _, _, err := Communities(nil, 0.5, 0.1, 0); err == nil {
+		t.Fatal("no communities accepted")
+	}
+	if _, _, err := Communities([]int{0}, 0.5, 0.1, 0); err == nil {
+		t.Fatal("size-0 community accepted")
+	}
+	if _, _, err := Communities([]int{5}, 1.5, 0.1, 0); err == nil {
+		t.Fatal("pIn > 1 accepted")
+	}
+}
+
+func TestRegularUnion(t *testing.T) {
+	g, err := RegularUnion(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k=3: G1 on 2^6=64 nodes 1-regular, G2 on 2^5=32 nodes 2-regular,
+	// G3 on 2^4=16 nodes 4-regular; each has 2^5 = 32 edges.
+	if g.NumNodes() != 64+32+16 {
+		t.Fatalf("n = %d", g.NumNodes())
+	}
+	if g.NumEdges() != 3*32 {
+		t.Fatalf("m = %d, want 96", g.NumEdges())
+	}
+	// Check regularity in each block.
+	checkDeg := func(from, to int32, want int) {
+		t.Helper()
+		for u := from; u < to; u++ {
+			if g.Degree(u) != want {
+				t.Fatalf("degree(%d) = %d, want %d", u, g.Degree(u), want)
+			}
+		}
+	}
+	checkDeg(0, 64, 1)
+	checkDeg(64, 96, 2)
+	checkDeg(96, 112, 4)
+	if _, err := RegularUnion(0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := RegularUnion(11); err == nil {
+		t.Fatal("k=11 accepted")
+	}
+}
+
+func TestDisjointnessInstance(t *testing.T) {
+	// NO instance: all stars.
+	no, err := DisjointnessInstance(5, 6, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if no.NumEdges() != 5*5 {
+		t.Fatalf("NO edges = %d, want 25", no.NumEdges())
+	}
+	// YES instance: gadget 2 is a clique.
+	yes, err := DisjointnessInstance(5, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if yes.NumEdges() != 4*5+15 {
+		t.Fatalf("YES edges = %d, want 35", yes.NumEdges())
+	}
+	clique := []int32{12, 13, 14, 15, 16, 17}
+	d, _ := yes.SubgraphDensity(clique)
+	if math.Abs(d-2.5) > 1e-12 {
+		t.Fatalf("YES clique density = %v, want 2.5", d)
+	}
+	if _, err := DisjointnessInstance(0, 3, -1); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := DisjointnessInstance(3, 3, 5); err == nil {
+		t.Fatal("yesAt out of range accepted")
+	}
+}
+
+func TestDatasetStandIns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dataset generation in -short mode")
+	}
+	f, err := FlickrLike(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumNodes() != 20000 {
+		t.Fatalf("flickr-like n = %d", f.NumNodes())
+	}
+	lj, err := LJLike(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lj.NumNodes() != 20000 {
+		t.Fatalf("lj-like n = %d", lj.NumNodes())
+	}
+	tw, err := TwitterLike(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tw.NumNodes() != 1<<14 {
+		t.Fatalf("twitter-like n = %d", tw.NumNodes())
+	}
+	for _, bad := range []func() error{
+		func() error { _, err := FlickrLike(0, 1); return err },
+		func() error { _, err := IMLike(0, 1); return err },
+		func() error { _, err := LJLike(0, 1); return err },
+		func() error { _, err := TwitterLike(0, 1); return err },
+	} {
+		if bad() == nil {
+			t.Fatal("scale=0 accepted")
+		}
+	}
+}
+
+func TestSNAPStandIns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("SNAP stand-in generation in -short mode")
+	}
+	for _, s := range SNAPTable2[:2] {
+		g, err := s.Generate(9)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if g.NumNodes() != s.Nodes {
+			t.Fatalf("%s: n=%d want %d", s.Name, g.NumNodes(), s.Nodes)
+		}
+	}
+}
+
+// Property: Gnm never panics and always validates across seeds.
+func TestGnmProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g, err := Gnm(30, 60, seed)
+		return err == nil && g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

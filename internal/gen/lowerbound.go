@@ -1,0 +1,87 @@
+package gen
+
+import (
+	"fmt"
+
+	"densestream/internal/graph"
+)
+
+// RegularUnion builds the Lemma 5 pass-lower-bound instance: k disjoint
+// subgraphs G_1..G_k where G_i is a 2^(i-1)-regular graph on 2^(2k+1-i)
+// nodes, so every G_i has exactly 2^(2k-1) edges and density 2^(i-2).
+// Algorithm 1 removes only O(log k) of the subgraphs per pass on this
+// instance, forcing Ω(log n / log log n) passes.
+//
+// The node count is Σ_i 2^(2k+1-i) < 2^(2k+1); keep k ≤ 8 for tests.
+func RegularUnion(k int) (*graph.Undirected, error) {
+	if k < 1 || k > 10 {
+		return nil, fmt.Errorf("gen: RegularUnion needs k in [1,10], got %d", k)
+	}
+	total := 0
+	for i := 1; i <= k; i++ {
+		total += 1 << (2*k + 1 - i)
+	}
+	b := graph.NewBuilder(total)
+	offset := 0
+	for i := 1; i <= k; i++ {
+		ni := 1 << (2*k + 1 - i)
+		di := 1 << (i - 1)
+		// Circulant construction needs even degree; for d=1 (i=1) use a
+		// perfect matching instead.
+		if di == 1 {
+			for v := 0; v < ni; v += 2 {
+				if err := b.AddEdge(int32(offset+v), int32(offset+v+1)); err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			for v := 0; v < ni; v++ {
+				for s := 1; s <= di/2; s++ {
+					w := (v + s) % ni
+					if err := b.AddEdge(int32(offset+v), int32(offset+w)); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		offset += ni
+	}
+	return b.Freeze()
+}
+
+// DisjointnessInstance builds the Lemma 7 space-lower-bound gadget: n
+// disjoint subgraphs of q nodes each. In a NO instance every gadget is a
+// star (density (q-1)/q); in a YES instance gadget yesAt (0-based) is a
+// q-clique (density (q-1)/2) and the rest are stars. Pass yesAt = -1 for a
+// NO instance.
+//
+// An α-approximation with α < (q-1)/(2(1-1/q)) must distinguish the two,
+// which is the reduction behind the Ω(n/(pα²)) space bound.
+func DisjointnessInstance(n, q int, yesAt int) (*graph.Undirected, error) {
+	if n < 1 || q < 2 {
+		return nil, fmt.Errorf("gen: DisjointnessInstance needs n >= 1, q >= 2; got n=%d q=%d", n, q)
+	}
+	if yesAt >= n {
+		return nil, fmt.Errorf("gen: yesAt=%d out of range (n=%d)", yesAt, n)
+	}
+	b := graph.NewBuilder(n * q)
+	for i := 0; i < n; i++ {
+		base := i * q
+		if i == yesAt {
+			for u := 0; u < q; u++ {
+				for v := u + 1; v < q; v++ {
+					if err := b.AddEdge(int32(base+u), int32(base+v)); err != nil {
+						return nil, err
+					}
+				}
+			}
+		} else {
+			for v := 1; v < q; v++ {
+				if err := b.AddEdge(int32(base), int32(base+v)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return b.Freeze()
+}

@@ -1,0 +1,162 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"densestream/internal/graph"
+)
+
+// PlantedDense overlays a dense subgraph on top of a sparse Chung–Lu
+// background. The planted set is nodes [0, plantedSize); each pair inside
+// it is connected independently with probability plantedP. The returned
+// planted slice lists the planted node ids.
+//
+// This is the workload Table 2 needs: a heavy-tailed graph with a known
+// dense core whose density dominates the background, so the exact solver
+// and the peeling algorithms have a meaningful target.
+func PlantedDense(n int, m int64, exponent float64, plantedSize int, plantedP float64, seed int64) (*graph.Undirected, []int32, error) {
+	if plantedSize < 2 || plantedSize > n {
+		return nil, nil, fmt.Errorf("gen: planted size %d out of range [2,%d]", plantedSize, n)
+	}
+	if plantedP <= 0 || plantedP > 1 {
+		return nil, nil, fmt.Errorf("gen: planted probability %v out of (0,1]", plantedP)
+	}
+	cum := chungLuCumulative(n, exponent)
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := int64(0); i < m; i++ {
+		u := sampleCumulative(cum, rng)
+		v := sampleCumulative(cum, rng)
+		if u == v {
+			continue
+		}
+		if err := b.AddEdge(u, v); err != nil {
+			return nil, nil, err
+		}
+	}
+	planted := make([]int32, plantedSize)
+	for i := range planted {
+		planted[i] = int32(i)
+	}
+	for i := 0; i < plantedSize; i++ {
+		for j := i + 1; j < plantedSize; j++ {
+			if rng.Float64() < plantedP {
+				if err := b.AddEdge(int32(i), int32(j)); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+	}
+	g, err := b.Freeze()
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, planted, nil
+}
+
+// LinkFarm builds a directed "web graph" with a planted link-spam farm:
+// a background R-MAT-like graph plus farmSize supporter pages that all
+// link to a small set of boosted target pages (and to each other with
+// probability interP). Returns the supporter and target id slices.
+//
+// This reproduces the link-spam workload from Gibson et al. that the
+// paper cites as a motivating application (§1, application 3).
+func LinkFarm(scale int, m int64, farmSize, targets int, interP float64, seed int64) (*graph.Directed, []int32, []int32, error) {
+	if farmSize < 1 || targets < 1 {
+		return nil, nil, nil, fmt.Errorf("gen: farmSize and targets must be >= 1")
+	}
+	n := 1 << scale
+	if farmSize+targets > n {
+		return nil, nil, nil, fmt.Errorf("gen: farm (%d) + targets (%d) exceed n=%d", farmSize, targets, n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewDirectedBuilder(n)
+	for i := int64(0); i < m; i++ {
+		u, v := rmatEdge(scale, DefaultRMAT, rng)
+		if u == v {
+			continue
+		}
+		if err := b.AddEdge(u, v); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	// Farm supporters occupy the id range right after the targets, at the
+	// top of the id space where the R-MAT background is sparsest.
+	targetIDs := make([]int32, targets)
+	farmIDs := make([]int32, farmSize)
+	base := n - farmSize - targets
+	for i := range targetIDs {
+		targetIDs[i] = int32(base + i)
+	}
+	for i := range farmIDs {
+		farmIDs[i] = int32(base + targets + i)
+	}
+	for _, f := range farmIDs {
+		for _, t := range targetIDs {
+			if err := b.AddEdge(f, t); err != nil {
+				return nil, nil, nil, err
+			}
+		}
+		for _, f2 := range farmIDs {
+			if f != f2 && rng.Float64() < interP {
+				if err := b.AddEdge(f, f2); err != nil {
+					return nil, nil, nil, err
+				}
+			}
+		}
+	}
+	g, err := b.Freeze()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return g, farmIDs, targetIDs, nil
+}
+
+// Communities builds a planted-partition graph: k communities of the given
+// sizes, with intra-community edge probability pIn and inter-community
+// probability pOut. Returns the community assignment per node.
+// Used by the community-mining example (§1, application 1).
+func Communities(sizes []int, pIn, pOut float64, seed int64) (*graph.Undirected, []int, error) {
+	if len(sizes) == 0 {
+		return nil, nil, fmt.Errorf("gen: Communities needs at least one community")
+	}
+	if pIn < 0 || pIn > 1 || pOut < 0 || pOut > 1 {
+		return nil, nil, fmt.Errorf("gen: probabilities out of [0,1]: pIn=%v pOut=%v", pIn, pOut)
+	}
+	n := 0
+	for i, s := range sizes {
+		if s < 1 {
+			return nil, nil, fmt.Errorf("gen: community %d has size %d", i, s)
+		}
+		n += s
+	}
+	assign := make([]int, n)
+	idx := 0
+	for c, s := range sizes {
+		for i := 0; i < s; i++ {
+			assign[idx] = c
+			idx++
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			p := pOut
+			if assign[u] == assign[v] {
+				p = pIn
+			}
+			if rng.Float64() < p {
+				if err := b.AddEdge(int32(u), int32(v)); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+	}
+	g, err := b.Freeze()
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, assign, nil
+}

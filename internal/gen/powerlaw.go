@@ -1,0 +1,165 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"densestream/internal/graph"
+)
+
+// ChungLu returns an undirected graph whose expected degree sequence
+// follows a power law with the given exponent (typically 2 < exponent < 3
+// for social networks). The expected number of edges is approximately m.
+//
+// The construction samples each endpoint of each edge proportionally to a
+// target weight w_i ∝ i^(-1/(exponent-1)), the standard Chung–Lu model.
+func ChungLu(n int, m int64, exponent float64, seed int64) (*graph.Undirected, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("gen: ChungLu needs n >= 2, got %d", n)
+	}
+	if exponent <= 1 {
+		return nil, fmt.Errorf("gen: ChungLu needs exponent > 1, got %v", exponent)
+	}
+	cum := chungLuCumulative(n, exponent)
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := int64(0); i < m; i++ {
+		u := sampleCumulative(cum, rng)
+		v := sampleCumulative(cum, rng)
+		if u == v {
+			continue
+		}
+		if err := b.AddEdge(u, v); err != nil {
+			return nil, err
+		}
+	}
+	return b.Freeze()
+}
+
+// ChungLuDirected is the directed analogue: source sampled from one
+// power-law weight sequence, destination from an independently shuffled
+// one, so in- and out-degree skew are decoupled (as in real follower
+// graphs).
+func ChungLuDirected(n int, m int64, exponent float64, seed int64) (*graph.Directed, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("gen: ChungLuDirected needs n >= 2, got %d", n)
+	}
+	if exponent <= 1 {
+		return nil, fmt.Errorf("gen: ChungLuDirected needs exponent > 1, got %v", exponent)
+	}
+	cum := chungLuCumulative(n, exponent)
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	b := graph.NewDirectedBuilder(n)
+	for i := int64(0); i < m; i++ {
+		u := sampleCumulative(cum, rng)
+		v := int32(perm[sampleCumulative(cum, rng)])
+		if u == v {
+			continue
+		}
+		if err := b.AddEdge(u, v); err != nil {
+			return nil, err
+		}
+	}
+	return b.Freeze()
+}
+
+func chungLuCumulative(n int, exponent float64) []float64 {
+	alpha := 1.0 / (exponent - 1.0)
+	cum := make([]float64, n+1)
+	for i := 0; i < n; i++ {
+		cum[i+1] = cum[i] + math.Pow(float64(i+1), -alpha)
+	}
+	return cum
+}
+
+// sampleCumulative draws an index proportional to the weight implied by
+// the cumulative array using binary search.
+func sampleCumulative(cum []float64, rng *rand.Rand) int32 {
+	x := rng.Float64() * cum[len(cum)-1]
+	lo, hi := 0, len(cum)-1
+	for lo < hi-1 {
+		mid := (lo + hi) / 2
+		if cum[mid] <= x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return int32(lo)
+}
+
+// BarabasiAlbert returns a preferential-attachment graph: nodes arrive one
+// at a time and attach k edges to existing nodes chosen proportionally to
+// their current degree (via the repeated-endpoint trick).
+func BarabasiAlbert(n, k int, seed int64) (*graph.Undirected, error) {
+	if n < 2 || k < 1 || k >= n {
+		return nil, fmt.Errorf("gen: BarabasiAlbert needs n >= 2, 1 <= k < n; got n=%d k=%d", n, k)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	// Endpoint pool: every time an edge (u,v) is added, append u and v.
+	// Sampling uniformly from the pool is degree-proportional sampling.
+	pool := make([]int32, 0, 2*n*k)
+	// Seed with a (k+1)-clique so early degree-proportional draws exist.
+	for u := 0; u <= k; u++ {
+		for v := u + 1; v <= k; v++ {
+			if err := b.AddEdge(int32(u), int32(v)); err != nil {
+				return nil, err
+			}
+			pool = append(pool, int32(u), int32(v))
+		}
+	}
+	for u := k + 1; u < n; u++ {
+		attached := make(map[int32]bool, k)
+		for len(attached) < k {
+			v := pool[rng.Intn(len(pool))]
+			if v == int32(u) || attached[v] {
+				continue
+			}
+			attached[v] = true
+		}
+		for v := range attached {
+			if err := b.AddEdge(int32(u), v); err != nil {
+				return nil, err
+			}
+			pool = append(pool, int32(u), v)
+		}
+	}
+	return b.Freeze()
+}
+
+// WeightedPreferentialAttachment builds the deterministic weighted
+// instance from Lemma 6: node u (arriving after nodes 0..u-1) adds an edge
+// to every existing node v with weight proportional to v's current
+// weighted degree. The resulting weighted degree sequence follows a power
+// law, and Algorithm 1 needs Ω(log n) passes on it. O(n^2) edges — keep n
+// modest.
+func WeightedPreferentialAttachment(n int) (*graph.Undirected, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("gen: WeightedPreferentialAttachment needs n >= 2, got %d", n)
+	}
+	b := graph.NewBuilder(n)
+	wdeg := make([]float64, n)
+	// Bootstrap: nodes 0 and 1 joined by a unit edge.
+	if err := b.AddWeightedEdge(0, 1, 1); err != nil {
+		return nil, err
+	}
+	wdeg[0], wdeg[1] = 1, 1
+	for u := 2; u < n; u++ {
+		var total float64
+		for v := 0; v < u; v++ {
+			total += wdeg[v]
+		}
+		for v := 0; v < u; v++ {
+			w := wdeg[v] / total
+			if err := b.AddWeightedEdge(int32(u), int32(v), w); err != nil {
+				return nil, err
+			}
+			wdeg[u] += w
+			wdeg[v] += w
+		}
+	}
+	return b.Freeze()
+}

@@ -1,0 +1,76 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"densestream/internal/graph"
+)
+
+// RMATParams are the quadrant probabilities of the recursive matrix model
+// (Chakrabarti–Zhan–Faloutsos). They must sum to ~1. The classic "skewed
+// social graph" setting is a=0.57 b=0.19 c=0.19 d=0.05.
+type RMATParams struct {
+	A, B, C, D float64
+}
+
+// DefaultRMAT is the standard skewed parameterization used for
+// twitter-like graphs.
+var DefaultRMAT = RMATParams{A: 0.57, B: 0.19, C: 0.19, D: 0.05}
+
+// Validate checks that the quadrant probabilities form a distribution.
+func (p RMATParams) Validate() error {
+	if p.A < 0 || p.B < 0 || p.C < 0 || p.D < 0 {
+		return fmt.Errorf("gen: RMAT probabilities must be non-negative: %+v", p)
+	}
+	sum := p.A + p.B + p.C + p.D
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("gen: RMAT probabilities sum to %v, want 1", sum)
+	}
+	return nil
+}
+
+// RMAT generates a directed graph on 2^scale nodes with approximately m
+// edges (after dedup) using the recursive matrix model. The result is
+// highly skewed: a few nodes attract a large share of in-edges, mimicking
+// celebrity accounts in follower graphs.
+func RMAT(scale int, m int64, p RMATParams, seed int64) (*graph.Directed, error) {
+	if scale < 1 || scale > 30 {
+		return nil, fmt.Errorf("gen: RMAT scale %d out of range [1,30]", scale)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := 1 << scale
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewDirectedBuilder(n)
+	for i := int64(0); i < m; i++ {
+		u, v := rmatEdge(scale, p, rng)
+		if u == v {
+			continue
+		}
+		if err := b.AddEdge(u, v); err != nil {
+			return nil, err
+		}
+	}
+	return b.Freeze()
+}
+
+func rmatEdge(scale int, p RMATParams, rng *rand.Rand) (int32, int32) {
+	var u, v int32
+	for bit := 0; bit < scale; bit++ {
+		r := rng.Float64()
+		switch {
+		case r < p.A:
+			// top-left: no bits set
+		case r < p.A+p.B:
+			v |= 1 << bit
+		case r < p.A+p.B+p.C:
+			u |= 1 << bit
+		default:
+			u |= 1 << bit
+			v |= 1 << bit
+		}
+	}
+	return u, v
+}

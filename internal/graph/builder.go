@@ -1,0 +1,134 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Builder accumulates undirected edges and freezes them into an Undirected
+// graph. It tolerates parallel edges (merged, weights summed) and edges
+// inserted in any order. A Builder must not be used after Freeze.
+type Builder struct {
+	n        int
+	edges    []Edge
+	weighted bool
+	frozen   bool
+}
+
+// NewBuilder returns a builder for an undirected graph on n nodes.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n}
+}
+
+// NumNodes returns the node count the builder was created with.
+func (b *Builder) NumNodes() int { return b.n }
+
+// AddEdge inserts the unweighted edge {u, v}.
+func (b *Builder) AddEdge(u, v int32) error {
+	return b.addEdge(u, v, 1, false)
+}
+
+// AddWeightedEdge inserts the edge {u, v} with weight w > 0. A graph that
+// receives at least one weighted edge freezes as a weighted graph.
+func (b *Builder) AddWeightedEdge(u, v int32, w float64) error {
+	return b.addEdge(u, v, w, true)
+}
+
+func (b *Builder) addEdge(u, v int32, w float64, weighted bool) error {
+	if b.frozen {
+		return fmt.Errorf("graph: AddEdge after Freeze")
+	}
+	if u < 0 || int(u) >= b.n || v < 0 || int(v) >= b.n {
+		return fmt.Errorf("%w: (%d,%d) with n=%d", ErrNodeRange, u, v, b.n)
+	}
+	if u == v {
+		return fmt.Errorf("%w: node %d", ErrSelfLoop, u)
+	}
+	if w <= 0 || math.IsInf(w, 0) || math.IsNaN(w) {
+		return fmt.Errorf("%w: %v", ErrBadWeight, w)
+	}
+	if u > v {
+		u, v = v, u
+	}
+	b.edges = append(b.edges, Edge{U: u, V: v, Weight: w})
+	b.weighted = b.weighted || weighted
+	return nil
+}
+
+// Freeze sorts, merges parallel edges, and returns the immutable graph.
+func (b *Builder) Freeze() (*Undirected, error) {
+	if b.frozen {
+		return nil, fmt.Errorf("graph: Freeze called twice")
+	}
+	b.frozen = true
+	sort.Slice(b.edges, func(i, j int) bool {
+		if b.edges[i].U != b.edges[j].U {
+			return b.edges[i].U < b.edges[j].U
+		}
+		return b.edges[i].V < b.edges[j].V
+	})
+	// Merge parallel edges in place (weights accumulate).
+	merged := b.edges[:0]
+	for _, e := range b.edges {
+		if k := len(merged); k > 0 && merged[k-1].U == e.U && merged[k-1].V == e.V {
+			merged[k-1].Weight += e.Weight
+			continue
+		}
+		merged = append(merged, e)
+	}
+
+	g := &Undirected{n: b.n, m: int64(len(merged))}
+	g.offsets = make([]int32, b.n+1)
+	deg := make([]int32, b.n)
+	for _, e := range merged {
+		deg[e.U]++
+		deg[e.V]++
+	}
+	for i := 0; i < b.n; i++ {
+		g.offsets[i+1] = g.offsets[i] + deg[i]
+	}
+	g.adj = make([]int32, 2*len(merged))
+	if b.weighted {
+		g.weights = make([]float64, 2*len(merged))
+	}
+	cursor := make([]int32, b.n)
+	copy(cursor, g.offsets[:b.n])
+	for _, e := range merged {
+		g.adj[cursor[e.U]] = e.V
+		g.adj[cursor[e.V]] = e.U
+		if b.weighted {
+			g.weights[cursor[e.U]] = e.Weight
+			g.weights[cursor[e.V]] = e.Weight
+		}
+		cursor[e.U]++
+		cursor[e.V]++
+		g.totalW += e.Weight
+	}
+	if !b.weighted {
+		g.totalW = float64(len(merged))
+	}
+	b.edges = nil
+	return g, nil
+}
+
+// FromEdges is a convenience constructor for tests and examples: it builds
+// an unweighted undirected graph on n nodes from the given edge pairs.
+func FromEdges(n int, edges [][2]int32) (*Undirected, error) {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	return b.Freeze()
+}
+
+// MustFromEdges is FromEdges that panics on error; for tests only.
+func MustFromEdges(n int, edges [][2]int32) *Undirected {
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,165 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDirectedBasics(t *testing.T) {
+	// 0 -> 1 -> 2, 0 -> 2
+	g := MustFromDirectedEdges(3, [][2]int32{{0, 1}, {1, 2}, {0, 2}})
+	if g.NumNodes() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+	if g.OutDegree(0) != 2 || g.InDegree(0) != 0 {
+		t.Fatalf("node 0: out=%d in=%d", g.OutDegree(0), g.InDegree(0))
+	}
+	if g.OutDegree(2) != 0 || g.InDegree(2) != 2 {
+		t.Fatalf("node 2: out=%d in=%d", g.OutDegree(2), g.InDegree(2))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestDirectedAntiparallelKept(t *testing.T) {
+	g := MustFromDirectedEdges(2, [][2]int32{{0, 1}, {1, 0}})
+	if g.NumEdges() != 2 {
+		t.Fatalf("antiparallel edges: m=%d, want 2", g.NumEdges())
+	}
+}
+
+func TestDirectedParallelMerged(t *testing.T) {
+	g := MustFromDirectedEdges(2, [][2]int32{{0, 1}, {0, 1}, {0, 1}})
+	if g.NumEdges() != 1 {
+		t.Fatalf("m=%d, want 1", g.NumEdges())
+	}
+}
+
+func TestDirectedBuilderErrors(t *testing.T) {
+	b := NewDirectedBuilder(2)
+	if err := b.AddEdge(0, 0); !errors.Is(err, ErrSelfLoop) {
+		t.Fatalf("self loop: %v", err)
+	}
+	if err := b.AddEdge(0, 5); !errors.Is(err, ErrNodeRange) {
+		t.Fatalf("range: %v", err)
+	}
+	if _, err := b.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(0, 1); err == nil {
+		t.Fatal("AddEdge after Freeze: want error")
+	}
+	if _, err := b.Freeze(); err == nil {
+		t.Fatal("double Freeze: want error")
+	}
+}
+
+func TestDirectedSubgraphDensity(t *testing.T) {
+	// Complete bipartite-ish: {0,1} -> {2,3,4} fully.
+	var edges [][2]int32
+	for _, u := range []int32{0, 1} {
+		for _, v := range []int32{2, 3, 4} {
+			edges = append(edges, [2]int32{u, v})
+		}
+	}
+	g := MustFromDirectedEdges(5, edges)
+	d, err := g.SubgraphDensity([]int32{0, 1}, []int32{2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 6.0 / math.Sqrt(2*3)
+	if math.Abs(d-want) > 1e-12 {
+		t.Fatalf("density = %v, want %v", d, want)
+	}
+	// S and T may overlap.
+	d, err = g.SubgraphDensity([]int32{0, 1, 2}, []int32{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = 4.0 / math.Sqrt(3*2) // edges (0,2),(0,3),(1,2),(1,3)
+	if math.Abs(d-want) > 1e-12 {
+		t.Fatalf("overlap density = %v, want %v", d, want)
+	}
+	if d, _ := g.SubgraphDensity(nil, []int32{0}); d != 0 {
+		t.Fatalf("empty S density = %v", d)
+	}
+	if _, err := g.SubgraphDensity([]int32{9}, []int32{0}); !errors.Is(err, ErrNodeRange) {
+		t.Fatalf("range: %v", err)
+	}
+	if _, err := g.SubgraphDensity([]int32{0}, []int32{9}); !errors.Is(err, ErrNodeRange) {
+		t.Fatalf("range: %v", err)
+	}
+}
+
+func TestDirectedEdgesIteration(t *testing.T) {
+	g := MustFromDirectedEdges(3, [][2]int32{{0, 1}, {1, 2}, {2, 0}})
+	var count int
+	g.Edges(func(u, v int32) bool { count++; return true })
+	if count != 3 {
+		t.Fatalf("iterated %d edges", count)
+	}
+	count = 0
+	g.Edges(func(u, v int32) bool { count++; return false })
+	if count != 1 {
+		t.Fatalf("early stop iterated %d", count)
+	}
+}
+
+// Property: sum of out degrees == sum of in degrees == m; Validate holds.
+func TestDirectedDegreeSumProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		b := NewDirectedBuilder(n)
+		for i := 0; i < 4*n; i++ {
+			u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+			if u != v {
+				if err := b.AddEdge(u, v); err != nil {
+					return false
+				}
+			}
+		}
+		g, err := b.Freeze()
+		if err != nil {
+			return false
+		}
+		var out, in int64
+		for u := int32(0); int(u) < n; u++ {
+			out += int64(g.OutDegree(u))
+			in += int64(g.InDegree(u))
+		}
+		return out == g.NumEdges() && in == g.NumEdges() && g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ρ(V,V) computed by SubgraphDensity equals Density().
+func TestDirectedFullDensityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(15)
+		b := NewDirectedBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+			if u != v {
+				_ = b.AddEdge(u, v)
+			}
+		}
+		g, _ := b.Freeze()
+		all := make([]int32, n)
+		for i := range all {
+			all[i] = int32(i)
+		}
+		d, err := g.SubgraphDensity(all, all)
+		return err == nil && math.Abs(d-g.Density()) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,293 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func triangle(t *testing.T) *Undirected {
+	t.Helper()
+	return MustFromEdges(3, [][2]int32{{0, 1}, {1, 2}, {0, 2}})
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g, err := NewBuilder(0).Freeze()
+	if err != nil {
+		t.Fatalf("Freeze: %v", err)
+	}
+	if g.NumNodes() != 0 || g.NumEdges() != 0 {
+		t.Fatalf("got n=%d m=%d, want 0,0", g.NumNodes(), g.NumEdges())
+	}
+	if d := g.Density(); d != 0 {
+		t.Fatalf("empty density = %v, want 0", d)
+	}
+}
+
+func TestNodesNoEdges(t *testing.T) {
+	g, err := NewBuilder(5).Freeze()
+	if err != nil {
+		t.Fatalf("Freeze: %v", err)
+	}
+	if g.NumNodes() != 5 || g.NumEdges() != 0 {
+		t.Fatalf("got n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+	for u := int32(0); u < 5; u++ {
+		if g.Degree(u) != 0 {
+			t.Fatalf("degree(%d) = %d, want 0", u, g.Degree(u))
+		}
+	}
+}
+
+func TestTriangleBasics(t *testing.T) {
+	g := triangle(t)
+	if g.NumNodes() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("triangle: n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+	for u := int32(0); u < 3; u++ {
+		if g.Degree(u) != 2 {
+			t.Fatalf("degree(%d) = %d, want 2", u, g.Degree(u))
+		}
+	}
+	if d := g.Density(); d != 1.0 {
+		t.Fatalf("triangle density = %v, want 1", d)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestParallelEdgesMerged(t *testing.T) {
+	b := NewBuilder(2)
+	for i := 0; i < 5; i++ {
+		if err := b.AddEdge(0, 1); err != nil {
+			t.Fatalf("AddEdge: %v", err)
+		}
+	}
+	g, err := b.Freeze()
+	if err != nil {
+		t.Fatalf("Freeze: %v", err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("parallel edges merged to %d, want 1", g.NumEdges())
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 1 {
+		t.Fatalf("degrees %d,%d want 1,1", g.Degree(0), g.Degree(1))
+	}
+}
+
+func TestWeightedParallelEdgesSumWeights(t *testing.T) {
+	b := NewBuilder(2)
+	if err := b.AddWeightedEdge(0, 1, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddWeightedEdge(1, 0, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("m = %d, want 1", g.NumEdges())
+	}
+	if w := g.TotalWeight(); w != 4.0 {
+		t.Fatalf("total weight = %v, want 4", w)
+	}
+	if wd := g.WeightedDegree(0); wd != 4.0 {
+		t.Fatalf("weighted degree = %v, want 4", wd)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder(3)
+	if err := b.AddEdge(0, 0); !errors.Is(err, ErrSelfLoop) {
+		t.Fatalf("self loop: got %v", err)
+	}
+	if err := b.AddEdge(-1, 1); !errors.Is(err, ErrNodeRange) {
+		t.Fatalf("negative id: got %v", err)
+	}
+	if err := b.AddEdge(0, 3); !errors.Is(err, ErrNodeRange) {
+		t.Fatalf("out of range: got %v", err)
+	}
+	if err := b.AddWeightedEdge(0, 1, -1); !errors.Is(err, ErrBadWeight) {
+		t.Fatalf("negative weight: got %v", err)
+	}
+	if err := b.AddWeightedEdge(0, 1, math.NaN()); !errors.Is(err, ErrBadWeight) {
+		t.Fatalf("NaN weight: got %v", err)
+	}
+	if err := b.AddWeightedEdge(0, 1, math.Inf(1)); !errors.Is(err, ErrBadWeight) {
+		t.Fatalf("Inf weight: got %v", err)
+	}
+	if _, err := b.Freeze(); err != nil {
+		t.Fatalf("Freeze: %v", err)
+	}
+	if err := b.AddEdge(0, 1); err == nil {
+		t.Fatal("AddEdge after Freeze: want error")
+	}
+	if _, err := b.Freeze(); err == nil {
+		t.Fatal("double Freeze: want error")
+	}
+}
+
+func TestSubgraphDensity(t *testing.T) {
+	// Clique K4 plus a pendant node.
+	g := MustFromEdges(5, [][2]int32{
+		{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}, {3, 4},
+	})
+	tests := []struct {
+		name string
+		s    []int32
+		want float64
+	}{
+		{"whole", []int32{0, 1, 2, 3, 4}, 7.0 / 5.0},
+		{"clique", []int32{0, 1, 2, 3}, 6.0 / 4.0},
+		{"pair", []int32{3, 4}, 0.5},
+		{"single", []int32{4}, 0},
+		{"empty", nil, 0},
+	}
+	for _, tc := range tests {
+		got, err := g.SubgraphDensity(tc.s)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: density = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	if _, err := g.SubgraphDensity([]int32{99}); !errors.Is(err, ErrNodeRange) {
+		t.Fatalf("out of range subset: got %v", err)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := MustFromEdges(5, [][2]int32{
+		{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}, {3, 4},
+	})
+	sub, mapping, err := g.InducedSubgraph([]int32{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumNodes() != 4 || sub.NumEdges() != 6 {
+		t.Fatalf("induced K4: n=%d m=%d", sub.NumNodes(), sub.NumEdges())
+	}
+	if len(mapping) != 4 || mapping[0] != 0 || mapping[3] != 3 {
+		t.Fatalf("mapping = %v", mapping)
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if sub.Weighted() {
+		t.Fatal("induced subgraph of an unweighted graph must be unweighted")
+	}
+	wb := NewBuilder(3)
+	_ = wb.AddWeightedEdge(0, 1, 2.5)
+	_ = wb.AddWeightedEdge(1, 2, 1.5)
+	wg, _ := wb.Freeze()
+	wsub, _, err := wg.InducedSubgraph([]int32{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wsub.Weighted() || wsub.TotalWeight() != 2.5 {
+		t.Fatalf("weighted induced subgraph: weighted=%v total=%v", wsub.Weighted(), wsub.TotalWeight())
+	}
+	if _, _, err := g.InducedSubgraph([]int32{0, 0}); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate subset: got %v", err)
+	}
+	if _, _, err := g.InducedSubgraph([]int32{77}); !errors.Is(err, ErrNodeRange) {
+		t.Fatalf("range subset: got %v", err)
+	}
+}
+
+func TestEdgesIterationAndEarlyStop(t *testing.T) {
+	g := triangle(t)
+	var count int
+	g.Edges(func(u, v int32, w float64) bool {
+		if u >= v {
+			t.Fatalf("Edges emitted u=%d >= v=%d", u, v)
+		}
+		if w != 1.0 {
+			t.Fatalf("unweighted edge weight %v", w)
+		}
+		count++
+		return true
+	})
+	if count != 3 {
+		t.Fatalf("iterated %d edges, want 3", count)
+	}
+	count = 0
+	g.Edges(func(u, v int32, w float64) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Fatalf("early stop iterated %d, want 1", count)
+	}
+}
+
+func TestEdgeList(t *testing.T) {
+	g := triangle(t)
+	el := g.EdgeList()
+	if len(el) != 3 {
+		t.Fatalf("EdgeList len %d", len(el))
+	}
+}
+
+// Property: for any random graph, sum of degrees == 2m and Validate passes.
+func TestDegreeSumProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		b := NewBuilder(n)
+		added := rng.Intn(3 * n)
+		for i := 0; i < added; i++ {
+			u := int32(rng.Intn(n))
+			v := int32(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			if err := b.AddEdge(u, v); err != nil {
+				return false
+			}
+		}
+		g, err := b.Freeze()
+		if err != nil {
+			return false
+		}
+		var degSum int64
+		for u := int32(0); int(u) < n; u++ {
+			degSum += int64(g.Degree(u))
+		}
+		return degSum == 2*g.NumEdges() && g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: density of the full node set equals Density().
+func TestFullSubsetDensityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		b := NewBuilder(n)
+		for i := 0; i < n*2; i++ {
+			u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+			if u != v {
+				_ = b.AddEdge(u, v)
+			}
+		}
+		g, _ := b.Freeze()
+		all := make([]int32, n)
+		for i := range all {
+			all[i] = int32(i)
+		}
+		d, err := g.SubgraphDensity(all)
+		return err == nil && math.Abs(d-g.Density()) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

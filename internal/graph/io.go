@@ -1,0 +1,196 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Edge-list text format, compatible with SNAP dumps:
+//
+//	# comment
+//	<src> <dst> [weight]
+//
+// Node labels are arbitrary non-negative integers or strings; they are
+// remapped to dense ids in first-seen order. Lines may be separated by
+// spaces or tabs.
+
+// LabelMap records the mapping between external node labels and the dense
+// internal ids produced by the parsers.
+type LabelMap struct {
+	toID   map[string]int32
+	labels []string
+}
+
+// NewLabelMap returns an empty label map.
+func NewLabelMap() *LabelMap {
+	return &LabelMap{toID: make(map[string]int32)}
+}
+
+// ID interns label and returns its dense id.
+func (lm *LabelMap) ID(label string) int32 {
+	if id, ok := lm.toID[label]; ok {
+		return id
+	}
+	id := int32(len(lm.labels))
+	lm.toID[label] = id
+	lm.labels = append(lm.labels, label)
+	return id
+}
+
+// Lookup returns the id of label without interning it.
+func (lm *LabelMap) Lookup(label string) (int32, bool) {
+	id, ok := lm.toID[label]
+	return id, ok
+}
+
+// Label returns the external label of dense id.
+func (lm *LabelMap) Label(id int32) string { return lm.labels[id] }
+
+// Len returns the number of interned labels.
+func (lm *LabelMap) Len() int { return len(lm.labels) }
+
+// ParseError describes a malformed line in an edge-list input.
+type ParseError struct {
+	Line int
+	Text string
+	Err  error
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("graph: line %d %q: %v", e.Line, e.Text, e.Err)
+}
+
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// scanEdges parses the text edge-list format and calls emit once per edge
+// line. Self loops are skipped (with no error) because real SNAP dumps
+// contain them and the densest-subgraph model ignores them.
+func scanEdges(r io.Reader, weighted bool, emit func(u, v int32, w float64) error) (*LabelMap, error) {
+	lm := NewLabelMap()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, &ParseError{Line: lineNo, Text: line, Err: fmt.Errorf("want at least 2 fields, got %d", len(fields))}
+		}
+		w := 1.0
+		if weighted && len(fields) >= 3 {
+			var err error
+			w, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, &ParseError{Line: lineNo, Text: line, Err: fmt.Errorf("bad weight: %v", err)}
+			}
+			if w <= 0 {
+				return nil, &ParseError{Line: lineNo, Text: line, Err: ErrBadWeight}
+			}
+		}
+		if fields[0] == fields[1] {
+			continue // self loop: ignored by the density model
+		}
+		u := lm.ID(fields[0])
+		v := lm.ID(fields[1])
+		if err := emit(u, v, w); err != nil {
+			return nil, &ParseError{Line: lineNo, Text: line, Err: err}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	return lm, nil
+}
+
+// ReadUndirected parses an undirected edge list. If weighted is true a
+// third column is interpreted as the edge weight.
+func ReadUndirected(r io.Reader, weighted bool) (*Undirected, *LabelMap, error) {
+	var edges []Edge
+	lm, err := scanEdges(r, weighted, func(u, v int32, w float64) error {
+		edges = append(edges, Edge{U: u, V: v, Weight: w})
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	b := NewBuilder(lm.Len())
+	for _, e := range edges {
+		var err error
+		if weighted {
+			err = b.AddWeightedEdge(e.U, e.V, e.Weight)
+		} else {
+			err = b.AddEdge(e.U, e.V)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	g, err := b.Freeze()
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, lm, nil
+}
+
+// ReadDirected parses a directed edge list (src dst per line).
+func ReadDirected(r io.Reader) (*Directed, *LabelMap, error) {
+	var edges [][2]int32
+	lm, err := scanEdges(r, false, func(u, v int32, _ float64) error {
+		edges = append(edges, [2]int32{u, v})
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	b := NewDirectedBuilder(lm.Len())
+	for _, e := range edges {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			return nil, nil, err
+		}
+	}
+	g, err := b.Freeze()
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, lm, nil
+}
+
+// WriteUndirected emits the graph in the text edge-list format (one "u v"
+// or "u v w" line per edge, u < v) using dense ids as labels.
+func WriteUndirected(w io.Writer, g *Undirected) error {
+	bw := bufio.NewWriter(w)
+	var werr error
+	g.Edges(func(u, v int32, wt float64) bool {
+		if g.Weighted() {
+			_, werr = fmt.Fprintf(bw, "%d\t%d\t%g\n", u, v, wt)
+		} else {
+			_, werr = fmt.Fprintf(bw, "%d\t%d\n", u, v)
+		}
+		return werr == nil
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
+// WriteDirected emits the directed graph in the text edge-list format.
+func WriteDirected(w io.Writer, g *Directed) error {
+	bw := bufio.NewWriter(w)
+	var werr error
+	g.Edges(func(u, v int32) bool {
+		_, werr = fmt.Fprintf(bw, "%d\t%d\n", u, v)
+		return werr == nil
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,74 @@
+package graph
+
+import "sort"
+
+// Stats summarizes basic structural parameters of a graph; used by the
+// dataset table (Table 1) and by the experiment harness.
+type Stats struct {
+	Nodes     int
+	Edges     int64
+	MinDegree int
+	MaxDegree int
+	AvgDegree float64
+	Density   float64 // ρ(V) = |E|/|V|
+}
+
+// UndirectedStats computes Stats for an undirected graph.
+func UndirectedStats(g *Undirected) Stats {
+	s := Stats{Nodes: g.NumNodes(), Edges: g.NumEdges(), Density: g.Density()}
+	if s.Nodes == 0 {
+		return s
+	}
+	s.MinDegree = g.Degree(0)
+	for u := int32(0); int(u) < g.NumNodes(); u++ {
+		d := g.Degree(u)
+		if d < s.MinDegree {
+			s.MinDegree = d
+		}
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+	}
+	s.AvgDegree = 2 * float64(g.NumEdges()) / float64(g.NumNodes())
+	return s
+}
+
+// DirectedStats computes Stats for a directed graph; degrees are total
+// (in + out).
+func DirectedStats(g *Directed) Stats {
+	s := Stats{Nodes: g.NumNodes(), Edges: g.NumEdges(), Density: g.Density()}
+	if s.Nodes == 0 {
+		return s
+	}
+	s.MinDegree = g.OutDegree(0) + g.InDegree(0)
+	for u := int32(0); int(u) < g.NumNodes(); u++ {
+		d := g.OutDegree(u) + g.InDegree(u)
+		if d < s.MinDegree {
+			s.MinDegree = d
+		}
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+	}
+	s.AvgDegree = float64(g.NumEdges()) / float64(g.NumNodes())
+	return s
+}
+
+// DegreeHistogram returns the sorted distinct degrees and their counts for
+// an undirected graph. Used to sanity check generator skew in tests.
+func DegreeHistogram(g *Undirected) (degrees []int, counts []int) {
+	hist := make(map[int]int)
+	for u := int32(0); int(u) < g.NumNodes(); u++ {
+		hist[g.Degree(u)]++
+	}
+	degrees = make([]int, 0, len(hist))
+	for d := range hist {
+		degrees = append(degrees, d)
+	}
+	sort.Ints(degrees)
+	counts = make([]int, len(degrees))
+	for i, d := range degrees {
+		counts[i] = hist[d]
+	}
+	return degrees, counts
+}

@@ -1,0 +1,141 @@
+package mapreduce
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"densestream/internal/graph"
+)
+
+// AtLeastK runs Algorithm 2 (densest subgraph with at least k nodes) as
+// MapReduce rounds: one degree job per pass, then the driver selects the
+// ⌊ε/(1+ε)·|S|⌋ lowest-degree below-threshold nodes and removes them
+// with the two marker-join filter jobs. Results match core.AtLeastK
+// exactly.
+func AtLeastK(g *graph.Undirected, k int, eps float64, cfg Config) (*MRResult, error) {
+	if eps < 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return nil, fmt.Errorf("mapreduce: epsilon must be a finite value >= 0, got %v", eps)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, graph.ErrEmptyGraph
+	}
+	if g.Weighted() {
+		return nil, fmt.Errorf("mapreduce: AtLeastK needs an unweighted graph")
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("mapreduce: k=%d out of range [1,%d]", k, n)
+	}
+
+	edges := make([]Pair[int32, int32], 0, g.NumEdges())
+	g.Edges(func(u, v int32, _ float64) bool {
+		edges = append(edges, Pair[int32, int32]{Key: u, Value: v})
+		return true
+	})
+
+	alive := make([]bool, n)
+	for u := range alive {
+		alive[u] = true
+	}
+	removedAt := make([]int, n)
+	nodes := n
+
+	bestPass := 0
+	bestDensity := -1.0
+	var rounds []RoundStat
+	threshold := 2 * (1 + eps)
+	frac := eps / (1 + eps)
+	pass := 0
+	type cand struct {
+		u   int32
+		deg int32
+	}
+	var candidates []cand
+	for nodes >= k {
+		pass++
+		roundStart := time.Now()
+		var shuffle int64
+
+		degPairs, st, err := degreeJob(cfg, edges, true)
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: pass %d degree job: %w", pass, err)
+		}
+		shuffle += st.ShuffleRecords
+
+		numEdges := int64(len(edges))
+		rho := float64(numEdges) / float64(nodes)
+		if rho > bestDensity {
+			bestDensity = rho
+			bestPass = pass
+		}
+		cut := threshold * rho
+
+		deg := make(map[int32]int32, len(degPairs))
+		for _, p := range degPairs {
+			deg[p.Key] = p.Value
+		}
+		candidates = candidates[:0]
+		for u := 0; u < n; u++ {
+			if alive[u] && float64(deg[int32(u)]) <= cut {
+				candidates = append(candidates, cand{u: int32(u), deg: deg[int32(u)]})
+			}
+		}
+		if len(candidates) == 0 {
+			return nil, fmt.Errorf("mapreduce: pass %d found no candidates", pass)
+		}
+		quota := int(frac * float64(nodes))
+		if quota < 1 {
+			quota = 1
+		}
+		if quota > len(candidates) {
+			quota = len(candidates)
+		}
+		sort.Slice(candidates, func(i, j int) bool {
+			if candidates[i].deg != candidates[j].deg {
+				return candidates[i].deg < candidates[j].deg
+			}
+			return candidates[i].u < candidates[j].u
+		})
+		var markers []Pair[int32, int32]
+		for _, c := range candidates[:quota] {
+			markers = append(markers, Pair[int32, int32]{Key: c.u, Value: mark})
+			alive[c.u] = false
+			removedAt[c.u] = pass
+		}
+
+		in := append(append([]Pair[int32, int32]{}, edges...), markers...)
+		half, st2, err := filterJob(cfg, in, true)
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: pass %d filter 1: %w", pass, err)
+		}
+		shuffle += st2.ShuffleRecords
+		half = append(half, markers...)
+		edges, st, err = filterJob(cfg, half, false)
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: pass %d filter 2: %w", pass, err)
+		}
+		shuffle += st.ShuffleRecords
+
+		rounds = append(rounds, RoundStat{
+			Pass: pass, Nodes: nodes, Edges: numEdges, Density: rho,
+			Removed: quota, Wall: time.Since(roundStart), Shuffle: shuffle,
+		})
+		nodes -= quota
+	}
+	if bestPass == 0 {
+		return nil, fmt.Errorf("mapreduce: no intermediate subgraph of size >= %d", k)
+	}
+
+	var set []int32
+	for u, p := range removedAt {
+		if p == 0 || p >= bestPass {
+			set = append(set, int32(u))
+		}
+	}
+	return &MRResult{Set: set, Density: bestDensity, Passes: pass, Rounds: rounds}, nil
+}

@@ -1,0 +1,155 @@
+package mapreduce
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Combiner folds the values of one key within a single mapper's output
+// before the shuffle — Hadoop's classic optimization for aggregations.
+// It must be semantically idempotent with the reducer: reduce(combine
+// partitions) == reduce(everything).
+type Combiner[K comparable, V any] func(key K, values []V) V
+
+// RunCombined is Run with a per-mapper combiner applied to each output
+// bucket before the shuffle, cutting ShuffleRecords for aggregation jobs
+// (like degree counting) from O(edges) to O(distinct nodes per mapper).
+func RunCombined[K1 comparable, V1 any, K2 comparable, V2 any, V3 any](
+	cfg Config,
+	input []Pair[K1, V1],
+	mapFn Mapper[K1, V1, K2, V2],
+	combineFn Combiner[K2, V2],
+	reduceFn Reducer[K2, V2, V3],
+	partition func(K2) uint64,
+) ([]Pair[K2, V3], Stats, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	if mapFn == nil || combineFn == nil || reduceFn == nil || partition == nil {
+		return nil, Stats{}, fmt.Errorf("mapreduce: nil map, combine, reduce, or partition function")
+	}
+	stats := Stats{InputRecords: int64(len(input))}
+	numM, numR := cfg.Mappers, cfg.Reducers
+
+	mapStart := time.Now()
+	buckets := make([][][]Pair[K2, V2], numM)
+	var wg sync.WaitGroup
+	shard := (len(input) + numM - 1) / numM
+	for m := 0; m < numM; m++ {
+		lo := m * shard
+		hi := lo + shard
+		if lo > len(input) {
+			lo = len(input)
+		}
+		if hi > len(input) {
+			hi = len(input)
+		}
+		buckets[m] = make([][]Pair[K2, V2], numR)
+		wg.Add(1)
+		go func(m, lo, hi int) {
+			defer wg.Done()
+			// Combine incrementally: group this mapper's emissions by key,
+			// then emit one combined record per (key, bucket).
+			groups := make(map[K2][]V2)
+			emit := func(k K2, v V2) {
+				groups[k] = append(groups[k], v)
+			}
+			for _, rec := range input[lo:hi] {
+				mapFn(rec.Key, rec.Value, emit)
+			}
+			local := buckets[m]
+			for k, vs := range groups {
+				r := int(partition(k) % uint64(numR))
+				local[r] = append(local[r], Pair[K2, V2]{Key: k, Value: combineFn(k, vs)})
+			}
+		}(m, lo, hi)
+	}
+	wg.Wait()
+	stats.MapWall = time.Since(mapStart)
+
+	reduceStart := time.Now()
+	outputs := make([][]Pair[K2, V3], numR)
+	var shuffleCount int64
+	var shuffleMu sync.Mutex
+	for r := 0; r < numR; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			groups := make(map[K2][]V2)
+			var local int64
+			for m := 0; m < numM; m++ {
+				for _, kv := range buckets[m][r] {
+					groups[kv.Key] = append(groups[kv.Key], kv.Value)
+					local++
+				}
+			}
+			shuffleMu.Lock()
+			shuffleCount += local
+			shuffleMu.Unlock()
+			emit := func(k K2, v V3) {
+				outputs[r] = append(outputs[r], Pair[K2, V3]{Key: k, Value: v})
+			}
+			for k, vs := range groups {
+				reduceFn(k, vs, emit)
+			}
+		}(r)
+	}
+	wg.Wait()
+	stats.ShuffleRecords = shuffleCount
+	stats.ReduceWall = time.Since(reduceStart)
+
+	var out []Pair[K2, V3]
+	for r := 0; r < numR; r++ {
+		out = append(out, outputs[r]...)
+	}
+	stats.OutputRecords = int64(len(out))
+	return out, stats, nil
+}
+
+// DegreeJobStats runs the degree job over a whole graph's edge set, with
+// or without the combiner, and returns the job statistics; used by the
+// A4 ablation to quantify the combiner's shuffle savings.
+func DegreeJobStats(g interface {
+	NumEdges() int64
+	Edges(func(u, v int32, w float64) bool)
+}, combined bool) (Stats, error) {
+	edges := make([]Pair[int32, int32], 0, g.NumEdges())
+	g.Edges(func(u, v int32, _ float64) bool {
+		edges = append(edges, Pair[int32, int32]{Key: u, Value: v})
+		return true
+	})
+	if combined {
+		_, stats, err := degreeJobCombined(DefaultConfig, edges, true)
+		return stats, err
+	}
+	_, stats, err := degreeJob(DefaultConfig, edges, true)
+	return stats, err
+}
+
+// degreeJobCombined is degreeJob with partial counting in the mappers:
+// each mapper ships one (node, partialDegree) record per distinct node
+// instead of one record per edge endpoint.
+func degreeJobCombined(cfg Config, edges []Pair[int32, int32], bothEnds bool) ([]Pair[int32, int32], Stats, error) {
+	mapFn := func(u int32, v int32, emit func(int32, int32)) {
+		emit(u, 1)
+		if bothEnds {
+			emit(v, 1)
+		}
+	}
+	combineFn := func(_ int32, counts []int32) int32 {
+		var total int32
+		for _, c := range counts {
+			total += c
+		}
+		return total
+	}
+	reduceFn := func(u int32, partials []int32, emit func(int32, int32)) {
+		var total int32
+		for _, p := range partials {
+			total += p
+		}
+		emit(u, total)
+	}
+	return RunCombined(cfg, edges, mapFn, combineFn, reduceFn, PartitionInt32)
+}

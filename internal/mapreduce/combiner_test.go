@@ -1,0 +1,98 @@
+package mapreduce
+
+import (
+	"testing"
+	"testing/quick"
+
+	"densestream/internal/gen"
+)
+
+func TestRunCombinedValidation(t *testing.T) {
+	id := func(k int32, v int32, emit func(int32, int32)) { emit(k, v) }
+	comb := func(k int32, vs []int32) int32 { return int32(len(vs)) }
+	red := func(k int32, vs []int32, emit func(int32, int32)) { emit(k, 0) }
+	if _, _, err := RunCombined(Config{}, nil, id, comb, red, PartitionInt32); err == nil {
+		t.Fatal("bad config accepted")
+	}
+	if _, _, err := RunCombined[int32, int32, int32, int32, int32](DefaultConfig, nil, id, nil, red, PartitionInt32); err == nil {
+		t.Fatal("nil combiner accepted")
+	}
+}
+
+func TestDegreeJobCombinedMatchesPlain(t *testing.T) {
+	g, err := gen.Gnm(80, 300, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var edges []Pair[int32, int32]
+	g.Edges(func(u, v int32, _ float64) bool {
+		edges = append(edges, Pair[int32, int32]{Key: u, Value: v})
+		return true
+	})
+	plain, plainStats, err := degreeJob(DefaultConfig, edges, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined, combStats, err := degreeJobCombined(DefaultConfig, edges, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd := make(map[int32]int32)
+	for _, p := range plain {
+		pd[p.Key] = p.Value
+	}
+	cd := make(map[int32]int32)
+	for _, p := range combined {
+		cd[p.Key] = p.Value
+	}
+	if len(pd) != len(cd) {
+		t.Fatalf("key counts differ: %d vs %d", len(pd), len(cd))
+	}
+	for k, v := range pd {
+		if cd[k] != v {
+			t.Fatalf("degree(%d): plain %d, combined %d", k, v, cd[k])
+		}
+	}
+	// The combiner must shrink the shuffle: without it, shuffle records
+	// equal 2·|E|; with it, at most mappers × distinct nodes.
+	if combStats.ShuffleRecords >= plainStats.ShuffleRecords {
+		t.Fatalf("combiner did not reduce shuffle: %d vs %d",
+			combStats.ShuffleRecords, plainStats.ShuffleRecords)
+	}
+}
+
+// Property: combined and plain degree jobs agree on any random graph.
+func TestDegreeJobCombinedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g, err := gen.Gnm(30, 90, seed)
+		if err != nil {
+			return false
+		}
+		var edges []Pair[int32, int32]
+		g.Edges(func(u, v int32, _ float64) bool {
+			edges = append(edges, Pair[int32, int32]{Key: u, Value: v})
+			return true
+		})
+		plain, _, err := degreeJob(Config{Mappers: 3, Reducers: 2}, edges, true)
+		if err != nil {
+			return false
+		}
+		combined, _, err := degreeJobCombined(Config{Mappers: 3, Reducers: 2}, edges, true)
+		if err != nil {
+			return false
+		}
+		pd := make(map[int32]int32)
+		for _, p := range plain {
+			pd[p.Key] = p.Value
+		}
+		for _, p := range combined {
+			if pd[p.Key] != p.Value {
+				return false
+			}
+		}
+		return len(plain) == len(combined)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

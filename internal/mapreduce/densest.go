@@ -1,0 +1,196 @@
+package mapreduce
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"densestream/internal/core"
+	"densestream/internal/graph"
+	"densestream/internal/stream"
+)
+
+// mark is the paper's '$' tombstone: a value that cannot be a node id.
+const mark int32 = -1
+
+// RoundStat records one pass of the MapReduce peeling driver: the state
+// of the distributed edge set as scanned at the start of the round, plus
+// the cost of the round's jobs (the Figure 6.7 series).
+type RoundStat struct {
+	Pass    int
+	Nodes   int
+	Edges   int64
+	Density float64
+	Removed int
+	Wall    time.Duration // wall-clock of the round's MR jobs
+	Shuffle int64         // records crossing map→reduce in this round
+}
+
+// MRResult is the output of the MapReduce drivers.
+type MRResult struct {
+	Set     []int32
+	Density float64
+	Passes  int
+	Rounds  []RoundStat
+}
+
+// degreeJob computes (node, degree) from an edge dataset, duplicating
+// each edge into both orientations exactly as §5.2 prescribes.
+func degreeJob(cfg Config, edges []Pair[int32, int32], bothEnds bool) ([]Pair[int32, int32], Stats, error) {
+	mapFn := func(u int32, v int32, emit func(int32, int32)) {
+		emit(u, v)
+		if bothEnds {
+			emit(v, u)
+		}
+	}
+	reduceFn := func(u int32, neighbors []int32, emit func(int32, int32)) {
+		emit(u, int32(len(neighbors)))
+	}
+	return Run(cfg, edges, mapFn, reduceFn, PartitionInt32)
+}
+
+// filterJob drops every edge whose key endpoint is marked, implementing
+// one of the two marker-join passes of §5.2. Input records are edges
+// (key=pivot endpoint, value=other endpoint) plus (node, $) markers; the
+// output pivots each surviving edge on its other endpoint when flip is
+// set, chaining directly into the second filter pass.
+func filterJob(cfg Config, records []Pair[int32, int32], flip bool) ([]Pair[int32, int32], Stats, error) {
+	mapFn := func(k int32, v int32, emit func(int32, int32)) {
+		emit(k, v)
+	}
+	reduceFn := func(k int32, values []int32, emit func(int32, int32)) {
+		for _, v := range values {
+			if v == mark {
+				return // node k was removed: drop all of its edges
+			}
+		}
+		for _, v := range values {
+			if flip {
+				emit(v, k)
+			} else {
+				emit(k, v)
+			}
+		}
+	}
+	return Run(cfg, records, mapFn, reduceFn, PartitionInt32)
+}
+
+// Undirected runs Algorithm 1 as a sequence of MapReduce rounds, exactly
+// following §5.2: per pass, one degree job, then two marker-join filter
+// jobs that delete the below-threshold nodes and their incident edges.
+// The driver itself keeps only O(n) state (the alive set), playing the
+// role of the cluster coordinator.
+//
+// The result is identical to stream.Undirected with an exact counter
+// (and therefore to core.Undirected); tests assert exact agreement.
+func Undirected(g *graph.Undirected, eps float64, cfg Config) (*MRResult, error) {
+	if eps < 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return nil, fmt.Errorf("mapreduce: epsilon must be a finite value >= 0, got %v", eps)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, graph.ErrEmptyGraph
+	}
+	if g.Weighted() {
+		return nil, fmt.Errorf("mapreduce: Undirected needs an unweighted graph")
+	}
+
+	// The distributed edge dataset.
+	edges := make([]Pair[int32, int32], 0, g.NumEdges())
+	g.Edges(func(u, v int32, _ float64) bool {
+		edges = append(edges, Pair[int32, int32]{Key: u, Value: v})
+		return true
+	})
+
+	alive := make([]bool, n)
+	for u := range alive {
+		alive[u] = true
+	}
+	removedAt := make([]int, n)
+	nodes := n
+
+	bestPass := 0
+	bestDensity := -1.0
+	var rounds []RoundStat
+	threshold := 2 * (1 + eps)
+	pass := 0
+	for nodes > 0 {
+		pass++
+		roundStart := time.Now()
+		var shuffle int64
+
+		// Job 1: degrees of the surviving subgraph.
+		degPairs, st, err := degreeJob(cfg, edges, true)
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: pass %d degree job: %w", pass, err)
+		}
+		shuffle += st.ShuffleRecords
+
+		numEdges := int64(len(edges))
+		rho := float64(numEdges) / float64(nodes)
+		if rho > bestDensity {
+			bestDensity = rho
+			bestPass = pass
+		}
+		cut := threshold * rho
+
+		// Decide removals: nodes with degree <= cut. Isolated alive nodes
+		// have no degree record and count as degree 0.
+		deg := make(map[int32]int32, len(degPairs))
+		for _, p := range degPairs {
+			deg[p.Key] = p.Value
+		}
+		var markers []Pair[int32, int32]
+		removed := 0
+		for u := 0; u < n; u++ {
+			if alive[u] && float64(deg[int32(u)]) <= cut {
+				markers = append(markers, Pair[int32, int32]{Key: int32(u), Value: mark})
+				alive[u] = false
+				removedAt[u] = pass
+				removed++
+			}
+		}
+		if removed == 0 {
+			return nil, fmt.Errorf("mapreduce: pass %d removed no nodes (ρ=%v)", pass, rho)
+		}
+
+		// Jobs 2+3: drop edges incident on marked nodes, pivoting on the
+		// first and then the second endpoint.
+		in := append(append([]Pair[int32, int32]{}, edges...), markers...)
+		half, st2, err := filterJob(cfg, in, true)
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: pass %d filter 1: %w", pass, err)
+		}
+		shuffle += st2.ShuffleRecords
+		half = append(half, markers...)
+		edges, st, err = filterJob(cfg, half, false)
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: pass %d filter 2: %w", pass, err)
+		}
+		shuffle += st.ShuffleRecords
+
+		rounds = append(rounds, RoundStat{
+			Pass: pass, Nodes: nodes, Edges: numEdges, Density: rho,
+			Removed: removed, Wall: time.Since(roundStart), Shuffle: shuffle,
+		})
+		nodes -= removed
+	}
+
+	var set []int32
+	for u, p := range removedAt {
+		if p == 0 || p >= bestPass {
+			set = append(set, int32(u))
+		}
+	}
+	return &MRResult{Set: set, Density: bestDensity, Passes: pass, Rounds: rounds}, nil
+}
+
+// StreamEquivalent re-runs the same algorithm through the streaming
+// peeler; exported for tests and the experiment harness to cross-check
+// MR results.
+func StreamEquivalent(g *graph.Undirected, eps float64) (*core.Result, error) {
+	return stream.Undirected(stream.FromUndirected(g), eps, stream.NewExactCounter(g.NumNodes()))
+}

@@ -1,0 +1,181 @@
+package mapreduce
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"densestream/internal/graph"
+)
+
+// DirectedRoundStat records one pass of the directed MR driver.
+type DirectedRoundStat struct {
+	Pass       int
+	SizeS      int
+	SizeT      int
+	Edges      int64
+	Density    float64
+	Removed    int
+	PeeledSide byte
+	Wall       time.Duration
+	Shuffle    int64
+}
+
+// MRDirectedResult is the output of the directed MapReduce driver.
+type MRDirectedResult struct {
+	S, T    []int32
+	Density float64
+	Passes  int
+	Rounds  []DirectedRoundStat
+}
+
+// Directed runs Algorithm 3 as MapReduce rounds for a fixed ratio c. The
+// distributed edge dataset always contains exactly E(S, T); per pass one
+// degree job computes out-degrees (peeling S) or in-degrees (peeling T),
+// and one marker-join filter deletes the removed side's edges. The result
+// matches core.Directed exactly.
+func Directed(g *graph.Directed, c, eps float64, cfg Config) (*MRDirectedResult, error) {
+	if eps < 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return nil, fmt.Errorf("mapreduce: epsilon must be a finite value >= 0, got %v", eps)
+	}
+	if c <= 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+		return nil, fmt.Errorf("mapreduce: c must be a finite value > 0, got %v", c)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, graph.ErrEmptyGraph
+	}
+
+	// Edge dataset: key = source (in S), value = destination (in T).
+	edges := make([]Pair[int32, int32], 0, g.NumEdges())
+	g.Edges(func(u, v int32) bool {
+		edges = append(edges, Pair[int32, int32]{Key: u, Value: v})
+		return true
+	})
+
+	aliveS := make([]bool, n)
+	aliveT := make([]bool, n)
+	for u := 0; u < n; u++ {
+		aliveS[u] = true
+		aliveT[u] = true
+	}
+	removedAtS := make([]int, n)
+	removedAtT := make([]int, n)
+	sizeS, sizeT := n, n
+
+	bestPass := 0
+	bestDensity := -1.0
+	var rounds []DirectedRoundStat
+	pass := 0
+	for sizeS > 0 && sizeT > 0 {
+		pass++
+		roundStart := time.Now()
+		var shuffle int64
+
+		numEdges := int64(len(edges))
+		rho := float64(numEdges) / math.Sqrt(float64(sizeS)*float64(sizeT))
+		if rho > bestDensity {
+			bestDensity = rho
+			bestPass = pass
+		}
+
+		peelS := float64(sizeS) >= c*float64(sizeT)
+		stat := DirectedRoundStat{Pass: pass, Edges: numEdges, Density: rho}
+
+		// Degree job keyed on the side being peeled.
+		var degInput []Pair[int32, int32]
+		if peelS {
+			degInput = edges
+		} else {
+			degInput = make([]Pair[int32, int32], len(edges))
+			for i, e := range edges {
+				degInput[i] = Pair[int32, int32]{Key: e.Value, Value: e.Key}
+			}
+		}
+		degPairs, st, err := degreeJob(cfg, degInput, false)
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: directed pass %d degree job: %w", pass, err)
+		}
+		shuffle += st.ShuffleRecords
+		deg := make(map[int32]int32, len(degPairs))
+		for _, p := range degPairs {
+			deg[p.Key] = p.Value
+		}
+
+		var markers []Pair[int32, int32]
+		if peelS {
+			cut := (1 + eps) * float64(numEdges) / float64(sizeS)
+			for u := 0; u < n; u++ {
+				if aliveS[u] && float64(deg[int32(u)]) <= cut {
+					markers = append(markers, Pair[int32, int32]{Key: int32(u), Value: mark})
+					aliveS[u] = false
+					removedAtS[u] = pass
+					stat.Removed++
+				}
+			}
+			sizeS -= stat.Removed
+			stat.PeeledSide = 'S'
+		} else {
+			cut := (1 + eps) * float64(numEdges) / float64(sizeT)
+			for v := 0; v < n; v++ {
+				if aliveT[v] && float64(deg[int32(v)]) <= cut {
+					markers = append(markers, Pair[int32, int32]{Key: int32(v), Value: mark})
+					aliveT[v] = false
+					removedAtT[v] = pass
+					stat.Removed++
+				}
+			}
+			sizeT -= stat.Removed
+			stat.PeeledSide = 'T'
+		}
+		if stat.Removed == 0 {
+			return nil, fmt.Errorf("mapreduce: directed pass %d removed no nodes", pass)
+		}
+
+		// One filter join drops the removed side's edges. The dataset is
+		// keyed by the peeled side for the join, then restored to
+		// source-keyed orientation.
+		join := make([]Pair[int32, int32], 0, len(edges)+len(markers))
+		if peelS {
+			join = append(join, edges...)
+		} else {
+			for _, e := range edges {
+				join = append(join, Pair[int32, int32]{Key: e.Value, Value: e.Key})
+			}
+		}
+		join = append(join, markers...)
+		filtered, st2, err := filterJob(cfg, join, false)
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: directed pass %d filter: %w", pass, err)
+		}
+		shuffle += st2.ShuffleRecords
+		if peelS {
+			edges = filtered
+		} else {
+			edges = edges[:0]
+			for _, e := range filtered {
+				edges = append(edges, Pair[int32, int32]{Key: e.Value, Value: e.Key})
+			}
+		}
+
+		stat.SizeS = sizeS
+		stat.SizeT = sizeT
+		stat.Wall = time.Since(roundStart)
+		stat.Shuffle = shuffle
+		rounds = append(rounds, stat)
+	}
+
+	var setS, setT []int32
+	for u := 0; u < n; u++ {
+		if removedAtS[u] == 0 || removedAtS[u] >= bestPass {
+			setS = append(setS, int32(u))
+		}
+		if removedAtT[u] == 0 || removedAtT[u] >= bestPass {
+			setT = append(setT, int32(u))
+		}
+	}
+	return &MRDirectedResult{S: setS, T: setT, Density: bestDensity, Passes: pass, Rounds: rounds}, nil
+}

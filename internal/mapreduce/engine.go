@@ -1,0 +1,154 @@
+// Package mapreduce is a single-process MapReduce runtime with true
+// worker parallelism, used to realize §5.2 of the paper: the peeling
+// algorithms depend only on computing degrees, computing the density,
+// and removing marked nodes — all of which are a handful of map and
+// reduce rounds.
+//
+// The engine is deliberately faithful to the model rather than optimized
+// around it: mappers see disjoint input shards, all communication goes
+// through a hash-partitioned shuffle, and reducers see each key with all
+// of its values. Per-round wall-clock and shuffle volumes are reported so
+// the Figure 6.7 experiment (time per pass) can be reproduced in shape.
+package mapreduce
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Pair is one key-value record flowing through a job.
+type Pair[K comparable, V any] struct {
+	Key   K
+	Value V
+}
+
+// Mapper transforms one input record into any number of intermediate
+// records via emit.
+type Mapper[K1 comparable, V1 any, K2 comparable, V2 any] func(key K1, value V1, emit func(K2, V2))
+
+// Reducer folds all values of one intermediate key into any number of
+// output records via emit.
+type Reducer[K comparable, V any, V2 any] func(key K, values []V, emit func(K, V2))
+
+// Config controls the simulated cluster shape.
+type Config struct {
+	Mappers  int // number of concurrent map workers (input shards)
+	Reducers int // number of concurrent reduce workers (partitions)
+}
+
+// DefaultConfig is a small cluster suitable for tests and laptops.
+var DefaultConfig = Config{Mappers: 8, Reducers: 8}
+
+func (c Config) validate() error {
+	if c.Mappers < 1 || c.Reducers < 1 {
+		return fmt.Errorf("mapreduce: config needs >= 1 mapper and reducer, got %+v", c)
+	}
+	return nil
+}
+
+// Stats reports the work one job performed.
+type Stats struct {
+	InputRecords   int64
+	ShuffleRecords int64 // records crossing the map→reduce boundary
+	OutputRecords  int64
+	MapWall        time.Duration
+	ReduceWall     time.Duration
+}
+
+// Run executes one MapReduce job over the input records. partition maps an
+// intermediate key to a reducer; it must be deterministic.
+func Run[K1 comparable, V1 any, K2 comparable, V2 any, V3 any](
+	cfg Config,
+	input []Pair[K1, V1],
+	mapFn Mapper[K1, V1, K2, V2],
+	reduceFn Reducer[K2, V2, V3],
+	partition func(K2) uint64,
+) ([]Pair[K2, V3], Stats, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	if mapFn == nil || reduceFn == nil || partition == nil {
+		return nil, Stats{}, fmt.Errorf("mapreduce: nil map, reduce, or partition function")
+	}
+	stats := Stats{InputRecords: int64(len(input))}
+	numM, numR := cfg.Mappers, cfg.Reducers
+
+	// Map phase: each worker owns a contiguous shard and a private set of
+	// per-reducer output buckets, so no locking is needed until merge.
+	mapStart := time.Now()
+	buckets := make([][][]Pair[K2, V2], numM)
+	var wg sync.WaitGroup
+	shard := (len(input) + numM - 1) / numM
+	for m := 0; m < numM; m++ {
+		lo := m * shard
+		hi := lo + shard
+		if lo > len(input) {
+			lo = len(input)
+		}
+		if hi > len(input) {
+			hi = len(input)
+		}
+		buckets[m] = make([][]Pair[K2, V2], numR)
+		wg.Add(1)
+		go func(m, lo, hi int) {
+			defer wg.Done()
+			local := buckets[m]
+			emit := func(k K2, v V2) {
+				r := int(partition(k) % uint64(numR))
+				local[r] = append(local[r], Pair[K2, V2]{Key: k, Value: v})
+			}
+			for _, rec := range input[lo:hi] {
+				mapFn(rec.Key, rec.Value, emit)
+			}
+		}(m, lo, hi)
+	}
+	wg.Wait()
+	stats.MapWall = time.Since(mapStart)
+
+	// Shuffle + reduce phase: each reduce worker groups its partition by
+	// key and folds it.
+	reduceStart := time.Now()
+	outputs := make([][]Pair[K2, V3], numR)
+	var shuffleCount int64
+	var shuffleMu sync.Mutex
+	for r := 0; r < numR; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			groups := make(map[K2][]V2)
+			var local int64
+			for m := 0; m < numM; m++ {
+				for _, kv := range buckets[m][r] {
+					groups[kv.Key] = append(groups[kv.Key], kv.Value)
+					local++
+				}
+			}
+			shuffleMu.Lock()
+			shuffleCount += local
+			shuffleMu.Unlock()
+			emit := func(k K2, v V3) {
+				outputs[r] = append(outputs[r], Pair[K2, V3]{Key: k, Value: v})
+			}
+			for k, vs := range groups {
+				reduceFn(k, vs, emit)
+			}
+		}(r)
+	}
+	wg.Wait()
+	stats.ShuffleRecords = shuffleCount
+	stats.ReduceWall = time.Since(reduceStart)
+
+	var out []Pair[K2, V3]
+	for r := 0; r < numR; r++ {
+		out = append(out, outputs[r]...)
+	}
+	stats.OutputRecords = int64(len(out))
+	return out, stats, nil
+}
+
+// PartitionInt32 is the standard partitioner for int32 node-id keys
+// (Fibonacci hashing so adjacent ids spread across reducers).
+func PartitionInt32(k int32) uint64 {
+	return (uint64(uint32(k)) * 0x9e3779b97f4a7c15) >> 13
+}

@@ -1,0 +1,30 @@
+package sketch
+
+// DegreeCounter adapts a CountSketch to the stream.DegreeCounter
+// interface so the §5.1 heuristic plugs directly into the streaming
+// peelers: Add counts one incident edge, Estimate answers the median
+// degree estimate.
+type DegreeCounter struct {
+	cs *CountSketch
+}
+
+// NewDegreeCounter wraps a fresh Count-Sketch with the given shape.
+func NewDegreeCounter(tables, buckets int, seed int64) (*DegreeCounter, error) {
+	cs, err := New(tables, buckets, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &DegreeCounter{cs: cs}, nil
+}
+
+// Reset implements stream.DegreeCounter.
+func (d *DegreeCounter) Reset() { d.cs.Reset() }
+
+// Add implements stream.DegreeCounter.
+func (d *DegreeCounter) Add(u int32) { d.cs.Update(u, 1) }
+
+// Estimate implements stream.DegreeCounter.
+func (d *DegreeCounter) Estimate(u int32) int64 { return d.cs.Estimate(u) }
+
+// MemoryWords implements stream.DegreeCounter.
+func (d *DegreeCounter) MemoryWords() int { return d.cs.MemoryWords() }

@@ -1,0 +1,128 @@
+// Package sketch implements the Count-Sketch frequency estimator of
+// Charikar, Chen and Farach-Colton, used by §5.1 of the paper to replace
+// the O(n) exact degree array of the streaming peeler with O(t·b)
+// counters.
+//
+// The sketch keeps t independent hash tables of b counters. Item x maps
+// to bucket h_i(x) with sign g_i(x) ∈ {±1} in table i; the estimate is
+// the median of {c[i][h_i(x)]·g_i(x)}. High-degree nodes are estimated
+// accurately — exactly the nodes whose premature removal would hurt the
+// peeling algorithm — while errors on low-degree nodes are benign.
+package sketch
+
+import "fmt"
+
+// CountSketch is a t×b Count-Sketch over int32 item ids.
+type CountSketch struct {
+	tables  int
+	buckets int
+	counts  [][]int64
+	// Per-table hash parameters (multiply-shift over splitmix64-derived
+	// constants; odd multipliers).
+	bucketMul []uint64
+	signMul   []uint64
+}
+
+// New creates a Count-Sketch with the given number of tables (t) and
+// buckets per table (b). Hash functions are derived deterministically
+// from seed.
+func New(tables, buckets int, seed int64) (*CountSketch, error) {
+	if tables < 1 || tables > 64 {
+		return nil, fmt.Errorf("sketch: tables=%d out of range [1,64]", tables)
+	}
+	if buckets < 2 {
+		return nil, fmt.Errorf("sketch: buckets=%d, need >= 2", buckets)
+	}
+	cs := &CountSketch{
+		tables:    tables,
+		buckets:   buckets,
+		counts:    make([][]int64, tables),
+		bucketMul: make([]uint64, tables),
+		signMul:   make([]uint64, tables),
+	}
+	state := uint64(seed)
+	for i := 0; i < tables; i++ {
+		cs.counts[i] = make([]int64, buckets)
+		cs.bucketMul[i] = splitmix64(&state) | 1
+		cs.signMul[i] = splitmix64(&state) | 1
+	}
+	return cs, nil
+}
+
+// splitmix64 is the SplitMix64 generator; a tiny, well-mixed PRNG for
+// deriving hash constants.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (cs *CountSketch) bucket(table int, x int32) int {
+	h := cs.bucketMul[table] * (uint64(uint32(x)) + 0x9e3779b97f4a7c15)
+	h ^= h >> 33
+	return int(h % uint64(cs.buckets))
+}
+
+func (cs *CountSketch) sign(table int, x int32) int64 {
+	h := cs.signMul[table] * (uint64(uint32(x)) + 0xda942042e4dd58b5)
+	h ^= h >> 29
+	if h&1 == 0 {
+		return 1
+	}
+	return -1
+}
+
+// Update adds delta to item x's frequency.
+func (cs *CountSketch) Update(x int32, delta int64) {
+	for i := 0; i < cs.tables; i++ {
+		cs.counts[i][cs.bucket(i, x)] += delta * cs.sign(i, x)
+	}
+}
+
+// Estimate returns the median estimate of item x's frequency. It is
+// allocation-free: the per-table estimates live in a stack buffer
+// (tables is capped at 64) and are ordered by insertion sort, which
+// beats sort.Slice at these sizes.
+func (cs *CountSketch) Estimate(x int32) int64 {
+	var buf [64]int64
+	ests := buf[:cs.tables]
+	for i := 0; i < cs.tables; i++ {
+		ests[i] = cs.counts[i][cs.bucket(i, x)] * cs.sign(i, x)
+	}
+	for i := 1; i < len(ests); i++ {
+		v := ests[i]
+		j := i - 1
+		for j >= 0 && ests[j] > v {
+			ests[j+1] = ests[j]
+			j--
+		}
+		ests[j+1] = v
+	}
+	mid := cs.tables / 2
+	if cs.tables%2 == 1 {
+		return ests[mid]
+	}
+	return (ests[mid-1] + ests[mid]) / 2
+}
+
+// Reset zeroes all counters, keeping the hash functions.
+func (cs *CountSketch) Reset() {
+	for i := range cs.counts {
+		row := cs.counts[i]
+		for j := range row {
+			row[j] = 0
+		}
+	}
+}
+
+// MemoryWords returns the number of 64-bit counter words (t·b), the
+// quantity Table 4 compares against the n-word exact array.
+func (cs *CountSketch) MemoryWords() int { return cs.tables * cs.buckets }
+
+// Tables returns t.
+func (cs *CountSketch) Tables() int { return cs.tables }
+
+// Buckets returns b.
+func (cs *CountSketch) Buckets() int { return cs.buckets }

@@ -1,0 +1,136 @@
+package stream
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"densestream/internal/core"
+	"densestream/internal/graph"
+)
+
+// AtLeastK runs Algorithm 2 against an edge stream with O(n) node state:
+// per pass the scan computes induced degrees, then only the
+// ⌊ε/(1+ε)·|S|⌋ lowest-degree below-threshold candidates are removed, so
+// one intermediate subgraph lands near the requested size k. With an
+// ExactCounter the result matches core.AtLeastK exactly.
+func AtLeastK(es EdgeStream, k int, eps float64, counter DegreeCounter) (*core.Result, error) {
+	if eps < 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return nil, fmt.Errorf("stream: epsilon must be a finite value >= 0, got %v", eps)
+	}
+	if counter == nil {
+		return nil, fmt.Errorf("stream: nil degree counter")
+	}
+	n := es.NumNodes()
+	if n == 0 {
+		return nil, graph.ErrEmptyGraph
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("stream: k=%d out of range [1,%d]", k, n)
+	}
+
+	alive := make([]bool, n)
+	for u := range alive {
+		alive[u] = true
+	}
+	removedAt := make([]int, n)
+	nodes := n
+
+	bestPass := 0
+	bestDensity := -1.0
+	var trace []core.PassStat
+
+	threshold := 2 * (1 + eps)
+	frac := eps / (1 + eps)
+	pass := 0
+	type cand struct {
+		u   int32
+		deg int64
+	}
+	var candidates []cand
+	for nodes >= k {
+		pass++
+		counter.Reset()
+		if err := es.Reset(); err != nil {
+			return nil, fmt.Errorf("stream: pass %d: %w", pass, err)
+		}
+		var edges int64
+		for {
+			e, err := es.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, fmt.Errorf("stream: pass %d: %w", pass, err)
+			}
+			if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
+				return nil, fmt.Errorf("%w: edge (%d,%d) with n=%d", graph.ErrNodeRange, e.U, e.V, n)
+			}
+			if alive[e.U] && alive[e.V] {
+				counter.Add(e.U)
+				counter.Add(e.V)
+				edges++
+			}
+		}
+		rho := float64(edges) / float64(nodes)
+		if rho > bestDensity {
+			bestDensity = rho
+			bestPass = pass
+		}
+		cut := threshold * rho
+		candidates = candidates[:0]
+		for u := 0; u < n; u++ {
+			if alive[u] {
+				if d := counter.Estimate(int32(u)); float64(d) <= cut {
+					candidates = append(candidates, cand{u: int32(u), deg: d})
+				}
+			}
+		}
+		quota := int(frac * float64(nodes))
+		if quota < 1 {
+			quota = 1
+		}
+		if quota > len(candidates) {
+			quota = len(candidates)
+		}
+		if quota == 0 {
+			// Sketch noise pushed every candidate above the cut; fall back
+			// to the lowest estimates among all alive nodes.
+			for u := 0; u < n; u++ {
+				if alive[u] {
+					candidates = append(candidates, cand{u: int32(u), deg: counter.Estimate(int32(u))})
+				}
+			}
+			quota = int(frac * float64(nodes))
+			if quota < 1 {
+				quota = 1
+			}
+		}
+		sort.Slice(candidates, func(i, j int) bool {
+			if candidates[i].deg != candidates[j].deg {
+				return candidates[i].deg < candidates[j].deg
+			}
+			return candidates[i].u < candidates[j].u
+		})
+		for _, c := range candidates[:quota] {
+			alive[c.u] = false
+			removedAt[c.u] = pass
+		}
+		trace = append(trace, core.PassStat{
+			Pass: pass, Nodes: nodes, Edges: edges, Density: rho, Removed: quota,
+		})
+		nodes -= quota
+	}
+	if bestPass == 0 {
+		return nil, fmt.Errorf("stream: no intermediate subgraph of size >= %d", k)
+	}
+
+	var set []int32
+	for u, p := range removedAt {
+		if p == 0 || p >= bestPass {
+			set = append(set, int32(u))
+		}
+	}
+	return &core.Result{Set: set, Density: bestDensity, Passes: pass, Trace: trace}, nil
+}

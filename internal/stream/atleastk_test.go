@@ -1,0 +1,79 @@
+package stream
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"densestream/internal/core"
+	"densestream/internal/gen"
+	"densestream/internal/graph"
+)
+
+func TestStreamingAtLeastKMatchesInMemory(t *testing.T) {
+	f := func(seed int64) bool {
+		g, err := gen.Gnm(50, 180, seed)
+		if err != nil {
+			return false
+		}
+		for _, k := range []int{1, 10, 25} {
+			for _, eps := range []float64{0.3, 1} {
+				ref, err := core.AtLeastK(g, k, eps)
+				if err != nil {
+					return false
+				}
+				got, err := AtLeastK(FromUndirected(g), k, eps, NewExactCounter(g.NumNodes()))
+				if err != nil {
+					return false
+				}
+				if math.Abs(ref.Density-got.Density) > 1e-9 || ref.Passes != got.Passes {
+					return false
+				}
+				if !sameSet(ref.Set, got.Set) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamingAtLeastKValidation(t *testing.T) {
+	s, _ := NewSliceStream(3, []Edge{{0, 1}})
+	if _, err := AtLeastK(s, 0, 0.5, NewExactCounter(3)); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := AtLeastK(s, 4, 0.5, NewExactCounter(3)); err == nil {
+		t.Fatal("k > n accepted")
+	}
+	if _, err := AtLeastK(s, 1, -1, NewExactCounter(3)); err == nil {
+		t.Fatal("negative eps accepted")
+	}
+	if _, err := AtLeastK(s, 1, 0.5, nil); err == nil {
+		t.Fatal("nil counter accepted")
+	}
+	empty, _ := NewSliceStream(0, nil)
+	if _, err := AtLeastK(empty, 1, 0.5, NewExactCounter(0)); !errors.Is(err, graph.ErrEmptyGraph) {
+		t.Fatalf("empty: %v", err)
+	}
+}
+
+func TestStreamingAtLeastKSizeGuarantee(t *testing.T) {
+	g, err := gen.ChungLu(500, 2000, 2.2, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{5, 50, 200} {
+		r, err := AtLeastK(FromUndirected(g), k, 0.5, NewExactCounter(g.NumNodes()))
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if len(r.Set) < k {
+			t.Fatalf("k=%d: |set| = %d", k, len(r.Set))
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package stream
+
+// DegreeCounter accumulates per-node incident-edge counts during one pass
+// of a streaming peeler and answers degree queries afterwards. The exact
+// implementation uses an O(n) array, which is the paper's baseline; the
+// Count-Sketch implementation in internal/sketch satisfies the same
+// interface with O(t·b) words (§5.1).
+type DegreeCounter interface {
+	// Reset clears all counters for a new pass.
+	Reset()
+	// Add counts one edge incident on node u.
+	Add(u int32)
+	// Estimate returns the (possibly approximate) count for node u.
+	Estimate(u int32) int64
+	// MemoryWords reports the number of 64-bit words of state, used by
+	// the Table 4 memory-ratio experiment.
+	MemoryWords() int
+}
+
+// ExactCounter is the exact O(n) degree array.
+type ExactCounter struct {
+	counts []int64
+}
+
+// NewExactCounter returns an exact counter for n nodes.
+func NewExactCounter(n int) *ExactCounter {
+	return &ExactCounter{counts: make([]int64, n)}
+}
+
+// Reset implements DegreeCounter.
+func (c *ExactCounter) Reset() {
+	for i := range c.counts {
+		c.counts[i] = 0
+	}
+}
+
+// Add implements DegreeCounter.
+func (c *ExactCounter) Add(u int32) { c.counts[u]++ }
+
+// Estimate implements DegreeCounter.
+func (c *ExactCounter) Estimate(u int32) int64 { return c.counts[u] }
+
+// MemoryWords implements DegreeCounter.
+func (c *ExactCounter) MemoryWords() int { return len(c.counts) }

@@ -1,0 +1,246 @@
+package stream
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"densestream/internal/core"
+	"densestream/internal/graph"
+)
+
+// Undirected runs Algorithm 1 against an edge stream using only O(n)
+// node state plus the degree counter: one scan per pass computes induced
+// degrees and the edge count of the surviving subgraph, then nodes at or
+// below the 2(1+ε)ρ(S) threshold are dropped.
+//
+// With an ExactCounter the result is identical to core.Undirected on the
+// same graph (the in-memory implementation is the reference; tests assert
+// exact agreement). With a sketch counter the result is the §5.1
+// heuristic. Each Trace entry records the subgraph as scanned at the
+// START of the pass, since a streaming pass cannot know the post-removal
+// edge count until the next scan.
+func Undirected(es EdgeStream, eps float64, counter DegreeCounter) (*core.Result, error) {
+	if eps < 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return nil, fmt.Errorf("stream: epsilon must be a finite value >= 0, got %v", eps)
+	}
+	if counter == nil {
+		return nil, fmt.Errorf("stream: nil degree counter")
+	}
+	n := es.NumNodes()
+	if n == 0 {
+		return nil, graph.ErrEmptyGraph
+	}
+
+	alive := make([]bool, n)
+	for u := range alive {
+		alive[u] = true
+	}
+	removedAt := make([]int, n)
+	nodes := n
+
+	bestPass := 0
+	bestDensity := -1.0
+	var trace []core.PassStat
+
+	threshold := 2 * (1 + eps)
+	pass := 0
+	for nodes > 0 {
+		pass++
+		counter.Reset()
+		if err := es.Reset(); err != nil {
+			return nil, fmt.Errorf("stream: pass %d: %w", pass, err)
+		}
+		var edges int64
+		for {
+			e, err := es.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, fmt.Errorf("stream: pass %d: %w", pass, err)
+			}
+			if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
+				return nil, fmt.Errorf("%w: edge (%d,%d) with n=%d", graph.ErrNodeRange, e.U, e.V, n)
+			}
+			if alive[e.U] && alive[e.V] {
+				counter.Add(e.U)
+				counter.Add(e.V)
+				edges++
+			}
+		}
+		rho := float64(edges) / float64(nodes)
+		// ρ of the current subgraph is the post-removal density of the
+		// previous pass — exactly what Algorithm 1 compares for S̃.
+		if rho > bestDensity {
+			bestDensity = rho
+			bestPass = pass
+		}
+		cut := threshold * rho
+		removed := 0
+		for u := 0; u < n; u++ {
+			if alive[u] && float64(counter.Estimate(int32(u))) <= cut {
+				alive[u] = false
+				removedAt[u] = pass
+				removed++
+			}
+		}
+		if removed == 0 {
+			// Only possible when the counter overestimates every low
+			// degree node past the cut (sketch collision noise; an exact
+			// counter can never get here since min degree ≤ 2ρ). Keep the
+			// geometric pass bound by falling back to the Algorithm 2
+			// rule: drop the ε/(1+ε) fraction (at least one node) with
+			// the smallest estimates.
+			quota := int(eps / (1 + eps) * float64(nodes))
+			if quota < 1 {
+				quota = 1
+			}
+			type est struct {
+				u int32
+				e int64
+			}
+			cand := make([]est, 0, nodes)
+			for u := 0; u < n; u++ {
+				if alive[u] {
+					cand = append(cand, est{u: int32(u), e: counter.Estimate(int32(u))})
+				}
+			}
+			sort.Slice(cand, func(i, j int) bool {
+				if cand[i].e != cand[j].e {
+					return cand[i].e < cand[j].e
+				}
+				return cand[i].u < cand[j].u
+			})
+			for _, c := range cand[:quota] {
+				alive[c.u] = false
+				removedAt[c.u] = pass
+			}
+			removed = quota
+		}
+		trace = append(trace, core.PassStat{
+			Pass: pass, Nodes: nodes, Edges: edges, Density: rho, Removed: removed,
+		})
+		nodes -= removed
+	}
+
+	// Survivors strictly after bestPass removals form S̃ (the set whose
+	// density was measured at the start of bestPass).
+	var set []int32
+	for u, p := range removedAt {
+		if p == 0 || p >= bestPass {
+			set = append(set, int32(u))
+		}
+	}
+	return &core.Result{Set: set, Density: bestDensity, Passes: pass, Trace: trace}, nil
+}
+
+// Directed runs Algorithm 3 against a directed edge stream with O(n)
+// state: two alive sets, out/in degree counters, and |E(S,T)|.
+func Directed(es EdgeStream, c, eps float64, out, in DegreeCounter) (*core.DirectedResult, error) {
+	if eps < 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return nil, fmt.Errorf("stream: epsilon must be a finite value >= 0, got %v", eps)
+	}
+	if c <= 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+		return nil, fmt.Errorf("stream: c must be a finite value > 0, got %v", c)
+	}
+	if out == nil || in == nil {
+		return nil, fmt.Errorf("stream: nil degree counter")
+	}
+	n := es.NumNodes()
+	if n == 0 {
+		return nil, graph.ErrEmptyGraph
+	}
+
+	aliveS := make([]bool, n)
+	aliveT := make([]bool, n)
+	for u := 0; u < n; u++ {
+		aliveS[u] = true
+		aliveT[u] = true
+	}
+	removedAtS := make([]int, n)
+	removedAtT := make([]int, n)
+	sizeS, sizeT := n, n
+
+	bestPass := 0
+	bestDensity := -1.0
+	var trace []core.DirectedPassStat
+
+	pass := 0
+	for sizeS > 0 && sizeT > 0 {
+		pass++
+		out.Reset()
+		in.Reset()
+		if err := es.Reset(); err != nil {
+			return nil, fmt.Errorf("stream: pass %d: %w", pass, err)
+		}
+		var edges int64
+		for {
+			e, err := es.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, fmt.Errorf("stream: pass %d: %w", pass, err)
+			}
+			if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
+				return nil, fmt.Errorf("%w: edge (%d,%d) with n=%d", graph.ErrNodeRange, e.U, e.V, n)
+			}
+			if aliveS[e.U] && aliveT[e.V] {
+				out.Add(e.U)
+				in.Add(e.V)
+				edges++
+			}
+		}
+		rho := float64(edges) / math.Sqrt(float64(sizeS)*float64(sizeT))
+		if rho > bestDensity {
+			bestDensity = rho
+			bestPass = pass
+		}
+		stat := core.DirectedPassStat{Pass: pass, Edges: edges, Density: rho}
+		if float64(sizeS) >= c*float64(sizeT) {
+			cut := (1 + eps) * float64(edges) / float64(sizeS)
+			for u := 0; u < n; u++ {
+				if aliveS[u] && float64(out.Estimate(int32(u))) <= cut {
+					aliveS[u] = false
+					removedAtS[u] = pass
+					stat.RemovedS++
+				}
+			}
+			if stat.RemovedS == 0 {
+				return nil, fmt.Errorf("stream: directed pass %d removed no S nodes", pass)
+			}
+			sizeS -= stat.RemovedS
+			stat.PeeledSide = 'S'
+		} else {
+			cut := (1 + eps) * float64(edges) / float64(sizeT)
+			for v := 0; v < n; v++ {
+				if aliveT[v] && float64(in.Estimate(int32(v))) <= cut {
+					aliveT[v] = false
+					removedAtT[v] = pass
+					stat.RemovedT++
+				}
+			}
+			if stat.RemovedT == 0 {
+				return nil, fmt.Errorf("stream: directed pass %d removed no T nodes", pass)
+			}
+			sizeT -= stat.RemovedT
+			stat.PeeledSide = 'T'
+		}
+		stat.SizeS = sizeS
+		stat.SizeT = sizeT
+		trace = append(trace, stat)
+	}
+
+	var setS, setT []int32
+	for u := 0; u < n; u++ {
+		if removedAtS[u] == 0 || removedAtS[u] >= bestPass {
+			setS = append(setS, int32(u))
+		}
+		if removedAtT[u] == 0 || removedAtT[u] >= bestPass {
+			setT = append(setT, int32(u))
+		}
+	}
+	return &core.DirectedResult{S: setS, T: setT, Density: bestDensity, Passes: pass, Trace: trace}, nil
+}

@@ -1,0 +1,125 @@
+// Package stream implements the semi-streaming model of the paper: node
+// state fits in memory (O(n) words) while edges live on an external
+// stream that can only be re-scanned pass by pass.
+//
+// EdgeStream abstracts the edge source; implementations cover in-memory
+// slices (tests, benchmarks), frozen graphs, and edge-list files on disk
+// (true external streaming). The peelers in this package implement
+// Algorithms 1 and 3 strictly against this interface: they never hold
+// more than O(n) state and re-stream all edges once per pass, so their
+// pass counts are exactly the paper's pass complexity.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"densestream/internal/graph"
+)
+
+// Edge is one streamed edge. For undirected streams the order of U and V
+// is arbitrary; for directed streams the edge points U → V.
+type Edge struct {
+	U, V int32
+}
+
+// EdgeStream is a re-scannable stream of edges over nodes 0..NumNodes()-1.
+// A full scan is: Reset, then Next until io.EOF.
+type EdgeStream interface {
+	// NumNodes returns the number of nodes (known ahead of time in the
+	// semi-streaming model).
+	NumNodes() int
+	// Reset rewinds the stream for a new pass.
+	Reset() error
+	// Next returns the next edge of the current pass, or io.EOF.
+	Next() (Edge, error)
+}
+
+// SliceStream streams a fixed slice of edges. It implements EdgeStream.
+type SliceStream struct {
+	n     int
+	edges []Edge
+	pos   int
+}
+
+// NewSliceStream returns a stream over the given edges on n nodes.
+func NewSliceStream(n int, edges []Edge) (*SliceStream, error) {
+	for _, e := range edges {
+		if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
+			return nil, fmt.Errorf("%w: edge (%d,%d) with n=%d", graph.ErrNodeRange, e.U, e.V, n)
+		}
+		if e.U == e.V {
+			return nil, fmt.Errorf("%w: node %d", graph.ErrSelfLoop, e.U)
+		}
+	}
+	return &SliceStream{n: n, edges: edges}, nil
+}
+
+// NumNodes implements EdgeStream.
+func (s *SliceStream) NumNodes() int { return s.n }
+
+// Reset implements EdgeStream.
+func (s *SliceStream) Reset() error { s.pos = 0; return nil }
+
+// Next implements EdgeStream.
+func (s *SliceStream) Next() (Edge, error) {
+	if s.pos >= len(s.edges) {
+		return Edge{}, io.EOF
+	}
+	e := s.edges[s.pos]
+	s.pos++
+	return e, nil
+}
+
+// FromUndirected adapts a frozen undirected graph into a stream that
+// yields each edge once.
+func FromUndirected(g *graph.Undirected) *SliceStream {
+	edges := make([]Edge, 0, g.NumEdges())
+	g.Edges(func(u, v int32, _ float64) bool {
+		edges = append(edges, Edge{U: u, V: v})
+		return true
+	})
+	return &SliceStream{n: g.NumNodes(), edges: edges}
+}
+
+// FromDirected adapts a frozen directed graph into a stream of directed
+// edges.
+func FromDirected(g *graph.Directed) *SliceStream {
+	edges := make([]Edge, 0, g.NumEdges())
+	g.Edges(func(u, v int32) bool {
+		edges = append(edges, Edge{U: u, V: v})
+		return true
+	})
+	return &SliceStream{n: g.NumNodes(), edges: edges}
+}
+
+// ErrInjected is the failure produced by FaultStream, for tests that
+// exercise mid-pass stream failures.
+var ErrInjected = errors.New("stream: injected failure")
+
+// FaultStream wraps an EdgeStream and fails after FailAfter successful
+// Next calls (counted across passes). FailAfter < 0 disables the fault.
+type FaultStream struct {
+	Inner     EdgeStream
+	FailAfter int
+	served    int
+}
+
+// NumNodes implements EdgeStream.
+func (f *FaultStream) NumNodes() int { return f.Inner.NumNodes() }
+
+// Reset implements EdgeStream.
+func (f *FaultStream) Reset() error { return f.Inner.Reset() }
+
+// Next implements EdgeStream.
+func (f *FaultStream) Next() (Edge, error) {
+	if f.FailAfter >= 0 && f.served >= f.FailAfter {
+		return Edge{}, ErrInjected
+	}
+	e, err := f.Inner.Next()
+	if err == nil {
+		f.served++
+	}
+	return e, err
+}

@@ -1,0 +1,116 @@
+package stream
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// WeightedFileStream streams weighted edges from a "u v w" edge-list
+// file, re-reading it every pass. Lines without a third column default to
+// weight 1, so unweighted files work too.
+type WeightedFileStream struct {
+	path string
+	n    int
+	f    *os.File
+	rd   *bufio.Reader
+	line int
+}
+
+// OpenWeightedFileStream opens path, determines the node count with one
+// scan, and positions the stream for the first pass.
+func OpenWeightedFileStream(path string) (*WeightedFileStream, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("stream: %w", err)
+	}
+	ws := &WeightedFileStream{path: path, f: f, rd: bufio.NewReaderSize(f, 1<<16)}
+	maxID := int32(-1)
+	for {
+		e, err := ws.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		if e.U > maxID {
+			maxID = e.U
+		}
+		if e.V > maxID {
+			maxID = e.V
+		}
+	}
+	ws.n = int(maxID + 1)
+	if err := ws.Reset(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return ws, nil
+}
+
+// NumNodes implements WeightedEdgeStream.
+func (ws *WeightedFileStream) NumNodes() int { return ws.n }
+
+// Reset implements WeightedEdgeStream.
+func (ws *WeightedFileStream) Reset() error {
+	if _, err := ws.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("stream: rewinding %s: %w", ws.path, err)
+	}
+	ws.rd.Reset(ws.f)
+	ws.line = 0
+	return nil
+}
+
+// Next implements WeightedEdgeStream.
+func (ws *WeightedFileStream) Next() (WeightedEdge, error) {
+	for {
+		line, err := ws.rd.ReadString('\n')
+		if len(line) == 0 && err != nil {
+			if err == io.EOF {
+				return WeightedEdge{}, io.EOF
+			}
+			return WeightedEdge{}, fmt.Errorf("stream: reading %s: %w", ws.path, err)
+		}
+		ws.line++
+		text := strings.TrimSpace(line)
+		if text == "" || strings.HasPrefix(text, "#") || strings.HasPrefix(text, "%") {
+			if err == io.EOF {
+				return WeightedEdge{}, io.EOF
+			}
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return WeightedEdge{}, fmt.Errorf("stream: %s line %d: want >= 2 fields, got %d", ws.path, ws.line, len(fields))
+		}
+		u, uerr := strconv.ParseInt(fields[0], 10, 32)
+		v, verr := strconv.ParseInt(fields[1], 10, 32)
+		if uerr != nil || verr != nil || u < 0 || v < 0 {
+			return WeightedEdge{}, fmt.Errorf("stream: %s line %d: bad node ids %q %q", ws.path, ws.line, fields[0], fields[1])
+		}
+		w := 1.0
+		if len(fields) >= 3 {
+			var werr error
+			w, werr = strconv.ParseFloat(fields[2], 64)
+			if werr != nil || w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+				return WeightedEdge{}, fmt.Errorf("stream: %s line %d: bad weight %q", ws.path, ws.line, fields[2])
+			}
+		}
+		if u == v {
+			if err == io.EOF {
+				return WeightedEdge{}, io.EOF
+			}
+			continue
+		}
+		return WeightedEdge{U: int32(u), V: int32(v), Weight: w}, nil
+	}
+}
+
+// Close releases the underlying file.
+func (ws *WeightedFileStream) Close() error { return ws.f.Close() }

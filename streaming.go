@@ -1,0 +1,112 @@
+package densestream
+
+import (
+	"densestream/internal/sketch"
+	"densestream/internal/stream"
+)
+
+// EdgeStream is a re-scannable stream of edges: Reset begins a pass, Next
+// yields edges until io.EOF. Implementations include in-memory slices,
+// frozen graphs, and edge-list files on disk.
+type EdgeStream = stream.EdgeStream
+
+// StreamEdge is one streamed edge (directed U→V for directed streams).
+type StreamEdge = stream.Edge
+
+// DegreeCounter accumulates per-node degree counts during a streaming
+// pass; the exact O(n) array and the Count-Sketch both implement it.
+type DegreeCounter = stream.DegreeCounter
+
+// NewSliceStream returns an EdgeStream over an in-memory edge slice.
+func NewSliceStream(n int, edges []StreamEdge) (EdgeStream, error) {
+	return stream.NewSliceStream(n, edges)
+}
+
+// StreamGraph adapts a frozen undirected graph into an EdgeStream.
+func StreamGraph(g *UndirectedGraph) EdgeStream { return stream.FromUndirected(g) }
+
+// StreamDirectedGraph adapts a frozen directed graph into an EdgeStream.
+func StreamDirectedGraph(g *DirectedGraph) EdgeStream { return stream.FromDirected(g) }
+
+// FileStream streams edges from an edge-list file on disk, re-reading it
+// on every pass — true external-memory streaming.
+type FileStream = stream.FileStream
+
+// OpenFileStream opens an edge-list file ("u v" per line, dense integer
+// ids) as an EdgeStream. Close it when done.
+func OpenFileStream(path string) (*FileStream, error) {
+	return stream.OpenFileStream(path)
+}
+
+// Streaming runs Algorithm 1 against an edge stream holding only O(n)
+// node state; results are identical to Undirected on the same graph.
+func Streaming(es EdgeStream, eps float64) (*Result, error) {
+	return stream.Undirected(es, eps, stream.NewExactCounter(es.NumNodes()))
+}
+
+// SketchConfig shapes the Count-Sketch degree oracle of §5.1: Tables
+// independent hash tables (the paper uses 5) of Buckets counters each.
+// Memory is Tables×Buckets words instead of one word per node.
+type SketchConfig struct {
+	Tables  int
+	Buckets int
+	Seed    int64
+}
+
+// StreamingSketched runs Algorithm 1 with Count-Sketch degree estimation
+// instead of the exact degree array, trading a little accuracy for a
+// memory footprint independent of n (§5.1). Returns the result and the
+// counter memory in 64-bit words (for comparison against n).
+func StreamingSketched(es EdgeStream, eps float64, cfg SketchConfig) (*Result, int, error) {
+	dc, err := sketch.NewDegreeCounter(cfg.Tables, cfg.Buckets, cfg.Seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	r, err := stream.Undirected(es, eps, dc)
+	if err != nil {
+		return nil, 0, err
+	}
+	return r, dc.MemoryWords(), nil
+}
+
+// WeightedEdgeStream is a re-scannable stream of weighted edges.
+type WeightedEdgeStream = stream.WeightedEdgeStream
+
+// WeightedStreamEdge is one streamed weighted edge.
+type WeightedStreamEdge = stream.WeightedEdge
+
+// StreamWeightedGraph adapts a frozen (weighted or unweighted) graph into
+// a weighted edge stream.
+func StreamWeightedGraph(g *UndirectedGraph) WeightedEdgeStream {
+	return stream.FromUndirectedWeighted(g)
+}
+
+// WeightedFileStream streams weighted edges ("u v w" lines; weight
+// defaults to 1) from a file on disk, re-reading it every pass.
+type WeightedFileStream = stream.WeightedFileStream
+
+// OpenWeightedFileStream opens a weighted edge-list file as a
+// WeightedEdgeStream. Close it when done.
+func OpenWeightedFileStream(path string) (*WeightedFileStream, error) {
+	return stream.OpenWeightedFileStream(path)
+}
+
+// StreamingWeighted runs the weighted Algorithm 1 against a weighted edge
+// stream with O(n) state; results match UndirectedWeighted on the same
+// graph.
+func StreamingWeighted(es WeightedEdgeStream, eps float64) (*Result, error) {
+	return stream.UndirectedWeighted(es, eps)
+}
+
+// StreamingAtLeastK runs Algorithm 2 against an edge stream holding only
+// O(n) node state; results are identical to AtLeastK on the same graph.
+func StreamingAtLeastK(es EdgeStream, k int, eps float64) (*Result, error) {
+	return stream.AtLeastK(es, k, eps, stream.NewExactCounter(es.NumNodes()))
+}
+
+// StreamingDirected runs Algorithm 3 against a directed edge stream for a
+// fixed ratio c; results are identical to Directed on the same graph.
+func StreamingDirected(es EdgeStream, c, eps float64) (*DirectedResult, error) {
+	n := es.NumNodes()
+	return stream.Directed(es, c, eps, stream.NewExactCounter(n), stream.NewExactCounter(n))
+}
