@@ -1,0 +1,38 @@
+# Build/test entry points mirroring .github/workflows/ci.yml — `make ci`
+# runs locally exactly what CI gates on.
+
+GO ?= go
+
+.PHONY: build test race bench bench-json fmt fmt-check vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race job exercises the parallel peeling engine (internal/par,
+# the sharded core scans, and the striped stream counters).
+race:
+	$(GO) test -race ./internal/...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# Emit BENCH_ci.json (benchmark name -> ns/op) from the bench-smoke run
+# (same pattern as CI's bench-smoke job); CI archives this as the perf
+# data point for the commit.
+bench-json:
+	$(GO) test -bench='BenchmarkTable1|BenchmarkParallelPeel' -benchtime=1x -run='^$$' . | scripts/bench_to_json.sh > BENCH_ci.json
+	@cat BENCH_ci.json
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+ci: build vet fmt-check test race bench-json

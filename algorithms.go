@@ -38,34 +38,36 @@ type GreedyResult = charikar.Result
 // with degree at most 2(1+ε) times the current density and keeps the
 // densest intermediate subgraph. It guarantees ρ(S̃) ≥ ρ*(G)/(2+2ε) and
 // makes O(log_{1+ε} n) passes. eps = 0 reproduces Charikar-quality
-// results with one-pass-per-density-level behavior.
-func Undirected(g *UndirectedGraph, eps float64) (*Result, error) {
-	return core.Undirected(g, eps)
+// results with one-pass-per-density-level behavior. The per-pass scans
+// run on all cores by default; tune with WithWorkers — the result is
+// identical for every worker count.
+func Undirected(g *UndirectedGraph, eps float64, opts ...Option) (*Result, error) {
+	return core.UndirectedOpts(g, eps, applyOptions(opts).coreOpts())
 }
 
 // UndirectedWeighted is Undirected over weighted degrees; it accepts
 // unweighted graphs too (treated as unit weights).
-func UndirectedWeighted(g *UndirectedGraph, eps float64) (*Result, error) {
-	return core.UndirectedWeighted(g, eps)
+func UndirectedWeighted(g *UndirectedGraph, eps float64, opts ...Option) (*Result, error) {
+	return core.UndirectedWeightedOpts(g, eps, applyOptions(opts).coreOpts())
 }
 
 // AtLeastK runs Algorithm 2: the returned subgraph has at least k nodes
 // and density within (3+3ε) of the best subgraph of size ≥ k — within
 // (2+2ε) when the optimal such subgraph has more than k nodes.
-func AtLeastK(g *UndirectedGraph, k int, eps float64) (*Result, error) {
-	return core.AtLeastK(g, k, eps)
+func AtLeastK(g *UndirectedGraph, k int, eps float64, opts ...Option) (*Result, error) {
+	return core.AtLeastKOpts(g, k, eps, applyOptions(opts).coreOpts())
 }
 
 // Directed runs Algorithm 3 for a fixed ratio guess c = |S*|/|T*|,
 // guaranteeing a (2+2ε)-approximation when c is correct.
-func Directed(g *DirectedGraph, c, eps float64) (*DirectedResult, error) {
-	return core.Directed(g, c, eps)
+func Directed(g *DirectedGraph, c, eps float64, opts ...Option) (*DirectedResult, error) {
+	return core.DirectedOpts(g, c, eps, applyOptions(opts).coreOpts())
 }
 
 // DirectedSweep tries c = δ^j for all j covering [1/n, n] and returns the
 // best result; the sweep costs at most a factor δ in approximation.
-func DirectedSweep(g *DirectedGraph, delta, eps float64) (*SweepResult, error) {
-	return core.DirectedSweep(g, delta, eps)
+func DirectedSweep(g *DirectedGraph, delta, eps float64, opts ...Option) (*SweepResult, error) {
+	return core.DirectedSweepOpts(g, delta, eps, applyOptions(opts).coreOpts())
 }
 
 // Exact computes the optimal density ρ*(G) and a witness subgraph using

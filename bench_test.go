@@ -7,6 +7,8 @@ package densestream_test
 // -v to see the regenerated rows.
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	ds "densestream"
@@ -215,6 +217,54 @@ func BenchmarkSketchUpdate(b *testing.B) {
 		if _, _, err := ds.StreamingSketched(dcStream, 1, ds.SketchConfig{Tables: 5, Buckets: 1000, Seed: 1}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// parallelBenchGraph lazily builds the ≥1M-edge graph shared by the
+// worker-sweep benchmarks, so `go test -bench` runs that skip them pay
+// nothing.
+var parallelBenchGraph = sync.OnceValues(func() (*ds.UndirectedGraph, error) {
+	return ds.GenerateChungLu(200000, 1<<20, 2.2, 1)
+})
+
+// BenchmarkParallelPeel sweeps the worker count of the sharded peeling
+// engine on a ~1M-edge power-law graph. Results are bit-identical
+// across the sweep; only wall-clock should move.
+func BenchmarkParallelPeel(b *testing.B) {
+	g, err := parallelBenchGraph()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(g.NumEdges() * 8)
+			for i := 0; i < b.N; i++ {
+				if _, err := ds.Undirected(g, 1, ds.WithWorkers(workers)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelStreamingPeel is the same sweep against the sharded
+// in-memory stream scanner (striped counter lanes, one shard per
+// worker).
+func BenchmarkParallelStreamingPeel(b *testing.B) {
+	g, err := parallelBenchGraph()
+	if err != nil {
+		b.Fatal(err)
+	}
+	es := ds.StreamGraph(g)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(g.NumEdges() * 8)
+			for i := 0; i < b.N; i++ {
+				if _, err := ds.Streaming(es, 1, ds.WithWorkers(workers)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	ds "densestream"
 )
@@ -29,6 +30,7 @@ func main() {
 		k        = flag.Int("k", 0, "minimum subgraph size for -algo atleastk")
 		c        = flag.Float64("c", 1, "side ratio |S|/|T| for directed peel")
 		delta    = flag.Float64("delta", 2, "ratio step for -algo sweep")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "workers for the sharded peeling scans (results are identical for any value)")
 		mappers  = flag.Int("mappers", 8, "simulated mappers for -algo mr")
 		reducers = flag.Int("reducers", 8, "simulated reducers for -algo mr")
 		tables   = flag.Int("tables", 5, "Count-Sketch tables for -algo sketch")
@@ -45,9 +47,9 @@ func main() {
 	if *algo == "stream" || *algo == "sketch" {
 		// True external streaming: the graph never enters memory; the
 		// file is re-read once per pass. Requires dense integer node ids.
-		err = runStreaming(*in, *directed, *weighted, *algo, *eps, *c, *tables, *buckets, *trace)
+		err = runStreaming(*in, *directed, *weighted, *algo, *eps, *c, *workers, *tables, *buckets, *trace)
 	} else {
-		err = run(*in, *directed, *weighted, *algo, *eps, *k, *c, *delta, *mappers, *reducers, *trace, *members)
+		err = run(*in, *directed, *weighted, *algo, *eps, *k, *c, *delta, *workers, *mappers, *reducers, *trace, *members)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "densest:", err)
@@ -55,7 +57,7 @@ func main() {
 	}
 }
 
-func runStreaming(in string, directed, weighted bool, algo string, eps, c float64, tables, buckets int, trace bool) error {
+func runStreaming(in string, directed, weighted bool, algo string, eps, c float64, workers, tables, buckets int, trace bool) error {
 	if weighted {
 		if directed || algo == "sketch" {
 			return fmt.Errorf("weighted streaming supports undirected -algo stream only")
@@ -81,14 +83,14 @@ func runStreaming(in string, directed, weighted bool, algo string, eps, c float6
 	defer es.Close()
 	switch {
 	case directed && algo == "stream":
-		r, err := ds.StreamingDirected(es, c, eps)
+		r, err := ds.StreamingDirected(es, c, eps, ds.WithWorkers(workers))
 		if err != nil {
 			return err
 		}
 		fmt.Printf("streaming directed: ρ = %.4f  |S̃| = %d  |T̃| = %d  passes = %d\n",
 			r.Density, len(r.S), len(r.T), r.Passes)
 	case algo == "stream":
-		r, err := ds.Streaming(es, eps)
+		r, err := ds.Streaming(es, eps, ds.WithWorkers(workers))
 		if err != nil {
 			return err
 		}
@@ -125,7 +127,7 @@ func printTrace(tr []ds.PassStat, on bool) {
 	}
 }
 
-func run(in string, directed, weighted bool, algo string, eps float64, k int, c, delta float64, mappers, reducers int, trace, members bool) error {
+func run(in string, directed, weighted bool, algo string, eps float64, k int, c, delta float64, workers, mappers, reducers int, trace, members bool) error {
 	f, err := os.Open(in)
 	if err != nil {
 		return err
@@ -138,17 +140,17 @@ func run(in string, directed, weighted bool, algo string, eps float64, k int, c,
 			return err
 		}
 		fmt.Printf("graph: %d nodes, %d directed edges\n", g.NumNodes(), g.NumEdges())
-		return runDirected(g, lm, algo, eps, c, delta, mappers, reducers, trace, members)
+		return runDirected(g, lm, algo, eps, c, delta, workers, mappers, reducers, trace, members)
 	}
 	g, lm, err := ds.ReadUndirected(f, weighted)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("graph: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
-	return runUndirected(g, lm, algo, eps, k, mappers, reducers, trace, members)
+	return runUndirected(g, lm, algo, eps, k, workers, mappers, reducers, trace, members)
 }
 
-func runUndirected(g *ds.UndirectedGraph, lm *ds.LabelMap, algo string, eps float64, k, mappers, reducers int, trace, members bool) error {
+func runUndirected(g *ds.UndirectedGraph, lm *ds.LabelMap, algo string, eps float64, k, workers, mappers, reducers int, trace, members bool) error {
 	var (
 		set     []int32
 		density float64
@@ -160,9 +162,9 @@ func runUndirected(g *ds.UndirectedGraph, lm *ds.LabelMap, algo string, eps floa
 		var r *ds.Result
 		var err error
 		if g.Weighted() {
-			r, err = ds.UndirectedWeighted(g, eps)
+			r, err = ds.UndirectedWeighted(g, eps, ds.WithWorkers(workers))
 		} else {
-			r, err = ds.Undirected(g, eps)
+			r, err = ds.Undirected(g, eps, ds.WithWorkers(workers))
 		}
 		if err != nil {
 			return err
@@ -191,7 +193,7 @@ func runUndirected(g *ds.UndirectedGraph, lm *ds.LabelMap, algo string, eps floa
 		if k < 1 {
 			return fmt.Errorf("-algo atleastk needs -k >= 1")
 		}
-		r, err := ds.AtLeastK(g, k, eps)
+		r, err := ds.AtLeastK(g, k, eps, ds.WithWorkers(workers))
 		if err != nil {
 			return err
 		}
@@ -225,10 +227,10 @@ func runUndirected(g *ds.UndirectedGraph, lm *ds.LabelMap, algo string, eps floa
 	return nil
 }
 
-func runDirected(g *ds.DirectedGraph, lm *ds.LabelMap, algo string, eps, c, delta float64, mappers, reducers int, trace, members bool) error {
+func runDirected(g *ds.DirectedGraph, lm *ds.LabelMap, algo string, eps, c, delta float64, workers, mappers, reducers int, trace, members bool) error {
 	switch algo {
 	case "peel":
-		r, err := ds.Directed(g, c, eps)
+		r, err := ds.Directed(g, c, eps, ds.WithWorkers(workers))
 		if err != nil {
 			return err
 		}
@@ -238,7 +240,7 @@ func runDirected(g *ds.DirectedGraph, lm *ds.LabelMap, algo string, eps, c, delt
 			printMembers("T", r.T, lm)
 		}
 	case "sweep":
-		sw, err := ds.DirectedSweep(g, delta, eps)
+		sw, err := ds.DirectedSweep(g, delta, eps, ds.WithWorkers(workers))
 		if err != nil {
 			return err
 		}

@@ -40,11 +40,11 @@ func writeGraph(t *testing.T, directed bool) string {
 func TestRunUndirectedAlgos(t *testing.T) {
 	path := writeGraph(t, false)
 	for _, algo := range []string{"peel", "greedy", "exact", "mr"} {
-		if err := run(path, false, false, algo, 0.5, 0, 1, 2, 2, 2, true, false); err != nil {
+		if err := run(path, false, false, algo, 0.5, 0, 1, 2, 2, 2, 2, true, false); err != nil {
 			t.Errorf("algo %s: %v", algo, err)
 		}
 	}
-	if err := run(path, false, false, "atleastk", 0.5, 50, 1, 2, 2, 2, false, true); err != nil {
+	if err := run(path, false, false, "atleastk", 0.5, 50, 1, 2, 2, 2, 2, false, true); err != nil {
 		t.Errorf("atleastk: %v", err)
 	}
 }
@@ -52,7 +52,7 @@ func TestRunUndirectedAlgos(t *testing.T) {
 func TestRunDirectedAlgos(t *testing.T) {
 	path := writeGraph(t, true)
 	for _, algo := range []string{"peel", "sweep", "mr"} {
-		if err := run(path, true, false, algo, 1, 0, 1, 2, 2, 2, true, false); err != nil {
+		if err := run(path, true, false, algo, 1, 0, 1, 2, 2, 2, 2, true, false); err != nil {
 			t.Errorf("algo %s: %v", algo, err)
 		}
 	}
@@ -60,45 +60,45 @@ func TestRunDirectedAlgos(t *testing.T) {
 
 func TestRunStreamingModes(t *testing.T) {
 	path := writeGraph(t, false)
-	if err := runStreaming(path, false, false, "stream", 0.5, 1, 5, 0, true); err != nil {
+	if err := runStreaming(path, false, false, "stream", 0.5, 1, 2, 5, 0, true); err != nil {
 		t.Errorf("stream: %v", err)
 	}
-	if err := runStreaming(path, false, false, "sketch", 0.5, 1, 5, 64, false); err != nil {
+	if err := runStreaming(path, false, false, "sketch", 0.5, 1, 2, 5, 64, false); err != nil {
 		t.Errorf("sketch: %v", err)
 	}
-	if err := runStreaming(path, false, true, "stream", 0.5, 1, 5, 0, false); err != nil {
+	if err := runStreaming(path, false, true, "stream", 0.5, 1, 2, 5, 0, false); err != nil {
 		t.Errorf("weighted stream: %v", err)
 	}
 	dpath := writeGraph(t, true)
-	if err := runStreaming(dpath, true, false, "stream", 0.5, 1, 5, 0, false); err != nil {
+	if err := runStreaming(dpath, true, false, "stream", 0.5, 1, 2, 5, 0, false); err != nil {
 		t.Errorf("directed stream: %v", err)
 	}
-	if err := runStreaming(dpath, true, false, "sketch", 0.5, 1, 5, 0, false); err == nil {
+	if err := runStreaming(dpath, true, false, "sketch", 0.5, 1, 2, 5, 0, false); err == nil {
 		t.Error("directed sketch accepted")
 	}
-	if err := runStreaming(path, true, true, "stream", 0.5, 1, 5, 0, false); err == nil {
+	if err := runStreaming(path, true, true, "stream", 0.5, 1, 2, 5, 0, false); err == nil {
 		t.Error("weighted directed stream accepted")
 	}
-	if err := runStreaming("/nonexistent", false, false, "stream", 0.5, 1, 5, 0, false); err == nil {
+	if err := runStreaming("/nonexistent", false, false, "stream", 0.5, 1, 2, 5, 0, false); err == nil {
 		t.Error("missing file accepted")
 	}
-	if err := runStreaming("/nonexistent", false, true, "stream", 0.5, 1, 5, 0, false); err == nil {
+	if err := runStreaming("/nonexistent", false, true, "stream", 0.5, 1, 2, 5, 0, false); err == nil {
 		t.Error("missing weighted file accepted")
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	path := writeGraph(t, false)
-	if err := run("/nonexistent", false, false, "peel", 0.5, 0, 1, 2, 2, 2, false, false); err == nil {
+	if err := run("/nonexistent", false, false, "peel", 0.5, 0, 1, 2, 2, 2, 2, false, false); err == nil {
 		t.Error("missing file accepted")
 	}
-	if err := run(path, false, false, "bogus", 0.5, 0, 1, 2, 2, 2, false, false); err == nil {
+	if err := run(path, false, false, "bogus", 0.5, 0, 1, 2, 2, 2, 2, false, false); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
-	if err := run(path, true, false, "bogus", 0.5, 0, 1, 2, 2, 2, false, false); err == nil {
+	if err := run(path, true, false, "bogus", 0.5, 0, 1, 2, 2, 2, 2, false, false); err == nil {
 		t.Error("unknown directed algorithm accepted")
 	}
-	if err := run(path, false, false, "atleastk", 0.5, 0, 1, 2, 2, 2, false, false); err == nil {
+	if err := run(path, false, false, "atleastk", 0.5, 0, 1, 2, 2, 2, 2, false, false); err == nil {
 		t.Error("atleastk without -k accepted")
 	}
 }

@@ -25,7 +25,29 @@
 //     moderate graphs.
 //   - Greedy: Charikar's one-node-at-a-time 2-approximation baseline.
 //
+// # Parallelism model
+//
+// The peeling hot paths run on a chunked worker pool (internal/par):
+// every per-pass scan — candidate selection, degree decrements, and,
+// for shardable edge streams, the edge scan itself — is sharded over
+// fixed-size vertex chunks with per-chunk batch buffers that merge in
+// index order, and integer degree updates use atomics (weighted
+// degrees use a pull-based owner-computes scheme instead, since float
+// accumulation is order sensitive). Because the decomposition depends
+// only on the input size, never on scheduling, every worker count
+// produces bit-identical results. The peeling entry points —
+// Undirected, UndirectedWeighted, AtLeastK, Directed, DirectedSweep,
+// Streaming, and StreamingDirected — take WithWorkers(n) (default:
+// runtime.GOMAXPROCS(0)); the densest CLI exposes it as -workers. The
+// remaining entry points (Exact, Greedy, the MapReduce drivers, the
+// sketched and weighted streaming variants) are unchanged.
+//
 // Graphs are built with NewBuilder/NewDirectedBuilder or parsed from
 // SNAP-style edge lists with ReadUndirected/ReadDirected. All algorithms
-// are deterministic given their inputs (and seeds, where applicable).
+// are deterministic given their inputs (and seeds, where applicable) at
+// every worker count.
+//
+// Development workflow: the Makefile mirrors CI — `make ci` runs build,
+// vet, the gofmt gate, tests, the -race suite over the parallel engine,
+// and the bench smoke that emits BENCH_ci.json (benchmark → ns/op).
 package densestream

@@ -25,10 +25,10 @@ type team struct {
 
 func main() {
 	teams := []team{
-		{"core-infra", 12, 1.00},  // a 12-person clique: density 5.5
-		{"search", 25, 0.30},      // density ≈ 3.6
-		{"ads", 40, 0.25},         // density ≈ 4.9
-		{"platform", 60, 0.15},    // density ≈ 4.4
+		{"core-infra", 12, 1.00}, // a 12-person clique: density 5.5
+		{"search", 25, 0.30},     // density ≈ 3.6
+		{"ads", 40, 0.25},        // density ≈ 4.9
+		{"platform", 60, 0.15},   // density ≈ 4.4
 	}
 	const n = 400
 	rng := rand.New(rand.NewSource(99))

@@ -1,0 +1,3 @@
+module densestream
+
+go 1.24

@@ -1,1 +1,15 @@
 package core
+
+import "densestream/internal/par"
+
+// Opts configures the execution of the peeling engines.
+type Opts struct {
+	// Workers is the number of workers used for the sharded candidate
+	// scans and degree-decrement loops; <= 0 means
+	// runtime.GOMAXPROCS(0). Every worker count produces bit-identical
+	// results: the work decomposition is fixed by the graph size, and
+	// per-chunk results merge in chunk order (see internal/par).
+	Workers int
+}
+
+func (o Opts) pool() *par.Pool { return par.New(o.Workers) }

@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"densestream/internal/graph"
+	"densestream/internal/par"
 )
 
 // DirectedResult is the output of Algorithm 3 for one value of c.
@@ -22,6 +24,14 @@ type DirectedResult struct {
 // correct this is a (2+2ε)-approximation (Lemma 12) in O(log_{1+ε} n)
 // passes (Lemma 13).
 func Directed(g *graph.Directed, c, eps float64) (*DirectedResult, error) {
+	return DirectedOpts(g, c, eps, Opts{Workers: 1})
+}
+
+// DirectedOpts is Directed with an explicit execution configuration:
+// both side scans and the cross-degree decrements shard across workers,
+// with per-chunk batch buffers merged in index order and atomic integer
+// degree updates, so results are bit-identical for every worker count.
+func DirectedOpts(g *graph.Directed, c, eps float64, o Opts) (*DirectedResult, error) {
 	if err := checkEps(eps); err != nil {
 		return nil, err
 	}
@@ -32,17 +42,20 @@ func Directed(g *graph.Directed, c, eps float64) (*DirectedResult, error) {
 	if n == 0 {
 		return nil, graph.ErrEmptyGraph
 	}
+	pool := o.pool()
 
 	aliveS := make([]bool, n)
 	aliveT := make([]bool, n)
 	outdeg := make([]int32, n) // |E(i, T)| for i ∈ S
 	indeg := make([]int32, n)  // |E(S, j)| for j ∈ T
-	for u := 0; u < n; u++ {
-		aliveS[u] = true
-		aliveT[u] = true
-		outdeg[u] = int32(g.OutDegree(int32(u)))
-		indeg[u] = int32(g.InDegree(int32(u)))
-	}
+	pool.ForChunks(n, func(_, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			aliveS[u] = true
+			aliveT[u] = true
+			outdeg[u] = int32(g.OutDegree(int32(u)))
+			indeg[u] = int32(g.InDegree(int32(u)))
+		}
+	})
 	removedAtS := make([]int, n)
 	removedAtT := make([]int, n)
 	edges := g.NumEdges()
@@ -63,6 +76,7 @@ func Directed(g *graph.Directed, c, eps float64) (*DirectedResult, error) {
 	}}
 
 	pass := 0
+	col := par.NewCollector(n)
 	var batch []int32
 	for sizeS > 0 && sizeT > 0 {
 		pass++
@@ -70,49 +84,73 @@ func Directed(g *graph.Directed, c, eps float64) (*DirectedResult, error) {
 		if float64(sizeS) >= c*float64(sizeT) {
 			// Remove A(S): below-average out-degree into T.
 			cut := (1 + eps) * float64(edges) / float64(sizeS)
-			batch = batch[:0]
-			for u := 0; u < n; u++ {
-				if aliveS[u] && float64(outdeg[u]) <= cut {
-					batch = append(batch, int32(u))
+			col.Reset()
+			pool.ForChunks(n, func(ch, lo, hi int) {
+				for u := lo; u < hi; u++ {
+					if aliveS[u] && float64(outdeg[u]) <= cut {
+						col.Append(ch, int32(u))
+					}
 				}
-			}
+			})
+			batch = col.Merge(batch[:0])
 			if len(batch) == 0 {
 				return nil, fmt.Errorf("core: directed pass %d removed no S nodes", pass)
 			}
-			for _, u := range batch {
-				aliveS[u] = false
-				removedAtS[u] = pass
-				for _, v := range g.OutNeighbors(u) {
-					if aliveT[v] {
-						indeg[v]--
-						edges--
+			pool.ForChunks(len(batch), func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					u := batch[i]
+					aliveS[u] = false
+					removedAtS[u] = pass
+				}
+			})
+			edges -= pool.SumInt64(len(batch), func(_, lo, hi int) int64 {
+				var sub int64
+				for i := lo; i < hi; i++ {
+					for _, v := range g.OutNeighbors(batch[i]) {
+						if aliveT[v] {
+							atomic.AddInt32(&indeg[v], -1)
+							sub++
+						}
 					}
 				}
-			}
+				return sub
+			})
 			sizeS -= len(batch)
 			stat = DirectedPassStat{RemovedS: len(batch), PeeledSide: 'S'}
 		} else {
 			// Remove B(T): below-average in-degree from S.
 			cut := (1 + eps) * float64(edges) / float64(sizeT)
-			batch = batch[:0]
-			for u := 0; u < n; u++ {
-				if aliveT[u] && float64(indeg[u]) <= cut {
-					batch = append(batch, int32(u))
+			col.Reset()
+			pool.ForChunks(n, func(ch, lo, hi int) {
+				for u := lo; u < hi; u++ {
+					if aliveT[u] && float64(indeg[u]) <= cut {
+						col.Append(ch, int32(u))
+					}
 				}
-			}
+			})
+			batch = col.Merge(batch[:0])
 			if len(batch) == 0 {
 				return nil, fmt.Errorf("core: directed pass %d removed no T nodes", pass)
 			}
-			for _, v := range batch {
-				aliveT[v] = false
-				removedAtT[v] = pass
-				for _, u := range g.InNeighbors(v) {
-					if aliveS[u] {
-						outdeg[u]--
-						edges--
+			pool.ForChunks(len(batch), func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					v := batch[i]
+					aliveT[v] = false
+					removedAtT[v] = pass
+				}
+			})
+			edges -= pool.SumInt64(len(batch), func(_, lo, hi int) int64 {
+				var sub int64
+				for i := lo; i < hi; i++ {
+					for _, u := range g.InNeighbors(batch[i]) {
+						if aliveS[u] {
+							atomic.AddInt32(&outdeg[u], -1)
+							sub++
+						}
 					}
 				}
-			}
+				return sub
+			})
 			sizeT -= len(batch)
 			stat = DirectedPassStat{RemovedT: len(batch), PeeledSide: 'T'}
 		}
@@ -155,6 +193,14 @@ type SweepResult struct {
 // the best result. Trying powers of δ instead of all n² ratios costs at
 // most a δ factor in the approximation (§6.4). δ must exceed 1.
 func DirectedSweep(g *graph.Directed, delta, eps float64) (*SweepResult, error) {
+	return DirectedSweepOpts(g, delta, eps, Opts{Workers: 1})
+}
+
+// DirectedSweepOpts is DirectedSweep with an explicit execution
+// configuration; each per-c run uses the sharded engine, while the
+// sweep itself iterates c values in order (the best-result tie-break
+// depends on it).
+func DirectedSweepOpts(g *graph.Directed, delta, eps float64, o Opts) (*SweepResult, error) {
 	if delta <= 1 || math.IsNaN(delta) || math.IsInf(delta, 0) {
 		return nil, fmt.Errorf("core: delta must be > 1, got %v", delta)
 	}
@@ -166,7 +212,7 @@ func DirectedSweep(g *graph.Directed, delta, eps float64) (*SweepResult, error) 
 	sweep := &SweepResult{}
 	for j := -maxJ; j <= maxJ; j++ {
 		c := math.Pow(delta, float64(j))
-		r, err := Directed(g, c, eps)
+		r, err := DirectedOpts(g, c, eps, o)
 		if err != nil {
 			return nil, fmt.Errorf("core: sweep at c=%v: %w", c, err)
 		}

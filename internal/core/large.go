@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"densestream/internal/graph"
+	"densestream/internal/par"
 )
 
 // AtLeastK runs Algorithm 2: find a dense subgraph with at least k nodes.
@@ -15,6 +17,14 @@ import (
 // optimal subgraph has more than k nodes (Lemma 10). The algorithm stops
 // early once fewer than k nodes remain (Lemma 11).
 func AtLeastK(g *graph.Undirected, k int, eps float64) (*Result, error) {
+	return AtLeastKOpts(g, k, eps, Opts{Workers: 1})
+}
+
+// AtLeastKOpts is AtLeastK with an explicit execution configuration: the
+// candidate scan and the decrement loop shard across workers as in
+// UndirectedOpts; the quota selection sort stays sequential on the
+// deterministically merged candidate list.
+func AtLeastKOpts(g *graph.Undirected, k int, eps float64, o Opts) (*Result, error) {
 	if err := checkEps(eps); err != nil {
 		return nil, err
 	}
@@ -28,13 +38,16 @@ func AtLeastK(g *graph.Undirected, k int, eps float64) (*Result, error) {
 	if k < 1 || k > n {
 		return nil, fmt.Errorf("core: k=%d out of range [1,%d]", k, n)
 	}
+	pool := o.pool()
 
 	alive := make([]bool, n)
 	deg := make([]int32, n)
-	for u := 0; u < n; u++ {
-		alive[u] = true
-		deg[u] = int32(g.Degree(int32(u)))
-	}
+	pool.ForChunks(n, func(_, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			alive[u] = true
+			deg[u] = int32(g.Degree(int32(u)))
+		}
+	})
 	removedAt := make([]int, n)
 	edges := g.NumEdges()
 	nodes := n
@@ -50,17 +63,21 @@ func AtLeastK(g *graph.Undirected, k int, eps float64) (*Result, error) {
 	threshold := 2 * (1 + eps)
 	frac := eps / (1 + eps)
 	pass := 0
+	col := par.NewCollector(n)
 	var candidates []int32
 	for nodes >= k {
 		pass++
 		rho := float64(edges) / float64(nodes)
 		cut := threshold * rho
-		candidates = candidates[:0]
-		for u := 0; u < n; u++ {
-			if alive[u] && float64(deg[u]) <= cut {
-				candidates = append(candidates, int32(u))
+		col.Reset()
+		pool.ForChunks(n, func(c, lo, hi int) {
+			for u := lo; u < hi; u++ {
+				if alive[u] && float64(deg[u]) <= cut {
+					col.Append(c, int32(u))
+				}
 			}
-		}
+		})
+		candidates = col.Merge(candidates[:0])
 		if len(candidates) == 0 {
 			return nil, fmt.Errorf("core: pass %d found no candidates (ρ=%v)", pass, rho)
 		}
@@ -79,20 +96,28 @@ func AtLeastK(g *graph.Undirected, k int, eps float64) (*Result, error) {
 			return candidates[i] < candidates[j]
 		})
 		batch := candidates[:quota]
-		for _, u := range batch {
-			alive[u] = false
-			removedAt[u] = pass
-		}
-		for _, u := range batch {
-			for _, v := range g.Neighbors(u) {
-				if alive[v] {
-					deg[v]--
-					edges--
-				} else if removedAt[v] == pass && u < v {
-					edges--
+		pool.ForChunks(len(batch), func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				u := batch[i]
+				alive[u] = false
+				removedAt[u] = pass
+			}
+		})
+		edges -= pool.SumInt64(len(batch), func(_, lo, hi int) int64 {
+			var sub int64
+			for i := lo; i < hi; i++ {
+				u := batch[i]
+				for _, v := range g.Neighbors(u) {
+					if alive[v] {
+						atomic.AddInt32(&deg[v], -1)
+						sub++
+					} else if removedAt[v] == pass && u < v {
+						sub++
+					}
 				}
 			}
-		}
+			return sub
+		})
 		nodes -= len(batch)
 		var rhoAfter float64
 		if nodes > 0 {

@@ -24,12 +24,12 @@ type PassStat struct {
 
 // DirectedPassStat records the state after one pass of Algorithm 3.
 type DirectedPassStat struct {
-	Pass      int
-	SizeS     int
-	SizeT     int
-	Edges     int64 // |E(S,T)|
-	Density   float64
-	RemovedS  int
-	RemovedT  int
+	Pass       int
+	SizeS      int
+	SizeT      int
+	Edges      int64 // |E(S,T)|
+	Density    float64
+	RemovedS   int
+	RemovedT   int
 	PeeledSide byte // 'S' or 'T' ('-' for the initial state)
 }

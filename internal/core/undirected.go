@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"densestream/internal/graph"
+	"densestream/internal/par"
 )
 
 // Result is the output of the undirected peeling algorithms.
@@ -24,6 +26,15 @@ type Result struct {
 // (min ≤ avg = 2ρ), so at least one node is removed per pass and the
 // algorithm still terminates, in up to n passes.
 func Undirected(g *graph.Undirected, eps float64) (*Result, error) {
+	return UndirectedOpts(g, eps, Opts{Workers: 1})
+}
+
+// UndirectedOpts is Undirected with an explicit execution configuration.
+// The candidate scan shards the vertex range across workers with
+// per-chunk batch buffers merged in index order, and the decrement loop
+// shards the removed batch with atomic degree updates, so the result is
+// bit-identical to the sequential run for every worker count.
+func UndirectedOpts(g *graph.Undirected, eps float64, o Opts) (*Result, error) {
 	if err := checkEps(eps); err != nil {
 		return nil, err
 	}
@@ -34,13 +45,16 @@ func Undirected(g *graph.Undirected, eps float64) (*Result, error) {
 	if g.Weighted() {
 		return nil, fmt.Errorf("core: Undirected needs an unweighted graph; use UndirectedWeighted")
 	}
+	pool := o.pool()
 
 	alive := make([]bool, n)
 	deg := make([]int32, n)
-	for u := 0; u < n; u++ {
-		alive[u] = true
-		deg[u] = int32(g.Degree(int32(u)))
-	}
+	pool.ForChunks(n, func(_, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			alive[u] = true
+			deg[u] = int32(g.Degree(int32(u)))
+		}
+	})
 	removedAt := make([]int, n) // pass in which the node was removed; 0 = never
 	edges := g.NumEdges()
 	nodes := n
@@ -51,37 +65,49 @@ func Undirected(g *graph.Undirected, eps float64) (*Result, error) {
 
 	threshold := 2 * (1 + eps)
 	pass := 0
+	col := par.NewCollector(n)
 	var batch []int32
 	for nodes > 0 {
 		pass++
 		rho := float64(edges) / float64(nodes)
 		cut := threshold * rho
-		batch = batch[:0]
-		for u := 0; u < n; u++ {
-			if alive[u] && float64(deg[u]) <= cut {
-				batch = append(batch, int32(u))
+		col.Reset()
+		pool.ForChunks(n, func(c, lo, hi int) {
+			for u := lo; u < hi; u++ {
+				if alive[u] && float64(deg[u]) <= cut {
+					col.Append(c, int32(u))
+				}
 			}
-		}
+		})
+		batch = col.Merge(batch[:0])
 		if len(batch) == 0 {
 			// Unreachable: a minimum-degree node always satisfies
 			// deg ≤ 2ρ ≤ cut. Guard against float surprises regardless.
 			return nil, fmt.Errorf("core: pass %d removed no nodes (ρ=%v)", pass, rho)
 		}
-		for _, u := range batch {
-			alive[u] = false
-			removedAt[u] = pass
-		}
-		for _, u := range batch {
-			for _, v := range g.Neighbors(u) {
-				if alive[v] {
-					deg[v]--
-					edges--
-				} else if removedAt[v] == pass && u < v {
-					// Both endpoints removed this pass; count the edge once.
-					edges--
+		pool.ForChunks(len(batch), func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				u := batch[i]
+				alive[u] = false
+				removedAt[u] = pass
+			}
+		})
+		edges -= pool.SumInt64(len(batch), func(_, lo, hi int) int64 {
+			var sub int64
+			for i := lo; i < hi; i++ {
+				u := batch[i]
+				for _, v := range g.Neighbors(u) {
+					if alive[v] {
+						atomic.AddInt32(&deg[v], -1)
+						sub++
+					} else if removedAt[v] == pass && u < v {
+						// Both endpoints removed this pass; count the edge once.
+						sub++
+					}
 				}
 			}
-		}
+			return sub
+		})
 		nodes -= len(batch)
 		var rhoAfter float64
 		if nodes > 0 {
@@ -106,6 +132,16 @@ func Undirected(g *graph.Undirected, eps float64) (*Result, error) {
 // rule becomes wdeg_S(i) ≤ 2(1+ε)·ρ_w(S) with ρ_w(S) the total remaining
 // weight over |S|. Unweighted graphs are accepted (unit weights).
 func UndirectedWeighted(g *graph.Undirected, eps float64) (*Result, error) {
+	return UndirectedWeightedOpts(g, eps, Opts{Workers: 1})
+}
+
+// UndirectedWeightedOpts is UndirectedWeighted with an explicit
+// execution configuration. Because float accumulation is order
+// sensitive, the decrement loop is pull-based: each chunk owns a vertex
+// range and subtracts the weights of that range's just-removed
+// neighbors in adjacency order, with per-chunk weight partials merged
+// in chunk order — deterministic for every worker count.
+func UndirectedWeightedOpts(g *graph.Undirected, eps float64, o Opts) (*Result, error) {
 	if err := checkEps(eps); err != nil {
 		return nil, err
 	}
@@ -113,13 +149,16 @@ func UndirectedWeighted(g *graph.Undirected, eps float64) (*Result, error) {
 	if n == 0 {
 		return nil, graph.ErrEmptyGraph
 	}
+	pool := o.pool()
 
 	alive := make([]bool, n)
 	wdeg := make([]float64, n)
-	for u := 0; u < n; u++ {
-		alive[u] = true
-		wdeg[u] = g.WeightedDegree(int32(u))
-	}
+	pool.ForChunks(n, func(_, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			alive[u] = true
+			wdeg[u] = g.WeightedDegree(int32(u))
+		}
+	})
 	removedAt := make([]int, n)
 	weight := g.TotalWeight()
 	var edges int64 = g.NumEdges()
@@ -131,40 +170,77 @@ func UndirectedWeighted(g *graph.Undirected, eps float64) (*Result, error) {
 
 	threshold := 2 * (1 + eps)
 	pass := 0
+	col := par.NewCollector(n)
 	var batch []int32
+	wslots := make([]float64, par.NumChunks(n))
+	eslots := make([]int64, par.NumChunks(n))
 	for nodes > 0 {
 		pass++
 		rho := weight / float64(nodes)
 		cut := threshold * rho
-		batch = batch[:0]
-		for u := 0; u < n; u++ {
-			if alive[u] && wdeg[u] <= cut+1e-12 {
-				batch = append(batch, int32(u))
+		col.Reset()
+		pool.ForChunks(n, func(c, lo, hi int) {
+			for u := lo; u < hi; u++ {
+				if alive[u] && wdeg[u] <= cut+1e-12 {
+					col.Append(c, int32(u))
+				}
 			}
-		}
+		})
+		batch = col.Merge(batch[:0])
 		if len(batch) == 0 {
 			return nil, fmt.Errorf("core: weighted pass %d removed no nodes (ρ=%v)", pass, rho)
 		}
-		for _, u := range batch {
-			alive[u] = false
-			removedAt[u] = pass
-		}
-		for _, u := range batch {
-			ws := g.NeighborWeights(u)
-			for i, v := range g.Neighbors(u) {
-				w := 1.0
-				if ws != nil {
-					w = ws[i]
-				}
-				if alive[v] {
-					wdeg[v] -= w
-					weight -= w
-					edges--
-				} else if removedAt[v] == pass && u < v {
-					weight -= w
-					edges--
+		pool.ForChunks(len(batch), func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				u := batch[i]
+				alive[u] = false
+				removedAt[u] = pass
+			}
+		})
+		// Pull-based decrement: each chunk updates only the weighted
+		// degrees of its own vertex range, scanning adjacency in
+		// ascending-neighbor order (the same subtraction order a
+		// sequential push over the ascending batch produces). An edge
+		// between two just-removed nodes is charged once, to its larger
+		// endpoint.
+		pool.ForChunks(n, func(c, lo, hi int) {
+			var wsub float64
+			var esub int64
+			for v := lo; v < hi; v++ {
+				switch {
+				case alive[v]:
+					ws := g.NeighborWeights(int32(v))
+					for i, u := range g.Neighbors(int32(v)) {
+						if removedAt[u] == pass {
+							w := 1.0
+							if ws != nil {
+								w = ws[i]
+							}
+							wdeg[v] -= w
+							wsub += w
+							esub++
+						}
+					}
+				case removedAt[v] == pass:
+					ws := g.NeighborWeights(int32(v))
+					for i, u := range g.Neighbors(int32(v)) {
+						if removedAt[u] == pass && u < int32(v) {
+							w := 1.0
+							if ws != nil {
+								w = ws[i]
+							}
+							wsub += w
+							esub++
+						}
+					}
 				}
 			}
+			wslots[c] = wsub
+			eslots[c] = esub
+		})
+		for c := range wslots {
+			weight -= wslots[c]
+			edges -= eslots[c]
 		}
 		nodes -= len(batch)
 		if weight < 0 && weight > -1e-9 {

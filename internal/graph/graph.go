@@ -22,12 +22,12 @@ type Edge struct {
 
 // Errors shared by builders and parsers.
 var (
-	ErrNodeRange   = errors.New("graph: node id out of range")
-	ErrSelfLoop    = errors.New("graph: self loops are not supported")
-	ErrEmptyGraph  = errors.New("graph: graph has no nodes")
-	ErrNotFrozen   = errors.New("graph: builder has not been frozen")
-	ErrBadWeight   = errors.New("graph: edge weight must be positive and finite")
-	ErrDuplicate   = errors.New("graph: duplicate edge")
+	ErrNodeRange    = errors.New("graph: node id out of range")
+	ErrSelfLoop     = errors.New("graph: self loops are not supported")
+	ErrEmptyGraph   = errors.New("graph: graph has no nodes")
+	ErrNotFrozen    = errors.New("graph: builder has not been frozen")
+	ErrBadWeight    = errors.New("graph: edge weight must be positive and finite")
+	ErrDuplicate    = errors.New("graph: duplicate edge")
 	ErrInconsistent = errors.New("graph: inconsistent adjacency structure")
 )
 

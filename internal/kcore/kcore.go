@@ -17,8 +17,8 @@ import (
 // Decomposition holds the core number of every node plus the peeling
 // order, which is enough to reconstruct any d-core and the best core.
 type Decomposition struct {
-	Core  []int32 // Core[u] is the core number of node u
-	Order []int32 // nodes in the order they were peeled (non-decreasing core)
+	Core    []int32 // Core[u] is the core number of node u
+	Order   []int32 // nodes in the order they were peeled (non-decreasing core)
 	MaxCore int32
 }
 

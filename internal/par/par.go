@@ -1,0 +1,204 @@
+// Package par is the chunked worker pool behind every parallel hot path
+// in this repository. It is built around one invariant: the work
+// decomposition is a function of the problem size only, never of the
+// worker count. An index range [0, n) is always split into the same
+// fixed-size chunks; workers claim chunks dynamically, but per-chunk
+// results are stored in chunk-indexed slots and merged sequentially in
+// chunk order. Any reduction expressed this way is bit-identical for
+// every worker count (including 1), which is what lets the peeling
+// engines promise Workers=1 and Workers=N agree exactly — even for
+// floating-point accumulations, whose grouping is fixed by the chunk
+// boundaries rather than by scheduling.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ChunkSize is the number of indices per chunk. It is a compromise
+// between scheduling overhead (larger is better) and load balance on
+// skewed adjacency lists (smaller is better); it must stay constant so
+// chunk-grouped reductions are reproducible across runs and machines.
+const ChunkSize = 2048
+
+// NumChunks returns the number of fixed-size chunks covering [0, n).
+func NumChunks(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + ChunkSize - 1) / ChunkSize
+}
+
+// ChunkBounds returns the half-open index range of chunk c within [0, n).
+func ChunkBounds(c, n int) (lo, hi int) {
+	lo = c * ChunkSize
+	hi = lo + ChunkSize
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// Clamp normalizes a requested worker count: values <= 0 become
+// runtime.GOMAXPROCS(0), everything else is returned unchanged.
+func Clamp(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// Pool runs chunked loops on a fixed number of workers. The zero value
+// is not usable; construct with New. A Pool carries no per-run state
+// and is safe for concurrent use by independent loops, though the
+// peeling engines use one pool per run.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool with the clamped worker count (see Clamp).
+func New(workers int) *Pool { return &Pool{workers: Clamp(workers)} }
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// ForChunks splits [0, n) into fixed-size chunks and calls
+// fn(chunk, lo, hi) once per chunk. With one worker the chunks run
+// inline in increasing order; with more, workers claim chunks from an
+// atomic cursor. fn must only write to state owned by its chunk (or
+// use atomics); ForChunks establishes a happens-before edge between
+// everything done inside fn and its own return.
+func (p *Pool) ForChunks(n int, fn func(chunk, lo, hi int)) {
+	chunks := NumChunks(n)
+	if chunks == 0 {
+		return
+	}
+	if p.workers == 1 || chunks == 1 {
+		for c := 0; c < chunks; c++ {
+			lo, hi := ChunkBounds(c, n)
+			fn(c, lo, hi)
+		}
+		return
+	}
+	workers := p.workers
+	if workers > chunks {
+		workers = chunks
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(cursor.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				lo, hi := ChunkBounds(c, n)
+				fn(c, lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// RunTasks invokes fn(i) for i in [0, k) and waits. With one worker (or
+// one task) the tasks run inline in order; otherwise each task gets its
+// own goroutine — callers size k by Workers(), so this never
+// oversubscribes. Unlike ForChunks, task indices are fixed up front,
+// which is what per-worker lanes and per-shard scans need.
+func (p *Pool) RunTasks(k int, fn func(i int)) {
+	if k <= 0 {
+		return
+	}
+	if p.workers == 1 || k == 1 {
+		for i := 0; i < k; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(k)
+	for i := 0; i < k; i++ {
+		go func() {
+			defer wg.Done()
+			fn(i)
+		}()
+	}
+	wg.Wait()
+}
+
+// SumInt64 reduces fn over the chunks of [0, n): per-chunk partials are
+// computed in parallel and folded in chunk order. Deterministic for any
+// worker count.
+func (p *Pool) SumInt64(n int, fn func(chunk, lo, hi int) int64) int64 {
+	slots := make([]int64, NumChunks(n))
+	p.ForChunks(n, func(c, lo, hi int) { slots[c] = fn(c, lo, hi) })
+	var total int64
+	for _, s := range slots {
+		total += s
+	}
+	return total
+}
+
+// SumFloat64 is SumInt64 for float64 partials. Because the grouping is
+// fixed by the chunk decomposition, the result is bit-identical across
+// worker counts (though not necessarily to a flat left-to-right sum).
+func (p *Pool) SumFloat64(n int, fn func(chunk, lo, hi int) float64) float64 {
+	slots := make([]float64, NumChunks(n))
+	p.ForChunks(n, func(c, lo, hi int) { slots[c] = fn(c, lo, hi) })
+	var total float64
+	for _, s := range slots {
+		total += s
+	}
+	return total
+}
+
+// Collector gathers int32 indices from a chunked scan and merges them
+// in chunk order, reproducing exactly the output order of a sequential
+// ascending scan. Chunk buffers are retained across Reset, so a
+// Collector reused pass after pass stops allocating once warm.
+type Collector struct {
+	bufs [][]int32
+}
+
+// NewCollector returns a collector for scans over [0, n).
+func NewCollector(n int) *Collector {
+	return &Collector{bufs: make([][]int32, NumChunks(n))}
+}
+
+// Reset clears all chunk buffers, keeping their capacity.
+func (c *Collector) Reset() {
+	for i := range c.bufs {
+		c.bufs[i] = c.bufs[i][:0]
+	}
+}
+
+// Append records u under the given chunk. Only the goroutine running
+// that chunk may call it.
+func (c *Collector) Append(chunk int, u int32) {
+	c.bufs[chunk] = append(c.bufs[chunk], u)
+}
+
+// Merge appends every chunk buffer to dst in chunk order and returns
+// the extended slice. Since chunks cover ascending index ranges and
+// each buffer is filled in ascending order, the merged slice is sorted
+// whenever Append was called with in-range indices.
+func (c *Collector) Merge(dst []int32) []int32 {
+	for _, b := range c.bufs {
+		dst = append(dst, b...)
+	}
+	return dst
+}
+
+// Len returns the total number of collected indices.
+func (c *Collector) Len() int {
+	total := 0
+	for _, b := range c.bufs {
+		total += len(b)
+	}
+	return total
+}

@@ -1,0 +1,129 @@
+package par
+
+import (
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Clamp(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Clamp(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Clamp(-3) = %d", got)
+	}
+	if got := Clamp(7); got != 7 {
+		t.Fatalf("Clamp(7) = %d", got)
+	}
+}
+
+func TestNumChunksAndBounds(t *testing.T) {
+	cases := []struct{ n, chunks int }{
+		{0, 0}, {1, 1}, {ChunkSize, 1}, {ChunkSize + 1, 2}, {10 * ChunkSize, 10},
+	}
+	for _, c := range cases {
+		if got := NumChunks(c.n); got != c.chunks {
+			t.Fatalf("NumChunks(%d) = %d, want %d", c.n, got, c.chunks)
+		}
+	}
+	n := 3*ChunkSize + 17
+	covered := 0
+	for c := 0; c < NumChunks(n); c++ {
+		lo, hi := ChunkBounds(c, n)
+		if lo != c*ChunkSize || hi <= lo || hi > n {
+			t.Fatalf("chunk %d bounds [%d,%d) with n=%d", c, lo, hi, n)
+		}
+		covered += hi - lo
+	}
+	if covered != n {
+		t.Fatalf("chunks cover %d of %d indices", covered, n)
+	}
+}
+
+func TestForChunksVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		n := 5*ChunkSize + 13
+		visits := make([]int32, n)
+		New(workers).ForChunks(n, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&visits[i], 1)
+			}
+		})
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestSumDeterministicAcrossWorkerCounts(t *testing.T) {
+	n := 7*ChunkSize + 5
+	vals := make([]float64, n)
+	rng := rand.New(rand.NewSource(42))
+	for i := range vals {
+		vals[i] = rng.Float64()*2 - 1
+	}
+	sum := func(workers int) float64 {
+		return New(workers).SumFloat64(n, func(_, lo, hi int) float64 {
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += vals[i]
+			}
+			return s
+		})
+	}
+	want := sum(1)
+	for _, w := range []int{2, 3, 8, 16} {
+		if got := sum(w); got != want {
+			t.Fatalf("workers=%d: sum %v != workers=1 sum %v", w, got, want)
+		}
+	}
+	ints := func(workers int) int64 {
+		return New(workers).SumInt64(n, func(_, lo, hi int) int64 { return int64(hi - lo) })
+	}
+	if got := ints(8); got != int64(n) {
+		t.Fatalf("SumInt64 over ranges = %d, want %d", got, n)
+	}
+}
+
+func TestCollectorMergePreservesAscendingOrder(t *testing.T) {
+	n := 4*ChunkSize + 100
+	for _, workers := range []int{1, 8} {
+		col := NewCollector(n)
+		New(workers).ForChunks(n, func(c, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if i%3 == 0 {
+					col.Append(c, int32(i))
+				}
+			}
+		})
+		got := col.Merge(nil)
+		if col.Len() != len(got) {
+			t.Fatalf("Len %d != merged %d", col.Len(), len(got))
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i-1] >= got[i] {
+				t.Fatalf("workers=%d: merge out of order at %d: %d >= %d", workers, i, got[i-1], got[i])
+			}
+		}
+		if len(got) != (n+2)/3 {
+			t.Fatalf("workers=%d: collected %d, want %d", workers, len(got), (n+2)/3)
+		}
+		// Reset keeps capacity but clears contents.
+		col.Reset()
+		if col.Len() != 0 {
+			t.Fatalf("Len after Reset = %d", col.Len())
+		}
+	}
+}
+
+func TestForChunksEmpty(t *testing.T) {
+	called := false
+	New(4).ForChunks(0, func(_, _, _ int) { called = true })
+	if called {
+		t.Fatal("fn called for n=0")
+	}
+}

@@ -1,5 +1,7 @@
 package stream
 
+import "densestream/internal/par"
+
 // DegreeCounter accumulates per-node incident-edge counts during one pass
 // of a streaming peeler and answers degree queries afterwards. The exact
 // implementation uses an O(n) array, which is the paper's baseline; the
@@ -42,3 +44,66 @@ func (c *ExactCounter) Estimate(u int32) int64 { return c.counts[u] }
 
 // MemoryWords implements DegreeCounter.
 func (c *ExactCounter) MemoryWords() int { return len(c.counts) }
+
+// StripedCounter is the exact degree counter of the parallel streaming
+// peelers: one full-length lane per worker, so every AddLane call
+// touches only its own lane — no locks or atomics on the fast path.
+// After a scan, Fold merges the lanes chunk-wise into lane 0 (each
+// chunk of the node range is folded by exactly one worker, and integer
+// addition makes the merge order irrelevant), after which Estimate
+// serves exact counts.
+type StripedCounter struct {
+	n     int
+	lanes [][]int64
+}
+
+// NewStripedCounter returns a striped counter over n nodes with the
+// given number of lanes (one per scanning worker; at least 1).
+func NewStripedCounter(n, lanes int) *StripedCounter {
+	if lanes < 1 {
+		lanes = 1
+	}
+	c := &StripedCounter{n: n, lanes: make([][]int64, lanes)}
+	for i := range c.lanes {
+		c.lanes[i] = make([]int64, n)
+	}
+	return c
+}
+
+// Lanes returns the number of lanes.
+func (c *StripedCounter) Lanes() int { return len(c.lanes) }
+
+// Reset clears every lane for a new pass.
+func (c *StripedCounter) Reset(pool *par.Pool) {
+	pool.RunTasks(len(c.lanes), func(i int) {
+		lane := c.lanes[i]
+		for j := range lane {
+			lane[j] = 0
+		}
+	})
+}
+
+// AddLane counts one edge incident on node u in the given lane. Only
+// the worker owning that lane may call it.
+func (c *StripedCounter) AddLane(lane int, u int32) { c.lanes[lane][u]++ }
+
+// Fold merges all lanes into lane 0, chunk-parallel over the node range.
+func (c *StripedCounter) Fold(pool *par.Pool) {
+	if len(c.lanes) == 1 {
+		return
+	}
+	base := c.lanes[0]
+	pool.ForChunks(c.n, func(_, lo, hi int) {
+		for _, lane := range c.lanes[1:] {
+			for u := lo; u < hi; u++ {
+				base[u] += lane[u]
+			}
+		}
+	})
+}
+
+// Estimate returns the exact count for node u; call after Fold.
+func (c *StripedCounter) Estimate(u int32) int64 { return c.lanes[0][u] }
+
+// MemoryWords reports the counter state size in 64-bit words.
+func (c *StripedCounter) MemoryWords() int { return len(c.lanes) * c.n }

@@ -1,0 +1,325 @@
+package stream
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"densestream/internal/core"
+	"densestream/internal/graph"
+	"densestream/internal/par"
+)
+
+// maxStripedWords bounds the striped counters' total memory (64-bit
+// words, 1 GiB): scan lanes are capped so the streaming algorithms'
+// O(n) state promise does not silently scale with the core count on
+// huge graphs — past the cap, scan parallelism degrades instead of
+// memory growing.
+const maxStripedWords = 1 << 27
+
+// maxScanLanes caps the per-pass scan fan-out; edge scans are memory
+// bandwidth bound well before this, and each lane costs n words.
+const maxScanLanes = 8
+
+// streamScanLanes returns the scan lane count for n nodes, the
+// requested workers, and the number of striped counters the caller
+// allocates. Always at least 1; depends only on the input shape, so
+// lane-grouped merges stay deterministic.
+func streamScanLanes(n, workers, counters int) int {
+	lanes := workers
+	if lanes > maxScanLanes {
+		lanes = maxScanLanes
+	}
+	if n > 0 {
+		if budget := maxStripedWords / (n * counters); lanes > budget {
+			lanes = budget
+		}
+	}
+	if lanes < 1 {
+		lanes = 1
+	}
+	return lanes
+}
+
+// scanShardedPass drives one pass over the stream's shards, one worker
+// per shard: visit is called for every in-range edge with the shard's
+// lane index and reports whether the edge survives (is counted).
+// Per-shard counts and errors merge in shard order.
+func scanShardedPass(ss ShardedStream, pool *par.Pool, lanes, n int, visit func(lane int, e Edge) bool) (int64, error) {
+	shards := ss.Shards(lanes)
+	counts := make([]int64, len(shards))
+	errs := make([]error, len(shards))
+	pool.RunTasks(len(shards), func(i int) {
+		sh := shards[i]
+		if err := sh.Reset(); err != nil {
+			errs[i] = err
+			return
+		}
+		for {
+			e, err := sh.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
+				errs[i] = fmt.Errorf("%w: edge (%d,%d) with n=%d", graph.ErrNodeRange, e.U, e.V, n)
+				return
+			}
+			if visit(i, e) {
+				counts[i]++
+			}
+		}
+	})
+	var edges int64
+	for i := range shards {
+		if errs[i] != nil {
+			return 0, errs[i]
+		}
+		edges += counts[i]
+	}
+	return edges, nil
+}
+
+// UndirectedParallel runs Algorithm 1 against an edge stream with the
+// per-pass scan split across workers: the stream's shards are scanned
+// concurrently into a striped exact counter (one lane per worker, no
+// locks), per-shard edge counts merge in shard order, and the removal
+// scan shards over the node range. Results are bit-identical to
+// Undirected with an ExactCounter for every worker count. Streams that
+// do not implement ShardedStream (e.g. file streams) fall back to the
+// sequential scan.
+func UndirectedParallel(es EdgeStream, eps float64, workers int) (*core.Result, error) {
+	workers = par.Clamp(workers)
+	ss, ok := es.(ShardedStream)
+	if !ok || workers == 1 {
+		return Undirected(es, eps, NewExactCounter(es.NumNodes()))
+	}
+	if eps < 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return nil, fmt.Errorf("stream: epsilon must be a finite value >= 0, got %v", eps)
+	}
+	n := es.NumNodes()
+	if n == 0 {
+		return nil, graph.ErrEmptyGraph
+	}
+	pool := par.New(workers)
+
+	alive := make([]bool, n)
+	for u := range alive {
+		alive[u] = true
+	}
+	removedAt := make([]int, n)
+	nodes := n
+
+	bestPass := 0
+	bestDensity := -1.0
+	var trace []core.PassStat
+
+	lanes := streamScanLanes(n, workers, 1)
+	counter := NewStripedCounter(n, lanes)
+	threshold := 2 * (1 + eps)
+	pass := 0
+	for nodes > 0 {
+		pass++
+		counter.Reset(pool)
+		edges, err := scanShardedPass(ss, pool, lanes, n, func(lane int, e Edge) bool {
+			if alive[e.U] && alive[e.V] {
+				counter.AddLane(lane, e.U)
+				counter.AddLane(lane, e.V)
+				return true
+			}
+			return false
+		})
+		if err != nil {
+			return nil, fmt.Errorf("stream: pass %d: %w", pass, err)
+		}
+		counter.Fold(pool)
+		rho := float64(edges) / float64(nodes)
+		// ρ of the current subgraph is the post-removal density of the
+		// previous pass — exactly what Algorithm 1 compares for S̃.
+		if rho > bestDensity {
+			bestDensity = rho
+			bestPass = pass
+		}
+		cut := threshold * rho
+		removed := int(pool.SumInt64(n, func(_, lo, hi int) int64 {
+			var cnt int64
+			for u := lo; u < hi; u++ {
+				if alive[u] && float64(counter.Estimate(int32(u))) <= cut {
+					alive[u] = false
+					removedAt[u] = pass
+					cnt++
+				}
+			}
+			return cnt
+		}))
+		if removed == 0 {
+			// Unreachable with exact counting unless float rounding pulls
+			// the cut below the minimum degree; mirror the sequential
+			// fallback so worker counts cannot disagree even then: drop
+			// the ε/(1+ε) fraction (at least one node) with the smallest
+			// counts.
+			quota := int(eps / (1 + eps) * float64(nodes))
+			if quota < 1 {
+				quota = 1
+			}
+			type est struct {
+				u int32
+				e int64
+			}
+			cand := make([]est, 0, nodes)
+			for u := 0; u < n; u++ {
+				if alive[u] {
+					cand = append(cand, est{u: int32(u), e: counter.Estimate(int32(u))})
+				}
+			}
+			sort.Slice(cand, func(i, j int) bool {
+				if cand[i].e != cand[j].e {
+					return cand[i].e < cand[j].e
+				}
+				return cand[i].u < cand[j].u
+			})
+			for _, c := range cand[:quota] {
+				alive[c.u] = false
+				removedAt[c.u] = pass
+			}
+			removed = quota
+		}
+		trace = append(trace, core.PassStat{
+			Pass: pass, Nodes: nodes, Edges: edges, Density: rho, Removed: removed,
+		})
+		nodes -= removed
+	}
+
+	// Survivors strictly after bestPass removals form S̃ (the set whose
+	// density was measured at the start of bestPass).
+	var set []int32
+	for u, p := range removedAt {
+		if p == 0 || p >= bestPass {
+			set = append(set, int32(u))
+		}
+	}
+	return &core.Result{Set: set, Density: bestDensity, Passes: pass, Trace: trace}, nil
+}
+
+// DirectedParallel runs Algorithm 3 against a directed edge stream with
+// the same sharded pass execution as UndirectedParallel: out- and
+// in-degree lanes are striped per worker and folded after each scan.
+// Results are bit-identical to Directed with ExactCounters for every
+// worker count; non-shardable streams fall back to the sequential scan.
+func DirectedParallel(es EdgeStream, c, eps float64, workers int) (*core.DirectedResult, error) {
+	workers = par.Clamp(workers)
+	ss, ok := es.(ShardedStream)
+	if !ok || workers == 1 {
+		n := es.NumNodes()
+		return Directed(es, c, eps, NewExactCounter(n), NewExactCounter(n))
+	}
+	if eps < 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return nil, fmt.Errorf("stream: epsilon must be a finite value >= 0, got %v", eps)
+	}
+	if c <= 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+		return nil, fmt.Errorf("stream: c must be a finite value > 0, got %v", c)
+	}
+	n := es.NumNodes()
+	if n == 0 {
+		return nil, graph.ErrEmptyGraph
+	}
+	pool := par.New(workers)
+
+	aliveS := make([]bool, n)
+	aliveT := make([]bool, n)
+	for u := 0; u < n; u++ {
+		aliveS[u] = true
+		aliveT[u] = true
+	}
+	removedAtS := make([]int, n)
+	removedAtT := make([]int, n)
+	sizeS, sizeT := n, n
+
+	bestPass := 0
+	bestDensity := -1.0
+	var trace []core.DirectedPassStat
+
+	lanes := streamScanLanes(n, workers, 2)
+	out := NewStripedCounter(n, lanes)
+	in := NewStripedCounter(n, lanes)
+	pass := 0
+	for sizeS > 0 && sizeT > 0 {
+		pass++
+		out.Reset(pool)
+		in.Reset(pool)
+		edges, err := scanShardedPass(ss, pool, lanes, n, func(lane int, e Edge) bool {
+			if aliveS[e.U] && aliveT[e.V] {
+				out.AddLane(lane, e.U)
+				in.AddLane(lane, e.V)
+				return true
+			}
+			return false
+		})
+		if err != nil {
+			return nil, fmt.Errorf("stream: pass %d: %w", pass, err)
+		}
+		out.Fold(pool)
+		in.Fold(pool)
+		rho := float64(edges) / math.Sqrt(float64(sizeS)*float64(sizeT))
+		if rho > bestDensity {
+			bestDensity = rho
+			bestPass = pass
+		}
+		stat := core.DirectedPassStat{Pass: pass, Edges: edges, Density: rho}
+		if float64(sizeS) >= c*float64(sizeT) {
+			cut := (1 + eps) * float64(edges) / float64(sizeS)
+			stat.RemovedS = int(pool.SumInt64(n, func(_, lo, hi int) int64 {
+				var cnt int64
+				for u := lo; u < hi; u++ {
+					if aliveS[u] && float64(out.Estimate(int32(u))) <= cut {
+						aliveS[u] = false
+						removedAtS[u] = pass
+						cnt++
+					}
+				}
+				return cnt
+			}))
+			if stat.RemovedS == 0 {
+				return nil, fmt.Errorf("stream: directed pass %d removed no S nodes", pass)
+			}
+			sizeS -= stat.RemovedS
+			stat.PeeledSide = 'S'
+		} else {
+			cut := (1 + eps) * float64(edges) / float64(sizeT)
+			stat.RemovedT = int(pool.SumInt64(n, func(_, lo, hi int) int64 {
+				var cnt int64
+				for v := lo; v < hi; v++ {
+					if aliveT[v] && float64(in.Estimate(int32(v))) <= cut {
+						aliveT[v] = false
+						removedAtT[v] = pass
+						cnt++
+					}
+				}
+				return cnt
+			}))
+			if stat.RemovedT == 0 {
+				return nil, fmt.Errorf("stream: directed pass %d removed no T nodes", pass)
+			}
+			sizeT -= stat.RemovedT
+			stat.PeeledSide = 'T'
+		}
+		stat.SizeS = sizeS
+		stat.SizeT = sizeT
+		trace = append(trace, stat)
+	}
+
+	var setS, setT []int32
+	for u := 0; u < n; u++ {
+		if removedAtS[u] == 0 || removedAtS[u] >= bestPass {
+			setS = append(setS, int32(u))
+		}
+		if removedAtT[u] == 0 || removedAtT[u] >= bestPass {
+			setT = append(setT, int32(u))
+		}
+	}
+	return &core.DirectedResult{S: setS, T: setT, Density: bestDensity, Passes: pass, Trace: trace}, nil
+}

@@ -72,6 +72,42 @@ func (s *SliceStream) Next() (Edge, error) {
 	return e, nil
 }
 
+// ShardedStream is an EdgeStream whose edges can be partitioned into
+// independent sub-streams so one pass can be scanned by several workers
+// at once. Shards(k) returns at most k streams that together yield
+// exactly the edges of one full scan, each safe to drive from its own
+// goroutine. The parallel peelers use it when available and fall back
+// to a sequential scan otherwise (e.g. for file streams).
+type ShardedStream interface {
+	EdgeStream
+	Shards(k int) []EdgeStream
+}
+
+// Shards implements ShardedStream: the edge slice is split into up to k
+// contiguous ranges, each wrapped in its own SliceStream.
+func (s *SliceStream) Shards(k int) []EdgeStream {
+	if k < 1 {
+		k = 1
+	}
+	total := len(s.edges)
+	per := (total + k - 1) / k
+	if per == 0 {
+		per = 1
+	}
+	out := make([]EdgeStream, 0, k)
+	for lo := 0; lo < total; lo += per {
+		hi := lo + per
+		if hi > total {
+			hi = total
+		}
+		out = append(out, &SliceStream{n: s.n, edges: s.edges[lo:hi]})
+	}
+	if len(out) == 0 {
+		out = append(out, &SliceStream{n: s.n})
+	}
+	return out
+}
+
 // FromUndirected adapts a frozen undirected graph into a stream that
 // yields each edge once.
 func FromUndirected(g *graph.Undirected) *SliceStream {

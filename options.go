@@ -1,0 +1,50 @@
+package densestream
+
+import (
+	"runtime"
+
+	"densestream/internal/core"
+)
+
+// Options configures how the peeling algorithms execute. It does not
+// change what they compute: every option combination returns
+// bit-identical results on the same input.
+type Options struct {
+	// Workers is the number of workers used for the sharded per-pass
+	// scans (candidate selection, degree decrements, and — for
+	// shardable streams — the edge scan itself). Zero or negative means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+// DefaultOptions returns the options used when none are given: all
+// available cores.
+func DefaultOptions() Options {
+	return Options{Workers: runtime.GOMAXPROCS(0)}
+}
+
+// Option is a functional option for the algorithm entry points.
+type Option func(*Options)
+
+// WithWorkers sets the worker count for the sharded per-pass scans;
+// n <= 0 selects runtime.GOMAXPROCS(0). Results are identical for
+// every worker count — this is purely a throughput knob.
+func WithWorkers(n int) Option {
+	return func(o *Options) { o.Workers = n }
+}
+
+// WithOptions replaces the whole option set at once; later options
+// still apply on top.
+func WithOptions(set Options) Option {
+	return func(o *Options) { *o = set }
+}
+
+func applyOptions(opts []Option) Options {
+	o := DefaultOptions()
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+func (o Options) coreOpts() core.Opts { return core.Opts{Workers: o.Workers} }

@@ -1,0 +1,39 @@
+#!/bin/sh
+# bench_to_json.sh — convert `go test -bench` output into a small JSON
+# document mapping benchmark name to ns/op, so CI runs leave a
+# machine-readable perf data point (BENCH_ci.json) per commit.
+#
+# Usage:
+#   go test -bench=BenchmarkTable1 -benchtime=1x -run='^$' . | scripts/bench_to_json.sh > BENCH_ci.json
+#   scripts/bench_to_json.sh bench.out > BENCH_ci.json
+#
+# Output:
+#   {"schema":"densestream-bench/v1","goos":...,"goarch":...,"cpu":...,
+#    "benchmarks":[{"name":"BenchmarkFoo/workers=4","iterations":1,"ns_per_op":123.4}, ...]}
+set -eu
+
+awk '
+function jescape(s) { gsub(/\\/, "\\\\", s); gsub(/"/, "\\\"", s); return s }
+/^goos: /   { goos = $2 }
+/^goarch: / { goarch = $2 }
+/^cpu: /    { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+    # Fields: name iterations value "ns/op" [more metrics...]; the name
+    # carries a -GOMAXPROCS suffix on multi-proc runs.
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op") {
+            name = $1
+            sub(/-[0-9]+$/, "", name)
+            if (n++) printf ",\n"
+            printf "    {\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s}", jescape(name), $2, $(i - 1)
+            break
+        }
+    }
+}
+END {
+    if (!n) { print "no benchmark lines found" > "/dev/stderr"; exit 1 }
+    printf "\n  ],\n"
+    printf "  \"goos\":\"%s\",\"goarch\":\"%s\",\"cpu\":\"%s\"\n}\n", jescape(goos), jescape(goarch), jescape(cpu)
+}
+BEGIN { printf "{\n  \"schema\":\"densestream-bench/v1\",\n  \"benchmarks\":[\n" }
+' "$@"

@@ -40,8 +40,11 @@ func OpenFileStream(path string) (*FileStream, error) {
 
 // Streaming runs Algorithm 1 against an edge stream holding only O(n)
 // node state; results are identical to Undirected on the same graph.
-func Streaming(es EdgeStream, eps float64) (*Result, error) {
-	return stream.Undirected(es, eps, stream.NewExactCounter(es.NumNodes()))
+// When the stream is shardable (in-memory streams are; file streams are
+// not) each pass's edge scan splits across workers with per-worker
+// counter lanes — results stay identical for every worker count.
+func Streaming(es EdgeStream, eps float64, opts ...Option) (*Result, error) {
+	return stream.UndirectedParallel(es, eps, applyOptions(opts).Workers)
 }
 
 // SketchConfig shapes the Count-Sketch degree oracle of §5.1: Tables
@@ -106,7 +109,7 @@ func StreamingAtLeastK(es EdgeStream, k int, eps float64) (*Result, error) {
 
 // StreamingDirected runs Algorithm 3 against a directed edge stream for a
 // fixed ratio c; results are identical to Directed on the same graph.
-func StreamingDirected(es EdgeStream, c, eps float64) (*DirectedResult, error) {
-	n := es.NumNodes()
-	return stream.Directed(es, c, eps, stream.NewExactCounter(n), stream.NewExactCounter(n))
+// Shardable streams scan each pass across workers, as in Streaming.
+func StreamingDirected(es EdgeStream, c, eps float64, opts ...Option) (*DirectedResult, error) {
+	return stream.DirectedParallel(es, c, eps, applyOptions(opts).Workers)
 }
