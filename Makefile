@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json fmt fmt-check vet ci
+.PHONY: build test race bench bench-json bench-trend fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -23,8 +23,18 @@ bench:
 # (same pattern as CI's bench-smoke job); CI archives this as the perf
 # data point for the commit.
 bench-json:
-	$(GO) test -bench='BenchmarkTable1|BenchmarkParallelPeel' -benchtime=1x -run='^$$' . | scripts/bench_to_json.sh > BENCH_ci.json
+	$(GO) test -bench='BenchmarkTable1|BenchmarkParallelPeel' -benchtime=1x -count=3 -run='^$$' . | scripts/bench_to_json.sh > BENCH_ci.json
 	@cat BENCH_ci.json
+
+# Perf-trajectory gate mirroring CI: run the bench smoke (min of 3
+# runs) against the committed BENCH_ci.json baseline and fail on a >30%
+# regression of the BenchmarkParallelPeel sweep. The baseline is
+# machine-specific; on hardware slower than the recorded cpu, refresh
+# it first with `make bench-json`.
+bench-trend:
+	$(GO) test -bench='BenchmarkTable1|BenchmarkParallelPeel' -benchtime=1x -count=3 -run='^$$' . | scripts/bench_to_json.sh > BENCH_fresh.json
+	scripts/bench_trend.sh BENCH_ci.json BENCH_fresh.json BenchmarkParallelPeel 1.30
+	@rm -f BENCH_fresh.json
 
 fmt:
 	gofmt -w .
@@ -35,4 +45,6 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: build vet fmt-check test race bench-json
+# bench-trend mirrors CI's gate; refresh the committed baseline
+# deliberately with `make bench-json`.
+ci: build vet fmt-check test race bench-trend

@@ -95,11 +95,24 @@ func BestCore(g *UndirectedGraph) ([]int32, float64, error) {
 	return kcore.BestCore(g)
 }
 
-// MRConfig controls the simulated MapReduce cluster shape.
+// MRConfig controls the simulated MapReduce cluster shape: Mappers and
+// Reducers are worker slots per machine, Machines the simulated machine
+// count (per-machine shuffle volume is reported in the round traces),
+// and Combine enables per-shard combiners in the degree jobs. Pass it
+// through WithMapReduceConfig.
 type MRConfig = mapreduce.Config
 
+// MRStats reports the work of one MapReduce job or round.
+type MRStats = mapreduce.Stats
+
+// MRMachineStats is the shuffle volume one simulated machine received.
+type MRMachineStats = mapreduce.MachineStats
+
+// MRRoundStat is one entry of MRResult.Rounds.
+type MRRoundStat = mapreduce.RoundStat
+
 // MRResult is the output of the MapReduce drivers, including per-round
-// wall-clock and shuffle statistics.
+// wall-clock and shuffle statistics (total and per machine).
 type MRResult = mapreduce.MRResult
 
 // MRDirectedResult is the directed analogue of MRResult.
@@ -107,21 +120,25 @@ type MRDirectedResult = mapreduce.MRDirectedResult
 
 // MapReduce runs Algorithm 1 as MapReduce rounds (§5.2): per pass, one
 // degree job and two marker-join filter jobs, executed on a simulated
-// cluster with real worker parallelism. Results match Undirected exactly.
-func MapReduce(g *UndirectedGraph, eps float64, cfg MRConfig) (*MRResult, error) {
-	return mapreduce.Undirected(g, eps, cfg)
+// cluster with real worker parallelism. The edge dataset is sharded
+// onto the cluster once and stays resident across rounds. Results match
+// Undirected exactly, and are bit-identical for every cluster shape
+// given with WithMapReduceConfig.
+func MapReduce(g *UndirectedGraph, eps float64, opts ...Option) (*MRResult, error) {
+	return mapreduce.Undirected(g, eps, applyOptions(opts).MapReduce)
 }
 
 // MapReduceDirected runs Algorithm 3 as MapReduce rounds for a fixed c.
-func MapReduceDirected(g *DirectedGraph, c, eps float64, cfg MRConfig) (*MRDirectedResult, error) {
-	return mapreduce.Directed(g, c, eps, cfg)
+func MapReduceDirected(g *DirectedGraph, c, eps float64, opts ...Option) (*MRDirectedResult, error) {
+	return mapreduce.Directed(g, c, eps, applyOptions(opts).MapReduce)
 }
 
 // MapReduceAtLeastK runs Algorithm 2 as MapReduce rounds; results match
 // AtLeastK exactly.
-func MapReduceAtLeastK(g *UndirectedGraph, k int, eps float64, cfg MRConfig) (*MRResult, error) {
-	return mapreduce.AtLeastK(g, k, eps, cfg)
+func MapReduceAtLeastK(g *UndirectedGraph, k int, eps float64, opts ...Option) (*MRResult, error) {
+	return mapreduce.AtLeastK(g, k, eps, applyOptions(opts).MapReduce)
 }
 
-// DefaultMRConfig is a small simulated cluster suitable for laptops.
+// DefaultMRConfig is a small single-machine simulated cluster suitable
+// for laptops.
 var DefaultMRConfig = mapreduce.DefaultConfig

@@ -268,17 +268,47 @@ func BenchmarkParallelStreamingPeel(b *testing.B) {
 	}
 }
 
-// BenchmarkMapReduceRound measures one full MR peel on a mid-size graph.
-func BenchmarkMapReduceRound(b *testing.B) {
+// BenchmarkMapReducePeel sweeps the simulated cluster shape of the
+// MapReduce peeling driver on a mid-size power-law graph: worker slots
+// per machine, machine count, and the degree-job combiner. Results are
+// bit-identical across the whole sweep; only wall-clock moves. The
+// per-round shuffle volume summed over the run is reported as a custom
+// metric so the perf log keeps the Figure 6.7 series.
+func BenchmarkMapReducePeel(b *testing.B) {
 	g, err := ds.GenerateChungLu(20000, 160000, 2.2, 1)
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := ds.MapReduce(g, 1, ds.DefaultMRConfig); err != nil {
-			b.Fatal(err)
-		}
+	shapes := []ds.MRConfig{
+		{Mappers: 1, Reducers: 1},
+		{Mappers: 2, Reducers: 2},
+		{Mappers: 4, Reducers: 4},
+		{Mappers: 8, Reducers: 8},
+		{Mappers: 4, Reducers: 4, Machines: 2},
+		{Mappers: 4, Reducers: 4, Machines: 4},
+		{Mappers: 4, Reducers: 4, Machines: 2, Combine: true},
 	}
-	b.SetBytes(g.NumEdges() * 8)
+	for _, cfg := range shapes {
+		name := fmt.Sprintf("mappers=%d,reducers=%d,machines=%d", cfg.Mappers, cfg.Reducers, max(cfg.Machines, 1))
+		if cfg.Combine {
+			name += ",combine"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(g.NumEdges() * 8)
+			var shuffleRecs, shuffleBytes int64
+			for i := 0; i < b.N; i++ {
+				r, err := ds.MapReduce(g, 1, ds.WithMapReduceConfig(cfg))
+				if err != nil {
+					b.Fatal(err)
+				}
+				shuffleRecs, shuffleBytes = 0, 0
+				for _, rd := range r.Rounds {
+					shuffleRecs += rd.Shuffle
+					shuffleBytes += rd.ShuffleBytes
+				}
+			}
+			b.ReportMetric(float64(shuffleRecs), "shuffle-recs/run")
+			b.ReportMetric(float64(shuffleBytes)/(1<<20), "shuffle-MB/run")
+		})
+	}
 }

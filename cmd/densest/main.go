@@ -31,8 +31,9 @@ func main() {
 		c        = flag.Float64("c", 1, "side ratio |S|/|T| for directed peel")
 		delta    = flag.Float64("delta", 2, "ratio step for -algo sweep")
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "workers for the sharded peeling scans (results are identical for any value)")
-		mappers  = flag.Int("mappers", 8, "simulated mappers for -algo mr")
-		reducers = flag.Int("reducers", 8, "simulated reducers for -algo mr")
+		mappers  = flag.Int("mappers", 8, "simulated map worker slots per machine for -algo mr")
+		reducers = flag.Int("reducers", 8, "simulated reduce worker slots per machine for -algo mr")
+		machines = flag.Int("machines", 1, "simulated machines for -algo mr (per-machine shuffle is reported with -trace)")
 		tables   = flag.Int("tables", 5, "Count-Sketch tables for -algo sketch")
 		buckets  = flag.Int("buckets", 0, "Count-Sketch buckets for -algo sketch (default n/20)")
 		trace    = flag.Bool("trace", false, "print the per-pass trace")
@@ -49,7 +50,7 @@ func main() {
 		// file is re-read once per pass. Requires dense integer node ids.
 		err = runStreaming(*in, *directed, *weighted, *algo, *eps, *c, *workers, *tables, *buckets, *trace)
 	} else {
-		err = run(*in, *directed, *weighted, *algo, *eps, *k, *c, *delta, *workers, *mappers, *reducers, *trace, *members)
+		err = run(*in, *directed, *weighted, *algo, *eps, *k, *c, *delta, *workers, *mappers, *reducers, *machines, *trace, *members)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "densest:", err)
@@ -127,7 +128,7 @@ func printTrace(tr []ds.PassStat, on bool) {
 	}
 }
 
-func run(in string, directed, weighted bool, algo string, eps float64, k int, c, delta float64, workers, mappers, reducers int, trace, members bool) error {
+func run(in string, directed, weighted bool, algo string, eps float64, k int, c, delta float64, workers, mappers, reducers, machines int, trace, members bool) error {
 	f, err := os.Open(in)
 	if err != nil {
 		return err
@@ -140,17 +141,17 @@ func run(in string, directed, weighted bool, algo string, eps float64, k int, c,
 			return err
 		}
 		fmt.Printf("graph: %d nodes, %d directed edges\n", g.NumNodes(), g.NumEdges())
-		return runDirected(g, lm, algo, eps, c, delta, workers, mappers, reducers, trace, members)
+		return runDirected(g, lm, algo, eps, c, delta, workers, mappers, reducers, machines, trace, members)
 	}
 	g, lm, err := ds.ReadUndirected(f, weighted)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("graph: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
-	return runUndirected(g, lm, algo, eps, k, workers, mappers, reducers, trace, members)
+	return runUndirected(g, lm, algo, eps, k, workers, mappers, reducers, machines, trace, members)
 }
 
-func runUndirected(g *ds.UndirectedGraph, lm *ds.LabelMap, algo string, eps float64, k, workers, mappers, reducers int, trace, members bool) error {
+func runUndirected(g *ds.UndirectedGraph, lm *ds.LabelMap, algo string, eps float64, k, workers, mappers, reducers, machines int, trace, members bool) error {
 	var (
 		set     []int32
 		density float64
@@ -199,7 +200,7 @@ func runUndirected(g *ds.UndirectedGraph, lm *ds.LabelMap, algo string, eps floa
 		}
 		set, density, passes, tr = r.Set, r.Density, r.Passes, r.Trace
 	case "mr":
-		r, err := ds.MapReduce(g, eps, ds.MRConfig{Mappers: mappers, Reducers: reducers})
+		r, err := ds.MapReduce(g, eps, ds.WithMapReduceConfig(ds.MRConfig{Mappers: mappers, Reducers: reducers, Machines: machines}))
 		if err != nil {
 			return err
 		}
@@ -227,7 +228,7 @@ func runUndirected(g *ds.UndirectedGraph, lm *ds.LabelMap, algo string, eps floa
 	return nil
 }
 
-func runDirected(g *ds.DirectedGraph, lm *ds.LabelMap, algo string, eps, c, delta float64, workers, mappers, reducers int, trace, members bool) error {
+func runDirected(g *ds.DirectedGraph, lm *ds.LabelMap, algo string, eps, c, delta float64, workers, mappers, reducers, machines int, trace, members bool) error {
 	switch algo {
 	case "peel":
 		r, err := ds.Directed(g, c, eps, ds.WithWorkers(workers))
@@ -254,7 +255,7 @@ func runDirected(g *ds.DirectedGraph, lm *ds.LabelMap, algo string, eps, c, delt
 			printMembers("T", sw.Best.T, lm)
 		}
 	case "mr":
-		r, err := ds.MapReduceDirected(g, c, eps, ds.MRConfig{Mappers: mappers, Reducers: reducers})
+		r, err := ds.MapReduceDirected(g, c, eps, ds.WithMapReduceConfig(ds.MRConfig{Mappers: mappers, Reducers: reducers, Machines: machines}))
 		if err != nil {
 			return err
 		}

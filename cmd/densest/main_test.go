@@ -40,11 +40,11 @@ func writeGraph(t *testing.T, directed bool) string {
 func TestRunUndirectedAlgos(t *testing.T) {
 	path := writeGraph(t, false)
 	for _, algo := range []string{"peel", "greedy", "exact", "mr"} {
-		if err := run(path, false, false, algo, 0.5, 0, 1, 2, 2, 2, 2, true, false); err != nil {
+		if err := run(path, false, false, algo, 0.5, 0, 1, 2, 2, 2, 2, 2, true, false); err != nil {
 			t.Errorf("algo %s: %v", algo, err)
 		}
 	}
-	if err := run(path, false, false, "atleastk", 0.5, 50, 1, 2, 2, 2, 2, false, true); err != nil {
+	if err := run(path, false, false, "atleastk", 0.5, 50, 1, 2, 2, 2, 2, 2, false, true); err != nil {
 		t.Errorf("atleastk: %v", err)
 	}
 }
@@ -52,7 +52,7 @@ func TestRunUndirectedAlgos(t *testing.T) {
 func TestRunDirectedAlgos(t *testing.T) {
 	path := writeGraph(t, true)
 	for _, algo := range []string{"peel", "sweep", "mr"} {
-		if err := run(path, true, false, algo, 1, 0, 1, 2, 2, 2, 2, true, false); err != nil {
+		if err := run(path, true, false, algo, 1, 0, 1, 2, 2, 2, 2, 2, true, false); err != nil {
 			t.Errorf("algo %s: %v", algo, err)
 		}
 	}
@@ -89,16 +89,16 @@ func TestRunStreamingModes(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	path := writeGraph(t, false)
-	if err := run("/nonexistent", false, false, "peel", 0.5, 0, 1, 2, 2, 2, 2, false, false); err == nil {
+	if err := run("/nonexistent", false, false, "peel", 0.5, 0, 1, 2, 2, 2, 2, 2, false, false); err == nil {
 		t.Error("missing file accepted")
 	}
-	if err := run(path, false, false, "bogus", 0.5, 0, 1, 2, 2, 2, 2, false, false); err == nil {
+	if err := run(path, false, false, "bogus", 0.5, 0, 1, 2, 2, 2, 2, 2, false, false); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
-	if err := run(path, true, false, "bogus", 0.5, 0, 1, 2, 2, 2, 2, false, false); err == nil {
+	if err := run(path, true, false, "bogus", 0.5, 0, 1, 2, 2, 2, 2, 2, false, false); err == nil {
 		t.Error("unknown directed algorithm accepted")
 	}
-	if err := run(path, false, false, "atleastk", 0.5, 0, 1, 2, 2, 2, 2, false, false); err == nil {
+	if err := run(path, false, false, "atleastk", 0.5, 0, 1, 2, 2, 2, 2, 2, false, false); err == nil {
 		t.Error("atleastk without -k accepted")
 	}
 }

@@ -106,7 +106,7 @@ func checkUndirectedModels(seed int64, maxNodes int) error {
 	if err != nil {
 		return err
 	}
-	mr, err := ds.MapReduce(g, eps, ds.MRConfig{Mappers: 3, Reducers: 2})
+	mr, err := ds.MapReduce(g, eps, ds.WithMapReduceConfig(ds.MRConfig{Mappers: 3, Reducers: 2, Machines: 2}))
 	if err != nil {
 		return err
 	}
@@ -158,7 +158,7 @@ func checkAtLeastKModels(seed int64, maxNodes int) error {
 	if err != nil {
 		return err
 	}
-	mr, err := ds.MapReduceAtLeastK(g, k, 0.5, ds.MRConfig{Mappers: 3, Reducers: 2})
+	mr, err := ds.MapReduceAtLeastK(g, k, 0.5, ds.WithMapReduceConfig(ds.MRConfig{Mappers: 3, Reducers: 2, Machines: 2}))
 	if err != nil {
 		return err
 	}
@@ -190,7 +190,7 @@ func checkDirectedModels(seed int64, maxNodes int) error {
 		if err != nil {
 			return err
 		}
-		mr, err := ds.MapReduceDirected(g, c, 0.5, ds.MRConfig{Mappers: 3, Reducers: 2})
+		mr, err := ds.MapReduceDirected(g, c, 0.5, ds.WithMapReduceConfig(ds.MRConfig{Mappers: 3, Reducers: 2, Machines: 2}))
 		if err != nil {
 			return err
 		}

@@ -75,7 +75,7 @@ func TestPublicAPIPipeline(t *testing.T) {
 		t.Fatalf("AtLeastK returned %d nodes", len(atLeast.Set))
 	}
 
-	mr, err := ds.MapReduce(g, 0.5, ds.DefaultMRConfig)
+	mr, err := ds.MapReduce(g, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +146,7 @@ func TestPublicAPIDirected(t *testing.T) {
 		t.Fatalf("streaming directed %v != in-memory %v", sr.Density, r.Density)
 	}
 
-	mr, err := ds.MapReduceDirected(g, 0.5, 0.5, ds.DefaultMRConfig)
+	mr, err := ds.MapReduceDirected(g, 0.5, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}

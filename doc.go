@@ -33,14 +33,37 @@
 // fixed-size vertex chunks with per-chunk batch buffers that merge in
 // index order, and integer degree updates use atomics (weighted
 // degrees use a pull-based owner-computes scheme instead, since float
-// accumulation is order sensitive). Because the decomposition depends
+// accumulation is order sensitive). Graph construction shares the
+// engine: Builder.Freeze sorts its edge list as fixed-size runs merged
+// in a fixed tree, concurrently. Because the decomposition depends
 // only on the input size, never on scheduling, every worker count
 // produces bit-identical results. The peeling entry points —
 // Undirected, UndirectedWeighted, AtLeastK, Directed, DirectedSweep,
 // Streaming, and StreamingDirected — take WithWorkers(n) (default:
 // runtime.GOMAXPROCS(0)); the densest CLI exposes it as -workers. The
-// remaining entry points (Exact, Greedy, the MapReduce drivers, the
-// sketched and weighted streaming variants) are unchanged.
+// remaining entry points (Exact, Greedy, the sketched and weighted
+// streaming variants) are unchanged.
+//
+// # MapReduce runtime
+//
+// The MapReduce entry points run on a simulated cluster built on the
+// same internal/par engine, configured with WithMapReduceConfig
+// (MRConfig): Mappers and Reducers are worker slots per machine,
+// Machines the simulated machine count, Combine enables per-shard
+// combiners in the degree jobs; the densest CLI exposes them as
+// -mappers, -reducers, and -machines. A driver run shards the edge
+// list onto the cluster once; each peeling pass is a Round of jobs
+// (one degree count, the §5.2 marker-join filters) over the resident
+// partitioned dataset — only the removal markers enter a round from
+// the coordinator, mirroring the paper's observation that only degrees
+// change between passes. Jobs read fixed input shards, shuffle through
+// a fixed number of hash partitions merged in shard order, and fold
+// each reducer partition's keys in sorted order, so every cluster
+// shape returns a bit-identical MRResult. Each round reports wall
+// clock, shuffle records and bytes, and the per-machine shuffle
+// attribution (MRRoundStat.PerMachine) — the series behind the paper's
+// Figure 6.7, now across cluster sizes; Wall and PerMachine are the
+// only fields that depend on the configured shape.
 //
 // Graphs are built with NewBuilder/NewDirectedBuilder or parsed from
 // SNAP-style edge lists with ReadUndirected/ReadDirected. All algorithms

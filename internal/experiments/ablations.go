@@ -104,7 +104,7 @@ func AblationCombiner(scale int) (*Report, error) {
 		ID: "A4", Title: "Ablation — combiner effect on the degree job's shuffle",
 		Table: b.String(),
 		Summary: fmt.Sprintf("the combiner cuts shuffle volume %.1fx (from one record per edge endpoint to one per "+
-			"distinct node per mapper) with identical output", float64(stats.ShuffleRecords)/float64(cstats.ShuffleRecords)),
+			"distinct node per map shard) with identical output", float64(stats.ShuffleRecords)/float64(cstats.ShuffleRecords)),
 	}, nil
 }
 

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"densestream/internal/par"
 )
 
 // Builder accumulates undirected edges and freezes them into an Undirected
@@ -62,12 +64,7 @@ func (b *Builder) Freeze() (*Undirected, error) {
 		return nil, fmt.Errorf("graph: Freeze called twice")
 	}
 	b.frozen = true
-	sort.Slice(b.edges, func(i, j int) bool {
-		if b.edges[i].U != b.edges[j].U {
-			return b.edges[i].U < b.edges[j].U
-		}
-		return b.edges[i].V < b.edges[j].V
-	})
+	sortEdges(b.edges)
 	// Merge parallel edges in place (weights accumulate).
 	merged := b.edges[:0]
 	for _, e := range b.edges {
@@ -110,6 +107,76 @@ func (b *Builder) Freeze() (*Undirected, error) {
 	}
 	b.edges = nil
 	return g, nil
+}
+
+// sortRunSize is the fixed length of the initial sorted runs of the
+// parallel edge sort. Like par.ChunkSize, it must stay constant — run
+// boundaries depend only on the edge count, never on the worker count,
+// so the final order (including the relative order of duplicate edges,
+// whose weights later accumulate in that order) is identical on every
+// machine. It is a variable only so tests can force the sequential
+// path.
+var sortRunSize = 1 << 15
+
+// edgeLess orders edges by (U, V); duplicates compare equal and are
+// merged by Freeze afterwards.
+func edgeLess(a, b Edge) bool {
+	if a.U != b.U {
+		return a.U < b.U
+	}
+	return a.V < b.V
+}
+
+// sortEdges sorts the edge list by (U, V) through internal/par: the
+// slice is cut into fixed-size runs sorted concurrently, then merged
+// pairwise in a fixed binary tree, each level's merges running
+// concurrently. Ties always prefer the left (earlier) run, so the
+// result is deterministic for any worker count. The O(m log m)
+// single-threaded sort was the bottleneck of Freeze on large graphs.
+func sortEdges(edges []Edge) {
+	n := len(edges)
+	if n <= sortRunSize {
+		sort.Slice(edges, func(i, j int) bool { return edgeLess(edges[i], edges[j]) })
+		return
+	}
+	pool := par.New(0)
+	runs := (n + sortRunSize - 1) / sortRunSize
+	pool.ForEach(runs, func(r int) {
+		lo := r * sortRunSize
+		hi := min(lo+sortRunSize, n)
+		run := edges[lo:hi]
+		sort.Slice(run, func(i, j int) bool { return edgeLess(run[i], run[j]) })
+	})
+	buf := make([]Edge, n)
+	src, dst := edges, buf
+	for width := sortRunSize; width < n; width *= 2 {
+		pairs := (n + 2*width - 1) / (2 * width)
+		pool.ForEach(pairs, func(i int) {
+			lo := i * 2 * width
+			mid := min(lo+width, n)
+			hi := min(lo+2*width, n)
+			mergeRuns(src[lo:mid], src[mid:hi], dst[lo:hi])
+		})
+		src, dst = dst, src
+	}
+	if &src[0] != &edges[0] {
+		copy(edges, src)
+	}
+}
+
+// mergeRuns merges two sorted runs into out (len(out) == len(a)+len(b)),
+// preferring a on ties so duplicate edges keep their run order.
+func mergeRuns(a, b, out []Edge) {
+	i, j := 0, 0
+	for k := range out {
+		if j >= len(b) || (i < len(a) && !edgeLess(b[j], a[i])) {
+			out[k] = a[i]
+			i++
+		} else {
+			out[k] = b[j]
+			j++
+		}
+	}
 }
 
 // FromEdges is a convenience constructor for tests and examples: it builds

@@ -1,0 +1,125 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomEdges builds a shuffled multigraph edge list (duplicates
+// included) with small-integer weights, so duplicate-weight sums are
+// exact in float64 and independent of accumulation order.
+func randomEdges(n, m int, seed int64) []Edge {
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]Edge, 0, m)
+	for len(edges) < m {
+		u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		edges = append(edges, Edge{U: u, V: v, Weight: float64(1 + rng.Intn(4))})
+	}
+	return edges
+}
+
+func TestSortEdgesParallelMatchesSequential(t *testing.T) {
+	edges := randomEdges(500, 200000, 17)
+	seq := append([]Edge(nil), edges...)
+	old := sortRunSize
+	defer func() { sortRunSize = old }()
+
+	sortRunSize = len(edges) + 1 // sequential path
+	sortEdges(seq)
+	for _, runSize := range []int{1 << 10, 1 << 14} {
+		parallel := append([]Edge(nil), edges...)
+		sortRunSize = runSize
+		sortEdges(parallel)
+		for i := 1; i < len(parallel); i++ {
+			if edgeLess(parallel[i], parallel[i-1]) {
+				t.Fatalf("runSize=%d: out of order at %d", runSize, i)
+			}
+		}
+		for i := range parallel {
+			if parallel[i].U != seq[i].U || parallel[i].V != seq[i].V {
+				t.Fatalf("runSize=%d: key order differs at %d: %+v vs %+v",
+					runSize, i, parallel[i], seq[i])
+			}
+		}
+	}
+}
+
+func TestFreezeParallelMatchesSequentialGraph(t *testing.T) {
+	edges := randomEdges(300, 100000, 23)
+	old := sortRunSize
+	defer func() { sortRunSize = old }()
+
+	freeze := func(runSize int) *Undirected {
+		sortRunSize = runSize
+		b := NewBuilder(300)
+		for _, e := range edges {
+			if err := b.AddWeightedEdge(e.U, e.V, e.Weight); err != nil {
+				t.Fatal(err)
+			}
+		}
+		g, err := b.Freeze()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	seq := freeze(len(edges) + 1)
+	for _, runSize := range []int{1 << 9, 1 << 13} {
+		got := freeze(runSize)
+		if got.NumNodes() != seq.NumNodes() || got.NumEdges() != seq.NumEdges() {
+			t.Fatalf("runSize=%d: shape %d/%d vs %d/%d", runSize,
+				got.NumNodes(), got.NumEdges(), seq.NumNodes(), seq.NumEdges())
+		}
+		type rec struct {
+			U, V int32
+			W    float64
+		}
+		collect := func(g *Undirected) []rec {
+			var out []rec
+			g.Edges(func(u, v int32, w float64) bool {
+				out = append(out, rec{u, v, w})
+				return true
+			})
+			return out
+		}
+		if !reflect.DeepEqual(collect(got), collect(seq)) {
+			t.Fatalf("runSize=%d: merged edge set differs from sequential Freeze", runSize)
+		}
+	}
+}
+
+// BenchmarkFreezeSort measures the Freeze edge sort sequential vs
+// parallel on a multi-million-edge builder (the ROADMAP CSR item's
+// first step).
+func BenchmarkFreezeSort(b *testing.B) {
+	base := randomEdges(200000, 1<<21, 1)
+	old := sortRunSize
+	defer func() { sortRunSize = old }()
+	for _, mode := range []struct {
+		name string
+		run  int
+	}{
+		{"sequential", len(base) + 1},
+		{"parallel", old},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			sortRunSize = mode.run
+			buf := make([]Edge, len(base))
+			b.SetBytes(int64(len(base)) * 16)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				copy(buf, base)
+				b.StartTimer()
+				sortEdges(buf)
+			}
+		})
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"time"
 
 	"densestream/internal/graph"
 )
@@ -18,7 +17,8 @@ func AtLeastK(g *graph.Undirected, k int, eps float64, cfg Config) (*MRResult, e
 	if eps < 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
 		return nil, fmt.Errorf("mapreduce: epsilon must be a finite value >= 0, got %v", eps)
 	}
-	if err := cfg.validate(); err != nil {
+	e, err := NewEngine(cfg)
+	if err != nil {
 		return nil, err
 	}
 	n := g.NumNodes()
@@ -32,11 +32,7 @@ func AtLeastK(g *graph.Undirected, k int, eps float64, cfg Config) (*MRResult, e
 		return nil, fmt.Errorf("mapreduce: k=%d out of range [1,%d]", k, n)
 	}
 
-	edges := make([]Pair[int32, int32], 0, g.NumEdges())
-	g.Edges(func(u, v int32, _ float64) bool {
-		edges = append(edges, Pair[int32, int32]{Key: u, Value: v})
-		return true
-	})
+	edges := edgeDataset(e, g)
 
 	alive := make([]bool, n)
 	for u := range alive {
@@ -58,16 +54,14 @@ func AtLeastK(g *graph.Undirected, k int, eps float64, cfg Config) (*MRResult, e
 	var candidates []cand
 	for nodes >= k {
 		pass++
-		roundStart := time.Now()
-		var shuffle int64
+		rd := e.StartRound()
 
-		degPairs, st, err := degreeJob(cfg, edges, true)
+		degs, _, err := degreeJob(rd, edges, true, false)
 		if err != nil {
 			return nil, fmt.Errorf("mapreduce: pass %d degree job: %w", pass, err)
 		}
-		shuffle += st.ShuffleRecords
 
-		numEdges := int64(len(edges))
+		numEdges := int64(edges.Len())
 		rho := float64(numEdges) / float64(nodes)
 		if rho > bestDensity {
 			bestDensity = rho
@@ -75,10 +69,8 @@ func AtLeastK(g *graph.Undirected, k int, eps float64, cfg Config) (*MRResult, e
 		}
 		cut := threshold * rho
 
-		deg := make(map[int32]int32, len(degPairs))
-		for _, p := range degPairs {
-			deg[p.Key] = p.Value
-		}
+		deg := make(map[int32]int32, degs.Len())
+		degs.Each(func(u, d int32) { deg[u] = d })
 		candidates = candidates[:0]
 		for u := 0; u < n; u++ {
 			if alive[u] && float64(deg[int32(u)]) <= cut {
@@ -108,22 +100,21 @@ func AtLeastK(g *graph.Undirected, k int, eps float64, cfg Config) (*MRResult, e
 			removedAt[c.u] = pass
 		}
 
-		in := append(append([]Pair[int32, int32]{}, edges...), markers...)
-		half, st2, err := filterJob(cfg, in, true)
+		half, _, err := filterJob(rd, edges, markers, false, true)
 		if err != nil {
 			return nil, fmt.Errorf("mapreduce: pass %d filter 1: %w", pass, err)
 		}
-		shuffle += st2.ShuffleRecords
-		half = append(half, markers...)
-		edges, st, err = filterJob(cfg, half, false)
+		edges, _, err = filterJob(rd, half, markers, false, false)
 		if err != nil {
 			return nil, fmt.Errorf("mapreduce: pass %d filter 2: %w", pass, err)
 		}
-		shuffle += st.ShuffleRecords
 
+		st := rd.Stats()
 		rounds = append(rounds, RoundStat{
 			Pass: pass, Nodes: nodes, Edges: numEdges, Density: rho,
-			Removed: quota, Wall: time.Since(roundStart), Shuffle: shuffle,
+			Removed: quota, Wall: rd.Wall(),
+			Shuffle: st.ShuffleRecords, ShuffleBytes: st.ShuffleBytes,
+			PerMachine: st.PerMachine,
 		})
 		nodes -= quota
 	}

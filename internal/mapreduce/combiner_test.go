@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"densestream/internal/gen"
+	"densestream/internal/graph"
 )
 
 func TestRunCombinedValidation(t *testing.T) {
@@ -19,78 +20,67 @@ func TestRunCombinedValidation(t *testing.T) {
 	}
 }
 
+// combinedDegrees runs the degree job over g with the combiner toggled
+// through the engine config — the per-round option the drivers use.
+func combinedDegrees(t testing.TB, g *graph.Undirected, cfg Config, combine bool) (map[int32]int32, Stats) {
+	t.Helper()
+	cfg.Combine = combine
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, stats, err := degreeJob(e.StartRound(), edgeDataset(e, g), true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := make(map[int32]int32)
+	out.Each(func(u, d int32) { deg[u] = d })
+	return deg, stats
+}
+
 func TestDegreeJobCombinedMatchesPlain(t *testing.T) {
 	g, err := gen.Gnm(80, 300, 11)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var edges []Pair[int32, int32]
-	g.Edges(func(u, v int32, _ float64) bool {
-		edges = append(edges, Pair[int32, int32]{Key: u, Value: v})
-		return true
-	})
-	plain, plainStats, err := degreeJob(DefaultConfig, edges, true)
-	if err != nil {
-		t.Fatal(err)
+	plain, plainStats := combinedDegrees(t, g, DefaultConfig, false)
+	combined, combStats := combinedDegrees(t, g, DefaultConfig, true)
+	if len(plain) != len(combined) {
+		t.Fatalf("key counts differ: %d vs %d", len(plain), len(combined))
 	}
-	combined, combStats, err := degreeJobCombined(DefaultConfig, edges, true)
-	if err != nil {
-		t.Fatal(err)
-	}
-	pd := make(map[int32]int32)
-	for _, p := range plain {
-		pd[p.Key] = p.Value
-	}
-	cd := make(map[int32]int32)
-	for _, p := range combined {
-		cd[p.Key] = p.Value
-	}
-	if len(pd) != len(cd) {
-		t.Fatalf("key counts differ: %d vs %d", len(pd), len(cd))
-	}
-	for k, v := range pd {
-		if cd[k] != v {
-			t.Fatalf("degree(%d): plain %d, combined %d", k, v, cd[k])
+	for k, v := range plain {
+		if combined[k] != v {
+			t.Fatalf("degree(%d): plain %d, combined %d", k, v, combined[k])
 		}
 	}
 	// The combiner must shrink the shuffle: without it, shuffle records
-	// equal 2·|E|; with it, at most mappers × distinct nodes.
+	// equal 2·|E|; with it, at most one per distinct node per map shard.
 	if combStats.ShuffleRecords >= plainStats.ShuffleRecords {
 		t.Fatalf("combiner did not reduce shuffle: %d vs %d",
 			combStats.ShuffleRecords, plainStats.ShuffleRecords)
 	}
 }
 
-// Property: combined and plain degree jobs agree on any random graph.
+// Property: combined and plain degree jobs agree on any random graph
+// and any cluster shape.
 func TestDegreeJobCombinedProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		g, err := gen.Gnm(30, 90, seed)
 		if err != nil {
 			return false
 		}
-		var edges []Pair[int32, int32]
-		g.Edges(func(u, v int32, _ float64) bool {
-			edges = append(edges, Pair[int32, int32]{Key: u, Value: v})
-			return true
-		})
-		plain, _, err := degreeJob(Config{Mappers: 3, Reducers: 2}, edges, true)
-		if err != nil {
+		cfg := Config{Mappers: 3, Reducers: 2, Machines: 2}
+		plain, _ := combinedDegrees(t, g, cfg, false)
+		combined, _ := combinedDegrees(t, g, cfg, true)
+		if len(plain) != len(combined) {
 			return false
 		}
-		combined, _, err := degreeJobCombined(Config{Mappers: 3, Reducers: 2}, edges, true)
-		if err != nil {
-			return false
-		}
-		pd := make(map[int32]int32)
-		for _, p := range plain {
-			pd[p.Key] = p.Value
-		}
-		for _, p := range combined {
-			if pd[p.Key] != p.Value {
+		for k, v := range plain {
+			if combined[k] != v {
 				return false
 			}
 		}
-		return len(plain) == len(combined)
+		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)

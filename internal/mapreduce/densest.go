@@ -10,20 +10,22 @@ import (
 	"densestream/internal/stream"
 )
 
-// mark is the paper's '$' tombstone: a value that cannot be a node id.
-const mark int32 = -1
-
 // RoundStat records one pass of the MapReduce peeling driver: the state
 // of the distributed edge set as scanned at the start of the round, plus
-// the cost of the round's jobs (the Figure 6.7 series).
+// the cost of the round's jobs (the Figure 6.7 series). Wall and
+// PerMachine describe the run's cluster shape, not the algorithm: all
+// other fields are bit-identical for every (Mappers, Reducers,
+// Machines) configuration.
 type RoundStat struct {
-	Pass    int
-	Nodes   int
-	Edges   int64
-	Density float64
-	Removed int
-	Wall    time.Duration // wall-clock of the round's MR jobs
-	Shuffle int64         // records crossing map→reduce in this round
+	Pass         int
+	Nodes        int
+	Edges        int64
+	Density      float64
+	Removed      int
+	Wall         time.Duration  // wall-clock of the round's MR jobs
+	Shuffle      int64          // records crossing map→reduce in this round
+	ShuffleBytes int64          // the same in bytes
+	PerMachine   []MachineStats // shuffle volume per simulated machine
 }
 
 // MRResult is the output of the MapReduce drivers.
@@ -34,45 +36,17 @@ type MRResult struct {
 	Rounds  []RoundStat
 }
 
-// degreeJob computes (node, degree) from an edge dataset, duplicating
-// each edge into both orientations exactly as §5.2 prescribes.
-func degreeJob(cfg Config, edges []Pair[int32, int32], bothEnds bool) ([]Pair[int32, int32], Stats, error) {
-	mapFn := func(u int32, v int32, emit func(int32, int32)) {
-		emit(u, v)
-		if bothEnds {
-			emit(v, u)
-		}
-	}
-	reduceFn := func(u int32, neighbors []int32, emit func(int32, int32)) {
-		emit(u, int32(len(neighbors)))
-	}
-	return Run(cfg, edges, mapFn, reduceFn, PartitionInt32)
-}
-
-// filterJob drops every edge whose key endpoint is marked, implementing
-// one of the two marker-join passes of §5.2. Input records are edges
-// (key=pivot endpoint, value=other endpoint) plus (node, $) markers; the
-// output pivots each surviving edge on its other endpoint when flip is
-// set, chaining directly into the second filter pass.
-func filterJob(cfg Config, records []Pair[int32, int32], flip bool) ([]Pair[int32, int32], Stats, error) {
-	mapFn := func(k int32, v int32, emit func(int32, int32)) {
-		emit(k, v)
-	}
-	reduceFn := func(k int32, values []int32, emit func(int32, int32)) {
-		for _, v := range values {
-			if v == mark {
-				return // node k was removed: drop all of its edges
-			}
-		}
-		for _, v := range values {
-			if flip {
-				emit(v, k)
-			} else {
-				emit(k, v)
-			}
-		}
-	}
-	return Run(cfg, records, mapFn, reduceFn, PartitionInt32)
+// edgeDataset uploads a graph's edge list onto the cluster once; the
+// peeling drivers keep it resident — each round's filter jobs produce
+// the next round's partitioned dataset, and only the O(removed) markers
+// enter a round from the driver.
+func edgeDataset(e *Engine, g *graph.Undirected) *Dataset[int32, int32] {
+	recs := make([]Pair[int32, int32], 0, g.NumEdges())
+	g.Edges(func(u, v int32, _ float64) bool {
+		recs = append(recs, Pair[int32, int32]{Key: u, Value: v})
+		return true
+	})
+	return Shard(e, recs, PartitionInt32)
 }
 
 // Undirected runs Algorithm 1 as a sequence of MapReduce rounds, exactly
@@ -87,7 +61,8 @@ func Undirected(g *graph.Undirected, eps float64, cfg Config) (*MRResult, error)
 	if eps < 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
 		return nil, fmt.Errorf("mapreduce: epsilon must be a finite value >= 0, got %v", eps)
 	}
-	if err := cfg.validate(); err != nil {
+	e, err := NewEngine(cfg)
+	if err != nil {
 		return nil, err
 	}
 	n := g.NumNodes()
@@ -98,12 +73,7 @@ func Undirected(g *graph.Undirected, eps float64, cfg Config) (*MRResult, error)
 		return nil, fmt.Errorf("mapreduce: Undirected needs an unweighted graph")
 	}
 
-	// The distributed edge dataset.
-	edges := make([]Pair[int32, int32], 0, g.NumEdges())
-	g.Edges(func(u, v int32, _ float64) bool {
-		edges = append(edges, Pair[int32, int32]{Key: u, Value: v})
-		return true
-	})
+	edges := edgeDataset(e, g)
 
 	alive := make([]bool, n)
 	for u := range alive {
@@ -119,17 +89,15 @@ func Undirected(g *graph.Undirected, eps float64, cfg Config) (*MRResult, error)
 	pass := 0
 	for nodes > 0 {
 		pass++
-		roundStart := time.Now()
-		var shuffle int64
+		rd := e.StartRound()
 
 		// Job 1: degrees of the surviving subgraph.
-		degPairs, st, err := degreeJob(cfg, edges, true)
+		degs, _, err := degreeJob(rd, edges, true, false)
 		if err != nil {
 			return nil, fmt.Errorf("mapreduce: pass %d degree job: %w", pass, err)
 		}
-		shuffle += st.ShuffleRecords
 
-		numEdges := int64(len(edges))
+		numEdges := int64(edges.Len())
 		rho := float64(numEdges) / float64(nodes)
 		if rho > bestDensity {
 			bestDensity = rho
@@ -139,10 +107,8 @@ func Undirected(g *graph.Undirected, eps float64, cfg Config) (*MRResult, error)
 
 		// Decide removals: nodes with degree <= cut. Isolated alive nodes
 		// have no degree record and count as degree 0.
-		deg := make(map[int32]int32, len(degPairs))
-		for _, p := range degPairs {
-			deg[p.Key] = p.Value
-		}
+		deg := make(map[int32]int32, degs.Len())
+		degs.Each(func(u, d int32) { deg[u] = d })
 		var markers []Pair[int32, int32]
 		removed := 0
 		for u := 0; u < n; u++ {
@@ -159,22 +125,21 @@ func Undirected(g *graph.Undirected, eps float64, cfg Config) (*MRResult, error)
 
 		// Jobs 2+3: drop edges incident on marked nodes, pivoting on the
 		// first and then the second endpoint.
-		in := append(append([]Pair[int32, int32]{}, edges...), markers...)
-		half, st2, err := filterJob(cfg, in, true)
+		half, _, err := filterJob(rd, edges, markers, false, true)
 		if err != nil {
 			return nil, fmt.Errorf("mapreduce: pass %d filter 1: %w", pass, err)
 		}
-		shuffle += st2.ShuffleRecords
-		half = append(half, markers...)
-		edges, st, err = filterJob(cfg, half, false)
+		edges, _, err = filterJob(rd, half, markers, false, false)
 		if err != nil {
 			return nil, fmt.Errorf("mapreduce: pass %d filter 2: %w", pass, err)
 		}
-		shuffle += st.ShuffleRecords
 
+		st := rd.Stats()
 		rounds = append(rounds, RoundStat{
 			Pass: pass, Nodes: nodes, Edges: numEdges, Density: rho,
-			Removed: removed, Wall: time.Since(roundStart), Shuffle: shuffle,
+			Removed: removed, Wall: rd.Wall(),
+			Shuffle: st.ShuffleRecords, ShuffleBytes: st.ShuffleBytes,
+			PerMachine: st.PerMachine,
 		})
 		nodes -= removed
 	}

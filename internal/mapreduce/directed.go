@@ -8,17 +8,20 @@ import (
 	"densestream/internal/graph"
 )
 
-// DirectedRoundStat records one pass of the directed MR driver.
+// DirectedRoundStat records one pass of the directed MR driver. As with
+// RoundStat, only Wall and PerMachine depend on the cluster shape.
 type DirectedRoundStat struct {
-	Pass       int
-	SizeS      int
-	SizeT      int
-	Edges      int64
-	Density    float64
-	Removed    int
-	PeeledSide byte
-	Wall       time.Duration
-	Shuffle    int64
+	Pass         int
+	SizeS        int
+	SizeT        int
+	Edges        int64
+	Density      float64
+	Removed      int
+	PeeledSide   byte
+	Wall         time.Duration
+	Shuffle      int64
+	ShuffleBytes int64
+	PerMachine   []MachineStats
 }
 
 // MRDirectedResult is the output of the directed MapReduce driver.
@@ -30,10 +33,12 @@ type MRDirectedResult struct {
 }
 
 // Directed runs Algorithm 3 as MapReduce rounds for a fixed ratio c. The
-// distributed edge dataset always contains exactly E(S, T); per pass one
-// degree job computes out-degrees (peeling S) or in-degrees (peeling T),
-// and one marker-join filter deletes the removed side's edges. The result
-// matches core.Directed exactly.
+// resident edge dataset always contains exactly E(S, T), kept in
+// source-keyed orientation; per pass one degree job computes out-degrees
+// (peeling S) or in-degrees (peeling T, keying by the destination in the
+// map phase instead of re-orienting the dataset), and one marker-join
+// filter deletes the removed side's edges. The result matches
+// core.Directed exactly.
 func Directed(g *graph.Directed, c, eps float64, cfg Config) (*MRDirectedResult, error) {
 	if eps < 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
 		return nil, fmt.Errorf("mapreduce: epsilon must be a finite value >= 0, got %v", eps)
@@ -41,7 +46,8 @@ func Directed(g *graph.Directed, c, eps float64, cfg Config) (*MRDirectedResult,
 	if c <= 0 || math.IsNaN(c) || math.IsInf(c, 0) {
 		return nil, fmt.Errorf("mapreduce: c must be a finite value > 0, got %v", c)
 	}
-	if err := cfg.validate(); err != nil {
+	e, err := NewEngine(cfg)
+	if err != nil {
 		return nil, err
 	}
 	n := g.NumNodes()
@@ -50,11 +56,12 @@ func Directed(g *graph.Directed, c, eps float64, cfg Config) (*MRDirectedResult,
 	}
 
 	// Edge dataset: key = source (in S), value = destination (in T).
-	edges := make([]Pair[int32, int32], 0, g.NumEdges())
+	recs := make([]Pair[int32, int32], 0, g.NumEdges())
 	g.Edges(func(u, v int32) bool {
-		edges = append(edges, Pair[int32, int32]{Key: u, Value: v})
+		recs = append(recs, Pair[int32, int32]{Key: u, Value: v})
 		return true
 	})
+	edges := Shard(e, recs, PartitionInt32)
 
 	aliveS := make([]bool, n)
 	aliveT := make([]bool, n)
@@ -72,10 +79,9 @@ func Directed(g *graph.Directed, c, eps float64, cfg Config) (*MRDirectedResult,
 	pass := 0
 	for sizeS > 0 && sizeT > 0 {
 		pass++
-		roundStart := time.Now()
-		var shuffle int64
+		rd := e.StartRound()
 
-		numEdges := int64(len(edges))
+		numEdges := int64(edges.Len())
 		rho := float64(numEdges) / math.Sqrt(float64(sizeS)*float64(sizeT))
 		if rho > bestDensity {
 			bestDensity = rho
@@ -85,25 +91,14 @@ func Directed(g *graph.Directed, c, eps float64, cfg Config) (*MRDirectedResult,
 		peelS := float64(sizeS) >= c*float64(sizeT)
 		stat := DirectedRoundStat{Pass: pass, Edges: numEdges, Density: rho}
 
-		// Degree job keyed on the side being peeled.
-		var degInput []Pair[int32, int32]
-		if peelS {
-			degInput = edges
-		} else {
-			degInput = make([]Pair[int32, int32], len(edges))
-			for i, e := range edges {
-				degInput[i] = Pair[int32, int32]{Key: e.Value, Value: e.Key}
-			}
-		}
-		degPairs, st, err := degreeJob(cfg, degInput, false)
+		// Degree job keyed on the side being peeled: out-degrees for S,
+		// in-degrees (map-side flip) for T.
+		degs, _, err := degreeJob(rd, edges, false, !peelS)
 		if err != nil {
 			return nil, fmt.Errorf("mapreduce: directed pass %d degree job: %w", pass, err)
 		}
-		shuffle += st.ShuffleRecords
-		deg := make(map[int32]int32, len(degPairs))
-		for _, p := range degPairs {
-			deg[p.Key] = p.Value
-		}
+		deg := make(map[int32]int32, degs.Len())
+		degs.Each(func(u, d int32) { deg[u] = d })
 
 		var markers []Pair[int32, int32]
 		if peelS {
@@ -135,36 +130,22 @@ func Directed(g *graph.Directed, c, eps float64, cfg Config) (*MRDirectedResult,
 			return nil, fmt.Errorf("mapreduce: directed pass %d removed no nodes", pass)
 		}
 
-		// One filter join drops the removed side's edges. The dataset is
-		// keyed by the peeled side for the join, then restored to
-		// source-keyed orientation.
-		join := make([]Pair[int32, int32], 0, len(edges)+len(markers))
-		if peelS {
-			join = append(join, edges...)
-		} else {
-			for _, e := range edges {
-				join = append(join, Pair[int32, int32]{Key: e.Value, Value: e.Key})
-			}
-		}
-		join = append(join, markers...)
-		filtered, st2, err := filterJob(cfg, join, false)
+		// One filter join drops the removed side's edges. Peeling T, the
+		// map phase pivots each edge on its destination for the join and
+		// the reducer pivots survivors back, so the resident dataset
+		// keeps its source-keyed orientation.
+		edges, _, err = filterJob(rd, edges, markers, !peelS, !peelS)
 		if err != nil {
 			return nil, fmt.Errorf("mapreduce: directed pass %d filter: %w", pass, err)
 		}
-		shuffle += st2.ShuffleRecords
-		if peelS {
-			edges = filtered
-		} else {
-			edges = edges[:0]
-			for _, e := range filtered {
-				edges = append(edges, Pair[int32, int32]{Key: e.Value, Value: e.Key})
-			}
-		}
 
+		st := rd.Stats()
 		stat.SizeS = sizeS
 		stat.SizeT = sizeT
-		stat.Wall = time.Since(roundStart)
-		stat.Shuffle = shuffle
+		stat.Wall = rd.Wall()
+		stat.Shuffle = st.ShuffleRecords
+		stat.ShuffleBytes = st.ShuffleBytes
+		stat.PerMachine = st.PerMachine
 		rounds = append(rounds, stat)
 	}
 

@@ -7,14 +7,43 @@
 // The engine is deliberately faithful to the model rather than optimized
 // around it: mappers see disjoint input shards, all communication goes
 // through a hash-partitioned shuffle, and reducers see each key with all
-// of its values. Per-round wall-clock and shuffle volumes are reported so
-// the Figure 6.7 experiment (time per pass) can be reproduced in shape.
+// of its values. Per-round wall-clock and shuffle volumes — total and
+// per simulated machine — are reported so the Figure 6.7 experiment
+// (time per pass) can be reproduced in shape across cluster sizes.
+//
+// # Architecture
+//
+// The runtime is layered on internal/par, inheriting its determinism
+// contract: the work decomposition is a function of the data only,
+// never of the cluster shape.
+//
+//   - Engine: a simulated cluster (Config: map/reduce worker slots per
+//     machine × Machines). Workers are par pools; they claim work
+//     dynamically but never influence where results land.
+//   - Dataset: a record collection resident on the cluster, split into
+//     NumPartitions partition files. Job outputs are Datasets, so a
+//     multi-round driver keeps its edge partition resident between
+//     rounds instead of re-sharding a flat slice every pass.
+//   - Round: one driver pass; jobs run inside a round, which aggregates
+//     their Stats (the per-pass series of Figure 6.7).
+//   - RunJob: one job. The map phase reads NumMapShards fixed shards of
+//     the input stream into per-shard partition buckets (optionally
+//     folding a combiner per shard); the shuffle concatenates buckets
+//     in shard order; reducers fold each partition's keys in sorted
+//     order into the output partition. Every merge point is ordered by
+//     shard or partition index, so any (Mappers, Reducers, Machines)
+//     shape yields bit-identical output.
 package mapreduce
 
 import (
+	"cmp"
 	"fmt"
-	"sync"
+	"slices"
+	"sync/atomic"
 	"time"
+	"unsafe"
+
+	"densestream/internal/par"
 )
 
 // Pair is one key-value record flowing through a job.
@@ -31,14 +60,38 @@ type Mapper[K1 comparable, V1 any, K2 comparable, V2 any] func(key K1, value V1,
 // output records via emit.
 type Reducer[K comparable, V any, V2 any] func(key K, values []V, emit func(K, V2))
 
-// Config controls the simulated cluster shape.
+// Combiner folds the values of one key within a single map shard before
+// the shuffle — Hadoop's classic optimization for aggregations. It must
+// be semantically idempotent with the reducer: reduce(combine
+// partitions) == reduce(everything).
+type Combiner[K comparable, V any] func(key K, values []V) V
+
+// Cluster geometry. Both constants are fixed independent of Config so
+// the work decomposition — map input shards and shuffle partitions —
+// depends on the data alone. Workers claim shards and partitions
+// dynamically, but every merge happens in shard or partition order,
+// which is what makes all cluster shapes bit-identical.
+const (
+	// NumMapShards is the number of fixed input splits per job.
+	NumMapShards = 64
+	// NumPartitions is the number of shuffle partitions (and therefore
+	// the number of partition files per Dataset).
+	NumPartitions = 64
+)
+
+// Config controls the simulated cluster shape. It never changes what a
+// job computes — only how many workers execute it and how the shuffle
+// volume is attributed to machines.
 type Config struct {
-	Mappers  int // number of concurrent map workers (input shards)
-	Reducers int // number of concurrent reduce workers (partitions)
+	Mappers  int  // map worker slots per machine
+	Reducers int  // reduce worker slots per machine
+	Machines int  // simulated machines; <= 0 means 1
+	Combine  bool // per-shard combiners in the drivers' degree jobs
 }
 
-// DefaultConfig is a small cluster suitable for tests and laptops.
-var DefaultConfig = Config{Mappers: 8, Reducers: 8}
+// DefaultConfig is a small single-machine cluster suitable for tests
+// and laptops.
+var DefaultConfig = Config{Mappers: 8, Reducers: 8, Machines: 1}
 
 func (c Config) validate() error {
 	if c.Mappers < 1 || c.Reducers < 1 {
@@ -47,108 +100,417 @@ func (c Config) validate() error {
 	return nil
 }
 
-// Stats reports the work one job performed.
+// machines normalizes the Machines knob (zero-value configs predate it).
+func (c Config) machines() int {
+	if c.Machines < 1 {
+		return 1
+	}
+	return c.Machines
+}
+
+// MachineStats is the shuffle volume received by one simulated machine
+// (the partitions it owns) during a job or round.
+type MachineStats struct {
+	ShuffleRecords int64
+	ShuffleBytes   int64
+}
+
+// Stats reports the work one job (or, aggregated by Round, one driver
+// pass) performed.
 type Stats struct {
 	InputRecords   int64
 	ShuffleRecords int64 // records crossing the map→reduce boundary
+	ShuffleBytes   int64 // the same in bytes of in-memory record size
 	OutputRecords  int64
 	MapWall        time.Duration
 	ReduceWall     time.Duration
+	PerMachine     []MachineStats // length = the engine's machine count
 }
 
-// Run executes one MapReduce job over the input records. partition maps an
-// intermediate key to a reducer; it must be deterministic.
-func Run[K1 comparable, V1 any, K2 comparable, V2 any, V3 any](
+func (s *Stats) merge(o Stats) {
+	s.InputRecords += o.InputRecords
+	s.ShuffleRecords += o.ShuffleRecords
+	s.ShuffleBytes += o.ShuffleBytes
+	s.OutputRecords += o.OutputRecords
+	s.MapWall += o.MapWall
+	s.ReduceWall += o.ReduceWall
+	for i := range o.PerMachine {
+		s.PerMachine[i].ShuffleRecords += o.PerMachine[i].ShuffleRecords
+		s.PerMachine[i].ShuffleBytes += o.PerMachine[i].ShuffleBytes
+	}
+}
+
+// Engine is a simulated MapReduce cluster: Machines machines with
+// Mappers map slots and Reducers reduce slots each. An Engine carries
+// no per-job state and is reused across all rounds of a driver run.
+type Engine struct {
+	cfg        Config
+	machines   int
+	mapPool    *par.Pool
+	reducePool *par.Pool
+}
+
+// NewEngine validates the config and brings up the cluster's worker
+// pools.
+func NewEngine(cfg Config) (*Engine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	m := cfg.machines()
+	return &Engine{
+		cfg:        cfg,
+		machines:   m,
+		mapPool:    par.New(cfg.Mappers * m),
+		reducePool: par.New(cfg.Reducers * m),
+	}, nil
+}
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Machines returns the normalized machine count.
+func (e *Engine) Machines() int { return e.machines }
+
+// machineOf maps a shuffle partition to its owning machine: partitions
+// are dealt to machines in contiguous blocks.
+func (e *Engine) machineOf(p int) int { return p * e.machines / NumPartitions }
+
+// shardBounds returns the half-open record range of map shard s over an
+// n-record input stream. Shard boundaries depend only on n.
+func shardBounds(s, n int) (lo, hi int) {
+	return s * n / NumMapShards, (s + 1) * n / NumMapShards
+}
+
+// partIndex maps a key to its shuffle partition.
+func partIndex[K comparable](partition func(K) uint64, k K) int {
+	return int(partition(k) % NumPartitions)
+}
+
+// Dataset is a record collection resident on the simulated cluster,
+// split into NumPartitions partition files. A job's output Dataset
+// holds, in partition file p, the sorted-key fold of reduce partition p;
+// feeding it into the next job reads the partition files in order as
+// one logical stream, so no re-sharding or flattening happens between
+// jobs or rounds. The layout is deterministic because every producer
+// writes it in shard/partition order.
+type Dataset[K comparable, V any] struct {
+	parts [][]Pair[K, V]
+	n     int
+}
+
+func emptyDataset[K comparable, V any]() *Dataset[K, V] {
+	return &Dataset[K, V]{parts: make([][]Pair[K, V], NumPartitions)}
+}
+
+// Len returns the number of resident records.
+func (d *Dataset[K, V]) Len() int {
+	if d == nil {
+		return 0
+	}
+	return d.n
+}
+
+// Each calls fn for every record in partition order.
+func (d *Dataset[K, V]) Each(fn func(K, V)) {
+	if d == nil {
+		return
+	}
+	for _, part := range d.parts {
+		for _, r := range part {
+			fn(r.Key, r.Value)
+		}
+	}
+}
+
+// Records flattens the dataset into one slice in partition order —
+// the simulated analogue of downloading all partition files.
+func (d *Dataset[K, V]) Records() []Pair[K, V] {
+	if d == nil {
+		return nil
+	}
+	out := make([]Pair[K, V], 0, d.n)
+	for _, part := range d.parts {
+		out = append(out, part...)
+	}
+	return out
+}
+
+// scanRange calls fn for records [lo, hi) of the logical input stream:
+// the partition files in order, followed by the extra records.
+func (d *Dataset[K, V]) scanRange(extra []Pair[K, V], lo, hi int, fn func(Pair[K, V])) {
+	off := 0
+	for _, part := range d.parts {
+		if hi <= off {
+			return
+		}
+		if end := off + len(part); lo < end {
+			s, t := max(lo-off, 0), min(hi-off, len(part))
+			for _, r := range part[s:t] {
+				fn(r)
+			}
+		}
+		off += len(part)
+	}
+	if hi <= off {
+		return
+	}
+	s, t := max(lo-off, 0), min(hi-off, len(extra))
+	for _, r := range extra[s:t] {
+		fn(r)
+	}
+}
+
+// Shard distributes a flat record slice onto the cluster, hash-
+// partitioned by the given partition function: the once-per-run upload
+// that makes the dataset resident. The decomposition into NumMapShards
+// fixed splits and the shard-order merge per partition make the layout
+// identical for every cluster shape.
+func Shard[K comparable, V any](e *Engine, recs []Pair[K, V], partition func(K) uint64) *Dataset[K, V] {
+	n := len(recs)
+	buckets := make([][][]Pair[K, V], NumMapShards)
+	e.mapPool.ForEach(NumMapShards, func(s int) {
+		lo, hi := shardBounds(s, n)
+		if lo >= hi {
+			return
+		}
+		local := make([][]Pair[K, V], NumPartitions)
+		for _, r := range recs[lo:hi] {
+			p := partIndex(partition, r.Key)
+			local[p] = append(local[p], r)
+		}
+		buckets[s] = local
+	})
+	d := emptyDataset[K, V]()
+	e.reducePool.ForEach(NumPartitions, func(p int) {
+		var part []Pair[K, V]
+		for s := 0; s < NumMapShards; s++ {
+			if buckets[s] != nil {
+				part = append(part, buckets[s][p]...)
+			}
+		}
+		d.parts[p] = part
+	})
+	d.n = n
+	return d
+}
+
+// Round groups the jobs of one driver pass and aggregates their Stats;
+// drivers read the totals into their per-pass trace.
+type Round struct {
+	e     *Engine
+	start time.Time
+	stats Stats
+}
+
+// StartRound opens a new round on the engine.
+func (e *Engine) StartRound() *Round {
+	return &Round{
+		e:     e,
+		start: time.Now(),
+		stats: Stats{PerMachine: make([]MachineStats, e.machines)},
+	}
+}
+
+// Wall returns the wall-clock time since the round started.
+func (r *Round) Wall() time.Duration { return time.Since(r.start) }
+
+// Stats returns the aggregate statistics of the round's jobs so far.
+func (r *Round) Stats() Stats {
+	s := r.stats
+	s.PerMachine = slices.Clone(s.PerMachine)
+	return s
+}
+
+func (r *Round) add(s Stats) { r.stats.merge(s) }
+
+// RunJob executes one MapReduce job inside a round, over the resident
+// dataset followed by the extra records (the drivers' markers enter
+// each round this way, so the O(E) edge dataset is never copied).
+// partition maps an intermediate key to a shuffle partition; it must be
+// deterministic. combineFn may be nil (no combiner).
+//
+// Determinism: the map phase processes NumMapShards fixed splits of the
+// input stream, each filling private per-partition buckets (a combiner
+// ships its folded records in sorted key order); the shuffle
+// concatenates buckets in shard order, so a reducer sees each key's
+// values in input order; reducers fold their partition's keys in sorted
+// order into the output partition file. No merge point depends on which
+// worker ran what, so any cluster shape produces bit-identical output.
+func RunJob[K1 comparable, V1 any, K2 cmp.Ordered, V2 any, V3 any](
+	rd *Round,
+	in *Dataset[K1, V1],
+	extra []Pair[K1, V1],
+	mapFn Mapper[K1, V1, K2, V2],
+	combineFn Combiner[K2, V2],
+	reduceFn Reducer[K2, V2, V3],
+	partition func(K2) uint64,
+) (*Dataset[K2, V3], Stats, error) {
+	if rd == nil {
+		return nil, Stats{}, fmt.Errorf("mapreduce: RunJob needs a round")
+	}
+	if mapFn == nil || reduceFn == nil || partition == nil {
+		return nil, Stats{}, fmt.Errorf("mapreduce: nil map, reduce, or partition function")
+	}
+	e := rd.e
+	if in == nil {
+		in = emptyDataset[K1, V1]()
+	}
+	n := in.Len() + len(extra)
+	stats := Stats{
+		InputRecords: int64(n),
+		PerMachine:   make([]MachineStats, e.machines),
+	}
+
+	// Map phase: workers claim fixed input shards; each shard owns a
+	// private set of per-partition output buckets, so no locking is
+	// needed until the shuffle.
+	mapStart := time.Now()
+	buckets := make([][][]Pair[K2, V2], NumMapShards)
+	e.mapPool.ForEach(NumMapShards, func(s int) {
+		lo, hi := shardBounds(s, n)
+		if lo >= hi {
+			return
+		}
+		local := make([][]Pair[K2, V2], NumPartitions)
+		buckets[s] = local
+		if combineFn == nil {
+			emit := func(k K2, v V2) {
+				p := partIndex(partition, k)
+				local[p] = append(local[p], Pair[K2, V2]{Key: k, Value: v})
+			}
+			in.scanRange(extra, lo, hi, func(r Pair[K1, V1]) {
+				mapFn(r.Key, r.Value, emit)
+			})
+			return
+		}
+		// Combine per shard: group this shard's emissions by key, fold
+		// each key once, and ship the folded records in sorted key order
+		// so the bucket contents stay deterministic.
+		groups := make(map[K2][]V2)
+		emit := func(k K2, v V2) { groups[k] = append(groups[k], v) }
+		in.scanRange(extra, lo, hi, func(r Pair[K1, V1]) {
+			mapFn(r.Key, r.Value, emit)
+		})
+		keys := make([]K2, 0, len(groups))
+		for k := range groups {
+			keys = append(keys, k)
+		}
+		slices.Sort(keys)
+		for _, k := range keys {
+			p := partIndex(partition, k)
+			local[p] = append(local[p], Pair[K2, V2]{Key: k, Value: combineFn(k, groups[k])})
+		}
+	})
+	stats.MapWall = time.Since(mapStart)
+
+	// Shuffle + reduce phase: workers claim shuffle partitions; each
+	// partition's shard buckets are concatenated in shard order, grouped
+	// by key, and folded in sorted key order into the partition's output
+	// file. The shared record tally is an atomic add, never a mutex.
+	reduceStart := time.Now()
+	out := emptyDataset[K2, V3]()
+	recSize := int64(unsafe.Sizeof(Pair[K2, V2]{}))
+	var shuffleRecs atomic.Int64
+	partRecs := make([]int64, NumPartitions)
+	e.reducePool.ForEach(NumPartitions, func(p int) {
+		groups := make(map[K2][]V2)
+		var local int64
+		for s := 0; s < NumMapShards; s++ {
+			if buckets[s] == nil {
+				continue
+			}
+			for _, kv := range buckets[s][p] {
+				groups[kv.Key] = append(groups[kv.Key], kv.Value)
+				local++
+			}
+		}
+		shuffleRecs.Add(local)
+		partRecs[p] = local
+		if len(groups) == 0 {
+			return
+		}
+		keys := make([]K2, 0, len(groups))
+		for k := range groups {
+			keys = append(keys, k)
+		}
+		slices.Sort(keys)
+		var outPart []Pair[K2, V3]
+		emit := func(k K2, v V3) {
+			outPart = append(outPart, Pair[K2, V3]{Key: k, Value: v})
+		}
+		for _, k := range keys {
+			reduceFn(k, groups[k], emit)
+		}
+		out.parts[p] = outPart
+	})
+	stats.ReduceWall = time.Since(reduceStart)
+	stats.ShuffleRecords = shuffleRecs.Load()
+	stats.ShuffleBytes = stats.ShuffleRecords * recSize
+	for p, recs := range partRecs {
+		m := e.machineOf(p)
+		stats.PerMachine[m].ShuffleRecords += recs
+		stats.PerMachine[m].ShuffleBytes += recs * recSize
+	}
+	for _, part := range out.parts {
+		out.n += len(part)
+	}
+	stats.OutputRecords = int64(out.n)
+	rd.add(stats)
+	return out, stats, nil
+}
+
+// Run executes one MapReduce job over a flat record slice on a fresh
+// single-job engine — the convenience entry point for standalone jobs
+// and tests. The peeling drivers use Engine/Shard/RunJob directly so
+// their edge dataset stays resident across rounds.
+func Run[K1 comparable, V1 any, K2 cmp.Ordered, V2 any, V3 any](
 	cfg Config,
 	input []Pair[K1, V1],
 	mapFn Mapper[K1, V1, K2, V2],
 	reduceFn Reducer[K2, V2, V3],
 	partition func(K2) uint64,
 ) ([]Pair[K2, V3], Stats, error) {
-	if err := cfg.validate(); err != nil {
+	return runFlat(cfg, input, mapFn, nil, reduceFn, partition)
+}
+
+// RunCombined is Run with a per-shard combiner applied before the
+// shuffle, cutting ShuffleRecords for aggregation jobs (like degree
+// counting) from O(records) to O(distinct keys per shard).
+func RunCombined[K1 comparable, V1 any, K2 cmp.Ordered, V2 any, V3 any](
+	cfg Config,
+	input []Pair[K1, V1],
+	mapFn Mapper[K1, V1, K2, V2],
+	combineFn Combiner[K2, V2],
+	reduceFn Reducer[K2, V2, V3],
+	partition func(K2) uint64,
+) ([]Pair[K2, V3], Stats, error) {
+	if combineFn == nil {
+		return nil, Stats{}, fmt.Errorf("mapreduce: nil combine function")
+	}
+	return runFlat(cfg, input, mapFn, combineFn, reduceFn, partition)
+}
+
+func runFlat[K1 comparable, V1 any, K2 cmp.Ordered, V2 any, V3 any](
+	cfg Config,
+	input []Pair[K1, V1],
+	mapFn Mapper[K1, V1, K2, V2],
+	combineFn Combiner[K2, V2],
+	reduceFn Reducer[K2, V2, V3],
+	partition func(K2) uint64,
+) ([]Pair[K2, V3], Stats, error) {
+	e, err := NewEngine(cfg)
+	if err != nil {
 		return nil, Stats{}, err
 	}
-	if mapFn == nil || reduceFn == nil || partition == nil {
-		return nil, Stats{}, fmt.Errorf("mapreduce: nil map, reduce, or partition function")
+	out, stats, err := RunJob(e.StartRound(), nil, input, mapFn, combineFn, reduceFn, partition)
+	if err != nil {
+		return nil, Stats{}, err
 	}
-	stats := Stats{InputRecords: int64(len(input))}
-	numM, numR := cfg.Mappers, cfg.Reducers
-
-	// Map phase: each worker owns a contiguous shard and a private set of
-	// per-reducer output buckets, so no locking is needed until merge.
-	mapStart := time.Now()
-	buckets := make([][][]Pair[K2, V2], numM)
-	var wg sync.WaitGroup
-	shard := (len(input) + numM - 1) / numM
-	for m := 0; m < numM; m++ {
-		lo := m * shard
-		hi := lo + shard
-		if lo > len(input) {
-			lo = len(input)
-		}
-		if hi > len(input) {
-			hi = len(input)
-		}
-		buckets[m] = make([][]Pair[K2, V2], numR)
-		wg.Add(1)
-		go func(m, lo, hi int) {
-			defer wg.Done()
-			local := buckets[m]
-			emit := func(k K2, v V2) {
-				r := int(partition(k) % uint64(numR))
-				local[r] = append(local[r], Pair[K2, V2]{Key: k, Value: v})
-			}
-			for _, rec := range input[lo:hi] {
-				mapFn(rec.Key, rec.Value, emit)
-			}
-		}(m, lo, hi)
-	}
-	wg.Wait()
-	stats.MapWall = time.Since(mapStart)
-
-	// Shuffle + reduce phase: each reduce worker groups its partition by
-	// key and folds it.
-	reduceStart := time.Now()
-	outputs := make([][]Pair[K2, V3], numR)
-	var shuffleCount int64
-	var shuffleMu sync.Mutex
-	for r := 0; r < numR; r++ {
-		wg.Add(1)
-		go func(r int) {
-			defer wg.Done()
-			groups := make(map[K2][]V2)
-			var local int64
-			for m := 0; m < numM; m++ {
-				for _, kv := range buckets[m][r] {
-					groups[kv.Key] = append(groups[kv.Key], kv.Value)
-					local++
-				}
-			}
-			shuffleMu.Lock()
-			shuffleCount += local
-			shuffleMu.Unlock()
-			emit := func(k K2, v V3) {
-				outputs[r] = append(outputs[r], Pair[K2, V3]{Key: k, Value: v})
-			}
-			for k, vs := range groups {
-				reduceFn(k, vs, emit)
-			}
-		}(r)
-	}
-	wg.Wait()
-	stats.ShuffleRecords = shuffleCount
-	stats.ReduceWall = time.Since(reduceStart)
-
-	var out []Pair[K2, V3]
-	for r := 0; r < numR; r++ {
-		out = append(out, outputs[r]...)
-	}
-	stats.OutputRecords = int64(len(out))
-	return out, stats, nil
+	return out.Records(), stats, nil
 }
 
 // PartitionInt32 is the standard partitioner for int32 node-id keys
-// (Fibonacci hashing so adjacent ids spread across reducers).
+// (Fibonacci hashing so adjacent ids spread across partitions).
 func PartitionInt32(k int32) uint64 {
 	return (uint64(uint32(k)) * 0x9e3779b97f4a7c15) >> 13
 }

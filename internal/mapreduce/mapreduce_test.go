@@ -96,19 +96,16 @@ func TestDegreeJobMatchesGraphDegrees(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var edges []Pair[int32, int32]
-	g.Edges(func(u, v int32, _ float64) bool {
-		edges = append(edges, Pair[int32, int32]{Key: u, Value: v})
-		return true
-	})
-	out, _, err := degreeJob(DefaultConfig, edges, true)
+	e, err := NewEngine(DefaultConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := degreeJob(e.StartRound(), edgeDataset(e, g), true, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	deg := make(map[int32]int32)
-	for _, p := range out {
-		deg[p.Key] = p.Value
-	}
+	out.Each(func(u, d int32) { deg[u] = d })
 	for u := int32(0); int(u) < g.NumNodes(); u++ {
 		if int(deg[u]) != g.Degree(u) {
 			t.Fatalf("MR degree(%d) = %d, graph degree = %d", u, deg[u], g.Degree(u))
@@ -117,25 +114,41 @@ func TestDegreeJobMatchesGraphDegrees(t *testing.T) {
 }
 
 func TestFilterJobDropsMarked(t *testing.T) {
-	records := []Pair[int32, int32]{
+	e, err := NewEngine(DefaultConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := Shard(e, []Pair[int32, int32]{
 		{Key: 0, Value: 1},
 		{Key: 0, Value: 2},
 		{Key: 3, Value: 4},
-		{Key: 0, Value: mark}, // node 0 removed
-	}
-	out, _, err := filterJob(DefaultConfig, records, false)
+	}, PartitionInt32)
+	markers := []Pair[int32, int32]{{Key: 0, Value: mark}} // node 0 removed
+	out, _, err := filterJob(e.StartRound(), edges, markers, false, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(out) != 1 || out[0].Key != 3 || out[0].Value != 4 {
-		t.Fatalf("filter output = %v", out)
+	recs := out.Records()
+	if len(recs) != 1 || recs[0].Key != 3 || recs[0].Value != 4 {
+		t.Fatalf("filter output = %v", recs)
 	}
-	flipped, _, err := filterJob(DefaultConfig, []Pair[int32, int32]{{Key: 3, Value: 4}}, true)
+	flipped, _, err := filterJob(e.StartRound(), out, nil, false, true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(flipped) != 1 || flipped[0].Key != 4 || flipped[0].Value != 3 {
-		t.Fatalf("flipped output = %v", flipped)
+	frecs := flipped.Records()
+	if len(frecs) != 1 || frecs[0].Key != 4 || frecs[0].Value != 3 {
+		t.Fatalf("flipped output = %v", frecs)
+	}
+	// The map-side pivot (the directed driver peeling T) keys the join
+	// by the Value endpoint: marking node 3 via its destination 4.
+	dropped, _, err := filterJob(e.StartRound(), out,
+		[]Pair[int32, int32]{{Key: 4, Value: mark}}, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped.Len() != 0 {
+		t.Fatalf("map-pivot filter kept %v", dropped.Records())
 	}
 }
 

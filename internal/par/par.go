@@ -131,6 +131,45 @@ func (p *Pool) RunTasks(k int, fn func(i int)) {
 	wg.Wait()
 }
 
+// ForEach invokes fn(i) once for every i in [0, n). With one worker
+// (or one index) the indices run inline in increasing order; otherwise
+// workers claim indices dynamically from an atomic cursor. Unlike
+// RunTasks, n may far exceed the worker count — this is the primitive
+// for task lists whose grain is already fixed by the problem (shuffle
+// partitions, sort runs), where chunking would be too coarse. fn must
+// only write to i-indexed slots or use atomics.
+func (p *Pool) ForEach(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // SumInt64 reduces fn over the chunks of [0, n): per-chunk partials are
 // computed in parallel and folded in chunk order. Deterministic for any
 // worker count.

@@ -120,6 +120,36 @@ func TestCollectorMergePreservesAscendingOrder(t *testing.T) {
 	}
 }
 
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 64} {
+		n := 157
+		visits := make([]int32, n)
+		New(workers).ForEach(n, func(i int) {
+			atomic.AddInt32(&visits[i], 1)
+		})
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestForEachInlineOrderWithOneWorker(t *testing.T) {
+	var order []int
+	New(1).ForEach(5, func(i int) { order = append(order, i) })
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("one-worker ForEach visited %v", order)
+		}
+	}
+	called := false
+	New(4).ForEach(0, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for n=0")
+	}
+}
+
 func TestForChunksEmpty(t *testing.T) {
 	called := false
 	New(4).ForChunks(0, func(_, _, _ int) { called = true })

@@ -1,0 +1,174 @@
+package densestream_test
+
+// Determinism contract of the MapReduce runtime, mirroring
+// parallel_test.go for the third execution model: every simulated
+// cluster shape — Config{1,1}, Config{8,8}, uneven shapes, multiple
+// machines, with or without the degree-job combiner — must return a
+// bit-identical MRResult on power-law (Chung–Lu) and RMAT graphs. Wall
+// and PerMachine are the only fields allowed to differ: they describe
+// the run's cluster, not the algorithm, and are normalized away before
+// comparison.
+
+import (
+	"reflect"
+	"testing"
+
+	ds "densestream"
+	"densestream/internal/gen"
+)
+
+// mrShapes is the cluster-shape sweep shared by the tests below. The
+// Combine knob is exercised separately: it changes the recorded shuffle
+// volume (that is its purpose), never the result.
+var mrShapes = []ds.MRConfig{
+	{Mappers: 1, Reducers: 1},
+	{Mappers: 8, Reducers: 8},
+	{Mappers: 3, Reducers: 5},
+	{Mappers: 4, Reducers: 2, Machines: 4},
+	{Mappers: 2, Reducers: 2, Machines: 8},
+}
+
+func normalizeMR(r *ds.MRResult) *ds.MRResult {
+	for i := range r.Rounds {
+		r.Rounds[i].Wall = 0
+		r.Rounds[i].PerMachine = nil
+	}
+	return r
+}
+
+func normalizeMRDirected(r *ds.MRDirectedResult) *ds.MRDirectedResult {
+	for i := range r.Rounds {
+		r.Rounds[i].Wall = 0
+		r.Rounds[i].PerMachine = nil
+	}
+	return r
+}
+
+func TestMapReduceShapeDeterminismUndirected(t *testing.T) {
+	for _, seed := range []int64{1, 42} {
+		g, err := gen.ChungLu(4000, 20000, 2.1, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, eps := range []float64{0, 1} {
+			want, err := ds.MapReduce(g, eps, ds.WithMapReduceConfig(mrShapes[0]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			normalizeMR(want)
+			for _, cfg := range mrShapes[1:] {
+				got, err := ds.MapReduce(g, eps, ds.WithMapReduceConfig(cfg))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(normalizeMR(got), want) {
+					t.Fatalf("seed=%d eps=%v cfg=%+v: MRResult differs from 1×1 cluster", seed, eps, cfg)
+				}
+			}
+		}
+	}
+}
+
+// WithOptions replaces the whole Options struct; a caller that never
+// sets the MapReduce field must still get the default cluster, not a
+// validation error.
+func TestWithOptionsZeroMRConfigFallsBack(t *testing.T) {
+	g, err := gen.ChungLu(500, 2000, 2.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := ds.MapReduce(g, 1, ds.WithOptions(ds.Options{Workers: 4}))
+	if err != nil {
+		t.Fatalf("WithOptions without a MapReduce config: %v", err)
+	}
+	ref, err := ds.MapReduce(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(normalizeMR(r), normalizeMR(ref)) {
+		t.Fatal("zero MRConfig fallback disagrees with the default config")
+	}
+}
+
+// The degree-job combiner must not change what is computed — only cut
+// the shuffle volume of the degree rounds.
+func TestMapReduceCombinerShrinksShuffleOnly(t *testing.T) {
+	g, err := gen.ChungLu(4000, 20000, 2.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := ds.MapReduce(g, 1, ds.WithMapReduceConfig(ds.MRConfig{Mappers: 4, Reducers: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined, err := ds.MapReduce(g, 1, ds.WithMapReduceConfig(ds.MRConfig{Mappers: 4, Reducers: 4, Combine: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Set, combined.Set) || plain.Density != combined.Density || plain.Passes != combined.Passes {
+		t.Fatal("combiner changed the result")
+	}
+	if combined.Rounds[0].Shuffle >= plain.Rounds[0].Shuffle {
+		t.Fatalf("combiner did not shrink the first round's shuffle: %d vs %d",
+			combined.Rounds[0].Shuffle, plain.Rounds[0].Shuffle)
+	}
+	for i := range plain.Rounds {
+		p, c := plain.Rounds[i], combined.Rounds[i]
+		if p.Nodes != c.Nodes || p.Edges != c.Edges || p.Density != c.Density || p.Removed != c.Removed {
+			t.Fatalf("round %d: algorithmic fields differ with combiner", i+1)
+		}
+	}
+}
+
+func TestMapReduceShapeDeterminismDirectedRMAT(t *testing.T) {
+	g, err := gen.RMAT(11, 12000, gen.DefaultRMAT, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []float64{0.5, 2} {
+		want, err := ds.MapReduceDirected(g, c, 0.5, ds.WithMapReduceConfig(mrShapes[0]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		normalizeMRDirected(want)
+		for _, cfg := range mrShapes[1:] {
+			got, err := ds.MapReduceDirected(g, c, 0.5, ds.WithMapReduceConfig(cfg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(normalizeMRDirected(got), want) {
+				t.Fatalf("c=%v cfg=%+v: MRDirectedResult differs from 1×1 cluster", c, cfg)
+			}
+		}
+	}
+}
+
+func TestMapReduceShapeDeterminismAtLeastK(t *testing.T) {
+	g, err := gen.ChungLu(3000, 12000, 2.1, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ds.MapReduceAtLeastK(g, 100, 0.5, ds.WithMapReduceConfig(mrShapes[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	normalizeMR(want)
+	for _, cfg := range mrShapes[1:] {
+		got, err := ds.MapReduceAtLeastK(g, 100, 0.5, ds.WithMapReduceConfig(cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(normalizeMR(got), want) {
+			t.Fatalf("cfg=%+v: AtLeastK MRResult differs from 1×1 cluster", cfg)
+		}
+	}
+	// And the MR result still agrees with the in-memory reference.
+	mem, err := ds.AtLeastK(g, 100, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem.Density != want.Density || mem.Passes != want.Passes {
+		t.Fatalf("MR (ρ=%v, %d passes) disagrees with in-memory (ρ=%v, %d passes)",
+			want.Density, want.Passes, mem.Density, mem.Passes)
+	}
+}

@@ -4,23 +4,35 @@ import (
 	"runtime"
 
 	"densestream/internal/core"
+	"densestream/internal/mapreduce"
 )
 
-// Options configures how the peeling algorithms execute. It does not
-// change what they compute: every option combination returns
-// bit-identical results on the same input.
+// Options configures how the algorithms execute across all three
+// execution models — in-memory peeling, streaming, and MapReduce. It
+// does not change what they compute: every option combination returns
+// bit-identical results on the same input (only the wall-clock and
+// shuffle-attribution fields of the MapReduce round traces reflect the
+// cluster shape).
 type Options struct {
 	// Workers is the number of workers used for the sharded per-pass
 	// scans (candidate selection, degree decrements, and — for
 	// shardable streams — the edge scan itself). Zero or negative means
 	// runtime.GOMAXPROCS(0).
 	Workers int
+
+	// MapReduce is the simulated cluster shape used by the MapReduce
+	// entry points: map/reduce worker slots per machine, the machine
+	// count, and whether degree jobs run per-shard combiners.
+	MapReduce MRConfig
 }
 
 // DefaultOptions returns the options used when none are given: all
-// available cores.
+// available cores and a small single-machine MapReduce cluster.
 func DefaultOptions() Options {
-	return Options{Workers: runtime.GOMAXPROCS(0)}
+	return Options{
+		Workers:   runtime.GOMAXPROCS(0),
+		MapReduce: mapreduce.DefaultConfig,
+	}
 }
 
 // Option is a functional option for the algorithm entry points.
@@ -33,6 +45,13 @@ func WithWorkers(n int) Option {
 	return func(o *Options) { o.Workers = n }
 }
 
+// WithMapReduceConfig sets the simulated cluster shape for the
+// MapReduce entry points. Results are identical for every shape — the
+// knobs move wall-clock and the per-machine shuffle attribution only.
+func WithMapReduceConfig(cfg MRConfig) Option {
+	return func(o *Options) { o.MapReduce = cfg }
+}
+
 // WithOptions replaces the whole option set at once; later options
 // still apply on top.
 func WithOptions(set Options) Option {
@@ -43,6 +62,12 @@ func applyOptions(opts []Option) Options {
 	o := DefaultOptions()
 	for _, fn := range opts {
 		fn(&o)
+	}
+	// A zero MapReduce config means "unset" — callers building a whole
+	// Options value (WithOptions) predate the field; fall back to the
+	// default cluster rather than failing validation downstream.
+	if o.MapReduce == (MRConfig{}) {
+		o.MapReduce = mapreduce.DefaultConfig
 	}
 	return o
 }

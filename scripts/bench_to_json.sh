@@ -3,8 +3,12 @@
 # document mapping benchmark name to ns/op, so CI runs leave a
 # machine-readable perf data point (BENCH_ci.json) per commit.
 #
+# Repeated runs of the same benchmark (go test -count=N) collapse to
+# the minimum ns/op — the standard way to suppress scheduler noise, and
+# what makes the bench_trend.sh gate usable with a hard threshold.
+#
 # Usage:
-#   go test -bench=BenchmarkTable1 -benchtime=1x -run='^$' . | scripts/bench_to_json.sh > BENCH_ci.json
+#   go test -bench=BenchmarkTable1 -benchtime=1x -count=3 -run='^$' . | scripts/bench_to_json.sh > BENCH_ci.json
 #   scripts/bench_to_json.sh bench.out > BENCH_ci.json
 #
 # Output:
@@ -24,15 +28,20 @@ function jescape(s) { gsub(/\\/, "\\\\", s); gsub(/"/, "\\\"", s); return s }
         if ($i == "ns/op") {
             name = $1
             sub(/-[0-9]+$/, "", name)
-            if (n++) printf ",\n"
-            printf "    {\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s}", jescape(name), $2, $(i - 1)
+            if (!(name in ns)) { order[++n] = name; ns[name] = $(i - 1) + 0; iters[name] = $2 }
+            else if ($(i - 1) + 0 < ns[name]) { ns[name] = $(i - 1) + 0; iters[name] = $2 }
             break
         }
     }
 }
 END {
     if (!n) { print "no benchmark lines found" > "/dev/stderr"; exit 1 }
-    printf "\n  ],\n"
+    for (j = 1; j <= n; j++) {
+        name = order[j]
+        printf "    {\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s}", jescape(name), iters[name], ns[name]
+        printf (j < n) ? ",\n" : "\n"
+    }
+    printf "  ],\n"
     printf "  \"goos\":\"%s\",\"goarch\":\"%s\",\"cpu\":\"%s\"\n}\n", jescape(goos), jescape(goarch), jescape(cpu)
 }
 BEGIN { printf "{\n  \"schema\":\"densestream-bench/v1\",\n  \"benchmarks\":[\n" }

@@ -1,0 +1,59 @@
+#!/bin/sh
+# bench_trend.sh — compare a fresh BENCH_ci.json against the committed
+# baseline and fail when a benchmark regressed by more than the
+# threshold. This is the perf-trajectory gate: CI emits a fresh data
+# point per run (scripts/bench_to_json.sh) and this script keeps
+# BenchmarkParallelPeel from silently losing its multi-core scaling.
+#
+# Usage:
+#   scripts/bench_trend.sh BASELINE.json FRESH.json [name-prefix] [max-ratio]
+#
+#   name-prefix  only benchmarks whose name starts with this compare
+#                (default: BenchmarkParallelPeel)
+#   max-ratio    fail when fresh_ns > baseline_ns * max-ratio
+#                (default: 1.30, i.e. a >30% regression)
+#
+# Benchmarks present in only one file are reported but never fail the
+# gate, so adding or renaming benchmarks doesn't break CI.
+set -eu
+
+baseline=${1:?usage: bench_trend.sh BASELINE.json FRESH.json [prefix] [max-ratio]}
+fresh=${2:?usage: bench_trend.sh BASELINE.json FRESH.json [prefix] [max-ratio]}
+prefix=${3:-BenchmarkParallelPeel}
+maxratio=${4:-1.30}
+
+# Extract "name ns_per_op" lines from the one-benchmark-per-line JSON
+# emitted by bench_to_json.sh.
+extract() {
+    awk '
+    /"name":/ {
+        line = $0
+        if (match(line, /"name":"[^"]*"/)) {
+            name = substr(line, RSTART + 8, RLENGTH - 9)
+            if (match(line, /"ns_per_op":[0-9.eE+-]+/)) {
+                ns = substr(line, RSTART + 12, RLENGTH - 12)
+                print name, ns
+            }
+        }
+    }' "$1"
+}
+
+old=$(mktemp) && new=$(mktemp)
+trap 'rm -f "$old" "$new"' EXIT
+extract "$baseline" > "$old"
+extract "$fresh" > "$new"
+
+awk -v prefix="$prefix" -v maxratio="$maxratio" '
+NR == FNR { base[$1] = $2; next }
+index($1, prefix) == 1 {
+    seen++
+    if (!($1 in base)) { printf "new (no baseline):  %s  %.0f ns/op\n", $1, $2; next }
+    ratio = $2 / base[$1]
+    status = "ok"
+    if (ratio > maxratio) { status = "REGRESSION"; failed++ }
+    printf "%-11s %s  %.0f -> %.0f ns/op  (x%.2f, limit x%.2f)\n", status, $1, base[$1], $2, ratio, maxratio
+}
+END {
+    if (!seen) { print "bench_trend: no benchmarks matching prefix \"" prefix "\" in fresh run" > "/dev/stderr"; exit 1 }
+    if (failed) { print "bench_trend: " failed " benchmark(s) regressed beyond x" maxratio > "/dev/stderr"; exit 1 }
+}' "$old" "$new"
