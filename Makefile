@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-trend fmt fmt-check vet ci
+.PHONY: build test race bench bench-json bench-trend fmt fmt-check vet api-check api-snapshot ci
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,15 @@ bench-trend:
 	scripts/bench_trend.sh BENCH_ci.json BENCH_fresh.json BenchmarkParallelPeel 1.30
 	@rm -f BENCH_fresh.json
 
+# Public-API gate: fail when `go doc -all .` drifts from the committed
+# API.txt snapshot; refresh the snapshot deliberately with api-snapshot.
+api-check:
+	scripts/api_surface.sh
+
+api-snapshot:
+	$(GO) doc -all . > API.txt
+	@echo "API.txt refreshed"
+
 fmt:
 	gofmt -w .
 
@@ -47,4 +56,4 @@ vet:
 
 # bench-trend mirrors CI's gate; refresh the committed baseline
 # deliberately with `make bench-json`.
-ci: build vet fmt-check test race bench-trend
+ci: build vet fmt-check api-check test race bench-trend

@@ -1,6 +1,8 @@
 package densestream
 
 import (
+	"context"
+
 	"densestream/internal/charikar"
 	"densestream/internal/core"
 	"densestream/internal/flow"
@@ -37,54 +39,90 @@ type GreedyResult = charikar.Result
 // Undirected runs Algorithm 1 of the paper: each pass removes every node
 // with degree at most 2(1+ε) times the current density and keeps the
 // densest intermediate subgraph. It guarantees ρ(S̃) ≥ ρ*(G)/(2+2ε) and
-// makes O(log_{1+ε} n) passes. eps = 0 reproduces Charikar-quality
-// results with one-pass-per-density-level behavior. The per-pass scans
-// run on all cores by default; tune with WithWorkers — the result is
-// identical for every worker count.
+// makes O(log_{1+ε} n) passes.
+//
+// Deprecated: use Solve with ObjectiveUndirected on BackendPeel; it
+// adds context cancellation and progress hooks. This wrapper returns
+// bit-identical results.
 func Undirected(g *UndirectedGraph, eps float64, opts ...Option) (*Result, error) {
-	return core.UndirectedOpts(g, eps, applyOptions(opts).coreOpts())
+	sol, err := Solve(context.Background(), Problem{Objective: ObjectiveUndirected, Backend: BackendPeel, Eps: eps, Graph: g}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return sol.asResult(), nil
 }
 
 // UndirectedWeighted is Undirected over weighted degrees; it accepts
 // unweighted graphs too (treated as unit weights).
+//
+// Deprecated: use Solve with ObjectiveWeighted on BackendPeel.
 func UndirectedWeighted(g *UndirectedGraph, eps float64, opts ...Option) (*Result, error) {
-	return core.UndirectedWeightedOpts(g, eps, applyOptions(opts).coreOpts())
+	sol, err := Solve(context.Background(), Problem{Objective: ObjectiveWeighted, Backend: BackendPeel, Eps: eps, Graph: g}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return sol.asResult(), nil
 }
 
 // AtLeastK runs Algorithm 2: the returned subgraph has at least k nodes
 // and density within (3+3ε) of the best subgraph of size ≥ k — within
 // (2+2ε) when the optimal such subgraph has more than k nodes.
+//
+// Deprecated: use Solve with ObjectiveAtLeastK on BackendPeel.
 func AtLeastK(g *UndirectedGraph, k int, eps float64, opts ...Option) (*Result, error) {
-	return core.AtLeastKOpts(g, k, eps, applyOptions(opts).coreOpts())
+	sol, err := Solve(context.Background(), Problem{Objective: ObjectiveAtLeastK, Backend: BackendPeel, K: k, Eps: eps, Graph: g}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return sol.asResult(), nil
 }
 
 // Directed runs Algorithm 3 for a fixed ratio guess c = |S*|/|T*|,
 // guaranteeing a (2+2ε)-approximation when c is correct.
+//
+// Deprecated: use Solve with ObjectiveDirected on BackendPeel.
 func Directed(g *DirectedGraph, c, eps float64, opts ...Option) (*DirectedResult, error) {
-	return core.DirectedOpts(g, c, eps, applyOptions(opts).coreOpts())
+	sol, err := Solve(context.Background(), Problem{Objective: ObjectiveDirected, Backend: BackendPeel, C: c, Eps: eps, Directed: g}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return sol.asDirectedResult(), nil
 }
 
 // DirectedSweep tries c = δ^j for all j covering [1/n, n] and returns the
 // best result; the sweep costs at most a factor δ in approximation.
+//
+// Deprecated: use Solve with ObjectiveDirectedSweep on BackendPeel.
 func DirectedSweep(g *DirectedGraph, delta, eps float64, opts ...Option) (*SweepResult, error) {
-	return core.DirectedSweepOpts(g, delta, eps, applyOptions(opts).coreOpts())
+	sol, err := Solve(context.Background(), Problem{Objective: ObjectiveDirectedSweep, Backend: BackendPeel, Delta: delta, Eps: eps, Directed: g}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return sol.Sweep, nil
 }
 
 // Exact computes the optimal density ρ*(G) and a witness subgraph using
 // Goldberg's max-flow characterization (the role the LP plays in the
 // paper's Table 2). Exponentially smaller graphs than the streaming
 // algorithms handle — intended for ground truth at moderate scale.
+//
+// Deprecated: use Solve with ObjectiveExact on BackendPeel.
 func Exact(g *UndirectedGraph) (*ExactResult, error) {
 	return flow.ExactDensest(g)
 }
 
 // Greedy runs Charikar's greedy 2-approximation (remove one minimum-
 // degree node at a time), the algorithm the paper's Algorithm 1 relaxes.
+//
+// Deprecated: use Solve with ObjectiveGreedy on BackendPeel.
 func Greedy(g *UndirectedGraph) (*GreedyResult, error) {
 	return charikar.Densest(g)
 }
 
 // GreedyWeighted is Greedy over weighted degrees.
+//
+// Deprecated: use Solve with ObjectiveGreedy on BackendPeel (weighted
+// graphs use weighted degrees automatically).
 func GreedyWeighted(g *UndirectedGraph) (*GreedyResult, error) {
 	return charikar.DensestWeighted(g)
 }
@@ -98,8 +136,10 @@ func BestCore(g *UndirectedGraph) ([]int32, float64, error) {
 // MRConfig controls the simulated MapReduce cluster shape: Mappers and
 // Reducers are worker slots per machine, Machines the simulated machine
 // count (per-machine shuffle volume is reported in the round traces),
-// and Combine enables per-shard combiners in the degree jobs. Pass it
-// through WithMapReduceConfig.
+// and Combine enables per-shard combiners in the degree jobs. Zero
+// fields mean "unset" and take their defaults; negative fields are
+// rejected (see its Normalize method). Pass it through
+// WithMapReduceConfig.
 type MRConfig = mapreduce.Config
 
 // MRStats reports the work of one MapReduce job or round.
@@ -111,6 +151,9 @@ type MRMachineStats = mapreduce.MachineStats
 // MRRoundStat is one entry of MRResult.Rounds.
 type MRRoundStat = mapreduce.RoundStat
 
+// MRDirectedRoundStat is one entry of MRDirectedResult.Rounds.
+type MRDirectedRoundStat = mapreduce.DirectedRoundStat
+
 // MRResult is the output of the MapReduce drivers, including per-round
 // wall-clock and shuffle statistics (total and per machine).
 type MRResult = mapreduce.MRResult
@@ -120,25 +163,57 @@ type MRDirectedResult = mapreduce.MRDirectedResult
 
 // MapReduce runs Algorithm 1 as MapReduce rounds (§5.2): per pass, one
 // degree job and two marker-join filter jobs, executed on a simulated
-// cluster with real worker parallelism. The edge dataset is sharded
-// onto the cluster once and stays resident across rounds. Results match
-// Undirected exactly, and are bit-identical for every cluster shape
-// given with WithMapReduceConfig.
+// cluster with real worker parallelism. Results match Undirected
+// exactly, and are bit-identical for every cluster shape given with
+// WithMapReduceConfig.
+//
+// Deprecated: use Solve with ObjectiveUndirected on BackendMapReduce.
 func MapReduce(g *UndirectedGraph, eps float64, opts ...Option) (*MRResult, error) {
-	return mapreduce.Undirected(g, eps, applyOptions(opts).MapReduce)
+	sol, err := Solve(context.Background(), Problem{Objective: ObjectiveUndirected, Backend: BackendMapReduce, Eps: eps, Graph: g}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return sol.asMRResult(), nil
 }
 
 // MapReduceDirected runs Algorithm 3 as MapReduce rounds for a fixed c.
+//
+// Deprecated: use Solve with ObjectiveDirected on BackendMapReduce.
 func MapReduceDirected(g *DirectedGraph, c, eps float64, opts ...Option) (*MRDirectedResult, error) {
-	return mapreduce.Directed(g, c, eps, applyOptions(opts).MapReduce)
+	sol, err := Solve(context.Background(), Problem{Objective: ObjectiveDirected, Backend: BackendMapReduce, C: c, Eps: eps, Directed: g}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &MRDirectedResult{S: sol.S, T: sol.T, Density: sol.Density, Passes: sol.Passes, Rounds: sol.MRDirectedRounds}, nil
 }
 
 // MapReduceAtLeastK runs Algorithm 2 as MapReduce rounds; results match
 // AtLeastK exactly.
+//
+// Deprecated: use Solve with ObjectiveAtLeastK on BackendMapReduce.
 func MapReduceAtLeastK(g *UndirectedGraph, k int, eps float64, opts ...Option) (*MRResult, error) {
-	return mapreduce.AtLeastK(g, k, eps, applyOptions(opts).MapReduce)
+	sol, err := Solve(context.Background(), Problem{Objective: ObjectiveAtLeastK, Backend: BackendMapReduce, K: k, Eps: eps, Graph: g}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return sol.asMRResult(), nil
 }
 
 // DefaultMRConfig is a small single-machine simulated cluster suitable
 // for laptops.
 var DefaultMRConfig = mapreduce.DefaultConfig
+
+// asResult reconstructs the legacy Result shape from a Solution.
+func (s *Solution) asResult() *Result {
+	return &Result{Set: s.Set, Density: s.Density, Passes: s.Passes, Trace: s.Trace}
+}
+
+// asDirectedResult reconstructs the legacy DirectedResult shape.
+func (s *Solution) asDirectedResult() *DirectedResult {
+	return &DirectedResult{S: s.S, T: s.T, Density: s.Density, Passes: s.Passes, Trace: s.DirectedTrace}
+}
+
+// asMRResult reconstructs the legacy MRResult shape.
+func (s *Solution) asMRResult() *MRResult {
+	return &MRResult{Set: s.Set, Density: s.Density, Passes: s.Passes, Rounds: s.MRRounds}
+}

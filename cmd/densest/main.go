@@ -8,10 +8,14 @@
 //
 // The input is a SNAP-style edge list: "u v" per line, '#' comments.
 // Output reports the density, subgraph size, pass count, and optionally
-// the per-pass trace and the member node labels.
+// the per-pass trace and the member node labels. Every invocation maps
+// onto exactly one densestream.Solve call: -algo and -directed select
+// the Objective and Backend of the Problem, the remaining flags its
+// parameters and Options.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -59,6 +63,7 @@ func main() {
 }
 
 func runStreaming(in string, directed, weighted bool, algo string, eps, c float64, workers, tables, buckets int, trace bool) error {
+	ctx := context.Background()
 	if weighted {
 		if directed || algo == "sketch" {
 			return fmt.Errorf("weighted streaming supports undirected -algo stream only")
@@ -68,13 +73,16 @@ func runStreaming(in string, directed, weighted bool, algo string, eps, c float6
 			return err
 		}
 		defer ws.Close()
-		r, err := ds.StreamingWeighted(ws, eps)
+		sol, err := ds.Solve(ctx, ds.Problem{
+			Objective: ds.ObjectiveWeighted, Backend: ds.BackendStream,
+			Eps: eps, WeightedEdges: ws,
+		})
 		if err != nil {
 			return err
 		}
 		fmt.Printf("weighted streaming: ρ = %.4f  |S̃| = %d  passes = %d  (%d nodes of state)\n",
-			r.Density, len(r.Set), r.Passes, ws.NumNodes())
-		printTrace(r.Trace, trace)
+			sol.Density, len(sol.Set), sol.Passes, ws.NumNodes())
+		printTrace(sol.Trace, trace)
 		return nil
 	}
 	es, err := ds.OpenFileStream(in)
@@ -84,20 +92,26 @@ func runStreaming(in string, directed, weighted bool, algo string, eps, c float6
 	defer es.Close()
 	switch {
 	case directed && algo == "stream":
-		r, err := ds.StreamingDirected(es, c, eps, ds.WithWorkers(workers))
+		sol, err := ds.Solve(ctx, ds.Problem{
+			Objective: ds.ObjectiveDirected, Backend: ds.BackendStream,
+			C: c, Eps: eps, Edges: es,
+		}, ds.WithWorkers(workers))
 		if err != nil {
 			return err
 		}
 		fmt.Printf("streaming directed: ρ = %.4f  |S̃| = %d  |T̃| = %d  passes = %d\n",
-			r.Density, len(r.S), len(r.T), r.Passes)
+			sol.Density, len(sol.S), len(sol.T), sol.Passes)
 	case algo == "stream":
-		r, err := ds.Streaming(es, eps, ds.WithWorkers(workers))
+		sol, err := ds.Solve(ctx, ds.Problem{
+			Objective: ds.ObjectiveUndirected, Backend: ds.BackendStream,
+			Eps: eps, Edges: es,
+		}, ds.WithWorkers(workers))
 		if err != nil {
 			return err
 		}
 		fmt.Printf("streaming: ρ = %.4f  |S̃| = %d  passes = %d  (memory: %d words)\n",
-			r.Density, len(r.Set), r.Passes, es.NumNodes())
-		printTrace(r.Trace, trace)
+			sol.Density, len(sol.Set), sol.Passes, es.NumNodes())
+		printTrace(sol.Trace, trace)
 	case directed:
 		return fmt.Errorf("-algo sketch supports undirected graphs only")
 	default:
@@ -107,13 +121,17 @@ func runStreaming(in string, directed, weighted bool, algo string, eps, c float6
 				buckets = 16
 			}
 		}
-		r, mem, err := ds.StreamingSketched(es, eps, ds.SketchConfig{Tables: tables, Buckets: buckets, Seed: 1})
+		sol, err := ds.Solve(ctx, ds.Problem{
+			Objective: ds.ObjectiveUndirected, Backend: ds.BackendStreamSketched,
+			Eps: eps, Edges: es,
+		}, ds.WithSketch(ds.SketchConfig{Tables: tables, Buckets: buckets, Seed: 1}))
 		if err != nil {
 			return err
 		}
 		fmt.Printf("sketched streaming (t=%d, b=%d): ρ = %.4f  |S̃| = %d  passes = %d  (memory: %d words = %.0f%% of exact)\n",
-			tables, buckets, r.Density, len(r.Set), r.Passes, mem, 100*float64(mem)/float64(es.NumNodes()))
-		printTrace(r.Trace, trace)
+			tables, buckets, sol.Density, len(sol.Set), sol.Passes, sol.SketchMemoryWords,
+			100*float64(sol.SketchMemoryWords)/float64(es.NumNodes()))
+		printTrace(sol.Trace, trace)
 	}
 	return nil
 }
@@ -151,137 +169,115 @@ func run(in string, directed, weighted bool, algo string, eps float64, k int, c,
 	return runUndirected(g, lm, algo, eps, k, workers, mappers, reducers, machines, trace, members)
 }
 
-func runUndirected(g *ds.UndirectedGraph, lm *ds.LabelMap, algo string, eps float64, k, workers, mappers, reducers, machines int, trace, members bool) error {
-	var (
-		set     []int32
-		density float64
-		passes  int
-		tr      []ds.PassStat
-	)
+// undirectedProblem maps an undirected -algo onto an Objective/Backend
+// pair (peel picks the weighted objective when the graph carries
+// weights).
+func undirectedProblem(g *ds.UndirectedGraph, algo string, eps float64, k int) (ds.Problem, error) {
+	p := ds.Problem{Graph: g, Eps: eps}
 	switch algo {
 	case "peel":
-		var r *ds.Result
-		var err error
+		p.Objective = ds.ObjectiveUndirected
 		if g.Weighted() {
-			r, err = ds.UndirectedWeighted(g, eps, ds.WithWorkers(workers))
-		} else {
-			r, err = ds.Undirected(g, eps, ds.WithWorkers(workers))
+			p.Objective = ds.ObjectiveWeighted
 		}
-		if err != nil {
-			return err
-		}
-		set, density, passes, tr = r.Set, r.Density, r.Passes, r.Trace
 	case "greedy":
-		var r *ds.GreedyResult
-		var err error
-		if g.Weighted() {
-			r, err = ds.GreedyWeighted(g)
-		} else {
-			r, err = ds.Greedy(g)
-		}
-		if err != nil {
-			return err
-		}
-		set, density, passes = r.Set, r.Density, r.Peels
+		p.Objective = ds.ObjectiveGreedy
 	case "exact":
-		r, err := ds.Exact(g)
-		if err != nil {
-			return err
-		}
-		set, density, passes = r.Set, r.Density, r.FlowCalls
-		fmt.Printf("exact density = %d/%d\n", r.Numer, r.Denom)
+		p.Objective = ds.ObjectiveExact
 	case "atleastk":
 		if k < 1 {
-			return fmt.Errorf("-algo atleastk needs -k >= 1")
+			return p, fmt.Errorf("-algo atleastk needs -k >= 1")
 		}
-		r, err := ds.AtLeastK(g, k, eps, ds.WithWorkers(workers))
-		if err != nil {
-			return err
-		}
-		set, density, passes, tr = r.Set, r.Density, r.Passes, r.Trace
+		p.Objective = ds.ObjectiveAtLeastK
+		p.K = k
 	case "mr":
-		r, err := ds.MapReduce(g, eps, ds.WithMapReduceConfig(ds.MRConfig{Mappers: mappers, Reducers: reducers, Machines: machines}))
-		if err != nil {
-			return err
-		}
-		set, density, passes = r.Set, r.Density, r.Passes
-		if trace {
-			for _, rd := range r.Rounds {
+		p.Objective = ds.ObjectiveUndirected
+		p.Backend = ds.BackendMapReduce
+	default:
+		return p, fmt.Errorf("unknown undirected algorithm %q", algo)
+	}
+	return p, nil
+}
+
+func runUndirected(g *ds.UndirectedGraph, lm *ds.LabelMap, algo string, eps float64, k, workers, mappers, reducers, machines int, trace, members bool) error {
+	p, err := undirectedProblem(g, algo, eps, k)
+	if err != nil {
+		return err
+	}
+	sol, err := ds.Solve(context.Background(), p,
+		ds.WithWorkers(workers),
+		ds.WithMapReduceConfig(ds.MRConfig{Mappers: mappers, Reducers: reducers, Machines: machines}))
+	if err != nil {
+		return err
+	}
+	if sol.Objective == ds.ObjectiveExact {
+		fmt.Printf("exact density = %d/%d\n", sol.ExactNumer, sol.ExactDenom)
+	}
+	fmt.Printf("density ρ(S̃) = %.4f  |S̃| = %d  passes = %d\n", sol.Density, len(sol.Set), sol.Passes)
+	if trace {
+		if sol.Backend == ds.BackendMapReduce {
+			for _, rd := range sol.MRRounds {
 				fmt.Printf("  pass %2d: |S|=%8d |E|=%10d ρ=%9.3f wall=%s shuffle=%d\n",
 					rd.Pass, rd.Nodes, rd.Edges, rd.Density, rd.Wall, rd.Shuffle)
 			}
-			trace = false
-		}
-	default:
-		return fmt.Errorf("unknown undirected algorithm %q", algo)
-	}
-	fmt.Printf("density ρ(S̃) = %.4f  |S̃| = %d  passes = %d\n", density, len(set), passes)
-	if trace {
-		for _, p := range tr {
-			fmt.Printf("  pass %2d: |S|=%8d |E|=%10d ρ=%9.3f removed=%d\n",
-				p.Pass, p.Nodes, p.Edges, p.Density, p.Removed)
+		} else {
+			printTrace(sol.Trace, true)
 		}
 	}
 	if members {
-		printMembers("S", set, lm)
+		printMembers("S", sol.Set, lm)
 	}
 	return nil
 }
 
 func runDirected(g *ds.DirectedGraph, lm *ds.LabelMap, algo string, eps, c, delta float64, workers, mappers, reducers, machines int, trace, members bool) error {
+	p := ds.Problem{Directed: g, Eps: eps}
 	switch algo {
 	case "peel":
-		r, err := ds.Directed(g, c, eps, ds.WithWorkers(workers))
-		if err != nil {
-			return err
-		}
-		report(r, trace)
-		if members {
-			printMembers("S", r.S, lm)
-			printMembers("T", r.T, lm)
-		}
+		p.Objective = ds.ObjectiveDirected
+		p.C = c
 	case "sweep":
-		sw, err := ds.DirectedSweep(g, delta, eps, ds.WithWorkers(workers))
-		if err != nil {
-			return err
-		}
-		fmt.Printf("best c = %.6g\n", sw.BestC)
-		for _, p := range sw.Points {
-			fmt.Printf("  c=%-12.6g ρ=%9.3f passes=%d\n", p.C, p.Density, p.Passes)
-		}
-		report(sw.Best, trace)
-		if members {
-			printMembers("S", sw.Best.S, lm)
-			printMembers("T", sw.Best.T, lm)
-		}
+		p.Objective = ds.ObjectiveDirectedSweep
+		p.Delta = delta
 	case "mr":
-		r, err := ds.MapReduceDirected(g, c, eps, ds.WithMapReduceConfig(ds.MRConfig{Mappers: mappers, Reducers: reducers, Machines: machines}))
-		if err != nil {
-			return err
-		}
-		fmt.Printf("density ρ(S̃,T̃) = %.4f  |S̃| = %d  |T̃| = %d  passes = %d\n",
-			r.Density, len(r.S), len(r.T), r.Passes)
-		if trace {
-			for _, rd := range r.Rounds {
-				fmt.Printf("  pass %2d [%c]: |S|=%7d |T|=%7d |E|=%9d ρ=%8.3f wall=%s\n",
-					rd.Pass, rd.PeeledSide, rd.SizeS, rd.SizeT, rd.Edges, rd.Density, rd.Wall)
-			}
-		}
+		p.Objective = ds.ObjectiveDirected
+		p.Backend = ds.BackendMapReduce
+		p.C = c
 	default:
 		return fmt.Errorf("unknown directed algorithm %q", algo)
 	}
-	return nil
-}
-
-func report(r *ds.DirectedResult, trace bool) {
-	fmt.Printf("density ρ(S̃,T̃) = %.4f  |S̃| = %d  |T̃| = %d  passes = %d\n",
-		r.Density, len(r.S), len(r.T), r.Passes)
-	if trace {
-		for _, p := range r.Trace {
-			fmt.Printf("  pass %2d [%c]: |S|=%7d |T|=%7d |E|=%9d ρ=%8.3f\n",
-				p.Pass, p.PeeledSide, p.SizeS, p.SizeT, p.Edges, p.Density)
+	sol, err := ds.Solve(context.Background(), p,
+		ds.WithWorkers(workers),
+		ds.WithMapReduceConfig(ds.MRConfig{Mappers: mappers, Reducers: reducers, Machines: machines}))
+	if err != nil {
+		return err
+	}
+	if sol.Objective == ds.ObjectiveDirectedSweep {
+		fmt.Printf("best c = %.6g\n", sol.Sweep.BestC)
+		for _, pt := range sol.Sweep.Points {
+			fmt.Printf("  c=%-12.6g ρ=%9.3f passes=%d\n", pt.C, pt.Density, pt.Passes)
 		}
 	}
+	fmt.Printf("density ρ(S̃,T̃) = %.4f  |S̃| = %d  |T̃| = %d  passes = %d\n",
+		sol.Density, len(sol.S), len(sol.T), sol.Passes)
+	if trace {
+		if sol.Backend == ds.BackendMapReduce {
+			for _, rd := range sol.MRDirectedRounds {
+				fmt.Printf("  pass %2d [%c]: |S|=%7d |T|=%7d |E|=%9d ρ=%8.3f wall=%s\n",
+					rd.Pass, rd.PeeledSide, rd.SizeS, rd.SizeT, rd.Edges, rd.Density, rd.Wall)
+			}
+		} else {
+			for _, pt := range sol.DirectedTrace {
+				fmt.Printf("  pass %2d [%c]: |S|=%7d |T|=%7d |E|=%9d ρ=%8.3f\n",
+					pt.Pass, pt.PeeledSide, pt.SizeS, pt.SizeT, pt.Edges, pt.Density)
+			}
+		}
+	}
+	if members {
+		printMembers("S", sol.S, lm)
+		printMembers("T", sol.T, lm)
+	}
+	return nil
 }
 
 func printMembers(name string, set []int32, lm *ds.LabelMap) {

@@ -9,21 +9,53 @@
 // maximizing |E(S,T)|/√(|S||T|). Exact solutions need max-flow or LPs
 // that do not scale; this package provides the paper's multi-pass peeling
 // algorithms, which compute a (2+2ε)-approximation in O(log_{1+ε} n)
-// passes over the edges while holding only O(n) state:
+// passes over the edges while holding only O(n) state.
 //
-//   - Undirected: Algorithm 1, batched peeling for undirected graphs.
-//   - UndirectedWeighted: the same over weighted degrees.
-//   - AtLeastK: Algorithm 2, (3+3ε)-approximation with a minimum size.
-//   - Directed and DirectedSweep: Algorithm 3 with the powers-of-δ
-//     search over the side ratio c.
-//   - Streaming and StreamingSketched: the same algorithms run against
-//     an edge stream (including files on disk), optionally with a
-//     Count-Sketch degree oracle replacing the O(n) degree array (§5.1).
-//   - MapReduce and MapReduceDirected: the §5.2 realization on a
-//     simulated MapReduce runtime with real worker parallelism.
-//   - Exact: Goldberg's flow-based exact solver, for ground truth on
-//     moderate graphs.
-//   - Greedy: Charikar's one-node-at-a-time 2-approximation baseline.
+// # The Solve API
+//
+// Every computation goes through one entry point:
+//
+//	Solve(ctx context.Context, p Problem, opts ...Option) (*Solution, error)
+//
+// A Problem declares what to compute — an Objective with its parameters
+// (Eps, K, C, Delta), one input (an in-memory graph, an edge stream, or
+// a file path), and a Backend selecting the execution model:
+//
+//	sol, err := densestream.Solve(ctx, densestream.Problem{
+//	    Objective: densestream.ObjectiveUndirected, // Algorithm 1
+//	    Backend:   densestream.BackendPeel,         // in-memory engine
+//	    Eps:       0.5,
+//	    Graph:     g,
+//	})
+//
+// The objectives are the paper's three algorithms plus the baselines:
+// ObjectiveUndirected (Algorithm 1), ObjectiveWeighted (its weighted
+// generalization), ObjectiveAtLeastK (Algorithm 2), ObjectiveDirected
+// and ObjectiveDirectedSweep (Algorithm 3 and the powers-of-δ search
+// over c), ObjectiveExact (Goldberg's flow characterization), and
+// ObjectiveGreedy (Charikar's 2-approximation). The backends are
+// BackendPeel (in-memory sharded peeling), BackendStream (semi-streaming
+// with O(n) state; files on disk re-read per pass), BackendStreamSketched
+// (the §5.1 Count-Sketch degree oracle), and BackendMapReduce (the §5.2
+// realization on a simulated cluster). Every exact backend returns a
+// bit-identical Solution for the same Problem; the envelope additionally
+// carries backend-specific statistics (MapReduce round traces and
+// shuffle volumes, sketch memory, the sweep's per-c points).
+//
+// # Cancellation and progress
+//
+// Solve is context-aware on every backend: cancellation or a deadline
+// aborts the run within one pass, returning a *PartialError that wraps
+// ctx.Err() (errors.Is sees context.Canceled or context.DeadlineExceeded)
+// and carries the per-pass trace accumulated before the interruption.
+// WithProgress installs a per-pass hook observing the same trace
+// entries; returning false stops the solve with a *PartialError
+// wrapping ErrStopped — use it for progress bars, time budgets, or
+// early stopping once the density is good enough.
+//
+// The legacy per-algorithm entry points (Undirected, Streaming,
+// MapReduce, …) remain as thin deprecated wrappers over Solve and
+// return bit-identical results.
 //
 // # Parallelism model
 //
@@ -37,33 +69,27 @@
 // engine: Builder.Freeze sorts its edge list as fixed-size runs merged
 // in a fixed tree, concurrently. Because the decomposition depends
 // only on the input size, never on scheduling, every worker count
-// produces bit-identical results. The peeling entry points —
-// Undirected, UndirectedWeighted, AtLeastK, Directed, DirectedSweep,
-// Streaming, and StreamingDirected — take WithWorkers(n) (default:
-// runtime.GOMAXPROCS(0)); the densest CLI exposes it as -workers. The
-// remaining entry points (Exact, Greedy, the sketched and weighted
-// streaming variants) are unchanged.
+// produces bit-identical results. WithWorkers(n) sets the worker count
+// (default: runtime.GOMAXPROCS(0)); the densest CLI exposes it as
+// -workers.
 //
 // # MapReduce runtime
 //
-// The MapReduce entry points run on a simulated cluster built on the
-// same internal/par engine, configured with WithMapReduceConfig
-// (MRConfig): Mappers and Reducers are worker slots per machine,
-// Machines the simulated machine count, Combine enables per-shard
-// combiners in the degree jobs; the densest CLI exposes them as
-// -mappers, -reducers, and -machines. A driver run shards the edge
-// list onto the cluster once; each peeling pass is a Round of jobs
-// (one degree count, the §5.2 marker-join filters) over the resident
-// partitioned dataset — only the removal markers enter a round from
-// the coordinator, mirroring the paper's observation that only degrees
-// change between passes. Jobs read fixed input shards, shuffle through
-// a fixed number of hash partitions merged in shard order, and fold
-// each reducer partition's keys in sorted order, so every cluster
-// shape returns a bit-identical MRResult. Each round reports wall
-// clock, shuffle records and bytes, and the per-machine shuffle
-// attribution (MRRoundStat.PerMachine) — the series behind the paper's
-// Figure 6.7, now across cluster sizes; Wall and PerMachine are the
-// only fields that depend on the configured shape.
+// BackendMapReduce runs on a simulated cluster built on the same
+// internal/par engine, configured with WithMapReduceConfig (MRConfig):
+// Mappers and Reducers are worker slots per machine, Machines the
+// simulated machine count, Combine enables per-shard combiners in the
+// degree jobs; zero fields take their defaults and negative fields are
+// rejected (MRConfig.Normalize). A driver run shards the edge list onto
+// the cluster once; each peeling pass is a Round of jobs (one degree
+// count, the §5.2 marker-join filters) over the resident partitioned
+// dataset — only the removal markers enter a round from the
+// coordinator. Jobs read fixed input shards, shuffle through a fixed
+// number of hash partitions merged in shard order, and fold each
+// reducer partition's keys in sorted order, so every cluster shape
+// returns a bit-identical result. Each round reports wall clock,
+// shuffle records and bytes, and the per-machine shuffle attribution
+// (Solution.MRRounds) — the series behind the paper's Figure 6.7.
 //
 // Graphs are built with NewBuilder/NewDirectedBuilder or parsed from
 // SNAP-style edge lists with ReadUndirected/ReadDirected. All algorithms
@@ -71,6 +97,8 @@
 // every worker count.
 //
 // Development workflow: the Makefile mirrors CI — `make ci` runs build,
-// vet, the gofmt gate, tests, the -race suite over the parallel engine,
-// and the bench smoke that emits BENCH_ci.json (benchmark → ns/op).
+// vet, the gofmt gate, the API-surface gate (scripts/api_surface.sh
+// diffs `go doc -all .` against the committed API.txt), tests, the
+// -race suite over the parallel engine, and the bench smoke that emits
+// BENCH_ci.json (benchmark → ns/op).
 package densestream

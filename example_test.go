@@ -1,0 +1,93 @@
+package densestream_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	ds "densestream"
+)
+
+// exampleGraph builds a small fixed input: a K6 clique (density 2.5)
+// attached to a sparse path.
+func exampleGraph() *ds.UndirectedGraph {
+	b := ds.NewBuilder(20)
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			_ = b.AddEdge(int32(i), int32(j))
+		}
+	}
+	for i := 5; i < 19; i++ {
+		_ = b.AddEdge(int32(i), int32(i+1))
+	}
+	g, _ := b.Freeze()
+	return g
+}
+
+// The minimal Solve request: Algorithm 1 on the in-memory peeling
+// backend (both the zero Objective and the zero Backend).
+func ExampleSolve() {
+	sol, err := ds.Solve(context.Background(), ds.Problem{
+		Graph: exampleGraph(),
+		Eps:   0.5,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("ρ(S̃) = %.2f with %d nodes after %d passes\n",
+		sol.Density, len(sol.Set), sol.Passes)
+	// Output:
+	// ρ(S̃) = 2.50 with 6 nodes after 2 passes
+}
+
+// WithProgress observes every pass as the solve proceeds; returning
+// false would stop the run with a *PartialError wrapping ErrStopped.
+func ExampleWithProgress() {
+	sol, err := ds.Solve(context.Background(),
+		ds.Problem{Graph: exampleGraph(), Eps: 0.5},
+		ds.WithProgress(func(st ds.PassStat) bool {
+			fmt.Printf("pass %d: %d nodes, %d edges\n", st.Pass, st.Nodes, st.Edges)
+			return true
+		}),
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("done: ρ = %.2f\n", sol.Density)
+	// Output:
+	// pass 0: 20 nodes, 29 edges
+	// pass 1: 6 nodes, 15 edges
+	// done: ρ = 2.50
+}
+
+// A deadline bounds a MapReduce solve: the context threads through the
+// simulated cluster's rounds, so a deadline (or cancellation) aborts
+// between rounds with a partial trace. Here the budget is generous and
+// the solve completes, reporting per-round shuffle statistics.
+func ExampleSolve_mapReduceDeadline() {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	sol, err := ds.Solve(ctx, ds.Problem{
+		Objective: ds.ObjectiveUndirected,
+		Backend:   ds.BackendMapReduce,
+		Graph:     exampleGraph(),
+		Eps:       0.5,
+	}, ds.WithMapReduceConfig(ds.MRConfig{Mappers: 4, Reducers: 4, Machines: 2}))
+	var pe *ds.PartialError
+	if errors.As(err, &pe) {
+		fmt.Printf("deadline hit after %d rounds\n", pe.Passes)
+		return
+	}
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("ρ = %.2f in %d MapReduce rounds (shuffle: %d records in round 1)\n",
+		sol.Density, len(sol.MRRounds), sol.MRRounds[0].Shuffle)
+	// Output:
+	// ρ = 2.50 in 2 MapReduce rounds (shuffle: 131 records in round 1)
+}

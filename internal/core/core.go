@@ -1,6 +1,10 @@
 package core
 
-import "densestream/internal/par"
+import (
+	"context"
+
+	"densestream/internal/par"
+)
 
 // Opts configures the execution of the peeling engines.
 type Opts struct {
@@ -10,6 +14,18 @@ type Opts struct {
 	// results: the work decomposition is fixed by the graph size, and
 	// per-chunk results merge in chunk order (see internal/par).
 	Workers int
+
+	// Ctx, when non-nil, bounds the run: cancellation or a deadline
+	// aborts the peeling loop within one pass, returning a PartialError
+	// that wraps the context's error and carries the trace so far.
+	Ctx context.Context
+
+	// Progress, when non-nil, is invoked at the start of each pass with
+	// the preceding pass's trace entry (the first call sees the initial
+	// state). Returning false stops the run with a PartialError
+	// wrapping ErrStopped. The hook runs on the driver goroutine —
+	// keep it cheap.
+	Progress func(PassStat) bool
 }
 
 func (o Opts) pool() *par.Pool { return par.New(o.Workers) }

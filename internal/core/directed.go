@@ -38,6 +38,9 @@ func DirectedOpts(g *graph.Directed, c, eps float64, o Opts) (*DirectedResult, e
 	if c <= 0 || math.IsNaN(c) || math.IsInf(c, 0) {
 		return nil, fmt.Errorf("core: c must be a finite value > 0, got %v", c)
 	}
+	if err := o.Begin(); err != nil {
+		return nil, err
+	}
 	n := g.NumNodes()
 	if n == 0 {
 		return nil, graph.ErrEmptyGraph
@@ -79,19 +82,24 @@ func DirectedOpts(g *graph.Directed, c, eps float64, o Opts) (*DirectedResult, e
 	col := par.NewCollector(n)
 	var batch []int32
 	for sizeS > 0 && sizeT > 0 {
+		if err := o.Checkpoint(trace[len(trace)-1].AsPassStat()); err != nil {
+			return nil, &PartialError{Passes: pass, DirectedTrace: trace, Err: err}
+		}
 		pass++
 		var stat DirectedPassStat
 		if float64(sizeS) >= c*float64(sizeT) {
 			// Remove A(S): below-average out-degree into T.
 			cut := (1 + eps) * float64(edges) / float64(sizeS)
 			col.Reset()
-			pool.ForChunks(n, func(ch, lo, hi int) {
+			if err := pool.ForChunksCtx(o.Ctx, n, func(ch, lo, hi int) {
 				for u := lo; u < hi; u++ {
 					if aliveS[u] && float64(outdeg[u]) <= cut {
 						col.Append(ch, int32(u))
 					}
 				}
-			})
+			}); err != nil {
+				return nil, &PartialError{Passes: pass - 1, DirectedTrace: trace, Err: err}
+			}
 			batch = col.Merge(batch[:0])
 			if len(batch) == 0 {
 				return nil, fmt.Errorf("core: directed pass %d removed no S nodes", pass)
@@ -121,13 +129,15 @@ func DirectedOpts(g *graph.Directed, c, eps float64, o Opts) (*DirectedResult, e
 			// Remove B(T): below-average in-degree from S.
 			cut := (1 + eps) * float64(edges) / float64(sizeT)
 			col.Reset()
-			pool.ForChunks(n, func(ch, lo, hi int) {
+			if err := pool.ForChunksCtx(o.Ctx, n, func(ch, lo, hi int) {
 				for u := lo; u < hi; u++ {
 					if aliveT[u] && float64(indeg[u]) <= cut {
 						col.Append(ch, int32(u))
 					}
 				}
-			})
+			}); err != nil {
+				return nil, &PartialError{Passes: pass - 1, DirectedTrace: trace, Err: err}
+			}
 			batch = col.Merge(batch[:0])
 			if len(batch) == 0 {
 				return nil, fmt.Errorf("core: directed pass %d removed no T nodes", pass)

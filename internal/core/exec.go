@@ -1,0 +1,84 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrStopped is the cause recorded in a PartialError when a progress
+// hook returned false: the caller asked the solve to stop.
+var ErrStopped = errors.New("solve stopped by progress hook")
+
+// PartialError is returned when a solve is interrupted before peeling
+// finished — the context was canceled, its deadline passed, or a
+// progress hook returned false. It wraps the cause (errors.Is sees
+// context.Canceled, context.DeadlineExceeded, or ErrStopped) and
+// carries the per-pass trace accumulated up to the interruption, so an
+// aborted long-running solve still reports how far it got.
+type PartialError struct {
+	Passes        int                // passes fully completed before the stop
+	Trace         []PassStat         // partial trace (undirected shapes and MR rounds)
+	DirectedTrace []DirectedPassStat // partial trace (directed shapes)
+	Err           error              // the cause: context or ErrStopped
+}
+
+// Error implements error.
+func (e *PartialError) Error() string {
+	return fmt.Sprintf("solve interrupted after %d passes: %v", e.Passes, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is and errors.As.
+func (e *PartialError) Unwrap() error { return e.Err }
+
+// AsPassStat projects a directed pass onto the undirected stat shape
+// (Nodes = |S|+|T|, Removed = removed from either side), which is what
+// progress hooks receive for every execution model.
+func (s DirectedPassStat) AsPassStat() PassStat {
+	return PassStat{
+		Pass:    s.Pass,
+		Nodes:   s.SizeS + s.SizeT,
+		Edges:   s.Edges,
+		Density: s.Density,
+		Removed: s.RemovedS + s.RemovedT,
+	}
+}
+
+// Context returns the configured context, defaulting to Background.
+func (o Opts) Context() context.Context {
+	if o.Ctx == nil {
+		return context.Background()
+	}
+	return o.Ctx
+}
+
+// Begin reports whether the run may start at all: a context that is
+// already done fails before the first pass, with an empty trace.
+func (o Opts) Begin() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	if err := o.Ctx.Err(); err != nil {
+		return &PartialError{Err: err}
+	}
+	return nil
+}
+
+// Checkpoint is called by every peeling loop at the start of a pass,
+// with the preceding pass's trace entry (the first call sees the
+// initial state): it reports context cancellation first, then consults
+// the progress hook (a false return stops the run). A run that
+// completes its final pass is never turned into an error. The returned
+// error, if any, is the bare cause — callers wrap it in a PartialError
+// with their trace.
+func (o Opts) Checkpoint(stat PassStat) error {
+	if o.Ctx != nil {
+		if err := o.Ctx.Err(); err != nil {
+			return err
+		}
+	}
+	if o.Progress != nil && !o.Progress(stat) {
+		return ErrStopped
+	}
+	return nil
+}

@@ -38,6 +38,9 @@ func AtLeastKOpts(g *graph.Undirected, k int, eps float64, o Opts) (*Result, err
 	if k < 1 || k > n {
 		return nil, fmt.Errorf("core: k=%d out of range [1,%d]", k, n)
 	}
+	if err := o.Begin(); err != nil {
+		return nil, err
+	}
 	pool := o.pool()
 
 	alive := make([]bool, n)
@@ -66,17 +69,22 @@ func AtLeastKOpts(g *graph.Undirected, k int, eps float64, o Opts) (*Result, err
 	col := par.NewCollector(n)
 	var candidates []int32
 	for nodes >= k {
+		if err := o.Checkpoint(trace[len(trace)-1]); err != nil {
+			return nil, &PartialError{Passes: pass, Trace: trace, Err: err}
+		}
 		pass++
 		rho := float64(edges) / float64(nodes)
 		cut := threshold * rho
 		col.Reset()
-		pool.ForChunks(n, func(c, lo, hi int) {
+		if err := pool.ForChunksCtx(o.Ctx, n, func(c, lo, hi int) {
 			for u := lo; u < hi; u++ {
 				if alive[u] && float64(deg[u]) <= cut {
 					col.Append(c, int32(u))
 				}
 			}
-		})
+		}); err != nil {
+			return nil, &PartialError{Passes: pass - 1, Trace: trace, Err: err}
+		}
 		candidates = col.Merge(candidates[:0])
 		if len(candidates) == 0 {
 			return nil, fmt.Errorf("core: pass %d found no candidates (ρ=%v)", pass, rho)

@@ -38,6 +38,9 @@ func UndirectedOpts(g *graph.Undirected, eps float64, o Opts) (*Result, error) {
 	if err := checkEps(eps); err != nil {
 		return nil, err
 	}
+	if err := o.Begin(); err != nil {
+		return nil, err
+	}
 	n := g.NumNodes()
 	if n == 0 {
 		return nil, graph.ErrEmptyGraph
@@ -68,17 +71,22 @@ func UndirectedOpts(g *graph.Undirected, eps float64, o Opts) (*Result, error) {
 	col := par.NewCollector(n)
 	var batch []int32
 	for nodes > 0 {
+		if err := o.Checkpoint(trace[len(trace)-1]); err != nil {
+			return nil, &PartialError{Passes: pass, Trace: trace, Err: err}
+		}
 		pass++
 		rho := float64(edges) / float64(nodes)
 		cut := threshold * rho
 		col.Reset()
-		pool.ForChunks(n, func(c, lo, hi int) {
+		if err := pool.ForChunksCtx(o.Ctx, n, func(c, lo, hi int) {
 			for u := lo; u < hi; u++ {
 				if alive[u] && float64(deg[u]) <= cut {
 					col.Append(c, int32(u))
 				}
 			}
-		})
+		}); err != nil {
+			return nil, &PartialError{Passes: pass - 1, Trace: trace, Err: err}
+		}
 		batch = col.Merge(batch[:0])
 		if len(batch) == 0 {
 			// Unreachable: a minimum-degree node always satisfies
@@ -145,6 +153,9 @@ func UndirectedWeightedOpts(g *graph.Undirected, eps float64, o Opts) (*Result, 
 	if err := checkEps(eps); err != nil {
 		return nil, err
 	}
+	if err := o.Begin(); err != nil {
+		return nil, err
+	}
 	n := g.NumNodes()
 	if n == 0 {
 		return nil, graph.ErrEmptyGraph
@@ -175,17 +186,22 @@ func UndirectedWeightedOpts(g *graph.Undirected, eps float64, o Opts) (*Result, 
 	wslots := make([]float64, par.NumChunks(n))
 	eslots := make([]int64, par.NumChunks(n))
 	for nodes > 0 {
+		if err := o.Checkpoint(trace[len(trace)-1]); err != nil {
+			return nil, &PartialError{Passes: pass, Trace: trace, Err: err}
+		}
 		pass++
 		rho := weight / float64(nodes)
 		cut := threshold * rho
 		col.Reset()
-		pool.ForChunks(n, func(c, lo, hi int) {
+		if err := pool.ForChunksCtx(o.Ctx, n, func(c, lo, hi int) {
 			for u := lo; u < hi; u++ {
 				if alive[u] && wdeg[u] <= cut+1e-12 {
 					col.Append(c, int32(u))
 				}
 			}
-		})
+		}); err != nil {
+			return nil, &PartialError{Passes: pass - 1, Trace: trace, Err: err}
+		}
 		batch = col.Merge(batch[:0])
 		if len(batch) == 0 {
 			return nil, fmt.Errorf("core: weighted pass %d removed no nodes (ρ=%v)", pass, rho)

@@ -1,14 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
 	"time"
 
-	"densestream/internal/charikar"
+	ds "densestream"
 	"densestream/internal/core"
-	"densestream/internal/flow"
 	"densestream/internal/gen"
 	"densestream/internal/mapreduce"
 )
@@ -24,15 +24,15 @@ func AblationBatchVsGreedy(scale int) (*Report, error) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-16s %12s %10s %12s\n", "algorithm", "ρ̃", "passes", "wall")
 	start := time.Now()
-	gr, err := charikar.Densest(g)
+	gr, err := ds.Solve(context.Background(), ds.Problem{Objective: ds.ObjectiveGreedy, Graph: g})
 	if err != nil {
 		return nil, err
 	}
 	greedyWall := time.Since(start)
-	fmt.Fprintf(&b, "%-16s %12.3f %10d %12s\n", "greedy (1/pass)", gr.Density, gr.Peels, greedyWall.Round(time.Millisecond))
+	fmt.Fprintf(&b, "%-16s %12.3f %10d %12s\n", "greedy (1/pass)", gr.Density, gr.Passes, greedyWall.Round(time.Millisecond))
 	for _, eps := range []float64{0, 0.5, 1, 2} {
 		start = time.Now()
-		r, err := core.Undirected(g, eps)
+		r, err := ds.Solve(context.Background(), ds.Problem{Graph: g, Eps: eps})
 		if err != nil {
 			return nil, err
 		}
@@ -58,7 +58,7 @@ func AblationDirectedSideRule(scale int) (*Report, error) {
 	fmt.Fprintf(&b, "%-10s %-22s %10s %7s %12s\n", "c", "rule", "ρ̃", "passes", "wall")
 	for _, c := range []float64{0.25, 1, 4} {
 		start := time.Now()
-		ratio, err := core.Directed(g, c, 1)
+		ratio, err := ds.Solve(context.Background(), ds.Problem{Objective: ds.ObjectiveDirected, Directed: g, C: c, Eps: 1})
 		if err != nil {
 			return nil, err
 		}
@@ -119,7 +119,7 @@ func AblationPassLowerBound() (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, err := core.Undirected(g, 0.01)
+		r, err := ds.Solve(context.Background(), ds.Problem{Graph: g, Eps: 0.01})
 		if err != nil {
 			return nil, err
 		}
@@ -146,19 +146,19 @@ func AblationExactVsApprox() (*Report, error) {
 			return nil, err
 		}
 		start := time.Now()
-		exact, err := flow.ExactDensest(g)
+		exact, err := ds.Solve(context.Background(), ds.Problem{Objective: ds.ObjectiveExact, Graph: g})
 		if err != nil {
 			return nil, err
 		}
 		exactWall := time.Since(start)
 		start = time.Now()
-		gr, err := charikar.Densest(g)
+		gr, err := ds.Solve(context.Background(), ds.Problem{Objective: ds.ObjectiveGreedy, Graph: g})
 		if err != nil {
 			return nil, err
 		}
 		greedyWall := time.Since(start)
 		start = time.Now()
-		peel, err := core.Undirected(g, 1)
+		peel, err := ds.Solve(context.Background(), ds.Problem{Graph: g, Eps: 1})
 		if err != nil {
 			return nil, err
 		}

@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -16,13 +17,9 @@ import (
 	"strings"
 	"time"
 
-	"densestream/internal/core"
-	"densestream/internal/flow"
+	ds "densestream"
 	"densestream/internal/gen"
 	"densestream/internal/graph"
-	"densestream/internal/mapreduce"
-	"densestream/internal/sketch"
-	"densestream/internal/stream"
 )
 
 // Seed is the fixed seed all experiments use, for bit-for-bit
@@ -145,13 +142,13 @@ func Table2() (*Report, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", s.Name, err)
 		}
-		exact, err := flow.ExactDensest(g)
+		exact, err := ds.Solve(context.Background(), ds.Problem{Objective: ds.ObjectiveExact, Graph: g})
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", s.Name, err)
 		}
 		fmt.Fprintf(&b, "%-14s %8d %9d %9.2f  ", s.Name, g.NumNodes(), g.NumEdges(), exact.Density)
 		for _, eps := range epsValues {
-			r, err := core.Undirected(g, eps)
+			r, err := ds.Solve(context.Background(), ds.Problem{Graph: g, Eps: eps})
 			if err != nil {
 				return nil, fmt.Errorf("%s eps=%v: %w", s.Name, eps, err)
 			}
@@ -196,7 +193,7 @@ func Figure61(scale int) (*Report, error) {
 		}
 		var base float64
 		for _, eps := range epsValues {
-			r, err := core.Undirected(g, eps)
+			r, err := ds.Solve(context.Background(), ds.Problem{Graph: g, Eps: eps})
 			if err != nil {
 				return nil, err
 			}
@@ -216,7 +213,7 @@ func Figure61(scale int) (*Report, error) {
 // the run) as a function of the pass number, for ε ∈ {0, 1, 2}.
 func Figure62(scale int) (*Report, error) {
 	return perPass(scale, "E4", "Figure 6.2 — ρ (relative to max) vs passes",
-		func(st core.PassStat, maxRho float64) string {
+		func(st ds.PassStat, maxRho float64) string {
 			return fmt.Sprintf("%8.3f", st.Density/maxRho)
 		}, "ρ/ρmax",
 		"paper: non-monotone, roughly unimodal on flickr; the peak is the returned S̃")
@@ -226,13 +223,13 @@ func Figure62(scale int) (*Report, error) {
 // pass, for ε ∈ {0, 1, 2}.
 func Figure63(scale int) (*Report, error) {
 	return perPass(scale, "E5", "Figure 6.3 — remaining nodes and edges vs passes",
-		func(st core.PassStat, _ float64) string {
+		func(st ds.PassStat, _ float64) string {
 			return fmt.Sprintf("%9d %11d", st.Nodes, st.Edges)
 		}, "   nodes       edges",
 		"paper: the graph shrinks dramatically in the first couple of passes")
 }
 
-func perPass(scale int, id, title string, cell func(core.PassStat, float64) string, header, summary string) (*Report, error) {
+func perPass(scale int, id, title string, cell func(ds.PassStat, float64) string, header, summary string) (*Report, error) {
 	datasets := []struct {
 		name string
 		load func() (*graph.Undirected, error)
@@ -251,7 +248,7 @@ func perPass(scale int, id, title string, cell func(core.PassStat, float64) stri
 			return nil, err
 		}
 		for _, eps := range []float64{0, 1, 2} {
-			r, err := core.Undirected(g, eps)
+			r, err := ds.Solve(context.Background(), ds.Problem{Graph: g, Eps: eps})
 			if err != nil {
 				return nil, err
 			}
@@ -295,10 +292,11 @@ func Table3(scale int) (*Report, error) {
 	for _, eps := range []float64{0, 1, 2} {
 		fmt.Fprintf(&b, "%4.0f", eps)
 		for _, delta := range deltas {
-			sw, err := core.DirectedSweep(g, delta, eps)
+			sol, err := ds.Solve(context.Background(), ds.Problem{Objective: ds.ObjectiveDirectedSweep, Directed: g, Delta: delta, Eps: eps})
 			if err != nil {
 				return nil, err
 			}
+			sw := sol.Sweep
 			fmt.Fprintf(&b, " %10.2f", sw.Best.Density)
 			rep.CSVRows = append(rep.CSVRows, row(eps, delta, sw.Best.Density, sw.BestC))
 		}
@@ -322,10 +320,11 @@ func Figure64(scale int) (*Report, error) {
 		CSVHeader: []string{"eps", "c", "density", "passes", "is_best"},
 	}
 	for _, eps := range []float64{0, 1} {
-		sw, err := core.DirectedSweep(g, 2, eps)
+		sol, err := ds.Solve(context.Background(), ds.Problem{Objective: ds.ObjectiveDirectedSweep, Directed: g, Delta: 2, Eps: eps})
 		if err != nil {
 			return nil, err
 		}
+		sw := sol.Sweep
 		fmt.Fprintf(&b, "lj-like ε=%v (best c = %.6g, ρ = %.2f):\n", eps, sw.BestC, sw.Best.Density)
 		fmt.Fprintf(&b, "  %-14s %10s %7s\n", "c", "ρ", "passes")
 		for _, p := range sw.Points {
@@ -350,11 +349,12 @@ func Figure65(scale int) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	sw, err := core.DirectedSweep(g, 2, 1)
+	swSol, err := ds.Solve(context.Background(), ds.Problem{Objective: ds.ObjectiveDirectedSweep, Directed: g, Delta: 2, Eps: 1})
 	if err != nil {
 		return nil, err
 	}
-	r, err := core.Directed(g, sw.BestC, 1)
+	sw := swSol.Sweep
+	r, err := ds.Solve(context.Background(), ds.Problem{Objective: ds.ObjectiveDirected, Directed: g, C: sw.BestC, Eps: 1})
 	if err != nil {
 		return nil, err
 	}
@@ -366,7 +366,7 @@ func Figure65(scale int) (*Report, error) {
 	}
 	fmt.Fprintf(&b, "lj-like at best c = %.6g, ε=1:\n", sw.BestC)
 	fmt.Fprintf(&b, "  pass side %9s %9s %12s %10s\n", "|S|", "|T|", "|E(S,T)|", "ρ")
-	for _, st := range r.Trace {
+	for _, st := range r.DirectedTrace {
 		fmt.Fprintf(&b, "  %4d   %c  %9d %9d %12d %10.2f\n",
 			st.Pass, st.PeeledSide, st.SizeS, st.SizeT, st.Edges, st.Density)
 		rep.CSVRows = append(rep.CSVRows, row(st.Pass, string(st.PeeledSide), st.SizeS, st.SizeT, st.Edges, st.Density))
@@ -382,10 +382,11 @@ func Figure66(scale int) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	sw, err := core.DirectedSweep(g, 2, 1)
+	sol, err := ds.Solve(context.Background(), ds.Problem{Objective: ds.ObjectiveDirectedSweep, Directed: g, Delta: 2, Eps: 1})
 	if err != nil {
 		return nil, err
 	}
+	sw := sol.Sweep
 	var b strings.Builder
 	rep := &Report{
 		ID: "E9", Title: "Figure 6.6 — twitter-like: density and passes vs c (ε=1, δ=2)",
@@ -434,17 +435,15 @@ func Table4(scale int) (*Report, error) {
 		CSVHeader: []string{"eps", "buckets", "ratio", "memory_fraction"},
 	}
 	for _, eps := range epsValues {
-		exact, err := stream.Undirected(stream.FromUndirected(g), eps, stream.NewExactCounter(n))
+		exact, err := ds.Solve(context.Background(), ds.Problem{Backend: ds.BackendStream, Graph: g, Eps: eps})
 		if err != nil {
 			return nil, err
 		}
 		fmt.Fprintf(&b, "%6.1f", eps)
 		for bi, bk := range buckets {
-			dc, err := sketch.NewDegreeCounter(tables, bk, Seed+int64(bi))
-			if err != nil {
-				return nil, err
-			}
-			sk, err := stream.Undirected(stream.FromUndirected(g), eps, dc)
+			sk, err := ds.Solve(context.Background(),
+				ds.Problem{Backend: ds.BackendStreamSketched, Graph: g, Eps: eps},
+				ds.WithSketch(ds.SketchConfig{Tables: tables, Buckets: bk, Seed: Seed + int64(bi)}))
 			if err != nil {
 				return nil, err
 			}
@@ -471,7 +470,7 @@ func Figure67(scale int) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := mapreduce.Config{Mappers: 8, Reducers: 8, Machines: 1}
+	cfg := ds.MRConfig{Mappers: 8, Reducers: 8, Machines: 1}
 	var b strings.Builder
 	rep := &Report{
 		ID: "E11", Title: "Figure 6.7 — MapReduce wall-clock per pass (im-like)",
@@ -480,13 +479,14 @@ func Figure67(scale int) (*Report, error) {
 		CSVHeader: []string{"eps", "machines", "pass", "nodes", "edges", "wall_us", "shuffle", "shuffle_bytes"},
 	}
 	for _, eps := range []float64{0, 1, 2} {
-		r, err := mapreduce.Undirected(g, eps, cfg)
+		r, err := ds.Solve(context.Background(), ds.Problem{Backend: ds.BackendMapReduce, Graph: g, Eps: eps},
+			ds.WithMapReduceConfig(cfg))
 		if err != nil {
 			return nil, err
 		}
 		fmt.Fprintf(&b, "im-like ε=%v (%d passes, ρ̃ = %.2f):\n", eps, r.Passes, r.Density)
 		fmt.Fprintf(&b, "  pass %9s %12s %12s %12s\n", "|S|", "|E|", "wall", "shuffle")
-		for _, rd := range r.Rounds {
+		for _, rd := range r.MRRounds {
 			fmt.Fprintf(&b, "  %4d %9d %12d %12s %12d\n",
 				rd.Pass, rd.Nodes, rd.Edges, rd.Wall.Round(time.Microsecond), rd.Shuffle)
 			rep.CSVRows = append(rep.CSVRows, row(eps, cfg.Machines, rd.Pass, rd.Nodes, rd.Edges,
@@ -496,12 +496,13 @@ func Figure67(scale int) (*Report, error) {
 	fmt.Fprintf(&b, "cluster-size sweep at ε=1 (first round):\n")
 	fmt.Fprintf(&b, "  %8s %12s %12s %22s\n", "machines", "wall", "shuffle", "max/mean machine load")
 	for _, machines := range []int{1, 2, 4} {
-		mcfg := mapreduce.Config{Mappers: 4, Reducers: 4, Machines: machines}
-		r, err := mapreduce.Undirected(g, 1, mcfg)
+		mcfg := ds.MRConfig{Mappers: 4, Reducers: 4, Machines: machines}
+		r, err := ds.Solve(context.Background(), ds.Problem{Backend: ds.BackendMapReduce, Graph: g, Eps: 1},
+			ds.WithMapReduceConfig(mcfg))
 		if err != nil {
 			return nil, err
 		}
-		first := r.Rounds[0]
+		first := r.MRRounds[0]
 		var maxRecs int64
 		for _, ms := range first.PerMachine {
 			maxRecs = max(maxRecs, ms.ShuffleRecords)

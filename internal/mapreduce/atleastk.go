@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"densestream/internal/core"
 	"densestream/internal/graph"
 )
 
@@ -14,11 +15,20 @@ import (
 // with the two marker-join filter jobs. Results match core.AtLeastK
 // exactly.
 func AtLeastK(g *graph.Undirected, k int, eps float64, cfg Config) (*MRResult, error) {
+	return AtLeastKOpts(g, k, eps, cfg, core.Opts{})
+}
+
+// AtLeastKOpts is AtLeastK with an execution configuration; see
+// UndirectedOpts for the cancellation semantics.
+func AtLeastKOpts(g *graph.Undirected, k int, eps float64, cfg Config, o core.Opts) (*MRResult, error) {
 	if eps < 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
 		return nil, fmt.Errorf("mapreduce: epsilon must be a finite value >= 0, got %v", eps)
 	}
 	e, err := NewEngine(cfg)
 	if err != nil {
+		return nil, err
+	}
+	if err := o.Begin(); err != nil {
 		return nil, err
 	}
 	n := g.NumNodes()
@@ -52,7 +62,11 @@ func AtLeastK(g *graph.Undirected, k int, eps float64, cfg Config) (*MRResult, e
 		deg int32
 	}
 	var candidates []cand
+	prev := core.PassStat{Nodes: n, Edges: g.NumEdges(), Density: g.Density()}
 	for nodes >= k {
+		if err := o.Checkpoint(prev); err != nil {
+			return nil, &core.PartialError{Passes: pass, Trace: roundTrace(rounds), Err: err}
+		}
 		pass++
 		rd := e.StartRound()
 
@@ -116,6 +130,7 @@ func AtLeastK(g *graph.Undirected, k int, eps float64, cfg Config) (*MRResult, e
 			Shuffle: st.ShuffleRecords, ShuffleBytes: st.ShuffleBytes,
 			PerMachine: st.PerMachine,
 		})
+		prev = rounds[len(rounds)-1].AsPassStat()
 		nodes -= quota
 	}
 	if bestPass == 0 {

@@ -50,8 +50,8 @@ func TestMRAtLeastKValidation(t *testing.T) {
 	if _, err := AtLeastK(g, 2, -1, DefaultConfig); err == nil {
 		t.Fatal("bad eps accepted")
 	}
-	if _, err := AtLeastK(g, 2, 0.5, Config{}); err == nil {
-		t.Fatal("bad config accepted")
+	if _, err := AtLeastK(g, 2, 0.5, Config{Mappers: -1}); err == nil {
+		t.Fatal("negative config accepted")
 	}
 	empty, _ := graph.NewBuilder(0).Freeze()
 	if _, err := AtLeastK(empty, 1, 0.5, DefaultConfig); err == nil {

@@ -36,6 +36,24 @@ type MRResult struct {
 	Rounds  []RoundStat
 }
 
+// AsPassStat projects a round onto the shared per-pass stat shape; the
+// cluster-only fields (Wall, Shuffle, PerMachine) are dropped. Used for
+// progress hooks and partial traces, which are uniform across the
+// peeling, streaming, and MapReduce runtimes.
+func (r RoundStat) AsPassStat() core.PassStat {
+	return core.PassStat{Pass: r.Pass, Nodes: r.Nodes, Edges: r.Edges, Density: r.Density, Removed: r.Removed}
+}
+
+// roundTrace converts a round trace into the shared PassStat shape for
+// a core.PartialError.
+func roundTrace(rounds []RoundStat) []core.PassStat {
+	out := make([]core.PassStat, len(rounds))
+	for i, r := range rounds {
+		out[i] = r.AsPassStat()
+	}
+	return out
+}
+
 // edgeDataset uploads a graph's edge list onto the cluster once; the
 // peeling drivers keep it resident — each round's filter jobs produce
 // the next round's partitioned dataset, and only the O(removed) markers
@@ -58,11 +76,23 @@ func edgeDataset(e *Engine, g *graph.Undirected) *Dataset[int32, int32] {
 // The result is identical to stream.Undirected with an exact counter
 // (and therefore to core.Undirected); tests assert exact agreement.
 func Undirected(g *graph.Undirected, eps float64, cfg Config) (*MRResult, error) {
+	return UndirectedOpts(g, eps, cfg, core.Opts{})
+}
+
+// UndirectedOpts is Undirected with an execution configuration: o.Ctx
+// and o.Progress interrupt the driver between rounds with a
+// core.PartialError whose Trace carries the completed rounds (projected
+// onto PassStat). o.Workers is ignored — cluster parallelism comes from
+// cfg.
+func UndirectedOpts(g *graph.Undirected, eps float64, cfg Config, o core.Opts) (*MRResult, error) {
 	if eps < 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
 		return nil, fmt.Errorf("mapreduce: epsilon must be a finite value >= 0, got %v", eps)
 	}
 	e, err := NewEngine(cfg)
 	if err != nil {
+		return nil, err
+	}
+	if err := o.Begin(); err != nil {
 		return nil, err
 	}
 	n := g.NumNodes()
@@ -87,7 +117,11 @@ func Undirected(g *graph.Undirected, eps float64, cfg Config) (*MRResult, error)
 	var rounds []RoundStat
 	threshold := 2 * (1 + eps)
 	pass := 0
+	prev := core.PassStat{Nodes: n, Edges: g.NumEdges(), Density: g.Density()}
 	for nodes > 0 {
+		if err := o.Checkpoint(prev); err != nil {
+			return nil, &core.PartialError{Passes: pass, Trace: roundTrace(rounds), Err: err}
+		}
 		pass++
 		rd := e.StartRound()
 
@@ -141,6 +175,7 @@ func Undirected(g *graph.Undirected, eps float64, cfg Config) (*MRResult, error)
 			Shuffle: st.ShuffleRecords, ShuffleBytes: st.ShuffleBytes,
 			PerMachine: st.PerMachine,
 		})
+		prev = rounds[len(rounds)-1].AsPassStat()
 		nodes -= removed
 	}
 

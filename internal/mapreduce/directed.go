@@ -5,6 +5,7 @@ import (
 	"math"
 	"time"
 
+	"densestream/internal/core"
 	"densestream/internal/graph"
 )
 
@@ -32,6 +33,29 @@ type MRDirectedResult struct {
 	Rounds  []DirectedRoundStat
 }
 
+// AsDirectedPassStat projects a directed round onto the shared directed
+// per-pass stat shape, dropping the cluster-only fields.
+func (r DirectedRoundStat) AsDirectedPassStat() core.DirectedPassStat {
+	st := core.DirectedPassStat{
+		Pass: r.Pass, SizeS: r.SizeS, SizeT: r.SizeT,
+		Edges: r.Edges, Density: r.Density, PeeledSide: r.PeeledSide,
+	}
+	if r.PeeledSide == 'S' {
+		st.RemovedS = r.Removed
+	} else {
+		st.RemovedT = r.Removed
+	}
+	return st
+}
+
+func directedRoundTrace(rounds []DirectedRoundStat) []core.DirectedPassStat {
+	out := make([]core.DirectedPassStat, len(rounds))
+	for i, r := range rounds {
+		out[i] = r.AsDirectedPassStat()
+	}
+	return out
+}
+
 // Directed runs Algorithm 3 as MapReduce rounds for a fixed ratio c. The
 // resident edge dataset always contains exactly E(S, T), kept in
 // source-keyed orientation; per pass one degree job computes out-degrees
@@ -40,6 +64,13 @@ type MRDirectedResult struct {
 // filter deletes the removed side's edges. The result matches
 // core.Directed exactly.
 func Directed(g *graph.Directed, c, eps float64, cfg Config) (*MRDirectedResult, error) {
+	return DirectedOpts(g, c, eps, cfg, core.Opts{})
+}
+
+// DirectedOpts is Directed with an execution configuration; see
+// UndirectedOpts for the cancellation semantics (the partial trace is
+// carried in DirectedTrace).
+func DirectedOpts(g *graph.Directed, c, eps float64, cfg Config, o core.Opts) (*MRDirectedResult, error) {
 	if eps < 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
 		return nil, fmt.Errorf("mapreduce: epsilon must be a finite value >= 0, got %v", eps)
 	}
@@ -48,6 +79,9 @@ func Directed(g *graph.Directed, c, eps float64, cfg Config) (*MRDirectedResult,
 	}
 	e, err := NewEngine(cfg)
 	if err != nil {
+		return nil, err
+	}
+	if err := o.Begin(); err != nil {
 		return nil, err
 	}
 	n := g.NumNodes()
@@ -77,7 +111,12 @@ func Directed(g *graph.Directed, c, eps float64, cfg Config) (*MRDirectedResult,
 	bestDensity := -1.0
 	var rounds []DirectedRoundStat
 	pass := 0
+	// Initial state for the first checkpoint: ρ = |E| / √(n·n).
+	prev := core.PassStat{Nodes: 2 * n, Edges: g.NumEdges(), Density: float64(g.NumEdges()) / float64(n)}
 	for sizeS > 0 && sizeT > 0 {
+		if err := o.Checkpoint(prev); err != nil {
+			return nil, &core.PartialError{Passes: pass, DirectedTrace: directedRoundTrace(rounds), Err: err}
+		}
 		pass++
 		rd := e.StartRound()
 
@@ -147,6 +186,7 @@ func Directed(g *graph.Directed, c, eps float64, cfg Config) (*MRDirectedResult,
 		stat.ShuffleBytes = st.ShuffleBytes
 		stat.PerMachine = st.PerMachine
 		rounds = append(rounds, stat)
+		prev = stat.AsDirectedPassStat().AsPassStat()
 	}
 
 	var setS, setT []int32

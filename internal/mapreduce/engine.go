@@ -93,19 +93,25 @@ type Config struct {
 // and laptops.
 var DefaultConfig = Config{Mappers: 8, Reducers: 8, Machines: 1}
 
-func (c Config) validate() error {
-	if c.Mappers < 1 || c.Reducers < 1 {
-		return fmt.Errorf("mapreduce: config needs >= 1 mapper and reducer, got %+v", c)
+// Normalize validates the cluster shape and fills defaults: a zero
+// field means "unset" and takes its DefaultConfig value (one machine),
+// while a negative field is an explicit configuration error and is
+// reported instead of being silently replaced. Every entry point
+// normalizes through NewEngine, so a zero Config is always usable.
+func (c Config) Normalize() (Config, error) {
+	if c.Mappers < 0 || c.Reducers < 0 || c.Machines < 0 {
+		return Config{}, fmt.Errorf("mapreduce: negative cluster shape %+v", c)
 	}
-	return nil
-}
-
-// machines normalizes the Machines knob (zero-value configs predate it).
-func (c Config) machines() int {
-	if c.Machines < 1 {
-		return 1
+	if c.Mappers == 0 {
+		c.Mappers = DefaultConfig.Mappers
 	}
-	return c.Machines
+	if c.Reducers == 0 {
+		c.Reducers = DefaultConfig.Reducers
+	}
+	if c.Machines == 0 {
+		c.Machines = 1
+	}
+	return c, nil
 }
 
 // MachineStats is the shuffle volume received by one simulated machine
@@ -150,18 +156,18 @@ type Engine struct {
 	reducePool *par.Pool
 }
 
-// NewEngine validates the config and brings up the cluster's worker
-// pools.
+// NewEngine normalizes the config (see Config.Normalize) and brings up
+// the cluster's worker pools.
 func NewEngine(cfg Config) (*Engine, error) {
-	if err := cfg.validate(); err != nil {
+	cfg, err := cfg.Normalize()
+	if err != nil {
 		return nil, err
 	}
-	m := cfg.machines()
 	return &Engine{
 		cfg:        cfg,
-		machines:   m,
-		mapPool:    par.New(cfg.Mappers * m),
-		reducePool: par.New(cfg.Reducers * m),
+		machines:   cfg.Machines,
+		mapPool:    par.New(cfg.Mappers * cfg.Machines),
+		reducePool: par.New(cfg.Reducers * cfg.Machines),
 	}, nil
 }
 

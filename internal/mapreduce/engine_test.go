@@ -155,7 +155,15 @@ func TestRunJobValidation(t *testing.T) {
 	if e.Machines() != 1 {
 		t.Fatalf("DefaultConfig machines = %d", e.Machines())
 	}
-	if _, err := NewEngine(Config{Mappers: 1, Reducers: 1, Machines: -3}); err != nil {
-		t.Fatalf("negative Machines should normalize to 1, got %v", err)
+	if _, err := NewEngine(Config{Mappers: 1, Reducers: 1, Machines: -3}); err == nil {
+		t.Fatal("negative Machines should be rejected")
+	}
+	// Zero fields mean "unset" and normalize to the defaults.
+	e2, err := NewEngine(Config{})
+	if err != nil {
+		t.Fatalf("zero config should normalize: %v", err)
+	}
+	if e2.Config() != DefaultConfig {
+		t.Fatalf("zero config normalized to %+v", e2.Config())
 	}
 }

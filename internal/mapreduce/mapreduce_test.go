@@ -62,11 +62,11 @@ func TestRunWordCount(t *testing.T) {
 func TestRunValidation(t *testing.T) {
 	id := func(k int32, v int32, emit func(int32, int32)) { emit(k, v) }
 	red := func(k int32, vs []int32, emit func(int32, int32)) { emit(k, 0) }
-	if _, _, err := Run(Config{Mappers: 0, Reducers: 1}, nil, id, red, PartitionInt32); err == nil {
-		t.Fatal("0 mappers accepted")
+	if _, _, err := Run(Config{Mappers: -1, Reducers: 1}, nil, id, red, PartitionInt32); err == nil {
+		t.Fatal("negative mappers accepted")
 	}
-	if _, _, err := Run(Config{Mappers: 1, Reducers: 0}, nil, id, red, PartitionInt32); err == nil {
-		t.Fatal("0 reducers accepted")
+	if _, _, err := Run(Config{Mappers: 1, Reducers: -1}, nil, id, red, PartitionInt32); err == nil {
+		t.Fatal("negative reducers accepted")
 	}
 	if _, _, err := Run[int32, int32, int32, int32, int32](DefaultConfig, nil, nil, red, PartitionInt32); err == nil {
 		t.Fatal("nil mapper accepted")
@@ -237,8 +237,11 @@ func TestMRUndirectedValidation(t *testing.T) {
 	if _, err := Undirected(g, -1, DefaultConfig); err == nil {
 		t.Fatal("negative eps accepted")
 	}
-	if _, err := Undirected(g, 1, Config{}); err == nil {
-		t.Fatal("zero config accepted")
+	if _, err := Undirected(g, 1, Config{Machines: -1}); err == nil {
+		t.Fatal("negative config accepted")
+	}
+	if _, err := Undirected(g, 1, Config{}); err != nil {
+		t.Fatalf("zero config should normalize to the defaults: %v", err)
 	}
 	empty, _ := graph.NewBuilder(0).Freeze()
 	if _, err := Undirected(empty, 1, DefaultConfig); err == nil {

@@ -12,6 +12,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -103,6 +104,55 @@ func (p *Pool) ForChunks(n int, fn func(chunk, lo, hi int)) {
 		}()
 	}
 	wg.Wait()
+}
+
+// ForChunksCtx is ForChunks with cooperative cancellation: once ctx is
+// done, workers stop claiming new chunks (chunks already claimed run to
+// completion, preserving the no-torn-chunk invariant) and the call
+// reports ctx.Err(). A nil ctx means no cancellation. On a non-nil
+// error the chunk coverage is incomplete, so callers must discard any
+// partial reduction state.
+func (p *Pool) ForChunksCtx(ctx context.Context, n int, fn func(chunk, lo, hi int)) error {
+	if ctx == nil {
+		p.ForChunks(n, fn)
+		return nil
+	}
+	chunks := NumChunks(n)
+	if chunks == 0 {
+		return ctx.Err()
+	}
+	if p.workers == 1 || chunks == 1 {
+		for c := 0; c < chunks; c++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			lo, hi := ChunkBounds(c, n)
+			fn(c, lo, hi)
+		}
+		return nil
+	}
+	workers := p.workers
+	if workers > chunks {
+		workers = chunks
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				c := int(cursor.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				lo, hi := ChunkBounds(c, n)
+				fn(c, lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
 }
 
 // RunTasks invokes fn(i) for i in [0, k) and waits. With one worker (or

@@ -16,6 +16,15 @@ import (
 // one intermediate subgraph lands near the requested size k. With an
 // ExactCounter the result matches core.AtLeastK exactly.
 func AtLeastK(es EdgeStream, k int, eps float64, counter DegreeCounter) (*core.Result, error) {
+	return AtLeastKOpts(es, k, eps, counter, core.Opts{})
+}
+
+// AtLeastKOpts is AtLeastK with an execution configuration: o.Ctx and
+// o.Progress interrupt the run between passes (and mid-scan) with a
+// core.PartialError. o.Workers is accepted for signature uniformity but
+// the scan is sequential (see the ROADMAP's parallel weighted/AtLeastK
+// streaming item).
+func AtLeastKOpts(es EdgeStream, k int, eps float64, counter DegreeCounter, o core.Opts) (*core.Result, error) {
 	if eps < 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
 		return nil, fmt.Errorf("stream: epsilon must be a finite value >= 0, got %v", eps)
 	}
@@ -28,6 +37,9 @@ func AtLeastK(es EdgeStream, k int, eps float64, counter DegreeCounter) (*core.R
 	}
 	if k < 1 || k > n {
 		return nil, fmt.Errorf("stream: k=%d out of range [1,%d]", k, n)
+	}
+	if err := o.Begin(); err != nil {
+		return nil, err
 	}
 
 	alive := make([]bool, n)
@@ -49,13 +61,18 @@ func AtLeastK(es EdgeStream, k int, eps float64, counter DegreeCounter) (*core.R
 		deg int64
 	}
 	var candidates []cand
+	prev := core.PassStat{Nodes: n}
 	for nodes >= k {
+		if err := o.Checkpoint(prev); err != nil {
+			return nil, &core.PartialError{Passes: pass, Trace: trace, Err: err}
+		}
 		pass++
 		counter.Reset()
 		if err := es.Reset(); err != nil {
 			return nil, fmt.Errorf("stream: pass %d: %w", pass, err)
 		}
 		var edges int64
+		var scanned int64
 		for {
 			e, err := es.Next()
 			if err == io.EOF {
@@ -64,6 +81,10 @@ func AtLeastK(es EdgeStream, k int, eps float64, counter DegreeCounter) (*core.R
 			if err != nil {
 				return nil, fmt.Errorf("stream: pass %d: %w", pass, err)
 			}
+			if err := pollCtx(o.Ctx, scanned); err != nil {
+				return nil, &core.PartialError{Passes: pass - 1, Trace: trace, Err: err}
+			}
+			scanned++
 			if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
 				return nil, fmt.Errorf("%w: edge (%d,%d) with n=%d", graph.ErrNodeRange, e.U, e.V, n)
 			}
@@ -117,9 +138,11 @@ func AtLeastK(es EdgeStream, k int, eps float64, counter DegreeCounter) (*core.R
 			alive[c.u] = false
 			removedAt[c.u] = pass
 		}
-		trace = append(trace, core.PassStat{
+		st := core.PassStat{
 			Pass: pass, Nodes: nodes, Edges: edges, Density: rho, Removed: quota,
-		})
+		}
+		trace = append(trace, st)
+		prev = st
 		nodes -= quota
 	}
 	if bestPass == 0 {

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -45,8 +46,10 @@ func streamScanLanes(n, workers, counters int) int {
 // scanShardedPass drives one pass over the stream's shards, one worker
 // per shard: visit is called for every in-range edge with the shard's
 // lane index and reports whether the edge survives (is counted).
-// Per-shard counts and errors merge in shard order.
-func scanShardedPass(ss ShardedStream, pool *par.Pool, lanes, n int, visit func(lane int, e Edge) bool) (int64, error) {
+// Per-shard counts and errors merge in shard order. A non-nil ctx is
+// polled periodically inside each shard scan; its error wins over
+// per-shard errors so callers can map it to a PartialError.
+func scanShardedPass(ctx context.Context, ss ShardedStream, pool *par.Pool, lanes, n int, visit func(lane int, e Edge) bool) (int64, error) {
 	shards := ss.Shards(lanes)
 	counts := make([]int64, len(shards))
 	errs := make([]error, len(shards))
@@ -56,6 +59,7 @@ func scanShardedPass(ss ShardedStream, pool *par.Pool, lanes, n int, visit func(
 			errs[i] = err
 			return
 		}
+		var scanned int64
 		for {
 			e, err := sh.Next()
 			if err == io.EOF {
@@ -65,6 +69,11 @@ func scanShardedPass(ss ShardedStream, pool *par.Pool, lanes, n int, visit func(
 				errs[i] = err
 				return
 			}
+			if err := pollCtx(ctx, scanned); err != nil {
+				errs[i] = err
+				return
+			}
+			scanned++
 			if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
 				errs[i] = fmt.Errorf("%w: edge (%d,%d) with n=%d", graph.ErrNodeRange, e.U, e.V, n)
 				return
@@ -74,6 +83,11 @@ func scanShardedPass(ss ShardedStream, pool *par.Pool, lanes, n int, visit func(
 			}
 		}
 	})
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+	}
 	var edges int64
 	for i := range shards {
 		if errs[i] != nil {
@@ -93,13 +107,23 @@ func scanShardedPass(ss ShardedStream, pool *par.Pool, lanes, n int, visit func(
 // do not implement ShardedStream (e.g. file streams) fall back to the
 // sequential scan.
 func UndirectedParallel(es EdgeStream, eps float64, workers int) (*core.Result, error) {
-	workers = par.Clamp(workers)
+	return UndirectedParallelOpts(es, eps, core.Opts{Workers: workers})
+}
+
+// UndirectedParallelOpts is UndirectedParallel with a full execution
+// configuration: o.Ctx and o.Progress interrupt the run between passes
+// (and mid-scan) with a core.PartialError.
+func UndirectedParallelOpts(es EdgeStream, eps float64, o core.Opts) (*core.Result, error) {
+	workers := par.Clamp(o.Workers)
 	ss, ok := es.(ShardedStream)
 	if !ok || workers == 1 {
-		return Undirected(es, eps, NewExactCounter(es.NumNodes()))
+		return UndirectedOpts(es, eps, NewExactCounter(es.NumNodes()), o)
 	}
 	if eps < 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
 		return nil, fmt.Errorf("stream: epsilon must be a finite value >= 0, got %v", eps)
+	}
+	if err := o.Begin(); err != nil {
+		return nil, err
 	}
 	n := es.NumNodes()
 	if n == 0 {
@@ -122,10 +146,14 @@ func UndirectedParallel(es EdgeStream, eps float64, workers int) (*core.Result, 
 	counter := NewStripedCounter(n, lanes)
 	threshold := 2 * (1 + eps)
 	pass := 0
+	prev := core.PassStat{Nodes: n}
 	for nodes > 0 {
+		if err := o.Checkpoint(prev); err != nil {
+			return nil, &core.PartialError{Passes: pass, Trace: trace, Err: err}
+		}
 		pass++
 		counter.Reset(pool)
-		edges, err := scanShardedPass(ss, pool, lanes, n, func(lane int, e Edge) bool {
+		edges, err := scanShardedPass(o.Ctx, ss, pool, lanes, n, func(lane int, e Edge) bool {
 			if alive[e.U] && alive[e.V] {
 				counter.AddLane(lane, e.U)
 				counter.AddLane(lane, e.V)
@@ -134,6 +162,9 @@ func UndirectedParallel(es EdgeStream, eps float64, workers int) (*core.Result, 
 			return false
 		})
 		if err != nil {
+			if o.Ctx != nil && err == o.Ctx.Err() {
+				return nil, &core.PartialError{Passes: pass - 1, Trace: trace, Err: err}
+			}
 			return nil, fmt.Errorf("stream: pass %d: %w", pass, err)
 		}
 		counter.Fold(pool)
@@ -188,9 +219,11 @@ func UndirectedParallel(es EdgeStream, eps float64, workers int) (*core.Result, 
 			}
 			removed = quota
 		}
-		trace = append(trace, core.PassStat{
+		st := core.PassStat{
 			Pass: pass, Nodes: nodes, Edges: edges, Density: rho, Removed: removed,
-		})
+		}
+		trace = append(trace, st)
+		prev = st
 		nodes -= removed
 	}
 
@@ -211,17 +244,27 @@ func UndirectedParallel(es EdgeStream, eps float64, workers int) (*core.Result, 
 // Results are bit-identical to Directed with ExactCounters for every
 // worker count; non-shardable streams fall back to the sequential scan.
 func DirectedParallel(es EdgeStream, c, eps float64, workers int) (*core.DirectedResult, error) {
-	workers = par.Clamp(workers)
+	return DirectedParallelOpts(es, c, eps, core.Opts{Workers: workers})
+}
+
+// DirectedParallelOpts is DirectedParallel with a full execution
+// configuration; see UndirectedParallelOpts for the cancellation
+// semantics.
+func DirectedParallelOpts(es EdgeStream, c, eps float64, o core.Opts) (*core.DirectedResult, error) {
+	workers := par.Clamp(o.Workers)
 	ss, ok := es.(ShardedStream)
 	if !ok || workers == 1 {
 		n := es.NumNodes()
-		return Directed(es, c, eps, NewExactCounter(n), NewExactCounter(n))
+		return DirectedOpts(es, c, eps, NewExactCounter(n), NewExactCounter(n), o)
 	}
 	if eps < 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
 		return nil, fmt.Errorf("stream: epsilon must be a finite value >= 0, got %v", eps)
 	}
 	if c <= 0 || math.IsNaN(c) || math.IsInf(c, 0) {
 		return nil, fmt.Errorf("stream: c must be a finite value > 0, got %v", c)
+	}
+	if err := o.Begin(); err != nil {
+		return nil, err
 	}
 	n := es.NumNodes()
 	if n == 0 {
@@ -247,11 +290,15 @@ func DirectedParallel(es EdgeStream, c, eps float64, workers int) (*core.Directe
 	out := NewStripedCounter(n, lanes)
 	in := NewStripedCounter(n, lanes)
 	pass := 0
+	prev := core.PassStat{Nodes: 2 * n}
 	for sizeS > 0 && sizeT > 0 {
+		if err := o.Checkpoint(prev); err != nil {
+			return nil, &core.PartialError{Passes: pass, DirectedTrace: trace, Err: err}
+		}
 		pass++
 		out.Reset(pool)
 		in.Reset(pool)
-		edges, err := scanShardedPass(ss, pool, lanes, n, func(lane int, e Edge) bool {
+		edges, err := scanShardedPass(o.Ctx, ss, pool, lanes, n, func(lane int, e Edge) bool {
 			if aliveS[e.U] && aliveT[e.V] {
 				out.AddLane(lane, e.U)
 				in.AddLane(lane, e.V)
@@ -260,6 +307,9 @@ func DirectedParallel(es EdgeStream, c, eps float64, workers int) (*core.Directe
 			return false
 		})
 		if err != nil {
+			if o.Ctx != nil && err == o.Ctx.Err() {
+				return nil, &core.PartialError{Passes: pass - 1, DirectedTrace: trace, Err: err}
+			}
 			return nil, fmt.Errorf("stream: pass %d: %w", pass, err)
 		}
 		out.Fold(pool)
@@ -310,6 +360,7 @@ func DirectedParallel(es EdgeStream, c, eps float64, workers int) (*core.Directe
 		stat.SizeS = sizeS
 		stat.SizeT = sizeT
 		trace = append(trace, stat)
+		prev = stat.AsPassStat()
 	}
 
 	var setS, setT []int32

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -22,11 +23,37 @@ import (
 // START of the pass, since a streaming pass cannot know the post-removal
 // edge count until the next scan.
 func Undirected(es EdgeStream, eps float64, counter DegreeCounter) (*core.Result, error) {
+	return UndirectedOpts(es, eps, counter, core.Opts{})
+}
+
+// scanCheckMask throttles the context poll inside sequential edge
+// scans: one Ctx.Err() load every scanCheckMask+1 edges, so even a
+// pass over a giant on-disk stream notices cancellation promptly.
+const scanCheckMask = 1<<16 - 1
+
+// pollCtx reports ctx's error once every scanCheckMask+1 calls (as
+// counted by scanned); a nil ctx never reports. Every sequential edge
+// scan calls it once per edge so cancellation lands mid-pass.
+func pollCtx(ctx context.Context, scanned int64) error {
+	if scanned&scanCheckMask == 0 && ctx != nil {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// UndirectedOpts is Undirected with an execution configuration: o.Ctx
+// and o.Progress interrupt the run between passes (and, for the edge
+// scan, mid-pass) with a core.PartialError; o.Workers is ignored here —
+// use UndirectedParallel for sharded scans.
+func UndirectedOpts(es EdgeStream, eps float64, counter DegreeCounter, o core.Opts) (*core.Result, error) {
 	if eps < 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
 		return nil, fmt.Errorf("stream: epsilon must be a finite value >= 0, got %v", eps)
 	}
 	if counter == nil {
 		return nil, fmt.Errorf("stream: nil degree counter")
+	}
+	if err := o.Begin(); err != nil {
+		return nil, err
 	}
 	n := es.NumNodes()
 	if n == 0 {
@@ -46,13 +73,18 @@ func Undirected(es EdgeStream, eps float64, counter DegreeCounter) (*core.Result
 
 	threshold := 2 * (1 + eps)
 	pass := 0
+	prev := core.PassStat{Nodes: n}
 	for nodes > 0 {
+		if err := o.Checkpoint(prev); err != nil {
+			return nil, &core.PartialError{Passes: pass, Trace: trace, Err: err}
+		}
 		pass++
 		counter.Reset()
 		if err := es.Reset(); err != nil {
 			return nil, fmt.Errorf("stream: pass %d: %w", pass, err)
 		}
 		var edges int64
+		var scanned int64
 		for {
 			e, err := es.Next()
 			if err == io.EOF {
@@ -61,6 +93,10 @@ func Undirected(es EdgeStream, eps float64, counter DegreeCounter) (*core.Result
 			if err != nil {
 				return nil, fmt.Errorf("stream: pass %d: %w", pass, err)
 			}
+			if err := pollCtx(o.Ctx, scanned); err != nil {
+				return nil, &core.PartialError{Passes: pass - 1, Trace: trace, Err: err}
+			}
+			scanned++
 			if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
 				return nil, fmt.Errorf("%w: edge (%d,%d) with n=%d", graph.ErrNodeRange, e.U, e.V, n)
 			}
@@ -119,9 +155,11 @@ func Undirected(es EdgeStream, eps float64, counter DegreeCounter) (*core.Result
 			}
 			removed = quota
 		}
-		trace = append(trace, core.PassStat{
+		st := core.PassStat{
 			Pass: pass, Nodes: nodes, Edges: edges, Density: rho, Removed: removed,
-		})
+		}
+		trace = append(trace, st)
+		prev = st
 		nodes -= removed
 	}
 
@@ -139,6 +177,12 @@ func Undirected(es EdgeStream, eps float64, counter DegreeCounter) (*core.Result
 // Directed runs Algorithm 3 against a directed edge stream with O(n)
 // state: two alive sets, out/in degree counters, and |E(S,T)|.
 func Directed(es EdgeStream, c, eps float64, out, in DegreeCounter) (*core.DirectedResult, error) {
+	return DirectedOpts(es, c, eps, out, in, core.Opts{})
+}
+
+// DirectedOpts is Directed with an execution configuration; see
+// UndirectedOpts for the cancellation semantics.
+func DirectedOpts(es EdgeStream, c, eps float64, out, in DegreeCounter, o core.Opts) (*core.DirectedResult, error) {
 	if eps < 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
 		return nil, fmt.Errorf("stream: epsilon must be a finite value >= 0, got %v", eps)
 	}
@@ -147,6 +191,9 @@ func Directed(es EdgeStream, c, eps float64, out, in DegreeCounter) (*core.Direc
 	}
 	if out == nil || in == nil {
 		return nil, fmt.Errorf("stream: nil degree counter")
+	}
+	if err := o.Begin(); err != nil {
+		return nil, err
 	}
 	n := es.NumNodes()
 	if n == 0 {
@@ -168,7 +215,11 @@ func Directed(es EdgeStream, c, eps float64, out, in DegreeCounter) (*core.Direc
 	var trace []core.DirectedPassStat
 
 	pass := 0
+	prev := core.PassStat{Nodes: 2 * n}
 	for sizeS > 0 && sizeT > 0 {
+		if err := o.Checkpoint(prev); err != nil {
+			return nil, &core.PartialError{Passes: pass, DirectedTrace: trace, Err: err}
+		}
 		pass++
 		out.Reset()
 		in.Reset()
@@ -176,6 +227,7 @@ func Directed(es EdgeStream, c, eps float64, out, in DegreeCounter) (*core.Direc
 			return nil, fmt.Errorf("stream: pass %d: %w", pass, err)
 		}
 		var edges int64
+		var scanned int64
 		for {
 			e, err := es.Next()
 			if err == io.EOF {
@@ -184,6 +236,10 @@ func Directed(es EdgeStream, c, eps float64, out, in DegreeCounter) (*core.Direc
 			if err != nil {
 				return nil, fmt.Errorf("stream: pass %d: %w", pass, err)
 			}
+			if err := pollCtx(o.Ctx, scanned); err != nil {
+				return nil, &core.PartialError{Passes: pass - 1, DirectedTrace: trace, Err: err}
+			}
+			scanned++
 			if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
 				return nil, fmt.Errorf("%w: edge (%d,%d) with n=%d", graph.ErrNodeRange, e.U, e.V, n)
 			}
@@ -231,6 +287,7 @@ func Directed(es EdgeStream, c, eps float64, out, in DegreeCounter) (*core.Direc
 		stat.SizeS = sizeS
 		stat.SizeT = sizeT
 		trace = append(trace, stat)
+		prev = stat.AsPassStat()
 	}
 
 	var setS, setT []int32

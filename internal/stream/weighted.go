@@ -80,8 +80,20 @@ func FromUndirectedWeighted(g *graph.Undirected) *WeightedSliceStream {
 // per node). With unit weights it matches Undirected; in general it
 // matches core.UndirectedWeighted on the same graph.
 func UndirectedWeighted(es WeightedEdgeStream, eps float64) (*core.Result, error) {
+	return UndirectedWeightedOpts(es, eps, core.Opts{})
+}
+
+// UndirectedWeightedOpts is UndirectedWeighted with an execution
+// configuration: o.Ctx and o.Progress interrupt the run between passes
+// (and mid-scan) with a core.PartialError. o.Workers is accepted for
+// signature uniformity but the scan is sequential until
+// WeightedEdgeStream grows a Shards analogue (see ROADMAP).
+func UndirectedWeightedOpts(es WeightedEdgeStream, eps float64, o core.Opts) (*core.Result, error) {
 	if eps < 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
 		return nil, fmt.Errorf("stream: epsilon must be a finite value >= 0, got %v", eps)
+	}
+	if err := o.Begin(); err != nil {
+		return nil, err
 	}
 	n := es.NumNodes()
 	if n == 0 {
@@ -102,7 +114,11 @@ func UndirectedWeighted(es WeightedEdgeStream, eps float64) (*core.Result, error
 
 	threshold := 2 * (1 + eps)
 	pass := 0
+	prev := core.PassStat{Nodes: n}
 	for nodes > 0 {
+		if err := o.Checkpoint(prev); err != nil {
+			return nil, &core.PartialError{Passes: pass, Trace: trace, Err: err}
+		}
 		pass++
 		for i := range wdeg {
 			wdeg[i] = 0
@@ -112,6 +128,7 @@ func UndirectedWeighted(es WeightedEdgeStream, eps float64) (*core.Result, error
 		}
 		var weight float64
 		var edges int64
+		var scanned int64
 		for {
 			e, err := es.Next()
 			if err == io.EOF {
@@ -120,6 +137,10 @@ func UndirectedWeighted(es WeightedEdgeStream, eps float64) (*core.Result, error
 			if err != nil {
 				return nil, fmt.Errorf("stream: pass %d: %w", pass, err)
 			}
+			if err := pollCtx(o.Ctx, scanned); err != nil {
+				return nil, &core.PartialError{Passes: pass - 1, Trace: trace, Err: err}
+			}
+			scanned++
 			if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
 				return nil, fmt.Errorf("%w: edge (%d,%d) with n=%d", graph.ErrNodeRange, e.U, e.V, n)
 			}
@@ -147,9 +168,11 @@ func UndirectedWeighted(es WeightedEdgeStream, eps float64) (*core.Result, error
 		if removed == 0 {
 			return nil, fmt.Errorf("stream: weighted pass %d removed no nodes (ρ=%v)", pass, rho)
 		}
-		trace = append(trace, core.PassStat{
+		st := core.PassStat{
 			Pass: pass, Nodes: nodes, Edges: edges, Density: rho, Removed: removed,
-		})
+		}
+		trace = append(trace, st)
+		prev = st
 		nodes -= removed
 	}
 

@@ -1,0 +1,209 @@
+package densestream
+
+import (
+	"fmt"
+)
+
+// Objective selects what a Solve call computes: which of the paper's
+// algorithms (or baselines) runs, and therefore which Problem parameters
+// and Solution fields are meaningful.
+type Objective int
+
+const (
+	// ObjectiveUndirected is Algorithm 1: the (2+2ε)-approximate
+	// densest subgraph of an undirected graph. Uses Eps.
+	ObjectiveUndirected Objective = iota
+	// ObjectiveWeighted is Algorithm 1 over weighted degrees (unit
+	// weights are accepted). Uses Eps.
+	ObjectiveWeighted
+	// ObjectiveAtLeastK is Algorithm 2: the densest subgraph with at
+	// least K nodes, a (3+3ε)-approximation. Uses Eps and K.
+	ObjectiveAtLeastK
+	// ObjectiveDirected is Algorithm 3 for a fixed side ratio
+	// c = |S*|/|T*|. Uses Eps and C.
+	ObjectiveDirected
+	// ObjectiveDirectedSweep runs Algorithm 3 for c = Delta^j covering
+	// [1/n, n] and keeps the best pair. Uses Eps and Delta.
+	ObjectiveDirectedSweep
+	// ObjectiveExact is Goldberg's flow-based exact solver — ground
+	// truth at moderate scale. No parameters.
+	ObjectiveExact
+	// ObjectiveGreedy is Charikar's one-node-at-a-time greedy
+	// 2-approximation baseline (weighted graphs use weighted degrees).
+	// No parameters.
+	ObjectiveGreedy
+)
+
+// String implements fmt.Stringer.
+func (o Objective) String() string {
+	switch o {
+	case ObjectiveUndirected:
+		return "Undirected"
+	case ObjectiveWeighted:
+		return "Weighted"
+	case ObjectiveAtLeastK:
+		return "AtLeastK"
+	case ObjectiveDirected:
+		return "Directed"
+	case ObjectiveDirectedSweep:
+		return "DirectedSweep"
+	case ObjectiveExact:
+		return "Exact"
+	case ObjectiveGreedy:
+		return "Greedy"
+	}
+	return fmt.Sprintf("Objective(%d)", int(o))
+}
+
+// Backend selects which execution model runs the objective. Every
+// backend computes the same answer for the same Problem (bit-identical
+// Set/Density/Passes; only the backend-specific Solution stats differ),
+// except BackendStreamSketched, which trades exactness for sublinear
+// counter memory.
+type Backend int
+
+const (
+	// BackendPeel is the in-memory sharded peeling engine — the fastest
+	// path when the graph fits in RAM. Honors WithWorkers.
+	BackendPeel Backend = iota
+	// BackendStream re-scans an edge stream once per pass holding O(n)
+	// node state (semi-streaming). Shardable in-memory streams honor
+	// WithWorkers; file streams scan sequentially.
+	BackendStream
+	// BackendStreamSketched is BackendStream with a Count-Sketch degree
+	// oracle (§5.1) replacing the O(n) exact counter; configure it with
+	// WithSketch. Only ObjectiveUndirected supports it.
+	BackendStreamSketched
+	// BackendMapReduce runs the peeling rounds on the simulated
+	// MapReduce cluster (§5.2); configure the cluster shape with
+	// WithMapReduceConfig.
+	BackendMapReduce
+)
+
+// String implements fmt.Stringer.
+func (b Backend) String() string {
+	switch b {
+	case BackendPeel:
+		return "Peel"
+	case BackendStream:
+		return "Stream"
+	case BackendStreamSketched:
+		return "StreamSketched"
+	case BackendMapReduce:
+		return "MapReduce"
+	}
+	return fmt.Sprintf("Backend(%d)", int(b))
+}
+
+// Problem declares one densest-subgraph computation: the objective and
+// its parameters, the input, and the backend that should execute it.
+// The zero value of Objective and Backend is the common case
+// (ObjectiveUndirected on BackendPeel), so
+//
+//	Solve(ctx, Problem{Graph: g, Eps: 0.5})
+//
+// is the minimal complete request. Exactly one input field must be set;
+// parameters not used by the objective are ignored.
+type Problem struct {
+	Objective Objective
+	Backend   Backend
+
+	// Eps is the peeling slack ε ≥ 0 of Algorithms 1–3 (ignored by
+	// Exact and Greedy).
+	Eps float64
+	// K is the minimum subgraph size of ObjectiveAtLeastK.
+	K int
+	// C is the fixed side ratio |S|/|T| of ObjectiveDirected.
+	C float64
+	// Delta is the ratio step (> 1) of ObjectiveDirectedSweep.
+	Delta float64
+
+	// Graph is an in-memory undirected input (undirected objectives).
+	Graph *UndirectedGraph
+	// Directed is an in-memory directed input (directed objectives).
+	Directed *DirectedGraph
+	// Edges is an edge-stream input: undirected for the undirected
+	// objectives, U→V for the directed ones. Stream backends scan it
+	// pass by pass; it is invalid for in-memory backends.
+	Edges EdgeStream
+	// WeightedEdges is a weighted edge-stream input for
+	// ObjectiveWeighted on BackendStream.
+	WeightedEdges WeightedEdgeStream
+	// Path is an edge-list file input. Stream backends re-read it every
+	// pass (true external-memory streaming; requires dense integer
+	// ids), while in-memory backends parse it once with
+	// ReadUndirected/ReadDirected (arbitrary labels).
+	Path string
+}
+
+// directedObjective reports whether the objective peels an (S, T) pair.
+func (p Problem) directedObjective() bool {
+	return p.Objective == ObjectiveDirected || p.Objective == ObjectiveDirectedSweep
+}
+
+// validate checks the routing of the Problem — that exactly one input
+// is set, that it matches the objective, and that the backend supports
+// the objective. Parameter values (Eps, K, C, Delta) are validated by
+// the algorithms themselves so the error messages are the same on every
+// path.
+func (p Problem) validate() error {
+	inputs := 0
+	for _, set := range []bool{p.Graph != nil, p.Directed != nil, p.Edges != nil, p.WeightedEdges != nil, p.Path != ""} {
+		if set {
+			inputs++
+		}
+	}
+	if inputs != 1 {
+		return fmt.Errorf("densestream: Problem needs exactly one input (Graph, Directed, Edges, WeightedEdges, or Path), got %d", inputs)
+	}
+
+	switch p.Objective {
+	case ObjectiveUndirected, ObjectiveWeighted, ObjectiveAtLeastK, ObjectiveExact, ObjectiveGreedy:
+		if p.Directed != nil {
+			return fmt.Errorf("densestream: objective %s needs an undirected input, got Directed", p.Objective)
+		}
+		if p.WeightedEdges != nil && p.Objective != ObjectiveWeighted {
+			return fmt.Errorf("densestream: objective %s does not accept WeightedEdges", p.Objective)
+		}
+		if p.Edges != nil && p.Objective == ObjectiveWeighted {
+			return fmt.Errorf("densestream: ObjectiveWeighted needs WeightedEdges (or a Graph/Path), not Edges")
+		}
+	case ObjectiveDirected, ObjectiveDirectedSweep:
+		if p.Graph != nil || p.WeightedEdges != nil {
+			return fmt.Errorf("densestream: objective %s needs a directed input (Directed, Edges, or Path)", p.Objective)
+		}
+	default:
+		return fmt.Errorf("densestream: unknown objective %s", p.Objective)
+	}
+
+	switch p.Backend {
+	case BackendPeel:
+		if p.Edges != nil || p.WeightedEdges != nil {
+			return fmt.Errorf("densestream: BackendPeel needs an in-memory graph or a Path, not an edge stream")
+		}
+	case BackendStream:
+		switch p.Objective {
+		case ObjectiveExact, ObjectiveGreedy, ObjectiveDirectedSweep:
+			return fmt.Errorf("densestream: objective %s runs on BackendPeel only", p.Objective)
+		}
+	case BackendStreamSketched:
+		if p.Objective != ObjectiveUndirected {
+			return fmt.Errorf("densestream: BackendStreamSketched supports ObjectiveUndirected only, got %s", p.Objective)
+		}
+		if p.WeightedEdges != nil {
+			return fmt.Errorf("densestream: BackendStreamSketched does not accept WeightedEdges")
+		}
+	case BackendMapReduce:
+		switch p.Objective {
+		case ObjectiveUndirected, ObjectiveAtLeastK, ObjectiveDirected:
+		default:
+			return fmt.Errorf("densestream: BackendMapReduce supports Undirected, AtLeastK, and Directed, got %s", p.Objective)
+		}
+		if p.Edges != nil || p.WeightedEdges != nil {
+			return fmt.Errorf("densestream: BackendMapReduce needs an in-memory graph or a Path, not an edge stream")
+		}
+	default:
+		return fmt.Errorf("densestream: unknown backend %s", p.Backend)
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Public-API surface gate: diff the current `go doc -all .` output of the
+# root package against the committed API.txt snapshot, so PRs change the
+# public surface deliberately. Refresh the snapshot with
+# `make api-snapshot` after an intentional change.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fresh=$(mktemp)
+trap 'rm -f "$fresh"' EXIT
+go doc -all . >"$fresh"
+
+if [ ! -f API.txt ]; then
+  echo "API.txt snapshot missing; create it with: make api-snapshot" >&2
+  exit 1
+fi
+
+if ! diff -u API.txt "$fresh"; then
+  cat >&2 <<'MSG'
+
+public API surface changed (see diff above).
+If the change is intentional, refresh the snapshot with `make api-snapshot`
+and commit the updated API.txt alongside the code change.
+MSG
+  exit 1
+fi
+echo "API surface matches API.txt"

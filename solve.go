@@ -1,0 +1,346 @@
+package densestream
+
+import (
+	"context"
+	"os"
+
+	"densestream/internal/charikar"
+	"densestream/internal/core"
+	"densestream/internal/flow"
+	"densestream/internal/mapreduce"
+	"densestream/internal/sketch"
+	"densestream/internal/stream"
+)
+
+// Solution is the uniform result envelope of Solve. The first block is
+// filled for every request; the remaining fields are backend- or
+// objective-specific and documented per field. For the same Problem,
+// every exact backend fills the common block bit-identically.
+type Solution struct {
+	Objective Objective // echo of the request
+	Backend   Backend   // echo of the request
+
+	// Set is S̃ for the undirected objectives (Exact and Greedy
+	// included); nil for the directed ones, which fill S and T.
+	Set []int32
+	// S and T are the directed pair (directed objectives only).
+	S, T []int32
+	// Density is ρ(S̃), or ρ(S̃, T̃) = |E(S̃,T̃)|/√(|S̃||T̃|) for the
+	// directed objectives.
+	Density float64
+	// Passes counts passes over the edges (flow calls for Exact, peels
+	// for Greedy).
+	Passes int
+	// Trace is the per-pass trace of the undirected objectives. The
+	// peeling backend records the initial state as Trace[0]; the
+	// streaming and MapReduce backends record one entry per pass, each
+	// describing the subgraph as scanned at the start of the pass. For
+	// BackendMapReduce it is the MRRounds trace projected onto PassStat;
+	// empty for Exact and Greedy.
+	Trace []PassStat
+	// DirectedTrace is the directed analogue of Trace.
+	DirectedTrace []DirectedPassStat
+
+	// Sweep holds every attempted c of ObjectiveDirectedSweep (the
+	// best run's S/T/Density also populate the common block).
+	Sweep *SweepResult
+	// MRRounds / MRDirectedRounds carry the per-round cluster
+	// statistics of BackendMapReduce — shuffle records and bytes, wall
+	// clock, and the per-machine attribution.
+	MRRounds         []MRRoundStat
+	MRDirectedRounds []MRDirectedRoundStat
+	// SketchMemoryWords is the Count-Sketch state size in 64-bit words
+	// (BackendStreamSketched only) — compare against NumNodes for the
+	// paper's Table 4 memory ratio.
+	SketchMemoryWords int
+	// ExactNumer/ExactDenom give ObjectiveExact's density as an exact
+	// rational.
+	ExactNumer, ExactDenom int64
+}
+
+// Solve executes one densest-subgraph Problem and returns the uniform
+// Solution envelope. It is the single entry point behind every legacy
+// function in this package: the Problem declares what to compute
+// (objective + parameters), on which input, and with which execution
+// model, while Options configure how it runs (workers, cluster shape,
+// sketch shape, progress).
+//
+// ctx bounds the computation: cancellation or a deadline aborts the
+// solve within one pass on every backend, returning a *PartialError
+// that wraps ctx.Err() and carries the per-pass trace accumulated so
+// far. WithProgress installs a per-pass hook that can observe the same
+// trace entries and stop the run (the error then wraps ErrStopped). A
+// nil ctx is treated as context.Background().
+func Solve(ctx context.Context, p Problem, opts ...Option) (*Solution, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	o := applyOptions(opts)
+	ex := core.Opts{Workers: o.Workers, Ctx: ctx, Progress: o.Progress}
+	if ctx == nil {
+		ex.Ctx = context.Background()
+	}
+	sol := &Solution{Objective: p.Objective, Backend: p.Backend}
+
+	var err error
+	switch {
+	case p.Backend == BackendStream || p.Backend == BackendStreamSketched:
+		err = solveStream(sol, p, o, ex)
+	default:
+		// In-memory backends: materialize a Path input once.
+		if p.Path != "" {
+			if err := p.loadGraph(); err != nil {
+				return nil, err
+			}
+		}
+		if p.directedObjective() {
+			err = solveDirected(sol, p, o, ex)
+		} else {
+			err = solveUndirected(sol, p, o, ex)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return sol, nil
+}
+
+// loadGraph parses p.Path into the in-memory input field matching the
+// objective.
+func (p *Problem) loadGraph() error {
+	f, err := os.Open(p.Path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if p.directedObjective() {
+		g, _, err := ReadDirected(f)
+		if err != nil {
+			return err
+		}
+		p.Directed = g
+		return nil
+	}
+	// Parse weights for the objectives that consume them (Greedy uses
+	// weighted degrees whenever the graph carries weights; a missing
+	// third column defaults to unit weight).
+	weighted := p.Objective == ObjectiveWeighted || p.Objective == ObjectiveGreedy
+	g, _, err := ReadUndirected(f, weighted)
+	if err != nil {
+		return err
+	}
+	p.Graph = g
+	return nil
+}
+
+// solveUndirected dispatches the undirected objectives on the
+// in-memory backends (Peel and MapReduce).
+func solveUndirected(sol *Solution, p Problem, o Options, ex core.Opts) error {
+	if p.Backend == BackendMapReduce {
+		switch p.Objective {
+		case ObjectiveUndirected:
+			r, err := mapreduce.UndirectedOpts(p.Graph, p.Eps, o.MapReduce, ex)
+			if err != nil {
+				return err
+			}
+			sol.fillMR(r)
+		case ObjectiveAtLeastK:
+			r, err := mapreduce.AtLeastKOpts(p.Graph, p.K, p.Eps, o.MapReduce, ex)
+			if err != nil {
+				return err
+			}
+			sol.fillMR(r)
+		}
+		return nil
+	}
+	switch p.Objective {
+	case ObjectiveUndirected:
+		r, err := core.UndirectedOpts(p.Graph, p.Eps, ex)
+		if err != nil {
+			return err
+		}
+		sol.fillResult(r)
+	case ObjectiveWeighted:
+		r, err := core.UndirectedWeightedOpts(p.Graph, p.Eps, ex)
+		if err != nil {
+			return err
+		}
+		sol.fillResult(r)
+	case ObjectiveAtLeastK:
+		r, err := core.AtLeastKOpts(p.Graph, p.K, p.Eps, ex)
+		if err != nil {
+			return err
+		}
+		sol.fillResult(r)
+	case ObjectiveExact:
+		if err := ex.Begin(); err != nil {
+			return err
+		}
+		r, err := flow.ExactDensest(p.Graph)
+		if err != nil {
+			return err
+		}
+		sol.Set, sol.Density, sol.Passes = r.Set, r.Density, r.FlowCalls
+		sol.ExactNumer, sol.ExactDenom = r.Numer, r.Denom
+	case ObjectiveGreedy:
+		if err := ex.Begin(); err != nil {
+			return err
+		}
+		var r *charikar.Result
+		var err error
+		if p.Graph.Weighted() {
+			r, err = charikar.DensestWeighted(p.Graph)
+		} else {
+			r, err = charikar.Densest(p.Graph)
+		}
+		if err != nil {
+			return err
+		}
+		sol.Set, sol.Density, sol.Passes = r.Set, r.Density, r.Peels
+	}
+	return nil
+}
+
+// solveDirected dispatches the directed objectives on the in-memory
+// backends.
+func solveDirected(sol *Solution, p Problem, o Options, ex core.Opts) error {
+	if p.Backend == BackendMapReduce {
+		r, err := mapreduce.DirectedOpts(p.Directed, p.C, p.Eps, o.MapReduce, ex)
+		if err != nil {
+			return err
+		}
+		sol.S, sol.T, sol.Density, sol.Passes = r.S, r.T, r.Density, r.Passes
+		sol.MRDirectedRounds = r.Rounds
+		sol.DirectedTrace = make([]DirectedPassStat, len(r.Rounds))
+		for i, rd := range r.Rounds {
+			sol.DirectedTrace[i] = rd.AsDirectedPassStat()
+		}
+		return nil
+	}
+	switch p.Objective {
+	case ObjectiveDirected:
+		r, err := core.DirectedOpts(p.Directed, p.C, p.Eps, ex)
+		if err != nil {
+			return err
+		}
+		sol.fillDirected(r)
+	case ObjectiveDirectedSweep:
+		sw, err := core.DirectedSweepOpts(p.Directed, p.Delta, p.Eps, ex)
+		if err != nil {
+			return err
+		}
+		sol.Sweep = sw
+		sol.fillDirected(sw.Best)
+		sol.Passes = sw.Best.Passes
+	}
+	return nil
+}
+
+// solveStream dispatches the streaming backends, opening (and closing)
+// file streams when the input is a Path.
+func solveStream(sol *Solution, p Problem, o Options, ex core.Opts) error {
+	if p.Objective == ObjectiveWeighted {
+		ws := p.WeightedEdges
+		if ws == nil && p.Graph != nil {
+			ws = stream.FromUndirectedWeighted(p.Graph)
+		}
+		if ws == nil {
+			f, err := stream.OpenWeightedFileStream(p.Path)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			ws = f
+		}
+		r, err := stream.UndirectedWeightedOpts(ws, p.Eps, ex)
+		if err != nil {
+			return err
+		}
+		sol.fillResult(r)
+		return nil
+	}
+
+	es := p.Edges
+	switch {
+	case es == nil && p.Graph != nil:
+		es = stream.FromUndirected(p.Graph)
+	case es == nil && p.Directed != nil:
+		es = stream.FromDirected(p.Directed)
+	case es == nil:
+		f, err := stream.OpenFileStream(p.Path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		es = f
+	}
+
+	switch p.Objective {
+	case ObjectiveUndirected:
+		if p.Backend == BackendStreamSketched {
+			cfg := o.Sketch
+			if cfg == (SketchConfig{}) {
+				cfg = defaultSketch(es.NumNodes())
+			}
+			dc, err := sketch.NewDegreeCounter(cfg.Tables, cfg.Buckets, cfg.Seed)
+			if err != nil {
+				return err
+			}
+			r, err := stream.UndirectedOpts(es, p.Eps, dc, ex)
+			if err != nil {
+				return err
+			}
+			sol.fillResult(r)
+			sol.SketchMemoryWords = dc.MemoryWords()
+			return nil
+		}
+		r, err := stream.UndirectedParallelOpts(es, p.Eps, ex)
+		if err != nil {
+			return err
+		}
+		sol.fillResult(r)
+	case ObjectiveAtLeastK:
+		r, err := stream.AtLeastKOpts(es, p.K, p.Eps, stream.NewExactCounter(es.NumNodes()), ex)
+		if err != nil {
+			return err
+		}
+		sol.fillResult(r)
+	case ObjectiveDirected:
+		r, err := stream.DirectedParallelOpts(es, p.C, p.Eps, ex)
+		if err != nil {
+			return err
+		}
+		sol.fillDirected(r)
+	}
+	return nil
+}
+
+func (s *Solution) fillResult(r *Result) {
+	s.Set, s.Density, s.Passes, s.Trace = r.Set, r.Density, r.Passes, r.Trace
+}
+
+func (s *Solution) fillDirected(r *DirectedResult) {
+	s.S, s.T, s.Density, s.Passes, s.DirectedTrace = r.S, r.T, r.Density, r.Passes, r.Trace
+}
+
+func (s *Solution) fillMR(r *MRResult) {
+	s.Set, s.Density, s.Passes = r.Set, r.Density, r.Passes
+	s.MRRounds = r.Rounds
+	s.Trace = make([]PassStat, len(r.Rounds))
+	for i, rd := range r.Rounds {
+		s.Trace[i] = rd.AsPassStat()
+	}
+}
+
+// defaultSketch is the sketch shape used when no WithSketch option was
+// given (matching the densest CLI): the paper's 5 tables, n/20 buckets
+// (at least 16), seed 1. An explicitly configured SketchConfig is used
+// verbatim — including Seed 0, which is a valid seed — and validated by
+// the sketch constructor.
+func defaultSketch(n int) SketchConfig {
+	buckets := n / 20
+	if buckets < 16 {
+		buckets = 16
+	}
+	return SketchConfig{Tables: 5, Buckets: buckets, Seed: 1}
+}

@@ -1,7 +1,8 @@
 package densestream
 
 import (
-	"densestream/internal/sketch"
+	"context"
+
 	"densestream/internal/stream"
 )
 
@@ -43,13 +44,22 @@ func OpenFileStream(path string) (*FileStream, error) {
 // When the stream is shardable (in-memory streams are; file streams are
 // not) each pass's edge scan splits across workers with per-worker
 // counter lanes — results stay identical for every worker count.
+//
+// Deprecated: use Solve with ObjectiveUndirected on BackendStream.
 func Streaming(es EdgeStream, eps float64, opts ...Option) (*Result, error) {
-	return stream.UndirectedParallel(es, eps, applyOptions(opts).Workers)
+	sol, err := Solve(context.Background(), Problem{Objective: ObjectiveUndirected, Backend: BackendStream, Eps: eps, Edges: es}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return sol.asResult(), nil
 }
 
 // SketchConfig shapes the Count-Sketch degree oracle of §5.1: Tables
 // independent hash tables (the paper uses 5) of Buckets counters each.
-// Memory is Tables×Buckets words instead of one word per node.
+// Memory is Tables×Buckets words instead of one word per node. An
+// entirely zero value selects the defaults (5 tables, n/20 buckets with
+// a floor of 16, seed 1); a partially filled one is used verbatim. Pass
+// it through WithSketch.
 type SketchConfig struct {
 	Tables  int
 	Buckets int
@@ -60,16 +70,18 @@ type SketchConfig struct {
 // instead of the exact degree array, trading a little accuracy for a
 // memory footprint independent of n (§5.1). Returns the result and the
 // counter memory in 64-bit words (for comparison against n).
+//
+// Deprecated: use Solve with ObjectiveUndirected on
+// BackendStreamSketched and WithSketch; the counter memory is reported
+// in Solution.SketchMemoryWords.
 func StreamingSketched(es EdgeStream, eps float64, cfg SketchConfig) (*Result, int, error) {
-	dc, err := sketch.NewDegreeCounter(cfg.Tables, cfg.Buckets, cfg.Seed)
+	sol, err := Solve(context.Background(),
+		Problem{Objective: ObjectiveUndirected, Backend: BackendStreamSketched, Eps: eps, Edges: es},
+		WithSketch(cfg))
 	if err != nil {
 		return nil, 0, err
 	}
-	r, err := stream.Undirected(es, eps, dc)
-	if err != nil {
-		return nil, 0, err
-	}
-	return r, dc.MemoryWords(), nil
+	return sol.asResult(), sol.SketchMemoryWords, nil
 }
 
 // WeightedEdgeStream is a re-scannable stream of weighted edges.
@@ -96,20 +108,42 @@ func OpenWeightedFileStream(path string) (*WeightedFileStream, error) {
 
 // StreamingWeighted runs the weighted Algorithm 1 against a weighted edge
 // stream with O(n) state; results match UndirectedWeighted on the same
-// graph.
-func StreamingWeighted(es WeightedEdgeStream, eps float64) (*Result, error) {
-	return stream.UndirectedWeighted(es, eps)
+// graph. Options are accepted for signature uniformity with the other
+// entry points; the scan itself is sequential until WeightedEdgeStream
+// grows a Shards analogue (see ROADMAP).
+//
+// Deprecated: use Solve with ObjectiveWeighted on BackendStream.
+func StreamingWeighted(es WeightedEdgeStream, eps float64, opts ...Option) (*Result, error) {
+	sol, err := Solve(context.Background(), Problem{Objective: ObjectiveWeighted, Backend: BackendStream, Eps: eps, WeightedEdges: es}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return sol.asResult(), nil
 }
 
 // StreamingAtLeastK runs Algorithm 2 against an edge stream holding only
 // O(n) node state; results are identical to AtLeastK on the same graph.
-func StreamingAtLeastK(es EdgeStream, k int, eps float64) (*Result, error) {
-	return stream.AtLeastK(es, k, eps, stream.NewExactCounter(es.NumNodes()))
+// Options are accepted for signature uniformity; the scan itself is
+// sequential (see ROADMAP).
+//
+// Deprecated: use Solve with ObjectiveAtLeastK on BackendStream.
+func StreamingAtLeastK(es EdgeStream, k int, eps float64, opts ...Option) (*Result, error) {
+	sol, err := Solve(context.Background(), Problem{Objective: ObjectiveAtLeastK, Backend: BackendStream, K: k, Eps: eps, Edges: es}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return sol.asResult(), nil
 }
 
 // StreamingDirected runs Algorithm 3 against a directed edge stream for a
 // fixed ratio c; results are identical to Directed on the same graph.
 // Shardable streams scan each pass across workers, as in Streaming.
+//
+// Deprecated: use Solve with ObjectiveDirected on BackendStream.
 func StreamingDirected(es EdgeStream, c, eps float64, opts ...Option) (*DirectedResult, error) {
-	return stream.DirectedParallel(es, c, eps, applyOptions(opts).Workers)
+	sol, err := Solve(context.Background(), Problem{Objective: ObjectiveDirected, Backend: BackendStream, C: c, Eps: eps, Edges: es}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return sol.asDirectedResult(), nil
 }
