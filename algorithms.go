@@ -136,10 +136,14 @@ func BestCore(g *UndirectedGraph) ([]int32, float64, error) {
 // MRConfig controls the simulated MapReduce cluster shape: Mappers and
 // Reducers are worker slots per machine, Machines the simulated machine
 // count (per-machine shuffle volume is reported in the round traces),
-// and Combine enables per-shard combiners in the degree jobs. Zero
-// fields mean "unset" and take their defaults; negative fields are
-// rejected (see its Normalize method). Pass it through
-// WithMapReduceConfig.
+// and Combine enables per-shard combiners in the degree jobs.
+// SpillBytes is the resident-memory budget per edge dataset — past it,
+// partitions spill to per-partition files on disk (under SpillDir) and
+// are read back transparently, so the MapReduce backend covers edge
+// sets larger than memory with bit-identical results; 0 keeps
+// everything resident. Zero fields mean "unset" and take their
+// defaults; negative fields are rejected (see its Normalize method).
+// Pass it through WithMapReduceConfig.
 type MRConfig = mapreduce.Config
 
 // MRStats reports the work of one MapReduce job or round.
@@ -184,7 +188,7 @@ func MapReduceDirected(g *DirectedGraph, c, eps float64, opts ...Option) (*MRDir
 	if err != nil {
 		return nil, err
 	}
-	return &MRDirectedResult{S: sol.S, T: sol.T, Density: sol.Density, Passes: sol.Passes, Rounds: sol.MRDirectedRounds}, nil
+	return &MRDirectedResult{S: sol.S, T: sol.T, Density: sol.Density, Passes: sol.Passes, Rounds: sol.MRDirectedRounds, SpilledBytes: sol.Stats.BytesSpilled}, nil
 }
 
 // MapReduceAtLeastK runs Algorithm 2 as MapReduce rounds; results match
@@ -215,5 +219,5 @@ func (s *Solution) asDirectedResult() *DirectedResult {
 
 // asMRResult reconstructs the legacy MRResult shape.
 func (s *Solution) asMRResult() *MRResult {
-	return &MRResult{Set: s.Set, Density: s.Density, Passes: s.Passes, Rounds: s.MRRounds}
+	return &MRResult{Set: s.Set, Density: s.Density, Passes: s.Passes, Rounds: s.MRRounds, SpilledBytes: s.Stats.BytesSpilled}
 }

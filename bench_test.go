@@ -7,7 +7,9 @@ package densestream_test
 // -v to see the regenerated rows.
 
 import (
+	"context"
 	"fmt"
+	"os"
 	"sync"
 	"testing"
 
@@ -264,6 +266,81 @@ func BenchmarkParallelStreamingPeel(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// fileStreamBenchPath lazily writes a ~2M-edge power-law graph to a
+// temp edge-list file shared by the disk-streaming benchmarks.
+var fileStreamBenchPath = sync.OnceValues(func() (string, error) {
+	g, err := ds.GenerateChungLu(400000, 2<<20, 2.2, 1)
+	if err != nil {
+		return "", err
+	}
+	f, err := os.CreateTemp("", "densestream-bench-*.txt")
+	if err != nil {
+		return "", err
+	}
+	if err := ds.WriteUndirected(f, g); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	return f.Name(), nil
+})
+
+// BenchmarkFileStreamPeel sweeps the shard/worker count of `-algo
+// stream` on a multi-million-edge disk input: the per-pass scan splits
+// into byte-range file shards, so wall-clock should drop with the
+// worker count while results stay bit-identical (the out-of-core
+// acceptance benchmark). Bytes/op counts the actual disk-scan volume.
+func BenchmarkFileStreamPeel(b *testing.B) {
+	path, err := fileStreamBenchPath()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var scanned int64
+			for i := 0; i < b.N; i++ {
+				sol, err := ds.Solve(context.Background(),
+					ds.Problem{Objective: ds.ObjectiveUndirected, Backend: ds.BackendStream, Eps: 1, Path: path},
+					ds.WithWorkers(workers))
+				if err != nil {
+					b.Fatal(err)
+				}
+				scanned = sol.Stats.BytesScanned
+			}
+			b.SetBytes(scanned)
+		})
+	}
+}
+
+// BenchmarkMapReduceSpill measures the MapReduce peel under shrinking
+// spill budgets: resident, half-resident, and fully spilled. Results
+// are bit-identical across the sweep; the ns/op spread is the price of
+// the out-of-core model.
+func BenchmarkMapReduceSpill(b *testing.B) {
+	g, err := ds.GenerateChungLu(20000, 160000, 2.2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	for _, budget := range []int64{0, int64(g.NumEdges()) * 4, 1} {
+		b.Run(fmt.Sprintf("spill-bytes=%d", budget), func(b *testing.B) {
+			b.SetBytes(g.NumEdges() * 8)
+			var spilled int64
+			for i := 0; i < b.N; i++ {
+				r, err := ds.MapReduce(g, 1, ds.WithMapReduceConfig(
+					ds.MRConfig{Mappers: 4, Reducers: 4, SpillBytes: budget, SpillDir: dir}))
+				if err != nil {
+					b.Fatal(err)
+				}
+				spilled = r.SpilledBytes
+			}
+			b.ReportMetric(float64(spilled)/(1<<20), "spilled-MB/run")
 		})
 	}
 }

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	densest -in graph.txt [-algo peel|greedy|exact|atleastk|mr] [-eps 0.5] [-k 100]
+//	densest -in graph.txt [-algo peel|greedy|exact|atleastk|mr] [-eps 0.5] [-k 100] [-spill-mb 256]
 //	densest -in follows.txt -directed [-algo peel|sweep|mr] [-c 1] [-delta 2]
 //
 // The input is a SNAP-style edge list: "u v" per line, '#' comments.
@@ -38,6 +38,7 @@ func main() {
 		mappers  = flag.Int("mappers", 8, "simulated map worker slots per machine for -algo mr")
 		reducers = flag.Int("reducers", 8, "simulated reduce worker slots per machine for -algo mr")
 		machines = flag.Int("machines", 1, "simulated machines for -algo mr (per-machine shuffle is reported with -trace)")
+		spillMB  = flag.Int("spill-mb", 0, "resident-memory budget in MiB per MapReduce edge dataset; past it partitions spill to disk (0 = fully resident)")
 		tables   = flag.Int("tables", 5, "Count-Sketch tables for -algo sketch")
 		buckets  = flag.Int("buckets", 0, "Count-Sketch buckets for -algo sketch (default n/20)")
 		trace    = flag.Bool("trace", false, "print the per-pass trace")
@@ -54,7 +55,7 @@ func main() {
 		// file is re-read once per pass. Requires dense integer node ids.
 		err = runStreaming(*in, *directed, *weighted, *algo, *eps, *c, *workers, *tables, *buckets, *trace)
 	} else {
-		err = run(*in, *directed, *weighted, *algo, *eps, *k, *c, *delta, *workers, *mappers, *reducers, *machines, *trace, *members)
+		err = run(*in, *directed, *weighted, *algo, *eps, *k, *c, *delta, *workers, *mappers, *reducers, *machines, *spillMB, *trace, *members)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "densest:", err)
@@ -82,6 +83,7 @@ func runStreaming(in string, directed, weighted bool, algo string, eps, c float6
 		}
 		fmt.Printf("weighted streaming: ρ = %.4f  |S̃| = %d  passes = %d  (%d nodes of state)\n",
 			sol.Density, len(sol.Set), sol.Passes, ws.NumNodes())
+		printScan(sol)
 		printTrace(sol.Trace, trace)
 		return nil
 	}
@@ -111,6 +113,7 @@ func runStreaming(in string, directed, weighted bool, algo string, eps, c float6
 		}
 		fmt.Printf("streaming: ρ = %.4f  |S̃| = %d  passes = %d  (memory: %d words)\n",
 			sol.Density, len(sol.Set), sol.Passes, es.NumNodes())
+		printScan(sol)
 		printTrace(sol.Trace, trace)
 	case directed:
 		return fmt.Errorf("-algo sketch supports undirected graphs only")
@@ -136,6 +139,13 @@ func runStreaming(in string, directed, weighted bool, algo string, eps, c float6
 	return nil
 }
 
+// printScan reports the disk-scan volume of a file-streamed solve.
+func printScan(sol *ds.Solution) {
+	if sol.Stats.BytesScanned > 0 {
+		fmt.Printf("scanned %.1f MiB from disk across all passes\n", float64(sol.Stats.BytesScanned)/(1<<20))
+	}
+}
+
 func printTrace(tr []ds.PassStat, on bool) {
 	if !on {
 		return
@@ -146,27 +156,22 @@ func printTrace(tr []ds.PassStat, on bool) {
 	}
 }
 
-func run(in string, directed, weighted bool, algo string, eps float64, k int, c, delta float64, workers, mappers, reducers, machines int, trace, members bool) error {
-	f, err := os.Open(in)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-
+func run(in string, directed, weighted bool, algo string, eps float64, k int, c, delta float64, workers, mappers, reducers, machines, spillMB int, trace, members bool) error {
+	mrCfg := ds.MRConfig{Mappers: mappers, Reducers: reducers, Machines: machines, SpillBytes: int64(spillMB) << 20}
 	if directed {
-		g, lm, err := ds.ReadDirected(f)
+		g, lm, err := ds.ReadDirectedFile(in, workers)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("graph: %d nodes, %d directed edges\n", g.NumNodes(), g.NumEdges())
-		return runDirected(g, lm, algo, eps, c, delta, workers, mappers, reducers, machines, trace, members)
+		return runDirected(g, lm, algo, eps, c, delta, workers, mrCfg, trace, members)
 	}
-	g, lm, err := ds.ReadUndirected(f, weighted)
+	g, lm, err := ds.ReadUndirectedFile(in, weighted, workers)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("graph: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
-	return runUndirected(g, lm, algo, eps, k, workers, mappers, reducers, machines, trace, members)
+	return runUndirected(g, lm, algo, eps, k, workers, mrCfg, trace, members)
 }
 
 // undirectedProblem maps an undirected -algo onto an Objective/Backend
@@ -199,14 +204,14 @@ func undirectedProblem(g *ds.UndirectedGraph, algo string, eps float64, k int) (
 	return p, nil
 }
 
-func runUndirected(g *ds.UndirectedGraph, lm *ds.LabelMap, algo string, eps float64, k, workers, mappers, reducers, machines int, trace, members bool) error {
+func runUndirected(g *ds.UndirectedGraph, lm *ds.LabelMap, algo string, eps float64, k, workers int, mrCfg ds.MRConfig, trace, members bool) error {
 	p, err := undirectedProblem(g, algo, eps, k)
 	if err != nil {
 		return err
 	}
 	sol, err := ds.Solve(context.Background(), p,
 		ds.WithWorkers(workers),
-		ds.WithMapReduceConfig(ds.MRConfig{Mappers: mappers, Reducers: reducers, Machines: machines}))
+		ds.WithMapReduceConfig(mrCfg))
 	if err != nil {
 		return err
 	}
@@ -214,6 +219,10 @@ func runUndirected(g *ds.UndirectedGraph, lm *ds.LabelMap, algo string, eps floa
 		fmt.Printf("exact density = %d/%d\n", sol.ExactNumer, sol.ExactDenom)
 	}
 	fmt.Printf("density ρ(S̃) = %.4f  |S̃| = %d  passes = %d\n", sol.Density, len(sol.Set), sol.Passes)
+	if sol.Stats.BytesSpilled > 0 {
+		fmt.Printf("spilled %.1f MiB to disk under the %d MiB budget\n",
+			float64(sol.Stats.BytesSpilled)/(1<<20), mrCfg.SpillBytes>>20)
+	}
 	if trace {
 		if sol.Backend == ds.BackendMapReduce {
 			for _, rd := range sol.MRRounds {
@@ -230,7 +239,7 @@ func runUndirected(g *ds.UndirectedGraph, lm *ds.LabelMap, algo string, eps floa
 	return nil
 }
 
-func runDirected(g *ds.DirectedGraph, lm *ds.LabelMap, algo string, eps, c, delta float64, workers, mappers, reducers, machines int, trace, members bool) error {
+func runDirected(g *ds.DirectedGraph, lm *ds.LabelMap, algo string, eps, c, delta float64, workers int, mrCfg ds.MRConfig, trace, members bool) error {
 	p := ds.Problem{Directed: g, Eps: eps}
 	switch algo {
 	case "peel":
@@ -248,9 +257,13 @@ func runDirected(g *ds.DirectedGraph, lm *ds.LabelMap, algo string, eps, c, delt
 	}
 	sol, err := ds.Solve(context.Background(), p,
 		ds.WithWorkers(workers),
-		ds.WithMapReduceConfig(ds.MRConfig{Mappers: mappers, Reducers: reducers, Machines: machines}))
+		ds.WithMapReduceConfig(mrCfg))
 	if err != nil {
 		return err
+	}
+	if sol.Stats.BytesSpilled > 0 {
+		fmt.Printf("spilled %.1f MiB to disk under the %d MiB budget\n",
+			float64(sol.Stats.BytesSpilled)/(1<<20), mrCfg.SpillBytes>>20)
 	}
 	if sol.Objective == ds.ObjectiveDirectedSweep {
 		fmt.Printf("best c = %.6g\n", sol.Sweep.BestC)

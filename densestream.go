@@ -49,6 +49,21 @@ func ReadDirected(r io.Reader) (*DirectedGraph, *LabelMap, error) {
 	return graph.ReadDirected(r)
 }
 
+// ReadUndirectedFile is ReadUndirected for a file on disk, with the
+// line scan and tokenizing sharded across workers (byte-range shards
+// with line-boundary resync). Output is bit-identical to ReadUndirected
+// on the same bytes for every worker count; workers <= 0 means
+// GOMAXPROCS. Solve uses it for every Problem with a Path input.
+func ReadUndirectedFile(path string, weighted bool, workers int) (*UndirectedGraph, *LabelMap, error) {
+	return graph.ReadUndirectedFile(path, weighted, workers)
+}
+
+// ReadDirectedFile is ReadDirected with the sharded file scan; see
+// ReadUndirectedFile.
+func ReadDirectedFile(path string, workers int) (*DirectedGraph, *LabelMap, error) {
+	return graph.ReadDirectedFile(path, workers)
+}
+
 // WriteUndirected emits g as a text edge list using dense ids.
 func WriteUndirected(w io.Writer, g *UndirectedGraph) error {
 	return graph.WriteUndirected(w, g)

@@ -73,6 +73,38 @@
 // (default: runtime.GOMAXPROCS(0)); the densest CLI exposes it as
 // -workers.
 //
+// # The out-of-core model
+//
+// Edge sets too big for one machine's memory — the paper's motivating
+// setting — run through internal/edgeio, one sharded EdgeSource layer
+// with three implementations: memory-resident slices, byte-range
+// shards of edge-list files with line-boundary resync (CRLF and
+// missing-trailing-newline safe), and binary spill files written by
+// the MapReduce engine. Every Problem with a Path input rides on it:
+//
+//   - BackendStream re-reads the file once per pass holding O(n)
+//     state, and WithWorkers(n) splits each pass's scan into n file
+//     shards, each on its own descriptor — `-algo stream` on disk
+//     inputs parallelizes exactly like in-memory streams, with
+//     bit-identical results at every worker count (weighted scans use
+//     a float-lane striped counter whose lane decomposition is fixed
+//     by the input shape, never the worker count).
+//   - BackendPeel and BackendMapReduce load the file through the same
+//     sharded scan (ReadUndirectedFile/ReadDirectedFile): workers
+//     tokenize byte ranges, labels intern in file order, and the built
+//     graph is bit-identical to a sequential parse.
+//   - BackendMapReduce additionally bounds its resident footprint:
+//     with MRConfig.SpillBytes > 0 (CLI: -spill-mb), dataset
+//     partitions past the budget spill to per-partition binary files
+//     and are read back transparently, so the peeling rounds cover
+//     out-of-core edge sets with results bit-identical to a fully
+//     resident run. MRConfig.SpillDir places the files; the drivers
+//     remove them when the run ends.
+//
+// Solution.Stats reports the I/O a solve performed: BytesScanned
+// (disk reads by the file-backed streams, discovery scan included) and
+// BytesSpilled (MapReduce spill writes under the budget).
+//
 // # MapReduce runtime
 //
 // BackendMapReduce runs on a simulated cluster built on the same
@@ -92,9 +124,10 @@
 // (Solution.MRRounds) — the series behind the paper's Figure 6.7.
 //
 // Graphs are built with NewBuilder/NewDirectedBuilder or parsed from
-// SNAP-style edge lists with ReadUndirected/ReadDirected. All algorithms
-// are deterministic given their inputs (and seeds, where applicable) at
-// every worker count.
+// SNAP-style edge lists with ReadUndirected/ReadDirected (or their
+// sharded file variants ReadUndirectedFile/ReadDirectedFile). All
+// algorithms are deterministic given their inputs (and seeds, where
+// applicable) at every worker count.
 //
 // Development workflow: the Makefile mirrors CI — `make ci` runs build,
 // vet, the gofmt gate, the API-surface gate (scripts/api_surface.sh

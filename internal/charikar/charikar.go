@@ -11,6 +11,7 @@ package charikar
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
 	"densestream/internal/graph"
@@ -30,6 +31,17 @@ type Result struct {
 // keyed by its exact current degree, so each pop is a true minimum-degree
 // node and the maintained edge counter is exact. Total work is O(n + m).
 func Densest(g *graph.Undirected) (*Result, error) {
+	return DensestCtx(nil, g)
+}
+
+// peelCheckMask throttles the context poll inside the greedy peel
+// loops: one Ctx.Err() load every peelCheckMask+1 removals.
+const peelCheckMask = 1<<12 - 1
+
+// DensestCtx is Densest with cooperative cancellation: ctx is polled
+// every peelCheckMask+1 peels, returning ctx.Err() mid-run instead of
+// finishing the peel. A nil ctx never cancels.
+func DensestCtx(ctx context.Context, g *graph.Undirected) (*Result, error) {
 	n := g.NumNodes()
 	if n == 0 {
 		return nil, graph.ErrEmptyGraph
@@ -88,6 +100,11 @@ func Densest(g *graph.Undirected) (*Result, error) {
 	bestRemaining := n
 	cur := int32(0)
 	for len(peelOrder) < n-1 {
+		if len(peelOrder)&peelCheckMask == 0 && ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		for cur <= maxDeg && head[cur] == -1 {
 			cur++
 		}
@@ -134,6 +151,12 @@ func Densest(g *graph.Undirected) (*Result, error) {
 // DensestWeighted runs the greedy peel minimizing current weighted degree.
 // It accepts unweighted graphs too (weights of 1), at heap cost.
 func DensestWeighted(g *graph.Undirected) (*Result, error) {
+	return DensestWeightedCtx(nil, g)
+}
+
+// DensestWeightedCtx is DensestWeighted with cooperative cancellation;
+// see DensestCtx.
+func DensestWeightedCtx(ctx context.Context, g *graph.Undirected) (*Result, error) {
 	n := g.NumNodes()
 	if n == 0 {
 		return nil, graph.ErrEmptyGraph
@@ -153,7 +176,14 @@ func DensestWeighted(g *graph.Undirected) (*Result, error) {
 	bestDensity := g.Density()
 	bestRemaining := n
 	remaining := n
+	var pops int64
 	for remaining > 1 {
+		if pops&peelCheckMask == 0 && ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		pops++
 		e := heap.Pop(h).(nodeEntry)
 		u := e.node
 		if removed[u] {

@@ -1,0 +1,171 @@
+// Package edgeio is the out-of-core edge I/O layer: one sharded
+// EdgeSource abstraction serving memory-resident edges, byte-range
+// shards of edge-list files on disk, and binary spill files written by
+// the MapReduce engine — so the peeling runtimes can scan edge sets
+// that never fit in one machine's memory through a single interface.
+//
+// The layer has an unweighted and a weighted lane (Reader and
+// WeightedReader); every implementation is re-scannable (Reset begins a
+// new pass) and every sharding is a function of the data alone — byte
+// ranges depend only on the file size and the shard count, slice ranges
+// only on the edge count — so shard-parallel scans feed deterministic
+// merges no matter how many workers drive them.
+//
+// File sharding uses line-boundary resync: shard i covers the byte
+// range [lo, hi) of the file and owns exactly the lines whose first
+// byte lands in (lo, hi] (the first shard also owns the line at offset
+// 0). A shard that starts mid-line skips forward to the next line
+// start; a shard whose last line crosses hi reads it to completion.
+// Every line is therefore parsed by exactly one shard, for any shard
+// count, with CRLF line endings and a missing trailing newline handled
+// the same way the sequential parsers handle them.
+package edgeio
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Edge is one unweighted edge over dense int32 node ids.
+type Edge struct {
+	U, V int32
+}
+
+// WeightedEdge is one weighted edge; Weight is finite and > 0.
+type WeightedEdge struct {
+	U, V   int32
+	Weight float64
+}
+
+// Reader is one shard's sequential cursor over unweighted edges. A
+// full scan of a shard is Reset, then Next until io.EOF; Reset may be
+// called again for another pass.
+type Reader interface {
+	Reset() error
+	Next() (Edge, error)
+}
+
+// WeightedReader is the weighted lane of Reader.
+type WeightedReader interface {
+	Reset() error
+	Next() (WeightedEdge, error)
+}
+
+// Source is a shardable, re-scannable collection of unweighted edges:
+// Shards(k) returns between 1 and k readers that together yield exactly
+// the edges of one full scan, each safe to drive from its own
+// goroutine. The decomposition depends only on the data and k.
+type Source interface {
+	Shards(k int) []Reader
+}
+
+// WeightedSource is the weighted lane of Source.
+type WeightedSource interface {
+	WeightedShards(k int) []WeightedReader
+}
+
+// parseEdgeLine parses one raw text line of the "u v" edge-list format.
+// skip is true for lines that carry no edge: blank lines, '#'/'%'
+// comments, and self loops (ignored by the density model, as in every
+// parser of this repository). The line may end in '\r' (CRLF input);
+// TrimSpace removes it.
+func parseEdgeLine(text string) (e Edge, skip bool, err error) {
+	text = strings.TrimSpace(text)
+	if text == "" || strings.HasPrefix(text, "#") || strings.HasPrefix(text, "%") {
+		return Edge{}, true, nil
+	}
+	fields := strings.Fields(text)
+	if len(fields) < 2 {
+		return Edge{}, false, fmt.Errorf("want at least 2 fields, got %d", len(fields))
+	}
+	u, uerr := strconv.ParseInt(fields[0], 10, 32)
+	v, verr := strconv.ParseInt(fields[1], 10, 32)
+	if uerr != nil || verr != nil || u < 0 || v < 0 {
+		return Edge{}, false, fmt.Errorf("bad node ids %q %q", fields[0], fields[1])
+	}
+	if u == v {
+		return Edge{}, true, nil
+	}
+	return Edge{U: int32(u), V: int32(v)}, false, nil
+}
+
+// parseWeightedEdgeLine parses one raw text line of the "u v [w]"
+// format; a missing third column defaults to weight 1.
+func parseWeightedEdgeLine(text string) (e WeightedEdge, skip bool, err error) {
+	text = strings.TrimSpace(text)
+	if text == "" || strings.HasPrefix(text, "#") || strings.HasPrefix(text, "%") {
+		return WeightedEdge{}, true, nil
+	}
+	fields := strings.Fields(text)
+	if len(fields) < 2 {
+		return WeightedEdge{}, false, fmt.Errorf("want at least 2 fields, got %d", len(fields))
+	}
+	u, uerr := strconv.ParseInt(fields[0], 10, 32)
+	v, verr := strconv.ParseInt(fields[1], 10, 32)
+	if uerr != nil || verr != nil || u < 0 || v < 0 {
+		return WeightedEdge{}, false, fmt.Errorf("bad node ids %q %q", fields[0], fields[1])
+	}
+	w := 1.0
+	if len(fields) >= 3 {
+		var werr error
+		w, werr = strconv.ParseFloat(fields[2], 64)
+		if werr != nil || w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return WeightedEdge{}, false, fmt.Errorf("bad weight %q", fields[2])
+		}
+	}
+	if u == v {
+		return WeightedEdge{}, true, nil
+	}
+	return WeightedEdge{U: int32(u), V: int32(v), Weight: w}, false, nil
+}
+
+// MaxNodeID scans r fully and reports the maximum node id seen (-1 for
+// an empty source) — the node-count discovery pass of the file-backed
+// streams, which assume dense ids 0..max.
+func MaxNodeID(r Reader) (int32, error) {
+	maxID := int32(-1)
+	if err := r.Reset(); err != nil {
+		return -1, err
+	}
+	for {
+		e, err := r.Next()
+		if err == io.EOF {
+			return maxID, nil
+		}
+		if err != nil {
+			return -1, err
+		}
+		if e.U > maxID {
+			maxID = e.U
+		}
+		if e.V > maxID {
+			maxID = e.V
+		}
+	}
+}
+
+// MaxNodeIDWeighted is MaxNodeID for the weighted lane.
+func MaxNodeIDWeighted(r WeightedReader) (int32, error) {
+	maxID := int32(-1)
+	if err := r.Reset(); err != nil {
+		return -1, err
+	}
+	for {
+		e, err := r.Next()
+		if err == io.EOF {
+			return maxID, nil
+		}
+		if err != nil {
+			return -1, err
+		}
+		if e.U > maxID {
+			maxID = e.U
+		}
+		if e.V > maxID {
+			maxID = e.V
+		}
+	}
+}

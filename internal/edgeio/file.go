@@ -1,0 +1,253 @@
+package edgeio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
+)
+
+// FileSource is an edge-list file on disk, shardable into byte ranges
+// with line-boundary resync. It serves both lanes: every shard parses
+// "u v" lines as a Reader and "u v [w]" lines as a WeightedReader.
+// The source itself holds no file handle — each shard opens its own on
+// first Reset, so concurrent shard scans never share a cursor.
+type FileSource struct {
+	path string
+	size int64
+	// bytes accumulates every byte the shards read (edge lines,
+	// comments, and resync skips alike) across all passes — the honest
+	// disk-scan volume of a run.
+	bytes atomic.Int64
+}
+
+// OpenFileSource stats path and returns a source over it. No file
+// handle is kept; shards open their own lazily.
+func OpenFileSource(path string) (*FileSource, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("edgeio: %w", err)
+	}
+	if st.IsDir() {
+		return nil, fmt.Errorf("edgeio: %s is a directory", path)
+	}
+	return &FileSource{path: path, size: st.Size()}, nil
+}
+
+// Path returns the file path.
+func (s *FileSource) Path() string { return s.path }
+
+// Size returns the file size in bytes at open time.
+func (s *FileSource) Size() int64 { return s.size }
+
+// BytesScanned returns the cumulative bytes read from disk by all of
+// this source's shards since it was opened.
+func (s *FileSource) BytesScanned() int64 { return s.bytes.Load() }
+
+// FileShards returns 1..k byte-range shards covering the whole file.
+// Boundaries are a function of the file size and k only. Shards open
+// their file handle on first Reset; Close each shard (or let the owner
+// stream close them) when done.
+func (s *FileSource) FileShards(k int) []*FileShard {
+	if k < 1 {
+		k = 1
+	}
+	if s.size > 0 && int64(k) > s.size {
+		k = int(s.size)
+	}
+	shards := make([]*FileShard, k)
+	for i := range shards {
+		shards[i] = &FileShard{
+			src: s,
+			lo:  s.size * int64(i) / int64(k),
+			hi:  s.size * int64(i+1) / int64(k),
+		}
+	}
+	return shards
+}
+
+// Shards implements Source.
+func (s *FileSource) Shards(k int) []Reader {
+	fileShards := s.FileShards(k)
+	out := make([]Reader, len(fileShards))
+	for i, sh := range fileShards {
+		out[i] = sh
+	}
+	return out
+}
+
+// WeightedShards implements WeightedSource.
+func (s *FileSource) WeightedShards(k int) []WeightedReader {
+	fileShards := s.FileShards(k)
+	out := make([]WeightedReader, len(fileShards))
+	for i, sh := range fileShards {
+		out[i] = weightedShard{sh}
+	}
+	return out
+}
+
+// SequentialReader returns one shard covering the whole file — the
+// sequential lane used for node-count discovery and single-worker
+// scans.
+func (s *FileSource) SequentialReader() *FileShard {
+	return &FileShard{src: s, lo: 0, hi: s.size}
+}
+
+// SequentialWeightedReader is SequentialReader for the weighted lane.
+// The returned reader also implements io.Closer.
+func (s *FileSource) SequentialWeightedReader() WeightedReader {
+	return weightedShard{s.SequentialReader()}
+}
+
+// FileShard reads the lines of one byte range [lo, hi) of the file,
+// owning exactly the lines whose first byte is in (lo, hi] — except the
+// first shard (lo == 0), which also owns the line at offset 0. A shard
+// starting mid-line resyncs to the next line start; the line spanning
+// hi is read to completion. It implements Reader; wrap it in
+// WeightedShards for the weighted lane.
+type FileShard struct {
+	src    *FileSource
+	lo, hi int64
+	f      *os.File
+	rd     *bufio.Reader
+	off    int64 // offset of the next unread byte
+	done   bool
+	closed bool
+}
+
+// Reset implements Reader: it (re)positions the shard at its first
+// owned line, opening the file handle on first use. Errors from the
+// open, the seek, and the resync read are all reported.
+func (sh *FileShard) Reset() error {
+	if sh.closed {
+		return fmt.Errorf("edgeio: Reset on closed shard of %s", sh.src.path)
+	}
+	if sh.f == nil {
+		f, err := os.Open(sh.src.path)
+		if err != nil {
+			return fmt.Errorf("edgeio: %w", err)
+		}
+		sh.f = f
+		sh.rd = bufio.NewReaderSize(f, 1<<16)
+	}
+	if _, err := sh.f.Seek(sh.lo, io.SeekStart); err != nil {
+		return fmt.Errorf("edgeio: rewinding %s: %w", sh.src.path, err)
+	}
+	sh.rd.Reset(sh.f)
+	sh.off = sh.lo
+	// A zero-width range owns no lines: without this, a degenerate
+	// [0, 0) shard would claim the line at offset 0 alongside the
+	// shard that really covers it.
+	sh.done = sh.hi <= sh.lo
+	if sh.done {
+		return nil
+	}
+	if sh.lo > 0 {
+		// Resync: the line containing byte lo (or starting exactly at
+		// it) belongs to the previous shard; skip through its newline.
+		skipped, err := sh.rd.ReadString('\n')
+		sh.off += int64(len(skipped))
+		sh.src.bytes.Add(int64(len(skipped)))
+		if err == io.EOF {
+			sh.done = true
+		} else if err != nil {
+			return fmt.Errorf("edgeio: resyncing %s: %w", sh.src.path, err)
+		}
+	}
+	return nil
+}
+
+// NextLine returns the next raw owned line (with its terminator
+// stripped; a trailing '\r' from CRLF input is kept for the caller's
+// TrimSpace) and the byte offset at which it starts, or io.EOF when the
+// shard's range is exhausted. Comment and blank lines are returned
+// too — NextLine is the layer below edge parsing, used by the parallel
+// graph loaders.
+func (sh *FileShard) NextLine() (string, int64, error) {
+	if sh.closed {
+		return "", 0, fmt.Errorf("edgeio: NextLine on closed shard of %s", sh.src.path)
+	}
+	if sh.rd == nil {
+		if err := sh.Reset(); err != nil {
+			return "", 0, err
+		}
+	}
+	if sh.done || sh.off > sh.hi {
+		return "", 0, io.EOF
+	}
+	start := sh.off
+	line, err := sh.rd.ReadString('\n')
+	sh.off += int64(len(line))
+	sh.src.bytes.Add(int64(len(line)))
+	if err == io.EOF {
+		sh.done = true
+		if len(line) == 0 {
+			return "", 0, io.EOF
+		}
+	} else if err != nil {
+		return "", 0, fmt.Errorf("edgeio: reading %s: %w", sh.src.path, err)
+	}
+	if n := len(line); n > 0 && line[n-1] == '\n' {
+		line = line[:n-1]
+	}
+	return line, start, nil
+}
+
+// Next implements Reader, parsing owned "u v" lines and skipping
+// comments, blanks, and self loops.
+func (sh *FileShard) Next() (Edge, error) {
+	for {
+		line, start, err := sh.NextLine()
+		if err != nil {
+			return Edge{}, err
+		}
+		e, skip, perr := parseEdgeLine(line)
+		if perr != nil {
+			return Edge{}, fmt.Errorf("edgeio: %s offset %d: %w", sh.src.path, start, perr)
+		}
+		if skip {
+			continue
+		}
+		return e, nil
+	}
+}
+
+// Close releases the shard's file handle. It is idempotent.
+func (sh *FileShard) Close() error {
+	if sh.closed || sh.f == nil {
+		sh.closed = true
+		return nil
+	}
+	sh.closed = true
+	return sh.f.Close()
+}
+
+// weightedShard adapts a FileShard to the weighted lane.
+type weightedShard struct {
+	sh *FileShard
+}
+
+// Reset implements WeightedReader.
+func (w weightedShard) Reset() error { return w.sh.Reset() }
+
+// Next implements WeightedReader, parsing "u v [w]" lines.
+func (w weightedShard) Next() (WeightedEdge, error) {
+	for {
+		line, start, err := w.sh.NextLine()
+		if err != nil {
+			return WeightedEdge{}, err
+		}
+		e, skip, perr := parseWeightedEdgeLine(line)
+		if perr != nil {
+			return WeightedEdge{}, fmt.Errorf("edgeio: %s offset %d: %w", w.sh.src.path, start, perr)
+		}
+		if skip {
+			continue
+		}
+		return e, nil
+	}
+}
+
+// Close releases the underlying shard's file handle.
+func (w weightedShard) Close() error { return w.sh.Close() }

@@ -1,0 +1,89 @@
+package edgeio
+
+import "io"
+
+// SliceSource is the memory-resident Source: a fixed edge slice,
+// sharded into contiguous ranges. The range decomposition depends only
+// on the edge count and k.
+type SliceSource struct {
+	Edges []Edge
+}
+
+// Shards implements Source.
+func (s *SliceSource) Shards(k int) []Reader {
+	bounds := sliceBounds(len(s.Edges), k)
+	out := make([]Reader, len(bounds))
+	for i, b := range bounds {
+		out[i] = &SliceReader{edges: s.Edges[b[0]:b[1]]}
+	}
+	return out
+}
+
+// WeightedSliceSource is the memory-resident WeightedSource.
+type WeightedSliceSource struct {
+	Edges []WeightedEdge
+}
+
+// WeightedShards implements WeightedSource.
+func (s *WeightedSliceSource) WeightedShards(k int) []WeightedReader {
+	bounds := sliceBounds(len(s.Edges), k)
+	out := make([]WeightedReader, len(bounds))
+	for i, b := range bounds {
+		out[i] = &WeightedSliceReader{edges: s.Edges[b[0]:b[1]]}
+	}
+	return out
+}
+
+// sliceBounds cuts [0, n) into min(k, max(n,1)) contiguous half-open
+// ranges, the same decomposition for every worker count.
+func sliceBounds(n, k int) [][2]int {
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	out := make([][2]int, k)
+	for i := range out {
+		out[i] = [2]int{n * i / k, n * (i + 1) / k}
+	}
+	return out
+}
+
+// SliceReader is one resident shard's cursor.
+type SliceReader struct {
+	edges []Edge
+	pos   int
+}
+
+// Reset implements Reader.
+func (r *SliceReader) Reset() error { r.pos = 0; return nil }
+
+// Next implements Reader.
+func (r *SliceReader) Next() (Edge, error) {
+	if r.pos >= len(r.edges) {
+		return Edge{}, io.EOF
+	}
+	e := r.edges[r.pos]
+	r.pos++
+	return e, nil
+}
+
+// WeightedSliceReader is one resident weighted shard's cursor.
+type WeightedSliceReader struct {
+	edges []WeightedEdge
+	pos   int
+}
+
+// Reset implements WeightedReader.
+func (r *WeightedSliceReader) Reset() error { r.pos = 0; return nil }
+
+// Next implements WeightedReader.
+func (r *WeightedSliceReader) Next() (WeightedEdge, error) {
+	if r.pos >= len(r.edges) {
+		return WeightedEdge{}, io.EOF
+	}
+	e := r.edges[r.pos]
+	r.pos++
+	return e, nil
+}

@@ -1,0 +1,142 @@
+package edgeio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Spill files are the third EdgeSource implementation: fixed-size
+// little-endian binary records (8 bytes per edge: u int32, v int32)
+// written by the MapReduce engine when a Dataset partition exceeds its
+// memory budget, and read back through the same Reader interface the
+// text shards serve. The fixed record size makes a spilled partition
+// seekable by record index, which is what lets the map phase scan an
+// arbitrary record range of a spilled partition without reading it
+// from the start.
+
+// spillRecordSize is the on-disk size of one spilled edge record.
+const spillRecordSize = 8
+
+// SpillWriter streams edges into a spill file. Errors are latched and
+// reported by Close, so the hot append path stays branch-light.
+type SpillWriter struct {
+	f       *os.File
+	w       *bufio.Writer
+	path    string
+	records int
+	err     error
+}
+
+// CreateSpill creates (truncating) a spill file at path.
+func CreateSpill(path string) (*SpillWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("edgeio: %w", err)
+	}
+	return &SpillWriter{f: f, w: bufio.NewWriterSize(f, 1<<16), path: path}, nil
+}
+
+// Append writes one edge record.
+func (w *SpillWriter) Append(e Edge) {
+	if w.err != nil {
+		return
+	}
+	var buf [spillRecordSize]byte
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(e.U))
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(e.V))
+	if _, err := w.w.Write(buf[:]); err != nil {
+		w.err = err
+		return
+	}
+	w.records++
+}
+
+// Close flushes and closes the file and returns its descriptor, or the
+// first error hit anywhere in the write path.
+func (w *SpillWriter) Close() (*SpillFile, error) {
+	if w.err == nil {
+		w.err = w.w.Flush()
+	}
+	if cerr := w.f.Close(); w.err == nil {
+		w.err = cerr
+	}
+	if w.err != nil {
+		os.Remove(w.path)
+		return nil, fmt.Errorf("edgeio: spilling to %s: %w", w.path, w.err)
+	}
+	return &SpillFile{Path: w.path, Records: w.records, Bytes: int64(w.records) * spillRecordSize}, nil
+}
+
+// SpillFile describes one completed spill file on disk.
+type SpillFile struct {
+	Path    string
+	Records int
+	Bytes   int64
+}
+
+// OpenReader opens a cursor over the file's records. Close it when the
+// scan is done; a SpillFile may have any number of concurrent readers.
+func (sp *SpillFile) OpenReader() (*SpillReader, error) {
+	f, err := os.Open(sp.Path)
+	if err != nil {
+		return nil, fmt.Errorf("edgeio: %w", err)
+	}
+	return &SpillReader{sp: sp, f: f, rd: bufio.NewReaderSize(f, 1<<16)}, nil
+}
+
+// Remove deletes the file from disk.
+func (sp *SpillFile) Remove() error { return os.Remove(sp.Path) }
+
+// SpillReader is a cursor over a spill file's records; it implements
+// Reader plus record-indexed seeking.
+type SpillReader struct {
+	sp  *SpillFile
+	f   *os.File
+	rd  *bufio.Reader
+	pos int // record index of the next Next
+}
+
+// Reset implements Reader.
+func (r *SpillReader) Reset() error { return r.Seek(0) }
+
+// Seek positions the cursor at the given record index.
+func (r *SpillReader) Seek(record int) error {
+	if record < 0 || record > r.sp.Records {
+		return fmt.Errorf("edgeio: spill seek %d out of range [0,%d]", record, r.sp.Records)
+	}
+	if _, err := r.f.Seek(int64(record)*spillRecordSize, io.SeekStart); err != nil {
+		return fmt.Errorf("edgeio: seeking %s: %w", r.sp.Path, err)
+	}
+	r.rd.Reset(r.f)
+	r.pos = record
+	return nil
+}
+
+// Next implements Reader.
+func (r *SpillReader) Next() (Edge, error) {
+	if r.pos >= r.sp.Records {
+		return Edge{}, io.EOF
+	}
+	var buf [spillRecordSize]byte
+	if _, err := io.ReadFull(r.rd, buf[:]); err != nil {
+		return Edge{}, fmt.Errorf("edgeio: reading %s: %w", r.sp.Path, err)
+	}
+	r.pos++
+	return Edge{
+		U: int32(binary.LittleEndian.Uint32(buf[0:4])),
+		V: int32(binary.LittleEndian.Uint32(buf[4:8])),
+	}, nil
+}
+
+// Close releases the file handle. It is idempotent.
+func (r *SpillReader) Close() error {
+	if r.f == nil {
+		return nil
+	}
+	err := r.f.Close()
+	r.f = nil
+	return err
+}

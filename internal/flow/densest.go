@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"context"
 	"fmt"
 
 	"densestream/internal/graph"
@@ -34,6 +35,14 @@ const maxDinkelbachRounds = 200
 // source side of the min cut is the maximizer. Iterating with the best
 // achieved density converges to ρ*(G) after finitely many flows.
 func ExactDensest(g *graph.Undirected) (*Result, error) {
+	return ExactDensestCtx(nil, g)
+}
+
+// ExactDensestCtx is ExactDensest with cooperative cancellation: ctx is
+// polled between Dinkelbach rounds and inside each max-flow computation
+// (per phase and per augmentation batch), so even one long flow call
+// aborts promptly with ctx.Err(). A nil ctx never cancels.
+func ExactDensestCtx(ctx context.Context, g *graph.Undirected) (*Result, error) {
 	n := g.NumNodes()
 	if n == 0 {
 		return nil, graph.ErrEmptyGraph
@@ -56,7 +65,12 @@ func ExactDensest(g *graph.Undirected) (*Result, error) {
 
 	flowCalls := 0
 	for round := 0; round < maxDinkelbachRounds; round++ {
-		set, edges, improved, err := denserThan(g, bestNumer, bestDenom)
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		set, edges, improved, err := denserThan(ctx, g, bestNumer, bestDenom)
 		if err != nil {
 			return nil, err
 		}
@@ -80,7 +94,7 @@ func ExactDensest(g *graph.Undirected) (*Result, error) {
 
 // denserThan tests whether G contains a subgraph with density strictly
 // greater than a/b; if so it returns such a subgraph and its edge count.
-func denserThan(g *graph.Undirected, a, b int64) ([]int32, int64, bool, error) {
+func denserThan(ctx context.Context, g *graph.Undirected, a, b int64) ([]int32, int64, bool, error) {
 	n := int64(g.NumNodes())
 	m := g.NumEdges()
 	// Overflow guard: the total flow is bounded by m·n·b.
@@ -116,7 +130,7 @@ func denserThan(g *graph.Undirected, a, b int64) ([]int32, int64, bool, error) {
 		return nil, 0, false, addErr
 	}
 
-	maxFlow, err := nw.MaxFlow(s, t)
+	maxFlow, err := nw.MaxFlowCtx(ctx, s, t)
 	if err != nil {
 		return nil, 0, false, err
 	}

@@ -14,6 +14,7 @@
 package flow
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
@@ -92,12 +93,32 @@ func (nw *Network) pushArc(u, v int32, cap_ int64) {
 // MaxFlow computes the maximum s-t flow with Dinic's algorithm. The
 // network's residual capacities are consumed; call once per build.
 func (nw *Network) MaxFlow(s, t int32) (int64, error) {
+	return nw.MaxFlowCtx(nil, s, t)
+}
+
+// maxFlowCheckMask throttles the context poll inside the augmentation
+// loop: one Ctx.Err() load every maxFlowCheckMask+1 augmenting paths.
+// Each Dinic phase additionally polls once before its BFS, so even a
+// single long phase notices cancellation.
+const maxFlowCheckMask = 1<<10 - 1
+
+// MaxFlowCtx is MaxFlow with cooperative cancellation: ctx is polled
+// once per phase and once every maxFlowCheckMask+1 augmenting paths,
+// returning ctx.Err() mid-computation instead of running the flow to
+// completion. A nil ctx never cancels.
+func (nw *Network) MaxFlowCtx(ctx context.Context, s, t int32) (int64, error) {
 	if s < 0 || int(s) >= nw.n || t < 0 || int(t) >= nw.n || s == t {
 		return 0, fmt.Errorf("flow: bad terminals s=%d t=%d n=%d", s, t, nw.n)
 	}
 	var total int64
+	var augments int64
 	queue := make([]int32, 0, nw.n)
 	for {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
 		// BFS to build level graph.
 		for i := range nw.level {
 			nw.level[i] = -1
@@ -120,6 +141,12 @@ func (nw *Network) MaxFlow(s, t int32) (int64, error) {
 		}
 		copy(nw.iter, nw.first)
 		for {
+			if augments&maxFlowCheckMask == 0 && ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return 0, err
+				}
+			}
+			augments++
 			f := nw.dfs(s, t, int64(1)<<62)
 			if f == 0 {
 				break

@@ -1,0 +1,126 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestReadUndirectedFileMatchesSequential checks the sharded file
+// loader is bit-identical to ReadUndirected for every worker count,
+// including string labels interned in first-seen order, CRLF, and a
+// missing trailing newline.
+func TestReadUndirectedFileMatchesSequential(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("# labels on purpose out of numeric order\r\n")
+	for i := 0; i < 500; i++ {
+		fmt.Fprintf(&sb, "n%d m%d\n", (i*37)%100, (i*53+1)%100)
+	}
+	sb.WriteString("alpha beta\r\nbeta gamma\nalpha gamma") // no trailing \n
+	path := writeTemp(t, sb.String())
+
+	want, wantLM, err := ReadUndirected(strings.NewReader(sb.String()), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 7} {
+		got, lm, err := ReadUndirectedFile(path, false, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: graph differs from sequential", workers)
+		}
+		if lm.Len() != wantLM.Len() {
+			t.Fatalf("workers=%d: %d labels, want %d", workers, lm.Len(), wantLM.Len())
+		}
+		for id := int32(0); int(id) < lm.Len(); id++ {
+			if lm.Label(id) != wantLM.Label(id) {
+				t.Fatalf("workers=%d: label[%d] = %q, want %q", workers, id, lm.Label(id), wantLM.Label(id))
+			}
+		}
+	}
+}
+
+// TestReadUndirectedFileWeighted checks weighted parsing parity.
+func TestReadUndirectedFileWeighted(t *testing.T) {
+	content := "a b 2.5\nb c\nc d 0.25\r\nd a 4"
+	path := writeTemp(t, content)
+	want, _, err := ReadUndirected(strings.NewReader(content), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ReadUndirectedFile(path, true, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("weighted sharded load differs from sequential")
+	}
+}
+
+// TestReadDirectedFileMatchesSequential is the directed analogue.
+func TestReadDirectedFileMatchesSequential(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 300; i++ {
+		fmt.Fprintf(&sb, "u%d v%d\n", (i*11)%60, (i*29+3)%60)
+	}
+	path := writeTemp(t, sb.String())
+	want, _, err := ReadDirected(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3, 8} {
+		got, _, err := ReadDirectedFile(path, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: directed graph differs", workers)
+		}
+	}
+}
+
+// TestReadFileParseErrorsKeepLineNumbers checks the fallback path: a
+// malformed file reports the canonical *ParseError with its line
+// number, exactly as the sequential reader does.
+func TestReadFileParseErrorsKeepLineNumbers(t *testing.T) {
+	path := writeTemp(t, "a b\nc\n")
+	_, _, err := ReadUndirectedFile(path, false, 4)
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *ParseError, got %v", err)
+	}
+	if pe.Line != 2 {
+		t.Fatalf("ParseError.Line = %d, want 2", pe.Line)
+	}
+
+	badw := writeTemp(t, "a b 1\nc d -2\n")
+	_, _, err = ReadUndirectedFile(badw, true, 4)
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *ParseError for bad weight, got %v", err)
+	}
+	if pe.Line != 2 || !errors.Is(pe, ErrBadWeight) {
+		t.Fatalf("bad-weight ParseError = %+v", pe)
+	}
+
+	if _, _, err := ReadUndirectedFile("/nonexistent/file", false, 2); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if _, _, err := ReadDirectedFile("/nonexistent/file", 2); err == nil {
+		t.Fatal("missing directed file accepted")
+	}
+}

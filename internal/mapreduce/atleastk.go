@@ -41,8 +41,12 @@ func AtLeastKOpts(g *graph.Undirected, k int, eps float64, cfg Config, o core.Op
 	if k < 1 || k > n {
 		return nil, fmt.Errorf("mapreduce: k=%d out of range [1,%d]", k, n)
 	}
+	defer e.Cleanup()
 
-	edges := edgeDataset(e, g)
+	edges, err := edgeDataset(e, g)
+	if err != nil {
+		return nil, err
+	}
 
 	alive := make([]bool, n)
 	for u := range alive {
@@ -84,7 +88,10 @@ func AtLeastKOpts(g *graph.Undirected, k int, eps float64, cfg Config, o core.Op
 		cut := threshold * rho
 
 		deg := make(map[int32]int32, degs.Len())
-		degs.Each(func(u, d int32) { deg[u] = d })
+		if err := degs.Each(func(u, d int32) { deg[u] = d }); err != nil {
+			return nil, fmt.Errorf("mapreduce: pass %d degrees: %w", pass, err)
+		}
+		degs.Discard()
 		candidates = candidates[:0]
 		for u := 0; u < n; u++ {
 			if alive[u] && float64(deg[int32(u)]) <= cut {
@@ -118,10 +125,12 @@ func AtLeastKOpts(g *graph.Undirected, k int, eps float64, cfg Config, o core.Op
 		if err != nil {
 			return nil, fmt.Errorf("mapreduce: pass %d filter 1: %w", pass, err)
 		}
+		edges.Discard()
 		edges, _, err = filterJob(rd, half, markers, false, false)
 		if err != nil {
 			return nil, fmt.Errorf("mapreduce: pass %d filter 2: %w", pass, err)
 		}
+		half.Discard()
 
 		st := rd.Stats()
 		rounds = append(rounds, RoundStat{
@@ -143,5 +152,5 @@ func AtLeastKOpts(g *graph.Undirected, k int, eps float64, cfg Config, o core.Op
 			set = append(set, int32(u))
 		}
 	}
-	return &MRResult{Set: set, Density: bestDensity, Passes: pass, Rounds: rounds}, nil
+	return &MRResult{Set: set, Density: bestDensity, Passes: pass, Rounds: rounds, SpilledBytes: e.SpilledBytes()}, nil
 }

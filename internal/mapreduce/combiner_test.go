@@ -29,12 +29,18 @@ func combinedDegrees(t testing.TB, g *graph.Undirected, cfg Config, combine bool
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, stats, err := degreeJob(e.StartRound(), edgeDataset(e, g), true, false)
+	edges, err := edgeDataset(e, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, stats, err := degreeJob(e.StartRound(), edges, true, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	deg := make(map[int32]int32)
-	out.Each(func(u, d int32) { deg[u] = d })
+	if err := out.Each(func(u, d int32) { deg[u] = d }); err != nil {
+		t.Fatal(err)
+	}
 	return deg, stats
 }
 

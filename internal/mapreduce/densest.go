@@ -34,6 +34,9 @@ type MRResult struct {
 	Density float64
 	Passes  int
 	Rounds  []RoundStat
+	// SpilledBytes totals the bytes the run wrote to spill files under
+	// the Config.SpillBytes budget (0 for a fully resident run).
+	SpilledBytes int64
 }
 
 // AsPassStat projects a round onto the shared per-pass stat shape; the
@@ -55,16 +58,22 @@ func roundTrace(rounds []RoundStat) []core.PassStat {
 }
 
 // edgeDataset uploads a graph's edge list onto the cluster once; the
-// peeling drivers keep it resident — each round's filter jobs produce
-// the next round's partitioned dataset, and only the O(removed) markers
-// enter a round from the driver.
-func edgeDataset(e *Engine, g *graph.Undirected) *Dataset[int32, int32] {
+// peeling drivers keep it on the cluster — each round's filter jobs
+// produce the next round's partitioned dataset, and only the
+// O(removed) markers enter a round from the driver. With a spill
+// budget the upload itself lands over-budget partitions on disk, so
+// the edge set is out-of-core from the first round.
+func edgeDataset(e *Engine, g *graph.Undirected) (*Dataset[int32, int32], error) {
 	recs := make([]Pair[int32, int32], 0, g.NumEdges())
 	g.Edges(func(u, v int32, _ float64) bool {
 		recs = append(recs, Pair[int32, int32]{Key: u, Value: v})
 		return true
 	})
-	return Shard(e, recs, PartitionInt32)
+	d := Shard(e, recs, PartitionInt32)
+	if err := maybeSpill(e, d); err != nil {
+		return nil, err
+	}
+	return d, nil
 }
 
 // Undirected runs Algorithm 1 as a sequence of MapReduce rounds, exactly
@@ -102,8 +111,12 @@ func UndirectedOpts(g *graph.Undirected, eps float64, cfg Config, o core.Opts) (
 	if g.Weighted() {
 		return nil, fmt.Errorf("mapreduce: Undirected needs an unweighted graph")
 	}
+	defer e.Cleanup()
 
-	edges := edgeDataset(e, g)
+	edges, err := edgeDataset(e, g)
+	if err != nil {
+		return nil, err
+	}
 
 	alive := make([]bool, n)
 	for u := range alive {
@@ -142,7 +155,10 @@ func UndirectedOpts(g *graph.Undirected, eps float64, cfg Config, o core.Opts) (
 		// Decide removals: nodes with degree <= cut. Isolated alive nodes
 		// have no degree record and count as degree 0.
 		deg := make(map[int32]int32, degs.Len())
-		degs.Each(func(u, d int32) { deg[u] = d })
+		if err := degs.Each(func(u, d int32) { deg[u] = d }); err != nil {
+			return nil, fmt.Errorf("mapreduce: pass %d degrees: %w", pass, err)
+		}
+		degs.Discard()
 		var markers []Pair[int32, int32]
 		removed := 0
 		for u := 0; u < n; u++ {
@@ -158,15 +174,19 @@ func UndirectedOpts(g *graph.Undirected, eps float64, cfg Config, o core.Opts) (
 		}
 
 		// Jobs 2+3: drop edges incident on marked nodes, pivoting on the
-		// first and then the second endpoint.
+		// first and then the second endpoint. Replaced datasets discard
+		// their spill files immediately, keeping disk usage at the live
+		// working set.
 		half, _, err := filterJob(rd, edges, markers, false, true)
 		if err != nil {
 			return nil, fmt.Errorf("mapreduce: pass %d filter 1: %w", pass, err)
 		}
+		edges.Discard()
 		edges, _, err = filterJob(rd, half, markers, false, false)
 		if err != nil {
 			return nil, fmt.Errorf("mapreduce: pass %d filter 2: %w", pass, err)
 		}
+		half.Discard()
 
 		st := rd.Stats()
 		rounds = append(rounds, RoundStat{
@@ -185,7 +205,7 @@ func UndirectedOpts(g *graph.Undirected, eps float64, cfg Config, o core.Opts) (
 			set = append(set, int32(u))
 		}
 	}
-	return &MRResult{Set: set, Density: bestDensity, Passes: pass, Rounds: rounds}, nil
+	return &MRResult{Set: set, Density: bestDensity, Passes: pass, Rounds: rounds, SpilledBytes: e.SpilledBytes()}, nil
 }
 
 // StreamEquivalent re-runs the same algorithm through the streaming

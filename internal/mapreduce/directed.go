@@ -31,6 +31,9 @@ type MRDirectedResult struct {
 	Density float64
 	Passes  int
 	Rounds  []DirectedRoundStat
+	// SpilledBytes totals the bytes the run wrote to spill files under
+	// the Config.SpillBytes budget (0 for a fully resident run).
+	SpilledBytes int64
 }
 
 // AsDirectedPassStat projects a directed round onto the shared directed
@@ -89,6 +92,8 @@ func DirectedOpts(g *graph.Directed, c, eps float64, cfg Config, o core.Opts) (*
 		return nil, graph.ErrEmptyGraph
 	}
 
+	defer e.Cleanup()
+
 	// Edge dataset: key = source (in S), value = destination (in T).
 	recs := make([]Pair[int32, int32], 0, g.NumEdges())
 	g.Edges(func(u, v int32) bool {
@@ -96,6 +101,9 @@ func DirectedOpts(g *graph.Directed, c, eps float64, cfg Config, o core.Opts) (*
 		return true
 	})
 	edges := Shard(e, recs, PartitionInt32)
+	if err := maybeSpill(e, edges); err != nil {
+		return nil, err
+	}
 
 	aliveS := make([]bool, n)
 	aliveT := make([]bool, n)
@@ -137,7 +145,10 @@ func DirectedOpts(g *graph.Directed, c, eps float64, cfg Config, o core.Opts) (*
 			return nil, fmt.Errorf("mapreduce: directed pass %d degree job: %w", pass, err)
 		}
 		deg := make(map[int32]int32, degs.Len())
-		degs.Each(func(u, d int32) { deg[u] = d })
+		if err := degs.Each(func(u, d int32) { deg[u] = d }); err != nil {
+			return nil, fmt.Errorf("mapreduce: directed pass %d degrees: %w", pass, err)
+		}
+		degs.Discard()
 
 		var markers []Pair[int32, int32]
 		if peelS {
@@ -173,10 +184,12 @@ func DirectedOpts(g *graph.Directed, c, eps float64, cfg Config, o core.Opts) (*
 		// map phase pivots each edge on its destination for the join and
 		// the reducer pivots survivors back, so the resident dataset
 		// keeps its source-keyed orientation.
+		prevEdges := edges
 		edges, _, err = filterJob(rd, edges, markers, !peelS, !peelS)
 		if err != nil {
 			return nil, fmt.Errorf("mapreduce: directed pass %d filter: %w", pass, err)
 		}
+		prevEdges.Discard()
 
 		st := rd.Stats()
 		stat.SizeS = sizeS
@@ -198,5 +211,5 @@ func DirectedOpts(g *graph.Directed, c, eps float64, cfg Config, o core.Opts) (*
 			setT = append(setT, int32(u))
 		}
 	}
-	return &MRDirectedResult{S: setS, T: setT, Density: bestDensity, Passes: pass, Rounds: rounds}, nil
+	return &MRDirectedResult{S: setS, T: setT, Density: bestDensity, Passes: pass, Rounds: rounds, SpilledBytes: e.SpilledBytes()}, nil
 }

@@ -38,11 +38,15 @@ package mapreduce
 import (
 	"cmp"
 	"fmt"
+	"os"
+	"path/filepath"
 	"slices"
+	"sync"
 	"sync/atomic"
 	"time"
 	"unsafe"
 
+	"densestream/internal/edgeio"
 	"densestream/internal/par"
 )
 
@@ -87,6 +91,18 @@ type Config struct {
 	Reducers int  // reduce worker slots per machine
 	Machines int  // simulated machines; <= 0 means 1
 	Combine  bool // per-shard combiners in the drivers' degree jobs
+
+	// SpillBytes is the resident-memory budget per edge Dataset: when a
+	// dataset's int32-pair partitions exceed it, the largest partitions
+	// are spilled to per-partition binary files (read back through the
+	// edgeio layer) until the resident remainder fits. 0 keeps every
+	// dataset resident; spilling never changes results, only where the
+	// records live.
+	SpillBytes int64
+	// SpillDir is the directory under which the engine creates its
+	// spill directory; "" means the OS temp dir. The engine removes its
+	// spill directory on Cleanup.
+	SpillDir string
 }
 
 // DefaultConfig is a small single-machine cluster suitable for tests
@@ -101,6 +117,9 @@ var DefaultConfig = Config{Mappers: 8, Reducers: 8, Machines: 1}
 func (c Config) Normalize() (Config, error) {
 	if c.Mappers < 0 || c.Reducers < 0 || c.Machines < 0 {
 		return Config{}, fmt.Errorf("mapreduce: negative cluster shape %+v", c)
+	}
+	if c.SpillBytes < 0 {
+		return Config{}, fmt.Errorf("mapreduce: negative spill budget %d", c.SpillBytes)
 	}
 	if c.Mappers == 0 {
 		c.Mappers = DefaultConfig.Mappers
@@ -154,6 +173,14 @@ type Engine struct {
 	machines   int
 	mapPool    *par.Pool
 	reducePool *par.Pool
+
+	// Spill state: the directory is created lazily on first spill and
+	// removed by Cleanup; spilled counts total bytes written across the
+	// engine's lifetime.
+	spillMu  sync.Mutex
+	spillDir string
+	spillSeq int
+	spilled  atomic.Int64
 }
 
 // NewEngine normalizes the config (see Config.Normalize) and brings up
@@ -173,6 +200,40 @@ func NewEngine(cfg Config) (*Engine, error) {
 
 // Config returns the engine's configuration.
 func (e *Engine) Config() Config { return e.cfg }
+
+// SpilledBytes reports the total bytes the engine has written to spill
+// files since it was created.
+func (e *Engine) SpilledBytes() int64 { return e.spilled.Load() }
+
+// spillPath allocates the next spill file path, creating the engine's
+// spill directory on first use.
+func (e *Engine) spillPath() (string, error) {
+	e.spillMu.Lock()
+	defer e.spillMu.Unlock()
+	if e.spillDir == "" {
+		dir, err := os.MkdirTemp(e.cfg.SpillDir, "densestream-mr-*")
+		if err != nil {
+			return "", fmt.Errorf("mapreduce: creating spill dir: %w", err)
+		}
+		e.spillDir = dir
+	}
+	e.spillSeq++
+	return filepath.Join(e.spillDir, fmt.Sprintf("part-%06d.spill", e.spillSeq)), nil
+}
+
+// Cleanup removes the engine's spill directory and every spill file in
+// it. The drivers defer it; standalone Engine users that enable
+// SpillBytes should too. Safe to call multiple times.
+func (e *Engine) Cleanup() error {
+	e.spillMu.Lock()
+	dir := e.spillDir
+	e.spillDir = ""
+	e.spillMu.Unlock()
+	if dir == "" {
+		return nil
+	}
+	return os.RemoveAll(dir)
+}
 
 // Machines returns the normalized machine count.
 func (e *Engine) Machines() int { return e.machines }
@@ -199,16 +260,24 @@ func partIndex[K comparable](partition func(K) uint64, k K) int {
 // one logical stream, so no re-sharding or flattening happens between
 // jobs or rounds. The layout is deterministic because every producer
 // writes it in shard/partition order.
+//
+// When the owning engine has a spill budget (Config.SpillBytes > 0),
+// partitions of int32-pair datasets past the budget live in binary
+// spill files instead of memory (see maybeSpill); every read path —
+// Each, Records, and the map phase's range scans — reads them back
+// through the edgeio spill reader transparently, so a spilled dataset
+// is observationally identical to a resident one.
 type Dataset[K comparable, V any] struct {
-	parts [][]Pair[K, V]
-	n     int
+	parts  [][]Pair[K, V]
+	spills []*edgeio.SpillFile // spills[p] != nil ⇒ partition p is on disk
+	n      int
 }
 
 func emptyDataset[K comparable, V any]() *Dataset[K, V] {
 	return &Dataset[K, V]{parts: make([][]Pair[K, V], NumPartitions)}
 }
 
-// Len returns the number of resident records.
+// Len returns the number of records, resident or spilled.
 func (d *Dataset[K, V]) Len() int {
 	if d == nil {
 		return 0
@@ -216,54 +285,239 @@ func (d *Dataset[K, V]) Len() int {
 	return d.n
 }
 
-// Each calls fn for every record in partition order.
-func (d *Dataset[K, V]) Each(fn func(K, V)) {
+// SpilledBytes reports how many of the dataset's bytes currently live
+// in spill files.
+func (d *Dataset[K, V]) SpilledBytes() int64 {
+	if d == nil {
+		return 0
+	}
+	var total int64
+	for _, sp := range d.spills {
+		if sp != nil {
+			total += sp.Bytes
+		}
+	}
+	return total
+}
+
+// Discard removes the dataset's spill files from disk. The peeling
+// drivers call it as soon as a round's output replaces its input, so
+// disk usage stays proportional to the live datasets rather than the
+// whole run history. Resident partitions are left to the GC. Safe to
+// call multiple times; the dataset must not be read afterwards.
+func (d *Dataset[K, V]) Discard() {
 	if d == nil {
 		return
 	}
-	for _, part := range d.parts {
+	for p, sp := range d.spills {
+		if sp != nil {
+			sp.Remove()
+			d.spills[p] = nil
+		}
+	}
+}
+
+// partLen returns the record count of partition p wherever it lives.
+func (d *Dataset[K, V]) partLen(p int) int {
+	if d.spills != nil && d.spills[p] != nil {
+		return d.spills[p].Records
+	}
+	return len(d.parts[p])
+}
+
+// eachSpilled streams records [lo, hi) of one spill file through fn.
+// Only Dataset[int32, int32] ever spills (maybeSpill checks), so fn's
+// dynamic type is always func(Pair[int32, int32]); asserting it once
+// per partition keeps the per-record loop free of interface boxing.
+func eachSpilled[K comparable, V any](sp *edgeio.SpillFile, lo, hi int, fn func(Pair[K, V])) error {
+	emit, ok := any(fn).(func(Pair[int32, int32]))
+	if !ok {
+		return fmt.Errorf("mapreduce: spill file attached to a non-edge dataset")
+	}
+	r, err := sp.OpenReader()
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	if err := r.Seek(lo); err != nil {
+		return err
+	}
+	for i := lo; i < hi; i++ {
+		e, err := r.Next()
+		if err != nil {
+			return err
+		}
+		emit(Pair[int32, int32]{Key: e.U, Value: e.V})
+	}
+	return nil
+}
+
+// Each calls fn for every record in partition order, reading spilled
+// partitions back from disk.
+func (d *Dataset[K, V]) Each(fn func(K, V)) error {
+	if d == nil {
+		return nil
+	}
+	for p, part := range d.parts {
+		if d.spills != nil && d.spills[p] != nil {
+			sp := d.spills[p]
+			if err := eachSpilled(sp, 0, sp.Records, func(r Pair[K, V]) { fn(r.Key, r.Value) }); err != nil {
+				return err
+			}
+			continue
+		}
 		for _, r := range part {
 			fn(r.Key, r.Value)
 		}
 	}
+	return nil
 }
 
 // Records flattens the dataset into one slice in partition order —
 // the simulated analogue of downloading all partition files.
-func (d *Dataset[K, V]) Records() []Pair[K, V] {
+func (d *Dataset[K, V]) Records() ([]Pair[K, V], error) {
 	if d == nil {
-		return nil
+		return nil, nil
 	}
 	out := make([]Pair[K, V], 0, d.n)
-	for _, part := range d.parts {
-		out = append(out, part...)
+	err := d.Each(func(k K, v V) { out = append(out, Pair[K, V]{Key: k, Value: v}) })
+	if err != nil {
+		return nil, err
 	}
-	return out
+	return out, nil
 }
 
 // scanRange calls fn for records [lo, hi) of the logical input stream:
-// the partition files in order, followed by the extra records.
-func (d *Dataset[K, V]) scanRange(extra []Pair[K, V], lo, hi int, fn func(Pair[K, V])) {
+// the partition files in order (spilled ones read back via a
+// record-indexed seek, so a shard never reads a partition from the
+// start just to reach its range), followed by the extra records.
+func (d *Dataset[K, V]) scanRange(extra []Pair[K, V], lo, hi int, fn func(Pair[K, V])) error {
 	off := 0
-	for _, part := range d.parts {
+	for p := range d.parts {
 		if hi <= off {
-			return
+			return nil
 		}
-		if end := off + len(part); lo < end {
-			s, t := max(lo-off, 0), min(hi-off, len(part))
-			for _, r := range part[s:t] {
-				fn(r)
+		plen := d.partLen(p)
+		if end := off + plen; lo < end {
+			s, t := max(lo-off, 0), min(hi-off, plen)
+			if d.spills != nil && d.spills[p] != nil {
+				if err := eachSpilled(d.spills[p], s, t, fn); err != nil {
+					return err
+				}
+			} else {
+				for _, r := range d.parts[p][s:t] {
+					fn(r)
+				}
 			}
 		}
-		off += len(part)
+		off += plen
 	}
 	if hi <= off {
-		return
+		return nil
 	}
 	s, t := max(lo-off, 0), min(hi-off, len(extra))
 	for _, r := range extra[s:t] {
 		fn(r)
 	}
+	return nil
+}
+
+// maybeSpill enforces the engine's resident-memory budget on an
+// int32-pair dataset: if its resident partitions exceed SpillBytes,
+// the largest ones (ties broken by partition index — a function of the
+// data only, never of scheduling) are written to per-partition spill
+// files until the remainder fits. Datasets of other types stay
+// resident. Spilling is invisible to every reader, so results are
+// bit-identical with any budget.
+func maybeSpill[K comparable, V any](e *Engine, d *Dataset[K, V]) error {
+	if e == nil || e.cfg.SpillBytes <= 0 || d == nil {
+		return nil
+	}
+	ed, ok := any(d).(*Dataset[int32, int32])
+	if !ok {
+		return nil
+	}
+	recSize := int64(unsafe.Sizeof(Pair[int32, int32]{}))
+	var resident int64
+	for p := range ed.parts {
+		if ed.spills == nil || ed.spills[p] == nil {
+			resident += int64(len(ed.parts[p])) * recSize
+		}
+	}
+	if resident <= e.cfg.SpillBytes {
+		return nil
+	}
+	type cand struct {
+		p     int
+		bytes int64
+	}
+	cands := make([]cand, 0, NumPartitions)
+	for p := range ed.parts {
+		if (ed.spills == nil || ed.spills[p] == nil) && len(ed.parts[p]) > 0 {
+			cands = append(cands, cand{p: p, bytes: int64(len(ed.parts[p])) * recSize})
+		}
+	}
+	slices.SortFunc(cands, func(a, b cand) int {
+		if a.bytes != b.bytes {
+			return cmp.Compare(b.bytes, a.bytes)
+		}
+		return cmp.Compare(a.p, b.p)
+	})
+	var chosen []cand
+	for _, c := range cands {
+		if resident <= e.cfg.SpillBytes {
+			break
+		}
+		chosen = append(chosen, c)
+		resident -= c.bytes
+	}
+	if len(chosen) == 0 {
+		return nil
+	}
+	// Allocate paths under the engine lock, then write the partition
+	// files in parallel on the reduce pool.
+	paths := make([]string, len(chosen))
+	for i := range chosen {
+		path, err := e.spillPath()
+		if err != nil {
+			return err
+		}
+		paths[i] = path
+	}
+	files := make([]*edgeio.SpillFile, len(chosen))
+	errs := make([]error, len(chosen))
+	e.reducePool.ForEach(len(chosen), func(i int) {
+		w, err := edgeio.CreateSpill(paths[i])
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		for _, r := range ed.parts[chosen[i].p] {
+			w.Append(edgeio.Edge{U: r.Key, V: r.Value})
+		}
+		files[i], errs[i] = w.Close()
+	})
+	for _, err := range errs {
+		if err != nil {
+			for _, sp := range files {
+				if sp != nil {
+					sp.Remove()
+				}
+			}
+			return fmt.Errorf("mapreduce: %w", err)
+		}
+	}
+	if ed.spills == nil {
+		ed.spills = make([]*edgeio.SpillFile, NumPartitions)
+	}
+	var spilled int64
+	for i, c := range chosen {
+		ed.spills[c.p] = files[i]
+		ed.parts[c.p] = nil
+		spilled += files[i].Bytes
+	}
+	e.spilled.Add(spilled)
+	return nil
 }
 
 // Shard distributes a flat record slice onto the cluster, hash-
@@ -372,6 +626,7 @@ func RunJob[K1 comparable, V1 any, K2 cmp.Ordered, V2 any, V3 any](
 	// needed until the shuffle.
 	mapStart := time.Now()
 	buckets := make([][][]Pair[K2, V2], NumMapShards)
+	mapErrs := make([]error, NumMapShards)
 	e.mapPool.ForEach(NumMapShards, func(s int) {
 		lo, hi := shardBounds(s, n)
 		if lo >= hi {
@@ -384,7 +639,7 @@ func RunJob[K1 comparable, V1 any, K2 cmp.Ordered, V2 any, V3 any](
 				p := partIndex(partition, k)
 				local[p] = append(local[p], Pair[K2, V2]{Key: k, Value: v})
 			}
-			in.scanRange(extra, lo, hi, func(r Pair[K1, V1]) {
+			mapErrs[s] = in.scanRange(extra, lo, hi, func(r Pair[K1, V1]) {
 				mapFn(r.Key, r.Value, emit)
 			})
 			return
@@ -394,9 +649,12 @@ func RunJob[K1 comparable, V1 any, K2 cmp.Ordered, V2 any, V3 any](
 		// so the bucket contents stay deterministic.
 		groups := make(map[K2][]V2)
 		emit := func(k K2, v V2) { groups[k] = append(groups[k], v) }
-		in.scanRange(extra, lo, hi, func(r Pair[K1, V1]) {
+		if err := in.scanRange(extra, lo, hi, func(r Pair[K1, V1]) {
 			mapFn(r.Key, r.Value, emit)
-		})
+		}); err != nil {
+			mapErrs[s] = err
+			return
+		}
 		keys := make([]K2, 0, len(groups))
 		for k := range groups {
 			keys = append(keys, k)
@@ -408,6 +666,11 @@ func RunJob[K1 comparable, V1 any, K2 cmp.Ordered, V2 any, V3 any](
 		}
 	})
 	stats.MapWall = time.Since(mapStart)
+	for _, err := range mapErrs {
+		if err != nil {
+			return nil, Stats{}, fmt.Errorf("mapreduce: map phase: %w", err)
+		}
+	}
 
 	// Shuffle + reduce phase: workers claim shuffle partitions; each
 	// partition's shard buckets are concatenated in shard order, grouped
@@ -508,11 +771,16 @@ func runFlat[K1 comparable, V1 any, K2 cmp.Ordered, V2 any, V3 any](
 	if err != nil {
 		return nil, Stats{}, err
 	}
+	defer e.Cleanup()
 	out, stats, err := RunJob(e.StartRound(), nil, input, mapFn, combineFn, reduceFn, partition)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	return out.Records(), stats, nil
+	recs, err := out.Records()
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return recs, stats, nil
 }
 
 // PartitionInt32 is the standard partitioner for int32 node-id keys

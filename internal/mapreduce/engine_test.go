@@ -97,7 +97,15 @@ func TestShardDeterministicAndResidentInputEquivalence(t *testing.T) {
 	// The flat stream and the partitioned stream order records
 	// differently, but counts per key — and the sorted-key fold order —
 	// must agree exactly.
-	if !reflect.DeepEqual(flat.Records(), resident.Records()) {
+	flatRecs, err := flat.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	residentRecs, err := resident.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(flatRecs, residentRecs) {
 		t.Fatal("flat and resident inputs disagree")
 	}
 }

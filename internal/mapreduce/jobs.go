@@ -87,7 +87,19 @@ func filterJob(rd *Round, edges *Dataset[int32, int32], markers []Pair[int32, in
 			}
 		}
 	}
-	return RunJob(rd, edges, markers, mapFn, nil, reduceFn, PartitionInt32)
+	out, stats, err := RunJob(rd, edges, markers, mapFn, nil, reduceFn, PartitionInt32)
+	if err != nil {
+		return nil, stats, err
+	}
+	// The filter output is the next round's resident edge dataset —
+	// the only job output that lives past its round — so the spill
+	// budget is enforced here, not in RunJob: degree datasets are
+	// consumed and discarded within the round and would only waste a
+	// write+read round trip.
+	if err := maybeSpill(rd.e, out); err != nil {
+		return nil, stats, err
+	}
+	return out, stats, nil
 }
 
 // DegreeJobStats runs the degree job over a whole graph's edge set,

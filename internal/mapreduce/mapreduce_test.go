@@ -100,12 +100,18 @@ func TestDegreeJobMatchesGraphDegrees(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, _, err := degreeJob(e.StartRound(), edgeDataset(e, g), true, false)
+	ds, err := edgeDataset(e, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := degreeJob(e.StartRound(), ds, true, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	deg := make(map[int32]int32)
-	out.Each(func(u, d int32) { deg[u] = d })
+	if err := out.Each(func(u, d int32) { deg[u] = d }); err != nil {
+		t.Fatal(err)
+	}
 	for u := int32(0); int(u) < g.NumNodes(); u++ {
 		if int(deg[u]) != g.Degree(u) {
 			t.Fatalf("MR degree(%d) = %d, graph degree = %d", u, deg[u], g.Degree(u))
@@ -128,7 +134,10 @@ func TestFilterJobDropsMarked(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	recs := out.Records()
+	recs, err := out.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(recs) != 1 || recs[0].Key != 3 || recs[0].Value != 4 {
 		t.Fatalf("filter output = %v", recs)
 	}
@@ -136,7 +145,10 @@ func TestFilterJobDropsMarked(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	frecs := flipped.Records()
+	frecs, err := flipped.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(frecs) != 1 || frecs[0].Key != 4 || frecs[0].Value != 3 {
 		t.Fatalf("flipped output = %v", frecs)
 	}
@@ -148,7 +160,8 @@ func TestFilterJobDropsMarked(t *testing.T) {
 		t.Fatal(err)
 	}
 	if dropped.Len() != 0 {
-		t.Fatalf("map-pivot filter kept %v", dropped.Records())
+		kept, _ := dropped.Records()
+		t.Fatalf("map-pivot filter kept %v", kept)
 	}
 }
 

@@ -43,7 +43,7 @@ func TestStreamingAtLeastKMatchesInMemory(t *testing.T) {
 }
 
 func TestStreamingAtLeastKValidation(t *testing.T) {
-	s, _ := NewSliceStream(3, []Edge{{0, 1}})
+	s, _ := NewSliceStream(3, []Edge{{U: 0, V: 1}})
 	if _, err := AtLeastK(s, 0, 0.5, NewExactCounter(3)); err == nil {
 		t.Fatal("k=0 accepted")
 	}

@@ -107,3 +107,70 @@ func (c *StripedCounter) Estimate(u int32) int64 { return c.lanes[0][u] }
 
 // MemoryWords reports the counter state size in 64-bit words.
 func (c *StripedCounter) MemoryWords() int { return len(c.lanes) * c.n }
+
+// FloatStripedCounter is the float lane of StripedCounter, used by the
+// parallel weighted peeler: one weighted-degree lane per scan shard.
+// Because float addition is not associative, determinism here comes
+// from fixing the whole decomposition: the lane count is a function of
+// the input shape only (never the worker count), each lane accumulates
+// exactly one shard's edges in stream order, and Fold merges lanes into
+// lane 0 in ascending lane order per node. Any worker count therefore
+// performs the identical sequence of additions.
+type FloatStripedCounter struct {
+	n     int
+	lanes [][]float64
+}
+
+// NewFloatStripedCounter returns a float striped counter over n nodes
+// with the given number of lanes (at least 1).
+func NewFloatStripedCounter(n, lanes int) *FloatStripedCounter {
+	if lanes < 1 {
+		lanes = 1
+	}
+	c := &FloatStripedCounter{n: n, lanes: make([][]float64, lanes)}
+	for i := range c.lanes {
+		c.lanes[i] = make([]float64, n)
+	}
+	return c
+}
+
+// Lanes returns the number of lanes.
+func (c *FloatStripedCounter) Lanes() int { return len(c.lanes) }
+
+// Reset clears every lane for a new pass.
+func (c *FloatStripedCounter) Reset(pool *par.Pool) {
+	pool.RunTasks(len(c.lanes), func(i int) {
+		lane := c.lanes[i]
+		for j := range lane {
+			lane[j] = 0
+		}
+	})
+}
+
+// AddLane accumulates weight w on node u in the given lane. Only the
+// worker owning that lane may call it.
+func (c *FloatStripedCounter) AddLane(lane int, u int32, w float64) { c.lanes[lane][u] += w }
+
+// Fold merges all lanes into lane 0, chunk-parallel over the node
+// range; per node the lanes are added in ascending lane order, so the
+// float grouping is fixed by the decomposition, not the scheduling.
+func (c *FloatStripedCounter) Fold(pool *par.Pool) {
+	if len(c.lanes) == 1 {
+		return
+	}
+	base := c.lanes[0]
+	pool.ForChunks(c.n, func(_, lo, hi int) {
+		for _, lane := range c.lanes[1:] {
+			for u := lo; u < hi; u++ {
+				base[u] += lane[u]
+			}
+		}
+	})
+}
+
+// Estimate returns the folded weighted degree of node u; call after
+// Fold.
+func (c *FloatStripedCounter) Estimate(u int32) float64 { return c.lanes[0][u] }
+
+// MemoryWords reports the counter state size in 64-bit words.
+func (c *FloatStripedCounter) MemoryWords() int { return len(c.lanes) * c.n }

@@ -1,59 +1,51 @@
 package stream
 
 import (
-	"bufio"
 	"fmt"
-	"io"
-	"os"
-	"strconv"
-	"strings"
+
+	"densestream/internal/edgeio"
 )
 
-// FileStream streams edges from an edge-list file on disk, re-reading the
-// file on every pass — the honest external-memory setting of the paper.
-// Lines are "<u> <v>" with dense integer node ids; '#' and '%' lines are
-// comments; self loops are skipped.
+// FileStream streams edges from an edge-list file on disk, re-reading
+// the file on every pass — the honest external-memory setting of the
+// paper. Lines are "<u> <v>" with dense integer node ids; '#' and '%'
+// lines are comments; self loops are skipped; CRLF line endings and a
+// missing trailing newline are accepted.
+//
+// FileStream implements ShardedStream: Shards(k) cuts the file into k
+// byte ranges with line-boundary resync (each shard holding its own
+// file handle), so the parallel peelers scan disk inputs with the same
+// worker fan-out as in-memory streams. The shard set is memoized per k
+// and re-positioned by Reset each pass; Close releases every handle and
+// is idempotent.
 type FileStream struct {
-	path string
-	n    int
-	f    *os.File
-	rd   *bufio.Reader
-	line int
+	src    *edgeio.FileSource
+	n      int
+	seq    *edgeio.FileShard
+	shards []*edgeio.FileShard
+	wrap   []EdgeStream
+	shardK int
+	closed bool
 }
 
 // OpenFileStream opens path and determines the node count with one
-// initial scan (max id + 1). The returned stream is positioned before the
-// first edge; call Reset to begin each pass.
+// initial scan (max id + 1). The returned stream is positioned before
+// the first edge; call Reset to begin each pass.
 func OpenFileStream(path string) (*FileStream, error) {
-	fs := &FileStream{path: path}
-	f, err := os.Open(path)
+	src, err := edgeio.OpenFileSource(path)
 	if err != nil {
 		return nil, fmt.Errorf("stream: %w", err)
 	}
-	fs.f = f
-	fs.rd = bufio.NewReaderSize(f, 1<<16)
-	// Initial scan for the node count.
-	maxID := int32(-1)
-	for {
-		e, err := fs.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			f.Close()
-			return nil, err
-		}
-		if e.U > maxID {
-			maxID = e.U
-		}
-		if e.V > maxID {
-			maxID = e.V
-		}
+	fs := &FileStream{src: src, seq: src.SequentialReader()}
+	maxID, err := edgeio.MaxNodeID(fs.seq)
+	if err != nil {
+		fs.seq.Close()
+		return nil, fmt.Errorf("stream: %w", err)
 	}
 	fs.n = int(maxID + 1)
-	if err := fs.Reset(); err != nil {
-		f.Close()
-		return nil, err
+	if err := fs.seq.Reset(); err != nil {
+		fs.seq.Close()
+		return nil, fmt.Errorf("stream: %w", err)
 	}
 	return fs, nil
 }
@@ -61,52 +53,98 @@ func OpenFileStream(path string) (*FileStream, error) {
 // NumNodes implements EdgeStream.
 func (fs *FileStream) NumNodes() int { return fs.n }
 
-// Reset implements EdgeStream by seeking back to the start of the file.
+// Reset implements EdgeStream by seeking back to the start of the
+// file; seek and read errors are propagated (and Reset after Close is
+// an error rather than a silent reopen).
 func (fs *FileStream) Reset() error {
-	if _, err := fs.f.Seek(0, io.SeekStart); err != nil {
-		return fmt.Errorf("stream: rewinding %s: %w", fs.path, err)
+	if fs.closed {
+		return fmt.Errorf("stream: Reset on closed FileStream %s", fs.src.Path())
 	}
-	fs.rd.Reset(fs.f)
-	fs.line = 0
+	if err := fs.seq.Reset(); err != nil {
+		return fmt.Errorf("stream: %w", err)
+	}
 	return nil
 }
 
 // Next implements EdgeStream.
-func (fs *FileStream) Next() (Edge, error) {
-	for {
-		line, err := fs.rd.ReadString('\n')
-		if len(line) == 0 && err != nil {
-			if err == io.EOF {
-				return Edge{}, io.EOF
-			}
-			return Edge{}, fmt.Errorf("stream: reading %s: %w", fs.path, err)
-		}
-		fs.line++
-		text := strings.TrimSpace(line)
-		if text == "" || strings.HasPrefix(text, "#") || strings.HasPrefix(text, "%") {
-			if err == io.EOF {
-				return Edge{}, io.EOF
-			}
-			continue
-		}
-		fields := strings.Fields(text)
-		if len(fields) < 2 {
-			return Edge{}, fmt.Errorf("stream: %s line %d: want 2 fields, got %d", fs.path, fs.line, len(fields))
-		}
-		u, uerr := strconv.ParseInt(fields[0], 10, 32)
-		v, verr := strconv.ParseInt(fields[1], 10, 32)
-		if uerr != nil || verr != nil || u < 0 || v < 0 {
-			return Edge{}, fmt.Errorf("stream: %s line %d: bad node ids %q %q", fs.path, fs.line, fields[0], fields[1])
-		}
-		if u == v {
-			if err == io.EOF {
-				return Edge{}, io.EOF
-			}
-			continue // self loop: ignored, as in the parsers
-		}
-		return Edge{U: int32(u), V: int32(v)}, nil
+func (fs *FileStream) Next() (Edge, error) { return fs.seq.Next() }
+
+// Shards implements ShardedStream: the file is cut into up to k byte
+// ranges with line-boundary resync, each scanning through its own file
+// handle. The shard set is memoized per k, so the per-pass calls of the
+// parallel peelers reuse the same handles; FileStream.Close closes
+// them.
+func (fs *FileStream) Shards(k int) []EdgeStream {
+	if k < 1 {
+		k = 1
 	}
+	if fs.closed {
+		// Keep the contract that shard errors surface from Reset.
+		return []EdgeStream{&errorStream{n: fs.n, err: fmt.Errorf("stream: Shards on closed FileStream %s", fs.src.Path())}}
+	}
+	if fs.wrap == nil || fs.shardK != k {
+		for _, sh := range fs.shards {
+			sh.Close()
+		}
+		fs.shards = fs.src.FileShards(k)
+		fs.shardK = k
+		fs.wrap = make([]EdgeStream, len(fs.shards))
+		for i, sh := range fs.shards {
+			fs.wrap[i] = &readerStream{n: fs.n, r: sh}
+		}
+	}
+	return fs.wrap
 }
 
-// Close releases the underlying file.
-func (fs *FileStream) Close() error { return fs.f.Close() }
+// BytesScanned reports the cumulative bytes this stream has read from
+// disk — the node-count discovery scan plus every pass of every shard.
+func (fs *FileStream) BytesScanned() int64 { return fs.src.BytesScanned() }
+
+// Close releases every file handle held by the stream and its shards.
+// It is idempotent: second and later calls return nil.
+func (fs *FileStream) Close() error {
+	if fs.closed {
+		return nil
+	}
+	fs.closed = true
+	err := fs.seq.Close()
+	for _, sh := range fs.shards {
+		if cerr := sh.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// readerStream adapts an edgeio.Reader shard to the EdgeStream shape
+// (the node count comes from the owning stream).
+type readerStream struct {
+	n int
+	r edgeio.Reader
+}
+
+// NumNodes implements EdgeStream.
+func (s *readerStream) NumNodes() int { return s.n }
+
+// Reset implements EdgeStream.
+func (s *readerStream) Reset() error { return s.r.Reset() }
+
+// Next implements EdgeStream.
+func (s *readerStream) Next() (Edge, error) { return s.r.Next() }
+
+// errorStream is an EdgeStream that fails on Reset; it reports misuse
+// (scanning a closed stream's shards) through the peelers' normal
+// error path.
+type errorStream struct {
+	n   int
+	err error
+}
+
+// NumNodes implements EdgeStream.
+func (s *errorStream) NumNodes() int { return s.n }
+
+// Reset implements EdgeStream.
+func (s *errorStream) Reset() error { return s.err }
+
+// Next implements EdgeStream.
+func (s *errorStream) Next() (Edge, error) { return Edge{}, s.err }

@@ -103,9 +103,10 @@ func scanShardedPass(ctx context.Context, ss ShardedStream, pool *par.Pool, lane
 // concurrently into a striped exact counter (one lane per worker, no
 // locks), per-shard edge counts merge in shard order, and the removal
 // scan shards over the node range. Results are bit-identical to
-// Undirected with an ExactCounter for every worker count. Streams that
-// do not implement ShardedStream (e.g. file streams) fall back to the
-// sequential scan.
+// Undirected with an ExactCounter for every worker count. Slice and
+// file streams both implement ShardedStream (files shard into byte
+// ranges with line-boundary resync); streams that do not fall back to
+// the sequential scan.
 func UndirectedParallel(es EdgeStream, eps float64, workers int) (*core.Result, error) {
 	return UndirectedParallelOpts(es, eps, core.Opts{Workers: workers})
 }
@@ -242,7 +243,8 @@ func UndirectedParallelOpts(es EdgeStream, eps float64, o core.Opts) (*core.Resu
 // the same sharded pass execution as UndirectedParallel: out- and
 // in-degree lanes are striped per worker and folded after each scan.
 // Results are bit-identical to Directed with ExactCounters for every
-// worker count; non-shardable streams fall back to the sequential scan.
+// worker count; slice and file streams are both shardable, and
+// non-shardable streams fall back to the sequential scan.
 func DirectedParallel(es EdgeStream, c, eps float64, workers int) (*core.DirectedResult, error) {
 	return DirectedParallelOpts(es, c, eps, core.Opts{Workers: workers})
 }

@@ -15,14 +15,15 @@ import (
 	"fmt"
 	"io"
 
+	"densestream/internal/edgeio"
 	"densestream/internal/graph"
 )
 
 // Edge is one streamed edge. For undirected streams the order of U and V
-// is arbitrary; for directed streams the edge points U → V.
-type Edge struct {
-	U, V int32
-}
+// is arbitrary; for directed streams the edge points U → V. It is the
+// edgeio record type, so streams and the out-of-core I/O layer share
+// edges without conversion.
+type Edge = edgeio.Edge
 
 // EdgeStream is a re-scannable stream of edges over nodes 0..NumNodes()-1.
 // A full scan is: Reset, then Next until io.EOF.
@@ -84,26 +85,14 @@ type ShardedStream interface {
 }
 
 // Shards implements ShardedStream: the edge slice is split into up to k
-// contiguous ranges, each wrapped in its own SliceStream.
+// contiguous ranges through the edgeio resident source, so in-memory
+// and on-disk scans use one decomposition rule.
 func (s *SliceStream) Shards(k int) []EdgeStream {
-	if k < 1 {
-		k = 1
-	}
-	total := len(s.edges)
-	per := (total + k - 1) / k
-	if per == 0 {
-		per = 1
-	}
-	out := make([]EdgeStream, 0, k)
-	for lo := 0; lo < total; lo += per {
-		hi := lo + per
-		if hi > total {
-			hi = total
-		}
-		out = append(out, &SliceStream{n: s.n, edges: s.edges[lo:hi]})
-	}
-	if len(out) == 0 {
-		out = append(out, &SliceStream{n: s.n})
+	src := edgeio.SliceSource{Edges: s.edges}
+	readers := src.Shards(k)
+	out := make([]EdgeStream, len(readers))
+	for i, r := range readers {
+		out[i] = &readerStream{n: s.n, r: r}
 	}
 	return out
 }

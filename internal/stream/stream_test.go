@@ -16,7 +16,7 @@ import (
 )
 
 func TestSliceStreamBasics(t *testing.T) {
-	s, err := NewSliceStream(3, []Edge{{0, 1}, {1, 2}})
+	s, err := NewSliceStream(3, []Edge{{U: 0, V: 1}, {U: 1, V: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,10 +42,10 @@ func TestSliceStreamBasics(t *testing.T) {
 }
 
 func TestSliceStreamValidation(t *testing.T) {
-	if _, err := NewSliceStream(2, []Edge{{0, 5}}); !errors.Is(err, graph.ErrNodeRange) {
+	if _, err := NewSliceStream(2, []Edge{{U: 0, V: 5}}); !errors.Is(err, graph.ErrNodeRange) {
 		t.Fatalf("range: %v", err)
 	}
-	if _, err := NewSliceStream(2, []Edge{{1, 1}}); !errors.Is(err, graph.ErrSelfLoop) {
+	if _, err := NewSliceStream(2, []Edge{{U: 1, V: 1}}); !errors.Is(err, graph.ErrSelfLoop) {
 		t.Fatalf("self loop: %v", err)
 	}
 }
@@ -265,7 +265,7 @@ func TestStreamingUndirectedFromFile(t *testing.T) {
 }
 
 func TestStreamingValidation(t *testing.T) {
-	s, _ := NewSliceStream(2, []Edge{{0, 1}})
+	s, _ := NewSliceStream(2, []Edge{{U: 0, V: 1}})
 	if _, err := Undirected(s, -1, NewExactCounter(2)); err == nil {
 		t.Fatal("negative eps accepted")
 	}
@@ -306,7 +306,7 @@ func TestStreamingFaultMidPass(t *testing.T) {
 func TestStreamingOutOfRangeEdgeRejected(t *testing.T) {
 	// A stream that lies about NumNodes: edge ids beyond n must error,
 	// not corrupt state.
-	bad := &FaultStream{Inner: &fakeStream{n: 2, edges: []Edge{{0, 5}}}, FailAfter: -1}
+	bad := &FaultStream{Inner: &fakeStream{n: 2, edges: []Edge{{U: 0, V: 5}}}, FailAfter: -1}
 	if _, err := Undirected(bad, 1, NewExactCounter(2)); !errors.Is(err, graph.ErrNodeRange) {
 		t.Fatalf("got %v", err)
 	}

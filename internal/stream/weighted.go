@@ -6,14 +6,13 @@ import (
 	"math"
 
 	"densestream/internal/core"
+	"densestream/internal/edgeio"
 	"densestream/internal/graph"
 )
 
-// WeightedEdge is one streamed weighted edge.
-type WeightedEdge struct {
-	U, V   int32
-	Weight float64
-}
+// WeightedEdge is one streamed weighted edge (the edgeio record type,
+// shared with the out-of-core I/O layer).
+type WeightedEdge = edgeio.WeightedEdge
 
 // WeightedEdgeStream is the weighted analogue of EdgeStream, used by the
 // weighted variant of Algorithm 1 (the paper notes the algorithm and
@@ -48,8 +47,32 @@ func NewWeightedSliceStream(n int, edges []WeightedEdge) (*WeightedSliceStream, 
 	return &WeightedSliceStream{n: n, edges: edges}, nil
 }
 
+// ShardedWeightedStream is the weighted analogue of ShardedStream:
+// WeightedShards(k) returns at most k streams that together yield
+// exactly the edges of one full scan, each safe to drive from its own
+// goroutine. The decomposition must depend only on the data and k —
+// never on the worker count — because the weighted peelers fold
+// per-shard float partials in shard order and promise bit-identical
+// results for every worker count.
+type ShardedWeightedStream interface {
+	WeightedEdgeStream
+	WeightedShards(k int) []WeightedEdgeStream
+}
+
 // NumNodes implements WeightedEdgeStream.
 func (s *WeightedSliceStream) NumNodes() int { return s.n }
+
+// WeightedShards implements ShardedWeightedStream via the edgeio
+// resident source.
+func (s *WeightedSliceStream) WeightedShards(k int) []WeightedEdgeStream {
+	src := edgeio.WeightedSliceSource{Edges: s.edges}
+	readers := src.WeightedShards(k)
+	out := make([]WeightedEdgeStream, len(readers))
+	for i, r := range readers {
+		out[i] = &weightedReaderStream{n: s.n, r: r}
+	}
+	return out
+}
 
 // Reset implements WeightedEdgeStream.
 func (s *WeightedSliceStream) Reset() error { s.pos = 0; return nil }

@@ -1,55 +1,45 @@
 package stream
 
 import (
-	"bufio"
 	"fmt"
-	"io"
-	"math"
-	"os"
-	"strconv"
-	"strings"
+
+	"densestream/internal/edgeio"
 )
 
 // WeightedFileStream streams weighted edges from a "u v w" edge-list
-// file, re-reading it every pass. Lines without a third column default to
-// weight 1, so unweighted files work too.
+// file, re-reading it every pass. Lines without a third column default
+// to weight 1, so unweighted files work too.
+//
+// It implements ShardedWeightedStream: WeightedShards(k) cuts the file
+// into byte ranges with line-boundary resync, one file handle per
+// shard, memoized per k. Close releases every handle and is idempotent.
 type WeightedFileStream struct {
-	path string
-	n    int
-	f    *os.File
-	rd   *bufio.Reader
-	line int
+	src    *edgeio.FileSource
+	n      int
+	seq    edgeio.WeightedReader
+	shards []edgeio.WeightedReader
+	wrap   []WeightedEdgeStream
+	shardK int
+	closed bool
 }
 
 // OpenWeightedFileStream opens path, determines the node count with one
 // scan, and positions the stream for the first pass.
 func OpenWeightedFileStream(path string) (*WeightedFileStream, error) {
-	f, err := os.Open(path)
+	src, err := edgeio.OpenFileSource(path)
 	if err != nil {
 		return nil, fmt.Errorf("stream: %w", err)
 	}
-	ws := &WeightedFileStream{path: path, f: f, rd: bufio.NewReaderSize(f, 1<<16)}
-	maxID := int32(-1)
-	for {
-		e, err := ws.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			f.Close()
-			return nil, err
-		}
-		if e.U > maxID {
-			maxID = e.U
-		}
-		if e.V > maxID {
-			maxID = e.V
-		}
+	ws := &WeightedFileStream{src: src, seq: src.SequentialWeightedReader()}
+	maxID, err := edgeio.MaxNodeIDWeighted(ws.seq)
+	if err != nil {
+		closeReader(ws.seq)
+		return nil, fmt.Errorf("stream: %w", err)
 	}
 	ws.n = int(maxID + 1)
-	if err := ws.Reset(); err != nil {
-		f.Close()
-		return nil, err
+	if err := ws.seq.Reset(); err != nil {
+		closeReader(ws.seq)
+		return nil, fmt.Errorf("stream: %w", err)
 	}
 	return ws, nil
 }
@@ -57,60 +47,100 @@ func OpenWeightedFileStream(path string) (*WeightedFileStream, error) {
 // NumNodes implements WeightedEdgeStream.
 func (ws *WeightedFileStream) NumNodes() int { return ws.n }
 
-// Reset implements WeightedEdgeStream.
+// Reset implements WeightedEdgeStream; seek errors are propagated, and
+// Reset after Close is an error.
 func (ws *WeightedFileStream) Reset() error {
-	if _, err := ws.f.Seek(0, io.SeekStart); err != nil {
-		return fmt.Errorf("stream: rewinding %s: %w", ws.path, err)
+	if ws.closed {
+		return fmt.Errorf("stream: Reset on closed WeightedFileStream %s", ws.src.Path())
 	}
-	ws.rd.Reset(ws.f)
-	ws.line = 0
+	if err := ws.seq.Reset(); err != nil {
+		return fmt.Errorf("stream: %w", err)
+	}
 	return nil
 }
 
 // Next implements WeightedEdgeStream.
-func (ws *WeightedFileStream) Next() (WeightedEdge, error) {
-	for {
-		line, err := ws.rd.ReadString('\n')
-		if len(line) == 0 && err != nil {
-			if err == io.EOF {
-				return WeightedEdge{}, io.EOF
-			}
-			return WeightedEdge{}, fmt.Errorf("stream: reading %s: %w", ws.path, err)
-		}
-		ws.line++
-		text := strings.TrimSpace(line)
-		if text == "" || strings.HasPrefix(text, "#") || strings.HasPrefix(text, "%") {
-			if err == io.EOF {
-				return WeightedEdge{}, io.EOF
-			}
-			continue
-		}
-		fields := strings.Fields(text)
-		if len(fields) < 2 {
-			return WeightedEdge{}, fmt.Errorf("stream: %s line %d: want >= 2 fields, got %d", ws.path, ws.line, len(fields))
-		}
-		u, uerr := strconv.ParseInt(fields[0], 10, 32)
-		v, verr := strconv.ParseInt(fields[1], 10, 32)
-		if uerr != nil || verr != nil || u < 0 || v < 0 {
-			return WeightedEdge{}, fmt.Errorf("stream: %s line %d: bad node ids %q %q", ws.path, ws.line, fields[0], fields[1])
-		}
-		w := 1.0
-		if len(fields) >= 3 {
-			var werr error
-			w, werr = strconv.ParseFloat(fields[2], 64)
-			if werr != nil || w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
-				return WeightedEdge{}, fmt.Errorf("stream: %s line %d: bad weight %q", ws.path, ws.line, fields[2])
-			}
-		}
-		if u == v {
-			if err == io.EOF {
-				return WeightedEdge{}, io.EOF
-			}
-			continue
-		}
-		return WeightedEdge{U: int32(u), V: int32(v), Weight: w}, nil
+func (ws *WeightedFileStream) Next() (WeightedEdge, error) { return ws.seq.Next() }
+
+// WeightedShards implements ShardedWeightedStream; see
+// FileStream.Shards for the sharding and memoization contract.
+func (ws *WeightedFileStream) WeightedShards(k int) []WeightedEdgeStream {
+	if k < 1 {
+		k = 1
 	}
+	if ws.closed {
+		return []WeightedEdgeStream{&weightedErrorStream{n: ws.n, err: fmt.Errorf("stream: WeightedShards on closed WeightedFileStream %s", ws.src.Path())}}
+	}
+	if ws.wrap == nil || ws.shardK != k {
+		for _, sh := range ws.shards {
+			closeReader(sh)
+		}
+		ws.shards = ws.src.WeightedShards(k)
+		ws.shardK = k
+		ws.wrap = make([]WeightedEdgeStream, len(ws.shards))
+		for i, sh := range ws.shards {
+			ws.wrap[i] = &weightedReaderStream{n: ws.n, r: sh}
+		}
+	}
+	return ws.wrap
 }
 
-// Close releases the underlying file.
-func (ws *WeightedFileStream) Close() error { return ws.f.Close() }
+// BytesScanned reports the cumulative bytes this stream has read from
+// disk across discovery and every pass.
+func (ws *WeightedFileStream) BytesScanned() int64 { return ws.src.BytesScanned() }
+
+// Close releases every file handle held by the stream and its shards.
+// It is idempotent.
+func (ws *WeightedFileStream) Close() error {
+	if ws.closed {
+		return nil
+	}
+	ws.closed = true
+	err := closeReader(ws.seq)
+	for _, sh := range ws.shards {
+		if cerr := closeReader(sh); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// closeReader closes a reader that optionally implements io.Closer.
+func closeReader(r any) error {
+	if c, ok := r.(interface{ Close() error }); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// weightedReaderStream adapts an edgeio.WeightedReader shard to the
+// WeightedEdgeStream shape.
+type weightedReaderStream struct {
+	n int
+	r edgeio.WeightedReader
+}
+
+// NumNodes implements WeightedEdgeStream.
+func (s *weightedReaderStream) NumNodes() int { return s.n }
+
+// Reset implements WeightedEdgeStream.
+func (s *weightedReaderStream) Reset() error { return s.r.Reset() }
+
+// Next implements WeightedEdgeStream.
+func (s *weightedReaderStream) Next() (WeightedEdge, error) { return s.r.Next() }
+
+// weightedErrorStream fails on Reset, reporting misuse of a closed
+// stream through the peelers' normal error path.
+type weightedErrorStream struct {
+	n   int
+	err error
+}
+
+// NumNodes implements WeightedEdgeStream.
+func (s *weightedErrorStream) NumNodes() int { return s.n }
+
+// Reset implements WeightedEdgeStream.
+func (s *weightedErrorStream) Reset() error { return s.err }
+
+// Next implements WeightedEdgeStream.
+func (s *weightedErrorStream) Next() (WeightedEdge, error) { return WeightedEdge{}, s.err }

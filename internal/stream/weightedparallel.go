@@ -1,0 +1,198 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+
+	"densestream/internal/core"
+	"densestream/internal/graph"
+	"densestream/internal/par"
+)
+
+// weightedScanLanes returns the scan fan-out of the weighted parallel
+// peeler for n nodes and the number of float counters the caller
+// allocates. Unlike streamScanLanes it deliberately ignores the worker
+// count: float folds are only reproducible if the decomposition never
+// moves, so the lane count is a function of the input shape alone and
+// workers merely decide how many lanes run concurrently.
+func weightedScanLanes(n, counters int) int {
+	lanes := maxScanLanes
+	if n > 0 {
+		if budget := maxStripedWords / (n * counters); lanes > budget {
+			lanes = budget
+		}
+	}
+	if lanes < 1 {
+		lanes = 1
+	}
+	return lanes
+}
+
+// scanWeightedShardedPass drives one pass over the weighted stream's
+// shards, one task per shard: visit reports whether the edge survives;
+// surviving edge counts and weights merge in shard order (the weight
+// fold is float, so the fixed shard decomposition is what keeps it
+// reproducible). A non-nil ctx is polled periodically; its error wins
+// over per-shard errors.
+func scanWeightedShardedPass(ctx context.Context, ws ShardedWeightedStream, pool *par.Pool, lanes, n int, visit func(lane int, e WeightedEdge) bool) (int64, float64, error) {
+	shards := ws.WeightedShards(lanes)
+	counts := make([]int64, len(shards))
+	weights := make([]float64, len(shards))
+	errs := make([]error, len(shards))
+	pool.RunTasks(len(shards), func(i int) {
+		sh := shards[i]
+		if err := sh.Reset(); err != nil {
+			errs[i] = err
+			return
+		}
+		var scanned int64
+		for {
+			e, err := sh.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if err := pollCtx(ctx, scanned); err != nil {
+				errs[i] = err
+				return
+			}
+			scanned++
+			if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
+				errs[i] = fmt.Errorf("%w: edge (%d,%d) with n=%d", graph.ErrNodeRange, e.U, e.V, n)
+				return
+			}
+			if visit(i, e) {
+				counts[i]++
+				weights[i] += e.Weight
+			}
+		}
+	})
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return 0, 0, err
+		}
+	}
+	var edges int64
+	var weight float64
+	for i := range shards {
+		if errs[i] != nil {
+			return 0, 0, errs[i]
+		}
+		edges += counts[i]
+		weight += weights[i]
+	}
+	return edges, weight, nil
+}
+
+// UndirectedWeightedParallel runs the weighted Algorithm 1 with the
+// per-pass scan split across the stream's shards into a float-lane
+// striped counter. The shard and lane decomposition is a function of
+// the input alone, and every float merge happens in shard or lane
+// order, so results are bit-identical for every worker count
+// (including 1). Streams that do not implement ShardedWeightedStream
+// fall back to the sequential UndirectedWeighted scan.
+func UndirectedWeightedParallel(es WeightedEdgeStream, eps float64, workers int) (*core.Result, error) {
+	return UndirectedWeightedParallelOpts(es, eps, core.Opts{Workers: workers})
+}
+
+// UndirectedWeightedParallelOpts is UndirectedWeightedParallel with a
+// full execution configuration: o.Ctx and o.Progress interrupt the run
+// between passes (and mid-scan) with a core.PartialError. Unlike the
+// unweighted peeler there is no workers==1 shortcut — the sharded path
+// runs for every worker count, which is what makes the float results
+// independent of the worker count.
+func UndirectedWeightedParallelOpts(es WeightedEdgeStream, eps float64, o core.Opts) (*core.Result, error) {
+	ws, ok := es.(ShardedWeightedStream)
+	if !ok {
+		return UndirectedWeightedOpts(es, eps, o)
+	}
+	if eps < 0 || math.IsNaN(eps) || math.IsInf(eps, 0) {
+		return nil, fmt.Errorf("stream: epsilon must be a finite value >= 0, got %v", eps)
+	}
+	if err := o.Begin(); err != nil {
+		return nil, err
+	}
+	n := es.NumNodes()
+	if n == 0 {
+		return nil, graph.ErrEmptyGraph
+	}
+	pool := par.New(o.Workers)
+
+	alive := make([]bool, n)
+	for u := range alive {
+		alive[u] = true
+	}
+	removedAt := make([]int, n)
+	nodes := n
+
+	bestPass := 0
+	bestDensity := -1.0
+	var trace []core.PassStat
+
+	lanes := weightedScanLanes(n, 1)
+	counter := NewFloatStripedCounter(n, lanes)
+	threshold := 2 * (1 + eps)
+	pass := 0
+	prev := core.PassStat{Nodes: n}
+	for nodes > 0 {
+		if err := o.Checkpoint(prev); err != nil {
+			return nil, &core.PartialError{Passes: pass, Trace: trace, Err: err}
+		}
+		pass++
+		counter.Reset(pool)
+		edges, weight, err := scanWeightedShardedPass(o.Ctx, ws, pool, lanes, n, func(lane int, e WeightedEdge) bool {
+			if alive[e.U] && alive[e.V] {
+				counter.AddLane(lane, e.U, e.Weight)
+				counter.AddLane(lane, e.V, e.Weight)
+				return true
+			}
+			return false
+		})
+		if err != nil {
+			if o.Ctx != nil && err == o.Ctx.Err() {
+				return nil, &core.PartialError{Passes: pass - 1, Trace: trace, Err: err}
+			}
+			return nil, fmt.Errorf("stream: pass %d: %w", pass, err)
+		}
+		counter.Fold(pool)
+		rho := weight / float64(nodes)
+		if rho > bestDensity {
+			bestDensity = rho
+			bestPass = pass
+		}
+		cut := threshold*rho + 1e-12
+		removed := int(pool.SumInt64(n, func(_, lo, hi int) int64 {
+			var cnt int64
+			for u := lo; u < hi; u++ {
+				if alive[u] && counter.Estimate(int32(u)) <= cut {
+					alive[u] = false
+					removedAt[u] = pass
+					cnt++
+				}
+			}
+			return cnt
+		}))
+		if removed == 0 {
+			return nil, fmt.Errorf("stream: weighted pass %d removed no nodes (ρ=%v)", pass, rho)
+		}
+		st := core.PassStat{
+			Pass: pass, Nodes: nodes, Edges: edges, Density: rho, Removed: removed,
+		}
+		trace = append(trace, st)
+		prev = st
+		nodes -= removed
+	}
+
+	var set []int32
+	for u, p := range removedAt {
+		if p == 0 || p >= bestPass {
+			set = append(set, int32(u))
+		}
+	}
+	return &core.Result{Set: set, Density: bestDensity, Passes: pass, Trace: trace}, nil
+}

@@ -67,8 +67,10 @@ const (
 	// path when the graph fits in RAM. Honors WithWorkers.
 	BackendPeel Backend = iota
 	// BackendStream re-scans an edge stream once per pass holding O(n)
-	// node state (semi-streaming). Shardable in-memory streams honor
-	// WithWorkers; file streams scan sequentially.
+	// node state (semi-streaming). Both in-memory and file streams
+	// shard their per-pass scans across WithWorkers workers (files as
+	// byte ranges with line-boundary resync), with bit-identical
+	// results at every worker count.
 	BackendStream
 	// BackendStreamSketched is BackendStream with a Count-Sketch degree
 	// oracle (§5.1) replacing the O(n) exact counter; configure it with

@@ -2,7 +2,6 @@ package densestream
 
 import (
 	"context"
-	"os"
 
 	"densestream/internal/charikar"
 	"densestream/internal/core"
@@ -56,6 +55,20 @@ type Solution struct {
 	// ExactNumer/ExactDenom give ObjectiveExact's density as an exact
 	// rational.
 	ExactNumer, ExactDenom int64
+	// Stats reports the solve's out-of-core I/O volume.
+	Stats SolveStats
+}
+
+// SolveStats is the I/O the solve performed against the out-of-core
+// edge layer. Both fields are 0 for fully in-memory runs.
+type SolveStats struct {
+	// BytesScanned counts bytes read from an on-disk edge-list input by
+	// the streaming backends — the node-count discovery scan plus every
+	// pass of every shard (comments and resync skips included).
+	BytesScanned int64
+	// BytesSpilled counts bytes the MapReduce backend wrote to spill
+	// files under the MRConfig.SpillBytes budget.
+	BytesSpilled int64
 }
 
 // Solve executes one densest-subgraph Problem and returns the uniform
@@ -87,9 +100,11 @@ func Solve(ctx context.Context, p Problem, opts ...Option) (*Solution, error) {
 	case p.Backend == BackendStream || p.Backend == BackendStreamSketched:
 		err = solveStream(sol, p, o, ex)
 	default:
-		// In-memory backends: materialize a Path input once.
+		// In-memory backends: materialize a Path input once, through
+		// the sharded file loader (workers tokenize byte-range shards;
+		// the result is bit-identical to a sequential parse).
 		if p.Path != "" {
-			if err := p.loadGraph(); err != nil {
+			if err := p.loadGraph(o.Workers); err != nil {
 				return nil, err
 			}
 		}
@@ -106,15 +121,10 @@ func Solve(ctx context.Context, p Problem, opts ...Option) (*Solution, error) {
 }
 
 // loadGraph parses p.Path into the in-memory input field matching the
-// objective.
-func (p *Problem) loadGraph() error {
-	f, err := os.Open(p.Path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
+// objective, using the sharded file loader.
+func (p *Problem) loadGraph(workers int) error {
 	if p.directedObjective() {
-		g, _, err := ReadDirected(f)
+		g, _, err := ReadDirectedFile(p.Path, workers)
 		if err != nil {
 			return err
 		}
@@ -125,7 +135,7 @@ func (p *Problem) loadGraph() error {
 	// weighted degrees whenever the graph carries weights; a missing
 	// third column defaults to unit weight).
 	weighted := p.Objective == ObjectiveWeighted || p.Objective == ObjectiveGreedy
-	g, _, err := ReadUndirected(f, weighted)
+	g, _, err := ReadUndirectedFile(p.Path, weighted, workers)
 	if err != nil {
 		return err
 	}
@@ -176,9 +186,9 @@ func solveUndirected(sol *Solution, p Problem, o Options, ex core.Opts) error {
 		if err := ex.Begin(); err != nil {
 			return err
 		}
-		r, err := flow.ExactDensest(p.Graph)
+		r, err := flow.ExactDensestCtx(ex.Ctx, p.Graph)
 		if err != nil {
-			return err
+			return wrapCtxErr(err, ex)
 		}
 		sol.Set, sol.Density, sol.Passes = r.Set, r.Density, r.FlowCalls
 		sol.ExactNumer, sol.ExactDenom = r.Numer, r.Denom
@@ -189,16 +199,28 @@ func solveUndirected(sol *Solution, p Problem, o Options, ex core.Opts) error {
 		var r *charikar.Result
 		var err error
 		if p.Graph.Weighted() {
-			r, err = charikar.DensestWeighted(p.Graph)
+			r, err = charikar.DensestWeightedCtx(ex.Ctx, p.Graph)
 		} else {
-			r, err = charikar.Densest(p.Graph)
+			r, err = charikar.DensestCtx(ex.Ctx, p.Graph)
 		}
 		if err != nil {
-			return err
+			return wrapCtxErr(err, ex)
 		}
 		sol.Set, sol.Density, sol.Passes = r.Set, r.Density, r.Peels
 	}
 	return nil
+}
+
+// wrapCtxErr turns a mid-run cancellation of the Exact or Greedy
+// solvers into the uniform *PartialError shape every other backend
+// returns (they have no per-pass trace to carry).
+func wrapCtxErr(err error, ex core.Opts) error {
+	if ex.Ctx != nil {
+		if ctxErr := ex.Ctx.Err(); ctxErr != nil && err == ctxErr {
+			return &core.PartialError{Err: err}
+		}
+	}
+	return err
 }
 
 // solveDirected dispatches the directed objectives on the in-memory
@@ -211,6 +233,7 @@ func solveDirected(sol *Solution, p Problem, o Options, ex core.Opts) error {
 		}
 		sol.S, sol.T, sol.Density, sol.Passes = r.S, r.T, r.Density, r.Passes
 		sol.MRDirectedRounds = r.Rounds
+		sol.Stats.BytesSpilled = r.SpilledBytes
 		sol.DirectedTrace = make([]DirectedPassStat, len(r.Rounds))
 		for i, rd := range r.Rounds {
 			sol.DirectedTrace[i] = rd.AsDirectedPassStat()
@@ -252,11 +275,12 @@ func solveStream(sol *Solution, p Problem, o Options, ex core.Opts) error {
 			defer f.Close()
 			ws = f
 		}
-		r, err := stream.UndirectedWeightedOpts(ws, p.Eps, ex)
+		r, err := stream.UndirectedWeightedParallelOpts(ws, p.Eps, ex)
 		if err != nil {
 			return err
 		}
 		sol.fillResult(r)
+		recordScan(sol, ws)
 		return nil
 	}
 
@@ -292,6 +316,7 @@ func solveStream(sol *Solution, p Problem, o Options, ex core.Opts) error {
 			}
 			sol.fillResult(r)
 			sol.SketchMemoryWords = dc.MemoryWords()
+			recordScan(sol, es)
 			return nil
 		}
 		r, err := stream.UndirectedParallelOpts(es, p.Eps, ex)
@@ -300,7 +325,7 @@ func solveStream(sol *Solution, p Problem, o Options, ex core.Opts) error {
 		}
 		sol.fillResult(r)
 	case ObjectiveAtLeastK:
-		r, err := stream.AtLeastKOpts(es, p.K, p.Eps, stream.NewExactCounter(es.NumNodes()), ex)
+		r, err := stream.AtLeastKParallelOpts(es, p.K, p.Eps, ex)
 		if err != nil {
 			return err
 		}
@@ -312,7 +337,16 @@ func solveStream(sol *Solution, p Problem, o Options, ex core.Opts) error {
 		}
 		sol.fillDirected(r)
 	}
+	recordScan(sol, es)
 	return nil
+}
+
+// recordScan copies a file-backed stream's cumulative disk-read
+// counter into the solution's stats; in-memory streams report nothing.
+func recordScan(sol *Solution, s any) {
+	if br, ok := s.(interface{ BytesScanned() int64 }); ok {
+		sol.Stats.BytesScanned = br.BytesScanned()
+	}
 }
 
 func (s *Solution) fillResult(r *Result) {
@@ -326,6 +360,7 @@ func (s *Solution) fillDirected(r *DirectedResult) {
 func (s *Solution) fillMR(r *MRResult) {
 	s.Set, s.Density, s.Passes = r.Set, r.Density, r.Passes
 	s.MRRounds = r.Rounds
+	s.Stats.BytesSpilled = r.SpilledBytes
 	s.Trace = make([]PassStat, len(r.Rounds))
 	for i, rd := range r.Rounds {
 		s.Trace[i] = rd.AsPassStat()

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"reflect"
 	"testing"
+	"time"
 
 	ds "densestream"
 )
@@ -296,6 +297,49 @@ func TestSolvePreCanceledContext(t *testing.T) {
 				t.Fatalf("want context.Canceled, got %v", err)
 			}
 		})
+	}
+}
+
+// TestSolveExactGreedyPreCanceled pins the cancellation contract on the
+// two objectives whose inner loops gained ctx polls: a canceled context
+// aborts with a *PartialError before any work.
+func TestSolveExactGreedyPreCanceled(t *testing.T) {
+	g, err := ds.GenerateChungLu(300, 1200, 2.1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, obj := range []ds.Objective{ds.ObjectiveExact, ds.ObjectiveGreedy} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, err := ds.Solve(ctx, ds.Problem{Objective: obj, Graph: g})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: want context.Canceled, got %v", obj, err)
+		}
+		var pe *ds.PartialError
+		if !errors.As(err, &pe) {
+			t.Fatalf("%s: want *PartialError, got %T", obj, err)
+		}
+	}
+}
+
+// TestSolveExactMidRunCancellation lands a deadline inside the flow
+// computation (the instance takes far longer than the deadline) and
+// checks the solver aborts mid-flow with the uniform error shape —
+// the ROADMAP gap was that Exact only checked the context at start.
+func TestSolveExactMidRunCancellation(t *testing.T) {
+	g, _, err := ds.GeneratePlantedDense(3000, 12000, 2.2, 40, 0.9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	_, serr := ds.Solve(ctx, ds.Problem{Objective: ds.ObjectiveExact, Graph: g})
+	if !errors.Is(serr, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", serr)
+	}
+	var pe *ds.PartialError
+	if !errors.As(serr, &pe) {
+		t.Fatalf("want *PartialError, got %T: %v", serr, serr)
 	}
 }
 

@@ -108,9 +108,9 @@ func OpenWeightedFileStream(path string) (*WeightedFileStream, error) {
 
 // StreamingWeighted runs the weighted Algorithm 1 against a weighted edge
 // stream with O(n) state; results match UndirectedWeighted on the same
-// graph. Options are accepted for signature uniformity with the other
-// entry points; the scan itself is sequential until WeightedEdgeStream
-// grows a Shards analogue (see ROADMAP).
+// graph. Shardable weighted streams (slices and files) scan each pass
+// through a fixed float-lane decomposition, so results are
+// bit-identical for every WithWorkers count.
 //
 // Deprecated: use Solve with ObjectiveWeighted on BackendStream.
 func StreamingWeighted(es WeightedEdgeStream, eps float64, opts ...Option) (*Result, error) {
@@ -123,8 +123,7 @@ func StreamingWeighted(es WeightedEdgeStream, eps float64, opts ...Option) (*Res
 
 // StreamingAtLeastK runs Algorithm 2 against an edge stream holding only
 // O(n) node state; results are identical to AtLeastK on the same graph.
-// Options are accepted for signature uniformity; the scan itself is
-// sequential (see ROADMAP).
+// Shardable streams scan each pass across WithWorkers workers.
 //
 // Deprecated: use Solve with ObjectiveAtLeastK on BackendStream.
 func StreamingAtLeastK(es EdgeStream, k int, eps float64, opts ...Option) (*Result, error) {
