@@ -3,7 +3,14 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-mr bench-json bench-trend fmt fmt-check vet api-check api-snapshot ci
+# Benchmarks gated by the perf-trajectory trend (comma-separated
+# name-prefix allowlist for scripts/bench_trend.sh) and the go test
+# -bench pattern + packages that produce them.
+BENCH_GATED = BenchmarkParallelPeel,BenchmarkMapReducePeel,BenchmarkMapReduceSpill,BenchmarkFileStreamPeel,BenchmarkCore
+BENCH_PATTERN = BenchmarkTable1|BenchmarkParallelPeel|BenchmarkMapReducePeel|BenchmarkMapReduceSpill|BenchmarkFileStreamPeel|BenchmarkCore
+BENCH_PKGS = . ./internal/core
+
+.PHONY: build test race bench bench-core bench-mr bench-json bench-trend fmt fmt-check vet api-check api-snapshot ci
 
 build:
 	$(GO) build ./...
@@ -19,27 +26,34 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
-# The MapReduce and out-of-core benchmarks: the cluster-shape sweep,
-# the spill-budget sweep, and the sharded disk-stream sweep.
-bench-mr:
-	$(GO) test -bench='BenchmarkMapReducePeel|BenchmarkMapReduceSpill|BenchmarkFileStreamPeel' -benchtime=1x -run='^$$' .
+# The peel-core microbenchmarks: pass throughput on the 2M-edge RMAT
+# sweep and the push vs pull decrement directions in isolation.
+bench-core:
+	$(GO) test -bench='BenchmarkCore' -benchtime=1x -run='^$$' ./internal/core
 
-# Emit BENCH_ci.json (benchmark name -> ns/op) from the bench-smoke run
-# (same pattern as CI's bench-smoke job); CI archives this as the perf
-# data point for the commit.
+# The MapReduce and out-of-core benchmarks: the cluster-shape sweep,
+# the spill-budget sweep, and the sharded disk-stream sweep — gated
+# against the committed baseline like the peel sweeps.
+bench-mr:
+	$(GO) test -bench='BenchmarkMapReducePeel|BenchmarkMapReduceSpill|BenchmarkFileStreamPeel' -benchtime=1x -count=3 -run='^$$' . | tee /dev/stderr | scripts/bench_to_json.sh > BENCH_mr_fresh.json
+	scripts/bench_trend.sh BENCH_ci.json BENCH_mr_fresh.json 'BenchmarkMapReducePeel,BenchmarkMapReduceSpill,BenchmarkFileStreamPeel' 1.30
+	@rm -f BENCH_mr_fresh.json
+
+# Emit BENCH_ci.json (benchmark name -> ns/op + allocs/op) from the
+# bench-smoke run (same pattern as CI's bench-smoke job); CI archives
+# this as the perf data point for the commit.
 bench-json:
-	$(GO) test -bench='BenchmarkTable1|BenchmarkParallelPeel|BenchmarkMapReducePeel' -benchtime=1x -count=3 -run='^$$' . | scripts/bench_to_json.sh > BENCH_ci.json
+	$(GO) test -bench='$(BENCH_PATTERN)' -benchtime=1x -count=3 -run='^$$' $(BENCH_PKGS) | scripts/bench_to_json.sh > BENCH_ci.json
 	@cat BENCH_ci.json
 
 # Perf-trajectory gate mirroring CI: run the bench smoke (min of 3
 # runs) against the committed BENCH_ci.json baseline and fail on a >30%
-# regression of the BenchmarkParallelPeel or BenchmarkMapReducePeel
-# sweeps. The baseline is machine-specific; on hardware slower than the
-# recorded cpu, refresh it first with `make bench-json`.
+# regression of any allowlisted sweep. The baseline is
+# machine-specific; on hardware slower than the recorded cpu, refresh
+# it first with `make bench-json`.
 bench-trend:
-	$(GO) test -bench='BenchmarkTable1|BenchmarkParallelPeel|BenchmarkMapReducePeel' -benchtime=1x -count=3 -run='^$$' . | scripts/bench_to_json.sh > BENCH_fresh.json
-	scripts/bench_trend.sh BENCH_ci.json BENCH_fresh.json BenchmarkParallelPeel 1.30
-	scripts/bench_trend.sh BENCH_ci.json BENCH_fresh.json BenchmarkMapReducePeel 1.30
+	$(GO) test -bench='$(BENCH_PATTERN)' -benchtime=1x -count=3 -run='^$$' $(BENCH_PKGS) | scripts/bench_to_json.sh > BENCH_fresh.json
+	scripts/bench_trend.sh BENCH_ci.json BENCH_fresh.json '$(BENCH_GATED)' 1.30
 	@rm -f BENCH_fresh.json
 
 # Public-API gate: fail when `go doc -all .` drifts from the committed

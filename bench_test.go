@@ -140,6 +140,7 @@ func benchGraph(b *testing.B) *ds.UndirectedGraph {
 // BenchmarkPeelUndirected measures Algorithm 1 throughput at ε=1.
 func BenchmarkPeelUndirected(b *testing.B) {
 	g := benchGraph(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ds.Undirected(g, 1); err != nil {
@@ -152,6 +153,7 @@ func BenchmarkPeelUndirected(b *testing.B) {
 // BenchmarkGreedyPeel measures Charikar's greedy on the same graph.
 func BenchmarkGreedyPeel(b *testing.B) {
 	g := benchGraph(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ds.Greedy(g); err != nil {
@@ -181,6 +183,7 @@ func BenchmarkDirectedPeel(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ds.Directed(g, 1, 1); err != nil {
@@ -195,6 +198,7 @@ func BenchmarkDirectedPeel(b *testing.B) {
 func BenchmarkStreamingPeel(b *testing.B) {
 	g := benchGraph(b)
 	es := ds.StreamGraph(g)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ds.Streaming(es, 1); err != nil {
@@ -239,6 +243,7 @@ func BenchmarkParallelPeel(b *testing.B) {
 	}
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			b.SetBytes(g.NumEdges() * 8)
 			for i := 0; i < b.N; i++ {
 				if _, err := ds.Undirected(g, 1, ds.WithWorkers(workers)); err != nil {
@@ -260,6 +265,7 @@ func BenchmarkParallelStreamingPeel(b *testing.B) {
 	es := ds.StreamGraph(g)
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			b.SetBytes(g.NumEdges() * 8)
 			for i := 0; i < b.N; i++ {
 				if _, err := ds.Streaming(es, 1, ds.WithWorkers(workers)); err != nil {
@@ -303,6 +309,7 @@ func BenchmarkFileStreamPeel(b *testing.B) {
 	}
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			var scanned int64
 			for i := 0; i < b.N; i++ {
 				sol, err := ds.Solve(context.Background(),
@@ -330,6 +337,7 @@ func BenchmarkMapReduceSpill(b *testing.B) {
 	dir := b.TempDir()
 	for _, budget := range []int64{0, int64(g.NumEdges()) * 4, 1} {
 		b.Run(fmt.Sprintf("spill-bytes=%d", budget), func(b *testing.B) {
+			b.ReportAllocs()
 			b.SetBytes(g.NumEdges() * 8)
 			var spilled int64
 			for i := 0; i < b.N; i++ {
@@ -371,6 +379,7 @@ func BenchmarkMapReducePeel(b *testing.B) {
 			name += ",combine"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			b.SetBytes(g.NumEdges() * 8)
 			var shuffleRecs, shuffleBytes int64
 			for i := 0; i < b.N; i++ {

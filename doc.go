@@ -62,16 +62,57 @@
 // The peeling hot paths run on a chunked worker pool (internal/par):
 // every per-pass scan — candidate selection, degree decrements, and,
 // for shardable edge streams, the edge scan itself — is sharded over
-// fixed-size vertex chunks with per-chunk batch buffers that merge in
-// index order, and integer degree updates use atomics (weighted
-// degrees use a pull-based owner-computes scheme instead, since float
-// accumulation is order sensitive). Graph construction shares the
-// engine: Builder.Freeze sorts its edge list as fixed-size runs merged
-// in a fixed tree, concurrently. Because the decomposition depends
-// only on the input size, never on scheduling, every worker count
-// produces bit-identical results. WithWorkers(n) sets the worker count
-// (default: runtime.GOMAXPROCS(0)); the densest CLI exposes it as
-// -workers.
+// fixed-size chunks with per-chunk batch buffers that merge in index
+// order, and degree updates run lock- and atomic-free through
+// owned-lane merges (integer decrements scatter through fixed
+// vertex-range lanes; weighted degrees use a pull-based
+// owner-computes scheme, since float accumulation is order
+// sensitive). Graph construction shares the engine: Builder.Freeze
+// sorts its edge list as fixed-size runs merged in a fixed tree,
+// concurrently. Because the decomposition depends only on the input
+// size, never on scheduling, every worker count produces bit-identical
+// results. WithWorkers(n) sets the worker count (default:
+// runtime.GOMAXPROCS(0)); the densest CLI exposes it as -workers.
+//
+// # Memory layout and the peel hot path
+//
+// One peeling pass is, by the paper's design, a linear scan — so the
+// in-memory engines are laid out to run it at memory bandwidth. Three
+// techniques carry the hot loop, all decided by the graph shape alone
+// so that every worker count (and the sequential run) takes identical
+// decisions and returns bit-identical results:
+//
+//   - Live-vertex frontier. The candidate scan walks a compacted,
+//     ascending slice of the surviving vertex ids instead of all n
+//     alive flags, so a pass costs O(live): once 99% of the graph has
+//     peeled away, the scan touches 1% of the memory.
+//   - Adaptive push/pull decrements. A small removed batch pushes
+//     decrements along its own adjacency rows — routed through fixed
+//     vertex-range lanes so concurrent workers never touch the same
+//     counter (no atomics, no cache-line ping-pong). When the batch's
+//     rows outweigh the survivors' (huge removal batches at large ε),
+//     the pass flips to a pull: each survivor recounts its live
+//     neighbors straight from the CSR — the direction-optimizing trade
+//     of Beamer-style BFS search, with the crossover fixed by the two
+//     row volumes, both functions of the data.
+//   - Periodic CSR compaction. Once the live set falls below a fixed
+//     fraction of the current CSR, the surviving subgraph is rebuilt
+//     into a dense CSR (order-preserving relabel, scratch buffers
+//     reused) so later passes scan cache-resident adjacency instead of
+//     rows full of dead neighbors. A pull pass and a due compaction
+//     fuse: a survivor's row length in the compacted CSR is exactly
+//     its live-neighbor count, so one scan yields both the new degrees
+//     and the new layout.
+//
+// Determinism survives all three because every choice is arithmetic on
+// deterministic integers, relabeling preserves id order, and the one
+// float-sensitive path — the weighted peeler's decrement — keeps its
+// subtractions grouped by fixed chunks of the original vertex space,
+// in ascending original order, regardless of worker count or
+// compaction epoch (the cache-blocked ordering of the weighted pull
+// path). The layout parity sweep in internal/core asserts
+// reflect.DeepEqual against the pre-layout reference engines across
+// graphs, objectives, ε values, and workers 1–8.
 //
 // # The out-of-core model
 //

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"densestream/internal/gen"
+	"densestream/internal/graph"
+)
+
+// Microbenchmarks of the peel hot path (the `make bench-core` suite):
+// pass throughput on the 2M-edge RMAT sweep the layout work targets,
+// and the push vs pull decrement directions in isolation.
+
+// rmatUndirected symmetrizes a directed RMAT graph: highly skewed
+// degrees, the adversarial layout case for the peel loops.
+func rmatUndirected(scale int, m int64, seed int64) (*graph.Undirected, error) {
+	dg, err := gen.RMAT(scale, m, gen.DefaultRMAT, seed)
+	if err != nil {
+		return nil, err
+	}
+	b := graph.NewBuilder(dg.NumNodes())
+	var ferr error
+	dg.Edges(func(u, v int32) bool {
+		ferr = b.AddEdge(u, v)
+		return ferr == nil
+	})
+	if ferr != nil {
+		return nil, ferr
+	}
+	return b.Freeze()
+}
+
+// coreBenchGraph lazily builds the ~2M-edge RMAT graph shared by the
+// core benchmarks, so runs that skip them pay nothing.
+var coreBenchGraph = sync.OnceValues(func() (*graph.Undirected, error) {
+	return rmatUndirected(18, 2<<20, 7)
+})
+
+// BenchmarkCorePassThroughput measures whole-run peel throughput on the
+// 2M-edge RMAT graph across ε: ε=0.05 maximizes passes (tiny batches —
+// the frontier and compaction case), ε=1 is the paper's default (huge
+// batches — the pull case). Bytes/op counts 8 bytes per edge per pass,
+// so MB/s is true pass throughput.
+func BenchmarkCorePassThroughput(b *testing.B) {
+	g, err := coreBenchGraph()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, eps := range []float64{0.05, 1} {
+		b.Run(fmt.Sprintf("eps=%g", eps), func(b *testing.B) {
+			b.ReportAllocs()
+			var passes int
+			for i := 0; i < b.N; i++ {
+				r, err := Undirected(g, eps)
+				if err != nil {
+					b.Fatal(err)
+				}
+				passes = r.Passes
+			}
+			b.SetBytes(int64(passes) * g.NumEdges() * 8)
+			b.ReportMetric(float64(passes), "passes")
+		})
+	}
+}
+
+// BenchmarkCorePushPull pins each decrement direction of one full run:
+// ε=0 forces minimum-size batches (every decrement pass takes the push
+// direction), a large ε forces one near-total batch (the pull
+// direction). The adaptive engine picks per pass; these bounds bracket
+// it.
+func BenchmarkCorePushPull(b *testing.B) {
+	g, err := coreBenchGraph()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name string
+		eps  float64
+	}{{"push-heavy/eps=0", 0}, {"pull-heavy/eps=4", 4}} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(g.NumEdges() * 8)
+			for i := 0; i < b.N; i++ {
+				if _, err := Undirected(g, bc.eps); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCorePassThroughputWeighted is the weighted pull path (the
+// ROADMAP's cache-blocked ordering item) on the same graph with unit
+// weights.
+func BenchmarkCorePassThroughputWeighted(b *testing.B) {
+	g, err := coreBenchGraph()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(g.NumEdges() * 8)
+	for i := 0; i < b.N; i++ {
+		if _, err := UndirectedWeighted(g, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

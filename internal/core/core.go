@@ -26,6 +26,11 @@ type Opts struct {
 	// wrapping ErrStopped. The hook runs on the driver goroutine —
 	// keep it cheap.
 	Progress func(PassStat) bool
+
+	// hooks are package-internal observation points on the layout
+	// machinery (push/pull choice, CSR compaction); only the in-package
+	// parity tests set them.
+	hooks peelHooks
 }
 
 func (o Opts) pool() *par.Pool { return par.New(o.Workers) }

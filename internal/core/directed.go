@@ -3,10 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
-	"sync/atomic"
 
 	"densestream/internal/graph"
-	"densestream/internal/par"
 )
 
 // DirectedResult is the output of Algorithm 3 for one value of c.
@@ -28,9 +26,10 @@ func Directed(g *graph.Directed, c, eps float64) (*DirectedResult, error) {
 }
 
 // DirectedOpts is Directed with an explicit execution configuration:
-// both side scans and the cross-degree decrements shard across workers,
-// with per-chunk batch buffers merged in index order and atomic integer
-// degree updates, so results are bit-identical for every worker count.
+// both side scans walk their live-vertex frontiers with per-chunk batch
+// buffers merged in index order, and the cross-degree updates run push-
+// or pull-directed with owned-lane merges (no atomics), so results are
+// bit-identical for every worker count.
 func DirectedOpts(g *graph.Directed, c, eps float64, o Opts) (*DirectedResult, error) {
 	if err := checkEps(eps); err != nil {
 		return nil, err
@@ -45,22 +44,7 @@ func DirectedOpts(g *graph.Directed, c, eps float64, o Opts) (*DirectedResult, e
 	if n == 0 {
 		return nil, graph.ErrEmptyGraph
 	}
-	pool := o.pool()
-
-	aliveS := make([]bool, n)
-	aliveT := make([]bool, n)
-	outdeg := make([]int32, n) // |E(i, T)| for i ∈ S
-	indeg := make([]int32, n)  // |E(S, j)| for j ∈ T
-	pool.ForChunks(n, func(_, lo, hi int) {
-		for u := lo; u < hi; u++ {
-			aliveS[u] = true
-			aliveT[u] = true
-			outdeg[u] = int32(g.OutDegree(int32(u)))
-			indeg[u] = int32(g.InDegree(int32(u)))
-		}
-	})
-	removedAtS := make([]int, n)
-	removedAtT := make([]int, n)
+	st := newDirectedState(g, o.pool())
 	edges := g.NumEdges()
 	sizeS, sizeT := n, n
 
@@ -79,8 +63,6 @@ func DirectedOpts(g *graph.Directed, c, eps float64, o Opts) (*DirectedResult, e
 	}}
 
 	pass := 0
-	col := par.NewCollector(n)
-	var batch []int32
 	for sizeS > 0 && sizeT > 0 {
 		if err := o.Checkpoint(trace[len(trace)-1].AsPassStat()); err != nil {
 			return nil, &PartialError{Passes: pass, DirectedTrace: trace, Err: err}
@@ -90,79 +72,27 @@ func DirectedOpts(g *graph.Directed, c, eps float64, o Opts) (*DirectedResult, e
 		if float64(sizeS) >= c*float64(sizeT) {
 			// Remove A(S): below-average out-degree into T.
 			cut := (1 + eps) * float64(edges) / float64(sizeS)
-			col.Reset()
-			if err := pool.ForChunksCtx(o.Ctx, n, func(ch, lo, hi int) {
-				for u := lo; u < hi; u++ {
-					if aliveS[u] && float64(outdeg[u]) <= cut {
-						col.Append(ch, int32(u))
-					}
-				}
-			}); err != nil {
+			if err := st.scanSide(o, st.liveS, st.outdeg, cut); err != nil {
 				return nil, &PartialError{Passes: pass - 1, DirectedTrace: trace, Err: err}
 			}
-			batch = col.Merge(batch[:0])
-			if len(batch) == 0 {
+			if len(st.batch) == 0 {
 				return nil, fmt.Errorf("core: directed pass %d removed no S nodes", pass)
 			}
-			pool.ForChunks(len(batch), func(_, lo, hi int) {
-				for i := lo; i < hi; i++ {
-					u := batch[i]
-					aliveS[u] = false
-					removedAtS[u] = pass
-				}
-			})
-			edges -= pool.SumInt64(len(batch), func(_, lo, hi int) int64 {
-				var sub int64
-				for i := lo; i < hi; i++ {
-					for _, v := range g.OutNeighbors(batch[i]) {
-						if aliveT[v] {
-							atomic.AddInt32(&indeg[v], -1)
-							sub++
-						}
-					}
-				}
-				return sub
-			})
-			sizeS -= len(batch)
-			stat = DirectedPassStat{RemovedS: len(batch), PeeledSide: 'S'}
+			edges = st.peelS(o, pass, edges)
+			sizeS -= len(st.batch)
+			stat = DirectedPassStat{RemovedS: len(st.batch), PeeledSide: 'S'}
 		} else {
 			// Remove B(T): below-average in-degree from S.
 			cut := (1 + eps) * float64(edges) / float64(sizeT)
-			col.Reset()
-			if err := pool.ForChunksCtx(o.Ctx, n, func(ch, lo, hi int) {
-				for u := lo; u < hi; u++ {
-					if aliveT[u] && float64(indeg[u]) <= cut {
-						col.Append(ch, int32(u))
-					}
-				}
-			}); err != nil {
+			if err := st.scanSide(o, st.liveT, st.indeg, cut); err != nil {
 				return nil, &PartialError{Passes: pass - 1, DirectedTrace: trace, Err: err}
 			}
-			batch = col.Merge(batch[:0])
-			if len(batch) == 0 {
+			if len(st.batch) == 0 {
 				return nil, fmt.Errorf("core: directed pass %d removed no T nodes", pass)
 			}
-			pool.ForChunks(len(batch), func(_, lo, hi int) {
-				for i := lo; i < hi; i++ {
-					v := batch[i]
-					aliveT[v] = false
-					removedAtT[v] = pass
-				}
-			})
-			edges -= pool.SumInt64(len(batch), func(_, lo, hi int) int64 {
-				var sub int64
-				for i := lo; i < hi; i++ {
-					for _, u := range g.InNeighbors(batch[i]) {
-						if aliveS[u] {
-							atomic.AddInt32(&outdeg[u], -1)
-							sub++
-						}
-					}
-				}
-				return sub
-			})
-			sizeT -= len(batch)
-			stat = DirectedPassStat{RemovedT: len(batch), PeeledSide: 'T'}
+			edges = st.peelT(o, pass, edges)
+			sizeT -= len(st.batch)
+			stat = DirectedPassStat{RemovedT: len(st.batch), PeeledSide: 'T'}
 		}
 		stat.Pass = pass
 		stat.SizeS = sizeS
@@ -177,8 +107,8 @@ func DirectedOpts(g *graph.Directed, c, eps float64, o Opts) (*DirectedResult, e
 	}
 
 	return &DirectedResult{
-		S:       survivorsAfter(removedAtS, bestPass),
-		T:       survivorsAfter(removedAtT, bestPass),
+		S:       survivorsAfter(st.removedAtS, bestPass),
+		T:       survivorsAfter(st.removedAtT, bestPass),
 		Density: bestDensity,
 		Passes:  pass,
 		Trace:   trace,

@@ -37,8 +37,8 @@ func DirectedNaive(g *graph.Directed, c, eps float64) (*DirectedResult, error) {
 		outdeg[u] = int32(g.OutDegree(int32(u)))
 		indeg[u] = int32(g.InDegree(int32(u)))
 	}
-	removedAtS := make([]int, n)
-	removedAtT := make([]int, n)
+	removedAtS := make([]int32, n)
+	removedAtT := make([]int32, n)
 	edges := g.NumEdges()
 	sizeS, sizeT := n, n
 
@@ -93,7 +93,7 @@ func DirectedNaive(g *graph.Directed, c, eps float64) (*DirectedResult, error) {
 		if removeS {
 			for _, u := range batchS {
 				aliveS[u] = false
-				removedAtS[u] = pass
+				removedAtS[u] = int32(pass)
 				for _, v := range g.OutNeighbors(u) {
 					if aliveT[v] {
 						indeg[v]--
@@ -106,7 +106,7 @@ func DirectedNaive(g *graph.Directed, c, eps float64) (*DirectedResult, error) {
 		} else {
 			for _, v := range batchT {
 				aliveT[v] = false
-				removedAtT[v] = pass
+				removedAtT[v] = int32(pass)
 				for _, u := range g.InNeighbors(v) {
 					if aliveS[u] {
 						outdeg[u]--

@@ -3,10 +3,8 @@ package core
 import (
 	"fmt"
 	"sort"
-	"sync/atomic"
 
 	"densestream/internal/graph"
-	"densestream/internal/par"
 )
 
 // AtLeastK runs Algorithm 2: find a dense subgraph with at least k nodes.
@@ -21,9 +19,9 @@ func AtLeastK(g *graph.Undirected, k int, eps float64) (*Result, error) {
 }
 
 // AtLeastKOpts is AtLeastK with an explicit execution configuration: the
-// candidate scan and the decrement loop shard across workers as in
-// UndirectedOpts; the quota selection sort stays sequential on the
-// deterministically merged candidate list.
+// candidate scan walks the live-vertex frontier and the decrement pass
+// runs push- or pull-directed as in UndirectedOpts; the quota selection
+// sort stays sequential on the deterministically merged candidate list.
 func AtLeastKOpts(g *graph.Undirected, k int, eps float64, o Opts) (*Result, error) {
 	if err := checkEps(eps); err != nil {
 		return nil, err
@@ -41,17 +39,7 @@ func AtLeastKOpts(g *graph.Undirected, k int, eps float64, o Opts) (*Result, err
 	if err := o.Begin(); err != nil {
 		return nil, err
 	}
-	pool := o.pool()
-
-	alive := make([]bool, n)
-	deg := make([]int32, n)
-	pool.ForChunks(n, func(_, lo, hi int) {
-		for u := lo; u < hi; u++ {
-			alive[u] = true
-			deg[u] = int32(g.Degree(int32(u)))
-		}
-	})
-	removedAt := make([]int, n)
+	st := newPeelState(g, o.pool(), false)
 	edges := g.NumEdges()
 	nodes := n
 
@@ -66,8 +54,6 @@ func AtLeastKOpts(g *graph.Undirected, k int, eps float64, o Opts) (*Result, err
 	threshold := 2 * (1 + eps)
 	frac := eps / (1 + eps)
 	pass := 0
-	col := par.NewCollector(n)
-	var candidates []int32
 	for nodes >= k {
 		if err := o.Checkpoint(trace[len(trace)-1]); err != nil {
 			return nil, &PartialError{Passes: pass, Trace: trace, Err: err}
@@ -75,21 +61,16 @@ func AtLeastKOpts(g *graph.Undirected, k int, eps float64, o Opts) (*Result, err
 		pass++
 		rho := float64(edges) / float64(nodes)
 		cut := threshold * rho
-		col.Reset()
-		if err := pool.ForChunksCtx(o.Ctx, n, func(c, lo, hi int) {
-			for u := lo; u < hi; u++ {
-				if alive[u] && float64(deg[u]) <= cut {
-					col.Append(c, int32(u))
-				}
-			}
-		}); err != nil {
+		if err := st.scanCandidates(o, cut); err != nil {
 			return nil, &PartialError{Passes: pass - 1, Trace: trace, Err: err}
 		}
-		candidates = col.Merge(candidates[:0])
+		candidates := st.batch
 		if len(candidates) == 0 {
 			return nil, fmt.Errorf("core: pass %d found no candidates (ρ=%v)", pass, rho)
 		}
 		// Remove the ⌊ε/(1+ε)·|S|⌋ lowest-degree candidates, at least one.
+		// Ties break on vertex id; compaction relabels order-preservingly,
+		// so the tie order matches the original-id order at any epoch.
 		quota := int(frac * float64(nodes))
 		if quota < 1 {
 			quota = 1
@@ -97,6 +78,7 @@ func AtLeastKOpts(g *graph.Undirected, k int, eps float64, o Opts) (*Result, err
 		if quota > len(candidates) {
 			quota = len(candidates)
 		}
+		deg := st.deg
 		sort.Slice(candidates, func(i, j int) bool {
 			if deg[candidates[i]] != deg[candidates[j]] {
 				return deg[candidates[i]] < deg[candidates[j]]
@@ -104,28 +86,9 @@ func AtLeastKOpts(g *graph.Undirected, k int, eps float64, o Opts) (*Result, err
 			return candidates[i] < candidates[j]
 		})
 		batch := candidates[:quota]
-		pool.ForChunks(len(batch), func(_, lo, hi int) {
-			for i := lo; i < hi; i++ {
-				u := batch[i]
-				alive[u] = false
-				removedAt[u] = pass
-			}
-		})
-		edges -= pool.SumInt64(len(batch), func(_, lo, hi int) int64 {
-			var sub int64
-			for i := lo; i < hi; i++ {
-				u := batch[i]
-				for _, v := range g.Neighbors(u) {
-					if alive[v] {
-						atomic.AddInt32(&deg[v], -1)
-						sub++
-					} else if removedAt[v] == pass && u < v {
-						sub++
-					}
-				}
-			}
-			return sub
-		})
+		pushVol := st.markRemoved(batch, pass)
+		st.filterLive(pushVol)
+		edges = st.decrement(o, batch, pass, edges, pushVol)
 		nodes -= len(batch)
 		var rhoAfter float64
 		if nodes > 0 {
@@ -142,7 +105,7 @@ func AtLeastKOpts(g *graph.Undirected, k int, eps float64, o Opts) (*Result, err
 	}
 
 	return &Result{
-		Set:     survivorsAfter(removedAt, bestPass),
+		Set:     survivorsAfter(st.removedAt, bestPass),
 		Density: bestDensity,
 		Passes:  pass,
 		Trace:   trace,

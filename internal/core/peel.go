@@ -1,0 +1,433 @@
+package core
+
+import (
+	"sort"
+
+	"densestream/internal/graph"
+	"densestream/internal/par"
+)
+
+// This file is the shared layout machinery of the peel hot path. The
+// paper's promise is that one pass is a cheap linear scan, so the
+// in-memory engines are built to run at memory bandwidth:
+//
+//   - a live-vertex frontier: the candidate scan walks a compacted,
+//     ascending slice of the surviving vertex ids, so a pass costs
+//     O(live), not O(n), once the graph has started to shrink;
+//   - adaptive push/pull decrements: a small removed batch pushes
+//     decrements along its own adjacency (owned-lane routed, no
+//     atomics); a batch whose adjacency outweighs the survivors'
+//     flips to a pull pass that recounts every survivor's live
+//     degree directly from the CSR — the direction-optimizing trade
+//     of Beamer-style BFS, decided by graph shape alone so every
+//     worker count takes the same path;
+//   - periodic CSR compaction: once the live fraction drops below
+//     1/compactLiveDivisor, the surviving subgraph is rebuilt into a
+//     dense CSR (graph.CompactInto, scratch reused) with an
+//     order-preserving relabel, so later passes scan cache-resident
+//     adjacency instead of rows full of dead neighbors.
+//
+// Every decision above is a function of the graph shape only — never
+// of the worker count — which preserves the engines' bit-identical
+// determinism contract (see internal/par).
+const (
+	// compactMinNodes: CSRs smaller than this are never compacted —
+	// they are already cache resident and the rebuild bookkeeping
+	// would dominate.
+	compactMinNodes = 1 << 10
+	// compactLiveDivisor: a compaction is "due" — and tilts the
+	// decrement direction toward pull — once the live set is at most
+	// 1/compactLiveDivisor of the current CSR's node count. Rebuilds
+	// are not limited to due passes: any cost-chosen pull pass also
+	// fuses a rebuild, but there the scan over the surviving rows was
+	// happening regardless (pushVol > liveRowVol), so the rebuild adds
+	// only the writes of a strictly smaller CSR. Either way total
+	// rebuild work stays O(n + m) over a run.
+	compactLiveDivisor = 4
+)
+
+// peelHooks are package-internal observation points for the layout
+// tests: the parity sweep uses them to assert that both decrement
+// modes and the compactor actually ran. Nil hooks are never called.
+type peelHooks struct {
+	mode      func(pass int, pull bool)
+	compacted func(liveN, prevN int)
+}
+
+// peelState is the mutable state of an undirected peel run. Vertex ids
+// live in two spaces: the "current" space of the (possibly compacted)
+// CSR, in which all per-pass state is indexed, and the original space
+// of the input graph, in which removal passes are recorded for the
+// final Set. Compaction relabels order-preservingly, so ascending
+// current order is always ascending original order.
+type peelState struct {
+	pool  *par.Pool
+	g     *graph.Undirected // current CSR (input graph or a compaction of it)
+	n     int               // current CSR node count
+	origN int
+
+	origOf      []int32   // current id -> original id; nil = identity
+	live        []int32   // ascending current ids of the surviving vertices
+	liveRowVol  int64     // Σ CSR row length over live (the pull cost)
+	removedPass []int32   // current space; 0 = alive, else the removal pass
+	removedAt   []int32   // original space; 0 = never removed
+	deg         []int32   // live degrees (unweighted peelers)
+	wdeg        []float64 // live weighted degrees (weighted peeler)
+
+	col    *par.Collector
+	batch  []int32
+	router *par.Router
+	cs     [2]graph.CompactScratch
+	csTurn int
+}
+
+func newPeelState(g *graph.Undirected, pool *par.Pool, weighted bool) *peelState {
+	n := g.NumNodes()
+	st := &peelState{
+		pool: pool, g: g, n: n, origN: n,
+		live:        make([]int32, n),
+		liveRowVol:  2 * g.NumEdges(),
+		removedPass: make([]int32, n),
+		removedAt:   make([]int32, n),
+		col:         par.NewCollector(n),
+	}
+	if weighted {
+		st.wdeg = make([]float64, n)
+		pool.ForChunks(n, func(_, lo, hi int) {
+			for u := lo; u < hi; u++ {
+				st.live[u] = int32(u)
+				st.wdeg[u] = g.WeightedDegree(int32(u))
+			}
+		})
+	} else {
+		st.deg = make([]int32, n)
+		pool.ForChunks(n, func(_, lo, hi int) {
+			for u := lo; u < hi; u++ {
+				st.live[u] = int32(u)
+				st.deg[u] = int32(g.Degree(int32(u)))
+			}
+		})
+	}
+	return st
+}
+
+// orig maps a current vertex id back to its original id.
+func (st *peelState) orig(u int32) int32 {
+	if st.origOf == nil {
+		return u
+	}
+	return st.origOf[u]
+}
+
+// scanCandidates collects the live vertices with degree at most cut
+// into st.batch. The frontier is chunked by index and per-chunk
+// buffers merge in chunk order, so the batch is ascending and
+// identical for every worker count.
+func (st *peelState) scanCandidates(o Opts, cut float64) error {
+	st.col.Reset()
+	deg, live := st.deg, st.live
+	if err := st.pool.ForChunksCtx(o.Ctx, len(live), func(c, lo, hi int) {
+		for _, u := range live[lo:hi] {
+			if float64(deg[u]) <= cut {
+				st.col.Append(c, u)
+			}
+		}
+	}); err != nil {
+		return err
+	}
+	st.batch = st.col.Merge(st.batch[:0])
+	return nil
+}
+
+// scanCandidatesWeighted is scanCandidates over weighted degrees, with
+// the historical 1e-12 slack on the cut.
+func (st *peelState) scanCandidatesWeighted(o Opts, cut float64) error {
+	st.col.Reset()
+	wdeg, live := st.wdeg, st.live
+	if err := st.pool.ForChunksCtx(o.Ctx, len(live), func(c, lo, hi int) {
+		for _, u := range live[lo:hi] {
+			if wdeg[u] <= cut+1e-12 {
+				st.col.Append(c, u)
+			}
+		}
+	}); err != nil {
+		return err
+	}
+	st.batch = st.col.Merge(st.batch[:0])
+	return nil
+}
+
+// markRemoved stamps the batch's removal pass in both id spaces and
+// returns the batch's total CSR row volume — the cost of a push pass.
+func (st *peelState) markRemoved(batch []int32, pass int) int64 {
+	g := st.g
+	return st.pool.SumInt64(len(batch), func(_, lo, hi int) int64 {
+		var vol int64
+		for _, u := range batch[lo:hi] {
+			st.removedPass[u] = int32(pass)
+			st.removedAt[st.orig(u)] = int32(pass)
+			vol += int64(g.Degree(u))
+		}
+		return vol
+	})
+}
+
+// filterLive drops this pass's removals from the frontier and deducts
+// their row volume. The in-place ascending filter is sequential — it
+// is a single O(live) sweep over memory the candidate scan just
+// touched — and therefore trivially worker-invariant.
+func (st *peelState) filterLive(pushVol int64) {
+	live := st.live[:0]
+	for _, u := range st.live {
+		if st.removedPass[u] == 0 {
+			live = append(live, u)
+		}
+	}
+	st.live = live
+	st.liveRowVol -= pushVol
+}
+
+// pushDecrement walks the removed batch's adjacency and decrements the
+// degree of every live neighbor: sequentially for one worker, and
+// through the owned-lane router otherwise, so no path uses atomics. It
+// returns the number of edges removed this pass, counting an edge
+// between two batch members once (charged to its smaller endpoint).
+func (st *peelState) pushDecrement(batch []int32, pass int) int64 {
+	g, deg, rp := st.g, st.deg, st.removedPass
+	p32 := int32(pass)
+	if st.pool.Workers() == 1 {
+		var sub int64
+		for _, u := range batch {
+			for _, v := range g.Neighbors(u) {
+				if r := rp[v]; r == 0 {
+					deg[v]--
+					sub++
+				} else if r == p32 && u < v {
+					sub++
+				}
+			}
+		}
+		return sub
+	}
+	if st.router == nil {
+		st.router = par.NewRouter(st.origN)
+	}
+	st.router.Begin(par.NumChunks(len(batch)))
+	sub := st.pool.SumInt64(len(batch), func(c, lo, hi int) int64 {
+		var s int64
+		for _, u := range batch[lo:hi] {
+			for _, v := range g.Neighbors(u) {
+				if r := rp[v]; r == 0 {
+					st.router.Route(c, v)
+					s++
+				} else if r == p32 && u < v {
+					s++
+				}
+			}
+		}
+		return s
+	})
+	st.router.Drain(st.pool, func(_ int, ids []int32) {
+		for _, v := range ids {
+			deg[v]--
+		}
+	})
+	return sub
+}
+
+// pullRecount recomputes every survivor's degree directly from the CSR
+// and returns the surviving edge count; call after filterLive. Chosen
+// over push when the removed batch's adjacency outweighs the
+// survivors' (huge removal batches), where rescanning the survivors is
+// the cheaper direction.
+func (st *peelState) pullRecount() int64 {
+	g, deg, rp, live := st.g, st.deg, st.removedPass, st.live
+	total := st.pool.SumInt64(len(live), func(_, lo, hi int) int64 {
+		var s int64
+		for _, v := range live[lo:hi] {
+			cnt := int32(0)
+			for _, nb := range g.Neighbors(v) {
+				if rp[nb] == 0 {
+					cnt++
+				}
+			}
+			deg[v] = cnt
+			s += int64(cnt)
+		}
+		return s
+	})
+	return total / 2
+}
+
+// decrement applies one pass's removals to the degree state through
+// whichever direction is cheaper, compacts the CSR when the live set
+// has shrunk past the threshold, and returns the new surviving edge
+// count. When a pull pass and a compaction coincide — the huge-batch
+// case — the two fuse: compacting IS the pull (a survivor's row length
+// in the compacted CSR is exactly its live-neighbor count), so the
+// surviving adjacency is scanned once instead of twice. All paths
+// produce identical integer state; the choices are pure wall-clock
+// trades fixed by the graph shape.
+func (st *peelState) decrement(o Opts, batch []int32, pass int, edges, pushVol int64) int64 {
+	canCompact := st.n >= compactMinNodes
+	// The direction is the per-pass cost minimum — push touches the
+	// batch's rows, pull the survivors' — except that a due compaction
+	// (live set under 1/compactLiveDivisor of the CSR) tilts the choice
+	// toward pull while the rebuild is no more than twice the push
+	// cost: the same scan then also yields a dense CSR for every later
+	// pass. Survivors whose rows dwarf the batch's (low-ε sweeps over
+	// skewed graphs) keep pushing until the ratio improves.
+	due := canCompact && len(st.live)*compactLiveDivisor <= st.n
+	pull := pushVol > st.liveRowVol || (due && st.liveRowVol < 2*pushVol)
+	if o.hooks.mode != nil {
+		o.hooks.mode(pass, pull)
+	}
+	switch {
+	case pull && canCompact && len(st.live) > 0:
+		// An emptied frontier skips the rebuild: the loop is about to
+		// exit, so compacting to a zero-node CSR would be pure waste.
+		st.compact(o)
+		return st.g.NumEdges()
+	case pull:
+		return st.pullRecount()
+	default:
+		return edges - st.pushDecrement(batch, pass)
+	}
+}
+
+// weightedPull is the weighted decrement pass: each survivor pulls the
+// weights of its just-removed neighbors out of its weighted degree, in
+// adjacency order; an edge between two removed vertices is charged
+// once, to its larger endpoint. To keep the weighted trace
+// bit-identical across worker counts AND compactions, the float
+// reductions are grouped by fixed ChunkSize-id blocks of the ORIGINAL
+// vertex space: each original chunk's weight/edge partial is summed by
+// exactly one task in ascending original order (the frontier is sorted
+// and relabeling is order-preserving), and the caller folds the slots
+// in ascending chunk order — exactly the grouping a frontier-less
+// chunked sweep over [0, n) used, so the density trace never moves by
+// a ULP. A push direction is deliberately absent here: pushing would
+// reorder float subtractions into batch-adjacency order.
+//
+// Call BEFORE filterLive: st.live must still contain this pass's
+// removals.
+func (st *peelState) weightedPull(pass int, wslots []float64, eslots []int64) {
+	g, wdeg, rp, live := st.g, st.wdeg, st.removedPass, st.live
+	p32 := int32(pass)
+	chunks := par.NumChunks(st.origN)
+	st.pool.ForEach(chunks, func(c int) {
+		lo32 := int32(c * par.ChunkSize)
+		hi32 := lo32 + par.ChunkSize
+		i := sort.Search(len(live), func(i int) bool { return st.orig(live[i]) >= lo32 })
+		j := i + sort.Search(len(live)-i, func(j int) bool { return st.orig(live[i+j]) >= hi32 })
+		var wsub float64
+		var esub int64
+		for _, v := range live[i:j] {
+			switch {
+			case rp[v] == 0:
+				ws := g.NeighborWeights(v)
+				for k, u := range g.Neighbors(v) {
+					if rp[u] == p32 {
+						w := 1.0
+						if ws != nil {
+							w = ws[k]
+						}
+						wdeg[v] -= w
+						wsub += w
+						esub++
+					}
+				}
+			case rp[v] == p32:
+				ws := g.NeighborWeights(v)
+				for k, u := range g.Neighbors(v) {
+					if rp[u] == p32 && u < v {
+						w := 1.0
+						if ws != nil {
+							w = ws[k]
+						}
+						wsub += w
+						esub++
+					}
+				}
+			}
+		}
+		wslots[c] = wsub
+		eslots[c] = esub
+	})
+}
+
+// maybeCompactWeighted is the weighted peeler's end-of-pass compaction
+// policy. The weighted decrement can never fuse with a rebuild (its
+// float subtractions are pinned to original-chunk order), so a
+// compaction is a whole extra O(liveRowVol) scan over the surviving
+// rows. It pays only once those rows have actually decayed: when at
+// least half their entries point at dead neighbors (liveRowVol ≥
+// 2·2·edges), every future pass saves at least half the rebuild cost.
+// That shape arises when survivors are hubs that just lost their
+// leaves; a dense core whose rows are still mostly alive — the usual
+// power-law collapse — skips the rebuild, because it would trade a
+// full scan for marginal savings on the final pass or two.
+func (st *peelState) maybeCompactWeighted(o Opts, edges int64) {
+	if len(st.live) == 0 || st.n < compactMinNodes || len(st.live)*compactLiveDivisor > st.n {
+		return
+	}
+	if st.liveRowVol < 4*edges {
+		return
+	}
+	st.compact(o)
+}
+
+// compact rebuilds the CSR around the live set, remapping all
+// current-space state through the order-preserving relabel. Integer
+// degrees are read off the compacted row lengths — each row holds
+// exactly the live neighbors, which is what lets the unweighted pull
+// pass fuse into the rebuild; weighted degrees are running float
+// accumulators and are copied bit-exactly.
+func (st *peelState) compact(o Opts) {
+	keep := st.live
+	prevN := st.n
+	ng := st.g.CompactInto(keep, &st.cs[st.csTurn])
+	st.csTurn ^= 1
+	nn := len(keep)
+	origOf := make([]int32, nn)
+	for i, u := range keep {
+		origOf[i] = st.orig(u)
+	}
+	if st.deg != nil {
+		nd := make([]int32, nn)
+		for i := range nd {
+			nd[i] = int32(ng.Degree(int32(i)))
+		}
+		st.deg = nd
+	}
+	if st.wdeg != nil {
+		nw := make([]float64, nn)
+		for i, u := range keep {
+			nw[i] = st.wdeg[u]
+		}
+		st.wdeg = nw
+	}
+	st.removedPass = make([]int32, nn) // every kept vertex is alive
+	for i := range keep {
+		keep[i] = int32(i) // st.live aliases keep
+	}
+	st.g = ng
+	st.n = nn
+	st.origOf = origOf
+	st.liveRowVol = 2 * ng.NumEdges()
+	if o.hooks.compacted != nil {
+		o.hooks.compacted(nn, prevN)
+	}
+}
+
+// survivorsAfter returns the original-space nodes still alive strictly
+// after bestPass (removedAt == 0 means never removed).
+func survivorsAfter(removedAt []int32, bestPass int) []int32 {
+	var out []int32
+	for u, p := range removedAt {
+		if p == 0 || int(p) > bestPass {
+			out = append(out, int32(u))
+		}
+	}
+	return out
+}

@@ -1,0 +1,314 @@
+package core
+
+import (
+	"densestream/internal/graph"
+	"densestream/internal/par"
+)
+
+// directedState is the peelState analogue for Algorithm 3: two live
+// frontiers (S and T) over one shared, possibly compacted, directed
+// CSR. The same two-space id discipline applies — per-pass state is
+// current-space, removal passes are recorded in original space, and
+// compaction relabels order-preservingly.
+type directedState struct {
+	pool  *par.Pool
+	g     *graph.Directed
+	n     int
+	origN int
+
+	origOf                     []int32
+	removedPassS, removedPassT []int32 // current space; 0 = alive on that side
+	removedAtS, removedAtT     []int32 // original space
+	liveS, liveT               []int32 // ascending current ids per side
+	outdeg, indeg              []int32 // |E(u, T)| and |E(S, v)|
+	outRowVolS                 int64   // Σ out-row length over liveS
+	inRowVolT                  int64   // Σ in-row length over liveT
+
+	col    *par.Collector
+	batch  []int32
+	router *par.Router
+	cs     [2]graph.DirectedCompactScratch
+	csTurn int
+	aliveS []bool // compaction-time side filters, rebuilt on demand
+	aliveT []bool
+	union  []int32
+}
+
+func newDirectedState(g *graph.Directed, pool *par.Pool) *directedState {
+	n := g.NumNodes()
+	st := &directedState{
+		pool: pool, g: g, n: n, origN: n,
+		removedPassS: make([]int32, n),
+		removedPassT: make([]int32, n),
+		removedAtS:   make([]int32, n),
+		removedAtT:   make([]int32, n),
+		liveS:        make([]int32, n),
+		liveT:        make([]int32, n),
+		outdeg:       make([]int32, n),
+		indeg:        make([]int32, n),
+		outRowVolS:   g.NumEdges(),
+		inRowVolT:    g.NumEdges(),
+		col:          par.NewCollector(n),
+	}
+	pool.ForChunks(n, func(_, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			st.liveS[u] = int32(u)
+			st.liveT[u] = int32(u)
+			st.outdeg[u] = int32(g.OutDegree(int32(u)))
+			st.indeg[u] = int32(g.InDegree(int32(u)))
+		}
+	})
+	return st
+}
+
+func (st *directedState) orig(u int32) int32 {
+	if st.origOf == nil {
+		return u
+	}
+	return st.origOf[u]
+}
+
+// scanSide collects the live vertices of one side whose degree is at
+// most cut into st.batch, ascending and worker-invariant.
+func (st *directedState) scanSide(o Opts, live []int32, deg []int32, cut float64) error {
+	st.col.Reset()
+	if err := st.pool.ForChunksCtx(o.Ctx, len(live), func(c, lo, hi int) {
+		for _, u := range live[lo:hi] {
+			if float64(deg[u]) <= cut {
+				st.col.Append(c, u)
+			}
+		}
+	}); err != nil {
+		return err
+	}
+	st.batch = st.col.Merge(st.batch[:0])
+	return nil
+}
+
+// peelS removes st.batch from S and updates the in-degrees of the
+// surviving T side, returning the new E(S, T) count. Direction choice
+// as in peelState.decrement: push walks the batch's out-rows, pull
+// recounts every live T vertex's surviving in-degree.
+func (st *directedState) peelS(o Opts, pass int, edges int64) int64 {
+	g, batch := st.g, st.batch
+	p32 := int32(pass)
+	pushVol := st.pool.SumInt64(len(batch), func(_, lo, hi int) int64 {
+		var vol int64
+		for _, u := range batch[lo:hi] {
+			st.removedPassS[u] = p32
+			st.removedAtS[st.orig(u)] = p32
+			vol += int64(g.OutDegree(u))
+		}
+		return vol
+	})
+	st.liveS = filterSide(st.liveS, st.removedPassS)
+	st.outRowVolS -= pushVol
+	if pull := st.compactReady() || pushVol > st.inRowVolT; pull {
+		if o.hooks.mode != nil {
+			o.hooks.mode(pass, true)
+		}
+		if st.compactReady() {
+			// Fused pull+compact: the compacted in-row lengths ARE the
+			// surviving in-degrees (see compact). A due compaction also
+			// forces pull — the rebuild scans the surviving rows anyway.
+			st.compact(o)
+			return st.g.NumEdges()
+		}
+		rpS, indeg, liveT := st.removedPassS, st.indeg, st.liveT
+		return st.pool.SumInt64(len(liveT), func(_, lo, hi int) int64 {
+			var s int64
+			for _, v := range liveT[lo:hi] {
+				cnt := int32(0)
+				for _, u := range g.InNeighbors(v) {
+					if rpS[u] == 0 {
+						cnt++
+					}
+				}
+				indeg[v] = cnt
+				s += int64(cnt)
+			}
+			return s
+		})
+	}
+	if o.hooks.mode != nil {
+		o.hooks.mode(pass, false)
+	}
+	return edges - st.pushSide(batch, st.removedPassT, st.indeg, g.OutNeighbors)
+}
+
+// peelT is the mirror image of peelS.
+func (st *directedState) peelT(o Opts, pass int, edges int64) int64 {
+	g, batch := st.g, st.batch
+	p32 := int32(pass)
+	pushVol := st.pool.SumInt64(len(batch), func(_, lo, hi int) int64 {
+		var vol int64
+		for _, v := range batch[lo:hi] {
+			st.removedPassT[v] = p32
+			st.removedAtT[st.orig(v)] = p32
+			vol += int64(g.InDegree(v))
+		}
+		return vol
+	})
+	st.liveT = filterSide(st.liveT, st.removedPassT)
+	st.inRowVolT -= pushVol
+	if pull := st.compactReady() || pushVol > st.outRowVolS; pull {
+		if o.hooks.mode != nil {
+			o.hooks.mode(pass, true)
+		}
+		if st.compactReady() {
+			st.compact(o)
+			return st.g.NumEdges()
+		}
+		rpT, outdeg, liveS := st.removedPassT, st.outdeg, st.liveS
+		return st.pool.SumInt64(len(liveS), func(_, lo, hi int) int64 {
+			var s int64
+			for _, u := range liveS[lo:hi] {
+				cnt := int32(0)
+				for _, v := range g.OutNeighbors(u) {
+					if rpT[v] == 0 {
+						cnt++
+					}
+				}
+				outdeg[u] = cnt
+				s += int64(cnt)
+			}
+			return s
+		})
+	}
+	if o.hooks.mode != nil {
+		o.hooks.mode(pass, false)
+	}
+	return edges - st.pushSide(batch, st.removedPassS, st.outdeg, g.InNeighbors)
+}
+
+// pushSide walks the removed batch's cross rows and decrements the
+// opposite side's surviving degrees — owned-lane routed past one
+// worker, so no atomics — returning the number of edges dropped.
+func (st *directedState) pushSide(batch []int32, rpOther []int32, degOther []int32, rows func(int32) []int32) int64 {
+	if st.pool.Workers() == 1 {
+		var sub int64
+		for _, u := range batch {
+			for _, v := range rows(u) {
+				if rpOther[v] == 0 {
+					degOther[v]--
+					sub++
+				}
+			}
+		}
+		return sub
+	}
+	if st.router == nil {
+		st.router = par.NewRouter(st.origN)
+	}
+	st.router.Begin(par.NumChunks(len(batch)))
+	sub := st.pool.SumInt64(len(batch), func(c, lo, hi int) int64 {
+		var s int64
+		for _, u := range batch[lo:hi] {
+			for _, v := range rows(u) {
+				if rpOther[v] == 0 {
+					st.router.Route(c, v)
+					s++
+				}
+			}
+		}
+		return s
+	})
+	st.router.Drain(st.pool, func(_ int, ids []int32) {
+		for _, v := range ids {
+			degOther[v]--
+		}
+	})
+	return sub
+}
+
+// filterSide drops removed vertices from one side's frontier in place.
+func filterSide(live []int32, removedPass []int32) []int32 {
+	out := live[:0]
+	for _, u := range live {
+		if removedPass[u] == 0 {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// compactReady reports whether the two live sides have shrunk enough
+// to rebuild the directed CSR: together they cover at most half the
+// current vertex space. An emptied side means the run is about to
+// end, so no rebuild can pay off.
+func (st *directedState) compactReady() bool {
+	return st.n >= compactMinNodes && len(st.liveS) > 0 && len(st.liveT) > 0 &&
+		len(st.liveS)+len(st.liveT) <= st.n/2
+}
+
+// compact rebuilds the directed CSR around the union of the two live
+// sides. Both degree arrays are read off the compacted row lengths —
+// an out-row holds exactly the surviving T out-neighbors, an in-row
+// the surviving S in-neighbors — which is what lets the pull pass fuse
+// into the rebuild.
+func (st *directedState) compact(o Opts) {
+	prevN := st.n
+	// Union of two ascending frontiers, ascending.
+	st.union = st.union[:0]
+	i, j := 0, 0
+	for i < len(st.liveS) || j < len(st.liveT) {
+		switch {
+		case j >= len(st.liveT) || (i < len(st.liveS) && st.liveS[i] < st.liveT[j]):
+			st.union = append(st.union, st.liveS[i])
+			i++
+		case i >= len(st.liveS) || st.liveS[i] > st.liveT[j]:
+			st.union = append(st.union, st.liveT[j])
+			j++
+		default:
+			st.union = append(st.union, st.liveS[i])
+			i++
+			j++
+		}
+	}
+	keep := st.union
+	if cap(st.aliveS) < st.n {
+		st.aliveS = make([]bool, st.n)
+		st.aliveT = make([]bool, st.n)
+	}
+	aliveS, aliveT := st.aliveS[:st.n], st.aliveT[:st.n]
+	for u := 0; u < st.n; u++ {
+		aliveS[u] = st.removedPassS[u] == 0
+		aliveT[u] = st.removedPassT[u] == 0
+	}
+	ng := st.g.CompactInto(keep, aliveS, aliveT, &st.cs[st.csTurn])
+	st.csTurn ^= 1
+
+	nn := len(keep)
+	origOf := make([]int32, nn)
+	rpS := make([]int32, nn)
+	rpT := make([]int32, nn)
+	outdeg := make([]int32, nn)
+	indeg := make([]int32, nn)
+	liveS, liveT := st.liveS[:0], st.liveT[:0]
+	for i, u := range keep {
+		origOf[i] = st.orig(u)
+		rpS[i] = st.removedPassS[u]
+		rpT[i] = st.removedPassT[u]
+		outdeg[i] = int32(ng.OutDegree(int32(i)))
+		indeg[i] = int32(ng.InDegree(int32(i)))
+		if rpS[i] == 0 {
+			liveS = append(liveS, int32(i))
+		}
+		if rpT[i] == 0 {
+			liveT = append(liveT, int32(i))
+		}
+	}
+	st.g = ng
+	st.n = nn
+	st.origOf = origOf
+	st.removedPassS, st.removedPassT = rpS, rpT
+	st.outdeg, st.indeg = outdeg, indeg
+	st.liveS, st.liveT = liveS, liveT
+	// Compacted rows hold exactly the surviving cross edges on both
+	// views, so both live row volumes equal the compacted edge count.
+	st.outRowVolS = ng.NumEdges()
+	st.inRowVolT = ng.NumEdges()
+	if o.hooks.compacted != nil {
+		o.hooks.compacted(nn, prevN)
+	}
+}

@@ -1,0 +1,486 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+
+	"densestream/internal/graph"
+	"densestream/internal/par"
+)
+
+// This file preserves, verbatim, the pre-layout-work peeling engines —
+// full-range candidate scans, atomic push decrements, chunked pull for
+// the weighted path, no frontier and no compaction. They are the
+// oracle of the parity sweep in parity_test.go: the cache-blocked
+// engines must reproduce their Results bit for bit (set, density,
+// passes, trace) on every graph, objective, ε, and worker count.
+
+func referenceUndirected(g *graph.Undirected, eps float64, o Opts) (*Result, error) {
+	if err := checkEps(eps); err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, graph.ErrEmptyGraph
+	}
+	pool := o.pool()
+
+	alive := make([]bool, n)
+	deg := make([]int32, n)
+	pool.ForChunks(n, func(_, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			alive[u] = true
+			deg[u] = int32(g.Degree(int32(u)))
+		}
+	})
+	removedAt := make([]int, n)
+	edges := g.NumEdges()
+	nodes := n
+
+	bestPass := 0
+	bestDensity := g.Density()
+	trace := []PassStat{{Pass: 0, Nodes: nodes, Edges: edges, Density: bestDensity}}
+
+	threshold := 2 * (1 + eps)
+	pass := 0
+	col := par.NewCollector(n)
+	var batch []int32
+	for nodes > 0 {
+		pass++
+		rho := float64(edges) / float64(nodes)
+		cut := threshold * rho
+		col.Reset()
+		pool.ForChunks(n, func(c, lo, hi int) {
+			for u := lo; u < hi; u++ {
+				if alive[u] && float64(deg[u]) <= cut {
+					col.Append(c, int32(u))
+				}
+			}
+		})
+		batch = col.Merge(batch[:0])
+		if len(batch) == 0 {
+			return nil, fmt.Errorf("core: pass %d removed no nodes (ρ=%v)", pass, rho)
+		}
+		pool.ForChunks(len(batch), func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				u := batch[i]
+				alive[u] = false
+				removedAt[u] = pass
+			}
+		})
+		edges -= pool.SumInt64(len(batch), func(_, lo, hi int) int64 {
+			var sub int64
+			for i := lo; i < hi; i++ {
+				u := batch[i]
+				for _, v := range g.Neighbors(u) {
+					if alive[v] {
+						atomic.AddInt32(&deg[v], -1)
+						sub++
+					} else if removedAt[v] == pass && u < v {
+						sub++
+					}
+				}
+			}
+			return sub
+		})
+		nodes -= len(batch)
+		var rhoAfter float64
+		if nodes > 0 {
+			rhoAfter = float64(edges) / float64(nodes)
+		}
+		trace = append(trace, PassStat{Pass: pass, Nodes: nodes, Edges: edges, Density: rhoAfter, Removed: len(batch)})
+		if nodes > 0 && rhoAfter > bestDensity {
+			bestDensity = rhoAfter
+			bestPass = pass
+		}
+	}
+
+	return &Result{
+		Set:     refSurvivors(removedAt, bestPass),
+		Density: bestDensity,
+		Passes:  pass,
+		Trace:   trace,
+	}, nil
+}
+
+func referenceUndirectedWeighted(g *graph.Undirected, eps float64, o Opts) (*Result, error) {
+	if err := checkEps(eps); err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, graph.ErrEmptyGraph
+	}
+	pool := o.pool()
+
+	alive := make([]bool, n)
+	wdeg := make([]float64, n)
+	pool.ForChunks(n, func(_, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			alive[u] = true
+			wdeg[u] = g.WeightedDegree(int32(u))
+		}
+	})
+	removedAt := make([]int, n)
+	weight := g.TotalWeight()
+	var edges int64 = g.NumEdges()
+	nodes := n
+
+	bestPass := 0
+	bestDensity := g.Density()
+	trace := []PassStat{{Pass: 0, Nodes: nodes, Edges: edges, Density: bestDensity}}
+
+	threshold := 2 * (1 + eps)
+	pass := 0
+	col := par.NewCollector(n)
+	var batch []int32
+	wslots := make([]float64, par.NumChunks(n))
+	eslots := make([]int64, par.NumChunks(n))
+	for nodes > 0 {
+		pass++
+		rho := weight / float64(nodes)
+		cut := threshold * rho
+		col.Reset()
+		pool.ForChunks(n, func(c, lo, hi int) {
+			for u := lo; u < hi; u++ {
+				if alive[u] && wdeg[u] <= cut+1e-12 {
+					col.Append(c, int32(u))
+				}
+			}
+		})
+		batch = col.Merge(batch[:0])
+		if len(batch) == 0 {
+			return nil, fmt.Errorf("core: weighted pass %d removed no nodes (ρ=%v)", pass, rho)
+		}
+		pool.ForChunks(len(batch), func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				u := batch[i]
+				alive[u] = false
+				removedAt[u] = pass
+			}
+		})
+		pool.ForChunks(n, func(c, lo, hi int) {
+			var wsub float64
+			var esub int64
+			for v := lo; v < hi; v++ {
+				switch {
+				case alive[v]:
+					ws := g.NeighborWeights(int32(v))
+					for i, u := range g.Neighbors(int32(v)) {
+						if removedAt[u] == pass {
+							w := 1.0
+							if ws != nil {
+								w = ws[i]
+							}
+							wdeg[v] -= w
+							wsub += w
+							esub++
+						}
+					}
+				case removedAt[v] == pass:
+					ws := g.NeighborWeights(int32(v))
+					for i, u := range g.Neighbors(int32(v)) {
+						if removedAt[u] == pass && u < int32(v) {
+							w := 1.0
+							if ws != nil {
+								w = ws[i]
+							}
+							wsub += w
+							esub++
+						}
+					}
+				}
+			}
+			wslots[c] = wsub
+			eslots[c] = esub
+		})
+		for c := range wslots {
+			weight -= wslots[c]
+			edges -= eslots[c]
+		}
+		nodes -= len(batch)
+		if weight < 0 && weight > -1e-9 {
+			weight = 0
+		}
+		var rhoAfter float64
+		if nodes > 0 {
+			rhoAfter = weight / float64(nodes)
+		}
+		trace = append(trace, PassStat{Pass: pass, Nodes: nodes, Edges: edges, Density: rhoAfter, Removed: len(batch)})
+		if nodes > 0 && rhoAfter > bestDensity {
+			bestDensity = rhoAfter
+			bestPass = pass
+		}
+	}
+
+	return &Result{
+		Set:     refSurvivors(removedAt, bestPass),
+		Density: bestDensity,
+		Passes:  pass,
+		Trace:   trace,
+	}, nil
+}
+
+func referenceAtLeastK(g *graph.Undirected, k int, eps float64, o Opts) (*Result, error) {
+	if err := checkEps(eps); err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, graph.ErrEmptyGraph
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("core: k=%d out of range [1,%d]", k, n)
+	}
+	pool := o.pool()
+
+	alive := make([]bool, n)
+	deg := make([]int32, n)
+	pool.ForChunks(n, func(_, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			alive[u] = true
+			deg[u] = int32(g.Degree(int32(u)))
+		}
+	})
+	removedAt := make([]int, n)
+	edges := g.NumEdges()
+	nodes := n
+
+	bestPass := -1
+	bestDensity := -1.0
+	if nodes >= k {
+		bestPass = 0
+		bestDensity = g.Density()
+	}
+	trace := []PassStat{{Pass: 0, Nodes: nodes, Edges: edges, Density: g.Density()}}
+
+	threshold := 2 * (1 + eps)
+	frac := eps / (1 + eps)
+	pass := 0
+	col := par.NewCollector(n)
+	var candidates []int32
+	for nodes >= k {
+		pass++
+		rho := float64(edges) / float64(nodes)
+		cut := threshold * rho
+		col.Reset()
+		pool.ForChunks(n, func(c, lo, hi int) {
+			for u := lo; u < hi; u++ {
+				if alive[u] && float64(deg[u]) <= cut {
+					col.Append(c, int32(u))
+				}
+			}
+		})
+		candidates = col.Merge(candidates[:0])
+		if len(candidates) == 0 {
+			return nil, fmt.Errorf("core: pass %d found no candidates (ρ=%v)", pass, rho)
+		}
+		quota := int(frac * float64(nodes))
+		if quota < 1 {
+			quota = 1
+		}
+		if quota > len(candidates) {
+			quota = len(candidates)
+		}
+		sort.Slice(candidates, func(i, j int) bool {
+			if deg[candidates[i]] != deg[candidates[j]] {
+				return deg[candidates[i]] < deg[candidates[j]]
+			}
+			return candidates[i] < candidates[j]
+		})
+		batch := candidates[:quota]
+		pool.ForChunks(len(batch), func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				u := batch[i]
+				alive[u] = false
+				removedAt[u] = pass
+			}
+		})
+		edges -= pool.SumInt64(len(batch), func(_, lo, hi int) int64 {
+			var sub int64
+			for i := lo; i < hi; i++ {
+				u := batch[i]
+				for _, v := range g.Neighbors(u) {
+					if alive[v] {
+						atomic.AddInt32(&deg[v], -1)
+						sub++
+					} else if removedAt[v] == pass && u < v {
+						sub++
+					}
+				}
+			}
+			return sub
+		})
+		nodes -= len(batch)
+		var rhoAfter float64
+		if nodes > 0 {
+			rhoAfter = float64(edges) / float64(nodes)
+		}
+		trace = append(trace, PassStat{Pass: pass, Nodes: nodes, Edges: edges, Density: rhoAfter, Removed: len(batch)})
+		if nodes >= k && rhoAfter > bestDensity {
+			bestDensity = rhoAfter
+			bestPass = pass
+		}
+	}
+	if bestPass < 0 {
+		return nil, fmt.Errorf("core: no intermediate subgraph of size >= %d", k)
+	}
+
+	return &Result{
+		Set:     refSurvivors(removedAt, bestPass),
+		Density: bestDensity,
+		Passes:  pass,
+		Trace:   trace,
+	}, nil
+}
+
+func referenceDirected(g *graph.Directed, c, eps float64, o Opts) (*DirectedResult, error) {
+	if err := checkEps(eps); err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, graph.ErrEmptyGraph
+	}
+	pool := o.pool()
+
+	aliveS := make([]bool, n)
+	aliveT := make([]bool, n)
+	outdeg := make([]int32, n)
+	indeg := make([]int32, n)
+	pool.ForChunks(n, func(_, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			aliveS[u] = true
+			aliveT[u] = true
+			outdeg[u] = int32(g.OutDegree(int32(u)))
+			indeg[u] = int32(g.InDegree(int32(u)))
+		}
+	})
+	removedAtS := make([]int, n)
+	removedAtT := make([]int, n)
+	edges := g.NumEdges()
+	sizeS, sizeT := n, n
+
+	density := func() float64 {
+		if sizeS == 0 || sizeT == 0 {
+			return 0
+		}
+		return float64(edges) / math.Sqrt(float64(sizeS)*float64(sizeT))
+	}
+
+	bestPass := 0
+	bestDensity := density()
+	trace := []DirectedPassStat{{
+		Pass: 0, SizeS: sizeS, SizeT: sizeT, Edges: edges,
+		Density: bestDensity, PeeledSide: '-',
+	}}
+
+	pass := 0
+	col := par.NewCollector(n)
+	var batch []int32
+	for sizeS > 0 && sizeT > 0 {
+		pass++
+		var stat DirectedPassStat
+		if float64(sizeS) >= c*float64(sizeT) {
+			cut := (1 + eps) * float64(edges) / float64(sizeS)
+			col.Reset()
+			pool.ForChunks(n, func(ch, lo, hi int) {
+				for u := lo; u < hi; u++ {
+					if aliveS[u] && float64(outdeg[u]) <= cut {
+						col.Append(ch, int32(u))
+					}
+				}
+			})
+			batch = col.Merge(batch[:0])
+			if len(batch) == 0 {
+				return nil, fmt.Errorf("core: directed pass %d removed no S nodes", pass)
+			}
+			pool.ForChunks(len(batch), func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					u := batch[i]
+					aliveS[u] = false
+					removedAtS[u] = pass
+				}
+			})
+			edges -= pool.SumInt64(len(batch), func(_, lo, hi int) int64 {
+				var sub int64
+				for i := lo; i < hi; i++ {
+					for _, v := range g.OutNeighbors(batch[i]) {
+						if aliveT[v] {
+							atomic.AddInt32(&indeg[v], -1)
+							sub++
+						}
+					}
+				}
+				return sub
+			})
+			sizeS -= len(batch)
+			stat = DirectedPassStat{RemovedS: len(batch), PeeledSide: 'S'}
+		} else {
+			cut := (1 + eps) * float64(edges) / float64(sizeT)
+			col.Reset()
+			pool.ForChunks(n, func(ch, lo, hi int) {
+				for u := lo; u < hi; u++ {
+					if aliveT[u] && float64(indeg[u]) <= cut {
+						col.Append(ch, int32(u))
+					}
+				}
+			})
+			batch = col.Merge(batch[:0])
+			if len(batch) == 0 {
+				return nil, fmt.Errorf("core: directed pass %d removed no T nodes", pass)
+			}
+			pool.ForChunks(len(batch), func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					v := batch[i]
+					aliveT[v] = false
+					removedAtT[v] = pass
+				}
+			})
+			edges -= pool.SumInt64(len(batch), func(_, lo, hi int) int64 {
+				var sub int64
+				for i := lo; i < hi; i++ {
+					for _, u := range g.InNeighbors(batch[i]) {
+						if aliveS[u] {
+							atomic.AddInt32(&outdeg[u], -1)
+							sub++
+						}
+					}
+				}
+				return sub
+			})
+			sizeT -= len(batch)
+			stat = DirectedPassStat{RemovedT: len(batch), PeeledSide: 'T'}
+		}
+		stat.Pass = pass
+		stat.SizeS = sizeS
+		stat.SizeT = sizeT
+		stat.Edges = edges
+		stat.Density = density()
+		trace = append(trace, stat)
+		if stat.Density > bestDensity {
+			bestDensity = stat.Density
+			bestPass = pass
+		}
+	}
+
+	return &DirectedResult{
+		S:       refSurvivors(removedAtS, bestPass),
+		T:       refSurvivors(removedAtT, bestPass),
+		Density: bestDensity,
+		Passes:  pass,
+		Trace:   trace,
+	}, nil
+}
+
+func refSurvivors(removedAt []int, bestPass int) []int32 {
+	var out []int32
+	for u, p := range removedAt {
+		if p == 0 || p > bestPass {
+			out = append(out, int32(u))
+		}
+	}
+	return out
+}

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"sync/atomic"
 
 	"densestream/internal/graph"
 	"densestream/internal/par"
@@ -30,10 +29,10 @@ func Undirected(g *graph.Undirected, eps float64) (*Result, error) {
 }
 
 // UndirectedOpts is Undirected with an explicit execution configuration.
-// The candidate scan shards the vertex range across workers with
-// per-chunk batch buffers merged in index order, and the decrement loop
-// shards the removed batch with atomic degree updates, so the result is
-// bit-identical to the sequential run for every worker count.
+// The candidate scan walks the live-vertex frontier in fixed chunks with
+// per-chunk batch buffers merged in index order; degree updates run
+// push- or pull-directed with owned-lane merges (see peel.go), so the
+// result is bit-identical to the sequential run for every worker count.
 func UndirectedOpts(g *graph.Undirected, eps float64, o Opts) (*Result, error) {
 	if err := checkEps(eps); err != nil {
 		return nil, err
@@ -48,17 +47,7 @@ func UndirectedOpts(g *graph.Undirected, eps float64, o Opts) (*Result, error) {
 	if g.Weighted() {
 		return nil, fmt.Errorf("core: Undirected needs an unweighted graph; use UndirectedWeighted")
 	}
-	pool := o.pool()
-
-	alive := make([]bool, n)
-	deg := make([]int32, n)
-	pool.ForChunks(n, func(_, lo, hi int) {
-		for u := lo; u < hi; u++ {
-			alive[u] = true
-			deg[u] = int32(g.Degree(int32(u)))
-		}
-	})
-	removedAt := make([]int, n) // pass in which the node was removed; 0 = never
+	st := newPeelState(g, o.pool(), false)
 	edges := g.NumEdges()
 	nodes := n
 
@@ -68,8 +57,6 @@ func UndirectedOpts(g *graph.Undirected, eps float64, o Opts) (*Result, error) {
 
 	threshold := 2 * (1 + eps)
 	pass := 0
-	col := par.NewCollector(n)
-	var batch []int32
 	for nodes > 0 {
 		if err := o.Checkpoint(trace[len(trace)-1]); err != nil {
 			return nil, &PartialError{Passes: pass, Trace: trace, Err: err}
@@ -77,45 +64,18 @@ func UndirectedOpts(g *graph.Undirected, eps float64, o Opts) (*Result, error) {
 		pass++
 		rho := float64(edges) / float64(nodes)
 		cut := threshold * rho
-		col.Reset()
-		if err := pool.ForChunksCtx(o.Ctx, n, func(c, lo, hi int) {
-			for u := lo; u < hi; u++ {
-				if alive[u] && float64(deg[u]) <= cut {
-					col.Append(c, int32(u))
-				}
-			}
-		}); err != nil {
+		if err := st.scanCandidates(o, cut); err != nil {
 			return nil, &PartialError{Passes: pass - 1, Trace: trace, Err: err}
 		}
-		batch = col.Merge(batch[:0])
+		batch := st.batch
 		if len(batch) == 0 {
 			// Unreachable: a minimum-degree node always satisfies
 			// deg ≤ 2ρ ≤ cut. Guard against float surprises regardless.
 			return nil, fmt.Errorf("core: pass %d removed no nodes (ρ=%v)", pass, rho)
 		}
-		pool.ForChunks(len(batch), func(_, lo, hi int) {
-			for i := lo; i < hi; i++ {
-				u := batch[i]
-				alive[u] = false
-				removedAt[u] = pass
-			}
-		})
-		edges -= pool.SumInt64(len(batch), func(_, lo, hi int) int64 {
-			var sub int64
-			for i := lo; i < hi; i++ {
-				u := batch[i]
-				for _, v := range g.Neighbors(u) {
-					if alive[v] {
-						atomic.AddInt32(&deg[v], -1)
-						sub++
-					} else if removedAt[v] == pass && u < v {
-						// Both endpoints removed this pass; count the edge once.
-						sub++
-					}
-				}
-			}
-			return sub
-		})
+		pushVol := st.markRemoved(batch, pass)
+		st.filterLive(pushVol)
+		edges = st.decrement(o, batch, pass, edges, pushVol)
 		nodes -= len(batch)
 		var rhoAfter float64
 		if nodes > 0 {
@@ -129,7 +89,7 @@ func UndirectedOpts(g *graph.Undirected, eps float64, o Opts) (*Result, error) {
 	}
 
 	return &Result{
-		Set:     survivorsAfter(removedAt, bestPass),
+		Set:     survivorsAfter(st.removedAt, bestPass),
 		Density: bestDensity,
 		Passes:  pass,
 		Trace:   trace,
@@ -145,10 +105,10 @@ func UndirectedWeighted(g *graph.Undirected, eps float64) (*Result, error) {
 
 // UndirectedWeightedOpts is UndirectedWeighted with an explicit
 // execution configuration. Because float accumulation is order
-// sensitive, the decrement loop is pull-based: each chunk owns a vertex
-// range and subtracts the weights of that range's just-removed
-// neighbors in adjacency order, with per-chunk weight partials merged
-// in chunk order — deterministic for every worker count.
+// sensitive, the decrement pass is always pull-based and its partials
+// are grouped by fixed chunks of the original vertex space (see
+// peelState.weightedPull) — deterministic for every worker count, and
+// stable across CSR compactions.
 func UndirectedWeightedOpts(g *graph.Undirected, eps float64, o Opts) (*Result, error) {
 	if err := checkEps(eps); err != nil {
 		return nil, err
@@ -160,17 +120,7 @@ func UndirectedWeightedOpts(g *graph.Undirected, eps float64, o Opts) (*Result, 
 	if n == 0 {
 		return nil, graph.ErrEmptyGraph
 	}
-	pool := o.pool()
-
-	alive := make([]bool, n)
-	wdeg := make([]float64, n)
-	pool.ForChunks(n, func(_, lo, hi int) {
-		for u := lo; u < hi; u++ {
-			alive[u] = true
-			wdeg[u] = g.WeightedDegree(int32(u))
-		}
-	})
-	removedAt := make([]int, n)
+	st := newPeelState(g, o.pool(), true)
 	weight := g.TotalWeight()
 	var edges int64 = g.NumEdges()
 	nodes := n
@@ -181,8 +131,6 @@ func UndirectedWeightedOpts(g *graph.Undirected, eps float64, o Opts) (*Result, 
 
 	threshold := 2 * (1 + eps)
 	pass := 0
-	col := par.NewCollector(n)
-	var batch []int32
 	wslots := make([]float64, par.NumChunks(n))
 	eslots := make([]int64, par.NumChunks(n))
 	for nodes > 0 {
@@ -192,72 +140,20 @@ func UndirectedWeightedOpts(g *graph.Undirected, eps float64, o Opts) (*Result, 
 		pass++
 		rho := weight / float64(nodes)
 		cut := threshold * rho
-		col.Reset()
-		if err := pool.ForChunksCtx(o.Ctx, n, func(c, lo, hi int) {
-			for u := lo; u < hi; u++ {
-				if alive[u] && wdeg[u] <= cut+1e-12 {
-					col.Append(c, int32(u))
-				}
-			}
-		}); err != nil {
+		if err := st.scanCandidatesWeighted(o, cut); err != nil {
 			return nil, &PartialError{Passes: pass - 1, Trace: trace, Err: err}
 		}
-		batch = col.Merge(batch[:0])
+		batch := st.batch
 		if len(batch) == 0 {
 			return nil, fmt.Errorf("core: weighted pass %d removed no nodes (ρ=%v)", pass, rho)
 		}
-		pool.ForChunks(len(batch), func(_, lo, hi int) {
-			for i := lo; i < hi; i++ {
-				u := batch[i]
-				alive[u] = false
-				removedAt[u] = pass
-			}
-		})
-		// Pull-based decrement: each chunk updates only the weighted
-		// degrees of its own vertex range, scanning adjacency in
-		// ascending-neighbor order (the same subtraction order a
-		// sequential push over the ascending batch produces). An edge
-		// between two just-removed nodes is charged once, to its larger
-		// endpoint.
-		pool.ForChunks(n, func(c, lo, hi int) {
-			var wsub float64
-			var esub int64
-			for v := lo; v < hi; v++ {
-				switch {
-				case alive[v]:
-					ws := g.NeighborWeights(int32(v))
-					for i, u := range g.Neighbors(int32(v)) {
-						if removedAt[u] == pass {
-							w := 1.0
-							if ws != nil {
-								w = ws[i]
-							}
-							wdeg[v] -= w
-							wsub += w
-							esub++
-						}
-					}
-				case removedAt[v] == pass:
-					ws := g.NeighborWeights(int32(v))
-					for i, u := range g.Neighbors(int32(v)) {
-						if removedAt[u] == pass && u < int32(v) {
-							w := 1.0
-							if ws != nil {
-								w = ws[i]
-							}
-							wsub += w
-							esub++
-						}
-					}
-				}
-			}
-			wslots[c] = wsub
-			eslots[c] = esub
-		})
+		pushVol := st.markRemoved(batch, pass)
+		st.weightedPull(pass, wslots, eslots)
 		for c := range wslots {
 			weight -= wslots[c]
 			edges -= eslots[c]
 		}
+		st.filterLive(pushVol)
 		nodes -= len(batch)
 		if weight < 0 && weight > -1e-9 {
 			weight = 0 // clamp float drift at the very end
@@ -271,10 +167,11 @@ func UndirectedWeightedOpts(g *graph.Undirected, eps float64, o Opts) (*Result, 
 			bestDensity = rhoAfter
 			bestPass = pass
 		}
+		st.maybeCompactWeighted(o, edges)
 	}
 
 	return &Result{
-		Set:     survivorsAfter(removedAt, bestPass),
+		Set:     survivorsAfter(st.removedAt, bestPass),
 		Density: bestDensity,
 		Passes:  pass,
 		Trace:   trace,
@@ -286,16 +183,4 @@ func checkEps(eps float64) error {
 		return fmt.Errorf("core: epsilon must be a finite value >= 0, got %v", eps)
 	}
 	return nil
-}
-
-// survivorsAfter returns the nodes still alive strictly after bestPass
-// (removedAt == 0 means never removed).
-func survivorsAfter(removedAt []int, bestPass int) []int32 {
-	var out []int32
-	for u, p := range removedAt {
-		if p == 0 || p > bestPass {
-			out = append(out, int32(u))
-		}
-	}
-	return out
 }

@@ -1,0 +1,197 @@
+package graph
+
+// Compaction support for the peeling hot loops: once most vertices of a
+// frozen CSR are dead, every remaining pass still walks adjacency rows
+// full of removed neighbors scattered across the original layout. The
+// peel engines periodically rebuild a dense CSR of the surviving
+// subgraph so later passes scan compact, cache-resident adjacency.
+//
+// Relabeling is order-preserving (keep[i] becomes node i), the same
+// ascending-id relabel the LabelMap loaders and InducedSubgraph use, so
+// any scan in ascending new-id order visits vertices in ascending
+// original-id order — which is what lets the engines keep their
+// bit-identical determinism contract across compactions.
+
+// CompactScratch holds the reusable buffers behind CompactInto, so a
+// peel run that compacts several times allocates each buffer class once
+// (buffers only grow). The zero value is ready to use. A scratch must
+// not be reused while a graph returned from a CompactInto call on it is
+// still alive: the returned graph aliases the scratch storage.
+type CompactScratch struct {
+	offsets []int32
+	adj     []int32
+	weights []float64
+	newID   []int32
+}
+
+// grow returns buf resized to n, reallocating only when capacity is
+// insufficient.
+func grow[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
+}
+
+// newIDs fills s.newID with the order-preserving relabel of keep over
+// [0, n): keep[i] maps to i, everything else to -1.
+func (s *CompactScratch) newIDs(n int, keep []int32) []int32 {
+	s.newID = grow(s.newID, n)
+	ids := s.newID
+	for i := range ids {
+		ids[i] = -1
+	}
+	for i, u := range keep {
+		ids[u] = int32(i)
+	}
+	return ids
+}
+
+// CompactInto builds the subgraph of g induced by keep — ascending,
+// duplicate-free node ids — into the scratch buffers and returns it.
+// Adjacency order is preserved: the neighbors of a kept vertex appear
+// in the same relative order as in g, restricted to kept vertices, and
+// edge weights are copied bit-exactly. The returned graph aliases s;
+// it dies when s is next reused.
+func (g *Undirected) CompactInto(keep []int32, s *CompactScratch) *Undirected {
+	n := len(keep)
+	newID := s.newIDs(g.n, keep)
+
+	s.offsets = grow(s.offsets, n+1)
+	offsets := s.offsets
+	offsets[0] = 0
+	for i, u := range keep {
+		cnt := int32(0)
+		for _, v := range g.Neighbors(u) {
+			if newID[v] >= 0 {
+				cnt++
+			}
+		}
+		offsets[i+1] = offsets[i] + cnt
+	}
+	total := int(offsets[n])
+	s.adj = grow(s.adj, total)
+	adj := s.adj
+	weighted := g.weights != nil
+	var weights []float64
+	if weighted {
+		s.weights = grow(s.weights, total)
+		weights = s.weights
+	}
+	var totalW float64
+	for i, u := range keep {
+		cur := offsets[i]
+		ws := g.NeighborWeights(u)
+		for j, v := range g.Neighbors(u) {
+			nv := newID[v]
+			if nv < 0 {
+				continue
+			}
+			adj[cur] = nv
+			if weighted {
+				w := ws[j]
+				weights[cur] = w
+				if nv > int32(i) {
+					totalW += w
+				}
+			}
+			cur++
+		}
+	}
+	m := int64(total) / 2
+	if !weighted {
+		totalW = float64(m)
+	}
+	return &Undirected{n: n, offsets: offsets, adj: adj, weights: weights, m: m, totalW: totalW}
+}
+
+// DirectedCompactScratch is the directed analogue of CompactScratch.
+type DirectedCompactScratch struct {
+	outOffsets []int32
+	outAdj     []int32
+	inOffsets  []int32
+	inAdj      []int32
+	newID      []int32
+}
+
+func (s *DirectedCompactScratch) newIDs(n int, keep []int32) []int32 {
+	s.newID = grow(s.newID, n)
+	ids := s.newID
+	for i := range ids {
+		ids[i] = -1
+	}
+	for i, u := range keep {
+		ids[u] = int32(i)
+	}
+	return ids
+}
+
+// CompactInto builds the surviving directed subgraph induced by keep
+// (ascending, duplicate-free; typically the union of the live S and T
+// sides of Algorithm 3) into the scratch buffers. Because out-rows are
+// only ever scanned for vertices still alive in S and in-rows for
+// vertices still alive in T, rows of dead-side vertices compact to
+// empty and surviving rows keep only the cross-alive edges: the
+// out-row of u is its T-alive out-neighbors when aliveS[u], the in-row
+// of v its S-alive in-neighbors when aliveT[v]. Both views then
+// describe exactly E(S, T), adjacency order preserved. The returned
+// graph aliases s.
+func (g *Directed) CompactInto(keep []int32, aliveS, aliveT []bool, s *DirectedCompactScratch) *Directed {
+	n := len(keep)
+	newID := s.newIDs(g.n, keep)
+
+	s.outOffsets = grow(s.outOffsets, n+1)
+	s.inOffsets = grow(s.inOffsets, n+1)
+	outOffsets, inOffsets := s.outOffsets, s.inOffsets
+	outOffsets[0], inOffsets[0] = 0, 0
+	for i, u := range keep {
+		outCnt, inCnt := int32(0), int32(0)
+		if aliveS[u] {
+			for _, v := range g.OutNeighbors(u) {
+				if newID[v] >= 0 && aliveT[v] {
+					outCnt++
+				}
+			}
+		}
+		if aliveT[u] {
+			for _, v := range g.InNeighbors(u) {
+				if newID[v] >= 0 && aliveS[v] {
+					inCnt++
+				}
+			}
+		}
+		outOffsets[i+1] = outOffsets[i] + outCnt
+		inOffsets[i+1] = inOffsets[i] + inCnt
+	}
+	s.outAdj = grow(s.outAdj, int(outOffsets[n]))
+	s.inAdj = grow(s.inAdj, int(inOffsets[n]))
+	outAdj, inAdj := s.outAdj, s.inAdj
+	for i, u := range keep {
+		if aliveS[u] {
+			cur := outOffsets[i]
+			for _, v := range g.OutNeighbors(u) {
+				if nv := newID[v]; nv >= 0 && aliveT[v] {
+					outAdj[cur] = nv
+					cur++
+				}
+			}
+		}
+		if aliveT[u] {
+			cur := inOffsets[i]
+			for _, v := range g.InNeighbors(u) {
+				if nv := newID[v]; nv >= 0 && aliveS[v] {
+					inAdj[cur] = nv
+					cur++
+				}
+			}
+		}
+	}
+	return &Directed{
+		n:          n,
+		outOffsets: outOffsets,
+		outAdj:     outAdj,
+		inOffsets:  inOffsets,
+		inAdj:      inAdj,
+		m:          int64(outOffsets[n]),
+	}
+}

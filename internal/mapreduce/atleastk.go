@@ -152,5 +152,5 @@ func AtLeastKOpts(g *graph.Undirected, k int, eps float64, cfg Config, o core.Op
 			set = append(set, int32(u))
 		}
 	}
-	return &MRResult{Set: set, Density: bestDensity, Passes: pass, Rounds: rounds, SpilledBytes: e.SpilledBytes()}, nil
+	return &MRResult{Set: set, Density: bestDensity, Passes: pass, Rounds: rounds, SpilledBytes: e.SpilledBytes(), StragglerReruns: e.StragglerReruns()}, nil
 }

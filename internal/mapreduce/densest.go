@@ -37,6 +37,9 @@ type MRResult struct {
 	// SpilledBytes totals the bytes the run wrote to spill files under
 	// the Config.SpillBytes budget (0 for a fully resident run).
 	SpilledBytes int64
+	// StragglerReruns counts the map tasks dropped and re-executed
+	// under Config.Straggler (0 when the simulation is off).
+	StragglerReruns int64
 }
 
 // AsPassStat projects a round onto the shared per-pass stat shape; the
@@ -205,7 +208,7 @@ func UndirectedOpts(g *graph.Undirected, eps float64, cfg Config, o core.Opts) (
 			set = append(set, int32(u))
 		}
 	}
-	return &MRResult{Set: set, Density: bestDensity, Passes: pass, Rounds: rounds, SpilledBytes: e.SpilledBytes()}, nil
+	return &MRResult{Set: set, Density: bestDensity, Passes: pass, Rounds: rounds, SpilledBytes: e.SpilledBytes(), StragglerReruns: e.StragglerReruns()}, nil
 }
 
 // StreamEquivalent re-runs the same algorithm through the streaming

@@ -34,6 +34,9 @@ type MRDirectedResult struct {
 	// SpilledBytes totals the bytes the run wrote to spill files under
 	// the Config.SpillBytes budget (0 for a fully resident run).
 	SpilledBytes int64
+	// StragglerReruns counts the map tasks dropped and re-executed
+	// under Config.Straggler (0 when the simulation is off).
+	StragglerReruns int64
 }
 
 // AsDirectedPassStat projects a directed round onto the shared directed
@@ -211,5 +214,5 @@ func DirectedOpts(g *graph.Directed, c, eps float64, cfg Config, o core.Opts) (*
 			setT = append(setT, int32(u))
 		}
 	}
-	return &MRDirectedResult{S: setS, T: setT, Density: bestDensity, Passes: pass, Rounds: rounds, SpilledBytes: e.SpilledBytes()}, nil
+	return &MRDirectedResult{S: setS, T: setT, Density: bestDensity, Passes: pass, Rounds: rounds, SpilledBytes: e.SpilledBytes(), StragglerReruns: e.StragglerReruns()}, nil
 }

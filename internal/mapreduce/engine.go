@@ -103,6 +103,18 @@ type Config struct {
 	// spill directory; "" means the OS temp dir. The engine removes its
 	// spill directory on Cleanup.
 	SpillDir string
+
+	// Straggler simulates a lost map task on every job whose input
+	// dataset has a spilled partition: after the map phase, the output
+	// of the map shard covering the first spilled partition is dropped
+	// and the shard is re-executed — re-reading its input range, spill
+	// files included, through the same scan path. Because a shard's
+	// bucket output is a function of its input range alone, the re-run
+	// reproduces it exactly and every result stays bit-identical; the
+	// re-executions are counted in MRResult.StragglerReruns. This is
+	// the failure/straggler recovery model of a real cluster: a lost
+	// task restarts from its durable input split.
+	Straggler bool
 }
 
 // DefaultConfig is a small single-machine cluster suitable for tests
@@ -181,6 +193,10 @@ type Engine struct {
 	spillDir string
 	spillSeq int
 	spilled  atomic.Int64
+
+	// stragglerReruns counts the map tasks dropped and re-executed
+	// under Config.Straggler.
+	stragglerReruns atomic.Int64
 }
 
 // NewEngine normalizes the config (see Config.Normalize) and brings up
@@ -221,6 +237,10 @@ func (e *Engine) spillPath() (string, error) {
 	return filepath.Join(e.spillDir, fmt.Sprintf("part-%06d.spill", e.spillSeq)), nil
 }
 
+// StragglerReruns reports how many map tasks the engine has dropped
+// and re-executed under Config.Straggler.
+func (e *Engine) StragglerReruns() int64 { return e.stragglerReruns.Load() }
+
 // Cleanup removes the engine's spill directory and every spill file in
 // it. The drivers defer it; standalone Engine users that enable
 // SpillBytes should too. Safe to call multiple times.
@@ -251,6 +271,29 @@ func shardBounds(s, n int) (lo, hi int) {
 // partIndex maps a key to its shuffle partition.
 func partIndex[K comparable](partition func(K) uint64, k K) int {
 	return int(partition(k) % NumPartitions)
+}
+
+// stragglerShard returns the map shard whose input range covers the
+// first record of the first spilled partition of in, if any — the task
+// Config.Straggler drops and re-runs. total is the job's full input
+// length (dataset plus extra records).
+func stragglerShard[K comparable, V any](in *Dataset[K, V], total int) (int, bool) {
+	if in == nil || in.spills == nil || total == 0 {
+		return 0, false
+	}
+	off := 0
+	for p := range in.parts {
+		if in.spills[p] != nil && in.spills[p].Records > 0 {
+			for s := 0; s < NumMapShards; s++ {
+				if lo, hi := shardBounds(s, total); lo <= off && off < hi {
+					return s, true
+				}
+			}
+			return 0, false
+		}
+		off += in.partLen(p)
+	}
+	return 0, false
 }
 
 // Dataset is a record collection resident on the simulated cluster,
@@ -623,11 +666,13 @@ func RunJob[K1 comparable, V1 any, K2 cmp.Ordered, V2 any, V3 any](
 
 	// Map phase: workers claim fixed input shards; each shard owns a
 	// private set of per-partition output buckets, so no locking is
-	// needed until the shuffle.
+	// needed until the shuffle. mapShard is a pure function of its
+	// input range, which is what makes the straggler re-run below (and
+	// a real cluster's task retry) safe.
 	mapStart := time.Now()
 	buckets := make([][][]Pair[K2, V2], NumMapShards)
 	mapErrs := make([]error, NumMapShards)
-	e.mapPool.ForEach(NumMapShards, func(s int) {
+	mapShard := func(s int) {
 		lo, hi := shardBounds(s, n)
 		if lo >= hi {
 			return
@@ -664,7 +709,20 @@ func RunJob[K1 comparable, V1 any, K2 cmp.Ordered, V2 any, V3 any](
 			p := partIndex(partition, k)
 			local[p] = append(local[p], Pair[K2, V2]{Key: k, Value: combineFn(k, groups[k])})
 		}
-	})
+	}
+	e.mapPool.ForEach(NumMapShards, mapShard)
+	// Straggler simulation: lose the map task covering the first
+	// spilled input partition — its buckets are discarded mid-job —
+	// and recover it by re-running the shard, which re-reads its input
+	// range (the spill file included) through the same scan path.
+	if e.cfg.Straggler {
+		if s, ok := stragglerShard(in, n); ok {
+			buckets[s] = nil
+			mapErrs[s] = nil
+			mapShard(s)
+			e.stragglerReruns.Add(1)
+		}
+	}
 	stats.MapWall = time.Since(mapStart)
 	for _, err := range mapErrs {
 		if err != nil {

@@ -1,0 +1,78 @@
+package par
+
+import (
+	"testing"
+)
+
+// TestRouterScatterGather checks the owned-lane scatter against a
+// direct sequential apply: decrements routed through any worker count
+// land exactly once each, with no slot collisions.
+func TestRouterScatterGather(t *testing.T) {
+	const n = 100000
+	targets := make([]int32, 0, 3*n)
+	for i := 0; i < 3*n; i++ {
+		targets = append(targets, int32((i*7919)%n))
+	}
+	want := make([]int64, n)
+	for _, v := range targets {
+		want[v]++
+	}
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		pool := New(workers)
+		r := NewRouter(n)
+		got := make([]int64, n)
+		r.Begin(NumChunks(len(targets)))
+		pool.ForChunks(len(targets), func(c, lo, hi int) {
+			for _, v := range targets[lo:hi] {
+				r.Route(c, v)
+			}
+		})
+		r.Drain(pool, func(lane int, ids []int32) {
+			lo, hi := int32(lane*LaneWidth), int32((lane+1)*LaneWidth)
+			for _, v := range ids {
+				if v < lo || v >= hi {
+					t.Errorf("workers=%d: id %d drained in lane %d [%d,%d)", workers, v, lane, lo, hi)
+					return
+				}
+				got[v]++
+			}
+		})
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("workers=%d: node %d got %d applications, want %d", workers, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+// TestRouterReuse checks Begin resets buckets across passes, including
+// shrinking the producer chunk count.
+func TestRouterReuse(t *testing.T) {
+	pool := New(4)
+	r := NewRouter(3 * LaneWidth)
+	for pass := 0; pass < 3; pass++ {
+		k := NumChunks(4096 >> pass)
+		r.Begin(k)
+		pool.ForChunks(4096>>pass, func(c, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				r.Route(c, int32(i%(3*LaneWidth)))
+			}
+		})
+		total := 0
+		r.Drain(pool, func(_ int, ids []int32) { total += len(ids) })
+		if total != 4096>>pass {
+			t.Fatalf("pass %d: drained %d ids, want %d", pass, total, 4096>>pass)
+		}
+	}
+}
+
+func TestNumLanes(t *testing.T) {
+	for _, tc := range []struct{ n, want int }{
+		{0, 0}, {1, 1}, {LaneWidth, 1}, {LaneWidth + 1, 2}, {10 * LaneWidth, 10},
+	} {
+		if got := NumLanes(tc.n); got != tc.want {
+			t.Errorf("NumLanes(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}

@@ -52,9 +52,15 @@ func (c *ExactCounter) MemoryWords() int { return len(c.counts) }
 // chunk of the node range is folded by exactly one worker, and integer
 // addition makes the merge order irrelevant), after which Estimate
 // serves exact counts.
+//
+// Each lane tracks which par.ChunkSize-aligned blocks it has touched
+// since the last Reset, so Reset and Fold cost O(touched) rather than
+// O(lanes·n): in the late passes of a peel, when only a shrinking core
+// is still alive, the per-pass counter maintenance shrinks with it.
 type StripedCounter struct {
 	n     int
 	lanes [][]int64
+	dirty [][]bool // dirty[l][b]: lane l touched block b since Reset
 }
 
 // NewStripedCounter returns a striped counter over n nodes with the
@@ -63,9 +69,14 @@ func NewStripedCounter(n, lanes int) *StripedCounter {
 	if lanes < 1 {
 		lanes = 1
 	}
-	c := &StripedCounter{n: n, lanes: make([][]int64, lanes)}
+	c := &StripedCounter{
+		n:     n,
+		lanes: make([][]int64, lanes),
+		dirty: make([][]bool, lanes),
+	}
 	for i := range c.lanes {
 		c.lanes[i] = make([]int64, n)
+		c.dirty[i] = make([]bool, par.NumChunks(n))
 	}
 	return c
 }
@@ -73,28 +84,43 @@ func NewStripedCounter(n, lanes int) *StripedCounter {
 // Lanes returns the number of lanes.
 func (c *StripedCounter) Lanes() int { return len(c.lanes) }
 
-// Reset clears every lane for a new pass.
+// Reset clears every touched block for a new pass.
 func (c *StripedCounter) Reset(pool *par.Pool) {
 	pool.RunTasks(len(c.lanes), func(i int) {
-		lane := c.lanes[i]
-		for j := range lane {
-			lane[j] = 0
+		lane, dirty := c.lanes[i], c.dirty[i]
+		for b := range dirty {
+			if !dirty[b] {
+				continue
+			}
+			lo, hi := par.ChunkBounds(b, c.n)
+			for j := lo; j < hi; j++ {
+				lane[j] = 0
+			}
+			dirty[b] = false
 		}
 	})
 }
 
 // AddLane counts one edge incident on node u in the given lane. Only
 // the worker owning that lane may call it.
-func (c *StripedCounter) AddLane(lane int, u int32) { c.lanes[lane][u]++ }
+func (c *StripedCounter) AddLane(lane int, u int32) {
+	c.lanes[lane][u]++
+	c.dirty[lane][int(u)/par.ChunkSize] = true
+}
 
-// Fold merges all lanes into lane 0, chunk-parallel over the node range.
+// Fold merges all lanes into lane 0, block-parallel over the node
+// range, skipping blocks no lane touched.
 func (c *StripedCounter) Fold(pool *par.Pool) {
 	if len(c.lanes) == 1 {
 		return
 	}
-	base := c.lanes[0]
-	pool.ForChunks(c.n, func(_, lo, hi int) {
-		for _, lane := range c.lanes[1:] {
+	base, baseDirty := c.lanes[0], c.dirty[0]
+	pool.ForChunks(c.n, func(b, lo, hi int) {
+		for l, lane := range c.lanes[1:] {
+			if !c.dirty[l+1][b] {
+				continue
+			}
+			baseDirty[b] = true
 			for u := lo; u < hi; u++ {
 				base[u] += lane[u]
 			}
@@ -115,10 +141,16 @@ func (c *StripedCounter) MemoryWords() int { return len(c.lanes) * c.n }
 // the input shape only (never the worker count), each lane accumulates
 // exactly one shard's edges in stream order, and Fold merges lanes into
 // lane 0 in ascending lane order per node. Any worker count therefore
-// performs the identical sequence of additions.
+// performs the identical sequence of additions. Skipping an untouched
+// block skips only exact-zero additions (weights are positive, so no
+// lane ever holds -0.0), which cannot move any sum by a ULP.
+//
+// Like StripedCounter, each lane tracks its touched blocks so Reset
+// and Fold cost O(touched) instead of O(lanes·n).
 type FloatStripedCounter struct {
 	n     int
 	lanes [][]float64
+	dirty [][]bool
 }
 
 // NewFloatStripedCounter returns a float striped counter over n nodes
@@ -127,9 +159,14 @@ func NewFloatStripedCounter(n, lanes int) *FloatStripedCounter {
 	if lanes < 1 {
 		lanes = 1
 	}
-	c := &FloatStripedCounter{n: n, lanes: make([][]float64, lanes)}
+	c := &FloatStripedCounter{
+		n:     n,
+		lanes: make([][]float64, lanes),
+		dirty: make([][]bool, lanes),
+	}
 	for i := range c.lanes {
 		c.lanes[i] = make([]float64, n)
+		c.dirty[i] = make([]bool, par.NumChunks(n))
 	}
 	return c
 }
@@ -137,30 +174,45 @@ func NewFloatStripedCounter(n, lanes int) *FloatStripedCounter {
 // Lanes returns the number of lanes.
 func (c *FloatStripedCounter) Lanes() int { return len(c.lanes) }
 
-// Reset clears every lane for a new pass.
+// Reset clears every touched block for a new pass.
 func (c *FloatStripedCounter) Reset(pool *par.Pool) {
 	pool.RunTasks(len(c.lanes), func(i int) {
-		lane := c.lanes[i]
-		for j := range lane {
-			lane[j] = 0
+		lane, dirty := c.lanes[i], c.dirty[i]
+		for b := range dirty {
+			if !dirty[b] {
+				continue
+			}
+			lo, hi := par.ChunkBounds(b, c.n)
+			for j := lo; j < hi; j++ {
+				lane[j] = 0
+			}
+			dirty[b] = false
 		}
 	})
 }
 
 // AddLane accumulates weight w on node u in the given lane. Only the
 // worker owning that lane may call it.
-func (c *FloatStripedCounter) AddLane(lane int, u int32, w float64) { c.lanes[lane][u] += w }
+func (c *FloatStripedCounter) AddLane(lane int, u int32, w float64) {
+	c.lanes[lane][u] += w
+	c.dirty[lane][int(u)/par.ChunkSize] = true
+}
 
-// Fold merges all lanes into lane 0, chunk-parallel over the node
-// range; per node the lanes are added in ascending lane order, so the
-// float grouping is fixed by the decomposition, not the scheduling.
+// Fold merges all lanes into lane 0, block-parallel over the node
+// range, skipping blocks no lane touched; per node the lanes are added
+// in ascending lane order, so the float grouping is fixed by the
+// decomposition, not the scheduling.
 func (c *FloatStripedCounter) Fold(pool *par.Pool) {
 	if len(c.lanes) == 1 {
 		return
 	}
-	base := c.lanes[0]
-	pool.ForChunks(c.n, func(_, lo, hi int) {
-		for _, lane := range c.lanes[1:] {
+	base, baseDirty := c.lanes[0], c.dirty[0]
+	pool.ForChunks(c.n, func(b, lo, hi int) {
+		for l, lane := range c.lanes[1:] {
+			if !c.dirty[l+1][b] {
+				continue
+			}
+			baseDirty[b] = true
 			for u := lo; u < hi; u++ {
 				base[u] += lane[u]
 			}

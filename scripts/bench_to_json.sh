@@ -1,11 +1,14 @@
 #!/bin/sh
 # bench_to_json.sh — convert `go test -bench` output into a small JSON
-# document mapping benchmark name to ns/op, so CI runs leave a
+# document mapping benchmark name to ns/op (plus B/op and allocs/op
+# when the benchmark reports allocations), so CI runs leave a
 # machine-readable perf data point (BENCH_ci.json) per commit.
 #
 # Repeated runs of the same benchmark (go test -count=N) collapse to
 # the minimum ns/op — the standard way to suppress scheduler noise, and
-# what makes the bench_trend.sh gate usable with a hard threshold.
+# what makes the bench_trend.sh gate usable with a hard threshold. The
+# B/op and allocs/op values are taken from that same fastest run (they
+# are deterministic per run anyway).
 #
 # Usage:
 #   go test -bench=BenchmarkTable1 -benchtime=1x -count=3 -run='^$' . | scripts/bench_to_json.sh > BENCH_ci.json
@@ -13,7 +16,8 @@
 #
 # Output:
 #   {"schema":"densestream-bench/v1","goos":...,"goarch":...,"cpu":...,
-#    "benchmarks":[{"name":"BenchmarkFoo/workers=4","iterations":1,"ns_per_op":123.4}, ...]}
+#    "benchmarks":[{"name":"BenchmarkFoo/workers=4","iterations":1,"ns_per_op":123.4,
+#                   "bytes_per_op":456,"allocs_per_op":7}, ...]}
 set -eu
 
 awk '
@@ -22,23 +26,31 @@ function jescape(s) { gsub(/\\/, "\\\\", s); gsub(/"/, "\\\"", s); return s }
 /^goarch: / { goarch = $2 }
 /^cpu: /    { sub(/^cpu: /, ""); cpu = $0 }
 /^Benchmark/ {
-    # Fields: name iterations value "ns/op" [more metrics...]; the name
-    # carries a -GOMAXPROCS suffix on multi-proc runs.
+    # Fields: name iterations value "ns/op" [value "B/op"] [value
+    # "allocs/op"] [more metrics...]; the name carries a -GOMAXPROCS
+    # suffix on multi-proc runs.
+    rowns = ""; rowb = ""; rowa = ""
     for (i = 2; i <= NF; i++) {
-        if ($i == "ns/op") {
-            name = $1
-            sub(/-[0-9]+$/, "", name)
-            if (!(name in ns)) { order[++n] = name; ns[name] = $(i - 1) + 0; iters[name] = $2 }
-            else if ($(i - 1) + 0 < ns[name]) { ns[name] = $(i - 1) + 0; iters[name] = $2 }
-            break
-        }
+        if ($i == "ns/op")     rowns = $(i - 1) + 0
+        if ($i == "B/op")      rowb  = $(i - 1) + 0
+        if ($i == "allocs/op") rowa  = $(i - 1) + 0
+    }
+    if (rowns == "") next
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    if (!(name in ns) || rowns < ns[name]) {
+        if (!(name in ns)) order[++n] = name
+        ns[name] = rowns; iters[name] = $2; bop[name] = rowb; aop[name] = rowa
     }
 }
 END {
     if (!n) { print "no benchmark lines found" > "/dev/stderr"; exit 1 }
     for (j = 1; j <= n; j++) {
         name = order[j]
-        printf "    {\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s}", jescape(name), iters[name], ns[name]
+        printf "    {\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s", jescape(name), iters[name], ns[name]
+        if (bop[name] != "") printf ",\"bytes_per_op\":%s", bop[name]
+        if (aop[name] != "") printf ",\"allocs_per_op\":%s", aop[name]
+        printf "}"
         printf (j < n) ? ",\n" : "\n"
     }
     printf "  ],\n"

@@ -2,13 +2,14 @@
 # bench_trend.sh — compare a fresh BENCH_ci.json against the committed
 # baseline and fail when a benchmark regressed by more than the
 # threshold. This is the perf-trajectory gate: CI emits a fresh data
-# point per run (scripts/bench_to_json.sh) and this script keeps
-# BenchmarkParallelPeel from silently losing its multi-core scaling.
+# point per run (scripts/bench_to_json.sh) and this script keeps the
+# gated sweeps from silently losing their throughput.
 #
 # Usage:
-#   scripts/bench_trend.sh BASELINE.json FRESH.json [name-prefix] [max-ratio]
+#   scripts/bench_trend.sh BASELINE.json FRESH.json [allowlist] [max-ratio]
 #
-#   name-prefix  only benchmarks whose name starts with this compare
+#   allowlist    comma-separated benchmark-name prefixes; a benchmark
+#                is gated when its name starts with any of them
 #                (default: BenchmarkParallelPeel)
 #   max-ratio    fail when fresh_ns > baseline_ns * max-ratio
 #                (default: 1.30, i.e. a >30% regression)
@@ -17,9 +18,9 @@
 # gate, so adding or renaming benchmarks doesn't break CI.
 set -eu
 
-baseline=${1:?usage: bench_trend.sh BASELINE.json FRESH.json [prefix] [max-ratio]}
-fresh=${2:?usage: bench_trend.sh BASELINE.json FRESH.json [prefix] [max-ratio]}
-prefix=${3:-BenchmarkParallelPeel}
+baseline=${1:?usage: bench_trend.sh BASELINE.json FRESH.json [allowlist] [max-ratio]}
+fresh=${2:?usage: bench_trend.sh BASELINE.json FRESH.json [allowlist] [max-ratio]}
+allowlist=${3:-BenchmarkParallelPeel}
 maxratio=${4:-1.30}
 
 # Extract "name ns_per_op" lines from the one-benchmark-per-line JSON
@@ -43,9 +44,16 @@ trap 'rm -f "$old" "$new"' EXIT
 extract "$baseline" > "$old"
 extract "$fresh" > "$new"
 
-awk -v prefix="$prefix" -v maxratio="$maxratio" '
+awk -v allowlist="$allowlist" -v maxratio="$maxratio" '
+BEGIN { np = split(allowlist, prefixes, ",") }
+function gated(name,    i) {
+    for (i = 1; i <= np; i++) {
+        if (prefixes[i] != "" && index(name, prefixes[i]) == 1) return 1
+    }
+    return 0
+}
 NR == FNR { base[$1] = $2; next }
-index($1, prefix) == 1 {
+gated($1) {
     seen++
     if (!($1 in base)) { printf "new (no baseline):  %s  %.0f ns/op\n", $1, $2; next }
     ratio = $2 / base[$1]
@@ -54,6 +62,6 @@ index($1, prefix) == 1 {
     printf "%-11s %s  %.0f -> %.0f ns/op  (x%.2f, limit x%.2f)\n", status, $1, base[$1], $2, ratio, maxratio
 }
 END {
-    if (!seen) { print "bench_trend: no benchmarks matching prefix \"" prefix "\" in fresh run" > "/dev/stderr"; exit 1 }
+    if (!seen) { print "bench_trend: no benchmarks matching allowlist \"" allowlist "\" in fresh run" > "/dev/stderr"; exit 1 }
     if (failed) { print "bench_trend: " failed " benchmark(s) regressed beyond x" maxratio > "/dev/stderr"; exit 1 }
 }' "$old" "$new"
