@@ -6,11 +6,11 @@ GO ?= go
 # Benchmarks gated by the perf-trajectory trend (comma-separated
 # name-prefix allowlist for scripts/bench_trend.sh) and the go test
 # -bench pattern + packages that produce them.
-BENCH_GATED = BenchmarkParallelPeel,BenchmarkMapReducePeel,BenchmarkMapReduceSpill,BenchmarkFileStreamPeel,BenchmarkCore
-BENCH_PATTERN = BenchmarkTable1|BenchmarkParallelPeel|BenchmarkMapReducePeel|BenchmarkMapReduceSpill|BenchmarkFileStreamPeel|BenchmarkCore
-BENCH_PKGS = . ./internal/core
+BENCH_GATED = BenchmarkParallelPeel,BenchmarkMapReducePeel,BenchmarkMapReduceSpill,BenchmarkFileStreamPeel,BenchmarkCore,BenchmarkServe
+BENCH_PATTERN = BenchmarkTable1|BenchmarkParallelPeel|BenchmarkMapReducePeel|BenchmarkMapReduceSpill|BenchmarkFileStreamPeel|BenchmarkCore|BenchmarkServe
+BENCH_PKGS = . ./internal/core ./internal/serve
 
-.PHONY: build test race bench bench-core bench-mr bench-json bench-trend fmt fmt-check vet api-check api-snapshot ci
+.PHONY: build test race bench bench-core bench-mr bench-json bench-trend fmt fmt-check vet api-check api-snapshot serve-smoke deprecated-check ci
 
 build:
 	$(GO) build ./...
@@ -65,6 +65,17 @@ api-snapshot:
 	$(GO) doc -all . > API.txt
 	@echo "API.txt refreshed"
 
+# Boot the densestd daemon on a loopback port and check that one HTTP
+# solve per objective x backend is bit-identical to the in-process
+# Solve — the service-parity acceptance gate.
+serve-smoke:
+	$(GO) run ./cmd/densestd -smoke
+
+# Fail when cmd/ or internal/ code still calls a deprecated entry
+# point instead of the Solve front door.
+deprecated-check:
+	scripts/check_deprecated.sh
+
 fmt:
 	gofmt -w .
 
@@ -76,4 +87,4 @@ vet:
 
 # bench-trend mirrors CI's gate; refresh the committed baseline
 # deliberately with `make bench-json`.
-ci: build vet fmt-check api-check test race bench-trend
+ci: build vet fmt-check api-check deprecated-check test race serve-smoke bench-trend

@@ -41,9 +41,10 @@ type GreedyResult = charikar.Result
 // densest intermediate subgraph. It guarantees ρ(S̃) ≥ ρ*(G)/(2+2ε) and
 // makes O(log_{1+ε} n) passes.
 //
-// Deprecated: use Solve with ObjectiveUndirected on BackendPeel; it
-// adds context cancellation and progress hooks. This wrapper returns
-// bit-identical results.
+// Deprecated: use the Solve front door, which adds context
+// cancellation and progress hooks and returns bit-identical results:
+//
+//	Solve(ctx, Problem{Objective: ObjectiveUndirected, Backend: BackendPeel, Eps: eps, Graph: g})
 func Undirected(g *UndirectedGraph, eps float64, opts ...Option) (*Result, error) {
 	sol, err := Solve(context.Background(), Problem{Objective: ObjectiveUndirected, Backend: BackendPeel, Eps: eps, Graph: g}, opts...)
 	if err != nil {
@@ -55,7 +56,9 @@ func Undirected(g *UndirectedGraph, eps float64, opts ...Option) (*Result, error
 // UndirectedWeighted is Undirected over weighted degrees; it accepts
 // unweighted graphs too (treated as unit weights).
 //
-// Deprecated: use Solve with ObjectiveWeighted on BackendPeel.
+// Deprecated: use the Solve front door:
+//
+//	Solve(ctx, Problem{Objective: ObjectiveWeighted, Backend: BackendPeel, Eps: eps, Graph: g})
 func UndirectedWeighted(g *UndirectedGraph, eps float64, opts ...Option) (*Result, error) {
 	sol, err := Solve(context.Background(), Problem{Objective: ObjectiveWeighted, Backend: BackendPeel, Eps: eps, Graph: g}, opts...)
 	if err != nil {
@@ -68,7 +71,9 @@ func UndirectedWeighted(g *UndirectedGraph, eps float64, opts ...Option) (*Resul
 // and density within (3+3ε) of the best subgraph of size ≥ k — within
 // (2+2ε) when the optimal such subgraph has more than k nodes.
 //
-// Deprecated: use Solve with ObjectiveAtLeastK on BackendPeel.
+// Deprecated: use the Solve front door:
+//
+//	Solve(ctx, Problem{Objective: ObjectiveAtLeastK, Backend: BackendPeel, Eps: eps, K: k, Graph: g})
 func AtLeastK(g *UndirectedGraph, k int, eps float64, opts ...Option) (*Result, error) {
 	sol, err := Solve(context.Background(), Problem{Objective: ObjectiveAtLeastK, Backend: BackendPeel, K: k, Eps: eps, Graph: g}, opts...)
 	if err != nil {
@@ -80,7 +85,9 @@ func AtLeastK(g *UndirectedGraph, k int, eps float64, opts ...Option) (*Result, 
 // Directed runs Algorithm 3 for a fixed ratio guess c = |S*|/|T*|,
 // guaranteeing a (2+2ε)-approximation when c is correct.
 //
-// Deprecated: use Solve with ObjectiveDirected on BackendPeel.
+// Deprecated: use the Solve front door:
+//
+//	Solve(ctx, Problem{Objective: ObjectiveDirected, Backend: BackendPeel, Eps: eps, C: c, Directed: g})
 func Directed(g *DirectedGraph, c, eps float64, opts ...Option) (*DirectedResult, error) {
 	sol, err := Solve(context.Background(), Problem{Objective: ObjectiveDirected, Backend: BackendPeel, C: c, Eps: eps, Directed: g}, opts...)
 	if err != nil {
@@ -92,7 +99,10 @@ func Directed(g *DirectedGraph, c, eps float64, opts ...Option) (*DirectedResult
 // DirectedSweep tries c = δ^j for all j covering [1/n, n] and returns the
 // best result; the sweep costs at most a factor δ in approximation.
 //
-// Deprecated: use Solve with ObjectiveDirectedSweep on BackendPeel.
+// Deprecated: use the Solve front door (the sweep detail lands in
+// Solution.Sweep):
+//
+//	Solve(ctx, Problem{Objective: ObjectiveDirectedSweep, Eps: eps, Delta: delta, Directed: g})
 func DirectedSweep(g *DirectedGraph, delta, eps float64, opts ...Option) (*SweepResult, error) {
 	sol, err := Solve(context.Background(), Problem{Objective: ObjectiveDirectedSweep, Backend: BackendPeel, Delta: delta, Eps: eps, Directed: g}, opts...)
 	if err != nil {
@@ -106,7 +116,10 @@ func DirectedSweep(g *DirectedGraph, delta, eps float64, opts ...Option) (*Sweep
 // paper's Table 2). Exponentially smaller graphs than the streaming
 // algorithms handle — intended for ground truth at moderate scale.
 //
-// Deprecated: use Solve with ObjectiveExact on BackendPeel.
+// Deprecated: use the Solve front door (the exact ratio lands in
+// Solution.ExactNumer/ExactDenom):
+//
+//	Solve(ctx, Problem{Objective: ObjectiveExact, Graph: g})
 func Exact(g *UndirectedGraph) (*ExactResult, error) {
 	return flow.ExactDensest(g)
 }
@@ -114,15 +127,19 @@ func Exact(g *UndirectedGraph) (*ExactResult, error) {
 // Greedy runs Charikar's greedy 2-approximation (remove one minimum-
 // degree node at a time), the algorithm the paper's Algorithm 1 relaxes.
 //
-// Deprecated: use Solve with ObjectiveGreedy on BackendPeel.
+// Deprecated: use the Solve front door:
+//
+//	Solve(ctx, Problem{Objective: ObjectiveGreedy, Graph: g})
 func Greedy(g *UndirectedGraph) (*GreedyResult, error) {
 	return charikar.Densest(g)
 }
 
 // GreedyWeighted is Greedy over weighted degrees.
 //
-// Deprecated: use Solve with ObjectiveGreedy on BackendPeel (weighted
-// graphs use weighted degrees automatically).
+// Deprecated: use the Solve front door — weighted graphs use weighted
+// degrees automatically:
+//
+//	Solve(ctx, Problem{Objective: ObjectiveGreedy, Graph: g})
 func GreedyWeighted(g *UndirectedGraph) (*GreedyResult, error) {
 	return charikar.DensestWeighted(g)
 }
@@ -171,7 +188,10 @@ type MRDirectedResult = mapreduce.MRDirectedResult
 // exactly, and are bit-identical for every cluster shape given with
 // WithMapReduceConfig.
 //
-// Deprecated: use Solve with ObjectiveUndirected on BackendMapReduce.
+// Deprecated: use the Solve front door (round traces land in
+// Solution.MRRounds):
+//
+//	Solve(ctx, Problem{Objective: ObjectiveUndirected, Backend: BackendMapReduce, Eps: eps, Graph: g})
 func MapReduce(g *UndirectedGraph, eps float64, opts ...Option) (*MRResult, error) {
 	sol, err := Solve(context.Background(), Problem{Objective: ObjectiveUndirected, Backend: BackendMapReduce, Eps: eps, Graph: g}, opts...)
 	if err != nil {
@@ -182,7 +202,9 @@ func MapReduce(g *UndirectedGraph, eps float64, opts ...Option) (*MRResult, erro
 
 // MapReduceDirected runs Algorithm 3 as MapReduce rounds for a fixed c.
 //
-// Deprecated: use Solve with ObjectiveDirected on BackendMapReduce.
+// Deprecated: use the Solve front door:
+//
+//	Solve(ctx, Problem{Objective: ObjectiveDirected, Backend: BackendMapReduce, Eps: eps, C: c, Directed: g})
 func MapReduceDirected(g *DirectedGraph, c, eps float64, opts ...Option) (*MRDirectedResult, error) {
 	sol, err := Solve(context.Background(), Problem{Objective: ObjectiveDirected, Backend: BackendMapReduce, C: c, Eps: eps, Directed: g}, opts...)
 	if err != nil {
@@ -194,7 +216,9 @@ func MapReduceDirected(g *DirectedGraph, c, eps float64, opts ...Option) (*MRDir
 // MapReduceAtLeastK runs Algorithm 2 as MapReduce rounds; results match
 // AtLeastK exactly.
 //
-// Deprecated: use Solve with ObjectiveAtLeastK on BackendMapReduce.
+// Deprecated: use the Solve front door:
+//
+//	Solve(ctx, Problem{Objective: ObjectiveAtLeastK, Backend: BackendMapReduce, Eps: eps, K: k, Graph: g})
 func MapReduceAtLeastK(g *UndirectedGraph, k int, eps float64, opts ...Option) (*MRResult, error) {
 	sol, err := Solve(context.Background(), Problem{Objective: ObjectiveAtLeastK, Backend: BackendMapReduce, K: k, Eps: eps, Graph: g}, opts...)
 	if err != nil {

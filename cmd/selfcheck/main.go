@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -23,6 +24,17 @@ import (
 
 	ds "densestream"
 )
+
+// solve routes every check through the unified front door — selfcheck
+// exercises the same entry point the CLI and daemon use.
+func solve(p ds.Problem, opts ...ds.Option) (*ds.Solution, error) {
+	return ds.Solve(context.Background(), p, opts...)
+}
+
+// smallMR is the cluster shape used by the MapReduce cross-checks.
+func smallMR() ds.Option {
+	return ds.WithMapReduceConfig(ds.MRConfig{Mappers: 3, Reducers: 2, Machines: 2})
+}
 
 func main() {
 	var (
@@ -98,15 +110,15 @@ func checkUndirectedModels(seed int64, maxNodes int) error {
 		return err
 	}
 	eps := float64(seed%5) / 2 // 0, 0.5, 1, 1.5, 2
-	mem, err := ds.Undirected(g, eps)
+	mem, err := solve(ds.Problem{Objective: ds.ObjectiveUndirected, Backend: ds.BackendPeel, Eps: eps, Graph: g})
 	if err != nil {
 		return err
 	}
-	st, err := ds.Streaming(ds.StreamGraph(g), eps)
+	st, err := solve(ds.Problem{Objective: ds.ObjectiveUndirected, Backend: ds.BackendStream, Eps: eps, Edges: ds.StreamGraph(g)})
 	if err != nil {
 		return err
 	}
-	mr, err := ds.MapReduce(g, eps, ds.WithMapReduceConfig(ds.MRConfig{Mappers: 3, Reducers: 2, Machines: 2}))
+	mr, err := solve(ds.Problem{Objective: ds.ObjectiveUndirected, Backend: ds.BackendMapReduce, Eps: eps, Graph: g}, smallMR())
 	if err != nil {
 		return err
 	}
@@ -124,12 +136,12 @@ func checkUndirectedGuarantee(seed int64, maxNodes int) error {
 	if err != nil {
 		return err
 	}
-	exact, err := ds.Exact(g)
+	exact, err := solve(ds.Problem{Objective: ds.ObjectiveExact, Graph: g})
 	if err != nil {
 		return err
 	}
 	for _, eps := range []float64{0, 0.5, 1.5} {
-		r, err := ds.Undirected(g, eps)
+		r, err := solve(ds.Problem{Objective: ds.ObjectiveUndirected, Backend: ds.BackendPeel, Eps: eps, Graph: g})
 		if err != nil {
 			return err
 		}
@@ -150,15 +162,15 @@ func checkAtLeastKModels(seed int64, maxNodes int) error {
 	}
 	rng := rand.New(rand.NewSource(seed + 1))
 	k := 1 + rng.Intn(g.NumNodes()/2+1)
-	mem, err := ds.AtLeastK(g, k, 0.5)
+	mem, err := solve(ds.Problem{Objective: ds.ObjectiveAtLeastK, Backend: ds.BackendPeel, Eps: 0.5, K: k, Graph: g})
 	if err != nil {
 		return err
 	}
-	st, err := ds.StreamingAtLeastK(ds.StreamGraph(g), k, 0.5)
+	st, err := solve(ds.Problem{Objective: ds.ObjectiveAtLeastK, Backend: ds.BackendStream, Eps: 0.5, K: k, Edges: ds.StreamGraph(g)})
 	if err != nil {
 		return err
 	}
-	mr, err := ds.MapReduceAtLeastK(g, k, 0.5, ds.WithMapReduceConfig(ds.MRConfig{Mappers: 3, Reducers: 2, Machines: 2}))
+	mr, err := solve(ds.Problem{Objective: ds.ObjectiveAtLeastK, Backend: ds.BackendMapReduce, Eps: 0.5, K: k, Graph: g}, smallMR())
 	if err != nil {
 		return err
 	}
@@ -182,15 +194,15 @@ func checkDirectedModels(seed int64, maxNodes int) error {
 		return err
 	}
 	for _, c := range []float64{0.5, 1, 2} {
-		mem, err := ds.Directed(g, c, 0.5)
+		mem, err := solve(ds.Problem{Objective: ds.ObjectiveDirected, Backend: ds.BackendPeel, Eps: 0.5, C: c, Directed: g})
 		if err != nil {
 			return err
 		}
-		st, err := ds.StreamingDirected(ds.StreamDirectedGraph(g), c, 0.5)
+		st, err := solve(ds.Problem{Objective: ds.ObjectiveDirected, Backend: ds.BackendStream, Eps: 0.5, C: c, Edges: ds.StreamDirectedGraph(g)})
 		if err != nil {
 			return err
 		}
-		mr, err := ds.MapReduceDirected(g, c, 0.5, ds.WithMapReduceConfig(ds.MRConfig{Mappers: 3, Reducers: 2, Machines: 2}))
+		mr, err := solve(ds.Problem{Objective: ds.ObjectiveDirected, Backend: ds.BackendMapReduce, Eps: 0.5, C: c, Directed: g}, smallMR())
 		if err != nil {
 			return err
 		}
@@ -214,14 +226,14 @@ func checkDirectedGuarantee(seed int64, _ int) error {
 	if g.NumEdges() == 0 {
 		return nil
 	}
-	sw, err := ds.DirectedSweep(g, 1.5, 0.5)
+	sw, err := solve(ds.Problem{Objective: ds.ObjectiveDirectedSweep, Eps: 0.5, Delta: 1.5, Directed: g})
 	if err != nil {
 		return err
 	}
 	// The sweep's best must be positive and no better than the trivial
 	// upper bound |E| (ρ(S,T) ≤ |E|/1).
-	if sw.Best.Density <= 0 || sw.Best.Density > float64(g.NumEdges())+1e-9 {
-		return fmt.Errorf("sweep density %v out of range", sw.Best.Density)
+	if sw.Density <= 0 || sw.Density > float64(g.NumEdges())+1e-9 {
+		return fmt.Errorf("sweep density %v out of range", sw.Density)
 	}
 	return nil
 }
@@ -231,11 +243,11 @@ func checkGreedy(seed int64, maxNodes int) error {
 	if err != nil {
 		return err
 	}
-	exact, err := ds.Exact(g)
+	exact, err := solve(ds.Problem{Objective: ds.ObjectiveExact, Graph: g})
 	if err != nil {
 		return err
 	}
-	gr, err := ds.Greedy(g)
+	gr, err := solve(ds.Problem{Objective: ds.ObjectiveGreedy, Graph: g})
 	if err != nil {
 		return err
 	}
@@ -257,11 +269,11 @@ func checkWeighted(seed int64, maxNodes int) error {
 	if err != nil {
 		return err
 	}
-	mem, err := ds.UndirectedWeighted(g, 0.5)
+	mem, err := solve(ds.Problem{Objective: ds.ObjectiveWeighted, Backend: ds.BackendPeel, Eps: 0.5, Graph: g})
 	if err != nil {
 		return err
 	}
-	st, err := ds.StreamingWeighted(ds.StreamWeightedGraph(g), 0.5)
+	st, err := solve(ds.Problem{Objective: ds.ObjectiveWeighted, Backend: ds.BackendStream, Eps: 0.5, WeightedEdges: ds.StreamWeightedGraph(g)})
 	if err != nil {
 		return err
 	}

@@ -164,6 +164,27 @@
 // shuffle records and bytes, and the per-machine shuffle attribution
 // (Solution.MRRounds) — the series behind the paper's Figure 6.7.
 //
+// # Serving
+//
+// The Problem/Solution pair is also the package's wire format: both
+// marshal to stable JSON (enums as names — "objective": "Undirected",
+// "backend": "MapReduce" — parameters under fixed lowercase keys, the
+// in-process inputs excluded), Problem.Validate reports field-named
+// errors before any work starts, and cmd/densestd serves the whole
+// Solve surface over HTTP. The daemon keeps a named graph registry
+// (register once under PUT /graphs/{name}, solve many), runs each
+// request through a bounded worker-pool queue with per-request
+// deadlines (an expired deadline returns the PartialError trace in the
+// error body), exposes asynchronous jobs with per-pass progress and
+// cancellation, caches marshalled Solutions in an LRU keyed by graph
+// content fingerprint and canonicalized Problem (a cache hit returns
+// the stored bytes verbatim, so it is bit-identical to the solve that
+// populated it), and accepts streaming edge appends that invalidate
+// exactly the results they stale. An HTTP solve returns byte-for-byte
+// the JSON of the in-process Solve on the same graph — `densestd
+// -smoke` asserts that parity for every objective and backend. See
+// cmd/densestd/README.md for the endpoint reference.
+//
 // Graphs are built with NewBuilder/NewDirectedBuilder or parsed from
 // SNAP-style edge lists with ReadUndirected/ReadDirected (or their
 // sharded file variants ReadUndirectedFile/ReadDirectedFile). All

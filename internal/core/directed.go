@@ -9,10 +9,11 @@ import (
 
 // DirectedResult is the output of Algorithm 3 for one value of c.
 type DirectedResult struct {
-	S, T    []int32 // S̃ and T̃: the densest intermediate pair
-	Density float64 // ρ(S̃, T̃) = |E(S̃,T̃)| / sqrt(|S̃||T̃|)
-	Passes  int
-	Trace   []DirectedPassStat
+	S       []int32            `json:"s"` // S̃ and T̃: the densest intermediate pair
+	T       []int32            `json:"t"`
+	Density float64            `json:"density"` // ρ(S̃, T̃) = |E(S̃,T̃)| / sqrt(|S̃||T̃|)
+	Passes  int                `json:"passes"`
+	Trace   []DirectedPassStat `json:"trace"`
 }
 
 // Directed runs Algorithm 3 for a fixed ratio guess c = |S*|/|T*|:
@@ -117,16 +118,16 @@ func DirectedOpts(g *graph.Directed, c, eps float64, o Opts) (*DirectedResult, e
 
 // SweepPoint records the outcome of Algorithm 3 for one c in a sweep.
 type SweepPoint struct {
-	C       float64
-	Density float64
-	Passes  int
+	C       float64 `json:"c"`
+	Density float64 `json:"density"`
+	Passes  int     `json:"passes"`
 }
 
 // SweepResult aggregates a powers-of-δ sweep over c.
 type SweepResult struct {
-	Best   *DirectedResult
-	BestC  float64
-	Points []SweepPoint // one per attempted c, in increasing c order
+	Best   *DirectedResult `json:"best"`
+	BestC  float64         `json:"bestC"`
+	Points []SweepPoint    `json:"points"` // one per attempted c, in increasing c order
 }
 
 // DirectedSweep runs Algorithm 3 for c = δ^j covering [1/n, n] and keeps

@@ -14,22 +14,23 @@ package core
 
 // PassStat records the state of the remaining graph after one pass of a
 // peeling algorithm; index 0 is the initial state before any removal.
+// The JSON tags are part of the public Solution wire contract.
 type PassStat struct {
-	Pass    int     // 0 for the initial state, then 1, 2, ...
-	Nodes   int     // |S| after this pass (undirected), or |S|+|T| (directed)
-	Edges   int64   // |E(S)| or |E(S,T)| after this pass
-	Density float64 // ρ after this pass
-	Removed int     // nodes removed in this pass
+	Pass    int     `json:"pass"`    // 0 for the initial state, then 1, 2, ...
+	Nodes   int     `json:"nodes"`   // |S| after this pass (undirected), or |S|+|T| (directed)
+	Edges   int64   `json:"edges"`   // |E(S)| or |E(S,T)| after this pass
+	Density float64 `json:"density"` // ρ after this pass
+	Removed int     `json:"removed"` // nodes removed in this pass
 }
 
 // DirectedPassStat records the state after one pass of Algorithm 3.
 type DirectedPassStat struct {
-	Pass       int
-	SizeS      int
-	SizeT      int
-	Edges      int64 // |E(S,T)|
-	Density    float64
-	RemovedS   int
-	RemovedT   int
-	PeeledSide byte // 'S' or 'T' ('-' for the initial state)
+	Pass       int     `json:"pass"`
+	SizeS      int     `json:"sizeS"`
+	SizeT      int     `json:"sizeT"`
+	Edges      int64   `json:"edges"` // |E(S,T)|
+	Density    float64 `json:"density"`
+	RemovedS   int     `json:"removedS"`
+	RemovedT   int     `json:"removedT"`
+	PeeledSide byte    `json:"peeledSide"` // 'S' or 'T' ('-' for the initial state)
 }

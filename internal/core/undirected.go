@@ -10,10 +10,10 @@ import (
 
 // Result is the output of the undirected peeling algorithms.
 type Result struct {
-	Set     []int32    // S̃, the densest intermediate subgraph
-	Density float64    // ρ(S̃)
-	Passes  int        // while-loop iterations (graph passes in streaming)
-	Trace   []PassStat // per-pass statistics, Trace[0] is the initial state
+	Set     []int32    `json:"set"`     // S̃, the densest intermediate subgraph
+	Density float64    `json:"density"` // ρ(S̃)
+	Passes  int        `json:"passes"`  // while-loop iterations (graph passes in streaming)
+	Trace   []PassStat `json:"trace"`   // per-pass statistics, Trace[0] is the initial state
 }
 
 // Undirected runs Algorithm 1 on an unweighted graph: starting from S = V,

@@ -17,15 +17,15 @@ import (
 // other fields are bit-identical for every (Mappers, Reducers,
 // Machines) configuration.
 type RoundStat struct {
-	Pass         int
-	Nodes        int
-	Edges        int64
-	Density      float64
-	Removed      int
-	Wall         time.Duration  // wall-clock of the round's MR jobs
-	Shuffle      int64          // records crossing map→reduce in this round
-	ShuffleBytes int64          // the same in bytes
-	PerMachine   []MachineStats // shuffle volume per simulated machine
+	Pass         int            `json:"pass"`
+	Nodes        int            `json:"nodes"`
+	Edges        int64          `json:"edges"`
+	Density      float64        `json:"density"`
+	Removed      int            `json:"removed"`
+	Wall         time.Duration  `json:"wall"`         // wall-clock of the round's MR jobs (ns)
+	Shuffle      int64          `json:"shuffle"`      // records crossing map→reduce in this round
+	ShuffleBytes int64          `json:"shuffleBytes"` // the same in bytes
+	PerMachine   []MachineStats `json:"perMachine"`   // shuffle volume per simulated machine
 }
 
 // MRResult is the output of the MapReduce drivers.

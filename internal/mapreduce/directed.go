@@ -12,17 +12,17 @@ import (
 // DirectedRoundStat records one pass of the directed MR driver. As with
 // RoundStat, only Wall and PerMachine depend on the cluster shape.
 type DirectedRoundStat struct {
-	Pass         int
-	SizeS        int
-	SizeT        int
-	Edges        int64
-	Density      float64
-	Removed      int
-	PeeledSide   byte
-	Wall         time.Duration
-	Shuffle      int64
-	ShuffleBytes int64
-	PerMachine   []MachineStats
+	Pass         int            `json:"pass"`
+	SizeS        int            `json:"sizeS"`
+	SizeT        int            `json:"sizeT"`
+	Edges        int64          `json:"edges"`
+	Density      float64        `json:"density"`
+	Removed      int            `json:"removed"`
+	PeeledSide   byte           `json:"peeledSide"`
+	Wall         time.Duration  `json:"wall"`
+	Shuffle      int64          `json:"shuffle"`
+	ShuffleBytes int64          `json:"shuffleBytes"`
+	PerMachine   []MachineStats `json:"perMachine"`
 }
 
 // MRDirectedResult is the output of the directed MapReduce driver.

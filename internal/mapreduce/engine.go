@@ -148,8 +148,8 @@ func (c Config) Normalize() (Config, error) {
 // MachineStats is the shuffle volume received by one simulated machine
 // (the partitions it owns) during a job or round.
 type MachineStats struct {
-	ShuffleRecords int64
-	ShuffleBytes   int64
+	ShuffleRecords int64 `json:"shuffleRecords"`
+	ShuffleBytes   int64 `json:"shuffleBytes"`
 }
 
 // Stats reports the work one job (or, aggregated by Round, one driver

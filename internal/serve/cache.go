@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+)
+
+// resultCache is the LRU solution cache: key = (graph name, content
+// fingerprint, canonicalized Problem), value = the marshalled Solution
+// JSON. Returning the stored bytes verbatim is what makes a cache hit
+// bit-identical to the solve that populated it. A zero or negative
+// capacity disables caching entirely.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used
+	entries map[string]*list.Element
+	hits    int64
+	misses  int64
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{cap: capacity, ll: list.New(), entries: make(map[string]*list.Element)}
+}
+
+// get returns the cached Solution JSON and whether it was present.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// put stores the Solution JSON, evicting the least recently used entry
+// past capacity.
+func (c *resultCache) put(key string, val []byte) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// dropPrefix evicts every entry whose key starts with prefix — the
+// streaming-ingest invalidation path (keys are prefixed by graph name,
+// so appending edges drops all of that graph's results eagerly; the
+// fingerprint change already unkeys them, this frees the memory).
+func (c *resultCache) dropPrefix(prefix string) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if e := el.Value.(*cacheEntry); strings.HasPrefix(e.key, prefix) {
+			c.ll.Remove(el)
+			delete(c.entries, e.key)
+		}
+		el = next
+	}
+}
+
+// stats returns the hit/miss counters and current entry count.
+func (c *resultCache) stats() (hits, misses int64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len()
+}

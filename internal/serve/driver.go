@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	ds "densestream"
+)
+
+// DriveConfig shapes one load-driver run against a running daemon.
+type DriveConfig struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Graph is the registered graph every request solves on.
+	Graph string
+	// Problems is the request mix; request i sends
+	// Problems[i%len(Problems)]. With caching enabled (the default),
+	// repeats after the first cycle measure the cache-hit serving path.
+	Problems []ds.Problem
+	// Requests is the total request count.
+	Requests int
+	// Concurrency is the number of concurrent client connections.
+	Concurrency int
+	// NoCache makes every request bypass the result cache, measuring
+	// the full solve path instead of the serving overhead.
+	NoCache bool
+	// Client overrides the HTTP client (default: http.DefaultClient).
+	Client *http.Client
+}
+
+// DriveResult summarizes a load-driver run: sustained throughput and
+// the client-observed latency distribution.
+type DriveResult struct {
+	Requests int           `json:"requests"`
+	Errors   int           `json:"errors"`
+	Wall     time.Duration `json:"wallNs"`
+	QPS      float64       `json:"qps"`
+	P50      time.Duration `json:"p50Ns"`
+	P90      time.Duration `json:"p90Ns"`
+	P99      time.Duration `json:"p99Ns"`
+	Max      time.Duration `json:"maxNs"`
+}
+
+// Drive fires cfg.Requests POST /solve requests at the daemon from
+// cfg.Concurrency workers and reports qps and latency percentiles. Any
+// non-200 response counts as an error (the run keeps going).
+func Drive(cfg DriveConfig) (*DriveResult, error) {
+	if cfg.Requests <= 0 || len(cfg.Problems) == 0 {
+		return nil, fmt.Errorf("serve: Drive needs Requests > 0 and at least one Problem")
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 8
+	}
+	client := cfg.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	// Pre-marshal the request bodies once per distinct problem.
+	bodies := make([][]byte, len(cfg.Problems))
+	for i, p := range cfg.Problems {
+		data, err := json.Marshal(SolveRequest{Graph: cfg.Graph, NoCache: cfg.NoCache, Problem: p})
+		if err != nil {
+			return nil, fmt.Errorf("serve: marshalling drive request %d: %w", i, err)
+		}
+		bodies[i] = data
+	}
+
+	var next atomic.Int64
+	var errs atomic.Int64
+	latencies := make([][]time.Duration, cfg.Concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mine := make([]time.Duration, 0, cfg.Requests/cfg.Concurrency+1)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= cfg.Requests {
+					break
+				}
+				t0 := time.Now()
+				resp, err := client.Post(cfg.BaseURL+"/solve", "application/json", bytes.NewReader(bodies[i%len(bodies)]))
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs.Add(1)
+					continue
+				}
+				mine = append(mine, time.Since(t0))
+			}
+			latencies[w] = mine
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	res := &DriveResult{
+		Requests: cfg.Requests,
+		Errors:   int(errs.Load()),
+		Wall:     wall,
+		QPS:      float64(len(all)) / wall.Seconds(),
+	}
+	if len(all) > 0 {
+		res.P50 = percentile(all, 0.50)
+		res.P90 = percentile(all, 0.90)
+		res.P99 = percentile(all, 0.99)
+		res.Max = all[len(all)-1]
+	}
+	return res, nil
+}
+
+// percentile reads the q-quantile from a sorted latency slice.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyBucketsMS are the upper bounds (milliseconds) of the
+// per-objective latency histogram; an implicit +Inf bucket follows.
+var latencyBucketsMS = []float64{0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// latencyHist is one objective's solve-latency histogram.
+type latencyHist struct {
+	count   int64
+	errors  int64
+	sumNS   int64
+	buckets []int64 // len(latencyBucketsMS)+1, last = overflow
+}
+
+// metrics aggregates the daemon's observability counters; the /metrics
+// handler serializes a consistent view of it.
+type metrics struct {
+	mu        sync.Mutex
+	start     time.Time
+	solves    map[string]*latencyHist // keyed by Objective.String()
+	cancels   int64
+	deadlines int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), solves: make(map[string]*latencyHist)}
+}
+
+// observe records one finished solve attempt for an objective.
+func (m *metrics) observe(objective string, d time.Duration, failed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.solves[objective]
+	if h == nil {
+		h = &latencyHist{buckets: make([]int64, len(latencyBucketsMS)+1)}
+		m.solves[objective] = h
+	}
+	h.count++
+	if failed {
+		h.errors++
+	}
+	h.sumNS += d.Nanoseconds()
+	ms := float64(d.Nanoseconds()) / 1e6
+	i := sort.SearchFloat64s(latencyBucketsMS, ms)
+	h.buckets[i]++
+}
+
+func (m *metrics) observeCancel()   { m.mu.Lock(); m.cancels++; m.mu.Unlock() }
+func (m *metrics) observeDeadline() { m.mu.Lock(); m.deadlines++; m.mu.Unlock() }
+
+// LatencyView is the JSON shape of one objective's histogram.
+type LatencyView struct {
+	Count  int64   `json:"count"`
+	Errors int64   `json:"errors"`
+	MeanMS float64 `json:"meanMs"`
+	P50MS  float64 `json:"p50Ms"`
+	P99MS  float64 `json:"p99Ms"`
+	// Buckets[i] counts solves at most BucketBoundsMS[i] ms; the final
+	// entry counts the overflow.
+	BucketBoundsMS []float64 `json:"bucketBoundsMs"`
+	Buckets        []int64   `json:"buckets"`
+}
+
+// MetricsView is the JSON document of /metrics.
+type MetricsView struct {
+	UptimeMS       int64                  `json:"uptimeMs"`
+	Graphs         int                    `json:"graphs"`
+	QueueDepth     int                    `json:"queueDepth"`
+	QueueCapacity  int                    `json:"queueCapacity"`
+	SolvesInFlight int64                  `json:"solvesInFlight"`
+	JobsByState    map[string]int         `json:"jobsByState"`
+	Cache          CacheView              `json:"cache"`
+	Canceled       int64                  `json:"canceledSolves"`
+	DeadlineExpiry int64                  `json:"deadlineExpiredSolves"`
+	PerObjective   map[string]LatencyView `json:"perObjective"`
+}
+
+// CacheView is the cache block of /metrics.
+type CacheView struct {
+	Hits     int64   `json:"hits"`
+	Misses   int64   `json:"misses"`
+	Entries  int     `json:"entries"`
+	Capacity int     `json:"capacity"`
+	HitRate  float64 `json:"hitRate"`
+}
+
+// view snapshots the per-objective histograms.
+func (m *metrics) view() (map[string]LatencyView, int64, int64, time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]LatencyView, len(m.solves))
+	for obj, h := range m.solves {
+		v := LatencyView{
+			Count:          h.count,
+			Errors:         h.errors,
+			BucketBoundsMS: latencyBucketsMS,
+			Buckets:        append([]int64(nil), h.buckets...),
+		}
+		if h.count > 0 {
+			v.MeanMS = float64(h.sumNS) / float64(h.count) / 1e6
+			v.P50MS = quantile(h.buckets, h.count, 0.50)
+			v.P99MS = quantile(h.buckets, h.count, 0.99)
+		}
+		out[obj] = v
+	}
+	return out, m.cancels, m.deadlines, m.start
+}
+
+// quantile estimates a latency quantile from the histogram as the upper
+// bound of the bucket where the cumulative count crosses q; overflow
+// reports the last finite bound.
+func quantile(buckets []int64, total int64, q float64) float64 {
+	target := int64(q * float64(total))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range buckets {
+		cum += c
+		if cum >= target {
+			if i < len(latencyBucketsMS) {
+				return latencyBucketsMS[i]
+			}
+			break
+		}
+	}
+	return latencyBucketsMS[len(latencyBucketsMS)-1]
+}

@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	ds "densestream"
+)
+
+// parityGraph is one registered graph plus the equivalent in-process
+// input, built from the same edge list through the same Builder.
+type parityGraph struct {
+	name     string
+	directed bool
+	weighted bool
+	edges    []Edge
+}
+
+func (pg parityGraph) register(t *testing.T, s *Server) {
+	t.Helper()
+	if _, err := s.Registry().Register(pg.name, pg.directed, pg.weighted, pg.edges, 0); err != nil {
+		t.Fatalf("registering %s: %v", pg.name, err)
+	}
+}
+
+// inProcess builds the Problem input the way the daemon does: same
+// edges, same Builder, same Freeze.
+func (pg parityGraph) inProcess(t *testing.T, p *ds.Problem) {
+	t.Helper()
+	if pg.directed {
+		db := ds.NewDirectedBuilder(int(maxNode(pg.edges)) + 1)
+		for _, e := range pg.edges {
+			if err := db.AddEdge(e.U, e.V); err != nil {
+				t.Fatalf("building directed: %v", err)
+			}
+		}
+		g, err := db.Freeze()
+		if err != nil {
+			t.Fatalf("freezing directed: %v", err)
+		}
+		p.Directed = g
+		return
+	}
+	b := ds.NewBuilder(int(maxNode(pg.edges)) + 1)
+	for _, e := range pg.edges {
+		var err error
+		if pg.weighted {
+			err = b.AddWeightedEdge(e.U, e.V, e.W)
+		} else {
+			err = b.AddEdge(e.U, e.V)
+		}
+		if err != nil {
+			t.Fatalf("building undirected: %v", err)
+		}
+	}
+	g, err := b.Freeze()
+	if err != nil {
+		t.Fatalf("freezing undirected: %v", err)
+	}
+	p.Graph = g
+}
+
+// testDirectedEdges mirrors testEdges for directed graphs: a planted
+// bipartite-dense core on the first nodes plus random background arcs.
+func testDirectedEdges(n, m, core int, seed uint64) []Edge {
+	rng := seed*6364136223846793005 + 1442695040888963407
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	var edges []Edge
+	for i := 0; i < core; i++ {
+		for j := core; j < 2*core; j++ {
+			edges = append(edges, Edge{U: int32(i), V: int32(j), W: 1})
+		}
+	}
+	for len(edges) < m {
+		u := int32(next() % uint64(n))
+		v := int32(next() % uint64(n))
+		if u == v {
+			continue
+		}
+		edges = append(edges, Edge{U: u, V: v, W: 1})
+	}
+	return edges
+}
+
+// testWeightedEdges puts deterministic non-unit weights on testEdges.
+func testWeightedEdges(n, m, clique int, seed uint64) []Edge {
+	edges := testEdges(n, m, clique, seed)
+	for i := range edges {
+		edges[i].W = 1 + float64(i%5)
+	}
+	return edges
+}
+
+// zeroMRWall clears the wall-clock fields of the MapReduce round stats
+// — the only run-to-run varying bytes in a Solution (see
+// mr_determinism_test.go for the same convention).
+func zeroMRWall(sol *ds.Solution) {
+	for i := range sol.MRRounds {
+		sol.MRRounds[i].Wall = 0
+	}
+	for i := range sol.MRDirectedRounds {
+		sol.MRDirectedRounds[i].Wall = 0
+	}
+}
+
+// TestHTTPSolveParity proves the tentpole contract: for every objective
+// and every exact backend it supports, a solve over HTTP returns the
+// same Solution as the in-process Solve on the same graph — bit
+// identical after normalizing MapReduce wall-clock noise.
+func TestHTTPSolveParity(t *testing.T) {
+	undirected := parityGraph{name: "u", edges: testEdges(500, 3000, 25, 11)}
+	directed := parityGraph{name: "d", directed: true, edges: testDirectedEdges(400, 2500, 15, 12)}
+	weighted := parityGraph{name: "w", weighted: true, edges: testWeightedEdges(300, 1500, 12, 13)}
+
+	s, ts := newTestServer(t, Config{Workers: 2})
+	for _, pg := range []parityGraph{undirected, directed, weighted} {
+		pg.register(t, s)
+	}
+
+	cases := []struct {
+		graph    parityGraph
+		problem  ds.Problem
+		backends []ds.Backend
+	}{
+		{undirected, ds.Problem{Objective: ds.ObjectiveUndirected, Eps: 0.1},
+			[]ds.Backend{ds.BackendPeel, ds.BackendStream, ds.BackendMapReduce}},
+		{weighted, ds.Problem{Objective: ds.ObjectiveWeighted, Eps: 0.1},
+			[]ds.Backend{ds.BackendPeel, ds.BackendStream}},
+		{undirected, ds.Problem{Objective: ds.ObjectiveAtLeastK, Eps: 0.25, K: 40},
+			[]ds.Backend{ds.BackendPeel, ds.BackendStream, ds.BackendMapReduce}},
+		{directed, ds.Problem{Objective: ds.ObjectiveDirected, Eps: 0.1, C: 1},
+			[]ds.Backend{ds.BackendPeel, ds.BackendStream, ds.BackendMapReduce}},
+		{directed, ds.Problem{Objective: ds.ObjectiveDirectedSweep, Eps: 0.25, Delta: 2},
+			[]ds.Backend{ds.BackendPeel}},
+		{undirected, ds.Problem{Objective: ds.ObjectiveExact},
+			[]ds.Backend{ds.BackendPeel}},
+		{undirected, ds.Problem{Objective: ds.ObjectiveGreedy},
+			[]ds.Backend{ds.BackendPeel}},
+	}
+
+	for _, tc := range cases {
+		for _, backend := range tc.backends {
+			p := tc.problem
+			p.Backend = backend
+			name := p.Objective.String() + "/" + backend.String()
+			t.Run(name, func(t *testing.T) {
+				// In-process reference.
+				ref := p
+				tc.graph.inProcess(t, &ref)
+				want, err := ds.Solve(context.Background(), ref)
+				if err != nil {
+					t.Fatalf("in-process Solve: %v", err)
+				}
+				wantJSON, err := json.Marshal(want)
+				if err != nil {
+					t.Fatalf("marshalling reference: %v", err)
+				}
+
+				// Over the wire.
+				req := SolveRequest{Graph: tc.graph.name, NoCache: true, Problem: p}
+				body, err := json.Marshal(req)
+				if err != nil {
+					t.Fatalf("marshalling request: %v", err)
+				}
+				resp, err := http.Post(ts.URL+"/solve", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Fatalf("POST /solve: %v", err)
+				}
+				defer resp.Body.Close()
+				var got bytes.Buffer
+				if _, err := got.ReadFrom(resp.Body); err != nil {
+					t.Fatalf("reading response: %v", err)
+				}
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("status %d: %s", resp.StatusCode, got.String())
+				}
+
+				if backend == ds.BackendMapReduce {
+					// Normalize wall-clock noise on both sides, then the
+					// rest must match bit for bit.
+					var a, b ds.Solution
+					if err := json.Unmarshal(wantJSON, &a); err != nil {
+						t.Fatalf("decoding reference: %v", err)
+					}
+					if err := json.Unmarshal(got.Bytes(), &b); err != nil {
+						t.Fatalf("decoding response: %v", err)
+					}
+					zeroMRWall(&a)
+					zeroMRWall(&b)
+					aj, _ := json.Marshal(a)
+					bj, _ := json.Marshal(b)
+					if !bytes.Equal(aj, bj) {
+						t.Fatalf("HTTP solution differs from in-process:\n%s\nvs\n%s", bj, aj)
+					}
+					return
+				}
+				if !bytes.Equal(got.Bytes(), wantJSON) {
+					t.Fatalf("HTTP solution is not bit-identical to in-process:\n%s\nvs\n%s", got.Bytes(), wantJSON)
+				}
+			})
+		}
+	}
+}

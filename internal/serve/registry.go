@@ -1,0 +1,346 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	ds "densestream"
+)
+
+// Edge is one registered edge. Registered graphs use dense integer node
+// ids (like the file-stream inputs); W is 1 for unweighted graphs.
+type Edge struct {
+	U, V int32
+	W    float64
+}
+
+// GraphInfo describes one registered graph; it is the JSON shape the
+// /graphs endpoints return.
+type GraphInfo struct {
+	Name     string `json:"name"`
+	Directed bool   `json:"directed"`
+	Weighted bool   `json:"weighted"`
+	// Nodes and Edges count the registered input (edges as given,
+	// before parallel-edge merging).
+	Nodes int `json:"nodes"`
+	Edges int `json:"edges"`
+	// Fingerprint identifies the graph content: two graphs with the
+	// same fingerprint produce bit-identical Solutions for the same
+	// Problem. Appending edges changes it, which is what invalidates
+	// cached results.
+	Fingerprint string `json:"fingerprint"`
+	// Version counts registrations and appends under this name.
+	Version int64 `json:"version"`
+}
+
+// Snapshot is an immutable view of a registered graph at one version:
+// the frozen in-memory graph plus its identifying info. Solves hold a
+// Snapshot, so a concurrent append never mutates a running solve —
+// it produces the next version instead.
+type Snapshot struct {
+	Info GraphInfo
+	// Exactly one of Graph and Directed is non-nil, per Info.Directed.
+	Graph    *ds.UndirectedGraph
+	Directed *ds.DirectedGraph
+}
+
+// graphEntry is the mutable registry slot behind one name.
+type graphEntry struct {
+	mu       sync.Mutex
+	info     GraphInfo
+	edges    []Edge
+	snap     *Snapshot // built lazily; nil after an append (stale)
+	buildErr error     // sticky build failure for the current version
+}
+
+// Registry is the named-graph store of the daemon: load once, solve
+// many. All methods are safe for concurrent use.
+type Registry struct {
+	mu     sync.RWMutex
+	graphs map[string]*graphEntry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{graphs: make(map[string]*graphEntry)}
+}
+
+// Register creates or replaces the graph under name. Edges use dense
+// integer ids; nodes may exceed the largest id to declare isolated
+// trailing nodes (0 sizes it from the edges).
+func (r *Registry) Register(name string, directed, weighted bool, edges []Edge, nodes int) (GraphInfo, error) {
+	if name == "" {
+		return GraphInfo{}, fmt.Errorf("serve: graph name must not be empty")
+	}
+	if directed && weighted {
+		return GraphInfo{}, fmt.Errorf("serve: directed graphs do not support weights")
+	}
+	if err := checkEdges(edges, weighted); err != nil {
+		return GraphInfo{}, err
+	}
+	n := maxNode(edges) + 1
+	if nodes > int(n) {
+		n = int32(nodes)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	prev := r.graphs[name]
+	version := int64(1)
+	if prev != nil {
+		prev.mu.Lock()
+		version = prev.info.Version + 1
+		prev.mu.Unlock()
+	}
+	e := &graphEntry{
+		info:  GraphInfo{Name: name, Directed: directed, Weighted: weighted, Nodes: int(n), Edges: len(edges), Version: version},
+		edges: append([]Edge(nil), edges...),
+	}
+	e.info.Fingerprint = fingerprint(e.info, e.edges)
+	r.graphs[name] = e
+	return e.info, nil
+}
+
+// Append adds edges to an existing graph, bumping its version and
+// fingerprint (which unkeys every cached result for the old content).
+// New node ids extend the graph.
+func (r *Registry) Append(name string, edges []Edge) (GraphInfo, error) {
+	e, err := r.entry(name)
+	if err != nil {
+		return GraphInfo{}, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := checkEdges(edges, e.info.Weighted); err != nil {
+		return GraphInfo{}, err
+	}
+	e.edges = append(e.edges, edges...)
+	if n := maxNode(e.edges) + 1; int(n) > e.info.Nodes {
+		e.info.Nodes = int(n)
+	}
+	e.info.Edges = len(e.edges)
+	e.info.Version++
+	e.info.Fingerprint = fingerprint(e.info, e.edges)
+	e.snap, e.buildErr = nil, nil
+	return e.info, nil
+}
+
+// Snapshot returns the frozen graph for name at its current version,
+// building (and memoizing) it on first use after a registration or
+// append. Concurrent snapshots of the same version share one build.
+func (r *Registry) Snapshot(name string) (*Snapshot, error) {
+	e, err := r.entry(name)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.buildErr != nil {
+		return nil, e.buildErr
+	}
+	if e.snap != nil {
+		return e.snap, nil
+	}
+	snap := &Snapshot{Info: e.info}
+	if e.info.Directed {
+		b := ds.NewDirectedBuilder(e.info.Nodes)
+		for _, ed := range e.edges {
+			if err := b.AddEdge(ed.U, ed.V); err != nil {
+				e.buildErr = fmt.Errorf("serve: building graph %q: %w", name, err)
+				return nil, e.buildErr
+			}
+		}
+		g, err := b.Freeze()
+		if err != nil {
+			e.buildErr = fmt.Errorf("serve: building graph %q: %w", name, err)
+			return nil, e.buildErr
+		}
+		snap.Directed = g
+	} else {
+		b := ds.NewBuilder(e.info.Nodes)
+		for _, ed := range e.edges {
+			var err error
+			if e.info.Weighted {
+				err = b.AddWeightedEdge(ed.U, ed.V, ed.W)
+			} else {
+				err = b.AddEdge(ed.U, ed.V)
+			}
+			if err != nil {
+				e.buildErr = fmt.Errorf("serve: building graph %q: %w", name, err)
+				return nil, e.buildErr
+			}
+		}
+		g, err := b.Freeze()
+		if err != nil {
+			e.buildErr = fmt.Errorf("serve: building graph %q: %w", name, err)
+			return nil, e.buildErr
+		}
+		snap.Graph = g
+	}
+	e.snap = snap
+	return snap, nil
+}
+
+// Info returns the descriptor of one graph.
+func (r *Registry) Info(name string) (GraphInfo, error) {
+	e, err := r.entry(name)
+	if err != nil {
+		return GraphInfo{}, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.info, nil
+}
+
+// List returns every registered graph's descriptor, sorted by name.
+func (r *Registry) List() []GraphInfo {
+	r.mu.RLock()
+	entries := make([]*graphEntry, 0, len(r.graphs))
+	for _, e := range r.graphs {
+		entries = append(entries, e)
+	}
+	r.mu.RUnlock()
+	infos := make([]GraphInfo, 0, len(entries))
+	for _, e := range entries {
+		e.mu.Lock()
+		infos = append(infos, e.info)
+		e.mu.Unlock()
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}
+
+// Delete removes a graph; running solves keep their snapshots.
+func (r *Registry) Delete(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.graphs[name]; !ok {
+		return fmt.Errorf("serve: graph %q is not registered", name)
+	}
+	delete(r.graphs, name)
+	return nil
+}
+
+// Len reports the number of registered graphs.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.graphs)
+}
+
+func (r *Registry) entry(name string) (*graphEntry, error) {
+	r.mu.RLock()
+	e := r.graphs[name]
+	r.mu.RUnlock()
+	if e == nil {
+		return nil, fmt.Errorf("serve: graph %q is not registered", name)
+	}
+	return e, nil
+}
+
+// checkEdges validates ids, weights, and self loops up front so errors
+// carry an edge index instead of surfacing later from the builder.
+func checkEdges(edges []Edge, weighted bool) error {
+	for i, e := range edges {
+		if e.U < 0 || e.V < 0 {
+			return fmt.Errorf("serve: edge %d (%d,%d): node ids must be >= 0", i, e.U, e.V)
+		}
+		if e.U == e.V {
+			return fmt.Errorf("serve: edge %d: self loop at node %d", i, e.U)
+		}
+		if weighted && (!(e.W > 0) || math.IsInf(e.W, 0)) {
+			return fmt.Errorf("serve: edge %d (%d,%d): weight must be a finite value > 0, got %v", i, e.U, e.V, e.W)
+		}
+	}
+	return nil
+}
+
+func maxNode(edges []Edge) int32 {
+	var n int32 = -1
+	for _, e := range edges {
+		if e.U > n {
+			n = e.U
+		}
+		if e.V > n {
+			n = e.V
+		}
+	}
+	return n
+}
+
+// fingerprint hashes the registered content — shape flags, node count,
+// and the exact edge sequence — into a short hex id. FNV-1a over the
+// fixed-width encoding: stable across processes and platforms.
+func fingerprint(info GraphInfo, edges []Edge) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	flags := byte(0)
+	if info.Directed {
+		flags |= 1
+	}
+	if info.Weighted {
+		flags |= 2
+	}
+	h.Write([]byte{flags})
+	binary.LittleEndian.PutUint64(buf[:], uint64(info.Nodes))
+	h.Write(buf[:])
+	for _, e := range edges {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(e.U))
+		binary.LittleEndian.PutUint32(buf[4:], uint32(e.V))
+		h.Write(buf[:])
+		if info.Weighted {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(e.W))
+			h.Write(buf[:])
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// ParseEdgeList reads a SNAP-style edge list — "u v" or "u v w" per
+// line, '#'/'%' comments, blank lines ignored — into registry edges.
+// Node ids must be dense non-negative integers (the same contract as
+// the file-stream inputs). Errors carry the 1-based line number.
+func ParseEdgeList(r io.Reader, weighted bool) ([]Edge, error) {
+	var edges []Edge
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' || text[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("serve: line %d: need at least two fields, got %q", line, text)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("serve: line %d: bad node id %q", line, fields[0])
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("serve: line %d: bad node id %q", line, fields[1])
+		}
+		w := 1.0
+		if weighted && len(fields) >= 3 {
+			w, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("serve: line %d: bad weight %q", line, fields[2])
+			}
+		}
+		edges = append(edges, Edge{U: int32(u), V: int32(v), W: w})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("serve: reading edge list: %w", err)
+	}
+	return edges, nil
+}

@@ -2,6 +2,8 @@ package densestream
 
 import (
 	"fmt"
+	"math"
+	"strings"
 )
 
 // Objective selects what a Solve call computes: which of the paper's
@@ -34,25 +36,50 @@ const (
 	ObjectiveGreedy
 )
 
+// objectiveNames is the wire vocabulary of Objective, indexed by value.
+// These strings are the documented public contract: String, MarshalText,
+// and UnmarshalText all speak them, so a JSON Problem names its
+// objective "Undirected", "AtLeastK", ... exactly as go doc does.
+var objectiveNames = [...]string{
+	ObjectiveUndirected:    "Undirected",
+	ObjectiveWeighted:      "Weighted",
+	ObjectiveAtLeastK:      "AtLeastK",
+	ObjectiveDirected:      "Directed",
+	ObjectiveDirectedSweep: "DirectedSweep",
+	ObjectiveExact:         "Exact",
+	ObjectiveGreedy:        "Greedy",
+}
+
 // String implements fmt.Stringer.
 func (o Objective) String() string {
-	switch o {
-	case ObjectiveUndirected:
-		return "Undirected"
-	case ObjectiveWeighted:
-		return "Weighted"
-	case ObjectiveAtLeastK:
-		return "AtLeastK"
-	case ObjectiveDirected:
-		return "Directed"
-	case ObjectiveDirectedSweep:
-		return "DirectedSweep"
-	case ObjectiveExact:
-		return "Exact"
-	case ObjectiveGreedy:
-		return "Greedy"
+	if o >= 0 && int(o) < len(objectiveNames) {
+		return objectiveNames[o]
 	}
 	return fmt.Sprintf("Objective(%d)", int(o))
+}
+
+// MarshalText implements encoding.TextMarshaler: an Objective appears
+// on the wire as its String name ("Undirected", "AtLeastK", ...), so a
+// JSON Problem or Solution is self-describing. Out-of-range values are
+// an error, never a number.
+func (o Objective) MarshalText() ([]byte, error) {
+	if o < 0 || int(o) >= len(objectiveNames) {
+		return nil, fmt.Errorf("densestream: cannot marshal unknown Objective(%d)", int(o))
+	}
+	return []byte(objectiveNames[o]), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler, accepting the
+// String names case-insensitively ("atleastk" and "AtLeastK" both
+// parse). Unknown names list the valid vocabulary in the error.
+func (o *Objective) UnmarshalText(text []byte) error {
+	for i, name := range objectiveNames {
+		if strings.EqualFold(string(text), name) {
+			*o = Objective(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("densestream: unknown objective %q (valid: %s)", text, strings.Join(objectiveNames[:], ", "))
 }
 
 // Backend selects which execution model runs the objective. Every
@@ -82,19 +109,41 @@ const (
 	BackendMapReduce
 )
 
+// backendNames is the wire vocabulary of Backend; see objectiveNames.
+var backendNames = [...]string{
+	BackendPeel:           "Peel",
+	BackendStream:         "Stream",
+	BackendStreamSketched: "StreamSketched",
+	BackendMapReduce:      "MapReduce",
+}
+
 // String implements fmt.Stringer.
 func (b Backend) String() string {
-	switch b {
-	case BackendPeel:
-		return "Peel"
-	case BackendStream:
-		return "Stream"
-	case BackendStreamSketched:
-		return "StreamSketched"
-	case BackendMapReduce:
-		return "MapReduce"
+	if b >= 0 && int(b) < len(backendNames) {
+		return backendNames[b]
 	}
 	return fmt.Sprintf("Backend(%d)", int(b))
+}
+
+// MarshalText implements encoding.TextMarshaler; see
+// Objective.MarshalText.
+func (b Backend) MarshalText() ([]byte, error) {
+	if b < 0 || int(b) >= len(backendNames) {
+		return nil, fmt.Errorf("densestream: cannot marshal unknown Backend(%d)", int(b))
+	}
+	return []byte(backendNames[b]), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler, accepting the
+// String names case-insensitively.
+func (b *Backend) UnmarshalText(text []byte) error {
+	for i, name := range backendNames {
+		if strings.EqualFold(string(text), name) {
+			*b = Backend(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("densestream: unknown backend %q (valid: %s)", text, strings.Join(backendNames[:], ", "))
 }
 
 // Problem declares one densest-subgraph computation: the objective and
@@ -106,36 +155,43 @@ func (b Backend) String() string {
 //
 // is the minimal complete request. Exactly one input field must be set;
 // parameters not used by the objective are ignored.
+//
+// A Problem is JSON-serializable and the tagged fields are the stable
+// wire contract — the densestd daemon accepts exactly this shape (plus
+// a graph-registry reference in place of the in-process input fields,
+// which do not travel):
+//
+//	{"objective": "AtLeastK", "backend": "Peel", "eps": 0.5, "k": 100}
 type Problem struct {
-	Objective Objective
-	Backend   Backend
+	Objective Objective `json:"objective"`
+	Backend   Backend   `json:"backend"`
 
 	// Eps is the peeling slack ε ≥ 0 of Algorithms 1–3 (ignored by
 	// Exact and Greedy).
-	Eps float64
+	Eps float64 `json:"eps,omitempty"`
 	// K is the minimum subgraph size of ObjectiveAtLeastK.
-	K int
+	K int `json:"k,omitempty"`
 	// C is the fixed side ratio |S|/|T| of ObjectiveDirected.
-	C float64
+	C float64 `json:"c,omitempty"`
 	// Delta is the ratio step (> 1) of ObjectiveDirectedSweep.
-	Delta float64
+	Delta float64 `json:"delta,omitempty"`
 
 	// Graph is an in-memory undirected input (undirected objectives).
-	Graph *UndirectedGraph
+	Graph *UndirectedGraph `json:"-"`
 	// Directed is an in-memory directed input (directed objectives).
-	Directed *DirectedGraph
+	Directed *DirectedGraph `json:"-"`
 	// Edges is an edge-stream input: undirected for the undirected
 	// objectives, U→V for the directed ones. Stream backends scan it
 	// pass by pass; it is invalid for in-memory backends.
-	Edges EdgeStream
+	Edges EdgeStream `json:"-"`
 	// WeightedEdges is a weighted edge-stream input for
 	// ObjectiveWeighted on BackendStream.
-	WeightedEdges WeightedEdgeStream
+	WeightedEdges WeightedEdgeStream `json:"-"`
 	// Path is an edge-list file input. Stream backends re-read it every
 	// pass (true external-memory streaming; requires dense integer
 	// ids), while in-memory backends parse it once with
 	// ReadUndirected/ReadDirected (arbitrary labels).
-	Path string
+	Path string `json:"path,omitempty"`
 }
 
 // directedObjective reports whether the objective peels an (S, T) pair.
@@ -143,12 +199,51 @@ func (p Problem) directedObjective() bool {
 	return p.Objective == ObjectiveDirected || p.Objective == ObjectiveDirectedSweep
 }
 
-// validate checks the routing of the Problem — that exactly one input
-// is set, that it matches the objective, and that the backend supports
-// the objective. Parameter values (Eps, K, C, Delta) are validated by
-// the algorithms themselves so the error messages are the same on every
-// path.
-func (p Problem) validate() error {
+// Validate checks that the Problem is well-formed: exactly one input is
+// set, the input and backend match the objective, and the parameters
+// the objective consumes are in range. Every error names the Problem
+// field at fault, so a server can forward it verbatim as a 400-level
+// response body. Solve calls Validate before dispatching; calling it
+// directly is useful to reject a request before queueing it.
+//
+// Graph-dependent constraints (such as K not exceeding the node count)
+// are still enforced by the algorithms, which see the input.
+func (p Problem) Validate() error {
+	if err := p.validateRouting(); err != nil {
+		return err
+	}
+	return p.validateParams()
+}
+
+// validateParams checks the parameter fields the objective consumes.
+func (p Problem) validateParams() error {
+	switch p.Objective {
+	case ObjectiveUndirected, ObjectiveWeighted, ObjectiveAtLeastK, ObjectiveDirected, ObjectiveDirectedSweep:
+		if p.Eps < 0 || math.IsNaN(p.Eps) || math.IsInf(p.Eps, 0) {
+			return fmt.Errorf("densestream: Problem.Eps must be a finite value >= 0 for objective %s, got %v", p.Objective, p.Eps)
+		}
+	}
+	switch p.Objective {
+	case ObjectiveAtLeastK:
+		if p.K < 1 {
+			return fmt.Errorf("densestream: Problem.K must be >= 1 for objective AtLeastK, got %d", p.K)
+		}
+	case ObjectiveDirected:
+		if !(p.C > 0) || math.IsInf(p.C, 0) || math.IsNaN(p.C) {
+			return fmt.Errorf("densestream: Problem.C must be a finite value > 0 for objective Directed, got %v", p.C)
+		}
+	case ObjectiveDirectedSweep:
+		if !(p.Delta > 1) || math.IsInf(p.Delta, 0) || math.IsNaN(p.Delta) {
+			return fmt.Errorf("densestream: Problem.Delta must be a finite value > 1 for objective DirectedSweep, got %v", p.Delta)
+		}
+	}
+	return nil
+}
+
+// validateRouting checks the routing of the Problem — that exactly one
+// input is set, that it matches the objective, and that the backend
+// supports the objective.
+func (p Problem) validateRouting() error {
 	inputs := 0
 	for _, set := range []bool{p.Graph != nil, p.Directed != nil, p.Edges != nil, p.WeightedEdges != nil, p.Path != ""} {
 		if set {

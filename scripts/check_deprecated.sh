@@ -1,0 +1,38 @@
+#!/bin/sh
+# check_deprecated.sh — fail when first-party code (cmd/, internal/)
+# still calls a deprecated densestream entry point instead of the Solve
+# front door. The deprecated set is derived from the package sources at
+# run time, so the gate tracks the API without a hand-maintained list.
+#
+# Usage: scripts/check_deprecated.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+# Collect exported package-level functions whose doc comment carries a
+# "Deprecated:" marker.
+names=$(awk '
+	/^\/\/ Deprecated:/ { dep = 1; next }
+	/^\/\//             { next }
+	/^func [A-Z][A-Za-z0-9_]*\(/ {
+		if (dep) { name = $2; sub(/\(.*/, "", name); print name }
+		dep = 0; next
+	}
+	{ dep = 0 }
+' ./*.go | sort -u)
+
+if [ -z "$names" ]; then
+	echo "check_deprecated: no deprecated entry points found in the package sources" >&2
+	exit 1
+fi
+
+alternation=$(printf '%s|' $names | sed 's/|$//')
+pattern="(ds|densestream)\\.($alternation)\\("
+
+if grep -rEn --include='*.go' "$pattern" cmd internal; then
+	echo "check_deprecated: the calls above use deprecated entry points;" >&2
+	echo "route them through Solve (see the Problem literal in each wrapper's doc comment)" >&2
+	exit 1
+fi
+
+count=$(printf '%s\n' "$names" | wc -l | tr -d ' ')
+echo "check_deprecated: cmd/ and internal/ are clean ($count deprecated entry points gated)"

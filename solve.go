@@ -15,48 +15,56 @@ import (
 // filled for every request; the remaining fields are backend- or
 // objective-specific and documented per field. For the same Problem,
 // every exact backend fills the common block bit-identically.
+//
+// The JSON tags are the stable wire contract: the densestd daemon
+// returns exactly json.Marshal(Solution), so an HTTP solve is
+// bit-identical to an in-process one (the MapReduce round stats carry
+// wall-clock fields that vary run to run; everything else is
+// deterministic).
 type Solution struct {
-	Objective Objective // echo of the request
-	Backend   Backend   // echo of the request
+	Objective Objective `json:"objective"` // echo of the request
+	Backend   Backend   `json:"backend"`   // echo of the request
 
 	// Set is S̃ for the undirected objectives (Exact and Greedy
 	// included); nil for the directed ones, which fill S and T.
-	Set []int32
+	Set []int32 `json:"set,omitempty"`
 	// S and T are the directed pair (directed objectives only).
-	S, T []int32
+	S []int32 `json:"s,omitempty"`
+	T []int32 `json:"t,omitempty"`
 	// Density is ρ(S̃), or ρ(S̃, T̃) = |E(S̃,T̃)|/√(|S̃||T̃|) for the
 	// directed objectives.
-	Density float64
+	Density float64 `json:"density"`
 	// Passes counts passes over the edges (flow calls for Exact, peels
 	// for Greedy).
-	Passes int
+	Passes int `json:"passes"`
 	// Trace is the per-pass trace of the undirected objectives. The
 	// peeling backend records the initial state as Trace[0]; the
 	// streaming and MapReduce backends record one entry per pass, each
 	// describing the subgraph as scanned at the start of the pass. For
 	// BackendMapReduce it is the MRRounds trace projected onto PassStat;
 	// empty for Exact and Greedy.
-	Trace []PassStat
+	Trace []PassStat `json:"trace,omitempty"`
 	// DirectedTrace is the directed analogue of Trace.
-	DirectedTrace []DirectedPassStat
+	DirectedTrace []DirectedPassStat `json:"directedTrace,omitempty"`
 
 	// Sweep holds every attempted c of ObjectiveDirectedSweep (the
 	// best run's S/T/Density also populate the common block).
-	Sweep *SweepResult
+	Sweep *SweepResult `json:"sweep,omitempty"`
 	// MRRounds / MRDirectedRounds carry the per-round cluster
 	// statistics of BackendMapReduce — shuffle records and bytes, wall
 	// clock, and the per-machine attribution.
-	MRRounds         []MRRoundStat
-	MRDirectedRounds []MRDirectedRoundStat
+	MRRounds         []MRRoundStat         `json:"mrRounds,omitempty"`
+	MRDirectedRounds []MRDirectedRoundStat `json:"mrDirectedRounds,omitempty"`
 	// SketchMemoryWords is the Count-Sketch state size in 64-bit words
 	// (BackendStreamSketched only) — compare against NumNodes for the
 	// paper's Table 4 memory ratio.
-	SketchMemoryWords int
+	SketchMemoryWords int `json:"sketchMemoryWords,omitempty"`
 	// ExactNumer/ExactDenom give ObjectiveExact's density as an exact
 	// rational.
-	ExactNumer, ExactDenom int64
+	ExactNumer int64 `json:"exactNumer,omitempty"`
+	ExactDenom int64 `json:"exactDenom,omitempty"`
 	// Stats reports the solve's out-of-core I/O volume.
-	Stats SolveStats
+	Stats SolveStats `json:"stats"`
 }
 
 // SolveStats is the I/O the solve performed against the out-of-core
@@ -65,10 +73,10 @@ type SolveStats struct {
 	// BytesScanned counts bytes read from an on-disk edge-list input by
 	// the streaming backends — the node-count discovery scan plus every
 	// pass of every shard (comments and resync skips included).
-	BytesScanned int64
+	BytesScanned int64 `json:"bytesScanned"`
 	// BytesSpilled counts bytes the MapReduce backend wrote to spill
 	// files under the MRConfig.SpillBytes budget.
-	BytesSpilled int64
+	BytesSpilled int64 `json:"bytesSpilled"`
 }
 
 // Solve executes one densest-subgraph Problem and returns the uniform
@@ -85,7 +93,7 @@ type SolveStats struct {
 // trace entries and stop the run (the error then wraps ErrStopped). A
 // nil ctx is treated as context.Background().
 func Solve(ctx context.Context, p Problem, opts ...Option) (*Solution, error) {
-	if err := p.validate(); err != nil {
+	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	o := applyOptions(opts)

@@ -45,7 +45,9 @@ func OpenFileStream(path string) (*FileStream, error) {
 // not) each pass's edge scan splits across workers with per-worker
 // counter lanes — results stay identical for every worker count.
 //
-// Deprecated: use Solve with ObjectiveUndirected on BackendStream.
+// Deprecated: use the Solve front door:
+//
+//	Solve(ctx, Problem{Objective: ObjectiveUndirected, Backend: BackendStream, Eps: eps, Edges: es})
 func Streaming(es EdgeStream, eps float64, opts ...Option) (*Result, error) {
 	sol, err := Solve(context.Background(), Problem{Objective: ObjectiveUndirected, Backend: BackendStream, Eps: eps, Edges: es}, opts...)
 	if err != nil {
@@ -71,9 +73,10 @@ type SketchConfig struct {
 // memory footprint independent of n (§5.1). Returns the result and the
 // counter memory in 64-bit words (for comparison against n).
 //
-// Deprecated: use Solve with ObjectiveUndirected on
-// BackendStreamSketched and WithSketch; the counter memory is reported
-// in Solution.SketchMemoryWords.
+// Deprecated: use the Solve front door; the counter memory is reported
+// in Solution.SketchMemoryWords:
+//
+//	Solve(ctx, Problem{Objective: ObjectiveUndirected, Backend: BackendStreamSketched, Eps: eps, Edges: es}, WithSketch(cfg))
 func StreamingSketched(es EdgeStream, eps float64, cfg SketchConfig) (*Result, int, error) {
 	sol, err := Solve(context.Background(),
 		Problem{Objective: ObjectiveUndirected, Backend: BackendStreamSketched, Eps: eps, Edges: es},
@@ -112,7 +115,9 @@ func OpenWeightedFileStream(path string) (*WeightedFileStream, error) {
 // through a fixed float-lane decomposition, so results are
 // bit-identical for every WithWorkers count.
 //
-// Deprecated: use Solve with ObjectiveWeighted on BackendStream.
+// Deprecated: use the Solve front door:
+//
+//	Solve(ctx, Problem{Objective: ObjectiveWeighted, Backend: BackendStream, Eps: eps, WeightedEdges: es})
 func StreamingWeighted(es WeightedEdgeStream, eps float64, opts ...Option) (*Result, error) {
 	sol, err := Solve(context.Background(), Problem{Objective: ObjectiveWeighted, Backend: BackendStream, Eps: eps, WeightedEdges: es}, opts...)
 	if err != nil {
@@ -125,7 +130,9 @@ func StreamingWeighted(es WeightedEdgeStream, eps float64, opts ...Option) (*Res
 // O(n) node state; results are identical to AtLeastK on the same graph.
 // Shardable streams scan each pass across WithWorkers workers.
 //
-// Deprecated: use Solve with ObjectiveAtLeastK on BackendStream.
+// Deprecated: use the Solve front door:
+//
+//	Solve(ctx, Problem{Objective: ObjectiveAtLeastK, Backend: BackendStream, Eps: eps, K: k, Edges: es})
 func StreamingAtLeastK(es EdgeStream, k int, eps float64, opts ...Option) (*Result, error) {
 	sol, err := Solve(context.Background(), Problem{Objective: ObjectiveAtLeastK, Backend: BackendStream, K: k, Eps: eps, Edges: es}, opts...)
 	if err != nil {
@@ -138,7 +145,9 @@ func StreamingAtLeastK(es EdgeStream, k int, eps float64, opts ...Option) (*Resu
 // fixed ratio c; results are identical to Directed on the same graph.
 // Shardable streams scan each pass across workers, as in Streaming.
 //
-// Deprecated: use Solve with ObjectiveDirected on BackendStream.
+// Deprecated: use the Solve front door:
+//
+//	Solve(ctx, Problem{Objective: ObjectiveDirected, Backend: BackendStream, Eps: eps, C: c, Edges: es})
 func StreamingDirected(es EdgeStream, c, eps float64, opts ...Option) (*DirectedResult, error) {
 	sol, err := Solve(context.Background(), Problem{Objective: ObjectiveDirected, Backend: BackendStream, C: c, Eps: eps, Edges: es}, opts...)
 	if err != nil {

@@ -1,0 +1,175 @@
+package densestream
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestObjectiveTextRoundTrip proves every Objective survives
+// MarshalText → UnmarshalText, that parsing is case-insensitive, and
+// that unknown names and out-of-range values error.
+func TestObjectiveTextRoundTrip(t *testing.T) {
+	for o := ObjectiveUndirected; o <= ObjectiveGreedy; o++ {
+		text, err := o.MarshalText()
+		if err != nil {
+			t.Fatalf("MarshalText(%v): %v", o, err)
+		}
+		if string(text) != o.String() {
+			t.Fatalf("MarshalText(%v) = %q, want the String name %q", o, text, o.String())
+		}
+		var back Objective
+		if err := back.UnmarshalText(text); err != nil {
+			t.Fatalf("UnmarshalText(%q): %v", text, err)
+		}
+		if back != o {
+			t.Fatalf("round trip of %v came back as %v", o, back)
+		}
+		var lower Objective
+		if err := lower.UnmarshalText([]byte(strings.ToLower(string(text)))); err != nil || lower != o {
+			t.Fatalf("case-insensitive parse of %q failed: %v -> %v", strings.ToLower(string(text)), err, lower)
+		}
+	}
+	var o Objective
+	if err := o.UnmarshalText([]byte("nope")); err == nil {
+		t.Fatal("UnmarshalText accepted an unknown objective")
+	}
+	if _, err := Objective(99).MarshalText(); err == nil {
+		t.Fatal("MarshalText accepted an out-of-range objective")
+	}
+}
+
+// TestBackendTextRoundTrip is the Backend analogue.
+func TestBackendTextRoundTrip(t *testing.T) {
+	for b := BackendPeel; b <= BackendMapReduce; b++ {
+		text, err := b.MarshalText()
+		if err != nil {
+			t.Fatalf("MarshalText(%v): %v", b, err)
+		}
+		if string(text) != b.String() {
+			t.Fatalf("MarshalText(%v) = %q, want the String name %q", b, text, b.String())
+		}
+		var back Backend
+		if err := back.UnmarshalText(text); err != nil {
+			t.Fatalf("UnmarshalText(%q): %v", text, err)
+		}
+		if back != b {
+			t.Fatalf("round trip of %v came back as %v", b, back)
+		}
+	}
+	var b Backend
+	if err := b.UnmarshalText([]byte("spark")); err == nil {
+		t.Fatal("UnmarshalText accepted an unknown backend")
+	}
+	if _, err := Backend(-1).MarshalText(); err == nil {
+		t.Fatal("MarshalText accepted an out-of-range backend")
+	}
+}
+
+// TestProblemJSONRoundTrip proves the tagged Problem fields survive a
+// JSON round trip with the enums as string names, and that the
+// in-process input fields never travel.
+func TestProblemJSONRoundTrip(t *testing.T) {
+	g, err := GenerateGnm(20, 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Problem{Objective: ObjectiveAtLeastK, Backend: BackendMapReduce, Eps: 0.5, K: 7, Graph: g}
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.Contains(s, `"objective":"AtLeastK"`) || !strings.Contains(s, `"backend":"MapReduce"`) {
+		t.Fatalf("enums did not marshal as names: %s", s)
+	}
+	if strings.Contains(s, "Graph") || strings.Contains(s, "graph") {
+		t.Fatalf("in-process input leaked onto the wire: %s", s)
+	}
+	var back Problem
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	p.Graph = nil // does not travel by design
+	if back != p {
+		t.Fatalf("round trip mismatch: got %+v want %+v", back, p)
+	}
+}
+
+// TestProblemValidate exercises the exported field-named parameter
+// validation the daemon relies on for 400 responses.
+func TestProblemValidate(t *testing.T) {
+	g, err := GenerateGnm(20, 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, err := GenerateRMAT(5, 60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		p    Problem
+		want string // substring of the error, "" for valid
+	}{
+		{"ok-undirected", Problem{Graph: g, Eps: 0.5}, ""},
+		{"ok-sweep", Problem{Objective: ObjectiveDirectedSweep, Directed: dg, Delta: 2}, ""},
+		{"no-input", Problem{}, "exactly one input"},
+		{"bad-eps", Problem{Graph: g, Eps: -1}, "Problem.Eps"},
+		{"bad-k", Problem{Objective: ObjectiveAtLeastK, Graph: g, K: 0}, "Problem.K"},
+		{"bad-c", Problem{Objective: ObjectiveDirected, Directed: dg, C: 0}, "Problem.C"},
+		{"bad-delta", Problem{Objective: ObjectiveDirectedSweep, Directed: dg, Delta: 1}, "Problem.Delta"},
+		{"wrong-input", Problem{Objective: ObjectiveDirected, Graph: g, C: 1}, "directed input"},
+	}
+	for _, tc := range cases {
+		err := tc.p.Validate()
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v does not mention %q", tc.name, err, tc.want)
+		}
+		// Solve must reject through the same path.
+		if _, serr := Solve(context.Background(), tc.p); serr == nil {
+			t.Errorf("%s: Solve accepted an invalid Problem", tc.name)
+		}
+	}
+}
+
+// TestSolutionJSONStable proves a Solution marshals with the documented
+// wire keys and that re-marshalling a decoded Solution is bit-identical
+// — the property the daemon's result cache depends on.
+func TestSolutionJSONStable(t *testing.T) {
+	g, err := GenerateChungLu(200, 800, 2.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := Solve(context.Background(), Problem{Graph: g, Eps: 0.5}, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"objective":"Undirected"`, `"backend":"Peel"`, `"set":`, `"density":`, `"passes":`, `"trace":`, `"stats":`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("marshalled Solution lacks %s: %s", key, data)
+		}
+	}
+	var back Solution
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	again, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(data) {
+		t.Fatalf("Solution JSON is not stable under decode/encode:\n%s\nvs\n%s", data, again)
+	}
+}
