@@ -6,8 +6,8 @@ GO ?= go
 # Benchmarks gated by the perf-trajectory trend (comma-separated
 # name-prefix allowlist for scripts/bench_trend.sh) and the go test
 # -bench pattern + packages that produce them.
-BENCH_GATED = BenchmarkParallelPeel,BenchmarkMapReducePeel,BenchmarkMapReduceSpill,BenchmarkFileStreamPeel,BenchmarkCore,BenchmarkServe
-BENCH_PATTERN = BenchmarkTable1|BenchmarkParallelPeel|BenchmarkMapReducePeel|BenchmarkMapReduceSpill|BenchmarkFileStreamPeel|BenchmarkCore|BenchmarkServe
+BENCH_GATED = BenchmarkParallelPeel,BenchmarkMapReducePeel,BenchmarkMapReduceSpill,BenchmarkFileStreamPeel,BenchmarkBinaryStreamPeel,BenchmarkConvert,BenchmarkCore,BenchmarkServe
+BENCH_PATTERN = BenchmarkTable1|BenchmarkParallelPeel|BenchmarkMapReducePeel|BenchmarkMapReduceSpill|BenchmarkFileStreamPeel|BenchmarkBinaryStreamPeel|BenchmarkConvert|BenchmarkCore|BenchmarkServe
 BENCH_PKGS = . ./internal/core ./internal/serve
 
 .PHONY: build test race bench bench-core bench-mr bench-json bench-trend fmt fmt-check vet api-check api-snapshot serve-smoke deprecated-check ci
@@ -35,8 +35,8 @@ bench-core:
 # the spill-budget sweep, and the sharded disk-stream sweep — gated
 # against the committed baseline like the peel sweeps.
 bench-mr:
-	$(GO) test -bench='BenchmarkMapReducePeel|BenchmarkMapReduceSpill|BenchmarkFileStreamPeel' -benchtime=1x -count=3 -run='^$$' . | tee /dev/stderr | scripts/bench_to_json.sh > BENCH_mr_fresh.json
-	scripts/bench_trend.sh BENCH_ci.json BENCH_mr_fresh.json 'BenchmarkMapReducePeel,BenchmarkMapReduceSpill,BenchmarkFileStreamPeel' 1.30
+	$(GO) test -bench='BenchmarkMapReducePeel|BenchmarkMapReduceSpill|BenchmarkFileStreamPeel|BenchmarkBinaryStreamPeel|BenchmarkConvert' -benchtime=1x -count=3 -run='^$$' . | tee /dev/stderr | scripts/bench_to_json.sh > BENCH_mr_fresh.json
+	scripts/bench_trend.sh BENCH_ci.json BENCH_mr_fresh.json 'BenchmarkMapReducePeel,BenchmarkMapReduceSpill,BenchmarkFileStreamPeel,BenchmarkBinaryStreamPeel,BenchmarkConvert' 1.30
 	@rm -f BENCH_mr_fresh.json
 
 # Emit BENCH_ci.json (benchmark name -> ns/op + allocs/op) from the

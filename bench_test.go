@@ -12,6 +12,7 @@ import (
 	"os"
 	"sync"
 	"testing"
+	"time"
 
 	ds "densestream"
 	"densestream/internal/experiments"
@@ -322,6 +323,96 @@ func BenchmarkFileStreamPeel(b *testing.B) {
 			}
 			b.SetBytes(scanned)
 		})
+	}
+}
+
+// binaryStreamBench lazily prepares the binary-format disk benchmark:
+// the same ~2M-edge power-law graph as BenchmarkFileStreamPeel, written
+// as a binary columnar file, plus a one-shot timing of the resident
+// solve on the same graph for the disk-vs-resident ratio metric.
+var binaryStreamBench = sync.OnceValues(func() (*binaryBenchState, error) {
+	g, err := ds.GenerateChungLu(400000, 2<<20, 2.2, 1)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.CreateTemp("", "densestream-bench-*.bsg")
+	if err != nil {
+		return nil, err
+	}
+	path := f.Name()
+	f.Close()
+	if err := ds.WriteUndirectedBinary(path, g); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if _, err := ds.Solve(context.Background(),
+		ds.Problem{Objective: ds.ObjectiveUndirected, Backend: ds.BackendStream, Eps: 1, Graph: g},
+		ds.WithWorkers(1)); err != nil {
+		return nil, err
+	}
+	return &binaryBenchState{graph: g, path: path, residentNs: float64(time.Since(start).Nanoseconds())}, nil
+})
+
+type binaryBenchState struct {
+	graph      *ds.UndirectedGraph
+	path       string
+	residentNs float64
+}
+
+// BenchmarkBinaryStreamPeel is BenchmarkFileStreamPeel on the binary
+// columnar format: the same solve, but the per-pass scan decodes
+// column blocks (through the mmap reader where available) instead of
+// parsing text. The x-resident metric is this run's ns/op over a
+// single-worker resident solve of the same graph — the price of going
+// out-of-core in this format.
+func BenchmarkBinaryStreamPeel(b *testing.B) {
+	st, err := binaryStreamBench()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var scanned int64
+			for i := 0; i < b.N; i++ {
+				sol, err := ds.Solve(context.Background(),
+					ds.Problem{Objective: ds.ObjectiveUndirected, Backend: ds.BackendStream, Eps: 1, Path: st.path},
+					ds.WithWorkers(workers))
+				if err != nil {
+					b.Fatal(err)
+				}
+				scanned = sol.Stats.BytesScanned
+			}
+			b.SetBytes(scanned)
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/st.residentNs, "x-resident")
+		})
+	}
+}
+
+// BenchmarkConvert measures text-to-binary conversion through the
+// public API (sharded text load, then the binary writer); bytes/op is
+// the text input size.
+func BenchmarkConvert(b *testing.B) {
+	txt, err := fileStreamBenchPath()
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := os.Stat(txt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := txt + ".convert.bsg"
+	defer os.Remove(out)
+	b.ReportAllocs()
+	b.SetBytes(st.Size())
+	for i := 0; i < b.N; i++ {
+		g, _, err := ds.ReadUndirectedFile(txt, false, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := ds.WriteUndirectedBinary(out, g); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

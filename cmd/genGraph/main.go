@@ -1,20 +1,27 @@
 // Command genGraph writes synthetic graphs in edge-list format, covering
 // the dataset stand-ins used by the experiments (Table 1) as well as the
-// generic generators.
+// generic generators. It also converts existing graph files between the
+// text and binary columnar formats.
 //
 // Usage:
 //
 //	genGraph -kind flickr -scale 1 -out flickr.txt
 //	genGraph -kind chunglu -n 100000 -m 800000 -exponent 2.1 -out g.txt
 //	genGraph -kind rmat -logn 16 -m 1000000 -out follows.txt
+//	genGraph -kind gnm -n 100000 -m 800000 -format binary -out g.bsg
+//	genGraph -convert g.txt -out g.bsg
+//	genGraph -convert g.bsg -out g.txt
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	ds "densestream"
+	"densestream/internal/edgeio"
 	"densestream/internal/gen"
 	"densestream/internal/graph"
 )
@@ -23,6 +30,9 @@ func main() {
 	var (
 		kind     = flag.String("kind", "", "flickr | im | lj | twitter | gnm | chunglu | chungludir | rmat | planted | communities")
 		out      = flag.String("out", "", "output file (required)")
+		format   = flag.String("format", "text", "output format for generated graphs: text | binary")
+		convert  = flag.String("convert", "", "convert this graph file to -out (direction sniffed from the input's magic bytes)")
+		weighted = flag.Bool("weighted", false, "text-to-binary conversion: carry the third column as a weight column")
 		scale    = flag.Int("scale", 1, "dataset scale for the stand-ins")
 		n        = flag.Int("n", 10000, "nodes (generic generators)")
 		m        = flag.Int64("m", 50000, "edges (generic generators)")
@@ -31,26 +41,30 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
-	if *kind == "" || *out == "" {
+	if *out == "" || (*convert == "" && *kind == "") {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*kind, *out, *scale, *n, *m, *logn, *exponent, *seed); err != nil {
+	var err error
+	if *convert != "" {
+		err = runConvert(*convert, *out, *weighted)
+	} else {
+		err = run(*kind, *out, *format, *scale, *n, *m, *logn, *exponent, *seed)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "genGraph:", err)
 		os.Exit(1)
 	}
 }
 
-func run(kind, out string, scale, n int, m int64, logn int, exponent float64, seed int64) error {
-	f, err := os.Create(out)
-	if err != nil {
-		return err
+func run(kind, out, format string, scale, n int, m int64, logn int, exponent float64, seed int64) error {
+	if format != "text" && format != "binary" {
+		return fmt.Errorf("unknown format %q (want text or binary)", format)
 	}
-	defer f.Close()
-
 	var (
-		ug *graph.Undirected
-		dg *graph.Directed
+		ug  *graph.Undirected
+		dg  *graph.Directed
+		err error
 	)
 	switch kind {
 	case "flickr":
@@ -82,9 +96,127 @@ func run(kind, out string, scale, n int, m int64, logn int, exponent float64, se
 	if ug != nil {
 		s := ds.Stats(ug)
 		fmt.Printf("%s: %d nodes, %d edges (undirected), max degree %d\n", kind, s.Nodes, s.Edges, s.MaxDegree)
-		return graph.WriteUndirected(f, ug)
+		if format == "binary" {
+			return graph.WriteUndirectedBinary(out, ug)
+		}
+		return writeText(out, func(f io.Writer) error { return graph.WriteUndirected(f, ug) })
 	}
 	s := ds.StatsDirected(dg)
 	fmt.Printf("%s: %d nodes, %d edges (directed), max degree %d\n", kind, s.Nodes, s.Edges, s.MaxDegree)
-	return graph.WriteDirected(f, dg)
+	if format == "binary" {
+		return graph.WriteDirectedBinary(out, dg)
+	}
+	return writeText(out, func(f io.Writer) error { return graph.WriteDirected(f, dg) })
+}
+
+func writeText(out string, emit func(io.Writer) error) error {
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// runConvert rewrites a graph file in the other on-disk format,
+// preserving the edge sequence exactly (text comments and self loops
+// are dropped by the text parser, as every text consumer drops them),
+// so the converted file is interchangeable with the original for every
+// backend.
+func runConvert(in, out string, weighted bool) error {
+	isBin, err := edgeio.DetectBinary(in)
+	if err != nil {
+		return err
+	}
+	if isBin {
+		return convertToText(in, out)
+	}
+	return convertToBinary(in, out, weighted)
+}
+
+func convertToBinary(in, out string, weighted bool) error {
+	src, err := edgeio.OpenFileSource(in)
+	if err != nil {
+		return err
+	}
+	r := src.SequentialWeightedReader()
+	if err := r.Reset(); err != nil {
+		return err
+	}
+	w, err := edgeio.CreateBinary(out, weighted)
+	if err != nil {
+		return err
+	}
+	edges := int64(0)
+	for {
+		e, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			w.Close()
+			os.Remove(out)
+			return err
+		}
+		if weighted {
+			w.AppendWeighted(e)
+		} else {
+			w.Append(edgeio.Edge{U: e.U, V: e.V})
+		}
+		edges++
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("converted %s -> %s: %d edges (text to binary)\n", in, out, edges)
+	return nil
+}
+
+func convertToText(in, out string) error {
+	src, err := edgeio.OpenBinarySource(in)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	r := src.WeightedShards(1)[0]
+	if err := r.Reset(); err != nil {
+		f.Close()
+		return err
+	}
+	edges := int64(0)
+	for {
+		e, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err == nil {
+			if src.Weighted() {
+				_, err = fmt.Fprintf(bw, "%d\t%d\t%g\n", e.U, e.V, e.Weight)
+			} else {
+				_, err = fmt.Fprintf(bw, "%d\t%d\n", e.U, e.V)
+			}
+		}
+		if err != nil {
+			f.Close()
+			return err
+		}
+		edges++
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("converted %s -> %s: %d edges (binary to text)\n", in, out, edges)
+	return nil
 }

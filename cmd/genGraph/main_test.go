@@ -4,6 +4,9 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"densestream/internal/edgeio"
+	"densestream/internal/graph"
 )
 
 func TestRunAllKinds(t *testing.T) {
@@ -11,7 +14,7 @@ func TestRunAllKinds(t *testing.T) {
 	kinds := []string{"gnm", "chunglu", "chungludir", "rmat", "planted", "communities"}
 	for _, kind := range kinds {
 		out := filepath.Join(dir, kind+".txt")
-		if err := run(kind, out, 1, 500, 1500, 8, 2.2, 7); err != nil {
+		if err := run(kind, out, "text", 1, 500, 1500, 8, 2.2, 7); err != nil {
 			t.Errorf("kind %s: %v", kind, err)
 			continue
 		}
@@ -22,6 +25,22 @@ func TestRunAllKinds(t *testing.T) {
 	}
 }
 
+func TestRunBinaryFormat(t *testing.T) {
+	dir := t.TempDir()
+	for _, kind := range []string{"gnm", "chungludir"} {
+		out := filepath.Join(dir, kind+".bsg")
+		if err := run(kind, out, "binary", 1, 500, 1500, 8, 2.2, 7); err != nil {
+			t.Fatalf("kind %s: %v", kind, err)
+		}
+		if isBin, err := edgeio.DetectBinary(out); err != nil || !isBin {
+			t.Fatalf("kind %s: output not binary (isBin=%v err=%v)", kind, isBin, err)
+		}
+	}
+	if err := run("gnm", filepath.Join(dir, "z"), "csv", 1, 500, 1500, 8, 2.2, 7); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
 func TestRunStandIns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("dataset generation in -short mode")
@@ -29,21 +48,107 @@ func TestRunStandIns(t *testing.T) {
 	dir := t.TempDir()
 	for _, kind := range []string{"flickr", "lj", "twitter"} {
 		out := filepath.Join(dir, kind+".txt")
-		if err := run(kind, out, 1, 0, 0, 0, 0, 7); err != nil {
+		if err := run(kind, out, "text", 1, 0, 0, 0, 0, 7); err != nil {
 			t.Errorf("kind %s: %v", kind, err)
 		}
 	}
 }
 
+// TestConvertRoundTrip converts text -> binary -> text and checks the
+// graphs loaded from all three files are identical: same edge sequence,
+// same labels, same stats.
+func TestConvertRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	txt := filepath.Join(dir, "g.txt")
+	if err := run("chunglu", txt, "text", 1, 400, 1200, 8, 2.2, 11); err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(dir, "g.bsg")
+	if err := runConvert(txt, bin, false); err != nil {
+		t.Fatalf("text->binary: %v", err)
+	}
+	back := filepath.Join(dir, "g2.txt")
+	if err := runConvert(bin, back, false); err != nil {
+		t.Fatalf("binary->text: %v", err)
+	}
+	want, err := os.ReadFile(txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(want) != string(got) {
+		t.Fatalf("text -> binary -> text round trip changed the file (%d vs %d bytes)", len(want), len(got))
+	}
+	g1, lm1, err := graph.ReadUndirectedFile(txt, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, lm2, err := graph.ReadUndirectedFile(bin, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumNodes() != g2.NumNodes() || g1.NumEdges() != g2.NumEdges() || lm1.Len() != lm2.Len() {
+		t.Fatalf("text vs binary load disagree: %d/%d nodes, %d/%d edges, %d/%d labels",
+			g1.NumNodes(), g2.NumNodes(), g1.NumEdges(), g2.NumEdges(), lm1.Len(), lm2.Len())
+	}
+	for i := 0; i < lm1.Len(); i++ {
+		if lm1.Label(int32(i)) != lm2.Label(int32(i)) {
+			t.Fatalf("label %d: text %q vs binary %q", i, lm1.Label(int32(i)), lm2.Label(int32(i)))
+		}
+	}
+}
+
+// TestConvertWeighted carries a weight column through text -> binary.
+func TestConvertWeighted(t *testing.T) {
+	dir := t.TempDir()
+	txt := filepath.Join(dir, "w.txt")
+	if err := os.WriteFile(txt, []byte("0\t1\t0.5\n1\t2\t2\n2\t0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(dir, "w.bsg")
+	if err := runConvert(txt, bin, true); err != nil {
+		t.Fatal(err)
+	}
+	src, err := edgeio.OpenBinarySource(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if !src.Weighted() || src.NumEdges() != 3 {
+		t.Fatalf("weighted=%v edges=%d, want weighted with 3 edges", src.Weighted(), src.NumEdges())
+	}
+	back := filepath.Join(dir, "w2.txt")
+	if err := runConvert(bin, back, false); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The missing third column defaults to weight 1 at parse time.
+	if want := "0\t1\t0.5\n1\t2\t2\n2\t0\t1\n"; string(got) != want {
+		t.Fatalf("binary->text weighted output:\n%q\nwant:\n%q", got, want)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("bogus", filepath.Join(dir, "x.txt"), 1, 10, 10, 4, 2, 1); err == nil {
+	if err := run("bogus", filepath.Join(dir, "x.txt"), "text", 1, 10, 10, 4, 2, 1); err == nil {
 		t.Error("unknown kind accepted")
 	}
-	if err := run("gnm", "/nonexistent-dir/x.txt", 1, 10, 10, 4, 2, 1); err == nil {
+	if err := run("gnm", "/nonexistent-dir/x.txt", "text", 1, 10, 10, 4, 2, 1); err == nil {
 		t.Error("unwritable output accepted")
 	}
-	if err := run("gnm", filepath.Join(dir, "y.txt"), 1, 1, 10, 4, 2, 1); err == nil {
+	if err := run("gnm", "/nonexistent-dir/x.bsg", "binary", 1, 10, 10, 4, 2, 1); err == nil {
+		t.Error("unwritable binary output accepted")
+	}
+	if err := run("gnm", filepath.Join(dir, "y.txt"), "text", 1, 1, 10, 4, 2, 1); err == nil {
 		t.Error("generator error not propagated")
+	}
+	if err := runConvert(filepath.Join(dir, "missing.txt"), filepath.Join(dir, "o.bsg"), false); err == nil {
+		t.Error("missing convert input accepted")
 	}
 }

@@ -53,7 +53,11 @@ func ReadDirected(r io.Reader) (*DirectedGraph, *LabelMap, error) {
 // line scan and tokenizing sharded across workers (byte-range shards
 // with line-boundary resync). Output is bit-identical to ReadUndirected
 // on the same bytes for every worker count; workers <= 0 means
-// GOMAXPROCS. Solve uses it for every Problem with a Path input.
+// GOMAXPROCS. Solve uses it for every Problem with a Path input. The
+// format is sniffed from the magic bytes: both text edge lists and
+// binary columnar files (see WriteUndirectedBinary) load here, and a
+// text file and its binary conversion freeze into bit-identical
+// graphs.
 func ReadUndirectedFile(path string, weighted bool, workers int) (*UndirectedGraph, *LabelMap, error) {
 	return graph.ReadUndirectedFile(path, weighted, workers)
 }
@@ -72,6 +76,20 @@ func WriteUndirected(w io.Writer, g *UndirectedGraph) error {
 // WriteDirected emits g as a text edge list using dense ids.
 func WriteDirected(w io.Writer, g *DirectedGraph) error {
 	return graph.WriteDirected(w, g)
+}
+
+// WriteUndirectedBinary emits g as a binary columnar edge file at
+// path (the compact format the out-of-core backends scan without
+// parsing; the weight column is present iff g is weighted). Files it
+// writes load through ReadUndirectedFile, Problem.Path, and the disk
+// streams interchangeably with text edge lists.
+func WriteUndirectedBinary(path string, g *UndirectedGraph) error {
+	return graph.WriteUndirectedBinary(path, g)
+}
+
+// WriteDirectedBinary is WriteUndirectedBinary for directed graphs.
+func WriteDirectedBinary(path string, g *DirectedGraph) error {
+	return graph.WriteDirectedBinary(path, g)
 }
 
 // Stats computes structural statistics for an undirected graph.

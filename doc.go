@@ -120,8 +120,9 @@
 // setting — run through internal/edgeio, one sharded EdgeSource layer
 // with three implementations: memory-resident slices, byte-range
 // shards of edge-list files with line-boundary resync (CRLF and
-// missing-trailing-newline safe), and binary spill files written by
-// the MapReduce engine. Every Problem with a Path input rides on it:
+// missing-trailing-newline safe), and binary columnar files (the same
+// block codec the MapReduce engine uses for its spill runs). Every
+// Problem with a Path input rides on it:
 //
 //   - BackendStream re-reads the file once per pass holding O(n)
 //     state, and WithWorkers(n) splits each pass's scan into n file
@@ -145,6 +146,54 @@
 // Solution.Stats reports the I/O a solve performed: BytesScanned
 // (disk reads by the file-backed streams, discovery scan included) and
 // BytesSpilled (MapReduce spill writes under the budget).
+//
+// # Binary columnar edge storage
+//
+// Disk inputs come in two interchangeable formats, told apart by the
+// first four bytes of the file. Text is the SNAP-style edge list:
+// one "u<tab>v[<tab>w]" pair per line, '#' comments, lenient
+// whitespace — the format every public graph dataset ships in.
+// Binary is this package's columnar format (conventionally *.bsg,
+// written by WriteUndirectedBinary/WriteDirectedBinary or
+// `genGraph -format=binary` / `genGraph -convert`):
+//
+//	header:   "BSG1" magic, version u16, flags u16 (bit0 = weighted),
+//	          node count u64 — 16 bytes, little-endian throughout
+//	blocks:   edge count u32, payload length u32, encoding u8, payload
+//	          encoding 0: fixed-width columns — all srcs as u32, then
+//	                      all dsts as u32, then (if weighted) all
+//	                      weights as f64
+//	          encoding 1: delta-varint — first src absolute, the rest
+//	                      as uvarint deltas (chosen per block only when
+//	                      srcs are non-decreasing, e.g. writer output in
+//	                      CSR order); dsts as absolute uvarints;
+//	                      weights stay fixed f64
+//	index:    one {file offset u64, edge count u32} entry per block
+//	trailer:  index offset u64, total edges u64, block count u32,
+//	          "BSG1-END" — 28 bytes, so readers locate the index from
+//	          the end of the file
+//
+// The per-block index is what makes the format shardable: Shards(k)
+// splits the blocks into k contiguous record ranges, each reader
+// seeking straight to its first block — no resync scan, no parsing.
+// Scans decode whole blocks into reused Edge buffers, so the
+// steady-state read path allocates nothing and a pass runs at disk
+// (or page-cache) bandwidth; on Unix the file is mmapped and decoded
+// in place, with a transparent fallback to buffered pread elsewhere.
+// Readers validate magic, version, flags, the trailer, and every
+// block bound before touching payload bytes, and corruption errors
+// carry the byte offset of the damage.
+//
+// When to convert: text is the interchange format — keep it for
+// datasets you edit, grep, or ship elsewhere. Convert to binary
+// (`genGraph -convert in.txt -o out.bsg`, byte-for-byte reversible)
+// when a file is scanned more than once — a multi-pass stream solve
+// re-reads its input O(log n) times, and the binary scan skips the
+// integer parsing and line splitting that dominate the text path
+// while typically also shrinking the file. All consumers accept
+// either format from the same Problem.Path with no option changes,
+// and return bit-identical Solutions for a text file and its
+// conversion.
 //
 // # MapReduce runtime
 //

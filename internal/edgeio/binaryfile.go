@@ -1,0 +1,284 @@
+package edgeio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
+)
+
+// BinarySource is the common surface of the binary-file readers: a
+// sharded, re-scannable edge source (both lanes) that knows its node
+// and edge counts from the header — no discovery pass — and releases
+// its resources on Close.
+type BinarySource interface {
+	Source
+	WeightedSource
+	// Nodes is the header's node count (max id + 1 over the edges).
+	Nodes() int
+	// NumEdges is the trailer's total edge count.
+	NumEdges() int64
+	// Weighted reports whether the file carries a weight column.
+	Weighted() bool
+	// Path returns the file path.
+	Path() string
+	// BytesScanned returns the cumulative bytes decoded across all
+	// shards and passes.
+	BytesScanned() int64
+	// Close releases file handles or mappings. Shards must not be used
+	// after Close.
+	Close() error
+}
+
+// OpenBinarySource opens the binary graph file at path through the
+// fastest available reader: the mmap-backed source where the platform
+// supports it, falling back to the buffered file source when mapping
+// is unavailable or fails.
+func OpenBinarySource(path string) (BinarySource, error) {
+	if src, err := OpenMmapSource(path); err == nil {
+		return src, nil
+	} else if _, ok := err.(*formatError); ok {
+		// A malformed file fails the same way on both readers; don't
+		// mask the descriptive error with a fallback attempt.
+		return nil, err
+	}
+	return OpenBinaryFileSource(path)
+}
+
+// formatError marks meta-validation failures so OpenBinarySource can
+// distinguish "bad file" from "mmap unavailable".
+type formatError struct{ err error }
+
+func (e *formatError) Error() string { return e.err.Error() }
+func (e *formatError) Unwrap() error { return e.err }
+
+// BinaryFileSource reads a binary columnar graph file through buffered
+// file I/O. Shards cover contiguous block ranges (a function of the
+// block count and k only); each shard owns its file handle and reuses
+// one raw block buffer and one decoded edge buffer across blocks and
+// passes, so a steady-state scan performs no allocations.
+type BinaryFileSource struct {
+	meta  *binaryMeta
+	bytes atomic.Int64
+}
+
+// OpenBinaryFileSource opens and validates the binary file at path.
+func OpenBinaryFileSource(path string) (*BinaryFileSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("edgeio: %w", err)
+	}
+	defer f.Close()
+	meta, err := readBinaryMeta(f, path)
+	if err != nil {
+		return nil, err
+	}
+	return &BinaryFileSource{meta: meta}, nil
+}
+
+// Nodes implements BinarySource.
+func (s *BinaryFileSource) Nodes() int { return int(s.meta.nodes) }
+
+// NumEdges implements BinarySource.
+func (s *BinaryFileSource) NumEdges() int64 { return s.meta.edges }
+
+// Weighted implements BinarySource.
+func (s *BinaryFileSource) Weighted() bool { return s.meta.weighted }
+
+// Path implements BinarySource.
+func (s *BinaryFileSource) Path() string { return s.meta.path }
+
+// BytesScanned implements BinarySource.
+func (s *BinaryFileSource) BytesScanned() int64 { return s.bytes.Load() }
+
+// Close implements BinarySource. The source holds no file handle of
+// its own (shards own theirs, released by their Close), so this is a
+// no-op kept for interface symmetry with MmapSource.
+func (s *BinaryFileSource) Close() error { return nil }
+
+// BlockShards cuts the file into 1..k contiguous block ranges.
+func (s *BinaryFileSource) BlockShards(k int) []*BinaryShard {
+	ranges := blockRanges(len(s.meta.index), k)
+	shards := make([]*BinaryShard, len(ranges))
+	for i, r := range ranges {
+		shards[i] = &BinaryShard{src: s, lo: r[0], hi: r[1]}
+	}
+	return shards
+}
+
+// Shards implements Source.
+func (s *BinaryFileSource) Shards(k int) []Reader {
+	bs := s.BlockShards(k)
+	out := make([]Reader, len(bs))
+	for i, sh := range bs {
+		out[i] = sh
+	}
+	return out
+}
+
+// WeightedShards implements WeightedSource. Unweighted files serve
+// weight 1, like the text parsers.
+func (s *BinaryFileSource) WeightedShards(k int) []WeightedReader {
+	bs := s.BlockShards(k)
+	out := make([]WeightedReader, len(bs))
+	for i, sh := range bs {
+		sh.decodeWeights = s.meta.weighted
+		out[i] = binaryWeightedShard{sh}
+	}
+	return out
+}
+
+// blockRanges splits nblocks into at most k contiguous [lo,hi) ranges,
+// depending only on nblocks and k. An empty file yields one empty
+// range so callers always get at least one (empty) shard.
+func blockRanges(nblocks, k int) [][2]int {
+	if k < 1 {
+		k = 1
+	}
+	if k > nblocks {
+		k = nblocks
+	}
+	if k < 1 {
+		return [][2]int{{0, 0}}
+	}
+	out := make([][2]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = [2]int{nblocks * i / k, nblocks * (i + 1) / k}
+	}
+	return out
+}
+
+// BinaryShard scans one block range of a BinaryFileSource. It
+// implements Reader; WeightedShards wraps it for the weighted lane.
+// The raw, edge, and weight buffers are allocated on the first pass
+// and reused for every later block and pass.
+type BinaryShard struct {
+	src    *BinaryFileSource
+	lo, hi int // block range [lo, hi)
+
+	f             *os.File
+	raw           []byte
+	edges         []Edge
+	weights       []float64
+	decodeWeights bool
+
+	block  int // next block to decode
+	pos    int // next edge within the decoded block
+	have   int // decoded edges available
+	closed bool
+}
+
+// Reset implements Reader, (re)positioning the shard at its first
+// block and opening the file handle on first use.
+func (sh *BinaryShard) Reset() error {
+	if sh.closed {
+		return fmt.Errorf("edgeio: Reset on closed shard of %s", sh.src.meta.path)
+	}
+	if sh.f == nil {
+		f, err := os.Open(sh.src.meta.path)
+		if err != nil {
+			return fmt.Errorf("edgeio: %w", err)
+		}
+		sh.f = f
+	}
+	sh.block = sh.lo
+	sh.pos, sh.have = 0, 0
+	return nil
+}
+
+// fill reads and decodes the next block into the shard's buffers.
+func (sh *BinaryShard) fill() error {
+	if sh.closed {
+		return fmt.Errorf("edgeio: Next on closed shard of %s", sh.src.meta.path)
+	}
+	if sh.f == nil {
+		if err := sh.Reset(); err != nil {
+			return err
+		}
+	}
+	if sh.block >= sh.hi {
+		return io.EOF
+	}
+	m := sh.src.meta
+	i := sh.block
+	size := int(m.blockEnd(i) - m.index[i].off)
+	if cap(sh.raw) < size {
+		sh.raw = make([]byte, size)
+	}
+	raw := sh.raw[:size]
+	if _, err := sh.f.ReadAt(raw, m.index[i].off); err != nil {
+		return fmt.Errorf("edgeio: %s: reading block %d at offset %d: %w", m.path, i, m.index[i].off, err)
+	}
+	if cap(sh.edges) < m.maxCount {
+		sh.edges = make([]Edge, m.maxCount)
+		if sh.decodeWeights {
+			sh.weights = make([]float64, m.maxCount)
+		}
+	}
+	var weights []float64
+	if sh.decodeWeights {
+		weights = sh.weights
+	}
+	edges, weights, err := m.decodeBlock(i, raw, sh.edges, weights)
+	if err != nil {
+		return err
+	}
+	sh.edges = edges
+	if sh.decodeWeights {
+		sh.weights = weights
+	}
+	sh.src.bytes.Add(int64(size))
+	sh.block++
+	sh.pos, sh.have = 0, len(edges)
+	return nil
+}
+
+// Next implements Reader.
+func (sh *BinaryShard) Next() (Edge, error) {
+	for sh.pos >= sh.have {
+		if err := sh.fill(); err != nil {
+			return Edge{}, err
+		}
+	}
+	e := sh.edges[sh.pos]
+	sh.pos++
+	return e, nil
+}
+
+// Close releases the shard's file handle. It is idempotent.
+func (sh *BinaryShard) Close() error {
+	if sh.closed || sh.f == nil {
+		sh.closed = true
+		return nil
+	}
+	sh.closed = true
+	return sh.f.Close()
+}
+
+// binaryWeightedShard adapts a BinaryShard to the weighted lane;
+// unweighted files serve weight 1.
+type binaryWeightedShard struct {
+	sh *BinaryShard
+}
+
+// Reset implements WeightedReader.
+func (w binaryWeightedShard) Reset() error { return w.sh.Reset() }
+
+// Next implements WeightedReader.
+func (w binaryWeightedShard) Next() (WeightedEdge, error) {
+	sh := w.sh
+	for sh.pos >= sh.have {
+		if err := sh.fill(); err != nil {
+			return WeightedEdge{}, err
+		}
+	}
+	e := WeightedEdge{U: sh.edges[sh.pos].U, V: sh.edges[sh.pos].V, Weight: 1}
+	if sh.decodeWeights {
+		e.Weight = sh.weights[sh.pos]
+	}
+	sh.pos++
+	return e, nil
+}
+
+// Close releases the underlying shard's file handle.
+func (w binaryWeightedShard) Close() error { return w.sh.Close() }

@@ -122,6 +122,118 @@ func parseWeightedEdgeLine(text string) (e WeightedEdge, skip bool, err error) {
 	return WeightedEdge{U: int32(u), V: int32(v), Weight: w}, false, nil
 }
 
+// isASCIISpace reports whether c is one of the ASCII whitespace bytes
+// strings.Fields splits on. Lines containing any other separator (or
+// non-UTF-8 bytes) take the string fallback below, which reproduces the
+// Fields semantics exactly.
+func isASCIISpace(c byte) bool {
+	switch c {
+	case ' ', '\t', '\n', '\v', '\f', '\r':
+		return true
+	}
+	return false
+}
+
+// skipASCIISpace returns the first index >= i of a non-space byte.
+func skipASCIISpace(b []byte, i int) int {
+	for i < len(b) && isASCIISpace(b[i]) {
+		i++
+	}
+	return i
+}
+
+// parseNodeID parses a run of decimal digits starting at i, bounded to
+// int32. ok is false (triggering the string fallback) on an empty run,
+// overflow, or a leading sign — the slow path accepts "+5" and rejects
+// negatives with the canonical error text.
+func parseNodeID(b []byte, i int) (id int32, end int, ok bool) {
+	start := i
+	var n int64
+	for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+		n = n*10 + int64(b[i]-'0')
+		if n > math.MaxInt32 {
+			return 0, i, false
+		}
+		i++
+	}
+	if i == start {
+		return 0, i, false
+	}
+	return int32(n), i, true
+}
+
+// parseEdgeLineBytes is parseEdgeLine over a byte slice: the hot path
+// of the text file shards. The fast path handles the common
+// "digits space digits" shape without allocating; anything unusual —
+// signs, overflow, malformed fields, exotic whitespace — falls back to
+// the string parser so semantics and error text stay identical.
+func parseEdgeLineBytes(b []byte) (e Edge, skip bool, err error) {
+	i := skipASCIISpace(b, 0)
+	if i == len(b) || b[i] == '#' || b[i] == '%' {
+		return Edge{}, true, nil
+	}
+	u, i, ok := parseNodeID(b, i)
+	if !ok {
+		return parseEdgeLine(string(b))
+	}
+	j := skipASCIISpace(b, i)
+	if j == i || j == len(b) {
+		// No separator after the first field, or only one field.
+		return parseEdgeLine(string(b))
+	}
+	v, j, ok := parseNodeID(b, j)
+	if !ok || (j < len(b) && !isASCIISpace(b[j])) {
+		return parseEdgeLine(string(b))
+	}
+	// Any further fields are ignored, as strings.Fields-based parsing
+	// ignores them.
+	if u == v {
+		return Edge{}, true, nil
+	}
+	return Edge{U: u, V: v}, false, nil
+}
+
+// parseWeightedEdgeLineBytes is parseWeightedEdgeLine over a byte
+// slice. The weight still goes through strconv.ParseFloat for exact
+// parsing semantics; its argument does not escape, so the conversion
+// stays off the heap for ordinary weight tokens.
+func parseWeightedEdgeLineBytes(b []byte) (e WeightedEdge, skip bool, err error) {
+	i := skipASCIISpace(b, 0)
+	if i == len(b) || b[i] == '#' || b[i] == '%' {
+		return WeightedEdge{}, true, nil
+	}
+	u, i, ok := parseNodeID(b, i)
+	if !ok {
+		return parseWeightedEdgeLine(string(b))
+	}
+	j := skipASCIISpace(b, i)
+	if j == i || j == len(b) {
+		return parseWeightedEdgeLine(string(b))
+	}
+	v, j, ok := parseNodeID(b, j)
+	if !ok || (j < len(b) && !isASCIISpace(b[j])) {
+		return parseWeightedEdgeLine(string(b))
+	}
+	w := 1.0
+	if k := skipASCIISpace(b, j); k < len(b) {
+		end := k
+		for end < len(b) && !isASCIISpace(b[end]) {
+			end++
+		}
+		var werr error
+		w, werr = strconv.ParseFloat(string(b[k:end]), 64)
+		if werr != nil || w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			// Reproduce the canonical error text (or, for weird inputs
+			// ParseFloat accepts differently, the canonical verdict).
+			return parseWeightedEdgeLine(string(b))
+		}
+	}
+	if u == v {
+		return WeightedEdge{}, true, nil
+	}
+	return WeightedEdge{U: u, V: v, Weight: w}, false, nil
+}
+
 // MaxNodeID scans r fully and reports the maximum node id seen (-1 for
 // an empty source) — the node-count discovery pass of the file-backed
 // streams, which assume dense ids 0..max.

@@ -240,8 +240,12 @@ func TestSpillRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sp.Records != 1000 || sp.Bytes != 8000 {
-		t.Fatalf("descriptor %+v", sp)
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Records != 1000 || sp.Bytes != st.Size() || sp.Bytes == 0 {
+		t.Fatalf("descriptor %+v (on-disk size %d)", sp, st.Size())
 	}
 	r, err := sp.OpenReader()
 	if err != nil {

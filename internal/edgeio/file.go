@@ -111,9 +111,12 @@ type FileShard struct {
 	lo, hi int64
 	f      *os.File
 	rd     *bufio.Reader
-	off    int64 // offset of the next unread byte
-	done   bool
-	closed bool
+	// scratch holds lines longer than the read buffer; it is reused
+	// across lines and passes so the scan loop stays allocation-free.
+	scratch []byte
+	off     int64 // offset of the next unread byte
+	done    bool
+	closed  bool
 }
 
 // Reset implements Reader: it (re)positions the shard at its first
@@ -146,13 +149,19 @@ func (sh *FileShard) Reset() error {
 	if sh.lo > 0 {
 		// Resync: the line containing byte lo (or starting exactly at
 		// it) belongs to the previous shard; skip through its newline.
-		skipped, err := sh.rd.ReadString('\n')
-		sh.off += int64(len(skipped))
-		sh.src.bytes.Add(int64(len(skipped)))
-		if err == io.EOF {
-			sh.done = true
-		} else if err != nil {
-			return fmt.Errorf("edgeio: resyncing %s: %w", sh.src.path, err)
+		for {
+			skipped, err := sh.rd.ReadSlice('\n')
+			sh.off += int64(len(skipped))
+			sh.src.bytes.Add(int64(len(skipped)))
+			if err == bufio.ErrBufferFull {
+				continue
+			}
+			if err == io.EOF {
+				sh.done = true
+			} else if err != nil {
+				return fmt.Errorf("edgeio: resyncing %s: %w", sh.src.path, err)
+			}
+			break
 		}
 	}
 	return nil
@@ -165,28 +174,47 @@ func (sh *FileShard) Reset() error {
 // too — NextLine is the layer below edge parsing, used by the parallel
 // graph loaders.
 func (sh *FileShard) NextLine() (string, int64, error) {
+	line, start, err := sh.nextLineBytes()
+	return string(line), start, err
+}
+
+// nextLineBytes is NextLine without the string copy: the returned slice
+// aliases the shard's read buffer (or its long-line scratch) and is
+// valid only until the next read. It is the allocation-free layer the
+// edge parsers scan through.
+func (sh *FileShard) nextLineBytes() ([]byte, int64, error) {
 	if sh.closed {
-		return "", 0, fmt.Errorf("edgeio: NextLine on closed shard of %s", sh.src.path)
+		return nil, 0, fmt.Errorf("edgeio: NextLine on closed shard of %s", sh.src.path)
 	}
 	if sh.rd == nil {
 		if err := sh.Reset(); err != nil {
-			return "", 0, err
+			return nil, 0, err
 		}
 	}
 	if sh.done || sh.off > sh.hi {
-		return "", 0, io.EOF
+		return nil, 0, io.EOF
 	}
 	start := sh.off
-	line, err := sh.rd.ReadString('\n')
+	line, err := sh.rd.ReadSlice('\n')
+	if err == bufio.ErrBufferFull {
+		// A line longer than the read buffer: accumulate it in the
+		// reusable scratch.
+		sh.scratch = append(sh.scratch[:0], line...)
+		for err == bufio.ErrBufferFull {
+			line, err = sh.rd.ReadSlice('\n')
+			sh.scratch = append(sh.scratch, line...)
+		}
+		line = sh.scratch
+	}
 	sh.off += int64(len(line))
 	sh.src.bytes.Add(int64(len(line)))
 	if err == io.EOF {
 		sh.done = true
 		if len(line) == 0 {
-			return "", 0, io.EOF
+			return nil, 0, io.EOF
 		}
 	} else if err != nil {
-		return "", 0, fmt.Errorf("edgeio: reading %s: %w", sh.src.path, err)
+		return nil, 0, fmt.Errorf("edgeio: reading %s: %w", sh.src.path, err)
 	}
 	if n := len(line); n > 0 && line[n-1] == '\n' {
 		line = line[:n-1]
@@ -198,11 +226,11 @@ func (sh *FileShard) NextLine() (string, int64, error) {
 // comments, blanks, and self loops.
 func (sh *FileShard) Next() (Edge, error) {
 	for {
-		line, start, err := sh.NextLine()
+		line, start, err := sh.nextLineBytes()
 		if err != nil {
 			return Edge{}, err
 		}
-		e, skip, perr := parseEdgeLine(line)
+		e, skip, perr := parseEdgeLineBytes(line)
 		if perr != nil {
 			return Edge{}, fmt.Errorf("edgeio: %s offset %d: %w", sh.src.path, start, perr)
 		}
@@ -234,11 +262,11 @@ func (w weightedShard) Reset() error { return w.sh.Reset() }
 // Next implements WeightedReader, parsing "u v [w]" lines.
 func (w weightedShard) Next() (WeightedEdge, error) {
 	for {
-		line, start, err := w.sh.NextLine()
+		line, start, err := w.sh.nextLineBytes()
 		if err != nil {
 			return WeightedEdge{}, err
 		}
-		e, skip, perr := parseWeightedEdgeLine(line)
+		e, skip, perr := parseWeightedEdgeLineBytes(line)
 		if perr != nil {
 			return WeightedEdge{}, fmt.Errorf("edgeio: %s offset %d: %w", w.sh.src.path, start, perr)
 		}

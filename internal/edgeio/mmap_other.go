@@ -1,0 +1,18 @@
+//go:build !unix
+
+package edgeio
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+)
+
+// mmapFile reports mmap as unavailable on this platform; callers fall
+// back to the buffered BinaryFileSource through OpenBinarySource.
+func mmapFile(_ *os.File, _ int64) ([]byte, error) {
+	return nil, fmt.Errorf("not supported on %s", runtime.GOOS)
+}
+
+// munmapFile is unreachable on platforms without mmapFile.
+func munmapFile(_ []byte) error { return nil }

@@ -1,0 +1,21 @@
+//go:build unix
+
+package edgeio
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only and shared.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 || size > math.MaxInt {
+		return nil, fmt.Errorf("size %d out of mmap range", size)
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping returned by mmapFile.
+func munmapFile(data []byte) error { return syscall.Munmap(data) }

@@ -1,80 +1,94 @@
 package edgeio
 
 import (
-	"bufio"
-	"encoding/binary"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 )
 
-// Spill files are the third EdgeSource implementation: fixed-size
-// little-endian binary records (8 bytes per edge: u int32, v int32)
-// written by the MapReduce engine when a Dataset partition exceeds its
-// memory budget, and read back through the same Reader interface the
-// text shards serve. The fixed record size makes a spilled partition
-// seekable by record index, which is what lets the map phase scan an
-// arbitrary record range of a spilled partition without reading it
-// from the start.
+// Spill files are the MapReduce engine's overflow storage: when a
+// Dataset partition exceeds its memory budget it is written to disk and
+// read back through the same Reader interface the text shards serve.
+// Since PR 7 they use the binary columnar block format ("BSG1", see
+// binary.go) instead of fixed 8-byte records: the block index in the
+// footer keeps a spilled partition seekable by record number — the map
+// phase scans arbitrary record ranges without reading from the start —
+// while delta-varint blocks shrink the on-disk footprint of the sorted
+// runs the engine typically spills.
 
-// spillRecordSize is the on-disk size of one spilled edge record.
-const spillRecordSize = 8
+// spillBlockEdges keeps spill blocks small (8 KiB fixed-width): a
+// record-range scan decodes at most one extra block per seek.
+const spillBlockEdges = 1024
 
 // SpillWriter streams edges into a spill file. Errors are latched and
 // reported by Close, so the hot append path stays branch-light.
 type SpillWriter struct {
-	f       *os.File
-	w       *bufio.Writer
-	path    string
-	records int
-	err     error
+	bw   *BinaryWriter
+	path string
 }
 
 // CreateSpill creates (truncating) a spill file at path.
 func CreateSpill(path string) (*SpillWriter, error) {
-	f, err := os.Create(path)
+	bw, err := CreateBinary(path, false)
+	if err != nil {
+		return nil, err
+	}
+	bw.SetBlockEdges(spillBlockEdges)
+	return &SpillWriter{bw: bw, path: path}, nil
+}
+
+// Append writes one edge record. Records are stored verbatim — the
+// engine spills arbitrary int32 pairs, not validated graph edges.
+func (w *SpillWriter) Append(e Edge) { w.bw.Append(e) }
+
+// Close finalizes the file and returns its descriptor, or the first
+// error hit anywhere in the write path (the partial file is removed).
+func (w *SpillWriter) Close() (*SpillFile, error) {
+	records := int(w.bw.Edges())
+	if err := w.bw.Close(); err != nil {
+		return nil, err
+	}
+	// The writer's index is final only after Close flushed the last
+	// partial block.
+	index := w.bw.index
+	st, err := os.Stat(w.path)
 	if err != nil {
 		return nil, fmt.Errorf("edgeio: %w", err)
 	}
-	return &SpillWriter{f: f, w: bufio.NewWriterSize(f, 1<<16), path: path}, nil
+	return &SpillFile{
+		Path:    w.path,
+		Records: records,
+		Bytes:   st.Size(),
+		meta: &binaryMeta{
+			path:     w.path,
+			size:     st.Size(),
+			nodes:    int64(w.bw.maxID) + 1,
+			edges:    int64(records),
+			index:    index,
+			maxCount: maxBlockCount(index),
+		},
+	}, nil
 }
 
-// Append writes one edge record.
-func (w *SpillWriter) Append(e Edge) {
-	if w.err != nil {
-		return
+func maxBlockCount(index []blockRef) int {
+	m := 0
+	for _, b := range index {
+		if b.count > m {
+			m = b.count
+		}
 	}
-	var buf [spillRecordSize]byte
-	binary.LittleEndian.PutUint32(buf[0:4], uint32(e.U))
-	binary.LittleEndian.PutUint32(buf[4:8], uint32(e.V))
-	if _, err := w.w.Write(buf[:]); err != nil {
-		w.err = err
-		return
-	}
-	w.records++
+	return m
 }
 
-// Close flushes and closes the file and returns its descriptor, or the
-// first error hit anywhere in the write path.
-func (w *SpillWriter) Close() (*SpillFile, error) {
-	if w.err == nil {
-		w.err = w.w.Flush()
-	}
-	if cerr := w.f.Close(); w.err == nil {
-		w.err = cerr
-	}
-	if w.err != nil {
-		os.Remove(w.path)
-		return nil, fmt.Errorf("edgeio: spilling to %s: %w", w.path, w.err)
-	}
-	return &SpillFile{Path: w.path, Records: w.records, Bytes: int64(w.records) * spillRecordSize}, nil
-}
-
-// SpillFile describes one completed spill file on disk.
+// SpillFile describes one completed spill file on disk. Bytes is the
+// on-disk size including the format's header, index, and trailer.
 type SpillFile struct {
 	Path    string
 	Records int
 	Bytes   int64
+
+	meta *binaryMeta
 }
 
 // OpenReader opens a cursor over the file's records. Close it when the
@@ -84,51 +98,112 @@ func (sp *SpillFile) OpenReader() (*SpillReader, error) {
 	if err != nil {
 		return nil, fmt.Errorf("edgeio: %w", err)
 	}
-	return &SpillReader{sp: sp, f: f, rd: bufio.NewReaderSize(f, 1<<16)}, nil
+	meta := sp.meta
+	if meta == nil {
+		// A descriptor rebuilt without its writer (e.g. after a restart)
+		// revalidates the file.
+		meta, err = readBinaryMeta(f, sp.Path)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		sp.meta = meta
+	}
+	return &SpillReader{sp: sp, meta: meta, f: f}, nil
 }
 
 // Remove deletes the file from disk.
 func (sp *SpillFile) Remove() error { return os.Remove(sp.Path) }
 
 // SpillReader is a cursor over a spill file's records; it implements
-// Reader plus record-indexed seeking.
+// Reader plus record-indexed seeking through the block index.
 type SpillReader struct {
-	sp  *SpillFile
-	f   *os.File
-	rd  *bufio.Reader
-	pos int // record index of the next Next
+	sp   *SpillFile
+	meta *binaryMeta
+	f    *os.File
+
+	raw   []byte
+	edges []Edge
+
+	block int
+	pos   int
+	have  int
+	rec   int // record index of the next Next
 }
 
 // Reset implements Reader.
 func (r *SpillReader) Reset() error { return r.Seek(0) }
 
-// Seek positions the cursor at the given record index.
+// Seek positions the cursor at the given record index: a binary search
+// of the block index, one block decode, and an in-block skip.
 func (r *SpillReader) Seek(record int) error {
+	if r.f == nil {
+		return fmt.Errorf("edgeio: Seek on closed spill reader of %s", r.sp.Path)
+	}
 	if record < 0 || record > r.sp.Records {
 		return fmt.Errorf("edgeio: spill seek %d out of range [0,%d]", record, r.sp.Records)
 	}
-	if _, err := r.f.Seek(int64(record)*spillRecordSize, io.SeekStart); err != nil {
-		return fmt.Errorf("edgeio: seeking %s: %w", r.sp.Path, err)
+	r.rec = record
+	r.pos, r.have = 0, 0
+	if record == r.sp.Records {
+		r.block = len(r.meta.index)
+		return nil
 	}
-	r.rd.Reset(r.f)
-	r.pos = record
+	// First block whose record range extends past the target.
+	i := sort.Search(len(r.meta.index), func(i int) bool {
+		b := r.meta.index[i]
+		return b.first+int64(b.count) > int64(record)
+	})
+	r.block = i
+	if err := r.fill(); err != nil {
+		return err
+	}
+	r.pos = record - int(r.meta.index[i].first)
+	return nil
+}
+
+// fill reads and decodes the next block.
+func (r *SpillReader) fill() error {
+	if r.block >= len(r.meta.index) {
+		return io.EOF
+	}
+	m := r.meta
+	i := r.block
+	size := int(m.blockEnd(i) - m.index[i].off)
+	if cap(r.raw) < size {
+		r.raw = make([]byte, size)
+	}
+	raw := r.raw[:size]
+	if _, err := r.f.ReadAt(raw, m.index[i].off); err != nil {
+		return fmt.Errorf("edgeio: reading %s: %w", r.sp.Path, err)
+	}
+	if cap(r.edges) < m.maxCount {
+		r.edges = make([]Edge, m.maxCount)
+	}
+	edges, _, err := m.decodeBlock(i, raw, r.edges, nil)
+	if err != nil {
+		return err
+	}
+	r.edges = edges
+	r.block++
+	r.pos, r.have = 0, len(edges)
 	return nil
 }
 
 // Next implements Reader.
 func (r *SpillReader) Next() (Edge, error) {
-	if r.pos >= r.sp.Records {
+	if r.rec >= r.sp.Records {
 		return Edge{}, io.EOF
 	}
-	var buf [spillRecordSize]byte
-	if _, err := io.ReadFull(r.rd, buf[:]); err != nil {
-		return Edge{}, fmt.Errorf("edgeio: reading %s: %w", r.sp.Path, err)
+	for r.pos >= r.have {
+		if err := r.fill(); err != nil {
+			return Edge{}, err
+		}
 	}
+	e := r.edges[r.pos]
 	r.pos++
-	return Edge{
-		U: int32(binary.LittleEndian.Uint32(buf[0:4])),
-		V: int32(binary.LittleEndian.Uint32(buf[4:8])),
-	}, nil
+	r.rec++
+	return e, nil
 }
 
 // Close releases the file handle. It is idempotent.

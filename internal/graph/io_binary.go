@@ -1,0 +1,152 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"densestream/internal/edgeio"
+)
+
+// Binary columnar graph files ("BSG1", see internal/edgeio) are the
+// second on-disk format of the loaders. Node ids in a binary file are
+// already dense integers, but the in-memory loaders still intern them
+// in first-seen order with decimal labels — exactly what the text
+// loader does to the same edge sequence — so a text file and its
+// binary conversion freeze into bit-identical graphs (and therefore
+// bit-identical Solutions on every in-memory backend).
+
+// readUndirectedBinary loads a binary columnar file into an undirected
+// graph. The weight column is consumed only when weighted is true,
+// matching ReadUndirectedFile's contract for text files.
+func readUndirectedBinary(path string, weighted bool) (*Undirected, *LabelMap, error) {
+	src, err := edgeio.OpenBinarySource(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("graph: %w", err)
+	}
+	defer src.Close()
+	lm := NewLabelMap()
+	var edges []Edge
+	r := src.WeightedShards(1)[0]
+	if err := r.Reset(); err != nil {
+		return nil, nil, fmt.Errorf("graph: %w", err)
+	}
+	for i := 0; ; i++ {
+		e, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: %w", err)
+		}
+		if e.U < 0 || e.V < 0 {
+			return nil, nil, fmt.Errorf("graph: %s: edge %d (%d,%d): negative node id", path, i, e.U, e.V)
+		}
+		if e.U == e.V {
+			continue // self loop: ignored by the density model
+		}
+		if weighted && (!(e.Weight > 0) || math.IsNaN(e.Weight) || math.IsInf(e.Weight, 0)) {
+			return nil, nil, fmt.Errorf("graph: %s: edge %d (%d,%d): %w (got %v)", path, i, e.U, e.V, ErrBadWeight, e.Weight)
+		}
+		w := 1.0
+		if weighted {
+			w = e.Weight
+		}
+		edges = append(edges, Edge{U: internDense(lm, e.U), V: internDense(lm, e.V), Weight: w})
+	}
+	b := NewBuilder(lm.Len())
+	for _, e := range edges {
+		var err error
+		if weighted {
+			err = b.AddWeightedEdge(e.U, e.V, e.Weight)
+		} else {
+			err = b.AddEdge(e.U, e.V)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	g, err := b.Freeze()
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, lm, nil
+}
+
+// readDirectedBinary is readUndirectedBinary for directed graphs.
+func readDirectedBinary(path string) (*Directed, *LabelMap, error) {
+	src, err := edgeio.OpenBinarySource(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("graph: %w", err)
+	}
+	defer src.Close()
+	lm := NewLabelMap()
+	var edges [][2]int32
+	r := src.Shards(1)[0]
+	if err := r.Reset(); err != nil {
+		return nil, nil, fmt.Errorf("graph: %w", err)
+	}
+	for i := 0; ; i++ {
+		e, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: %w", err)
+		}
+		if e.U < 0 || e.V < 0 {
+			return nil, nil, fmt.Errorf("graph: %s: edge %d (%d,%d): negative node id", path, i, e.U, e.V)
+		}
+		if e.U == e.V {
+			continue
+		}
+		edges = append(edges, [2]int32{internDense(lm, e.U), internDense(lm, e.V)})
+	}
+	b := NewDirectedBuilder(lm.Len())
+	for _, e := range edges {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			return nil, nil, err
+		}
+	}
+	g, err := b.Freeze()
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, lm, nil
+}
+
+// internDense interns a dense binary id under its decimal label — the
+// label the text loader would have seen for the same edge.
+func internDense(lm *LabelMap, id int32) int32 {
+	return lm.ID(strconv.Itoa(int(id)))
+}
+
+// WriteUndirectedBinary emits the graph as a binary columnar file at
+// path (dense ids; the weight column is present iff the graph is
+// weighted). The binary peer of WriteUndirected.
+func WriteUndirectedBinary(path string, g *Undirected) error {
+	w, err := edgeio.CreateBinary(path, g.Weighted())
+	if err != nil {
+		return err
+	}
+	g.Edges(func(u, v int32, wt float64) bool {
+		w.AppendWeighted(edgeio.WeightedEdge{U: u, V: v, Weight: wt})
+		return true
+	})
+	return w.Close()
+}
+
+// WriteDirectedBinary emits the directed graph as a binary columnar
+// file at path. The binary peer of WriteDirected.
+func WriteDirectedBinary(path string, g *Directed) error {
+	w, err := edgeio.CreateBinary(path, false)
+	if err != nil {
+		return err
+	}
+	g.Edges(func(u, v int32) bool {
+		w.Append(edgeio.Edge{U: u, V: v})
+		return true
+	})
+	return w.Close()
+}

@@ -100,6 +100,9 @@ func scanFileSharded(path string, weighted bool, workers int) ([][]rawEdge, erro
 // numbers). Output is bit-identical to ReadUndirected on the same
 // bytes for every worker count.
 func ReadUndirectedFile(path string, weighted bool, workers int) (*Undirected, *LabelMap, error) {
+	if isBin, err := edgeio.DetectBinary(path); err == nil && isBin {
+		return readUndirectedBinary(path, weighted)
+	}
 	sharded, err := scanFileSharded(path, weighted, workers)
 	if err != nil {
 		return readUndirectedSeq(path, weighted)
@@ -132,6 +135,9 @@ func ReadUndirectedFile(path string, weighted bool, workers int) (*Undirected, *
 
 // ReadDirectedFile is ReadUndirectedFile for directed edge lists.
 func ReadDirectedFile(path string, workers int) (*Directed, *LabelMap, error) {
+	if isBin, err := edgeio.DetectBinary(path); err == nil && isBin {
+		return readDirectedBinary(path)
+	}
 	sharded, err := scanFileSharded(path, false, workers)
 	if err != nil {
 		return readDirectedSeq(path)

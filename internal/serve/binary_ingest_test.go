@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"densestream/internal/edgeio"
+)
+
+// TestBinaryPathIngestParity registers the same graph twice — once from
+// a text edge-list file, once from its binary columnar conversion — and
+// requires identical fingerprints and bit-identical Solution bodies.
+func TestBinaryPathIngestParity(t *testing.T) {
+	dir := t.TempDir()
+	edges := testEdges(2000, 12000, 25, 3)
+
+	txt := filepath.Join(dir, "g.txt")
+	var buf []byte
+	for _, e := range edges {
+		buf = fmt.Appendf(buf, "%d\t%d\n", e.U, e.V)
+	}
+	if err := os.WriteFile(txt, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(dir, "g.bsg")
+	bw, err := edgeio.CreateBinary(bin, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range edges {
+		bw.Append(edgeio.Edge{U: e.U, V: e.V})
+	}
+	if err := bw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := newTestServer(t, Config{Workers: 2})
+	var infos [2]GraphInfo
+	for i, spec := range []map[string]any{
+		{"path": txt},
+		{"path": bin},
+	} {
+		name := fmt.Sprintf("copy%d", i)
+		resp, data := doJSON(t, http.MethodPut, ts.URL+"/graphs/"+name, spec)
+		if resp.StatusCode != 200 {
+			t.Fatalf("PUT %s: status=%d body=%s", name, resp.StatusCode, data)
+		}
+		if err := json.Unmarshal(data, &infos[i]); err != nil {
+			t.Fatalf("decoding %s info: %v", name, err)
+		}
+	}
+	if infos[0].Fingerprint != infos[1].Fingerprint {
+		t.Fatalf("fingerprint mismatch: text %s vs binary %s", infos[0].Fingerprint, infos[1].Fingerprint)
+	}
+	if infos[0].Nodes != infos[1].Nodes || infos[0].Edges != infos[1].Edges {
+		t.Fatalf("shape mismatch: text %+v vs binary %+v", infos[0], infos[1])
+	}
+
+	var bodies [2]string
+	for i := range bodies {
+		req := map[string]any{"graph": fmt.Sprintf("copy%d", i), "eps": 0.25, "noCache": true}
+		resp, data := doJSON(t, http.MethodPost, ts.URL+"/solve", req)
+		if resp.StatusCode != 200 {
+			t.Fatalf("solve copy%d: status=%d body=%s", i, resp.StatusCode, data)
+		}
+		bodies[i] = string(data)
+	}
+	if bodies[0] != bodies[1] {
+		t.Fatalf("solution mismatch:\ntext:   %s\nbinary: %s", bodies[0], bodies[1])
+	}
+}

@@ -7,12 +7,14 @@ import (
 	"hash/fnv"
 	"io"
 	"math"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 
 	ds "densestream"
+	"densestream/internal/edgeio"
 )
 
 // Edge is one registered edge. Registered graphs use dense integer node
@@ -341,6 +343,51 @@ func ParseEdgeList(r io.Reader, weighted bool) ([]Edge, error) {
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("serve: reading edge list: %w", err)
+	}
+	return edges, nil
+}
+
+// ReadEdgeListFile reads a graph file into registry edges, sniffing
+// the format from the magic bytes: binary columnar files decode
+// directly, anything else parses as a text edge list. Both routes
+// yield the same edges for the same graph, so a text file and its
+// binary conversion register with identical fingerprints.
+func ReadEdgeListFile(path string, weighted bool) ([]Edge, error) {
+	isBin, err := edgeio.DetectBinary(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening %s: %w", path, err)
+	}
+	if !isBin {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("serve: opening %s: %w", path, err)
+		}
+		defer f.Close()
+		return ParseEdgeList(f, weighted)
+	}
+	src, err := edgeio.OpenBinarySource(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	defer src.Close()
+	edges := make([]Edge, 0, src.NumEdges())
+	r := src.WeightedShards(1)[0]
+	if err := r.Reset(); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	for {
+		e, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		w := 1.0
+		if weighted {
+			w = e.Weight
+		}
+		edges = append(edges, Edge{U: e.U, V: e.V, W: w})
 	}
 	return edges, nil
 }

@@ -17,7 +17,6 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"os"
 	"runtime"
 	"strings"
 	"sync"
@@ -255,12 +254,9 @@ func (s *Server) decodeGraphBody(r *http.Request) (graphSpec, []Edge, error) {
 		case spec.Path != "" && spec.Edges != nil:
 			return spec, nil, fmt.Errorf("serve: graph spec needs path or edges, not both")
 		case spec.Path != "":
-			f, err := os.Open(spec.Path)
-			if err != nil {
-				return spec, nil, fmt.Errorf("serve: opening %s: %w", spec.Path, err)
-			}
-			defer f.Close()
-			edges, err := ParseEdgeList(f, spec.Weighted)
+			// The format is sniffed from the magic bytes: text edge
+			// lists and binary columnar files both register here.
+			edges, err := ReadEdgeListFile(spec.Path, spec.Weighted)
 			return spec, edges, err
 		case spec.Edges != nil:
 			edges := make([]Edge, len(spec.Edges))

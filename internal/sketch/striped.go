@@ -1,0 +1,74 @@
+package sketch
+
+// Striped is the lane-striped Count-Sketch of the parallel sketched
+// peeler: one full sketch per scan lane, all sharing the same hash
+// functions, so concurrent shard scans update disjoint lanes with no
+// locks. Count-Sketch is linear — every update is an integer add into
+// a bucket — so folding the lanes bucket-wise reproduces exactly the
+// state one sequential sketch would hold after the same multiset of
+// updates. Estimates after Fold are therefore bit-identical to the
+// sequential §5.1 heuristic for any lane count and any shard
+// decomposition, which is what lets the sketched backend ride the
+// sharded (text or binary) disk scan.
+type Striped struct {
+	lanes []*CountSketch
+}
+
+// NewStriped creates a striped sketch with the given shape and lane
+// count (at least 1). All lanes derive their hash functions from seed,
+// so they agree bucket-for-bucket.
+func NewStriped(tables, buckets int, seed int64, lanes int) (*Striped, error) {
+	if lanes < 1 {
+		lanes = 1
+	}
+	s := &Striped{lanes: make([]*CountSketch, lanes)}
+	for i := range s.lanes {
+		cs, err := New(tables, buckets, seed)
+		if err != nil {
+			return nil, err
+		}
+		s.lanes[i] = cs
+	}
+	return s, nil
+}
+
+// Lanes returns the number of lanes.
+func (s *Striped) Lanes() int { return len(s.lanes) }
+
+// Reset zeroes every lane for a new pass.
+func (s *Striped) Reset() {
+	for _, cs := range s.lanes {
+		cs.Reset()
+	}
+}
+
+// AddLane counts one edge incident on node u in the given lane. Only
+// the worker owning that lane may call it.
+func (s *Striped) AddLane(lane int, u int32) { s.lanes[lane].Update(u, 1) }
+
+// Fold merges all lanes bucket-wise into lane 0 (integer addition, so
+// the merge order is irrelevant). Call once after a scan, before
+// Estimate.
+func (s *Striped) Fold() {
+	base := s.lanes[0]
+	for _, cs := range s.lanes[1:] {
+		for t := range base.counts {
+			row, add := base.counts[t], cs.counts[t]
+			for b := range row {
+				row[b] += add[b]
+			}
+		}
+	}
+}
+
+// Estimate returns the folded median estimate for node u; call after
+// Fold.
+func (s *Striped) Estimate(u int32) int64 { return s.lanes[0].Estimate(u) }
+
+// MemoryWords reports the logical sketch state size in 64-bit words:
+// t·b, the per-lane footprint §5.1 compares against the n-word exact
+// array. Lane striping is scan-execution scratch (like the striped
+// exact counters), not part of the algorithm's memory bound, so the
+// reported size does not vary with the worker count — and neither do
+// Solutions built from it.
+func (s *Striped) MemoryWords() int { return s.lanes[0].MemoryWords() }

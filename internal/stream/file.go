@@ -6,45 +6,84 @@ import (
 	"densestream/internal/edgeio"
 )
 
-// FileStream streams edges from an edge-list file on disk, re-reading
-// the file on every pass — the honest external-memory setting of the
-// paper. Lines are "<u> <v>" with dense integer node ids; '#' and '%'
-// lines are comments; self loops are skipped; CRLF line endings and a
-// missing trailing newline are accepted.
+// FileStream streams edges from a graph file on disk, re-reading it on
+// every pass — the honest external-memory setting of the paper. The
+// format is detected from the file's magic bytes:
+//
+//   - Text edge lists: "<u> <v>" with dense integer node ids; '#' and
+//     '%' lines are comments; self loops are skipped; CRLF line endings
+//     and a missing trailing newline are accepted. The node count costs
+//     one discovery scan (max id + 1).
+//   - Binary columnar ("BSG1", written by WriteUndirectedBinary or the
+//     genGraph converter): block-decoded with no per-edge parsing, read
+//     through an mmap-backed source where the platform supports it (with
+//     a transparent fallback to buffered reads). The node count comes
+//     from the header — no discovery pass.
 //
 // FileStream implements ShardedStream: Shards(k) cuts the file into k
-// byte ranges with line-boundary resync (each shard holding its own
-// file handle), so the parallel peelers scan disk inputs with the same
+// ranges (byte ranges with line-boundary resync for text, block ranges
+// for binary), so the parallel peelers scan disk inputs with the same
 // worker fan-out as in-memory streams. The shard set is memoized per k
-// and re-positioned by Reset each pass; Close releases every handle and
-// is idempotent.
+// and re-positioned by Reset each pass; Close releases every handle
+// (and unmaps a mapped file) and is idempotent.
 type FileStream struct {
-	src    *edgeio.FileSource
-	n      int
-	seq    *edgeio.FileShard
-	shards []*edgeio.FileShard
-	wrap   []EdgeStream
-	shardK int
-	closed bool
+	path     string
+	n        int
+	bytesFn  func() int64
+	closeSrc func() error // binary sources only; nil for text
+	shardsFn func(k int) []edgeio.Reader
+	seq      edgeio.Reader
+	shards   []edgeio.Reader
+	wrap     []EdgeStream
+	shardK   int
+	closed   bool
 }
 
-// OpenFileStream opens path and determines the node count with one
-// initial scan (max id + 1). The returned stream is positioned before
-// the first edge; call Reset to begin each pass.
+// OpenFileStream opens path, detecting text vs binary by magic bytes.
+// The returned stream is positioned before the first edge; call Reset
+// to begin each pass.
 func OpenFileStream(path string) (*FileStream, error) {
+	isBin, err := edgeio.DetectBinary(path)
+	if err != nil {
+		return nil, fmt.Errorf("stream: %w", err)
+	}
+	if isBin {
+		bs, err := edgeio.OpenBinarySource(path)
+		if err != nil {
+			return nil, fmt.Errorf("stream: %w", err)
+		}
+		fs := &FileStream{
+			path:     path,
+			n:        bs.Nodes(),
+			bytesFn:  bs.BytesScanned,
+			closeSrc: bs.Close,
+			shardsFn: bs.Shards,
+			seq:      bs.Shards(1)[0],
+		}
+		if err := fs.seq.Reset(); err != nil {
+			bs.Close()
+			return nil, fmt.Errorf("stream: %w", err)
+		}
+		return fs, nil
+	}
 	src, err := edgeio.OpenFileSource(path)
 	if err != nil {
 		return nil, fmt.Errorf("stream: %w", err)
 	}
-	fs := &FileStream{src: src, seq: src.SequentialReader()}
+	fs := &FileStream{
+		path:     path,
+		bytesFn:  src.BytesScanned,
+		shardsFn: src.Shards,
+		seq:      src.SequentialReader(),
+	}
 	maxID, err := edgeio.MaxNodeID(fs.seq)
 	if err != nil {
-		fs.seq.Close()
+		closeReader(fs.seq)
 		return nil, fmt.Errorf("stream: %w", err)
 	}
 	fs.n = int(maxID + 1)
 	if err := fs.seq.Reset(); err != nil {
-		fs.seq.Close()
+		closeReader(fs.seq)
 		return nil, fmt.Errorf("stream: %w", err)
 	}
 	return fs, nil
@@ -58,7 +97,7 @@ func (fs *FileStream) NumNodes() int { return fs.n }
 // an error rather than a silent reopen).
 func (fs *FileStream) Reset() error {
 	if fs.closed {
-		return fmt.Errorf("stream: Reset on closed FileStream %s", fs.src.Path())
+		return fmt.Errorf("stream: Reset on closed FileStream %s", fs.path)
 	}
 	if err := fs.seq.Reset(); err != nil {
 		return fmt.Errorf("stream: %w", err)
@@ -69,24 +108,24 @@ func (fs *FileStream) Reset() error {
 // Next implements EdgeStream.
 func (fs *FileStream) Next() (Edge, error) { return fs.seq.Next() }
 
-// Shards implements ShardedStream: the file is cut into up to k byte
-// ranges with line-boundary resync, each scanning through its own file
-// handle. The shard set is memoized per k, so the per-pass calls of the
-// parallel peelers reuse the same handles; FileStream.Close closes
-// them.
+// Shards implements ShardedStream: the file is cut into up to k ranges
+// (byte ranges for text, block ranges for binary), each scanning
+// through its own cursor. The shard set is memoized per k, so the
+// per-pass calls of the parallel peelers reuse the same handles and
+// decode buffers; FileStream.Close closes them.
 func (fs *FileStream) Shards(k int) []EdgeStream {
 	if k < 1 {
 		k = 1
 	}
 	if fs.closed {
 		// Keep the contract that shard errors surface from Reset.
-		return []EdgeStream{&errorStream{n: fs.n, err: fmt.Errorf("stream: Shards on closed FileStream %s", fs.src.Path())}}
+		return []EdgeStream{&errorStream{n: fs.n, err: fmt.Errorf("stream: Shards on closed FileStream %s", fs.path)}}
 	}
 	if fs.wrap == nil || fs.shardK != k {
 		for _, sh := range fs.shards {
-			sh.Close()
+			closeReader(sh)
 		}
-		fs.shards = fs.src.FileShards(k)
+		fs.shards = fs.shardsFn(k)
 		fs.shardK = k
 		fs.wrap = make([]EdgeStream, len(fs.shards))
 		for i, sh := range fs.shards {
@@ -97,19 +136,27 @@ func (fs *FileStream) Shards(k int) []EdgeStream {
 }
 
 // BytesScanned reports the cumulative bytes this stream has read from
-// disk — the node-count discovery scan plus every pass of every shard.
-func (fs *FileStream) BytesScanned() int64 { return fs.src.BytesScanned() }
+// disk — for text files the discovery scan plus every pass of every
+// shard; for binary files every block decoded (including through the
+// mmap path, where "read" means decoded out of the mapping).
+func (fs *FileStream) BytesScanned() int64 { return fs.bytesFn() }
 
-// Close releases every file handle held by the stream and its shards.
-// It is idempotent: second and later calls return nil.
+// Close releases every handle held by the stream and its shards, and
+// unmaps a mapped binary source. It is idempotent: second and later
+// calls return nil.
 func (fs *FileStream) Close() error {
 	if fs.closed {
 		return nil
 	}
 	fs.closed = true
-	err := fs.seq.Close()
+	err := closeReader(fs.seq)
 	for _, sh := range fs.shards {
-		if cerr := sh.Close(); err == nil {
+		if cerr := closeReader(sh); err == nil {
+			err = cerr
+		}
+	}
+	if fs.closeSrc != nil {
+		if cerr := fs.closeSrc(); err == nil {
 			err = cerr
 		}
 	}

@@ -6,31 +6,65 @@ import (
 	"densestream/internal/edgeio"
 )
 
-// WeightedFileStream streams weighted edges from a "u v w" edge-list
-// file, re-reading it every pass. Lines without a third column default
-// to weight 1, so unweighted files work too.
+// WeightedFileStream streams weighted edges from a graph file,
+// re-reading it every pass. Like FileStream, the format is detected
+// from the magic bytes: text "u v w" edge lists (a missing third
+// column defaults to weight 1, so unweighted files work too) or binary
+// columnar files (an unweighted binary file serves weight 1 the same
+// way).
 //
 // It implements ShardedWeightedStream: WeightedShards(k) cuts the file
-// into byte ranges with line-boundary resync, one file handle per
-// shard, memoized per k. Close releases every handle and is idempotent.
+// into ranges, one cursor per shard, memoized per k. Close releases
+// every handle and is idempotent.
 type WeightedFileStream struct {
-	src    *edgeio.FileSource
-	n      int
-	seq    edgeio.WeightedReader
-	shards []edgeio.WeightedReader
-	wrap   []WeightedEdgeStream
-	shardK int
-	closed bool
+	path     string
+	n        int
+	bytesFn  func() int64
+	closeSrc func() error // binary sources only; nil for text
+	shardsFn func(k int) []edgeio.WeightedReader
+	seq      edgeio.WeightedReader
+	shards   []edgeio.WeightedReader
+	wrap     []WeightedEdgeStream
+	shardK   int
+	closed   bool
 }
 
-// OpenWeightedFileStream opens path, determines the node count with one
-// scan, and positions the stream for the first pass.
+// OpenWeightedFileStream opens path, detecting the format by magic
+// bytes, and positions the stream for the first pass.
 func OpenWeightedFileStream(path string) (*WeightedFileStream, error) {
+	isBin, err := edgeio.DetectBinary(path)
+	if err != nil {
+		return nil, fmt.Errorf("stream: %w", err)
+	}
+	if isBin {
+		bs, err := edgeio.OpenBinarySource(path)
+		if err != nil {
+			return nil, fmt.Errorf("stream: %w", err)
+		}
+		ws := &WeightedFileStream{
+			path:     path,
+			n:        bs.Nodes(),
+			bytesFn:  bs.BytesScanned,
+			closeSrc: bs.Close,
+			shardsFn: bs.WeightedShards,
+			seq:      bs.WeightedShards(1)[0],
+		}
+		if err := ws.seq.Reset(); err != nil {
+			bs.Close()
+			return nil, fmt.Errorf("stream: %w", err)
+		}
+		return ws, nil
+	}
 	src, err := edgeio.OpenFileSource(path)
 	if err != nil {
 		return nil, fmt.Errorf("stream: %w", err)
 	}
-	ws := &WeightedFileStream{src: src, seq: src.SequentialWeightedReader()}
+	ws := &WeightedFileStream{
+		path:     path,
+		bytesFn:  src.BytesScanned,
+		shardsFn: src.WeightedShards,
+		seq:      src.SequentialWeightedReader(),
+	}
 	maxID, err := edgeio.MaxNodeIDWeighted(ws.seq)
 	if err != nil {
 		closeReader(ws.seq)
@@ -51,7 +85,7 @@ func (ws *WeightedFileStream) NumNodes() int { return ws.n }
 // Reset after Close is an error.
 func (ws *WeightedFileStream) Reset() error {
 	if ws.closed {
-		return fmt.Errorf("stream: Reset on closed WeightedFileStream %s", ws.src.Path())
+		return fmt.Errorf("stream: Reset on closed WeightedFileStream %s", ws.path)
 	}
 	if err := ws.seq.Reset(); err != nil {
 		return fmt.Errorf("stream: %w", err)
@@ -69,13 +103,13 @@ func (ws *WeightedFileStream) WeightedShards(k int) []WeightedEdgeStream {
 		k = 1
 	}
 	if ws.closed {
-		return []WeightedEdgeStream{&weightedErrorStream{n: ws.n, err: fmt.Errorf("stream: WeightedShards on closed WeightedFileStream %s", ws.src.Path())}}
+		return []WeightedEdgeStream{&weightedErrorStream{n: ws.n, err: fmt.Errorf("stream: WeightedShards on closed WeightedFileStream %s", ws.path)}}
 	}
 	if ws.wrap == nil || ws.shardK != k {
 		for _, sh := range ws.shards {
 			closeReader(sh)
 		}
-		ws.shards = ws.src.WeightedShards(k)
+		ws.shards = ws.shardsFn(k)
 		ws.shardK = k
 		ws.wrap = make([]WeightedEdgeStream, len(ws.shards))
 		for i, sh := range ws.shards {
@@ -86,11 +120,11 @@ func (ws *WeightedFileStream) WeightedShards(k int) []WeightedEdgeStream {
 }
 
 // BytesScanned reports the cumulative bytes this stream has read from
-// disk across discovery and every pass.
-func (ws *WeightedFileStream) BytesScanned() int64 { return ws.src.BytesScanned() }
+// disk across discovery (text only) and every pass.
+func (ws *WeightedFileStream) BytesScanned() int64 { return ws.bytesFn() }
 
-// Close releases every file handle held by the stream and its shards.
-// It is idempotent.
+// Close releases every handle held by the stream and its shards, and
+// unmaps a mapped binary source. It is idempotent.
 func (ws *WeightedFileStream) Close() error {
 	if ws.closed {
 		return nil
@@ -99,6 +133,11 @@ func (ws *WeightedFileStream) Close() error {
 	err := closeReader(ws.seq)
 	for _, sh := range ws.shards {
 		if cerr := closeReader(sh); err == nil {
+			err = cerr
+		}
+	}
+	if ws.closeSrc != nil {
+		if cerr := ws.closeSrc(); err == nil {
 			err = cerr
 		}
 	}

@@ -1,0 +1,206 @@
+package densestream_test
+
+// Binary-format acceptance sweep: every Solve configuration must return
+// bit-identical Solutions whether the input is the text edge list, its
+// binary columnar conversion, the mmap-backed binary reader, or the
+// buffered binary reader — across worker counts and both the stream and
+// MapReduce backends.
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	ds "densestream"
+	"densestream/internal/edgeio"
+	"densestream/internal/stream"
+)
+
+// writeBinaryEdgeFile dumps an undirected graph as a binary columnar
+// file via the public writer.
+func writeBinaryEdgeFile(t *testing.T, g *ds.UndirectedGraph) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.bsg")
+	if err := ds.WriteUndirectedBinary(path, g); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// binSourceStream adapts a specific edgeio.BinarySource into a
+// ShardedStream, bypassing OpenBinarySource's reader selection so the
+// sweep can pin the mmap and buffered readers individually.
+type binSourceStream struct {
+	src    edgeio.BinarySource
+	seq    edgeio.Reader
+	shards []stream.EdgeStream
+	shardK int
+}
+
+func newBinSourceStream(src edgeio.BinarySource) *binSourceStream {
+	return &binSourceStream{src: src, seq: src.Shards(1)[0]}
+}
+
+func (s *binSourceStream) NumNodes() int              { return s.src.Nodes() }
+func (s *binSourceStream) Reset() error               { return s.seq.Reset() }
+func (s *binSourceStream) Next() (stream.Edge, error) { return s.seq.Next() }
+
+func (s *binSourceStream) Shards(k int) []stream.EdgeStream {
+	if s.shards == nil || s.shardK != k {
+		readers := s.src.Shards(k)
+		s.shards = make([]stream.EdgeStream, len(readers))
+		for i, r := range readers {
+			s.shards[i] = readerEdgeStream{n: s.src.Nodes(), r: r}
+		}
+		s.shardK = k
+	}
+	return s.shards
+}
+
+type readerEdgeStream struct {
+	n int
+	r edgeio.Reader
+}
+
+func (s readerEdgeStream) NumNodes() int              { return s.n }
+func (s readerEdgeStream) Reset() error               { return s.r.Reset() }
+func (s readerEdgeStream) Next() (stream.Edge, error) { return s.r.Next() }
+
+// TestOutOfCoreBinaryStreamParity: `-algo stream` must produce the same
+// Solution from the resident graph, the text file, the binary file
+// (whatever reader OpenBinarySource picks), and the pinned mmap and
+// buffered binary readers, at every worker count.
+func TestOutOfCoreBinaryStreamParity(t *testing.T) {
+	for gi, g := range outOfCoreGraphs(t) {
+		txt := writeEdgeFile(t, g)
+		bin := writeBinaryEdgeFile(t, g)
+		var want *ds.Solution
+		check := func(label string, sol *ds.Solution) {
+			t.Helper()
+			got := stripStats(sol)
+			if want == nil {
+				want = got
+			} else if !reflect.DeepEqual(got, want) {
+				t.Fatalf("graph %d %s: Solution differs", gi, label)
+			}
+		}
+		ref := solveOK(t, ds.Problem{Objective: ds.ObjectiveUndirected, Backend: ds.BackendStream, Eps: 0.5, Graph: g}, ds.WithWorkers(1))
+		for _, workers := range []int{1, 2, 4, 8} {
+			p := ds.Problem{Objective: ds.ObjectiveUndirected, Backend: ds.BackendStream, Eps: 0.5}
+			pt, pb := p, p
+			pt.Path, pb.Path = txt, bin
+			check("text", solveOK(t, pt, ds.WithWorkers(workers)))
+			bsol := solveOK(t, pb, ds.WithWorkers(workers))
+			if bsol.Stats.BytesScanned == 0 {
+				t.Fatalf("graph %d workers=%d: binary BytesScanned not reported", gi, workers)
+			}
+			check("binary", bsol)
+
+			fs, err := edgeio.OpenBinaryFileSource(bin)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pf := p
+			pf.Edges = newBinSourceStream(fs)
+			check("binary-buffered", solveOK(t, pf, ds.WithWorkers(workers)))
+			if ms, err := edgeio.OpenMmapSource(bin); err == nil {
+				pm := p
+				pm.Edges = newBinSourceStream(ms)
+				check("binary-mmap", solveOK(t, pm, ds.WithWorkers(workers)))
+				ms.Close()
+			}
+		}
+		// The resident graph keeps isolated nodes the file routes drop,
+		// so compare the algorithmic outcome rather than the whole
+		// stripped Solution.
+		if want.Density != ref.Density || want.Passes != ref.Passes || !reflect.DeepEqual(want.Set, ref.Set) {
+			t.Fatalf("graph %d: file solves differ from the resident stream", gi)
+		}
+	}
+}
+
+// TestOutOfCoreBinaryWeightedParity is the weighted lane of the sweep:
+// dyadic weights survive the text and binary routes identically.
+func TestOutOfCoreBinaryWeightedParity(t *testing.T) {
+	g := outOfCoreGraphs(t)[0]
+	b := ds.NewBuilder(g.NumNodes())
+	i := 0
+	g.Edges(func(u, v int32, _ float64) bool {
+		i++
+		if err := b.AddWeightedEdge(u, v, 0.5*float64(1+i%4)); err != nil {
+			t.Fatal(err)
+		}
+		return true
+	})
+	wg, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt := writeEdgeFile(t, wg)
+	bin := writeBinaryEdgeFile(t, wg)
+	var want *ds.Solution
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, path := range []string{txt, bin} {
+			sol := solveOK(t, ds.Problem{Objective: ds.ObjectiveWeighted, Backend: ds.BackendStream, Eps: 0.5, Path: path}, ds.WithWorkers(workers))
+			got := stripStats(sol)
+			if want == nil {
+				want = got
+			} else if !reflect.DeepEqual(got, want) {
+				t.Fatalf("workers=%d path=%s: weighted Solution differs", workers, filepath.Ext(path))
+			}
+		}
+	}
+}
+
+// TestOutOfCoreBinaryMapReduceParity: the MapReduce backend (resident
+// and spilling) must agree between the text file and its binary
+// conversion bit for bit — the spill path itself stores its runs in the
+// same block format.
+func TestOutOfCoreBinaryMapReduceParity(t *testing.T) {
+	spillDir := t.TempDir()
+	for gi, g := range outOfCoreGraphs(t) {
+		txt := writeEdgeFile(t, g)
+		bin := writeBinaryEdgeFile(t, g)
+		var want *ds.Solution
+		for ci, cfg := range []ds.MRConfig{
+			{Mappers: 4, Reducers: 4},
+			{Mappers: 4, Reducers: 4, SpillBytes: 1 << 13, SpillDir: spillDir},
+		} {
+			for _, path := range []string{txt, bin} {
+				sol := solveOK(t, ds.Problem{Objective: ds.ObjectiveUndirected, Backend: ds.BackendMapReduce, Eps: 0.5, Path: path}, ds.WithMapReduceConfig(cfg))
+				got := stripStats(sol)
+				if want == nil {
+					want = got
+				} else if !reflect.DeepEqual(got, want) {
+					t.Fatalf("graph %d cfg %d path=%s: MapReduce Solution differs", gi, ci, filepath.Ext(path))
+				}
+			}
+		}
+	}
+}
+
+// TestOutOfCoreBinarySketchedParity: the sketched backend rides the
+// sharded binary scan; by sketch linearity every worker count and both
+// disk formats must match the sequential sketched run bit for bit.
+func TestOutOfCoreBinarySketchedParity(t *testing.T) {
+	g := outOfCoreGraphs(t)[0]
+	txt := writeEdgeFile(t, g)
+	bin := writeBinaryEdgeFile(t, g)
+	cfg := ds.SketchConfig{Tables: 5, Buckets: 256, Seed: 1}
+	var want *ds.Solution
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, path := range []string{txt, bin} {
+			sol := solveOK(t, ds.Problem{Objective: ds.ObjectiveUndirected, Backend: ds.BackendStreamSketched, Eps: 0.5, Path: path},
+				ds.WithSketch(cfg), ds.WithWorkers(workers))
+			if sol.SketchMemoryWords != 5*256 {
+				t.Fatalf("workers=%d: SketchMemoryWords=%d, want %d", workers, sol.SketchMemoryWords, 5*256)
+			}
+			got := stripStats(sol)
+			if want == nil {
+				want = got
+			} else if !reflect.DeepEqual(got, want) {
+				t.Fatalf("workers=%d path=%s: sketched Solution differs", workers, filepath.Ext(path))
+			}
+		}
+	}
+}

@@ -314,16 +314,20 @@ func solveStream(sol *Solution, p Problem, o Options, ex core.Opts) error {
 			if cfg == (SketchConfig{}) {
 				cfg = defaultSketch(es.NumNodes())
 			}
-			dc, err := sketch.NewDegreeCounter(cfg.Tables, cfg.Buckets, cfg.Seed)
+			// The sketch is linear, so the sharded scan folds to exactly
+			// the sequential sketch state: one lane per scan worker,
+			// bit-identical Solutions at any worker count and for both
+			// disk formats.
+			sk, err := sketch.NewStriped(cfg.Tables, cfg.Buckets, cfg.Seed, stream.SketchScanLanes(o.Workers))
 			if err != nil {
 				return err
 			}
-			r, err := stream.UndirectedOpts(es, p.Eps, dc, ex)
+			r, err := stream.UndirectedSketchedOpts(es, p.Eps, sk, ex)
 			if err != nil {
 				return err
 			}
 			sol.fillResult(r)
-			sol.SketchMemoryWords = dc.MemoryWords()
+			sol.SketchMemoryWords = sk.MemoryWords()
 			recordScan(sol, es)
 			return nil
 		}
