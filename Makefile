@@ -6,8 +6,8 @@ GO ?= go
 # Benchmarks gated by the perf-trajectory trend (comma-separated
 # name-prefix allowlist for scripts/bench_trend.sh) and the go test
 # -bench pattern + packages that produce them.
-BENCH_GATED = BenchmarkParallelPeel,BenchmarkMapReducePeel,BenchmarkMapReduceSpill,BenchmarkFileStreamPeel,BenchmarkBinaryStreamPeel,BenchmarkConvert,BenchmarkCore,BenchmarkServe
-BENCH_PATTERN = BenchmarkTable1|BenchmarkParallelPeel|BenchmarkMapReducePeel|BenchmarkMapReduceSpill|BenchmarkFileStreamPeel|BenchmarkBinaryStreamPeel|BenchmarkConvert|BenchmarkCore|BenchmarkServe
+BENCH_GATED = BenchmarkParallelPeel,BenchmarkMapReducePeel,BenchmarkMapReduceSpill,BenchmarkFileStreamPeel,BenchmarkBinaryStreamPeel,BenchmarkConvert,BenchmarkCore,BenchmarkServe,BenchmarkDynamicChurn,BenchmarkDynamicRecompute
+BENCH_PATTERN = BenchmarkTable1|BenchmarkParallelPeel|BenchmarkMapReducePeel|BenchmarkMapReduceSpill|BenchmarkFileStreamPeel|BenchmarkBinaryStreamPeel|BenchmarkConvert|BenchmarkCore|BenchmarkServe|BenchmarkDynamic
 BENCH_PKGS = . ./internal/core ./internal/serve
 
 .PHONY: build test race bench bench-core bench-mr bench-json bench-trend fmt fmt-check vet api-check api-snapshot serve-smoke deprecated-check ci

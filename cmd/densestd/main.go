@@ -22,6 +22,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -207,6 +208,7 @@ func smokeCases() []smokeCase {
 		{"d", ds.Problem{Objective: ds.ObjectiveDirected, Backend: ds.BackendStream, Eps: 0.1, C: 1}},
 		{"d", ds.Problem{Objective: ds.ObjectiveDirected, Backend: ds.BackendMapReduce, Eps: 0.1, C: 1}},
 		{"d", ds.Problem{Objective: ds.ObjectiveDirectedSweep, Backend: ds.BackendPeel, Eps: 0.25, Delta: 2}},
+		{"d", ds.Problem{Objective: ds.ObjectiveDirectedSweep, Backend: ds.BackendStream, Eps: 0.25, Delta: 2}},
 		{"u", ds.Problem{Objective: ds.ObjectiveExact, Backend: ds.BackendPeel}},
 		{"u", ds.Problem{Objective: ds.ObjectiveGreedy, Backend: ds.BackendPeel}},
 	}
@@ -287,6 +289,130 @@ func runSmoke(out io.Writer, cfg serve.Config) error {
 		return fmt.Errorf("smoke: %d/%d cases failed", failures, len(smokeCases()))
 	}
 	fmt.Fprintf(out, "smoke: all %d objective/backend cases are HTTP/in-process identical\n", len(smokeCases()))
+	return smokeDynamic(out, s, base)
+}
+
+// smokeDynamic exercises the dynamic ingest path end to end: a
+// maintainer-backed graph fed over POST /graphs/{name}/edges, reads of
+// the maintained solution via GET /graphs/{name}/current and the warm
+// /solve fast path, and a wire delete that guts the dense core — so the
+// drift trigger provably fires and each served solution is bit-identical
+// to the in-process Solve on the exact live edge set.
+func smokeDynamic(out io.Writer, s *serve.Server, base string) error {
+	const eps = 0.1
+	all := smokeEdges(200, 1000, 14, 9, false, false)
+	seed, batch := all[:800], all[800:]
+	// cut removes edges inside the planted clique: deleting them drops
+	// the maintained density, which forces a re-peel before serving.
+	cut := all[:30]
+	if _, err := s.Registry().RegisterDynamic("dyn", ds.MaintainerConfig{NumNodes: 200, Eps: eps}, seed); err != nil {
+		return fmt.Errorf("registering dynamic smoke graph: %w", err)
+	}
+
+	// The oracle tracks the exact live multiset alongside the wire feed:
+	// an edge is live while its reference count is positive.
+	counts := make(map[[2]int32]int)
+	apply := func(edges []serve.Edge, d int) {
+		for _, e := range edges {
+			u, v := e.U, e.V
+			if u > v {
+				u, v = v, u
+			}
+			counts[[2]int32{u, v}] += d
+		}
+	}
+	apply(seed, 1)
+	oracle := func() (*ds.Solution, error) {
+		var live []serve.Edge
+		for k, c := range counts {
+			if c > 0 {
+				live = append(live, serve.Edge{U: k[0], V: k[1], W: 1})
+			}
+		}
+		sort.Slice(live, func(i, j int) bool {
+			if live[i].U != live[j].U {
+				return live[i].U < live[j].U
+			}
+			return live[i].V < live[j].V
+		})
+		ref := ds.Problem{Objective: ds.ObjectiveUndirected, Backend: ds.BackendPeel, Eps: eps}
+		if err := buildInput(&ref, false, false, live); err != nil {
+			return nil, err
+		}
+		return ds.Solve(context.Background(), ref)
+	}
+	edgesJSON := func(edges []serve.Edge) []byte {
+		rows := make([][]float64, len(edges))
+		for i, e := range edges {
+			rows[i] = []float64{float64(e.U), float64(e.V)}
+		}
+		data, _ := json.Marshal(map[string]any{"edges": rows})
+		return data
+	}
+	fetch := func(method, url string, body []byte) ([]byte, error) {
+		req, err := http.NewRequest(method, url, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("%s %s: status %d: %s", method, url, resp.StatusCode, data)
+		}
+		return data, nil
+	}
+
+	// Ingest a batch, then read the maintained solution.
+	if _, err := fetch(http.MethodPost, base+"/graphs/dyn/edges", edgesJSON(batch)); err != nil {
+		return fmt.Errorf("dynamic ingest: %w", err)
+	}
+	apply(batch, 1)
+	got, err := fetch(http.MethodGet, base+"/graphs/dyn/current", nil)
+	if err != nil {
+		return fmt.Errorf("dynamic current: %w", err)
+	}
+	want, err := oracle()
+	if err != nil {
+		return fmt.Errorf("dynamic ingest oracle: %w", err)
+	}
+	if same, err := solutionsMatch(want, bytes.TrimSpace(got), false); err != nil || !same {
+		return fmt.Errorf("dynamic ingest: maintained solution differs from in-process Solve (err=%v)", err)
+	}
+	fmt.Fprintf(out, "ok   %-28s maintained solution matches in-process (%.6f)\n", "Dynamic/ingest", want.Density)
+
+	// Gut the dense core over the wire, then hit the /solve fast path.
+	if _, err := fetch(http.MethodPost, base+"/graphs/dyn/edges?op=delete", edgesJSON(cut)); err != nil {
+		return fmt.Errorf("dynamic delete: %w", err)
+	}
+	apply(cut, -1)
+	body, err := json.Marshal(serve.SolveRequest{Graph: "dyn", Problem: ds.Problem{
+		Objective: ds.ObjectiveUndirected, Backend: ds.BackendPeel, Eps: eps,
+	}})
+	if err != nil {
+		return err
+	}
+	got, err = fetch(http.MethodPost, base+"/solve", body)
+	if err != nil {
+		return fmt.Errorf("dynamic solve fast path: %w", err)
+	}
+	if want, err = oracle(); err != nil {
+		return fmt.Errorf("dynamic delete oracle: %w", err)
+	}
+	if same, err := solutionsMatch(want, bytes.TrimSpace(got), false); err != nil || !same {
+		return fmt.Errorf("dynamic delete: served solution differs from in-process Solve (err=%v)", err)
+	}
+	fmt.Fprintf(out, "ok   %-28s warm /solve matches in-process after delete (%.6f)\n", "Dynamic/delete", want.Density)
+	fmt.Fprintf(out, "smoke: dynamic ingest path is HTTP/in-process identical\n")
 	return nil
 }
 

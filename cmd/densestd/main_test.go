@@ -15,8 +15,11 @@ func TestSmokeParity(t *testing.T) {
 	if err := runSmoke(&out, serve.Config{Workers: 2}); err != nil {
 		t.Fatalf("smoke failed: %v\n%s", err, out.String())
 	}
-	if !strings.Contains(out.String(), "all 14 objective/backend cases") {
+	if !strings.Contains(out.String(), "all 15 objective/backend cases") {
 		t.Fatalf("unexpected smoke output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "dynamic ingest path is HTTP/in-process identical") {
+		t.Fatalf("smoke output missing dynamic parity:\n%s", out.String())
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 
 	ds "densestream"
@@ -39,6 +40,7 @@ func main() {
 		logn     = flag.Int("logn", 14, "log2 nodes for rmat")
 		exponent = flag.Float64("exponent", 2.2, "power-law exponent")
 		seed     = flag.Int64("seed", 1, "random seed")
+		stamps   = flag.String("timestamps", "", "emit timestamped edges for sliding-window runs: monotone | shuffled (undirected kinds only)")
 	)
 	flag.Parse()
 	if *out == "" || (*convert == "" && *kind == "") {
@@ -49,7 +51,7 @@ func main() {
 	if *convert != "" {
 		err = runConvert(*convert, *out, *weighted)
 	} else {
-		err = run(*kind, *out, *format, *scale, *n, *m, *logn, *exponent, *seed)
+		err = run(*kind, *out, *format, *stamps, *scale, *n, *m, *logn, *exponent, *seed)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "genGraph:", err)
@@ -57,9 +59,12 @@ func main() {
 	}
 }
 
-func run(kind, out, format string, scale, n int, m int64, logn int, exponent float64, seed int64) error {
+func run(kind, out, format, stamps string, scale, n int, m int64, logn int, exponent float64, seed int64) error {
 	if format != "text" && format != "binary" {
 		return fmt.Errorf("unknown format %q (want text or binary)", format)
+	}
+	if stamps != "" && stamps != "monotone" && stamps != "shuffled" {
+		return fmt.Errorf("unknown -timestamps mode %q (want monotone or shuffled)", stamps)
 	}
 	var (
 		ug  *graph.Undirected
@@ -96,10 +101,16 @@ func run(kind, out, format string, scale, n int, m int64, logn int, exponent flo
 	if ug != nil {
 		s := ds.Stats(ug)
 		fmt.Printf("%s: %d nodes, %d edges (undirected), max degree %d\n", kind, s.Nodes, s.Edges, s.MaxDegree)
+		if stamps != "" {
+			return writeTimestamped(out, format, stamps, ug, seed)
+		}
 		if format == "binary" {
 			return graph.WriteUndirectedBinary(out, ug)
 		}
 		return writeText(out, func(f io.Writer) error { return graph.WriteUndirected(f, ug) })
+	}
+	if stamps != "" {
+		return fmt.Errorf("-timestamps applies to undirected kinds only (kind %q is directed)", kind)
 	}
 	s := ds.StatsDirected(dg)
 	fmt.Printf("%s: %d nodes, %d edges (directed), max degree %d\n", kind, s.Nodes, s.Edges, s.MaxDegree)
@@ -107,6 +118,53 @@ func run(kind, out, format string, scale, n int, m int64, logn int, exponent flo
 		return graph.WriteDirectedBinary(out, dg)
 	}
 	return writeText(out, func(f io.Writer) error { return graph.WriteDirected(f, dg) })
+}
+
+// writeTimestamped emits the graph's edges with a third timestamp
+// column — the input shape of ObjectiveSlidingWindow and the dynamic
+// window benchmarks. "monotone" stamps edges 1..m in emission order (a
+// well-ordered stream); "shuffled" assigns the same timestamps in a
+// seed-deterministic random order (stragglers and out-of-order
+// arrival). Text files carry the timestamp as the third column; binary
+// files carry it in the BSG1 weight column. Both load through
+// Problem{Path}, OpenWeightedFileStream, and densestd interchangeably.
+func writeTimestamped(out, format, mode string, ug *graph.Undirected, seed int64) error {
+	mEdges := int(ug.NumEdges())
+	ts := make([]int64, mEdges)
+	for i := range ts {
+		ts[i] = int64(i) + 1
+	}
+	if mode == "shuffled" {
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(ts), func(i, j int) { ts[i], ts[j] = ts[j], ts[i] })
+	}
+	if format == "binary" {
+		w, err := edgeio.CreateBinary(out, true)
+		if err != nil {
+			return err
+		}
+		i := 0
+		ug.Edges(func(u, v int32, _ float64) bool {
+			w.AppendWeighted(edgeio.WeightedEdge{U: u, V: v, Weight: float64(ts[i])})
+			i++
+			return true
+		})
+		return w.Close()
+	}
+	return writeText(out, func(f io.Writer) error {
+		bw := bufio.NewWriter(f)
+		i := 0
+		var werr error
+		ug.Edges(func(u, v int32, _ float64) bool {
+			_, werr = fmt.Fprintf(bw, "%d\t%d\t%d\n", u, v, ts[i])
+			i++
+			return werr == nil
+		})
+		if werr != nil {
+			return werr
+		}
+		return bw.Flush()
+	})
 }
 
 func writeText(out string, emit func(io.Writer) error) error {

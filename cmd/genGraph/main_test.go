@@ -3,6 +3,8 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"testing"
 
 	"densestream/internal/edgeio"
@@ -14,7 +16,7 @@ func TestRunAllKinds(t *testing.T) {
 	kinds := []string{"gnm", "chunglu", "chungludir", "rmat", "planted", "communities"}
 	for _, kind := range kinds {
 		out := filepath.Join(dir, kind+".txt")
-		if err := run(kind, out, "text", 1, 500, 1500, 8, 2.2, 7); err != nil {
+		if err := run(kind, out, "text", "", 1, 500, 1500, 8, 2.2, 7); err != nil {
 			t.Errorf("kind %s: %v", kind, err)
 			continue
 		}
@@ -29,14 +31,14 @@ func TestRunBinaryFormat(t *testing.T) {
 	dir := t.TempDir()
 	for _, kind := range []string{"gnm", "chungludir"} {
 		out := filepath.Join(dir, kind+".bsg")
-		if err := run(kind, out, "binary", 1, 500, 1500, 8, 2.2, 7); err != nil {
+		if err := run(kind, out, "binary", "", 1, 500, 1500, 8, 2.2, 7); err != nil {
 			t.Fatalf("kind %s: %v", kind, err)
 		}
 		if isBin, err := edgeio.DetectBinary(out); err != nil || !isBin {
 			t.Fatalf("kind %s: output not binary (isBin=%v err=%v)", kind, isBin, err)
 		}
 	}
-	if err := run("gnm", filepath.Join(dir, "z"), "csv", 1, 500, 1500, 8, 2.2, 7); err == nil {
+	if err := run("gnm", filepath.Join(dir, "z"), "csv", "", 1, 500, 1500, 8, 2.2, 7); err == nil {
 		t.Error("unknown format accepted")
 	}
 }
@@ -48,7 +50,7 @@ func TestRunStandIns(t *testing.T) {
 	dir := t.TempDir()
 	for _, kind := range []string{"flickr", "lj", "twitter"} {
 		out := filepath.Join(dir, kind+".txt")
-		if err := run(kind, out, "text", 1, 0, 0, 0, 0, 7); err != nil {
+		if err := run(kind, out, "text", "", 1, 0, 0, 0, 0, 7); err != nil {
 			t.Errorf("kind %s: %v", kind, err)
 		}
 	}
@@ -60,7 +62,7 @@ func TestRunStandIns(t *testing.T) {
 func TestConvertRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	txt := filepath.Join(dir, "g.txt")
-	if err := run("chunglu", txt, "text", 1, 400, 1200, 8, 2.2, 11); err != nil {
+	if err := run("chunglu", txt, "text", "", 1, 400, 1200, 8, 2.2, 11); err != nil {
 		t.Fatal(err)
 	}
 	bin := filepath.Join(dir, "g.bsg")
@@ -134,18 +136,93 @@ func TestConvertWeighted(t *testing.T) {
 	}
 }
 
+// TestRunTimestamped checks both -timestamps modes in both formats:
+// the third column must be a permutation of 1..m (the identity for
+// monotone), identical edge sequence to the unstamped output, and the
+// binary form must load as a weighted BSG1 with the same stamps.
+func TestRunTimestamped(t *testing.T) {
+	dir := t.TempDir()
+	for _, mode := range []string{"monotone", "shuffled"} {
+		txt := filepath.Join(dir, mode+".txt")
+		if err := run("chunglu", txt, "text", mode, 1, 300, 900, 8, 2.2, 5); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(txt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
+		seen := make(map[int64]bool)
+		monotone := true
+		for i, ln := range lines {
+			f := strings.Fields(ln)
+			if len(f) != 3 {
+				t.Fatalf("%s line %d: %q, want 3 columns", mode, i, ln)
+			}
+			ts, err := strconv.ParseInt(f[2], 10, 64)
+			if err != nil || ts < 1 || ts > int64(len(lines)) || seen[ts] {
+				t.Fatalf("%s line %d: bad timestamp %q (err=%v, dup=%v)", mode, i, f[2], err, seen[ts])
+			}
+			seen[ts] = true
+			if ts != int64(i)+1 {
+				monotone = false
+			}
+		}
+		if mode == "monotone" && !monotone {
+			t.Fatal("monotone mode emitted out-of-order timestamps")
+		}
+		if mode == "shuffled" && monotone {
+			t.Fatal("shuffled mode emitted the identity permutation")
+		}
+
+		bin := filepath.Join(dir, mode+".bsg")
+		if err := run("chunglu", bin, "binary", mode, 1, 300, 900, 8, 2.2, 5); err != nil {
+			t.Fatal(err)
+		}
+		src, err := edgeio.OpenBinarySource(bin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !src.Weighted() {
+			src.Close()
+			t.Fatalf("%s: binary output has no timestamp column", mode)
+		}
+		r := src.WeightedShards(1)[0]
+		if err := r.Reset(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; ; i++ {
+			e, err := r.Next()
+			if err != nil {
+				break
+			}
+			f := strings.Fields(lines[i])
+			if f[0] != strconv.Itoa(int(e.U)) || f[1] != strconv.Itoa(int(e.V)) || f[2] != strconv.FormatInt(int64(e.Weight), 10) {
+				t.Fatalf("%s edge %d: binary (%d,%d,%v) vs text %q", mode, i, e.U, e.V, e.Weight, lines[i])
+			}
+		}
+		src.Close()
+	}
+	if err := run("chunglu", filepath.Join(dir, "bad.txt"), "text", "random", 1, 300, 900, 8, 2.2, 5); err == nil {
+		t.Error("unknown -timestamps mode accepted")
+	}
+	if err := run("rmat", filepath.Join(dir, "dir.txt"), "text", "monotone", 1, 300, 900, 8, 2.2, 5); err == nil {
+		t.Error("-timestamps on a directed kind accepted")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("bogus", filepath.Join(dir, "x.txt"), "text", 1, 10, 10, 4, 2, 1); err == nil {
+	if err := run("bogus", filepath.Join(dir, "x.txt"), "text", "", 1, 10, 10, 4, 2, 1); err == nil {
 		t.Error("unknown kind accepted")
 	}
-	if err := run("gnm", "/nonexistent-dir/x.txt", "text", 1, 10, 10, 4, 2, 1); err == nil {
+	if err := run("gnm", "/nonexistent-dir/x.txt", "text", "", 1, 10, 10, 4, 2, 1); err == nil {
 		t.Error("unwritable output accepted")
 	}
-	if err := run("gnm", "/nonexistent-dir/x.bsg", "binary", 1, 10, 10, 4, 2, 1); err == nil {
+	if err := run("gnm", "/nonexistent-dir/x.bsg", "binary", "", 1, 10, 10, 4, 2, 1); err == nil {
 		t.Error("unwritable binary output accepted")
 	}
-	if err := run("gnm", filepath.Join(dir, "y.txt"), "text", 1, 1, 10, 4, 2, 1); err == nil {
+	if err := run("gnm", filepath.Join(dir, "y.txt"), "text", "", 1, 1, 10, 4, 2, 1); err == nil {
 		t.Error("generator error not propagated")
 	}
 	if err := runConvert(filepath.Join(dir, "missing.txt"), filepath.Join(dir, "o.bsg"), false); err == nil {

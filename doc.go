@@ -234,6 +234,35 @@
 // -smoke` asserts that parity for every objective and backend. See
 // cmd/densestd/README.md for the endpoint reference.
 //
+// # Dynamic graphs and sliding windows
+//
+// NewMaintainer owns a mutable edge multiset plus the current
+// approximate solution: Insert and Delete feed updates, Current returns
+// the maintained Solution, and Flush forces an epoch boundary. The
+// maintainer re-peels lazily — it keeps the last epoch's solution and a
+// compacted-CSR checkpoint, tracks the maintained set's density exactly
+// as edges churn, and only re-peels (resuming from the checkpoint via a
+// delta merge, not a full rebuild) when the drift bound can no longer
+// certify a (2+2·DriftEps) approximation: inserting A distinct edges
+// raises the optimum by at most sqrt(A/2), and deletions only lower it.
+// Between epochs Current is O(1); at every epoch boundary the solution
+// is bit-identical to the from-scratch Solve on the live edge set.
+// MaintainerConfig.Window turns on sliding-window expiry: InsertAt
+// stamps edges with event times, Advance moves the watermark, and edges
+// older than the window expire in amortized O(1) bucket batches (late
+// arrivals behind the already-expired horizon are dropped).
+//
+// The same machinery has a Problem form — ObjectiveSlidingWindow
+// replays a timestamped stream (WeightedEdges or a weighted Path file;
+// the weight column is the positive integer timestamp) through a
+// windowed maintainer and returns the final epoch's Solution with the
+// maintainer counters in Solution.Dynamic — and a serving form: a graph
+// registered with dynamic=true in densestd feeds appends (and
+// ?op=delete removals) to a maintainer in place, serves matching solves
+// from the maintained solution instead of recomputing cold, and reports
+// the maintainer gauges under /metrics. cmd/genGraph -timestamps
+// generates timestamped inputs in both text and binary form.
+//
 // Graphs are built with NewBuilder/NewDirectedBuilder or parsed from
 // SNAP-style edge lists with ReadUndirected/ReadDirected (or their
 // sharded file variants ReadUndirectedFile/ReadDirectedFile). All

@@ -1,0 +1,256 @@
+package densestream_test
+
+// The dynamic maintenance contract: at every epoch boundary the
+// maintained Solution is bit-identical to a from-scratch Solve over the
+// live edge set — across insert/delete/expiry churn, every worker
+// count, and the full eps range. Plus the SlidingWindow objective
+// (a replayed maintainer) and the streaming DirectedSweep parity that
+// closes the last backend carve-out.
+
+import (
+	"context"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"testing"
+
+	ds "densestream"
+)
+
+// liveGraph freezes a maintainer's live edge set into an in-memory
+// graph — the from-scratch reference input.
+func liveGraph(t *testing.T, n int, edges []ds.StreamEdge) *ds.UndirectedGraph {
+	t.Helper()
+	b := ds.NewBuilder(n)
+	for _, e := range edges {
+		if err := b.AddEdge(e.U, e.V); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestMaintainerChurnParity is the randomized churn parity sweep:
+// insert/delete/expiry churn, workers 1–8, eps 0 / 0.3 / 3. Every
+// Flush is an epoch boundary and must reproduce Solve bit for bit.
+func TestMaintainerChurnParity(t *testing.T) {
+	const n = 36
+	for _, eps := range []float64{0, 0.3, 3} {
+		for w := 1; w <= 8; w++ {
+			eps, w := eps, w
+			t.Run("eps="+strconv.FormatFloat(eps, 'g', -1, 64)+"/workers="+strconv.Itoa(w), func(t *testing.T) {
+				t.Parallel()
+				rng := rand.New(rand.NewSource(int64(1000*eps) + int64(w)))
+				m, err := ds.NewMaintainer(ds.MaintainerConfig{
+					NumNodes: n, Eps: eps, DriftEps: eps + 0.5,
+					Window: 120, Buckets: 6, Workers: w,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for ts := int64(1); ts <= 300; ts++ {
+					u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+					if u == v {
+						continue
+					}
+					if err := m.InsertAt(u, v, ts); err != nil {
+						t.Fatal(err)
+					}
+					if rng.Intn(8) == 0 {
+						live := m.Edges()
+						if len(live) > 0 {
+							pick := live[rng.Intn(len(live))]
+							if err := m.Delete(pick.U, pick.V); err != nil {
+								t.Fatal(err)
+							}
+						}
+					}
+					if err := m.Advance(ts); err != nil {
+						t.Fatal(err)
+					}
+					if ts%61 != 0 {
+						continue
+					}
+					got, err := m.Flush()
+					if err != nil {
+						t.Fatal(err)
+					}
+					want, err := ds.Solve(context.Background(), ds.Problem{
+						Objective: ds.ObjectiveUndirected,
+						Backend:   ds.BackendPeel,
+						Eps:       eps,
+						Graph:     liveGraph(t, n, m.Edges()),
+					}, ds.WithWorkers(w))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("ts=%d: epoch boundary drifted from Solve\n got: %+v\nwant: %+v", ts, got, want)
+					}
+				}
+				if m.Stats().Expired == 0 {
+					t.Fatal("churn sweep never exercised window expiry")
+				}
+			})
+		}
+	}
+}
+
+// windowLive computes the reference live set of a replay: an edge is
+// live iff the final watermark is within Window of its newest
+// timestamp and it accumulated at least one instance.
+func windowLive(edges []ds.WeightedStreamEdge, window, bucketW int64) map[[2]int32]bool {
+	var maxTS int64
+	for _, e := range edges {
+		if ts := int64(e.Weight); ts > maxTS {
+			maxTS = ts
+		}
+	}
+	// Bucketed expiry: a bucket b = floor(ts/bucketW) has expired when
+	// b*bucketW + bucketW - 1 <= maxTS - window.
+	hi := int64(-1 << 62)
+	if bucketW > 0 {
+		q := maxTS - window - bucketW + 1
+		hi = q / bucketW
+		if q%bucketW != 0 && q < 0 {
+			hi--
+		}
+	}
+	live := make(map[[2]int32]bool)
+	for _, e := range edges {
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		if int64(e.Weight)/bucketW > hi {
+			live[[2]int32{u, v}] = true
+		}
+	}
+	return live
+}
+
+// TestSlidingWindowSolve checks the ObjectiveSlidingWindow replay
+// against a from-scratch Solve over the independently-computed live
+// set, for both a WeightedEdges input and a timestamped Path file.
+func TestSlidingWindowSolve(t *testing.T) {
+	const (
+		n       = 50
+		window  = 64
+		buckets = 8
+	)
+	rng := rand.New(rand.NewSource(11))
+	var edges []ds.WeightedStreamEdge
+	for ts := int64(1); ts <= 400; ts++ {
+		u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		edges = append(edges, ds.WeightedStreamEdge{U: u, V: v, Weight: float64(ts)})
+	}
+	live := windowLive(edges, window, window/buckets)
+	b := ds.NewBuilder(n)
+	for k := range live {
+		if err := b.AddEdge(k[0], k[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ds.Solve(context.Background(), ds.Problem{Eps: 0.25, Graph: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ws, err := ds.NewWeightedSliceStream(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ds.Solve(context.Background(), ds.Problem{
+		Objective: ds.ObjectiveSlidingWindow,
+		Eps:       0.25, Window: window, Buckets: buckets,
+		WeightedEdges: ws,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dynamic == nil || got.Dynamic.Expired == 0 || got.Dynamic.Epochs == 0 {
+		t.Fatalf("replay stats missing or inert: %+v", got.Dynamic)
+	}
+	if !reflect.DeepEqual(got.Set, want.Set) || got.Density != want.Density || got.Passes != want.Passes || !reflect.DeepEqual(got.Trace, want.Trace) {
+		t.Fatalf("sliding-window replay drifted from live-set Solve\n got: %+v\nwant: %+v", got, want)
+	}
+
+	// The same replay from a timestamped edge-list file.
+	path := filepath.Join(t.TempDir(), "ts.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range edges {
+		if _, err := f.WriteString(strconv.Itoa(int(e.U)) + "\t" + strconv.Itoa(int(e.V)) + "\t" + strconv.FormatInt(int64(e.Weight), 10) + "\n"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := ds.Solve(context.Background(), ds.Problem{
+		Objective: ds.ObjectiveSlidingWindow,
+		Eps:       0.25, Window: window, Buckets: buckets,
+		Path: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromFile.Set, got.Set) || fromFile.Density != got.Density {
+		t.Fatalf("file replay diverged from stream replay\n got: %+v\nwant: %+v", fromFile, got)
+	}
+	if fromFile.Stats.BytesScanned == 0 {
+		t.Fatal("file replay reported no scanned bytes")
+	}
+}
+
+// TestStreamDirectedSweepParity closes the streaming DirectedSweep gap:
+// the sweep grid, every per-c density, and the kept best must match
+// BackendPeel on the materialized graph, at several worker counts.
+func TestStreamDirectedSweepParity(t *testing.T) {
+	g, err := ds.GenerateRMAT(8, 1500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ds.Solve(context.Background(), ds.Problem{
+		Objective: ds.ObjectiveDirectedSweep,
+		Backend:   ds.BackendPeel,
+		Delta:     2, Eps: 0.5,
+		Directed: g,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 3, 8} {
+		got, err := ds.Solve(context.Background(), ds.Problem{
+			Objective: ds.ObjectiveDirectedSweep,
+			Backend:   ds.BackendStream,
+			Delta:     2, Eps: 0.5,
+			Edges: ds.StreamDirectedGraph(g),
+		}, ds.WithWorkers(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.S, want.S) || !reflect.DeepEqual(got.T, want.T) ||
+			got.Density != want.Density || got.Passes != want.Passes {
+			t.Fatalf("workers=%d: stream sweep best diverged from peel\n got: %+v\nwant: %+v", w, got, want)
+		}
+		if got.Sweep.BestC != want.Sweep.BestC || !reflect.DeepEqual(got.Sweep.Points, want.Sweep.Points) {
+			t.Fatalf("workers=%d: sweep grid diverged\n got: %+v\nwant: %+v", w, got.Sweep, want.Sweep)
+		}
+	}
+}

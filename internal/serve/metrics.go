@@ -79,6 +79,30 @@ type MetricsView struct {
 	Canceled       int64                  `json:"canceledSolves"`
 	DeadlineExpiry int64                  `json:"deadlineExpiredSolves"`
 	PerObjective   map[string]LatencyView `json:"perObjective"`
+	// Dynamic aggregates the maintainer gauges of every dynamic graph;
+	// omitted while no dynamic graph is registered.
+	Dynamic *DynamicView `json:"dynamic,omitempty"`
+}
+
+// DynamicView is the dynamic-graph block of /metrics: maintainer
+// counters summed over every registered dynamic graph, plus the number
+// of requests served from maintained solutions instead of solves.
+type DynamicView struct {
+	Graphs        int   `json:"graphs"`
+	Epochs        int64 `json:"epochs"`
+	DriftTriggers int64 `json:"driftTriggers"`
+	// TriggerRatio is DriftTriggers/Epochs — the share of re-peels that
+	// the drift bound forced (the rest were explicit flushes).
+	TriggerRatio float64 `json:"triggerRatio"`
+	Updates      int64   `json:"updates"`
+	Inserts      int64   `json:"inserts"`
+	Deletes      int64   `json:"deletes"`
+	Expired      int64   `json:"expired"`
+	LiveEdges    int64   `json:"liveEdges"`
+	WindowEdges  int64   `json:"windowEdges"`
+	// Served counts responses answered from a maintained solution (the
+	// /solve fast path and /graphs/{name}/current).
+	Served int64 `json:"served"`
 }
 
 // CacheView is the cache block of /metrics.

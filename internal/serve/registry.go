@@ -41,6 +41,14 @@ type GraphInfo struct {
 	Fingerprint string `json:"fingerprint"`
 	// Version counts registrations and appends under this name.
 	Version int64 `json:"version"`
+	// Dynamic marks a graph backed by an incremental Maintainer:
+	// POST /graphs/{name}/edges feeds it in place and matching solve
+	// requests are served from the maintained solution instead of
+	// recomputing cold. Eps is the maintainer's peeling slack and
+	// Window its sliding-window width (0 = no expiry).
+	Dynamic bool    `json:"dynamic,omitempty"`
+	Eps     float64 `json:"eps,omitempty"`
+	Window  int64   `json:"window,omitempty"`
 }
 
 // Snapshot is an immutable view of a registered graph at one version:
@@ -61,6 +69,12 @@ type graphEntry struct {
 	edges    []Edge
 	snap     *Snapshot // built lazily; nil after an append (stale)
 	buildErr error     // sticky build failure for the current version
+
+	// dyn, when non-nil, is the incremental maintainer behind a dynamic
+	// graph: appends feed it in place and Snapshot freezes its live
+	// edge set instead of the append log.
+	dyn    *ds.Maintainer
+	dynCfg ds.MaintainerConfig
 }
 
 // Registry is the named-graph store of the daemon: load once, solve
@@ -112,7 +126,9 @@ func (r *Registry) Register(name string, directed, weighted bool, edges []Edge, 
 
 // Append adds edges to an existing graph, bumping its version and
 // fingerprint (which unkeys every cached result for the old content).
-// New node ids extend the graph.
+// New node ids extend the graph. On a dynamic graph the edges feed the
+// maintainer in place (the node universe is fixed at registration) and
+// the fingerprint tracks the ingest log.
 func (r *Registry) Append(name string, edges []Edge) (GraphInfo, error) {
 	e, err := r.entry(name)
 	if err != nil {
@@ -120,6 +136,12 @@ func (r *Registry) Append(name string, edges []Edge) (GraphInfo, error) {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.dyn != nil {
+		if err := feedMaintainer(e.dyn, e.dynCfg, edges, false); err != nil {
+			return GraphInfo{}, err
+		}
+		return e.bumpDynamicLocked(edges), nil
+	}
 	if err := checkEdges(edges, e.info.Weighted); err != nil {
 		return GraphInfo{}, err
 	}
@@ -132,6 +154,176 @@ func (r *Registry) Append(name string, edges []Edge) (GraphInfo, error) {
 	e.info.Fingerprint = fingerprint(e.info, e.edges)
 	e.snap, e.buildErr = nil, nil
 	return e.info, nil
+}
+
+// RegisterDynamic creates or replaces name as a dynamic graph: a
+// maintainer over the fixed node universe [0, cfg.NumNodes) seeded with
+// the given edges. On a windowed maintainer (cfg.Window > 0) each
+// edge's W column is its integer timestamp and the watermark advances
+// with the feed; otherwise W is ignored.
+func (r *Registry) RegisterDynamic(name string, cfg ds.MaintainerConfig, edges []Edge) (GraphInfo, error) {
+	if name == "" {
+		return GraphInfo{}, fmt.Errorf("serve: graph name must not be empty")
+	}
+	if n := int(maxNode(edges)) + 1; cfg.NumNodes < n {
+		cfg.NumNodes = n
+	}
+	if cfg.NumNodes < 1 {
+		cfg.NumNodes = 1
+	}
+	m, err := ds.NewMaintainer(cfg)
+	if err != nil {
+		return GraphInfo{}, err
+	}
+	if err := feedMaintainer(m, cfg, edges, false); err != nil {
+		return GraphInfo{}, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	prev := r.graphs[name]
+	version := int64(1)
+	if prev != nil {
+		prev.mu.Lock()
+		version = prev.info.Version + 1
+		prev.mu.Unlock()
+	}
+	e := &graphEntry{
+		info: GraphInfo{
+			Name: name, Nodes: cfg.NumNodes, Version: version,
+			Dynamic: true, Eps: cfg.Eps, Window: cfg.Window,
+		},
+		dyn: m, dynCfg: cfg,
+	}
+	e.info.Edges = int(m.Stats().LiveEdges)
+	e.info.Fingerprint = fingerprint(e.info, edges)
+	r.graphs[name] = e
+	return e.info, nil
+}
+
+// DeleteEdges removes one instance of each given edge from a dynamic
+// graph (static graphs do not support deletion).
+func (r *Registry) DeleteEdges(name string, edges []Edge) (GraphInfo, error) {
+	e, err := r.entry(name)
+	if err != nil {
+		return GraphInfo{}, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dyn == nil {
+		return GraphInfo{}, fmt.Errorf("serve: graph %q is not dynamic; deletes need a graph registered with dynamic=true", name)
+	}
+	if err := feedMaintainer(e.dyn, e.dynCfg, edges, true); err != nil {
+		return GraphInfo{}, err
+	}
+	return e.bumpDynamicLocked(edges), nil
+}
+
+// bumpDynamicLocked refreshes a dynamic entry's descriptor after a
+// feed: the live edge gauge, the version, and a fingerprint chained
+// over the update batch (content-identifying, like the static log
+// hash). Invalidates the memoized snapshot.
+func (e *graphEntry) bumpDynamicLocked(batch []Edge) GraphInfo {
+	e.info.Edges = int(e.dyn.Stats().LiveEdges)
+	e.info.Version++
+	prev := e.info.Fingerprint
+	e.info.Fingerprint = fingerprint(e.info, batch)[:8] + prev[:8]
+	e.snap, e.buildErr = nil, nil
+	return e.info
+}
+
+// feedMaintainer applies one update batch. Windowed maintainers read
+// each edge's W column as its integer timestamp and advance the
+// watermark along the way (expiring old buckets in batches).
+func feedMaintainer(m *ds.Maintainer, cfg ds.MaintainerConfig, edges []Edge, del bool) error {
+	for i, e := range edges {
+		if del {
+			if err := m.Delete(e.U, e.V); err != nil {
+				return fmt.Errorf("serve: edge %d: %w", i, err)
+			}
+			continue
+		}
+		if cfg.Window > 0 {
+			ts := int64(e.W)
+			if float64(ts) != e.W || ts < 1 {
+				return fmt.Errorf("serve: edge %d (%d,%d): windowed dynamic graphs need a positive integer timestamp in the weight column, got %v", i, e.U, e.V, e.W)
+			}
+			if err := m.InsertAt(e.U, e.V, ts); err != nil {
+				return fmt.Errorf("serve: edge %d: %w", i, err)
+			}
+			if err := m.Advance(ts); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := m.Insert(e.U, e.V); err != nil {
+			return fmt.Errorf("serve: edge %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// DynamicConfig returns the maintainer configuration of a dynamic
+// graph, reporting ok=false for static (or unknown) names.
+func (r *Registry) DynamicConfig(name string) (ds.MaintainerConfig, bool) {
+	e, err := r.entry(name)
+	if err != nil {
+		return ds.MaintainerConfig{}, false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dyn == nil {
+		return ds.MaintainerConfig{}, false
+	}
+	return e.dynCfg, true
+}
+
+// DynamicCurrent returns the maintained solution of a dynamic graph,
+// re-peeling lazily only if the drift trigger has fired since the last
+// epoch.
+func (r *Registry) DynamicCurrent(name string) (*ds.Solution, error) {
+	e, err := r.entry(name)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	m := e.dyn
+	e.mu.Unlock()
+	if m == nil {
+		return nil, fmt.Errorf("serve: graph %q is not dynamic", name)
+	}
+	// The maintainer has its own lock; a long re-peel must not hold the
+	// entry lock against concurrent appends' descriptor updates.
+	return m.Current()
+}
+
+// DynamicStats aggregates every dynamic graph's maintainer counters
+// for /metrics.
+func (r *Registry) DynamicStats() (graphs int, agg ds.MaintainerStats) {
+	r.mu.RLock()
+	entries := make([]*graphEntry, 0, len(r.graphs))
+	for _, e := range r.graphs {
+		entries = append(entries, e)
+	}
+	r.mu.RUnlock()
+	for _, e := range entries {
+		e.mu.Lock()
+		m := e.dyn
+		e.mu.Unlock()
+		if m == nil {
+			continue
+		}
+		s := m.Stats()
+		graphs++
+		agg.Updates += s.Updates
+		agg.Inserts += s.Inserts
+		agg.Deletes += s.Deletes
+		agg.Expired += s.Expired
+		agg.Epochs += s.Epochs
+		agg.DriftTriggers += s.DriftTriggers
+		agg.LiveEdges += s.LiveEdges
+		agg.WindowEdges += s.WindowEdges
+	}
+	return graphs, agg
 }
 
 // Snapshot returns the frozen graph for name at its current version,
@@ -151,6 +343,25 @@ func (r *Registry) Snapshot(name string) (*Snapshot, error) {
 		return e.snap, nil
 	}
 	snap := &Snapshot{Info: e.info}
+	if e.dyn != nil {
+		// A dynamic graph's snapshot is its live edge set — what a
+		// from-scratch solve at this version would see.
+		b := ds.NewBuilder(e.info.Nodes)
+		for _, ed := range e.dyn.Edges() {
+			if err := b.AddEdge(ed.U, ed.V); err != nil {
+				e.buildErr = fmt.Errorf("serve: building graph %q: %w", name, err)
+				return nil, e.buildErr
+			}
+		}
+		g, err := b.Freeze()
+		if err != nil {
+			e.buildErr = fmt.Errorf("serve: building graph %q: %w", name, err)
+			return nil, e.buildErr
+		}
+		snap.Graph = g
+		e.snap = snap
+		return snap, nil
+	}
 	if e.info.Directed {
 		b := ds.NewDirectedBuilder(e.info.Nodes)
 		for _, ed := range e.edges {

@@ -18,6 +18,7 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -68,17 +69,18 @@ func (c *Config) normalize() {
 // Server is the daemon state behind the HTTP handlers. Create it with
 // New, expose Handler() on an http.Server, and Close it on shutdown.
 type Server struct {
-	cfg      Config
-	registry *Registry
-	cache    *resultCache
-	metrics  *metrics
-	jobs     *jobTable
-	queue    chan *job
-	base     context.Context
-	stop     context.CancelFunc
-	wg       sync.WaitGroup
-	inFlight atomic.Int64
-	closed   atomic.Bool
+	cfg       Config
+	registry  *Registry
+	cache     *resultCache
+	metrics   *metrics
+	jobs      *jobTable
+	queue     chan *job
+	base      context.Context
+	stop      context.CancelFunc
+	wg        sync.WaitGroup
+	inFlight  atomic.Int64
+	closed    atomic.Bool
+	dynServed atomic.Int64
 }
 
 // New starts a server's worker pool and returns it.
@@ -131,6 +133,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /graphs/{name}", s.handleGetGraph)
 	mux.HandleFunc("DELETE /graphs/{name}", s.handleDeleteGraph)
 	mux.HandleFunc("POST /graphs/{name}/edges", s.handleAppendEdges)
+	mux.HandleFunc("GET /graphs/{name}/current", s.handleGraphCurrent)
 	mux.HandleFunc("POST /solve", s.handleSolve)
 	mux.HandleFunc("POST /jobs", s.handleSubmitJob)
 	mux.HandleFunc("GET /jobs/{id}", s.handleGetJob)
@@ -210,12 +213,25 @@ func writeError(w http.ResponseWriter, status int, err error, partial *ds.Partia
 // local Path to load once, or an inline Edges array ([[u,v],[u,v,w]]).
 // A text/plain body is accepted too, parsed as a SNAP-style edge list
 // (directed/weighted then come from query parameters).
+//
+// Dynamic registers the graph as maintainer-backed: appends feed the
+// maintainer in place and matching solves serve the maintained
+// solution warm (see Registry.RegisterDynamic). Eps/DriftEps/Window/
+// Buckets shape the maintainer; with a Window the edge rows' third
+// column is a positive integer timestamp. Query parameters of the same
+// names (dynamic, eps, driftEps, window, buckets) apply to text
+// bodies.
 type graphSpec struct {
 	Path     string      `json:"path,omitempty"`
 	Directed bool        `json:"directed,omitempty"`
 	Weighted bool        `json:"weighted,omitempty"`
 	Nodes    int         `json:"nodes,omitempty"`
 	Edges    [][]float64 `json:"edges,omitempty"`
+	Dynamic  bool        `json:"dynamic,omitempty"`
+	Eps      float64     `json:"eps,omitempty"`
+	DriftEps float64     `json:"driftEps,omitempty"`
+	Window   int64       `json:"window,omitempty"`
+	Buckets  int         `json:"buckets,omitempty"`
 }
 
 func (s *Server) handlePutGraph(w http.ResponseWriter, r *http.Request) {
@@ -225,7 +241,19 @@ func (s *Server) handlePutGraph(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err, nil)
 		return
 	}
-	info, err := s.registry.Register(name, spec.Directed, spec.Weighted, edges, spec.Nodes)
+	var info GraphInfo
+	if spec.Dynamic {
+		if spec.Directed || spec.Weighted {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: dynamic graphs are undirected and unweighted"), nil)
+			return
+		}
+		info, err = s.registry.RegisterDynamic(name, ds.MaintainerConfig{
+			NumNodes: spec.Nodes, Eps: spec.Eps, DriftEps: spec.DriftEps,
+			Window: spec.Window, Buckets: spec.Buckets, Workers: s.cfg.SolveWorkers,
+		}, edges)
+	} else {
+		info, err = s.registry.Register(name, spec.Directed, spec.Weighted, edges, spec.Nodes)
+	}
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err, nil)
 		return
@@ -242,6 +270,40 @@ func (s *Server) decodeGraphBody(r *http.Request) (graphSpec, []Edge, error) {
 	q := r.URL.Query()
 	spec.Directed = q.Get("directed") == "1" || q.Get("directed") == "true"
 	spec.Weighted = q.Get("weighted") == "1" || q.Get("weighted") == "true"
+	spec.Dynamic = q.Get("dynamic") == "1" || q.Get("dynamic") == "true"
+	for _, p := range []struct {
+		name string
+		dst  *float64
+	}{{"eps", &spec.Eps}, {"driftEps", &spec.DriftEps}} {
+		if v := q.Get(p.name); v != "" {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return spec, nil, fmt.Errorf("serve: bad %s parameter %q", p.name, v)
+			}
+			*p.dst = f
+		}
+	}
+	if v := q.Get("window"); v != "" {
+		win, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return spec, nil, fmt.Errorf("serve: bad window parameter %q", v)
+		}
+		spec.Window = win
+	}
+	if v := q.Get("buckets"); v != "" {
+		b, err := strconv.Atoi(v)
+		if err != nil {
+			return spec, nil, fmt.Errorf("serve: bad buckets parameter %q", v)
+		}
+		spec.Buckets = b
+	}
+	if v := q.Get("nodes"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return spec, nil, fmt.Errorf("serve: bad nodes parameter %q", v)
+		}
+		spec.Nodes = n
+	}
 
 	ct := r.Header.Get("Content-Type")
 	if ct == "" || strings.HasPrefix(ct, "application/json") {
@@ -256,7 +318,7 @@ func (s *Server) decodeGraphBody(r *http.Request) (graphSpec, []Edge, error) {
 		case spec.Path != "":
 			// The format is sniffed from the magic bytes: text edge
 			// lists and binary columnar files both register here.
-			edges, err := ReadEdgeListFile(spec.Path, spec.Weighted)
+			edges, err := ReadEdgeListFile(spec.Path, spec.Weighted || spec.timestamped())
 			return spec, edges, err
 		case spec.Edges != nil:
 			edges := make([]Edge, len(spec.Edges))
@@ -280,9 +342,14 @@ func (s *Server) decodeGraphBody(r *http.Request) (graphSpec, []Edge, error) {
 		}
 	}
 	// Any other content type: a raw SNAP-style edge list.
-	edges, err := ParseEdgeList(r.Body, spec.Weighted)
+	edges, err := ParseEdgeList(r.Body, spec.Weighted || spec.timestamped())
 	return spec, edges, err
 }
+
+// timestamped reports whether the spec's edge rows carry a timestamp
+// column that must survive parsing even though the graph itself is
+// unweighted: windowed dynamic graphs stamp every edge.
+func (sp graphSpec) timestamped() bool { return sp.Dynamic && sp.Window > 0 }
 
 func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
 	info, err := s.registry.Info(r.PathValue("name"))
@@ -309,7 +376,11 @@ func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
 
 // handleAppendEdges is the streaming ingest endpoint: it appends the
 // body's edges to a registered graph, bumps its fingerprint, and drops
-// the graph's cached results.
+// the graph's cached results. On a dynamic graph the edges feed the
+// maintainer in place (windowed graphs read the third column as the
+// timestamp), `?op=delete` removes edges instead, and the cache is left
+// alone — the bumped fingerprint already unkeys stale results while the
+// maintained solution keeps serving warm.
 func (s *Server) handleAppendEdges(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	info, err := s.registry.Info(name)
@@ -338,19 +409,49 @@ func (s *Server) handleAppendEdges(w http.ResponseWriter, r *http.Request) {
 			edges = append(edges, e)
 		}
 	} else {
-		edges, err = ParseEdgeList(r.Body, info.Weighted)
+		edges, err = ParseEdgeList(r.Body, info.Weighted || (info.Dynamic && info.Window > 0))
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err, nil)
 			return
 		}
 	}
-	newInfo, err := s.registry.Append(name, edges)
+	var newInfo GraphInfo
+	if r.URL.Query().Get("op") == "delete" {
+		newInfo, err = s.registry.DeleteEdges(name, edges)
+	} else {
+		newInfo, err = s.registry.Append(name, edges)
+	}
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err, nil)
 		return
 	}
-	s.cache.dropPrefix(name + "|")
+	if !info.Dynamic {
+		s.cache.dropPrefix(name + "|")
+	}
 	writeJSON(w, http.StatusOK, newInfo)
+}
+
+// handleGraphCurrent serves the maintained solution of a dynamic graph
+// directly — the cheap read path for ingest-heavy clients. The solve
+// (if the drift trigger fired) happens lazily inside the maintainer.
+func (s *Server) handleGraphCurrent(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	info, err := s.registry.Info(name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err, nil)
+		return
+	}
+	if !info.Dynamic {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: graph %q is not dynamic; /current needs a graph registered with dynamic=true", name), nil)
+		return
+	}
+	sol, err := s.registry.DynamicCurrent(name)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err, nil)
+		return
+	}
+	s.dynServed.Add(1)
+	writeJSON(w, http.StatusOK, sol)
 }
 
 // --- solve paths ---
@@ -366,6 +467,26 @@ func (s *Server) prepare(req SolveRequest) (*job, []byte, *httpError) {
 	}
 	if req.Graph == "" {
 		return nil, nil, &httpError{http.StatusBadRequest, "serve: request must name a registered graph (\"graph\" field)"}
+	}
+	// Dynamic fast path: a request matching the maintainer's own
+	// configuration is served from the maintained solution — no snapshot
+	// build, no queue, no cache, and bit-identical to the cold solve by
+	// the maintainer's epoch-parity contract. Any other objective,
+	// backend, or eps falls through and solves the live edge set.
+	if dc, ok := s.registry.DynamicConfig(req.Graph); ok &&
+		req.Problem.Objective == ds.ObjectiveUndirected &&
+		req.Problem.Backend == ds.BackendPeel &&
+		req.Problem.Eps == dc.Eps {
+		sol, err := s.registry.DynamicCurrent(req.Graph)
+		if err != nil {
+			return nil, nil, &httpError{http.StatusInternalServerError, err.Error()}
+		}
+		data, err := json.Marshal(sol)
+		if err != nil {
+			return nil, nil, &httpError{http.StatusInternalServerError, err.Error()}
+		}
+		s.dynServed.Add(1)
+		return nil, data, nil
 	}
 	snap, err := s.registry.Snapshot(req.Graph)
 	if err != nil {
@@ -575,6 +696,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	if total := hits + misses; total > 0 {
 		view.Cache.HitRate = float64(hits) / float64(total)
+	}
+	if graphs, agg := s.registry.DynamicStats(); graphs > 0 {
+		dv := &DynamicView{
+			Graphs: graphs, Epochs: agg.Epochs, DriftTriggers: agg.DriftTriggers,
+			Updates: agg.Updates, Inserts: agg.Inserts, Deletes: agg.Deletes,
+			Expired: agg.Expired, LiveEdges: agg.LiveEdges, WindowEdges: agg.WindowEdges,
+			Served: s.dynServed.Load(),
+		}
+		if agg.Epochs > 0 {
+			dv.TriggerRatio = float64(agg.DriftTriggers) / float64(agg.Epochs)
+		}
+		view.Dynamic = dv
 	}
 	writeJSON(w, http.StatusOK, view)
 }

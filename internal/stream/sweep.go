@@ -1,0 +1,46 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+
+	"densestream/internal/core"
+)
+
+// DirectedSweep runs Algorithm 3 over the stream for every
+// c = delta^j covering [1/n, n] and keeps the densest pair, matching
+// core.DirectedSweep point for point.
+func DirectedSweep(es EdgeStream, delta, eps float64) (*core.SweepResult, error) {
+	return DirectedSweepParallelOpts(es, delta, eps, core.Opts{})
+}
+
+// DirectedSweepParallelOpts is DirectedSweep with execution options.
+// Each per-c run re-streams the edges once per pass (sharded across
+// o.Workers when the stream supports it), so a sweep costs the sum of
+// the per-c pass counts in stream scans. The sweep grid, the per-c
+// results, and the kept best are bit-identical to
+// core.DirectedSweepOpts on the materialized graph.
+func DirectedSweepParallelOpts(es EdgeStream, delta, eps float64, o core.Opts) (*core.SweepResult, error) {
+	if delta <= 1 || math.IsNaN(delta) || math.IsInf(delta, 0) {
+		return nil, fmt.Errorf("stream: delta must be > 1, got %v", delta)
+	}
+	n := es.NumNodes()
+	if n == 0 {
+		return nil, fmt.Errorf("stream: sweep needs a non-empty node set")
+	}
+	maxJ := int(math.Ceil(math.Log(float64(n)) / math.Log(delta)))
+	sweep := &core.SweepResult{}
+	for j := -maxJ; j <= maxJ; j++ {
+		c := math.Pow(delta, float64(j))
+		r, err := DirectedParallelOpts(es, c, eps, o)
+		if err != nil {
+			return nil, fmt.Errorf("stream: sweep at c=%v: %w", c, err)
+		}
+		sweep.Points = append(sweep.Points, core.SweepPoint{C: c, Density: r.Density, Passes: r.Passes})
+		if sweep.Best == nil || r.Density > sweep.Best.Density {
+			sweep.Best = r
+			sweep.BestC = c
+		}
+	}
+	return sweep, nil
+}

@@ -34,6 +34,14 @@ const (
 	// 2-approximation baseline (weighted graphs use weighted degrees).
 	// No parameters.
 	ObjectiveGreedy
+	// ObjectiveSlidingWindow replays a timestamped edge stream through
+	// an incremental Maintainer with a sliding window: an edge is live
+	// while the newest timestamp seen is within Window of its own, and
+	// the answer is Algorithm 1's (2+2ε)-approximation over the edges
+	// still live at end of stream. The input is WeightedEdges or a Path
+	// whose weight column carries the (positive integer) timestamps.
+	// Uses Eps, Window, and Buckets.
+	ObjectiveSlidingWindow
 )
 
 // objectiveNames is the wire vocabulary of Objective, indexed by value.
@@ -48,6 +56,7 @@ var objectiveNames = [...]string{
 	ObjectiveDirectedSweep: "DirectedSweep",
 	ObjectiveExact:         "Exact",
 	ObjectiveGreedy:        "Greedy",
+	ObjectiveSlidingWindow: "SlidingWindow",
 }
 
 // String implements fmt.Stringer.
@@ -175,6 +184,13 @@ type Problem struct {
 	C float64 `json:"c,omitempty"`
 	// Delta is the ratio step (> 1) of ObjectiveDirectedSweep.
 	Delta float64 `json:"delta,omitempty"`
+	// Window is the sliding-window width of ObjectiveSlidingWindow, in
+	// the timestamp units of the input's weight column.
+	Window int64 `json:"window,omitempty"`
+	// Buckets is ObjectiveSlidingWindow's expiry quantization: the
+	// window is cut into this many time buckets and edges expire in
+	// whole-bucket batches. 0 means 16.
+	Buckets int `json:"buckets,omitempty"`
 
 	// Graph is an in-memory undirected input (undirected objectives).
 	Graph *UndirectedGraph `json:"-"`
@@ -218,7 +234,7 @@ func (p Problem) Validate() error {
 // validateParams checks the parameter fields the objective consumes.
 func (p Problem) validateParams() error {
 	switch p.Objective {
-	case ObjectiveUndirected, ObjectiveWeighted, ObjectiveAtLeastK, ObjectiveDirected, ObjectiveDirectedSweep:
+	case ObjectiveUndirected, ObjectiveWeighted, ObjectiveAtLeastK, ObjectiveDirected, ObjectiveDirectedSweep, ObjectiveSlidingWindow:
 		if p.Eps < 0 || math.IsNaN(p.Eps) || math.IsInf(p.Eps, 0) {
 			return fmt.Errorf("densestream: Problem.Eps must be a finite value >= 0 for objective %s, got %v", p.Objective, p.Eps)
 		}
@@ -235,6 +251,13 @@ func (p Problem) validateParams() error {
 	case ObjectiveDirectedSweep:
 		if !(p.Delta > 1) || math.IsInf(p.Delta, 0) || math.IsNaN(p.Delta) {
 			return fmt.Errorf("densestream: Problem.Delta must be a finite value > 1 for objective DirectedSweep, got %v", p.Delta)
+		}
+	case ObjectiveSlidingWindow:
+		if p.Window < 1 {
+			return fmt.Errorf("densestream: Problem.Window must be >= 1 for objective SlidingWindow, got %d", p.Window)
+		}
+		if p.Buckets < 0 {
+			return fmt.Errorf("densestream: Problem.Buckets must be >= 0 for objective SlidingWindow, got %d", p.Buckets)
 		}
 	}
 	return nil
@@ -269,18 +292,24 @@ func (p Problem) validateRouting() error {
 		if p.Graph != nil || p.WeightedEdges != nil {
 			return fmt.Errorf("densestream: objective %s needs a directed input (Directed, Edges, or Path)", p.Objective)
 		}
+	case ObjectiveSlidingWindow:
+		if p.WeightedEdges == nil && p.Path == "" {
+			return fmt.Errorf("densestream: ObjectiveSlidingWindow needs timestamped edges: WeightedEdges or a Path with the timestamp in the weight column")
+		}
 	default:
 		return fmt.Errorf("densestream: unknown objective %s", p.Objective)
 	}
 
 	switch p.Backend {
 	case BackendPeel:
-		if p.Edges != nil || p.WeightedEdges != nil {
+		// SlidingWindow's input is a timestamped stream by nature, but
+		// the replay peels in memory — it is a BackendPeel objective.
+		if p.Objective != ObjectiveSlidingWindow && (p.Edges != nil || p.WeightedEdges != nil) {
 			return fmt.Errorf("densestream: BackendPeel needs an in-memory graph or a Path, not an edge stream")
 		}
 	case BackendStream:
 		switch p.Objective {
-		case ObjectiveExact, ObjectiveGreedy, ObjectiveDirectedSweep:
+		case ObjectiveExact, ObjectiveGreedy, ObjectiveSlidingWindow:
 			return fmt.Errorf("densestream: objective %s runs on BackendPeel only", p.Objective)
 		}
 	case BackendStreamSketched:

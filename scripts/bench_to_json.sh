@@ -1,9 +1,11 @@
 #!/bin/sh
 # bench_to_json.sh — convert `go test -bench` output into a small JSON
 # document mapping benchmark name to ns/op (plus B/op and allocs/op
-# when the benchmark reports allocations, and the custom qps / p99-ns
-# metrics reported by the densestd serving benchmarks), so CI runs
-# leave a machine-readable perf data point (BENCH_ci.json) per commit.
+# when the benchmark reports allocations, the custom qps / p99-ns
+# metrics reported by the densestd serving benchmarks, and the
+# ns/update + updates/s metrics of the dynamic churn benchmarks), so CI
+# runs leave a machine-readable perf data point (BENCH_ci.json) per
+# commit.
 #
 # Repeated runs of the same benchmark (go test -count=N) collapse to
 # the minimum ns/op — the standard way to suppress scheduler noise, and
@@ -30,13 +32,15 @@ function jescape(s) { gsub(/\\/, "\\\\", s); gsub(/"/, "\\\"", s); return s }
     # Fields: name iterations value "ns/op" [value "B/op"] [value
     # "allocs/op"] [more metrics...]; the name carries a -GOMAXPROCS
     # suffix on multi-proc runs.
-    rowns = ""; rowb = ""; rowa = ""; rowq = ""; rowp = ""
+    rowns = ""; rowb = ""; rowa = ""; rowq = ""; rowp = ""; rownu = ""; rowus = ""
     for (i = 2; i <= NF; i++) {
         if ($i == "ns/op")     rowns = $(i - 1) + 0
         if ($i == "B/op")      rowb  = $(i - 1) + 0
         if ($i == "allocs/op") rowa  = $(i - 1) + 0
         if ($i == "qps")       rowq  = $(i - 1) + 0
         if ($i == "p99-ns")    rowp  = $(i - 1) + 0
+        if ($i == "ns/update") rownu = $(i - 1) + 0
+        if ($i == "updates/s") rowus = $(i - 1) + 0
     }
     if (rowns == "") next
     name = $1
@@ -44,7 +48,7 @@ function jescape(s) { gsub(/\\/, "\\\\", s); gsub(/"/, "\\\"", s); return s }
     if (!(name in ns) || rowns < ns[name]) {
         if (!(name in ns)) order[++n] = name
         ns[name] = rowns; iters[name] = $2; bop[name] = rowb; aop[name] = rowa
-        qps[name] = rowq; p99[name] = rowp
+        qps[name] = rowq; p99[name] = rowp; nsu[name] = rownu; ups[name] = rowus
     }
 }
 END {
@@ -56,6 +60,8 @@ END {
         if (aop[name] != "") printf ",\"allocs_per_op\":%s", aop[name]
         if (qps[name] != "") printf ",\"qps\":%s", qps[name]
         if (p99[name] != "") printf ",\"p99_ns\":%s", p99[name]
+        if (nsu[name] != "") printf ",\"ns_per_update\":%s", nsu[name]
+        if (ups[name] != "") printf ",\"updates_per_s\":%s", ups[name]
         printf "}"
         printf (j < n) ? ",\n" : "\n"
     }

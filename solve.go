@@ -2,9 +2,12 @@ package densestream
 
 import (
 	"context"
+	"fmt"
+	"io"
 
 	"densestream/internal/charikar"
 	"densestream/internal/core"
+	"densestream/internal/dynamic"
 	"densestream/internal/flow"
 	"densestream/internal/mapreduce"
 	"densestream/internal/sketch"
@@ -63,6 +66,10 @@ type Solution struct {
 	// rational.
 	ExactNumer int64 `json:"exactNumer,omitempty"`
 	ExactDenom int64 `json:"exactDenom,omitempty"`
+	// Dynamic carries the maintainer counters of ObjectiveSlidingWindow:
+	// how many edges the replay inserted and expired, and how much work
+	// the lazy re-peeling saved (Epochs vs Updates).
+	Dynamic *MaintainerStats `json:"dynamic,omitempty"`
 	// Stats reports the solve's out-of-core I/O volume.
 	Stats SolveStats `json:"stats"`
 }
@@ -105,6 +112,8 @@ func Solve(ctx context.Context, p Problem, opts ...Option) (*Solution, error) {
 
 	var err error
 	switch {
+	case p.Objective == ObjectiveSlidingWindow:
+		err = solveWindow(sol, p, o, ex)
 	case p.Backend == BackendStream || p.Backend == BackendStreamSketched:
 		err = solveStream(sol, p, o, ex)
 	default:
@@ -267,6 +276,73 @@ func solveDirected(sol *Solution, p Problem, o Options, ex core.Opts) error {
 	return nil
 }
 
+// solveWindow replays a timestamped edge stream through a sliding-
+// window Maintainer (ObjectiveSlidingWindow): each edge is inserted at
+// its timestamp and the watermark advances with the stream, expiring
+// old buckets as it goes. The final Flush is an epoch boundary, so the
+// answer is bit-identical to a from-scratch peel of the edges still
+// live at end of stream.
+func solveWindow(sol *Solution, p Problem, o Options, ex core.Opts) error {
+	if err := ex.Begin(); err != nil {
+		return err
+	}
+	ws := p.WeightedEdges
+	if ws == nil {
+		f, err := stream.OpenWeightedFileStream(p.Path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		ws = f
+	}
+	m, err := dynamic.New(dynamic.Config{
+		NumNodes: ws.NumNodes(),
+		Eps:      p.Eps,
+		Window:   p.Window,
+		Buckets:  p.Buckets,
+		Workers:  o.Workers,
+	})
+	if err != nil {
+		return err
+	}
+	if err := ws.Reset(); err != nil {
+		return err
+	}
+	for i := 0; ; i++ {
+		e, err := ws.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		ts := int64(e.Weight)
+		if float64(ts) != e.Weight || ts < 1 {
+			return fmt.Errorf("densestream: SlidingWindow edge (%d,%d) needs a positive integer timestamp in the weight column, got %v", e.U, e.V, e.Weight)
+		}
+		if err := m.InsertAt(e.U, e.V, ts); err != nil {
+			return err
+		}
+		if err := m.Advance(ts); err != nil {
+			return err
+		}
+		if i%(1<<12) == 0 {
+			if err := ex.Ctx.Err(); err != nil {
+				return &core.PartialError{Err: err}
+			}
+		}
+	}
+	r, err := m.Flush()
+	if err != nil {
+		return err
+	}
+	sol.fillResult(r)
+	stats := m.Stats()
+	sol.Dynamic = &stats
+	recordScan(sol, ws)
+	return nil
+}
+
 // solveStream dispatches the streaming backends, opening (and closing)
 // file streams when the input is a Path.
 func solveStream(sol *Solution, p Problem, o Options, ex core.Opts) error {
@@ -348,6 +424,14 @@ func solveStream(sol *Solution, p Problem, o Options, ex core.Opts) error {
 			return err
 		}
 		sol.fillDirected(r)
+	case ObjectiveDirectedSweep:
+		sw, err := stream.DirectedSweepParallelOpts(es, p.Delta, p.Eps, ex)
+		if err != nil {
+			return err
+		}
+		sol.Sweep = sw
+		sol.fillDirected(sw.Best)
+		sol.Passes = sw.Best.Passes
 	}
 	recordScan(sol, es)
 	return nil

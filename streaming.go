@@ -99,6 +99,14 @@ func StreamWeightedGraph(g *UndirectedGraph) WeightedEdgeStream {
 	return stream.FromUndirectedWeighted(g)
 }
 
+// NewWeightedSliceStream wraps a fixed slice of weighted edges on n
+// nodes as a re-scannable WeightedEdgeStream — for ObjectiveWeighted
+// the third column is an edge weight, for ObjectiveSlidingWindow a
+// positive integer timestamp.
+func NewWeightedSliceStream(n int, edges []WeightedStreamEdge) (WeightedEdgeStream, error) {
+	return stream.NewWeightedSliceStream(n, edges)
+}
+
 // WeightedFileStream streams weighted edges ("u v w" lines; weight
 // defaults to 1) from a file on disk, re-reading it every pass.
 type WeightedFileStream = stream.WeightedFileStream
