@@ -7,6 +7,9 @@ GO ?= go
 # name-prefix allowlist for scripts/bench_trend.sh) and the go test
 # -bench pattern + packages that produce them.
 BENCH_GATED = BenchmarkParallelPeel,BenchmarkMapReducePeel,BenchmarkMapReduceSpill,BenchmarkFileStreamPeel,BenchmarkBinaryStreamPeel,BenchmarkConvert,BenchmarkCore,BenchmarkServe,BenchmarkDynamicChurn,BenchmarkDynamicRecompute
+# Benchmarks additionally gated on allocs_per_op (the disk-peel scan
+# paths are expected to stay allocation-flat as workers scale).
+BENCH_ALLOC_GATED = BenchmarkFileStreamPeel,BenchmarkBinaryStreamPeel
 BENCH_PATTERN = BenchmarkTable1|BenchmarkParallelPeel|BenchmarkMapReducePeel|BenchmarkMapReduceSpill|BenchmarkFileStreamPeel|BenchmarkBinaryStreamPeel|BenchmarkConvert|BenchmarkCore|BenchmarkServe|BenchmarkDynamic
 BENCH_PKGS = . ./internal/core ./internal/serve
 
@@ -36,7 +39,7 @@ bench-core:
 # against the committed baseline like the peel sweeps.
 bench-mr:
 	$(GO) test -bench='BenchmarkMapReducePeel|BenchmarkMapReduceSpill|BenchmarkFileStreamPeel|BenchmarkBinaryStreamPeel|BenchmarkConvert' -benchtime=1x -count=3 -run='^$$' . | tee /dev/stderr | scripts/bench_to_json.sh > BENCH_mr_fresh.json
-	scripts/bench_trend.sh BENCH_ci.json BENCH_mr_fresh.json 'BenchmarkMapReducePeel,BenchmarkMapReduceSpill,BenchmarkFileStreamPeel,BenchmarkBinaryStreamPeel,BenchmarkConvert' 1.30
+	scripts/bench_trend.sh BENCH_ci.json BENCH_mr_fresh.json 'BenchmarkMapReducePeel,BenchmarkMapReduceSpill,BenchmarkFileStreamPeel,BenchmarkBinaryStreamPeel,BenchmarkConvert' 1.30 '$(BENCH_ALLOC_GATED)' 1.50
 	@rm -f BENCH_mr_fresh.json
 
 # Emit BENCH_ci.json (benchmark name -> ns/op + allocs/op) from the
@@ -53,7 +56,7 @@ bench-json:
 # it first with `make bench-json`.
 bench-trend:
 	$(GO) test -bench='$(BENCH_PATTERN)' -benchtime=1x -count=3 -run='^$$' $(BENCH_PKGS) | scripts/bench_to_json.sh > BENCH_fresh.json
-	scripts/bench_trend.sh BENCH_ci.json BENCH_fresh.json '$(BENCH_GATED)' 1.30
+	scripts/bench_trend.sh BENCH_ci.json BENCH_fresh.json '$(BENCH_GATED)' 1.30 '$(BENCH_ALLOC_GATED)' 1.50
 	@rm -f BENCH_fresh.json
 
 # Public-API gate: fail when `go doc -all .` drifts from the committed

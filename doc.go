@@ -82,37 +82,48 @@
 // so that every worker count (and the sequential run) takes identical
 // decisions and returns bit-identical results:
 //
-//   - Live-vertex frontier. The candidate scan walks a compacted,
-//     ascending slice of the surviving vertex ids instead of all n
-//     alive flags, so a pass costs O(live): once 99% of the graph has
-//     peeled away, the scan touches 1% of the memory.
-//   - Adaptive push/pull decrements. A small removed batch pushes
-//     decrements along its own adjacency rows — routed through fixed
-//     vertex-range lanes so concurrent workers never touch the same
-//     counter (no atomics, no cache-line ping-pong). When the batch's
-//     rows outweigh the survivors' (huge removal batches at large ε),
-//     the pass flips to a pull: each survivor recounts its live
-//     neighbors straight from the CSR — the direction-optimizing trade
-//     of Beamer-style BFS search, with the crossover fixed by the two
-//     row volumes, both functions of the data.
-//   - Periodic CSR compaction. Once the live set falls below a fixed
-//     fraction of the current CSR, the surviving subgraph is rebuilt
-//     into a dense CSR (order-preserving relabel, scratch buffers
-//     reused) so later passes scan cache-resident adjacency instead of
-//     rows full of dead neighbors. A pull pass and a due compaction
-//     fuse: a survivor's row length in the compacted CSR is exactly
-//     its live-neighbor count, so one scan yields both the new degrees
-//     and the new layout.
+//   - Live-vertex frontier, swept in batches. The candidate scan walks
+//     a compacted, ascending slice of the surviving vertex ids instead
+//     of all n alive flags, so a pass costs O(live): once 99% of the
+//     graph has peeled away, the scan touches 1% of the memory. The
+//     walk itself is a batched sweep (par.Sweeper): fixed-size blocks
+//     are filtered in place and the kept runs squashed together in
+//     block order, one primitive shared by every peeler.
+//   - Adaptive push/pull decrements over fixed-stride rows. A small
+//     removed batch pushes decrements along its own adjacency rows —
+//     routed through fixed vertex-range lanes so concurrent workers
+//     never touch the same counter (no atomics, no cache-line
+//     ping-pong). When the batch's rows outweigh the survivors' (huge
+//     removal batches at large ε), the pass flips to a pull: each
+//     survivor recounts its live neighbors — the direction-optimizing
+//     trade of Beamer-style BFS search, with the crossover fixed by
+//     the two row volumes, both functions of the data. The pull reads
+//     RowBanks, a banked view of the compacted CSR that stores rows of
+//     the same degree class at one fixed stride (long tails spill to
+//     an overflow lane), so the recount loop is branch-light and
+//     vectorizes.
+//   - Periodic CSR compaction, hub-first. Once the live set falls
+//     below a fixed fraction of the current CSR, the surviving
+//     subgraph is rebuilt into a dense CSR so later passes scan
+//     cache-resident adjacency instead of rows full of dead neighbors.
+//     The unweighted rebuild relabels degree-ordered — new id 0 is the
+//     highest-degree survivor (a deterministic counting sort, ties in
+//     ascending id order) — which packs the hubs' rows together and
+//     sorts the CSR into the degree classes RowBanks wants; results
+//     map back through the original ids, which never move. A pull pass
+//     and a due compaction fuse: one scan yields the new degrees and
+//     the new layout.
 //
 // Determinism survives all three because every choice is arithmetic on
-// deterministic integers, relabeling preserves id order, and the one
-// float-sensitive path — the weighted peeler's decrement — keeps its
-// subtractions grouped by fixed chunks of the original vertex space,
-// in ascending original order, regardless of worker count or
-// compaction epoch (the cache-blocked ordering of the weighted pull
-// path). The layout parity sweep in internal/core asserts
-// reflect.DeepEqual against the pre-layout reference engines across
-// graphs, objectives, ε values, and workers 1–8.
+// deterministic integers, the hub-first permutation is itself a
+// function of the degrees alone, and the one float-sensitive path —
+// the weighted peeler's decrement — keeps its subtractions grouped by
+// fixed chunks of the original vertex space, in ascending original
+// order, regardless of worker count or compaction epoch (the weighted
+// engine keeps the order-preserving relabel for exactly this reason).
+// The layout parity sweep in internal/core asserts reflect.DeepEqual
+// against the pre-layout reference engines across graphs, objectives,
+// ε values, and workers 1–8.
 //
 // # The out-of-core model
 //
@@ -126,11 +137,14 @@
 //
 //   - BackendStream re-reads the file once per pass holding O(n)
 //     state, and WithWorkers(n) splits each pass's scan into n file
-//     shards, each on its own descriptor — `-algo stream` on disk
-//     inputs parallelizes exactly like in-memory streams, with
-//     bit-identical results at every worker count (weighted scans use
-//     a float-lane striped counter whose lane decomposition is fixed
-//     by the input shape, never the worker count).
+//     shards — private cursors over one shared descriptor — so `-algo
+//     stream` on disk inputs parallelizes exactly like in-memory
+//     streams, with bit-identical results at every worker count
+//     (weighted scans use a float-lane striped counter whose lane
+//     decomposition is fixed by the input shape, never the worker
+//     count). The scan paths are allocation-flat in the worker count:
+//     read buffers pool across solves, worker crews park between
+//     passes, and a pass in steady state allocates nothing.
 //   - BackendPeel and BackendMapReduce load the file through the same
 //     sharded scan (ReadUndirectedFile/ReadDirectedFile): workers
 //     tokenize byte ranges, labels intern in file order, and the built

@@ -73,25 +73,27 @@ func DirectedOpts(g *graph.Directed, c, eps float64, o Opts) (*DirectedResult, e
 		if float64(sizeS) >= c*float64(sizeT) {
 			// Remove A(S): below-average out-degree into T.
 			cut := (1 + eps) * float64(edges) / float64(sizeS)
-			if err := st.scanSide(o, st.liveS, st.outdeg, cut); err != nil {
+			pushVol, degSum, err := st.scanRemoveS(o, pass, cut)
+			if err != nil {
 				return nil, &PartialError{Passes: pass - 1, DirectedTrace: trace, Err: err}
 			}
 			if len(st.batch) == 0 {
 				return nil, fmt.Errorf("core: directed pass %d removed no S nodes", pass)
 			}
-			edges = st.peelS(o, pass, edges)
+			edges = st.peelS(o, pass, edges, pushVol, degSum)
 			sizeS -= len(st.batch)
 			stat = DirectedPassStat{RemovedS: len(st.batch), PeeledSide: 'S'}
 		} else {
 			// Remove B(T): below-average in-degree from S.
 			cut := (1 + eps) * float64(edges) / float64(sizeT)
-			if err := st.scanSide(o, st.liveT, st.indeg, cut); err != nil {
+			pushVol, degSum, err := st.scanRemoveT(o, pass, cut)
+			if err != nil {
 				return nil, &PartialError{Passes: pass - 1, DirectedTrace: trace, Err: err}
 			}
 			if len(st.batch) == 0 {
 				return nil, fmt.Errorf("core: directed pass %d removed no T nodes", pass)
 			}
-			edges = st.peelT(o, pass, edges)
+			edges = st.peelT(o, pass, edges, pushVol, degSum)
 			sizeT -= len(st.batch)
 			stat = DirectedPassStat{RemovedT: len(st.batch), PeeledSide: 'T'}
 		}

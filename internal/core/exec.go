@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 )
 
 // ErrStopped is the cause recorded in a PartialError when a progress
@@ -72,6 +73,12 @@ func (o Opts) Begin() error {
 // error, if any, is the bare cause — callers wrap it in a PartialError
 // with their trace.
 func (o Opts) Checkpoint(stat PassStat) error {
+	// The peeling loops between checkpoints are allocation-free compute,
+	// so on a single-P runtime they would otherwise never hand the
+	// processor to the goroutine that cancels o.Ctx (or the server
+	// handling the cancel request). One explicit yield per pass keeps
+	// cancellation live at negligible cost.
+	runtime.Gosched()
 	if o.Ctx != nil {
 		if err := o.Ctx.Err(); err != nil {
 			return err

@@ -40,6 +40,9 @@ func AtLeastKOpts(g *graph.Undirected, k int, eps float64, o Opts) (*Result, err
 		return nil, err
 	}
 	st := newPeelState(g, o.pool(), false)
+	if eps < 1 {
+		st.compactTilt = 4 // as in UndirectedOpts: slow sweeps repay early rebuilds
+	}
 	edges := g.NumEdges()
 	nodes := n
 
@@ -69,8 +72,10 @@ func AtLeastKOpts(g *graph.Undirected, k int, eps float64, o Opts) (*Result, err
 			return nil, fmt.Errorf("core: pass %d found no candidates (ρ=%v)", pass, rho)
 		}
 		// Remove the ⌊ε/(1+ε)·|S|⌋ lowest-degree candidates, at least one.
-		// Ties break on vertex id; compaction relabels order-preservingly,
-		// so the tie order matches the original-id order at any epoch.
+		// Ties break on ORIGINAL vertex id: the unweighted compactor
+		// relabels hub-first, so current-id order is not stable across
+		// epochs, but the original ids never move — the selected set
+		// matches the uncompacted run at any epoch and worker count.
 		quota := int(frac * float64(nodes))
 		if quota < 1 {
 			quota = 1
@@ -83,12 +88,12 @@ func AtLeastKOpts(g *graph.Undirected, k int, eps float64, o Opts) (*Result, err
 			if deg[candidates[i]] != deg[candidates[j]] {
 				return deg[candidates[i]] < deg[candidates[j]]
 			}
-			return candidates[i] < candidates[j]
+			return st.orig(candidates[i]) < st.orig(candidates[j])
 		})
 		batch := candidates[:quota]
-		pushVol := st.markRemoved(batch, pass)
+		pushVol, degSum := st.markRemoved(batch, pass)
 		st.filterLive(pushVol)
-		edges = st.decrement(o, batch, pass, edges, pushVol)
+		edges = st.decrement(o, batch, pass, edges, pushVol, degSum)
 		nodes -= len(batch)
 		var rhoAfter float64
 		if nodes > 0 {

@@ -25,6 +25,7 @@ var parityEps = []float64{0, 0.3, 3}
 
 type parityCounters struct {
 	push, pull, compactions int
+	relabels, bankedPulls   int
 }
 
 func (pc *parityCounters) opts(workers int) Opts {
@@ -39,6 +40,8 @@ func (pc *parityCounters) opts(workers int) Opts {
 				}
 			},
 			compacted: func(_, _ int) { pc.compactions++ },
+			relabeled: func(_ int) { pc.relabels++ },
+			banked:    func(_, _ int) { pc.bankedPulls++ },
 		},
 	}
 }
@@ -88,6 +91,9 @@ func TestLayoutParityUndirected(t *testing.T) {
 	}
 	if pc.compactions == 0 {
 		t.Fatal("sweep never compacted a CSR")
+	}
+	if pc.relabels != pc.compactions {
+		t.Fatalf("sweep compacted %d times but relabeled %d times; the unweighted compactor must always reorder", pc.compactions, pc.relabels)
 	}
 }
 
@@ -160,6 +166,9 @@ func TestLayoutParityWeighted(t *testing.T) {
 	if pc.compactions == 0 {
 		t.Fatal("weighted sweep never compacted a CSR")
 	}
+	if pc.relabels != 0 {
+		t.Fatalf("weighted sweep relabeled %d times; the weighted compactor must stay id-ordered", pc.relabels)
+	}
 }
 
 // starHeavyWeighted builds the hub-and-leaves shape whose first pass
@@ -225,6 +234,9 @@ func TestLayoutParityAtLeastK(t *testing.T) {
 	if pc.compactions == 0 {
 		t.Fatal("AtLeastK sweep never compacted a CSR")
 	}
+	if pc.relabels != pc.compactions {
+		t.Fatalf("AtLeastK compacted %d times but relabeled %d times", pc.compactions, pc.relabels)
+	}
 }
 
 func TestLayoutParityDirected(t *testing.T) {
@@ -262,6 +274,52 @@ func TestLayoutParityDirected(t *testing.T) {
 	}
 	if pc.compactions == 0 {
 		t.Fatal("directed sweep never compacted a CSR")
+	}
+	if pc.relabels != pc.compactions {
+		t.Fatalf("directed sweep compacted %d times but relabeled %d times", pc.compactions, pc.relabels)
+	}
+}
+
+// TestLayoutParityBankedPull drives the shape that exercises the
+// fixed-stride row banks: a graph whose post-compaction survivors keep
+// peeling slowly, so later passes pull over a banked CSR outside the
+// fused rebuild. The banked gather must match the reference engine
+// bit-for-bit at every worker count, and the sweep must prove the
+// banks actually engaged.
+func TestLayoutParityBankedPull(t *testing.T) {
+	// A circulant core with long reach peels gradually at eps=0: a few
+	// nodes per pass for hundreds of passes, with many pull passes
+	// after the first compaction.
+	const n = 4096
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for s := 1; s <= 4+(u%13); s++ {
+			if err := b.AddEdge(int32(u), int32((u+s)%n)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	g, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pc parityCounters
+	want, err := referenceUndirected(g, 0, Opts{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for workers := 1; workers <= 8; workers++ {
+		got, err := UndirectedOpts(g, 0, pc.opts(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: banked engine diverged from reference\ngot  %+v\nwant %+v",
+				workers, summarize(got), summarize(want))
+		}
+	}
+	if pc.compactions == 0 || pc.bankedPulls == 0 {
+		t.Fatalf("banked sweep: compactions=%d bankedPulls=%d; need both > 0", pc.compactions, pc.bankedPulls)
 	}
 }
 

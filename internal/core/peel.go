@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"sort"
 
 	"densestream/internal/graph"
@@ -12,20 +13,36 @@ import (
 // in-memory engines are built to run at memory bandwidth:
 //
 //   - a live-vertex frontier: the candidate scan walks a compacted,
-//     ascending slice of the surviving vertex ids, so a pass costs
-//     O(live), not O(n), once the graph has started to shrink;
+//     ascending slice of the surviving vertex ids in fixed 2048-id
+//     blocks (par.Sweeper), so a pass costs O(live), not O(n), once the
+//     graph has started to shrink. For the integer engines the scan is
+//     fused: one sweep collects the batch, stamps it removed, filters
+//     the frontier in place, and accumulates the pass sums the
+//     decrement needs;
+//   - bitset membership: aliveness and batch membership live in packed
+//     bitsets (n/8 bytes instead of 4n), so the random membership
+//     gathers of the pull recount and the weighted decrement stay
+//     L1/L2-resident instead of missing on a 4-byte-per-vertex stamp
+//     array;
 //   - adaptive push/pull decrements: a small removed batch pushes
-//     decrements along its own adjacency (owned-lane routed, no
-//     atomics); a batch whose adjacency outweighs the survivors'
-//     flips to a pull pass that recounts every survivor's live
-//     degree directly from the CSR — the direction-optimizing trade
-//     of Beamer-style BFS, decided by graph shape alone so every
-//     worker count takes the same path;
-//   - periodic CSR compaction: once the live fraction drops below
-//     1/compactLiveDivisor, the surviving subgraph is rebuilt into a
-//     dense CSR (graph.CompactInto, scratch reused) with an
-//     order-preserving relabel, so later passes scan cache-resident
-//     adjacency instead of rows full of dead neighbors.
+//     decrements along its own adjacency — blind scatter decrements
+//     with no aliveness gather at all; a dead vertex's degree slot is
+//     stale by construction and never read again — while a batch whose
+//     adjacency outweighs the survivors' flips to a pull pass that
+//     recounts every survivor's live degree directly from the CSR, the
+//     direction-optimizing trade of Beamer-style BFS, decided by graph
+//     shape alone so every worker count takes the same path;
+//   - periodic CSR compaction with a hub-first relabel: once the live
+//     fraction drops below 1/compactLiveDivisor, the surviving
+//     subgraph is rebuilt into a dense CSR ordered by surviving degree
+//     (graph.CompactIntoDegreeOrdered, scratch reused). Dense rows pack
+//     to the front, equal-length rows become fixed-stride banks the
+//     pull recount walks with counted branch-light loops, and the
+//     orig() mapping composes through the permutation so emitted
+//     Solutions are unchanged. The weighted engine keeps the
+//     order-preserving relabel: its float reductions are grouped by
+//     original-id chunks and depend on the frontier staying ascending
+//     in original order.
 //
 // Every decision above is a function of the graph shape only — never
 // of the worker count — which preserves the engines' bit-identical
@@ -48,37 +65,58 @@ const (
 
 // peelHooks are package-internal observation points for the layout
 // tests: the parity sweep uses them to assert that both decrement
-// modes and the compactor actually ran. Nil hooks are never called.
+// modes, the compactor, the degree-ordered relabel, and the banked
+// pull path actually ran. Nil hooks are never called; all hooks fire
+// on the driver goroutine.
 type peelHooks struct {
 	mode      func(pass int, pull bool)
 	compacted func(liveN, prevN int)
+	relabeled func(liveN int)          // a degree-ordered (hub-first) rebuild ran
+	banked    func(liveN, classes int) // a pull recount took the fixed-stride banks
 }
 
 // peelState is the mutable state of an undirected peel run. Vertex ids
 // live in two spaces: the "current" space of the (possibly compacted)
 // CSR, in which all per-pass state is indexed, and the original space
 // of the input graph, in which removal passes are recorded for the
-// final Set. Compaction relabels order-preservingly, so ascending
-// current order is always ascending original order.
+// final Set. The unweighted engines relabel hub-first at compaction
+// (composing origOf through the permutation); the weighted engine
+// relabels order-preservingly, so for it ascending current order is
+// always ascending original order — the invariant its chunk-grouped
+// float reductions need.
 type peelState struct {
 	pool  *par.Pool
 	g     *graph.Undirected // current CSR (input graph or a compaction of it)
 	n     int               // current CSR node count
 	origN int
 
-	origOf      []int32   // current id -> original id; nil = identity
-	live        []int32   // ascending current ids of the surviving vertices
-	liveRowVol  int64     // Σ CSR row length over live (the pull cost)
-	removedPass []int32   // current space; 0 = alive, else the removal pass
-	removedAt   []int32   // original space; 0 = never removed
-	deg         []int32   // live degrees (unweighted peelers)
-	wdeg        []float64 // live weighted degrees (weighted peeler)
+	origOf     []int32      // current id -> original id; nil = identity
+	live       []int32      // ascending current ids of the surviving vertices
+	liveRowVol int64        // Σ CSR row length over live (the pull cost)
+	alive      graph.Bitset // current space; bit set = not yet removed
+	inBatch    graph.Bitset // current space; bit set = removed this pass
+	removedAt  []int32      // original space; 0 = never removed
+	deg        []int32      // live degrees (unweighted peelers)
+	wdeg       []float64    // live weighted degrees (weighted peeler)
 
-	col    *par.Collector
-	batch  []int32
-	router *par.Router
-	cs     [2]graph.CompactScratch
-	csTurn int
+	col      *par.Collector
+	batch    []int32
+	router   *par.Router
+	sweep    par.Sweeper
+	volSlots []int64 // per-chunk row-volume partials of the fused scan
+	degSlots []int64 // per-chunk live-degree partials of the fused scan
+	cs       [2]graph.CompactScratch
+	csTurn   int
+
+	// compactTilt scales how far a due compaction may exceed the push
+	// cost before the engine still takes it (see decrement). A rebuild
+	// is an investment repaid by later passes, and the pass count grows
+	// as log_{1+ε} n: slow sweeps (ε < 1) amortize an expensive rebuild
+	// over many passes and use 4; aggressive sweeps peel out in a
+	// handful of passes, so only a rebuild within 2× of the push cost
+	// can pay for itself. Direction choices are shape-only — the tilt
+	// never changes emitted Solutions, only wall-clock.
+	compactTilt int64
 }
 
 func newPeelState(g *graph.Undirected, pool *par.Pool, weighted bool) *peelState {
@@ -87,10 +125,15 @@ func newPeelState(g *graph.Undirected, pool *par.Pool, weighted bool) *peelState
 		pool: pool, g: g, n: n, origN: n,
 		live:        make([]int32, n),
 		liveRowVol:  2 * g.NumEdges(),
-		removedPass: make([]int32, n),
+		alive:       graph.NewBitset(n),
+		inBatch:     graph.NewBitset(n),
 		removedAt:   make([]int32, n),
 		col:         par.NewCollector(n),
+		volSlots:    make([]int64, par.NumChunks(n)),
+		degSlots:    make([]int64, par.NumChunks(n)),
+		compactTilt: 2,
 	}
+	st.alive.Fill(n)
 	if weighted {
 		st.wdeg = make([]float64, n)
 		pool.ForChunks(n, func(_, lo, hi int) {
@@ -119,19 +162,141 @@ func (st *peelState) orig(u int32) int32 {
 	return st.origOf[u]
 }
 
+// cutToInt floors the removal threshold to the integer domain the
+// unweighted scans compare in: deg ≤ cut ⟺ deg ≤ ⌊cut⌋ for integer
+// degrees, and the floor turns a float compare per vertex into an
+// int32 one.
+func cutToInt(cut float64) int32 {
+	f := math.Floor(cut)
+	if f >= math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int32(f)
+}
+
+// stampBatch flips the batch's bits out of alive and into inBatch.
+// Bitset words are shared between neighboring ids, so bit mutation is
+// confined to this driver-goroutine loop rather than the parallel
+// scan.
+func (st *peelState) stampBatch(batch []int32) {
+	for _, u := range batch {
+		st.alive.Clear(u)
+		st.inBatch.Set(u)
+	}
+}
+
+// clearBatch retires the pass's inBatch bits once the decrement is
+// done (compaction resets the bitsets wholesale instead).
+func (st *peelState) clearBatch(batch []int32) {
+	for _, u := range batch {
+		st.inBatch.Clear(u)
+	}
+}
+
+// scanRemove is the fused per-pass sweep of the unweighted engines:
+// one batched walk over the live frontier collects the below-cut
+// vertices (ascending, chunk-merged), records their removal pass in
+// original space, filters them out of the frontier in place, and
+// accumulates the two pass sums the decrement needs — the batch's CSR
+// row volume (the push cost) and its live-degree sum (exactly the
+// edges the pass takes down, counting intra-batch edges twice). The
+// batch's bitset stamps are applied after the sweep, on the driver
+// goroutine.
+func (st *peelState) scanRemove(o Opts, cut float64, pass int) (pushVol, degSum int64, err error) {
+	st.col.Reset()
+	g, deg := st.g, st.deg
+	origOf, removedAt := st.origOf, st.removedAt
+	p32 := int32(pass)
+	icut := cutToInt(cut)
+	chunks := par.NumChunks(len(st.live))
+	live, err := st.sweep.Sweep(o.Ctx, st.pool, st.live, func(c int, block []int32) int {
+		var vol, ds int64
+		w := 0
+		for _, u := range block {
+			if deg[u] > icut {
+				block[w] = u
+				w++
+				continue
+			}
+			st.col.Append(c, u)
+			ou := u
+			if origOf != nil {
+				ou = origOf[u]
+			}
+			removedAt[ou] = p32
+			vol += int64(g.Degree(u))
+			ds += int64(deg[u])
+		}
+		st.volSlots[c] = vol
+		st.degSlots[c] = ds
+		return w
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	st.live = live
+	st.batch = st.col.Merge(st.batch[:0])
+	st.stampBatch(st.batch)
+	for c := 0; c < chunks; c++ {
+		pushVol += st.volSlots[c]
+		degSum += st.degSlots[c]
+	}
+	st.liveRowVol -= pushVol
+	return pushVol, degSum, nil
+}
+
+// scanRemoveWeighted is the weighted fused sweep: it collects and
+// stamps the batch and sums its row volume, but leaves the frontier
+// unfiltered — weightedPull needs st.live to still contain this
+// pass's removals. Call filterLive(pushVol) after the pull.
+func (st *peelState) scanRemoveWeighted(o Opts, cut float64, pass int) (pushVol int64, err error) {
+	st.col.Reset()
+	g, wdeg := st.g, st.wdeg
+	origOf, removedAt := st.origOf, st.removedAt
+	p32 := int32(pass)
+	chunks := par.NumChunks(len(st.live))
+	_, err = st.sweep.Sweep(o.Ctx, st.pool, st.live, func(c int, block []int32) int {
+		var vol int64
+		for _, u := range block {
+			if wdeg[u] <= cut+1e-12 { // historical slack on the cut
+				st.col.Append(c, u)
+				ou := u
+				if origOf != nil {
+					ou = origOf[u]
+				}
+				removedAt[ou] = p32
+				vol += int64(g.Degree(u))
+			}
+		}
+		st.volSlots[c] = vol
+		return len(block)
+	})
+	if err != nil {
+		return 0, err
+	}
+	st.batch = st.col.Merge(st.batch[:0])
+	st.stampBatch(st.batch)
+	for c := 0; c < chunks; c++ {
+		pushVol += st.volSlots[c]
+	}
+	return pushVol, nil
+}
+
 // scanCandidates collects the live vertices with degree at most cut
-// into st.batch. The frontier is chunked by index and per-chunk
-// buffers merge in chunk order, so the batch is ascending and
-// identical for every worker count.
+// into st.batch without removing anything: AtLeastK keeps only a
+// quota of the candidates, so stamping and filtering wait for the
+// selection (markRemoved, filterLive).
 func (st *peelState) scanCandidates(o Opts, cut float64) error {
 	st.col.Reset()
-	deg, live := st.deg, st.live
-	if err := st.pool.ForChunksCtx(o.Ctx, len(live), func(c, lo, hi int) {
-		for _, u := range live[lo:hi] {
-			if float64(deg[u]) <= cut {
+	deg := st.deg
+	icut := cutToInt(cut)
+	if _, err := st.sweep.Sweep(o.Ctx, st.pool, st.live, func(c int, block []int32) int {
+		for _, u := range block {
+			if deg[u] <= icut {
 				st.col.Append(c, u)
 			}
 		}
+		return len(block)
 	}); err != nil {
 		return err
 	}
@@ -139,47 +304,42 @@ func (st *peelState) scanCandidates(o Opts, cut float64) error {
 	return nil
 }
 
-// scanCandidatesWeighted is scanCandidates over weighted degrees, with
-// the historical 1e-12 slack on the cut.
-func (st *peelState) scanCandidatesWeighted(o Opts, cut float64) error {
-	st.col.Reset()
-	wdeg, live := st.wdeg, st.live
-	if err := st.pool.ForChunksCtx(o.Ctx, len(live), func(c, lo, hi int) {
-		for _, u := range live[lo:hi] {
-			if wdeg[u] <= cut+1e-12 {
-				st.col.Append(c, u)
-			}
-		}
-	}); err != nil {
-		return err
-	}
-	st.batch = st.col.Merge(st.batch[:0])
-	return nil
-}
-
-// markRemoved stamps the batch's removal pass in both id spaces and
-// returns the batch's total CSR row volume — the cost of a push pass.
-func (st *peelState) markRemoved(batch []int32, pass int) int64 {
-	g := st.g
-	return st.pool.SumInt64(len(batch), func(_, lo, hi int) int64 {
-		var vol int64
+// markRemoved stamps a selected batch (not necessarily ascending)
+// removed in both id spaces and returns its CSR row volume and
+// live-degree sum — the same pass sums the fused scans produce.
+func (st *peelState) markRemoved(batch []int32, pass int) (pushVol, degSum int64) {
+	g, deg := st.g, st.deg
+	p32 := int32(pass)
+	chunks := par.NumChunks(len(batch))
+	st.pool.ForChunks(len(batch), func(c, lo, hi int) {
+		var vol, ds int64
 		for _, u := range batch[lo:hi] {
-			st.removedPass[u] = int32(pass)
-			st.removedAt[st.orig(u)] = int32(pass)
+			st.removedAt[st.orig(u)] = p32
 			vol += int64(g.Degree(u))
+			ds += int64(deg[u])
 		}
-		return vol
+		st.volSlots[c] = vol
+		st.degSlots[c] = ds
 	})
+	st.stampBatch(batch)
+	for c := 0; c < chunks; c++ {
+		pushVol += st.volSlots[c]
+		degSum += st.degSlots[c]
+	}
+	return pushVol, degSum
 }
 
 // filterLive drops this pass's removals from the frontier and deducts
 // their row volume. The in-place ascending filter is sequential — it
 // is a single O(live) sweep over memory the candidate scan just
-// touched — and therefore trivially worker-invariant.
+// touched — and therefore trivially worker-invariant. The unweighted
+// engines fuse this into scanRemove; only the quota and weighted
+// paths, whose removal sets are fixed after the scan, still call it.
 func (st *peelState) filterLive(pushVol int64) {
+	alive := st.alive
 	live := st.live[:0]
 	for _, u := range st.live {
-		if st.removedPass[u] == 0 {
+		if alive.Test(u) {
 			live = append(live, u)
 		}
 	}
@@ -187,76 +347,95 @@ func (st *peelState) filterLive(pushVol int64) {
 	st.liveRowVol -= pushVol
 }
 
-// pushDecrement walks the removed batch's adjacency and decrements the
-// degree of every live neighbor: sequentially for one worker, and
-// through the owned-lane router otherwise, so no path uses atomics. It
-// returns the number of edges removed this pass, counting an edge
-// between two batch members once (charged to its smaller endpoint).
-func (st *peelState) pushDecrement(batch []int32, pass int) int64 {
-	g, deg, rp := st.g, st.deg, st.removedPass
-	p32 := int32(pass)
+// pushDecrement scatters the removed batch's adjacency into the degree
+// array and returns the number of edges removed this pass. The
+// sequential decrements are blind — a dead neighbor's degree slot is
+// stale by construction and never read again — so the hot loop carries
+// no aliveness gather at all; the only lookup is the L1-resident
+// in-batch bitset that discounts each intra-batch edge once. The edge
+// count is then pure algebra: the batch's live-degree sum counts a
+// batch↔survivor edge once and an intra-batch edge twice. Past one
+// worker the decrements ride the owned-lane router (no atomics); only
+// live targets are routed, which skips the same dead slots the
+// sequential path silently corrupts — divergence confined to memory
+// no path reads.
+func (st *peelState) pushDecrement(batch []int32, degSum int64) int64 {
+	g, deg, inBatch := st.g, st.deg, st.inBatch
 	if st.pool.Workers() == 1 {
-		var sub int64
+		var dup int64
 		for _, u := range batch {
+			// Branch-free discount: the v>u comparison is a coin flip on
+			// intra-batch edges, so testing it with a branch mispredicts
+			// half the loop; the sign-bit mask and the L1-resident bit
+			// gather keep the pipeline full.
 			for _, v := range g.Neighbors(u) {
-				if r := rp[v]; r == 0 {
-					deg[v]--
-					sub++
-				} else if r == p32 && u < v {
-					sub++
-				}
+				deg[v]--
+				dup += int64((uint32(u-v) >> 31) & uint32(inBatch.Bit(v)))
 			}
 		}
-		return sub
+		return degSum - dup
 	}
 	if st.router == nil {
 		st.router = par.NewRouter(st.origN)
 	}
 	st.router.Begin(par.NumChunks(len(batch)))
-	sub := st.pool.SumInt64(len(batch), func(c, lo, hi int) int64 {
-		var s int64
+	alive := st.alive
+	dup := st.pool.SumInt64(len(batch), func(c, lo, hi int) int64 {
+		var d int64
 		for _, u := range batch[lo:hi] {
 			for _, v := range g.Neighbors(u) {
-				if r := rp[v]; r == 0 {
+				if alive.Test(v) {
 					st.router.Route(c, v)
-					s++
-				} else if r == p32 && u < v {
-					s++
+				} else if v > u && inBatch.Test(v) {
+					d++
 				}
 			}
 		}
-		return s
+		return d
 	})
 	st.router.Drain(st.pool, func(_ int, ids []int32) {
 		for _, v := range ids {
 			deg[v]--
 		}
 	})
-	return sub
+	return degSum - dup
 }
 
 // pullRecount recomputes every survivor's degree directly from the CSR
-// and returns the surviving edge count; call after filterLive. Chosen
-// over push when the removed batch's adjacency outweighs the
-// survivors' (huge removal batches), where rescanning the survivors is
-// the cheaper direction.
+// and returns the surviving edge count; the frontier must already be
+// filtered. Chosen over push when the removed batch's adjacency
+// outweighs the survivors' (huge removal batches), where rescanning
+// the survivors is the cheaper direction. On a degree-ordered CSR the
+// banked region runs fixed-stride counted loops (graph.RowBanks);
+// spill-lane hubs and pre-compaction graphs walk plain CSR rows. Both
+// use the branch-free alive-bit gather.
 func (st *peelState) pullRecount() int64 {
-	g, deg, rp, live := st.g, st.deg, st.removedPass, st.live
+	g, deg, alive, live := st.g, st.deg, st.alive, st.live
+	banks := g.RowBanks()
 	total := st.pool.SumInt64(len(live), func(_, lo, hi int) int64 {
-		var s int64
-		for _, v := range live[lo:hi] {
-			cnt := int32(0)
-			for _, nb := range g.Neighbors(v) {
-				if rp[nb] == 0 {
-					cnt++
-				}
-			}
-			deg[v] = cnt
-			s += int64(cnt)
+		ids := live[lo:hi]
+		if banks == nil {
+			return pullRows(g, deg, alive, ids)
 		}
-		return s
+		spill := sort.Search(len(ids), func(i int) bool { return ids[i] >= banks.SpillEnd })
+		s := pullRows(g, deg, alive, ids[:spill])
+		return s + banks.CountLive(ids[spill:], alive, deg)
 	})
 	return total / 2
+}
+
+// pullRows is the per-row pull recount over plain CSR rows.
+func pullRows(g *graph.Undirected, deg []int32, alive graph.Bitset, ids []int32) int64 {
+	var s int64
+	for _, v := range ids {
+		cnt := int32(0)
+		for _, nb := range g.Neighbors(v) {
+			cnt += alive.Bit(nb)
+		}
+		deg[v] = cnt
+		s += int64(cnt)
+	}
+	return s
 }
 
 // decrement applies one pass's removals to the degree state through
@@ -268,17 +447,18 @@ func (st *peelState) pullRecount() int64 {
 // surviving adjacency is scanned once instead of twice. All paths
 // produce identical integer state; the choices are pure wall-clock
 // trades fixed by the graph shape.
-func (st *peelState) decrement(o Opts, batch []int32, pass int, edges, pushVol int64) int64 {
+func (st *peelState) decrement(o Opts, batch []int32, pass int, edges, pushVol, degSum int64) int64 {
 	canCompact := st.n >= compactMinNodes
 	// The direction is the per-pass cost minimum — push touches the
 	// batch's rows, pull the survivors' — except that a due compaction
 	// (live set under 1/compactLiveDivisor of the CSR) tilts the choice
-	// toward pull while the rebuild is no more than twice the push
-	// cost: the same scan then also yields a dense CSR for every later
-	// pass. Survivors whose rows dwarf the batch's (low-ε sweeps over
-	// skewed graphs) keep pushing until the ratio improves.
+	// toward pull while the rebuild stays within compactTilt pushes:
+	// the same scan then also yields a dense, degree-ordered CSR for
+	// every later pass. Survivors whose rows dwarf even that — on
+	// skewed graphs the hubs carrying most of the adjacency volume —
+	// keep pushing until the ratio improves.
 	due := canCompact && len(st.live)*compactLiveDivisor <= st.n
-	pull := pushVol > st.liveRowVol || (due && st.liveRowVol < 2*pushVol)
+	pull := pushVol > st.liveRowVol || (due && st.liveRowVol < st.compactTilt*pushVol)
 	if o.hooks.mode != nil {
 		o.hooks.mode(pass, pull)
 	}
@@ -289,9 +469,15 @@ func (st *peelState) decrement(o Opts, batch []int32, pass int, edges, pushVol i
 		st.compact(o)
 		return st.g.NumEdges()
 	case pull:
+		if o.hooks.banked != nil && st.g.RowBanks() != nil {
+			o.hooks.banked(len(st.live), st.g.RowBanks().Classes())
+		}
+		st.clearBatch(batch)
 		return st.pullRecount()
 	default:
-		return edges - st.pushDecrement(batch, pass)
+		sub := st.pushDecrement(batch, degSum)
+		st.clearBatch(batch)
+		return edges - sub
 	}
 }
 
@@ -303,17 +489,17 @@ func (st *peelState) decrement(o Opts, batch []int32, pass int, edges, pushVol i
 // reductions are grouped by fixed ChunkSize-id blocks of the ORIGINAL
 // vertex space: each original chunk's weight/edge partial is summed by
 // exactly one task in ascending original order (the frontier is sorted
-// and relabeling is order-preserving), and the caller folds the slots
-// in ascending chunk order — exactly the grouping a frontier-less
-// chunked sweep over [0, n) used, so the density trace never moves by
-// a ULP. A push direction is deliberately absent here: pushing would
-// reorder float subtractions into batch-adjacency order.
+// and the weighted relabel is order-preserving), and the caller folds
+// the slots in ascending chunk order — exactly the grouping a
+// frontier-less chunked sweep over [0, n) used, so the density trace
+// never moves by a ULP. A push direction is deliberately absent here:
+// pushing would reorder float subtractions into batch-adjacency order.
 //
 // Call BEFORE filterLive: st.live must still contain this pass's
-// removals.
-func (st *peelState) weightedPull(pass int, wslots []float64, eslots []int64) {
-	g, wdeg, rp, live := st.g, st.wdeg, st.removedPass, st.live
-	p32 := int32(pass)
+// removals (alive bit off, inBatch bit on).
+func (st *peelState) weightedPull(wslots []float64, eslots []int64) {
+	g, wdeg, live := st.g, st.wdeg, st.live
+	alive, inBatch := st.alive, st.inBatch
 	chunks := par.NumChunks(st.origN)
 	st.pool.ForEach(chunks, func(c int) {
 		lo32 := int32(c * par.ChunkSize)
@@ -324,10 +510,10 @@ func (st *peelState) weightedPull(pass int, wslots []float64, eslots []int64) {
 		var esub int64
 		for _, v := range live[i:j] {
 			switch {
-			case rp[v] == 0:
+			case alive.Test(v):
 				ws := g.NeighborWeights(v)
 				for k, u := range g.Neighbors(v) {
-					if rp[u] == p32 {
+					if inBatch.Test(u) {
 						w := 1.0
 						if ws != nil {
 							w = ws[k]
@@ -337,10 +523,10 @@ func (st *peelState) weightedPull(pass int, wslots []float64, eslots []int64) {
 						esub++
 					}
 				}
-			case rp[v] == p32:
+			case inBatch.Test(v):
 				ws := g.NeighborWeights(v)
 				for k, u := range g.Neighbors(v) {
-					if rp[u] == p32 && u < v {
+					if u < v && inBatch.Test(u) {
 						w := 1.0
 						if ws != nil {
 							w = ws[k]
@@ -374,43 +560,70 @@ func (st *peelState) maybeCompactWeighted(o Opts, edges int64) {
 	if st.liveRowVol < 4*edges {
 		return
 	}
-	st.compact(o)
+	st.compactWeighted(o)
 }
 
-// compact rebuilds the CSR around the live set, remapping all
-// current-space state through the order-preserving relabel. Integer
-// degrees are read off the compacted row lengths — each row holds
-// exactly the live neighbors, which is what lets the unweighted pull
-// pass fuse into the rebuild; weighted degrees are running float
-// accumulators and are copied bit-exactly.
+// compact rebuilds the CSR around the live set through the hub-first
+// relabel: graph.CompactIntoDegreeOrdered ranks survivors by surviving
+// degree and returns the permutation, which origOf composes through,
+// so the recorded Solutions never see the reordering. Integer degrees
+// are read off the compacted row lengths — each row holds exactly the
+// live neighbors, which is what lets the unweighted pull pass fuse
+// into the rebuild — and later pull recounts ride the fixed-stride
+// row banks the ordered layout exposes.
 func (st *peelState) compact(o Opts) {
+	keep := st.live
+	prevN := st.n
+	ng, order := st.g.CompactIntoDegreeOrdered(keep, &st.cs[st.csTurn])
+	st.csTurn ^= 1
+	nn := len(keep)
+	origOf := make([]int32, nn)
+	for r, u := range order[:nn] {
+		origOf[r] = st.orig(u)
+	}
+	nd := make([]int32, nn)
+	for i := range nd {
+		nd[i] = int32(ng.Degree(int32(i)))
+	}
+	st.deg = nd
+	st.finishCompact(o, ng, origOf, prevN)
+	if o.hooks.relabeled != nil {
+		o.hooks.relabeled(nn)
+	}
+}
+
+// compactWeighted rebuilds the CSR around the live set with the
+// order-preserving relabel the weighted engine requires (see
+// weightedPull); weighted degrees are running float accumulators and
+// are copied bit-exactly.
+func (st *peelState) compactWeighted(o Opts) {
 	keep := st.live
 	prevN := st.n
 	ng := st.g.CompactInto(keep, &st.cs[st.csTurn])
 	st.csTurn ^= 1
 	nn := len(keep)
 	origOf := make([]int32, nn)
+	nw := make([]float64, nn)
 	for i, u := range keep {
 		origOf[i] = st.orig(u)
+		nw[i] = st.wdeg[u]
 	}
-	if st.deg != nil {
-		nd := make([]int32, nn)
-		for i := range nd {
-			nd[i] = int32(ng.Degree(int32(i)))
-		}
-		st.deg = nd
-	}
-	if st.wdeg != nil {
-		nw := make([]float64, nn)
-		for i, u := range keep {
-			nw[i] = st.wdeg[u]
-		}
-		st.wdeg = nw
-	}
-	st.removedPass = make([]int32, nn) // every kept vertex is alive
+	st.wdeg = nw
+	st.finishCompact(o, ng, origOf, prevN)
+}
+
+// finishCompact swaps in the rebuilt CSR and resets the current-space
+// state: every kept vertex is alive, no pass is in flight, and the
+// frontier is the identity over the new space (st.live aliases the
+// keep slice the caller passed to the compactor).
+func (st *peelState) finishCompact(o Opts, ng *graph.Undirected, origOf []int32, prevN int) {
+	keep := st.live
+	nn := len(keep)
 	for i := range keep {
-		keep[i] = int32(i) // st.live aliases keep
+		keep[i] = int32(i)
 	}
+	st.alive.Fill(nn)
+	st.inBatch.Zero()
 	st.g = ng
 	st.n = nn
 	st.origOf = origOf

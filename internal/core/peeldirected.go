@@ -8,48 +8,57 @@ import (
 // directedState is the peelState analogue for Algorithm 3: two live
 // frontiers (S and T) over one shared, possibly compacted, directed
 // CSR. The same two-space id discipline applies — per-pass state is
-// current-space, removal passes are recorded in original space, and
-// compaction relabels order-preservingly.
+// current-space, removal passes are recorded in original space — and
+// side membership lives in packed bitsets so the pull recount's
+// membership gathers stay cache-resident. Compaction relabels
+// hub-first by total surviving cross degree, composing origOf through
+// the permutation; all directed per-pass state is integral, so the
+// reordering never reaches the emitted Solutions.
 type directedState struct {
 	pool  *par.Pool
 	g     *graph.Directed
 	n     int
 	origN int
 
-	origOf                     []int32
-	removedPassS, removedPassT []int32 // current space; 0 = alive on that side
-	removedAtS, removedAtT     []int32 // original space
-	liveS, liveT               []int32 // ascending current ids per side
-	outdeg, indeg              []int32 // |E(u, T)| and |E(S, v)|
-	outRowVolS                 int64   // Σ out-row length over liveS
-	inRowVolT                  int64   // Σ in-row length over liveT
+	origOf                 []int32
+	aliveS, aliveT         graph.Bitset // current space; bit set = alive on that side
+	removedAtS, removedAtT []int32      // original space; 0 = never removed
+	liveS, liveT           []int32      // ascending current ids per side
+	outdeg, indeg          []int32      // |E(u, T)| and |E(S, v)|
+	outRowVolS             int64        // Σ out-row length over liveS
+	inRowVolT              int64        // Σ in-row length over liveT
 
-	col    *par.Collector
-	batch  []int32
-	router *par.Router
-	cs     [2]graph.DirectedCompactScratch
-	csTurn int
-	aliveS []bool // compaction-time side filters, rebuilt on demand
-	aliveT []bool
-	union  []int32
+	col      *par.Collector
+	batch    []int32
+	router   *par.Router
+	sweep    par.Sweeper
+	volSlots []int64
+	degSlots []int64
+	cs       [2]graph.DirectedCompactScratch
+	csTurn   int
+	union    []int32
 }
 
 func newDirectedState(g *graph.Directed, pool *par.Pool) *directedState {
 	n := g.NumNodes()
 	st := &directedState{
 		pool: pool, g: g, n: n, origN: n,
-		removedPassS: make([]int32, n),
-		removedPassT: make([]int32, n),
-		removedAtS:   make([]int32, n),
-		removedAtT:   make([]int32, n),
-		liveS:        make([]int32, n),
-		liveT:        make([]int32, n),
-		outdeg:       make([]int32, n),
-		indeg:        make([]int32, n),
-		outRowVolS:   g.NumEdges(),
-		inRowVolT:    g.NumEdges(),
-		col:          par.NewCollector(n),
+		aliveS:     graph.NewBitset(n),
+		aliveT:     graph.NewBitset(n),
+		removedAtS: make([]int32, n),
+		removedAtT: make([]int32, n),
+		liveS:      make([]int32, n),
+		liveT:      make([]int32, n),
+		outdeg:     make([]int32, n),
+		indeg:      make([]int32, n),
+		outRowVolS: g.NumEdges(),
+		inRowVolT:  g.NumEdges(),
+		col:        par.NewCollector(n),
+		volSlots:   make([]int64, par.NumChunks(n)),
+		degSlots:   make([]int64, par.NumChunks(n)),
 	}
+	st.aliveS.Fill(n)
+	st.aliveT.Fill(n)
 	pool.ForChunks(n, func(_, lo, hi int) {
 		for u := lo; u < hi; u++ {
 			st.liveS[u] = int32(u)
@@ -68,41 +77,87 @@ func (st *directedState) orig(u int32) int32 {
 	return st.origOf[u]
 }
 
-// scanSide collects the live vertices of one side whose degree is at
-// most cut into st.batch, ascending and worker-invariant.
-func (st *directedState) scanSide(o Opts, live []int32, deg []int32, cut float64) error {
+// scanSideRemove is the fused per-pass sweep for one side: one batched
+// walk collects the below-cut vertices (ascending, chunk-merged),
+// records their removal pass in original space, filters them out of
+// the side's frontier in place, and accumulates the batch's cross row
+// volume (the push cost) and live-degree sum (exactly the E(S, T)
+// edges the pass removes, since a cross degree counts only opposite-
+// side-alive targets). Side bit stamps apply after the sweep, on the
+// driver goroutine — bitset words are shared between neighboring ids.
+func (st *directedState) scanSideRemove(o Opts, pass int, live, deg []int32, rowLen func(int32) int, alive graph.Bitset, removedAt []int32, cut float64) ([]int32, int64, int64, error) {
 	st.col.Reset()
-	if err := st.pool.ForChunksCtx(o.Ctx, len(live), func(c, lo, hi int) {
-		for _, u := range live[lo:hi] {
-			if float64(deg[u]) <= cut {
-				st.col.Append(c, u)
+	origOf := st.origOf
+	p32 := int32(pass)
+	icut := cutToInt(cut)
+	chunks := par.NumChunks(len(live))
+	nl, err := st.sweep.Sweep(o.Ctx, st.pool, live, func(c int, block []int32) int {
+		var vol, ds int64
+		w := 0
+		for _, u := range block {
+			if deg[u] > icut {
+				block[w] = u
+				w++
+				continue
 			}
+			st.col.Append(c, u)
+			ou := u
+			if origOf != nil {
+				ou = origOf[u]
+			}
+			removedAt[ou] = p32
+			vol += int64(rowLen(u))
+			ds += int64(deg[u])
 		}
-	}); err != nil {
-		return err
+		st.volSlots[c] = vol
+		st.degSlots[c] = ds
+		return w
+	})
+	if err != nil {
+		return live, 0, 0, err
 	}
 	st.batch = st.col.Merge(st.batch[:0])
-	return nil
+	for _, u := range st.batch {
+		alive.Clear(u)
+	}
+	var pushVol, degSum int64
+	for c := 0; c < chunks; c++ {
+		pushVol += st.volSlots[c]
+		degSum += st.degSlots[c]
+	}
+	return nl, pushVol, degSum, nil
 }
 
-// peelS removes st.batch from S and updates the in-degrees of the
-// surviving T side, returning the new E(S, T) count. Direction choice
-// as in peelState.decrement: push walks the batch's out-rows, pull
-// recounts every live T vertex's surviving in-degree.
-func (st *directedState) peelS(o Opts, pass int, edges int64) int64 {
-	g, batch := st.g, st.batch
-	p32 := int32(pass)
-	pushVol := st.pool.SumInt64(len(batch), func(_, lo, hi int) int64 {
-		var vol int64
-		for _, u := range batch[lo:hi] {
-			st.removedPassS[u] = p32
-			st.removedAtS[st.orig(u)] = p32
-			vol += int64(g.OutDegree(u))
-		}
-		return vol
-	})
-	st.liveS = filterSide(st.liveS, st.removedPassS)
+// scanRemoveS runs the fused sweep over the S side.
+func (st *directedState) scanRemoveS(o Opts, pass int, cut float64) (pushVol, degSum int64, err error) {
+	live, pushVol, degSum, err := st.scanSideRemove(o, pass, st.liveS, st.outdeg, st.g.OutDegree, st.aliveS, st.removedAtS, cut)
+	if err != nil {
+		return 0, 0, err
+	}
+	st.liveS = live
 	st.outRowVolS -= pushVol
+	return pushVol, degSum, nil
+}
+
+// scanRemoveT runs the fused sweep over the T side.
+func (st *directedState) scanRemoveT(o Opts, pass int, cut float64) (pushVol, degSum int64, err error) {
+	live, pushVol, degSum, err := st.scanSideRemove(o, pass, st.liveT, st.indeg, st.g.InDegree, st.aliveT, st.removedAtT, cut)
+	if err != nil {
+		return 0, 0, err
+	}
+	st.liveT = live
+	st.inRowVolT -= pushVol
+	return pushVol, degSum, nil
+}
+
+// peelS applies the already-scanned S batch to the T side's degrees
+// and returns the new E(S, T) count. Direction choice as in
+// peelState.decrement: push scatters along the batch's out-rows, pull
+// recounts every live T vertex's surviving in-degree with the
+// branch-free S-alive bit gather. The push count needs no loop at all:
+// the batch's live-degree sum IS the removed edge count.
+func (st *directedState) peelS(o Opts, pass int, edges, pushVol, degSum int64) int64 {
+	g := st.g
 	if pull := st.compactReady() || pushVol > st.inRowVolT; pull {
 		if o.hooks.mode != nil {
 			o.hooks.mode(pass, true)
@@ -114,15 +169,13 @@ func (st *directedState) peelS(o Opts, pass int, edges int64) int64 {
 			st.compact(o)
 			return st.g.NumEdges()
 		}
-		rpS, indeg, liveT := st.removedPassS, st.indeg, st.liveT
+		aliveS, indeg, liveT := st.aliveS, st.indeg, st.liveT
 		return st.pool.SumInt64(len(liveT), func(_, lo, hi int) int64 {
 			var s int64
 			for _, v := range liveT[lo:hi] {
 				cnt := int32(0)
 				for _, u := range g.InNeighbors(v) {
-					if rpS[u] == 0 {
-						cnt++
-					}
+					cnt += aliveS.Bit(u)
 				}
 				indeg[v] = cnt
 				s += int64(cnt)
@@ -133,24 +186,13 @@ func (st *directedState) peelS(o Opts, pass int, edges int64) int64 {
 	if o.hooks.mode != nil {
 		o.hooks.mode(pass, false)
 	}
-	return edges - st.pushSide(batch, st.removedPassT, st.indeg, g.OutNeighbors)
+	st.pushSide(st.batch, st.indeg, g.OutNeighbors)
+	return edges - degSum
 }
 
 // peelT is the mirror image of peelS.
-func (st *directedState) peelT(o Opts, pass int, edges int64) int64 {
-	g, batch := st.g, st.batch
-	p32 := int32(pass)
-	pushVol := st.pool.SumInt64(len(batch), func(_, lo, hi int) int64 {
-		var vol int64
-		for _, v := range batch[lo:hi] {
-			st.removedPassT[v] = p32
-			st.removedAtT[st.orig(v)] = p32
-			vol += int64(g.InDegree(v))
-		}
-		return vol
-	})
-	st.liveT = filterSide(st.liveT, st.removedPassT)
-	st.inRowVolT -= pushVol
+func (st *directedState) peelT(o Opts, pass int, edges, pushVol, degSum int64) int64 {
+	g := st.g
 	if pull := st.compactReady() || pushVol > st.outRowVolS; pull {
 		if o.hooks.mode != nil {
 			o.hooks.mode(pass, true)
@@ -159,15 +201,13 @@ func (st *directedState) peelT(o Opts, pass int, edges int64) int64 {
 			st.compact(o)
 			return st.g.NumEdges()
 		}
-		rpT, outdeg, liveS := st.removedPassT, st.outdeg, st.liveS
+		aliveT, outdeg, liveS := st.aliveT, st.outdeg, st.liveS
 		return st.pool.SumInt64(len(liveS), func(_, lo, hi int) int64 {
 			var s int64
 			for _, u := range liveS[lo:hi] {
 				cnt := int32(0)
 				for _, v := range g.OutNeighbors(u) {
-					if rpT[v] == 0 {
-						cnt++
-					}
+					cnt += aliveT.Bit(v)
 				}
 				outdeg[u] = cnt
 				s += int64(cnt)
@@ -178,58 +218,41 @@ func (st *directedState) peelT(o Opts, pass int, edges int64) int64 {
 	if o.hooks.mode != nil {
 		o.hooks.mode(pass, false)
 	}
-	return edges - st.pushSide(batch, st.removedPassS, st.outdeg, g.InNeighbors)
+	st.pushSide(st.batch, st.outdeg, g.InNeighbors)
+	return edges - degSum
 }
 
-// pushSide walks the removed batch's cross rows and decrements the
-// opposite side's surviving degrees — owned-lane routed past one
-// worker, so no atomics — returning the number of edges dropped.
-func (st *directedState) pushSide(batch []int32, rpOther []int32, degOther []int32, rows func(int32) []int32) int64 {
+// pushSide scatters the removed batch's cross rows into the opposite
+// side's degree array. The decrements are blind — dead targets' slots
+// are stale by construction and never read — so the loop carries no
+// membership gather; past one worker the full row contents ride the
+// owned-lane router (no atomics), corrupting exactly the same dead
+// slots the sequential path does.
+func (st *directedState) pushSide(batch []int32, degOther []int32, rows func(int32) []int32) {
 	if st.pool.Workers() == 1 {
-		var sub int64
 		for _, u := range batch {
 			for _, v := range rows(u) {
-				if rpOther[v] == 0 {
-					degOther[v]--
-					sub++
-				}
+				degOther[v]--
 			}
 		}
-		return sub
+		return
 	}
 	if st.router == nil {
 		st.router = par.NewRouter(st.origN)
 	}
 	st.router.Begin(par.NumChunks(len(batch)))
-	sub := st.pool.SumInt64(len(batch), func(c, lo, hi int) int64 {
-		var s int64
+	st.pool.ForChunks(len(batch), func(c, lo, hi int) {
 		for _, u := range batch[lo:hi] {
 			for _, v := range rows(u) {
-				if rpOther[v] == 0 {
-					st.router.Route(c, v)
-					s++
-				}
+				st.router.Route(c, v)
 			}
 		}
-		return s
 	})
 	st.router.Drain(st.pool, func(_ int, ids []int32) {
 		for _, v := range ids {
 			degOther[v]--
 		}
 	})
-	return sub
-}
-
-// filterSide drops removed vertices from one side's frontier in place.
-func filterSide(live []int32, removedPass []int32) []int32 {
-	out := live[:0]
-	for _, u := range live {
-		if removedPass[u] == 0 {
-			out = append(out, u)
-		}
-	}
-	return out
 }
 
 // compactReady reports whether the two live sides have shrunk enough
@@ -242,10 +265,13 @@ func (st *directedState) compactReady() bool {
 }
 
 // compact rebuilds the directed CSR around the union of the two live
-// sides. Both degree arrays are read off the compacted row lengths —
-// an out-row holds exactly the surviving T out-neighbors, an in-row
-// the surviving S in-neighbors — which is what lets the pull pass fuse
-// into the rebuild.
+// sides through the degree-ordered relabel (total surviving cross
+// degree, hub-first). Both degree arrays are read off the compacted
+// row lengths — an out-row holds exactly the surviving T
+// out-neighbors, an in-row the surviving S in-neighbors — which is
+// what lets the pull pass fuse into the rebuild. The side frontiers
+// and bitsets are rebuilt in the new id space from the returned
+// permutation.
 func (st *directedState) compact(o Opts) {
 	prevN := st.n
 	// Union of two ascending frontiers, ascending.
@@ -266,42 +292,39 @@ func (st *directedState) compact(o Opts) {
 		}
 	}
 	keep := st.union
-	if cap(st.aliveS) < st.n {
-		st.aliveS = make([]bool, st.n)
-		st.aliveT = make([]bool, st.n)
-	}
-	aliveS, aliveT := st.aliveS[:st.n], st.aliveT[:st.n]
-	for u := 0; u < st.n; u++ {
-		aliveS[u] = st.removedPassS[u] == 0
-		aliveT[u] = st.removedPassT[u] == 0
-	}
-	ng := st.g.CompactInto(keep, aliveS, aliveT, &st.cs[st.csTurn])
+	ng, order := st.g.CompactInto(keep, st.aliveS, st.aliveT, &st.cs[st.csTurn])
 	st.csTurn ^= 1
 
 	nn := len(keep)
 	origOf := make([]int32, nn)
-	rpS := make([]int32, nn)
-	rpT := make([]int32, nn)
 	outdeg := make([]int32, nn)
 	indeg := make([]int32, nn)
 	liveS, liveT := st.liveS[:0], st.liveT[:0]
-	for i, u := range keep {
-		origOf[i] = st.orig(u)
-		rpS[i] = st.removedPassS[u]
-		rpT[i] = st.removedPassT[u]
-		outdeg[i] = int32(ng.OutDegree(int32(i)))
-		indeg[i] = int32(ng.InDegree(int32(i)))
-		if rpS[i] == 0 {
-			liveS = append(liveS, int32(i))
+	for r := 0; r < nn; r++ {
+		u := order[r]
+		origOf[r] = st.orig(u)
+		outdeg[r] = int32(ng.OutDegree(int32(r)))
+		indeg[r] = int32(ng.InDegree(int32(r)))
+		if st.aliveS.Test(u) {
+			liveS = append(liveS, int32(r))
 		}
-		if rpT[i] == 0 {
-			liveT = append(liveT, int32(i))
+		if st.aliveT.Test(u) {
+			liveT = append(liveT, int32(r))
 		}
+	}
+	// The old-space bits are fully consumed above; rewrite both sets
+	// for the new space.
+	st.aliveS.Zero()
+	st.aliveT.Zero()
+	for _, u := range liveS {
+		st.aliveS.Set(u)
+	}
+	for _, u := range liveT {
+		st.aliveT.Set(u)
 	}
 	st.g = ng
 	st.n = nn
 	st.origOf = origOf
-	st.removedPassS, st.removedPassT = rpS, rpT
 	st.outdeg, st.indeg = outdeg, indeg
 	st.liveS, st.liveT = liveS, liveT
 	// Compacted rows hold exactly the surviving cross edges on both
@@ -310,5 +333,8 @@ func (st *directedState) compact(o Opts) {
 	st.inRowVolT = ng.NumEdges()
 	if o.hooks.compacted != nil {
 		o.hooks.compacted(nn, prevN)
+	}
+	if o.hooks.relabeled != nil {
+		o.hooks.relabeled(nn)
 	}
 }

@@ -48,6 +48,9 @@ func UndirectedOpts(g *graph.Undirected, eps float64, o Opts) (*Result, error) {
 		return nil, fmt.Errorf("core: Undirected needs an unweighted graph; use UndirectedWeighted")
 	}
 	st := newPeelState(g, o.pool(), false)
+	if eps < 1 {
+		st.compactTilt = 4 // slow sweep: many passes repay an early rebuild
+	}
 	edges := g.NumEdges()
 	nodes := n
 
@@ -64,7 +67,8 @@ func UndirectedOpts(g *graph.Undirected, eps float64, o Opts) (*Result, error) {
 		pass++
 		rho := float64(edges) / float64(nodes)
 		cut := threshold * rho
-		if err := st.scanCandidates(o, cut); err != nil {
+		pushVol, degSum, err := st.scanRemove(o, cut, pass)
+		if err != nil {
 			return nil, &PartialError{Passes: pass - 1, Trace: trace, Err: err}
 		}
 		batch := st.batch
@@ -73,9 +77,7 @@ func UndirectedOpts(g *graph.Undirected, eps float64, o Opts) (*Result, error) {
 			// deg ≤ 2ρ ≤ cut. Guard against float surprises regardless.
 			return nil, fmt.Errorf("core: pass %d removed no nodes (ρ=%v)", pass, rho)
 		}
-		pushVol := st.markRemoved(batch, pass)
-		st.filterLive(pushVol)
-		edges = st.decrement(o, batch, pass, edges, pushVol)
+		edges = st.decrement(o, batch, pass, edges, pushVol, degSum)
 		nodes -= len(batch)
 		var rhoAfter float64
 		if nodes > 0 {
@@ -140,20 +142,21 @@ func UndirectedWeightedOpts(g *graph.Undirected, eps float64, o Opts) (*Result, 
 		pass++
 		rho := weight / float64(nodes)
 		cut := threshold * rho
-		if err := st.scanCandidatesWeighted(o, cut); err != nil {
+		pushVol, err := st.scanRemoveWeighted(o, cut, pass)
+		if err != nil {
 			return nil, &PartialError{Passes: pass - 1, Trace: trace, Err: err}
 		}
 		batch := st.batch
 		if len(batch) == 0 {
 			return nil, fmt.Errorf("core: weighted pass %d removed no nodes (ρ=%v)", pass, rho)
 		}
-		pushVol := st.markRemoved(batch, pass)
-		st.weightedPull(pass, wslots, eslots)
+		st.weightedPull(wslots, eslots)
 		for c := range wslots {
 			weight -= wslots[c]
 			edges -= eslots[c]
 		}
 		st.filterLive(pushVol)
+		st.clearBatch(batch)
 		nodes -= len(batch)
 		if weight < 0 && weight > -1e-9 {
 			weight = 0 // clamp float drift at the very end

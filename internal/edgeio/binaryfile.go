@@ -99,9 +99,11 @@ func (s *BinaryFileSource) Close() error { return nil }
 // BlockShards cuts the file into 1..k contiguous block ranges.
 func (s *BinaryFileSource) BlockShards(k int) []*BinaryShard {
 	ranges := blockRanges(len(s.meta.index), k)
+	backing := make([]BinaryShard, len(ranges))
 	shards := make([]*BinaryShard, len(ranges))
 	for i, r := range ranges {
-		shards[i] = &BinaryShard{src: s, lo: r[0], hi: r[1]}
+		backing[i] = BinaryShard{src: s, lo: r[0], hi: r[1]}
+		shards[i] = &backing[i]
 	}
 	return shards
 }
@@ -150,8 +152,9 @@ func blockRanges(nblocks, k int) [][2]int {
 
 // BinaryShard scans one block range of a BinaryFileSource. It
 // implements Reader; WeightedShards wraps it for the weighted lane.
-// The raw, edge, and weight buffers are allocated on the first pass
-// and reused for every later block and pass.
+// The raw, edge, and weight buffers come out of the package pools on
+// the first pass, are reused for every later block and pass, and go
+// back on Close.
 type BinaryShard struct {
 	src    *BinaryFileSource
 	lo, hi int // block range [lo, hi)
@@ -160,6 +163,9 @@ type BinaryShard struct {
 	raw           []byte
 	edges         []Edge
 	weights       []float64
+	rawBox        *[]byte
+	edgeBox       *[]Edge
+	weightBox     *[]float64
 	decodeWeights bool
 
 	block  int // next block to decode
@@ -203,16 +209,34 @@ func (sh *BinaryShard) fill() error {
 	i := sh.block
 	size := int(m.blockEnd(i) - m.index[i].off)
 	if cap(sh.raw) < size {
-		sh.raw = make([]byte, size)
+		if sh.rawBox == nil {
+			sh.rawBox = rawPool.Get().(*[]byte)
+		}
+		if cap(*sh.rawBox) < size {
+			*sh.rawBox = make([]byte, size)
+		}
+		sh.raw = *sh.rawBox
 	}
 	raw := sh.raw[:size]
 	if _, err := sh.f.ReadAt(raw, m.index[i].off); err != nil {
 		return fmt.Errorf("edgeio: %s: reading block %d at offset %d: %w", m.path, i, m.index[i].off, err)
 	}
 	if cap(sh.edges) < m.maxCount {
-		sh.edges = make([]Edge, m.maxCount)
+		if sh.edgeBox == nil {
+			sh.edgeBox = edgePool.Get().(*[]Edge)
+		}
+		if cap(*sh.edgeBox) < m.maxCount {
+			*sh.edgeBox = make([]Edge, m.maxCount)
+		}
+		sh.edges = *sh.edgeBox
 		if sh.decodeWeights {
-			sh.weights = make([]float64, m.maxCount)
+			if sh.weightBox == nil {
+				sh.weightBox = weightPool.Get().(*[]float64)
+			}
+			if cap(*sh.weightBox) < m.maxCount {
+				*sh.weightBox = make([]float64, m.maxCount)
+			}
+			sh.weights = *sh.weightBox
 		}
 	}
 	var weights []float64
@@ -245,13 +269,32 @@ func (sh *BinaryShard) Next() (Edge, error) {
 	return e, nil
 }
 
-// Close releases the shard's file handle. It is idempotent.
+// Close releases the shard's file handle and returns its decode
+// buffers to the pools. It is idempotent.
 func (sh *BinaryShard) Close() error {
-	if sh.closed || sh.f == nil {
-		sh.closed = true
+	if sh.closed {
 		return nil
 	}
 	sh.closed = true
+	if sh.rawBox != nil {
+		*sh.rawBox = sh.raw[:cap(sh.raw)]
+		rawPool.Put(sh.rawBox)
+		sh.rawBox, sh.raw = nil, nil
+	}
+	if sh.edgeBox != nil {
+		*sh.edgeBox = sh.edges[:cap(sh.edges)]
+		edgePool.Put(sh.edgeBox)
+		sh.edgeBox, sh.edges = nil, nil
+	}
+	if sh.weightBox != nil {
+		*sh.weightBox = sh.weights[:cap(sh.weights)]
+		weightPool.Put(sh.weightBox)
+		sh.weightBox, sh.weights = nil, nil
+	}
+	sh.pos, sh.have = 0, 0
+	if sh.f == nil {
+		return nil
+	}
 	return sh.f.Close()
 }
 

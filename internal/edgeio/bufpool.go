@@ -1,0 +1,19 @@
+package edgeio
+
+import (
+	"bufio"
+	"sync"
+)
+
+// Scan buffers are pooled across sources: a caller that opens a disk
+// stream per solve would otherwise pay one 64 KiB read buffer (text)
+// or one raw-block plus decoded-slab pair (binary) per shard per
+// solve. Shards take buffers out of these pools on first use and
+// their Close puts them back; the boxes (*[]T) travel with the slices
+// so the round trip itself allocates nothing once warm.
+var (
+	readerPool = sync.Pool{New: func() any { return bufio.NewReaderSize(nil, 1<<16) }}
+	rawPool    = sync.Pool{New: func() any { return new([]byte) }}
+	edgePool   = sync.Pool{New: func() any { return new([]Edge) }}
+	weightPool = sync.Pool{New: func() any { return new([]float64) }}
+)

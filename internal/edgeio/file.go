@@ -5,14 +5,18 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 	"sync/atomic"
 )
 
 // FileSource is an edge-list file on disk, shardable into byte ranges
 // with line-boundary resync. It serves both lanes: every shard parses
 // "u v" lines as a Reader and "u v [w]" lines as a WeightedReader.
-// The source itself holds no file handle — each shard opens its own on
-// first Reset, so concurrent shard scans never share a cursor.
+// All shards read through one shared file handle, opened lazily on the
+// first shard Reset and refcounted away on the last shard Close; each
+// shard keeps its own cursor (an io.SectionReader over the handle), so
+// concurrent shard scans never contend and a k-way scan costs one open
+// instead of k.
 type FileSource struct {
 	path string
 	size int64
@@ -20,10 +24,14 @@ type FileSource struct {
 	// comments, and resync skips alike) across all passes — the honest
 	// disk-scan volume of a run.
 	bytes atomic.Int64
+
+	mu   sync.Mutex
+	f    *os.File
+	refs int
 }
 
-// OpenFileSource stats path and returns a source over it. No file
-// handle is kept; shards open their own lazily.
+// OpenFileSource stats path and returns a source over it. The shared
+// file handle is opened lazily by the first shard Reset.
 func OpenFileSource(path string) (*FileSource, error) {
 	st, err := os.Stat(path)
 	if err != nil {
@@ -45,6 +53,36 @@ func (s *FileSource) Size() int64 { return s.size }
 // this source's shards since it was opened.
 func (s *FileSource) BytesScanned() int64 { return s.bytes.Load() }
 
+// acquire hands out the shared file handle, opening it on first use.
+// Every successful acquire must be paired with one release.
+func (s *FileSource) acquire() (*os.File, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		f, err := os.Open(s.path)
+		if err != nil {
+			return nil, fmt.Errorf("edgeio: %w", err)
+		}
+		s.f = f
+	}
+	s.refs++
+	return s.f, nil
+}
+
+// release drops one reference to the shared handle, closing it when the
+// last holder lets go. A later acquire reopens the file.
+func (s *FileSource) release() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.refs--
+	if s.refs > 0 || s.f == nil {
+		return nil
+	}
+	f := s.f
+	s.f = nil
+	return f.Close()
+}
+
 // FileShards returns 1..k byte-range shards covering the whole file.
 // Boundaries are a function of the file size and k only. Shards open
 // their file handle on first Reset; Close each shard (or let the owner
@@ -56,13 +94,15 @@ func (s *FileSource) FileShards(k int) []*FileShard {
 	if s.size > 0 && int64(k) > s.size {
 		k = int(s.size)
 	}
+	backing := make([]FileShard, k)
 	shards := make([]*FileShard, k)
-	for i := range shards {
-		shards[i] = &FileShard{
+	for i := range backing {
+		backing[i] = FileShard{
 			src: s,
 			lo:  s.size * int64(i) / int64(k),
 			hi:  s.size * int64(i+1) / int64(k),
 		}
+		shards[i] = &backing[i]
 	}
 	return shards
 }
@@ -109,8 +149,11 @@ func (s *FileSource) SequentialWeightedReader() WeightedReader {
 type FileShard struct {
 	src    *FileSource
 	lo, hi int64
-	f      *os.File
-	rd     *bufio.Reader
+	// sr is this shard's private cursor over the source's shared file
+	// handle (section [0, ∞) — the shard's own lo/hi bookkeeping bounds
+	// the scan). Non-nil sr implies one reference on the source handle.
+	sr *io.SectionReader
+	rd *bufio.Reader
 	// scratch holds lines longer than the read buffer; it is reused
 	// across lines and passes so the scan loop stays allocation-free.
 	scratch []byte
@@ -126,18 +169,18 @@ func (sh *FileShard) Reset() error {
 	if sh.closed {
 		return fmt.Errorf("edgeio: Reset on closed shard of %s", sh.src.path)
 	}
-	if sh.f == nil {
-		f, err := os.Open(sh.src.path)
+	if sh.sr == nil {
+		f, err := sh.src.acquire()
 		if err != nil {
-			return fmt.Errorf("edgeio: %w", err)
+			return err
 		}
-		sh.f = f
-		sh.rd = bufio.NewReaderSize(f, 1<<16)
+		sh.sr = io.NewSectionReader(f, 0, 1<<62)
+		sh.rd = readerPool.Get().(*bufio.Reader)
 	}
-	if _, err := sh.f.Seek(sh.lo, io.SeekStart); err != nil {
+	if _, err := sh.sr.Seek(sh.lo, io.SeekStart); err != nil {
 		return fmt.Errorf("edgeio: rewinding %s: %w", sh.src.path, err)
 	}
-	sh.rd.Reset(sh.f)
+	sh.rd.Reset(sh.sr)
 	sh.off = sh.lo
 	// A zero-width range owns no lines: without this, a degenerate
 	// [0, 0) shard would claim the line at offset 0 alongside the
@@ -241,14 +284,24 @@ func (sh *FileShard) Next() (Edge, error) {
 	}
 }
 
-// Close releases the shard's file handle. It is idempotent.
+// Close returns the shard's read buffer to the pool and drops its
+// reference on the source's shared handle (the last shard to close
+// releases the file). It is idempotent.
 func (sh *FileShard) Close() error {
-	if sh.closed || sh.f == nil {
-		sh.closed = true
+	if sh.closed {
 		return nil
 	}
 	sh.closed = true
-	return sh.f.Close()
+	if sh.rd != nil {
+		sh.rd.Reset(nil)
+		readerPool.Put(sh.rd)
+		sh.rd = nil
+	}
+	if sh.sr == nil {
+		return nil
+	}
+	sh.sr = nil
+	return sh.src.release()
 }
 
 // weightedShard adapts a FileShard to the weighted lane.

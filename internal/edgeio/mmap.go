@@ -86,9 +86,11 @@ func (s *MmapSource) Close() error {
 // BlockShards cuts the mapping into 1..k contiguous block ranges.
 func (s *MmapSource) BlockShards(k int) []*MmapShard {
 	ranges := blockRanges(len(s.meta.index), k)
+	backing := make([]MmapShard, len(ranges))
 	shards := make([]*MmapShard, len(ranges))
 	for i, r := range ranges {
-		shards[i] = &MmapShard{src: s, lo: r[0], hi: r[1]}
+		backing[i] = MmapShard{src: s, lo: r[0], hi: r[1]}
+		shards[i] = &backing[i]
 	}
 	return shards
 }
@@ -116,13 +118,16 @@ func (s *MmapSource) WeightedShards(k int) []WeightedReader {
 }
 
 // MmapShard scans one block range of an MmapSource, decoding straight
-// from the mapping. It implements Reader.
+// from the mapping. It implements Reader. The decode buffers come out
+// of the package pools on the first pass and go back on Close.
 type MmapShard struct {
 	src    *MmapSource
 	lo, hi int
 
 	edges         []Edge
 	weights       []float64
+	edgeBox       *[]Edge
+	weightBox     *[]float64
 	decodeWeights bool
 
 	block int
@@ -156,9 +161,21 @@ func (sh *MmapShard) fill() error {
 		return fmt.Errorf("edgeio: %s: block %d extent [%d,%d) outside the %d-byte mapping", m.path, i, off, end, len(data))
 	}
 	if cap(sh.edges) < m.maxCount {
-		sh.edges = make([]Edge, m.maxCount)
+		if sh.edgeBox == nil {
+			sh.edgeBox = edgePool.Get().(*[]Edge)
+		}
+		if cap(*sh.edgeBox) < m.maxCount {
+			*sh.edgeBox = make([]Edge, m.maxCount)
+		}
+		sh.edges = *sh.edgeBox
 		if sh.decodeWeights {
-			sh.weights = make([]float64, m.maxCount)
+			if sh.weightBox == nil {
+				sh.weightBox = weightPool.Get().(*[]float64)
+			}
+			if cap(*sh.weightBox) < m.maxCount {
+				*sh.weightBox = make([]float64, m.maxCount)
+			}
+			sh.weights = *sh.weightBox
 		}
 	}
 	var weights []float64
@@ -191,6 +208,24 @@ func (sh *MmapShard) Next() (Edge, error) {
 	return e, nil
 }
 
+// Close returns the shard's decode buffers to the pools; the mapping
+// itself belongs to the source. It is idempotent, and a later Reset
+// reacquires buffers, so closing a shard early is safe.
+func (sh *MmapShard) Close() error {
+	if sh.edgeBox != nil {
+		*sh.edgeBox = sh.edges[:cap(sh.edges)]
+		edgePool.Put(sh.edgeBox)
+		sh.edgeBox, sh.edges = nil, nil
+	}
+	if sh.weightBox != nil {
+		*sh.weightBox = sh.weights[:cap(sh.weights)]
+		weightPool.Put(sh.weightBox)
+		sh.weightBox, sh.weights = nil, nil
+	}
+	sh.pos, sh.have = 0, 0
+	return nil
+}
+
 // mmapWeightedShard adapts an MmapShard to the weighted lane.
 type mmapWeightedShard struct {
 	sh *MmapShard
@@ -214,3 +249,6 @@ func (w mmapWeightedShard) Next() (WeightedEdge, error) {
 	sh.pos++
 	return e, nil
 }
+
+// Close releases the underlying shard's decode buffers.
+func (w mmapWeightedShard) Close() error { return w.sh.Close() }

@@ -6,22 +6,43 @@ package graph
 // peel engines periodically rebuild a dense CSR of the surviving
 // subgraph so later passes scan compact, cache-resident adjacency.
 //
-// Relabeling is order-preserving (keep[i] becomes node i), the same
-// ascending-id relabel the LabelMap loaders and InducedSubgraph use, so
-// any scan in ascending new-id order visits vertices in ascending
-// original-id order — which is what lets the engines keep their
-// bit-identical determinism contract across compactions.
+// Two relabels are offered:
+//
+//   - CompactInto keeps the order-preserving relabel (keep[i] becomes
+//     node i), the same ascending-id relabel the LabelMap loaders and
+//     InducedSubgraph use. Any scan in ascending new-id order then
+//     visits vertices in ascending original-id order — the property the
+//     weighted peeler's chunk-grouped float reductions depend on.
+//
+//   - CompactIntoDegreeOrdered relabels hub-first: vertices are ranked
+//     by surviving degree, descending (ties in ascending keep order, so
+//     the permutation is a pure function of graph shape). Dense rows
+//     pack together at the front of the CSR, equal-length rows become
+//     contiguous fixed-stride banks (RowBanks), and the frontier's hot
+//     vertices share cache lines. The permutation is returned so
+//     callers can compose their current→original id maps through it;
+//     the integer peel engines do exactly that and stay bit-identical
+//     to the id-ordered layout at every worker count.
 
-// CompactScratch holds the reusable buffers behind CompactInto, so a
-// peel run that compacts several times allocates each buffer class once
-// (buffers only grow). The zero value is ready to use. A scratch must
-// not be reused while a graph returned from a CompactInto call on it is
-// still alive: the returned graph aliases the scratch storage.
+// CompactScratch holds the reusable buffers behind CompactInto and
+// CompactIntoDegreeOrdered, so a peel run that compacts several times
+// allocates each buffer class once (buffers only grow). The zero value
+// is ready to use. A scratch must not be reused while a graph returned
+// from a compaction call on it is still alive: the returned graph (and
+// its RowBanks and permutation) alias the scratch storage.
 type CompactScratch struct {
 	offsets []int32
 	adj     []int32
 	weights []float64
 	newID   []int32
+
+	// degree-ordered relabel state
+	bits   Bitset  // keep membership over the old vertex space
+	cnt    []int32 // surviving degree by keep index
+	rdeg   []int32 // surviving degree by new rank
+	bucket []int32 // counting-sort buckets
+	order  []int32 // new rank -> old vertex id
+	banks  RowBanks
 }
 
 // grow returns buf resized to n, reallocating only when capacity is
@@ -47,12 +68,23 @@ func (s *CompactScratch) newIDs(n int, keep []int32) []int32 {
 	return ids
 }
 
+// keepBits fills s.bits with the membership set of keep over [0, n).
+func (s *CompactScratch) keepBits(n int, keep []int32) Bitset {
+	s.bits = grow(s.bits, (n+63)>>6)
+	s.bits.Zero()
+	for _, u := range keep {
+		s.bits.Set(u)
+	}
+	return s.bits
+}
+
 // CompactInto builds the subgraph of g induced by keep — ascending,
 // duplicate-free node ids — into the scratch buffers and returns it.
-// Adjacency order is preserved: the neighbors of a kept vertex appear
-// in the same relative order as in g, restricted to kept vertices, and
-// edge weights are copied bit-exactly. The returned graph aliases s;
-// it dies when s is next reused.
+// The relabel is order-preserving (keep[i] becomes node i). Adjacency
+// order is preserved: the neighbors of a kept vertex appear in the same
+// relative order as in g, restricted to kept vertices, and edge weights
+// are copied bit-exactly. The returned graph aliases s; it dies when s
+// is next reused.
 func (g *Undirected) CompactInto(keep []int32, s *CompactScratch) *Undirected {
 	n := len(keep)
 	newID := s.newIDs(g.n, keep)
@@ -105,6 +137,144 @@ func (g *Undirected) CompactInto(keep []int32, s *CompactScratch) *Undirected {
 	return &Undirected{n: n, offsets: offsets, adj: adj, weights: weights, m: m, totalW: totalW}
 }
 
+// CompactIntoDegreeOrdered builds the same induced subgraph as
+// CompactInto but relabels hub-first: new id r goes to the vertex with
+// the r-th largest surviving degree (counting sort; equal degrees keep
+// ascending keep order, so the permutation is deterministic). It
+// returns the compacted graph — carrying a RowBanks view of the
+// degree-class layout — and the permutation order, where order[r] is
+// the keep-space (old current-space) id of new vertex r. Within a row,
+// adjacency keeps g's relative neighbor order; row contents are the
+// relabeled ids. The returned graph, banks, and order all alias s.
+func (g *Undirected) CompactIntoDegreeOrdered(keep []int32, s *CompactScratch) (*Undirected, []int32) {
+	n := len(keep)
+	bits := s.keepBits(g.n, keep)
+
+	// Surviving degree per keep index; counting sort descending, stable
+	// in keep order.
+	s.cnt = grow(s.cnt, n)
+	cnt := s.cnt
+	maxd := int32(0)
+	for i, u := range keep {
+		c := int32(0)
+		for _, v := range g.Neighbors(u) {
+			c += bits.Bit(v)
+		}
+		cnt[i] = c
+		if c > maxd {
+			maxd = c
+		}
+	}
+	s.bucket = grow(s.bucket, int(maxd)+1)
+	bucket := s.bucket
+	for d := range bucket {
+		bucket[d] = 0
+	}
+	for _, c := range cnt {
+		bucket[c]++
+	}
+	pos := int32(0)
+	for d := int(maxd); d >= 0; d-- {
+		b := bucket[d]
+		bucket[d] = pos
+		pos += b
+	}
+	s.order = grow(s.order, n)
+	s.rdeg = grow(s.rdeg, n)
+	s.newID = grow(s.newID, g.n) // dead entries stale; bits guards every read
+	order, rdeg, newID := s.order, s.rdeg, s.newID
+	for i, u := range keep {
+		r := bucket[cnt[i]]
+		bucket[cnt[i]] = r + 1
+		order[r] = u
+		rdeg[r] = cnt[i]
+		newID[u] = r
+	}
+
+	s.offsets = grow(s.offsets, n+1)
+	offsets := s.offsets
+	offsets[0] = 0
+	for r := 0; r < n; r++ {
+		offsets[r+1] = offsets[r] + rdeg[r]
+	}
+	total := int(offsets[n])
+	// One slot of slack: the branch-free fill below writes every
+	// neighbor before advancing the cursor, so trailing dropped
+	// neighbors of the final row touch adj[total] once.
+	s.adj = grow(s.adj, total+1)
+	adj := s.adj[:total+1]
+	weighted := g.weights != nil
+	var weights []float64
+	if weighted {
+		s.weights = grow(s.weights, total)
+		weights = s.weights
+	}
+	var totalW float64
+	if weighted {
+		for r := 0; r < n; r++ {
+			u := order[r]
+			cur := offsets[r]
+			ws := g.NeighborWeights(u)
+			for j, v := range g.Neighbors(u) {
+				if !bits.Test(v) {
+					continue
+				}
+				nv := newID[v]
+				adj[cur] = nv
+				w := ws[j]
+				weights[cur] = w
+				if nv > int32(r) {
+					totalW += w
+				}
+				cur++
+			}
+		}
+	} else {
+		// Branch-free filter-copy: kept/dropped neighbors interleave
+		// unpredictably in a decayed row, so a membership branch
+		// mispredicts constantly; writing unconditionally and advancing
+		// the cursor by the membership bit keeps the pipeline full. A
+		// dropped neighbor writes a stale newID entry that the next kept
+		// neighbor overwrites — the row never exceeds its exact length.
+		for r := 0; r < n; r++ {
+			u := order[r]
+			cur := offsets[r]
+			row := g.Neighbors(u)
+			for _, v := range row {
+				adj[cur] = newID[v]
+				cur += bits.Bit(v)
+			}
+		}
+		totalW = float64(int64(total) / 2)
+	}
+	m := int64(total) / 2
+
+	// Degree classes over the ranked layout: runs of equal row length,
+	// descending; over-stride hubs form the spill prefix.
+	adj = adj[:total]
+	b := &s.banks
+	b.adj = adj
+	b.degs, b.starts, b.base = b.degs[:0], b.starts[:0], b.base[:0]
+	spill := 0
+	for spill < n && rdeg[spill] > bankMaxStride {
+		spill++
+	}
+	b.SpillEnd = int32(spill)
+	for r := spill; r < n; {
+		d := rdeg[r]
+		b.degs = append(b.degs, d)
+		b.starts = append(b.starts, int32(r))
+		b.base = append(b.base, offsets[r])
+		for r < n && rdeg[r] == d {
+			r++
+		}
+	}
+	b.starts = append(b.starts, int32(n))
+
+	ng := &Undirected{n: n, offsets: offsets, adj: adj, weights: weights, m: m, totalW: totalW, banks: b}
+	return ng, order
+}
+
 // DirectedCompactScratch is the directed analogue of CompactScratch.
 type DirectedCompactScratch struct {
 	outOffsets []int32
@@ -112,18 +282,23 @@ type DirectedCompactScratch struct {
 	inOffsets  []int32
 	inAdj      []int32
 	newID      []int32
+
+	bits   Bitset
+	outCnt []int32
+	inCnt  []int32
+	rout   []int32
+	rin    []int32
+	bucket []int32
+	order  []int32
 }
 
-func (s *DirectedCompactScratch) newIDs(n int, keep []int32) []int32 {
-	s.newID = grow(s.newID, n)
-	ids := s.newID
-	for i := range ids {
-		ids[i] = -1
+func (s *DirectedCompactScratch) keepBits(n int, keep []int32) Bitset {
+	s.bits = grow(s.bits, (n+63)>>6)
+	s.bits.Zero()
+	for _, u := range keep {
+		s.bits.Set(u)
 	}
-	for i, u := range keep {
-		ids[u] = int32(i)
-	}
-	return ids
+	return s.bits
 }
 
 // CompactInto builds the surviving directed subgraph induced by keep
@@ -132,61 +307,109 @@ func (s *DirectedCompactScratch) newIDs(n int, keep []int32) []int32 {
 // only ever scanned for vertices still alive in S and in-rows for
 // vertices still alive in T, rows of dead-side vertices compact to
 // empty and surviving rows keep only the cross-alive edges: the
-// out-row of u is its T-alive out-neighbors when aliveS[u], the in-row
-// of v its S-alive in-neighbors when aliveT[v]. Both views then
-// describe exactly E(S, T), adjacency order preserved. The returned
-// graph aliases s.
-func (g *Directed) CompactInto(keep []int32, aliveS, aliveT []bool, s *DirectedCompactScratch) *Directed {
+// out-row of u is its T-alive out-neighbors when aliveS(u), the in-row
+// of v its S-alive in-neighbors when aliveT(v). Both views then
+// describe exactly E(S, T), adjacency order preserved within a row.
+//
+// The relabel is degree-ordered: vertices rank by total surviving
+// cross degree (out + in), descending, ties in ascending keep order —
+// hub rows of both families pack toward the front. (Unlike the
+// undirected layout there is no fixed-stride bank view: the two row
+// families have independent lengths, and one permutation cannot make
+// both contiguous-by-length at once.) The permutation order is
+// returned alongside the graph, order[r] being the keep-space id of
+// new vertex r; both alias s.
+func (g *Directed) CompactInto(keep []int32, aliveS, aliveT Bitset, s *DirectedCompactScratch) (*Directed, []int32) {
 	n := len(keep)
-	newID := s.newIDs(g.n, keep)
+	bits := s.keepBits(g.n, keep)
+
+	s.outCnt = grow(s.outCnt, n)
+	s.inCnt = grow(s.inCnt, n)
+	outCnt, inCnt := s.outCnt, s.inCnt
+	maxd := int32(0)
+	for i, u := range keep {
+		oc, ic := int32(0), int32(0)
+		if aliveS.Test(u) {
+			for _, v := range g.OutNeighbors(u) {
+				if bits.Test(v) && aliveT.Test(v) {
+					oc++
+				}
+			}
+		}
+		if aliveT.Test(u) {
+			for _, v := range g.InNeighbors(u) {
+				if bits.Test(v) && aliveS.Test(v) {
+					ic++
+				}
+			}
+		}
+		outCnt[i], inCnt[i] = oc, ic
+		if d := oc + ic; d > maxd {
+			maxd = d
+		}
+	}
+	s.bucket = grow(s.bucket, int(maxd)+1)
+	bucket := s.bucket
+	for d := range bucket {
+		bucket[d] = 0
+	}
+	for i := 0; i < n; i++ {
+		bucket[outCnt[i]+inCnt[i]]++
+	}
+	pos := int32(0)
+	for d := int(maxd); d >= 0; d-- {
+		b := bucket[d]
+		bucket[d] = pos
+		pos += b
+	}
+	s.order = grow(s.order, n)
+	s.rout = grow(s.rout, n)
+	s.rin = grow(s.rin, n)
+	s.newID = grow(s.newID, g.n) // dead entries stale; bits guards every read
+	order, rout, rin, newID := s.order, s.rout, s.rin, s.newID
+	for i, u := range keep {
+		d := outCnt[i] + inCnt[i]
+		r := bucket[d]
+		bucket[d] = r + 1
+		order[r] = u
+		rout[r] = outCnt[i]
+		rin[r] = inCnt[i]
+		newID[u] = r
+	}
 
 	s.outOffsets = grow(s.outOffsets, n+1)
 	s.inOffsets = grow(s.inOffsets, n+1)
 	outOffsets, inOffsets := s.outOffsets, s.inOffsets
 	outOffsets[0], inOffsets[0] = 0, 0
-	for i, u := range keep {
-		outCnt, inCnt := int32(0), int32(0)
-		if aliveS[u] {
-			for _, v := range g.OutNeighbors(u) {
-				if newID[v] >= 0 && aliveT[v] {
-					outCnt++
-				}
-			}
-		}
-		if aliveT[u] {
-			for _, v := range g.InNeighbors(u) {
-				if newID[v] >= 0 && aliveS[v] {
-					inCnt++
-				}
-			}
-		}
-		outOffsets[i+1] = outOffsets[i] + outCnt
-		inOffsets[i+1] = inOffsets[i] + inCnt
+	for r := 0; r < n; r++ {
+		outOffsets[r+1] = outOffsets[r] + rout[r]
+		inOffsets[r+1] = inOffsets[r] + rin[r]
 	}
 	s.outAdj = grow(s.outAdj, int(outOffsets[n]))
 	s.inAdj = grow(s.inAdj, int(inOffsets[n]))
 	outAdj, inAdj := s.outAdj, s.inAdj
-	for i, u := range keep {
-		if aliveS[u] {
-			cur := outOffsets[i]
+	for r := 0; r < n; r++ {
+		u := order[r]
+		if aliveS.Test(u) {
+			cur := outOffsets[r]
 			for _, v := range g.OutNeighbors(u) {
-				if nv := newID[v]; nv >= 0 && aliveT[v] {
-					outAdj[cur] = nv
+				if bits.Test(v) && aliveT.Test(v) {
+					outAdj[cur] = newID[v]
 					cur++
 				}
 			}
 		}
-		if aliveT[u] {
-			cur := inOffsets[i]
+		if aliveT.Test(u) {
+			cur := inOffsets[r]
 			for _, v := range g.InNeighbors(u) {
-				if nv := newID[v]; nv >= 0 && aliveS[v] {
-					inAdj[cur] = nv
+				if bits.Test(v) && aliveS.Test(v) {
+					inAdj[cur] = newID[v]
 					cur++
 				}
 			}
 		}
 	}
-	return &Directed{
+	ng := &Directed{
 		n:          n,
 		outOffsets: outOffsets,
 		outAdj:     outAdj,
@@ -194,4 +417,5 @@ func (g *Directed) CompactInto(keep []int32, aliveS, aliveT []bool, s *DirectedC
 		inAdj:      inAdj,
 		m:          int64(outOffsets[n]),
 	}
+	return ng, order
 }

@@ -95,41 +95,60 @@ func TestCompactIntoDirected(t *testing.T) {
 	g := MustFromDirectedEdges(6, [][2]int32{
 		{0, 1}, {1, 2}, {2, 0}, {3, 1}, {4, 2}, {2, 5}, {5, 0},
 	})
-	all := func(n int, v bool) []bool {
-		s := make([]bool, n)
-		for i := range s {
-			s[i] = v
-		}
-		return s
+	full := func(n int) Bitset {
+		b := NewBitset(n)
+		b.Fill(n)
+		return b
 	}
 	var s DirectedCompactScratch
 
-	// Everybody alive on both sides: plain induced subgraph.
+	// Everybody alive on both sides: induced subgraph up to the
+	// degree-ordered relabel.
 	keep := []int32{0, 1, 2, 5}
-	got := g.CompactInto(keep, all(6, true), all(6, true), &s)
+	got, order := g.CompactInto(keep, full(6), full(6), &s)
 	if err := got.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	// Kept ids: 0->0, 1->1, 2->2, 5->3. Surviving edges: 0->1, 1->2,
-	// 2->0, 2->5, 5->0.
-	var edges [][2]int32
-	got.Edges(func(u, v int32) bool { edges = append(edges, [2]int32{u, v}); return true })
-	want := [][2]int32{{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 0}}
-	if !reflect.DeepEqual(edges, want) {
-		t.Fatalf("edges %v, want %v", edges, want)
+	if len(order) != len(keep) {
+		t.Fatalf("order has %d entries, want %d", len(order), len(keep))
+	}
+	// De-relabel the compacted edges back to the old id space and
+	// compare as a set against the surviving edges.
+	deEdges := map[[2]int32]bool{}
+	got.Edges(func(u, v int32) bool {
+		deEdges[[2]int32{order[u], order[v]}] = true
+		return true
+	})
+	want := map[[2]int32]bool{
+		{0, 1}: true, {1, 2}: true, {2, 0}: true, {2, 5}: true, {5, 0}: true,
+	}
+	if !reflect.DeepEqual(deEdges, want) {
+		t.Fatalf("de-relabeled edges %v, want %v", deEdges, want)
+	}
+	// The relabel is hub-first by total surviving cross degree.
+	for r := 1; r < got.NumNodes(); r++ {
+		prev := got.OutDegree(int32(r-1)) + got.InDegree(int32(r-1))
+		cur := got.OutDegree(int32(r)) + got.InDegree(int32(r))
+		if cur > prev {
+			t.Fatalf("rank %d has degree %d > rank %d's %d", r, cur, r-1, prev)
+		}
 	}
 
 	// Node 2 dead on the S side: its out-row must compact away while
 	// its in-row (as a T member) survives.
-	aliveS := all(6, true)
-	aliveS[2] = false
-	got = g.CompactInto(keep, aliveS, all(6, true), &s)
-	if got.OutDegree(2) != 0 {
-		t.Fatalf("dead-S node kept %d out-neighbors", got.OutDegree(2))
+	aliveS := full(6)
+	aliveS.Clear(2)
+	got, order = g.CompactInto(keep, aliveS, full(6), &s)
+	rankOf := make(map[int32]int32, len(order))
+	for r, u := range order {
+		rankOf[u] = int32(r)
+	}
+	if d := got.OutDegree(rankOf[2]); d != 0 {
+		t.Fatalf("dead-S node kept %d out-neighbors", d)
 	}
 	// In-edges of node 2: from 1 (kept, alive in S) and 4 (not kept).
-	if want := []int32{1}; !reflect.DeepEqual(got.InNeighbors(2), want) {
-		t.Fatalf("in-neighbors of kept node 2: %v, want %v", got.InNeighbors(2), want)
+	if in := got.InNeighbors(rankOf[2]); len(in) != 1 || order[in[0]] != 1 {
+		t.Fatalf("in-neighbors of kept node 2: %v (order %v), want {1}", in, order)
 	}
 	// Edge count must match on both views.
 	var out, in int64

@@ -1,0 +1,77 @@
+package par
+
+import "context"
+
+// Sweeper runs the batched frontier sweeps of the peel engines: one
+// pass over a live-id slice in fixed ChunkSize blocks that can filter
+// the slice in place as it goes. The weighted and unweighted candidate
+// scans share this walker; what differs is only the per-block visit
+// body. A zero Sweeper is ready to use; its chunk-count scratch is
+// retained across passes.
+type Sweeper struct {
+	counts []int32
+}
+
+// Sweep calls visit(chunk, block) once per fixed-size block of live.
+// visit may compact the ids it keeps to the front of the block in
+// place and return how many it kept (returning len(block) leaves the
+// slice untouched). Sweep then squashes the kept runs together —
+// sequentially, in chunk order — and returns the shortened slice,
+// which aliases live.
+//
+// The block decomposition is a function of len(live) only and the
+// squash is a fixed-order memmove, so the surviving frontier is
+// bit-identical for every worker count. Parallel visit bodies must
+// confine writes to their own block and chunk-indexed slots.
+//
+// A ctx error aborts between blocks and returns live unchanged in
+// length; blocks already visited have run their side effects, so
+// callers must treat the frontier as torn and discard the run (the
+// peel engines surface a PartialError and stop).
+func (s *Sweeper) Sweep(ctx context.Context, pool *Pool, live []int32, visit func(chunk int, block []int32) int) ([]int32, error) {
+	n := len(live)
+	chunks := NumChunks(n)
+	if chunks == 0 {
+		if ctx != nil {
+			return live, ctx.Err()
+		}
+		return live, nil
+	}
+	if pool.Workers() == 1 || chunks == 1 {
+		// Sequential fast path: filter and squash in one forward walk.
+		w := 0
+		for c := 0; c < chunks; c++ {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return live, err
+				}
+			}
+			lo, hi := ChunkBounds(c, n)
+			k := visit(c, live[lo:hi])
+			if w != lo {
+				copy(live[w:w+k], live[lo:lo+k])
+			}
+			w += k
+		}
+		return live[:w], nil
+	}
+	if cap(s.counts) < chunks {
+		s.counts = make([]int32, chunks)
+	}
+	counts := s.counts[:chunks]
+	if err := pool.ForChunksCtx(ctx, n, func(c, lo, hi int) {
+		counts[c] = int32(visit(c, live[lo:hi]))
+	}); err != nil {
+		return live, err
+	}
+	w := 0
+	for c := 0; c < chunks; c++ {
+		lo, _ := ChunkBounds(c, n)
+		k := int(counts[c])
+		if w != lo {
+			copy(live[w:w+k], live[lo:lo+k])
+		}
+		w += k
+	}
+	return live[:w], nil
+}

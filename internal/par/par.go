@@ -52,15 +52,158 @@ func Clamp(workers int) int {
 }
 
 // Pool runs chunked loops on a fixed number of workers. The zero value
-// is not usable; construct with New. A Pool carries no per-run state
-// and is safe for concurrent use by independent loops, though the
-// peeling engines use one pool per run.
+// is not usable; construct with New.
+//
+// A multi-worker pool lazily spawns a persistent crew of workers-1
+// goroutines on its first parallel call and reuses them for every later
+// call: each round hands the crew a preallocated body over a channel and
+// waits for as many completions, so the per-pass loops of the peeling
+// engines stop paying a goroutine spawn plus closure allocation per
+// worker per pass. Rounds on the crew are serialized by a mutex;
+// concurrent or nested calls (a loop body invoking the same pool) fall
+// back transparently to spawn-per-call goroutines, so a Pool remains
+// safe for concurrent use by independent loops. The crew parks on an
+// empty channel between rounds and exits when the Pool is garbage
+// collected (a finalizer closes the feed channel), so an abandoned pool
+// leaks nothing.
 type Pool struct {
 	workers int
+
+	mu     sync.Mutex   // serializes crew rounds; TryLock failure → spawn fallback
+	cursor atomic.Int64 // shared claim cursor for the current round
+
+	// Crew plumbing, nil until the first multi-worker call. start and
+	// done are captured by the crew goroutines instead of the Pool
+	// itself, so the Pool can be collected (and finalized) while the
+	// crew is parked.
+	start chan func()
+	done  chan struct{}
+
+	// Cached round bodies and their parameters. The fields are written
+	// by the driver before the bodies are sent on start, and the channel
+	// send/receive pair is the happens-before edge that publishes them
+	// to the crew.
+	chunkBody func()
+	taskBody  func()
+	rFn       func(chunk, lo, hi int)
+	rCtx      context.Context
+	rN        int
+	rChunks   int
+	rTaskFn   func(i int)
+	rK        int
 }
 
 // New returns a pool with the clamped worker count (see Clamp).
 func New(workers int) *Pool { return &Pool{workers: Clamp(workers)} }
+
+// crewCaches parks released Pools keyed by worker count, so solvers
+// that build a pool per solve reuse an existing crew instead of
+// spawning a fresh one (goroutine descriptors dominate a cold pool's
+// cost). Entries age out with the GC like any sync.Pool contents; the
+// Pool finalizer then retires the orphaned crew.
+var crewCaches sync.Map // workers (int) -> *sync.Pool of *Pool
+
+// Acquire returns a pool with the clamped worker count, reusing a
+// previously Released pool (and its parked crew) when one is cached.
+// Pair it with Release when the pool is short-lived; long-lived pools
+// should just use New.
+func Acquire(workers int) *Pool {
+	w := Clamp(workers)
+	if cp, ok := crewCaches.Load(w); ok {
+		if p, ok := cp.(*sync.Pool).Get().(*Pool); ok {
+			return p
+		}
+	}
+	return &Pool{workers: w}
+}
+
+// Release parks the pool for a later Acquire with the same worker
+// count. The caller must be completely done with it: releasing a pool
+// that is still running a round, or releasing it twice, hands one crew
+// to two owners. Releasing is optional — an unreleased pool is simply
+// collected and its crew retired by the finalizer.
+func (p *Pool) Release() {
+	cp, ok := crewCaches.Load(p.workers)
+	if !ok {
+		cp, _ = crewCaches.LoadOrStore(p.workers, &sync.Pool{})
+	}
+	cp.(*sync.Pool).Put(p)
+}
+
+// ensureCrew spawns the persistent crew and builds the reusable round
+// bodies. Must be called with p.mu held.
+func (p *Pool) ensureCrew() {
+	if p.start != nil {
+		return
+	}
+	start := make(chan func(), p.workers-1)
+	done := make(chan struct{}, p.workers-1)
+	p.start, p.done = start, done
+	for w := 0; w < p.workers-1; w++ {
+		go func() {
+			for body := range start {
+				body()
+				done <- struct{}{}
+			}
+		}()
+	}
+	p.chunkBody = func() {
+		chunks, n, fn, ctx := p.rChunks, p.rN, p.rFn, p.rCtx
+		for ctx == nil || ctx.Err() == nil {
+			c := int(p.cursor.Add(1)) - 1
+			if c >= chunks {
+				return
+			}
+			lo, hi := ChunkBounds(c, n)
+			fn(c, lo, hi)
+		}
+	}
+	p.taskBody = func() {
+		k, fn := p.rK, p.rTaskFn
+		for {
+			i := int(p.cursor.Add(1)) - 1
+			if i >= k {
+				return
+			}
+			fn(i)
+		}
+	}
+	// The crew captures only the channels, so an unreachable Pool is
+	// collectable; closing start releases the parked goroutines.
+	runtime.SetFinalizer(p, func(p *Pool) { close(p.start) })
+}
+
+// chunkRound runs fn over the chunk range on the crew, with the calling
+// goroutine as one of the runners. Must be called with p.mu held.
+func (p *Pool) chunkRound(runners, chunks, n int, ctx context.Context, fn func(chunk, lo, hi int)) {
+	p.ensureCrew()
+	p.rChunks, p.rN, p.rFn, p.rCtx = chunks, n, fn, ctx
+	p.cursor.Store(0)
+	for i := 1; i < runners; i++ {
+		p.start <- p.chunkBody
+	}
+	p.chunkBody()
+	for i := 1; i < runners; i++ {
+		<-p.done
+	}
+	p.rFn, p.rCtx = nil, nil
+}
+
+// taskRound runs fn(i) for i in [0, k) on the crew, with the calling
+// goroutine as one of the runners. Must be called with p.mu held.
+func (p *Pool) taskRound(runners, k int, fn func(i int)) {
+	p.ensureCrew()
+	p.rK, p.rTaskFn = k, fn
+	p.cursor.Store(0)
+	for i := 1; i < runners; i++ {
+		p.start <- p.taskBody
+	}
+	p.taskBody()
+	for i := 1; i < runners; i++ {
+		<-p.done
+	}
+	p.rTaskFn = nil
+}
 
 // Workers returns the pool's worker count.
 func (p *Pool) Workers() int { return p.workers }
@@ -87,6 +230,13 @@ func (p *Pool) ForChunks(n int, fn func(chunk, lo, hi int)) {
 	if workers > chunks {
 		workers = chunks
 	}
+	if p.mu.TryLock() {
+		p.chunkRound(workers, chunks, n, nil, fn)
+		p.mu.Unlock()
+		return
+	}
+	// A round is already running (nested or concurrent use): spawn
+	// one-shot goroutines for this call instead of waiting on the crew.
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -135,6 +285,11 @@ func (p *Pool) ForChunksCtx(ctx context.Context, n int, fn func(chunk, lo, hi in
 	if workers > chunks {
 		workers = chunks
 	}
+	if p.mu.TryLock() {
+		p.chunkRound(workers, chunks, n, ctx, fn)
+		p.mu.Unlock()
+		return ctx.Err()
+	}
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -156,10 +311,11 @@ func (p *Pool) ForChunksCtx(ctx context.Context, n int, fn func(chunk, lo, hi in
 }
 
 // RunTasks invokes fn(i) for i in [0, k) and waits. With one worker (or
-// one task) the tasks run inline in order; otherwise each task gets its
-// own goroutine — callers size k by Workers(), so this never
-// oversubscribes. Unlike ForChunks, task indices are fixed up front,
-// which is what per-worker lanes and per-shard scans need.
+// one task) the tasks run inline in order; otherwise up to Workers()
+// runners claim task indices dynamically, so tasks may share a
+// goroutine but never run twice. Tasks must be independent of each
+// other (none may block waiting for another task to run) — which is
+// what per-worker lanes and per-shard scans are.
 func (p *Pool) RunTasks(k int, fn func(i int)) {
 	if k <= 0 {
 		return
@@ -170,12 +326,28 @@ func (p *Pool) RunTasks(k int, fn func(i int)) {
 		}
 		return
 	}
+	runners := p.workers
+	if runners > k {
+		runners = k
+	}
+	if p.mu.TryLock() {
+		p.taskRound(runners, k, fn)
+		p.mu.Unlock()
+		return
+	}
+	var cursor atomic.Int64
 	var wg sync.WaitGroup
-	wg.Add(k)
-	for i := 0; i < k; i++ {
+	wg.Add(runners)
+	for w := 0; w < runners; w++ {
 		go func() {
 			defer wg.Done()
-			fn(i)
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= k {
+					return
+				}
+				fn(i)
+			}
 		}()
 	}
 	wg.Wait()
@@ -200,6 +372,11 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
+		return
+	}
+	if p.mu.TryLock() {
+		p.taskRound(workers, n, fn)
+		p.mu.Unlock()
 		return
 	}
 	var cursor atomic.Int64

@@ -201,7 +201,8 @@ func AtLeastKParallelOpts(es EdgeStream, k int, eps float64, o core.Opts) (*core
 	if err := o.Begin(); err != nil {
 		return nil, err
 	}
-	pool := par.New(workers)
+	pool := par.Acquire(workers)
+	defer pool.Release()
 
 	alive := make([]bool, n)
 	for u := range alive {
@@ -216,6 +217,14 @@ func AtLeastKParallelOpts(es EdgeStream, k int, eps float64, o core.Opts) (*core
 
 	lanes := streamScanLanes(n, workers, 1)
 	counter := NewStripedCounter(n, lanes)
+	scanner := newShardScanner(o.Ctx, ss, pool, lanes, n, func(lane int, e Edge) bool {
+		if alive[e.U] && alive[e.V] {
+			counter.AddLane(lane, e.U)
+			counter.AddLane(lane, e.V)
+			return true
+		}
+		return false
+	})
 	threshold := 2 * (1 + eps)
 	frac := eps / (1 + eps)
 	pass := 0
@@ -227,14 +236,7 @@ func AtLeastKParallelOpts(es EdgeStream, k int, eps float64, o core.Opts) (*core
 		}
 		pass++
 		counter.Reset(pool)
-		edges, err := scanShardedPass(o.Ctx, ss, pool, lanes, n, func(lane int, e Edge) bool {
-			if alive[e.U] && alive[e.V] {
-				counter.AddLane(lane, e.U)
-				counter.AddLane(lane, e.V)
-				return true
-			}
-			return false
-		})
+		edges, err := scanner.scan()
 		if err != nil {
 			if o.Ctx != nil && err == o.Ctx.Err() {
 				return nil, &core.PartialError{Passes: pass - 1, Trace: trace, Err: err}

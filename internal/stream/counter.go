@@ -59,12 +59,17 @@ func (c *ExactCounter) MemoryWords() int { return len(c.counts) }
 // is still alive, the per-pass counter maintenance shrinks with it.
 type StripedCounter struct {
 	n     int
-	lanes [][]int64
-	dirty [][]bool // dirty[l][b]: lane l touched block b since Reset
+	lanes [][]int64 // windows into one flat backing array
+	dirty [][]bool  // dirty[l][b]: lane l touched block b since Reset
+	reset func(i int)
+	fold  func(b, lo, hi int)
 }
 
 // NewStripedCounter returns a striped counter over n nodes with the
-// given number of lanes (one per scanning worker; at least 1).
+// given number of lanes (one per scanning worker; at least 1). The lane
+// and dirty arrays are windows into two flat backing allocations, and
+// the Reset and Fold loop bodies are built once here, so per-solve and
+// per-pass costs stay flat in the lane count.
 func NewStripedCounter(n, lanes int) *StripedCounter {
 	if lanes < 1 {
 		lanes = 1
@@ -74,19 +79,14 @@ func NewStripedCounter(n, lanes int) *StripedCounter {
 		lanes: make([][]int64, lanes),
 		dirty: make([][]bool, lanes),
 	}
+	flat := make([]int64, lanes*n)
+	blocks := par.NumChunks(n)
+	dirtyFlat := make([]bool, lanes*blocks)
 	for i := range c.lanes {
-		c.lanes[i] = make([]int64, n)
-		c.dirty[i] = make([]bool, par.NumChunks(n))
+		c.lanes[i] = flat[i*n : (i+1)*n : (i+1)*n]
+		c.dirty[i] = dirtyFlat[i*blocks : (i+1)*blocks : (i+1)*blocks]
 	}
-	return c
-}
-
-// Lanes returns the number of lanes.
-func (c *StripedCounter) Lanes() int { return len(c.lanes) }
-
-// Reset clears every touched block for a new pass.
-func (c *StripedCounter) Reset(pool *par.Pool) {
-	pool.RunTasks(len(c.lanes), func(i int) {
+	c.reset = func(i int) {
 		lane, dirty := c.lanes[i], c.dirty[i]
 		for b := range dirty {
 			if !dirty[b] {
@@ -98,7 +98,28 @@ func (c *StripedCounter) Reset(pool *par.Pool) {
 			}
 			dirty[b] = false
 		}
-	})
+	}
+	c.fold = func(b, lo, hi int) {
+		base, baseDirty := c.lanes[0], c.dirty[0]
+		for l, lane := range c.lanes[1:] {
+			if !c.dirty[l+1][b] {
+				continue
+			}
+			baseDirty[b] = true
+			for u := lo; u < hi; u++ {
+				base[u] += lane[u]
+			}
+		}
+	}
+	return c
+}
+
+// Lanes returns the number of lanes.
+func (c *StripedCounter) Lanes() int { return len(c.lanes) }
+
+// Reset clears every touched block for a new pass.
+func (c *StripedCounter) Reset(pool *par.Pool) {
+	pool.RunTasks(len(c.lanes), c.reset)
 }
 
 // AddLane counts one edge incident on node u in the given lane. Only
@@ -114,18 +135,7 @@ func (c *StripedCounter) Fold(pool *par.Pool) {
 	if len(c.lanes) == 1 {
 		return
 	}
-	base, baseDirty := c.lanes[0], c.dirty[0]
-	pool.ForChunks(c.n, func(b, lo, hi int) {
-		for l, lane := range c.lanes[1:] {
-			if !c.dirty[l+1][b] {
-				continue
-			}
-			baseDirty[b] = true
-			for u := lo; u < hi; u++ {
-				base[u] += lane[u]
-			}
-		}
-	})
+	pool.ForChunks(c.n, c.fold)
 }
 
 // Estimate returns the exact count for node u; call after Fold.
@@ -149,12 +159,16 @@ func (c *StripedCounter) MemoryWords() int { return len(c.lanes) * c.n }
 // and Fold cost O(touched) instead of O(lanes·n).
 type FloatStripedCounter struct {
 	n     int
-	lanes [][]float64
+	lanes [][]float64 // windows into one flat backing array
 	dirty [][]bool
+	reset func(i int)
+	fold  func(b, lo, hi int)
 }
 
 // NewFloatStripedCounter returns a float striped counter over n nodes
-// with the given number of lanes (at least 1).
+// with the given number of lanes (at least 1). Like NewStripedCounter,
+// the lanes share flat backing arrays and the Reset and Fold bodies are
+// built once.
 func NewFloatStripedCounter(n, lanes int) *FloatStripedCounter {
 	if lanes < 1 {
 		lanes = 1
@@ -164,19 +178,14 @@ func NewFloatStripedCounter(n, lanes int) *FloatStripedCounter {
 		lanes: make([][]float64, lanes),
 		dirty: make([][]bool, lanes),
 	}
+	flat := make([]float64, lanes*n)
+	blocks := par.NumChunks(n)
+	dirtyFlat := make([]bool, lanes*blocks)
 	for i := range c.lanes {
-		c.lanes[i] = make([]float64, n)
-		c.dirty[i] = make([]bool, par.NumChunks(n))
+		c.lanes[i] = flat[i*n : (i+1)*n : (i+1)*n]
+		c.dirty[i] = dirtyFlat[i*blocks : (i+1)*blocks : (i+1)*blocks]
 	}
-	return c
-}
-
-// Lanes returns the number of lanes.
-func (c *FloatStripedCounter) Lanes() int { return len(c.lanes) }
-
-// Reset clears every touched block for a new pass.
-func (c *FloatStripedCounter) Reset(pool *par.Pool) {
-	pool.RunTasks(len(c.lanes), func(i int) {
+	c.reset = func(i int) {
 		lane, dirty := c.lanes[i], c.dirty[i]
 		for b := range dirty {
 			if !dirty[b] {
@@ -188,7 +197,28 @@ func (c *FloatStripedCounter) Reset(pool *par.Pool) {
 			}
 			dirty[b] = false
 		}
-	})
+	}
+	c.fold = func(b, lo, hi int) {
+		base, baseDirty := c.lanes[0], c.dirty[0]
+		for l, lane := range c.lanes[1:] {
+			if !c.dirty[l+1][b] {
+				continue
+			}
+			baseDirty[b] = true
+			for u := lo; u < hi; u++ {
+				base[u] += lane[u]
+			}
+		}
+	}
+	return c
+}
+
+// Lanes returns the number of lanes.
+func (c *FloatStripedCounter) Lanes() int { return len(c.lanes) }
+
+// Reset clears every touched block for a new pass.
+func (c *FloatStripedCounter) Reset(pool *par.Pool) {
+	pool.RunTasks(len(c.lanes), c.reset)
 }
 
 // AddLane accumulates weight w on node u in the given lane. Only the
@@ -206,18 +236,7 @@ func (c *FloatStripedCounter) Fold(pool *par.Pool) {
 	if len(c.lanes) == 1 {
 		return
 	}
-	base, baseDirty := c.lanes[0], c.dirty[0]
-	pool.ForChunks(c.n, func(b, lo, hi int) {
-		for l, lane := range c.lanes[1:] {
-			if !c.dirty[l+1][b] {
-				continue
-			}
-			baseDirty[b] = true
-			for u := lo; u < hi; u++ {
-				base[u] += lane[u]
-			}
-		}
-	})
+	pool.ForChunks(c.n, c.fold)
 }
 
 // Estimate returns the folded weighted degree of node u; call after

@@ -127,9 +127,11 @@ func (fs *FileStream) Shards(k int) []EdgeStream {
 		}
 		fs.shards = fs.shardsFn(k)
 		fs.shardK = k
+		backing := make([]readerStream, len(fs.shards))
 		fs.wrap = make([]EdgeStream, len(fs.shards))
 		for i, sh := range fs.shards {
-			fs.wrap[i] = &readerStream{n: fs.n, r: sh}
+			backing[i] = readerStream{n: fs.n, r: sh}
+			fs.wrap[i] = &backing[i]
 		}
 	}
 	return fs.wrap

@@ -43,20 +43,39 @@ func streamScanLanes(n, workers, counters int) int {
 	return lanes
 }
 
-// scanShardedPass drives one pass over the stream's shards, one worker
-// per shard: visit is called for every in-range edge with the shard's
+// shardScanner drives the per-pass sharded edge scans of the parallel
+// peelers: visit is called for every in-range edge with the shard's
 // lane index and reports whether the edge survives (is counted).
 // Per-shard counts and errors merge in shard order. A non-nil ctx is
 // polled periodically inside each shard scan; its error wins over
 // per-shard errors so callers can map it to a PartialError.
-func scanShardedPass(ctx context.Context, ss ShardedStream, pool *par.Pool, lanes, n int, visit func(lane int, e Edge) bool) (int64, error) {
-	shards := ss.Shards(lanes)
-	counts := make([]int64, len(shards))
-	errs := make([]error, len(shards))
-	pool.RunTasks(len(shards), func(i int) {
-		sh := shards[i]
+//
+// A scanner is built once per solve — the shard task body, the visit
+// hook, and the count and error slots are all allocated up front — so
+// the per-pass scan itself allocates nothing (streams memoize their
+// shard sets, and readers keep their decode buffers across passes).
+type shardScanner struct {
+	ss    ShardedStream
+	pool  *par.Pool
+	lanes int
+	n     int
+	ctx   context.Context
+	visit func(lane int, e Edge) bool
+
+	shards []EdgeStream
+	counts []int64
+	errs   []error
+	task   func(i int)
+}
+
+// newShardScanner returns a scanner over ss with the fixed lane count;
+// visit must be safe for one concurrent call per lane.
+func newShardScanner(ctx context.Context, ss ShardedStream, pool *par.Pool, lanes, n int, visit func(lane int, e Edge) bool) *shardScanner {
+	s := &shardScanner{ss: ss, pool: pool, lanes: lanes, n: n, ctx: ctx, visit: visit}
+	s.task = func(i int) {
+		sh := s.shards[i]
 		if err := sh.Reset(); err != nil {
-			errs[i] = err
+			s.errs[i] = err
 			return
 		}
 		var scanned int64
@@ -66,34 +85,52 @@ func scanShardedPass(ctx context.Context, ss ShardedStream, pool *par.Pool, lane
 				return
 			}
 			if err != nil {
-				errs[i] = err
+				s.errs[i] = err
 				return
 			}
-			if err := pollCtx(ctx, scanned); err != nil {
-				errs[i] = err
+			if err := pollCtx(s.ctx, scanned); err != nil {
+				s.errs[i] = err
 				return
 			}
 			scanned++
-			if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
-				errs[i] = fmt.Errorf("%w: edge (%d,%d) with n=%d", graph.ErrNodeRange, e.U, e.V, n)
+			if e.U < 0 || int(e.U) >= s.n || e.V < 0 || int(e.V) >= s.n {
+				s.errs[i] = fmt.Errorf("%w: edge (%d,%d) with n=%d", graph.ErrNodeRange, e.U, e.V, s.n)
 				return
 			}
-			if visit(i, e) {
-				counts[i]++
+			if s.visit(i, e) {
+				s.counts[i]++
 			}
 		}
-	})
-	if ctx != nil {
-		if err := ctx.Err(); err != nil {
+	}
+	return s
+}
+
+// scan runs one full pass over the shards and returns the surviving
+// edge count.
+func (s *shardScanner) scan() (int64, error) {
+	s.shards = s.ss.Shards(s.lanes)
+	if cap(s.counts) < len(s.shards) {
+		s.counts = make([]int64, len(s.shards))
+		s.errs = make([]error, len(s.shards))
+	}
+	s.counts = s.counts[:len(s.shards)]
+	s.errs = s.errs[:len(s.shards)]
+	for i := range s.shards {
+		s.counts[i] = 0
+		s.errs[i] = nil
+	}
+	s.pool.RunTasks(len(s.shards), s.task)
+	if s.ctx != nil {
+		if err := s.ctx.Err(); err != nil {
 			return 0, err
 		}
 	}
 	var edges int64
-	for i := range shards {
-		if errs[i] != nil {
-			return 0, errs[i]
+	for i := range s.shards {
+		if s.errs[i] != nil {
+			return 0, s.errs[i]
 		}
-		edges += counts[i]
+		edges += s.counts[i]
 	}
 	return edges, nil
 }
@@ -130,7 +167,8 @@ func UndirectedParallelOpts(es EdgeStream, eps float64, o core.Opts) (*core.Resu
 	if n == 0 {
 		return nil, graph.ErrEmptyGraph
 	}
-	pool := par.New(workers)
+	pool := par.Acquire(workers)
+	defer pool.Release()
 
 	alive := make([]bool, n)
 	for u := range alive {
@@ -145,6 +183,31 @@ func UndirectedParallelOpts(es EdgeStream, eps float64, o core.Opts) (*core.Resu
 
 	lanes := streamScanLanes(n, workers, 1)
 	counter := NewStripedCounter(n, lanes)
+	scanner := newShardScanner(o.Ctx, ss, pool, lanes, n, func(lane int, e Edge) bool {
+		if alive[e.U] && alive[e.V] {
+			counter.AddLane(lane, e.U)
+			counter.AddLane(lane, e.V)
+			return true
+		}
+		return false
+	})
+	// The removal sweep body is hoisted out of the pass loop (cut and
+	// pass ride in captured variables) and folds per-chunk counts
+	// through a reusable slot array, so a pass allocates nothing.
+	var cut float64
+	curPass := 0
+	slots := make([]int64, par.NumChunks(n))
+	removeBelowCut := func(b, lo, hi int) {
+		var cnt int64
+		for u := lo; u < hi; u++ {
+			if alive[u] && float64(counter.Estimate(int32(u))) <= cut {
+				alive[u] = false
+				removedAt[u] = curPass
+				cnt++
+			}
+		}
+		slots[b] = cnt
+	}
 	threshold := 2 * (1 + eps)
 	pass := 0
 	prev := core.PassStat{Nodes: n}
@@ -154,14 +217,7 @@ func UndirectedParallelOpts(es EdgeStream, eps float64, o core.Opts) (*core.Resu
 		}
 		pass++
 		counter.Reset(pool)
-		edges, err := scanShardedPass(o.Ctx, ss, pool, lanes, n, func(lane int, e Edge) bool {
-			if alive[e.U] && alive[e.V] {
-				counter.AddLane(lane, e.U)
-				counter.AddLane(lane, e.V)
-				return true
-			}
-			return false
-		})
+		edges, err := scanner.scan()
 		if err != nil {
 			if o.Ctx != nil && err == o.Ctx.Err() {
 				return nil, &core.PartialError{Passes: pass - 1, Trace: trace, Err: err}
@@ -176,18 +232,13 @@ func UndirectedParallelOpts(es EdgeStream, eps float64, o core.Opts) (*core.Resu
 			bestDensity = rho
 			bestPass = pass
 		}
-		cut := threshold * rho
-		removed := int(pool.SumInt64(n, func(_, lo, hi int) int64 {
-			var cnt int64
-			for u := lo; u < hi; u++ {
-				if alive[u] && float64(counter.Estimate(int32(u))) <= cut {
-					alive[u] = false
-					removedAt[u] = pass
-					cnt++
-				}
-			}
-			return cnt
-		}))
+		cut = threshold * rho
+		curPass = pass
+		pool.ForChunks(n, removeBelowCut)
+		removed := 0
+		for _, s := range slots {
+			removed += int(s)
+		}
 		if removed == 0 {
 			// Unreachable with exact counting unless float rounding pulls
 			// the cut below the minimum degree; mirror the sequential
@@ -272,7 +323,8 @@ func DirectedParallelOpts(es EdgeStream, c, eps float64, o core.Opts) (*core.Dir
 	if n == 0 {
 		return nil, graph.ErrEmptyGraph
 	}
-	pool := par.New(workers)
+	pool := par.Acquire(workers)
+	defer pool.Release()
 
 	aliveS := make([]bool, n)
 	aliveT := make([]bool, n)
@@ -291,6 +343,49 @@ func DirectedParallelOpts(es EdgeStream, c, eps float64, o core.Opts) (*core.Dir
 	lanes := streamScanLanes(n, workers, 2)
 	out := NewStripedCounter(n, lanes)
 	in := NewStripedCounter(n, lanes)
+	scanner := newShardScanner(o.Ctx, ss, pool, lanes, n, func(lane int, e Edge) bool {
+		if aliveS[e.U] && aliveT[e.V] {
+			out.AddLane(lane, e.U)
+			in.AddLane(lane, e.V)
+			return true
+		}
+		return false
+	})
+	// Both removal sweep bodies are hoisted out of the pass loop; cut
+	// and pass ride in captured variables and per-chunk counts fold
+	// through a reusable slot array (see UndirectedParallelOpts).
+	var cut float64
+	curPass := 0
+	slots := make([]int64, par.NumChunks(n))
+	removeS := func(b, lo, hi int) {
+		var cnt int64
+		for u := lo; u < hi; u++ {
+			if aliveS[u] && float64(out.Estimate(int32(u))) <= cut {
+				aliveS[u] = false
+				removedAtS[u] = curPass
+				cnt++
+			}
+		}
+		slots[b] = cnt
+	}
+	removeT := func(b, lo, hi int) {
+		var cnt int64
+		for v := lo; v < hi; v++ {
+			if aliveT[v] && float64(in.Estimate(int32(v))) <= cut {
+				aliveT[v] = false
+				removedAtT[v] = curPass
+				cnt++
+			}
+		}
+		slots[b] = cnt
+	}
+	sumSlots := func() int {
+		total := 0
+		for _, s := range slots {
+			total += int(s)
+		}
+		return total
+	}
 	pass := 0
 	prev := core.PassStat{Nodes: 2 * n}
 	for sizeS > 0 && sizeT > 0 {
@@ -300,14 +395,7 @@ func DirectedParallelOpts(es EdgeStream, c, eps float64, o core.Opts) (*core.Dir
 		pass++
 		out.Reset(pool)
 		in.Reset(pool)
-		edges, err := scanShardedPass(o.Ctx, ss, pool, lanes, n, func(lane int, e Edge) bool {
-			if aliveS[e.U] && aliveT[e.V] {
-				out.AddLane(lane, e.U)
-				in.AddLane(lane, e.V)
-				return true
-			}
-			return false
-		})
+		edges, err := scanner.scan()
 		if err != nil {
 			if o.Ctx != nil && err == o.Ctx.Err() {
 				return nil, &core.PartialError{Passes: pass - 1, DirectedTrace: trace, Err: err}
@@ -322,37 +410,20 @@ func DirectedParallelOpts(es EdgeStream, c, eps float64, o core.Opts) (*core.Dir
 			bestPass = pass
 		}
 		stat := core.DirectedPassStat{Pass: pass, Edges: edges, Density: rho}
+		curPass = pass
 		if float64(sizeS) >= c*float64(sizeT) {
-			cut := (1 + eps) * float64(edges) / float64(sizeS)
-			stat.RemovedS = int(pool.SumInt64(n, func(_, lo, hi int) int64 {
-				var cnt int64
-				for u := lo; u < hi; u++ {
-					if aliveS[u] && float64(out.Estimate(int32(u))) <= cut {
-						aliveS[u] = false
-						removedAtS[u] = pass
-						cnt++
-					}
-				}
-				return cnt
-			}))
+			cut = (1 + eps) * float64(edges) / float64(sizeS)
+			pool.ForChunks(n, removeS)
+			stat.RemovedS = sumSlots()
 			if stat.RemovedS == 0 {
 				return nil, fmt.Errorf("stream: directed pass %d removed no S nodes", pass)
 			}
 			sizeS -= stat.RemovedS
 			stat.PeeledSide = 'S'
 		} else {
-			cut := (1 + eps) * float64(edges) / float64(sizeT)
-			stat.RemovedT = int(pool.SumInt64(n, func(_, lo, hi int) int64 {
-				var cnt int64
-				for v := lo; v < hi; v++ {
-					if aliveT[v] && float64(in.Estimate(int32(v))) <= cut {
-						aliveT[v] = false
-						removedAtT[v] = pass
-						cnt++
-					}
-				}
-				return cnt
-			}))
+			cut = (1 + eps) * float64(edges) / float64(sizeT)
+			pool.ForChunks(n, removeT)
+			stat.RemovedT = sumSlots()
 			if stat.RemovedT == 0 {
 				return nil, fmt.Errorf("stream: directed pass %d removed no T nodes", pass)
 			}

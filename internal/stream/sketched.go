@@ -77,7 +77,8 @@ func UndirectedSketchedOpts(es EdgeStream, eps float64, counter StripedDegreeCou
 	if n == 0 {
 		return nil, graph.ErrEmptyGraph
 	}
-	pool := par.New(workers)
+	pool := par.Acquire(workers)
+	defer pool.Release()
 
 	alive := make([]bool, n)
 	for u := range alive {
@@ -91,6 +92,14 @@ func UndirectedSketchedOpts(es EdgeStream, eps float64, counter StripedDegreeCou
 	var trace []core.PassStat
 
 	lanes := counter.Lanes()
+	scanner := newShardScanner(o.Ctx, ss, pool, lanes, n, func(lane int, e Edge) bool {
+		if alive[e.U] && alive[e.V] {
+			counter.AddLane(lane, e.U)
+			counter.AddLane(lane, e.V)
+			return true
+		}
+		return false
+	})
 	threshold := 2 * (1 + eps)
 	pass := 0
 	prev := core.PassStat{Nodes: n}
@@ -100,14 +109,7 @@ func UndirectedSketchedOpts(es EdgeStream, eps float64, counter StripedDegreeCou
 		}
 		pass++
 		counter.Reset()
-		edges, err := scanShardedPass(o.Ctx, ss, pool, lanes, n, func(lane int, e Edge) bool {
-			if alive[e.U] && alive[e.V] {
-				counter.AddLane(lane, e.U)
-				counter.AddLane(lane, e.V)
-				return true
-			}
-			return false
-		})
+		edges, err := scanner.scan()
 		if err != nil {
 			if o.Ctx != nil && err == o.Ctx.Err() {
 				return nil, &core.PartialError{Passes: pass - 1, Trace: trace, Err: err}

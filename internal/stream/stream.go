@@ -39,9 +39,11 @@ type EdgeStream interface {
 
 // SliceStream streams a fixed slice of edges. It implements EdgeStream.
 type SliceStream struct {
-	n     int
-	edges []Edge
-	pos   int
+	n      int
+	edges  []Edge
+	pos    int
+	shards []EdgeStream // memoized per shardK; repositioned by Reset each pass
+	shardK int
 }
 
 // NewSliceStream returns a stream over the given edges on n nodes.
@@ -86,15 +88,25 @@ type ShardedStream interface {
 
 // Shards implements ShardedStream: the edge slice is split into up to k
 // contiguous ranges through the edgeio resident source, so in-memory
-// and on-disk scans use one decomposition rule.
+// and on-disk scans use one decomposition rule. The shard set is
+// memoized per k, so the per-pass calls of the parallel peelers reuse
+// the same cursors.
 func (s *SliceStream) Shards(k int) []EdgeStream {
-	src := edgeio.SliceSource{Edges: s.edges}
-	readers := src.Shards(k)
-	out := make([]EdgeStream, len(readers))
-	for i, r := range readers {
-		out[i] = &readerStream{n: s.n, r: r}
+	if k < 1 {
+		k = 1
 	}
-	return out
+	if s.shards == nil || s.shardK != k {
+		src := edgeio.SliceSource{Edges: s.edges}
+		readers := src.Shards(k)
+		backing := make([]readerStream, len(readers))
+		s.shards = make([]EdgeStream, len(readers))
+		for i, r := range readers {
+			backing[i] = readerStream{n: s.n, r: r}
+			s.shards[i] = &backing[i]
+		}
+		s.shardK = k
+	}
+	return s.shards
 }
 
 // FromUndirected adapts a frozen undirected graph into a stream that

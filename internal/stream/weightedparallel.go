@@ -30,21 +30,35 @@ func weightedScanLanes(n, counters int) int {
 	return lanes
 }
 
-// scanWeightedShardedPass drives one pass over the weighted stream's
-// shards, one task per shard: visit reports whether the edge survives;
-// surviving edge counts and weights merge in shard order (the weight
-// fold is float, so the fixed shard decomposition is what keeps it
-// reproducible). A non-nil ctx is polled periodically; its error wins
-// over per-shard errors.
-func scanWeightedShardedPass(ctx context.Context, ws ShardedWeightedStream, pool *par.Pool, lanes, n int, visit func(lane int, e WeightedEdge) bool) (int64, float64, error) {
-	shards := ws.WeightedShards(lanes)
-	counts := make([]int64, len(shards))
-	weights := make([]float64, len(shards))
-	errs := make([]error, len(shards))
-	pool.RunTasks(len(shards), func(i int) {
-		sh := shards[i]
+// weightedShardScanner is shardScanner for the weighted lane: visit
+// reports whether the edge survives; surviving edge counts and weights
+// merge in shard order (the weight fold is float, so the fixed shard
+// decomposition is what keeps it reproducible). A non-nil ctx is polled
+// periodically; its error wins over per-shard errors. Built once per
+// solve so a pass allocates nothing.
+type weightedShardScanner struct {
+	ws    ShardedWeightedStream
+	pool  *par.Pool
+	lanes int
+	n     int
+	ctx   context.Context
+	visit func(lane int, e WeightedEdge) bool
+
+	shards  []WeightedEdgeStream
+	counts  []int64
+	weights []float64
+	errs    []error
+	task    func(i int)
+}
+
+// newWeightedShardScanner returns a scanner over ws with the fixed lane
+// count; visit must be safe for one concurrent call per lane.
+func newWeightedShardScanner(ctx context.Context, ws ShardedWeightedStream, pool *par.Pool, lanes, n int, visit func(lane int, e WeightedEdge) bool) *weightedShardScanner {
+	s := &weightedShardScanner{ws: ws, pool: pool, lanes: lanes, n: n, ctx: ctx, visit: visit}
+	s.task = func(i int) {
+		sh := s.shards[i]
 		if err := sh.Reset(); err != nil {
-			errs[i] = err
+			s.errs[i] = err
 			return
 		}
 		var scanned int64
@@ -54,37 +68,58 @@ func scanWeightedShardedPass(ctx context.Context, ws ShardedWeightedStream, pool
 				return
 			}
 			if err != nil {
-				errs[i] = err
+				s.errs[i] = err
 				return
 			}
-			if err := pollCtx(ctx, scanned); err != nil {
-				errs[i] = err
+			if err := pollCtx(s.ctx, scanned); err != nil {
+				s.errs[i] = err
 				return
 			}
 			scanned++
-			if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
-				errs[i] = fmt.Errorf("%w: edge (%d,%d) with n=%d", graph.ErrNodeRange, e.U, e.V, n)
+			if e.U < 0 || int(e.U) >= s.n || e.V < 0 || int(e.V) >= s.n {
+				s.errs[i] = fmt.Errorf("%w: edge (%d,%d) with n=%d", graph.ErrNodeRange, e.U, e.V, s.n)
 				return
 			}
-			if visit(i, e) {
-				counts[i]++
-				weights[i] += e.Weight
+			if s.visit(i, e) {
+				s.counts[i]++
+				s.weights[i] += e.Weight
 			}
 		}
-	})
-	if ctx != nil {
-		if err := ctx.Err(); err != nil {
+	}
+	return s
+}
+
+// scan runs one full pass over the shards and returns the surviving
+// edge count and weight.
+func (s *weightedShardScanner) scan() (int64, float64, error) {
+	s.shards = s.ws.WeightedShards(s.lanes)
+	if cap(s.counts) < len(s.shards) {
+		s.counts = make([]int64, len(s.shards))
+		s.weights = make([]float64, len(s.shards))
+		s.errs = make([]error, len(s.shards))
+	}
+	s.counts = s.counts[:len(s.shards)]
+	s.weights = s.weights[:len(s.shards)]
+	s.errs = s.errs[:len(s.shards)]
+	for i := range s.shards {
+		s.counts[i] = 0
+		s.weights[i] = 0
+		s.errs[i] = nil
+	}
+	s.pool.RunTasks(len(s.shards), s.task)
+	if s.ctx != nil {
+		if err := s.ctx.Err(); err != nil {
 			return 0, 0, err
 		}
 	}
 	var edges int64
 	var weight float64
-	for i := range shards {
-		if errs[i] != nil {
-			return 0, 0, errs[i]
+	for i := range s.shards {
+		if s.errs[i] != nil {
+			return 0, 0, s.errs[i]
 		}
-		edges += counts[i]
-		weight += weights[i]
+		edges += s.counts[i]
+		weight += s.weights[i]
 	}
 	return edges, weight, nil
 }
@@ -121,7 +156,8 @@ func UndirectedWeightedParallelOpts(es WeightedEdgeStream, eps float64, o core.O
 	if n == 0 {
 		return nil, graph.ErrEmptyGraph
 	}
-	pool := par.New(o.Workers)
+	pool := par.Acquire(o.Workers)
+	defer pool.Release()
 
 	alive := make([]bool, n)
 	for u := range alive {
@@ -136,6 +172,30 @@ func UndirectedWeightedParallelOpts(es WeightedEdgeStream, eps float64, o core.O
 
 	lanes := weightedScanLanes(n, 1)
 	counter := NewFloatStripedCounter(n, lanes)
+	scanner := newWeightedShardScanner(o.Ctx, ws, pool, lanes, n, func(lane int, e WeightedEdge) bool {
+		if alive[e.U] && alive[e.V] {
+			counter.AddLane(lane, e.U, e.Weight)
+			counter.AddLane(lane, e.V, e.Weight)
+			return true
+		}
+		return false
+	})
+	// Hoisted removal sweep with a reusable slot array; see
+	// UndirectedParallelOpts.
+	var cut float64
+	curPass := 0
+	slots := make([]int64, par.NumChunks(n))
+	removeBelowCut := func(b, lo, hi int) {
+		var cnt int64
+		for u := lo; u < hi; u++ {
+			if alive[u] && counter.Estimate(int32(u)) <= cut {
+				alive[u] = false
+				removedAt[u] = curPass
+				cnt++
+			}
+		}
+		slots[b] = cnt
+	}
 	threshold := 2 * (1 + eps)
 	pass := 0
 	prev := core.PassStat{Nodes: n}
@@ -145,14 +205,7 @@ func UndirectedWeightedParallelOpts(es WeightedEdgeStream, eps float64, o core.O
 		}
 		pass++
 		counter.Reset(pool)
-		edges, weight, err := scanWeightedShardedPass(o.Ctx, ws, pool, lanes, n, func(lane int, e WeightedEdge) bool {
-			if alive[e.U] && alive[e.V] {
-				counter.AddLane(lane, e.U, e.Weight)
-				counter.AddLane(lane, e.V, e.Weight)
-				return true
-			}
-			return false
-		})
+		edges, weight, err := scanner.scan()
 		if err != nil {
 			if o.Ctx != nil && err == o.Ctx.Err() {
 				return nil, &core.PartialError{Passes: pass - 1, Trace: trace, Err: err}
@@ -165,18 +218,13 @@ func UndirectedWeightedParallelOpts(es WeightedEdgeStream, eps float64, o core.O
 			bestDensity = rho
 			bestPass = pass
 		}
-		cut := threshold*rho + 1e-12
-		removed := int(pool.SumInt64(n, func(_, lo, hi int) int64 {
-			var cnt int64
-			for u := lo; u < hi; u++ {
-				if alive[u] && counter.Estimate(int32(u)) <= cut {
-					alive[u] = false
-					removedAt[u] = pass
-					cnt++
-				}
-			}
-			return cnt
-		}))
+		cut = threshold*rho + 1e-12
+		curPass = pass
+		pool.ForChunks(n, removeBelowCut)
+		removed := 0
+		for _, s := range slots {
+			removed += int(s)
+		}
 		if removed == 0 {
 			return nil, fmt.Errorf("stream: weighted pass %d removed no nodes (ρ=%v)", pass, rho)
 		}

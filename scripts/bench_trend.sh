@@ -3,38 +3,52 @@
 # baseline and fail when a benchmark regressed by more than the
 # threshold. This is the perf-trajectory gate: CI emits a fresh data
 # point per run (scripts/bench_to_json.sh) and this script keeps the
-# gated sweeps from silently losing their throughput.
+# gated sweeps from silently losing their throughput — or, for the
+# alloc-gated sweeps, silently regrowing per-op allocations that the
+# zero-alloc scan paths were built to eliminate.
 #
 # Usage:
-#   scripts/bench_trend.sh BASELINE.json FRESH.json [allowlist] [max-ratio]
+#   scripts/bench_trend.sh BASELINE.json FRESH.json [allowlist] [max-ratio] [alloc-allowlist] [alloc-max-ratio]
 #
-#   allowlist    comma-separated benchmark-name prefixes; a benchmark
-#                is gated when its name starts with any of them
-#                (default: BenchmarkParallelPeel)
-#   max-ratio    fail when fresh_ns > baseline_ns * max-ratio
-#                (default: 1.30, i.e. a >30% regression)
+#   allowlist        comma-separated benchmark-name prefixes; a benchmark
+#                    is gated on ns/op when its name starts with any of
+#                    them (default: BenchmarkParallelPeel)
+#   max-ratio        fail when fresh_ns > baseline_ns * max-ratio
+#                    (default: 1.30, i.e. a >30% regression)
+#   alloc-allowlist  comma-separated prefixes gated on allocs_per_op
+#                    (default: empty, i.e. alloc gate off)
+#   alloc-max-ratio  fail when fresh_allocs > baseline_allocs *
+#                    alloc-max-ratio + 4 (default: 1.50; the +4 absolute
+#                    slack keeps near-zero baselines from gating on a
+#                    single cold sync.Pool refill)
 #
-# Benchmarks present in only one file are reported but never fail the
-# gate, so adding or renaming benchmarks doesn't break CI.
+# Benchmarks present in only one file (or missing allocs_per_op on
+# either side) are reported but never fail the gate, so adding or
+# renaming benchmarks doesn't break CI.
 set -eu
 
-baseline=${1:?usage: bench_trend.sh BASELINE.json FRESH.json [allowlist] [max-ratio]}
-fresh=${2:?usage: bench_trend.sh BASELINE.json FRESH.json [allowlist] [max-ratio]}
+baseline=${1:?usage: bench_trend.sh BASELINE.json FRESH.json [allowlist] [max-ratio] [alloc-allowlist] [alloc-max-ratio]}
+fresh=${2:?usage: bench_trend.sh BASELINE.json FRESH.json [allowlist] [max-ratio] [alloc-allowlist] [alloc-max-ratio]}
 allowlist=${3:-BenchmarkParallelPeel}
 maxratio=${4:-1.30}
+allocallowlist=${5:-}
+allocmaxratio=${6:-1.50}
 
-# Extract "name ns_per_op" lines from the one-benchmark-per-line JSON
-# emitted by bench_to_json.sh.
+# Extract "name ns_per_op allocs_per_op" lines from the
+# one-benchmark-per-line JSON emitted by bench_to_json.sh; benchmarks
+# that report no allocations carry "-" in the third column.
 extract() {
     awk '
     /"name":/ {
         line = $0
         if (match(line, /"name":"[^"]*"/)) {
             name = substr(line, RSTART + 8, RLENGTH - 9)
-            if (match(line, /"ns_per_op":[0-9.eE+-]+/)) {
+            ns = ""; allocs = "-"
+            if (match(line, /"ns_per_op":[0-9.eE+-]+/))
                 ns = substr(line, RSTART + 12, RLENGTH - 12)
-                print name, ns
-            }
+            if (match(line, /"allocs_per_op":[0-9.eE+-]+/))
+                allocs = substr(line, RSTART + 16, RLENGTH - 16)
+            if (ns != "") print name, ns, allocs
         }
     }' "$1"
 }
@@ -44,24 +58,49 @@ trap 'rm -f "$old" "$new"' EXIT
 extract "$baseline" > "$old"
 extract "$fresh" > "$new"
 
-awk -v allowlist="$allowlist" -v maxratio="$maxratio" '
-BEGIN { np = split(allowlist, prefixes, ",") }
+awk -v allowlist="$allowlist" -v maxratio="$maxratio" \
+    -v allocallowlist="$allocallowlist" -v allocmaxratio="$allocmaxratio" '
+BEGIN {
+    np = split(allowlist, prefixes, ",")
+    nap = split(allocallowlist, aprefixes, ",")
+}
 function gated(name,    i) {
     for (i = 1; i <= np; i++) {
         if (prefixes[i] != "" && index(name, prefixes[i]) == 1) return 1
     }
     return 0
 }
-NR == FNR { base[$1] = $2; next }
-gated($1) {
-    seen++
-    if (!($1 in base)) { printf "new (no baseline):  %s  %.0f ns/op\n", $1, $2; next }
-    ratio = $2 / base[$1]
-    status = "ok"
-    if (ratio > maxratio) { status = "REGRESSION"; failed++ }
-    printf "%-11s %s  %.0f -> %.0f ns/op  (x%.2f, limit x%.2f)\n", status, $1, base[$1], $2, ratio, maxratio
+function allocgated(name,    i) {
+    for (i = 1; i <= nap; i++) {
+        if (aprefixes[i] != "" && index(name, aprefixes[i]) == 1) return 1
+    }
+    return 0
+}
+NR == FNR { base[$1] = $2; basealloc[$1] = $3; next }
+{
+    if (gated($1)) {
+        seen++
+        if (!($1 in base)) { printf "new (no baseline):  %s  %.0f ns/op\n", $1, $2 }
+        else {
+            ratio = $2 / base[$1]
+            status = "ok"
+            if (ratio > maxratio) { status = "REGRESSION"; failed++ }
+            printf "%-11s %s  %.0f -> %.0f ns/op  (x%.2f, limit x%.2f)\n", status, $1, base[$1], $2, ratio, maxratio
+        }
+    }
+    if (allocgated($1)) {
+        if (!($1 in basealloc) || basealloc[$1] == "-" || $3 == "-") {
+            printf "no alloc baseline:  %s  %s allocs/op\n", $1, $3
+        } else {
+            seen++
+            limit = basealloc[$1] * allocmaxratio + 4
+            status = "ok"
+            if ($3 + 0 > limit) { status = "ALLOC-REGRESSION"; failed++ }
+            printf "%-11s %s  %.0f -> %.0f allocs/op  (limit %.0f)\n", status, $1, basealloc[$1], $3, limit
+        }
+    }
 }
 END {
-    if (!seen) { print "bench_trend: no benchmarks matching allowlist \"" allowlist "\" in fresh run" > "/dev/stderr"; exit 1 }
-    if (failed) { print "bench_trend: " failed " benchmark(s) regressed beyond x" maxratio > "/dev/stderr"; exit 1 }
+    if (!seen) { print "bench_trend: no benchmarks matching allowlists \"" allowlist "\" / \"" allocallowlist "\" in fresh run" > "/dev/stderr"; exit 1 }
+    if (failed) { print "bench_trend: " failed " benchmark(s) regressed beyond the gate" > "/dev/stderr"; exit 1 }
 }' "$old" "$new"
