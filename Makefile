@@ -6,11 +6,14 @@ GO ?= go
 # Benchmarks gated by the perf-trajectory trend (comma-separated
 # name-prefix allowlist for scripts/bench_trend.sh) and the go test
 # -bench pattern + packages that produce them.
-BENCH_GATED = BenchmarkParallelPeel,BenchmarkMapReducePeel,BenchmarkMapReduceSpill,BenchmarkFileStreamPeel,BenchmarkBinaryStreamPeel,BenchmarkConvert,BenchmarkCore,BenchmarkServe,BenchmarkDynamicChurn,BenchmarkDynamicRecompute
+BENCH_GATED = BenchmarkParallelPeel,BenchmarkMapReducePeel,BenchmarkMapReduceCheckpoint,BenchmarkMapReduceSpill,BenchmarkFileStreamPeel,BenchmarkBinaryStreamPeel,BenchmarkConvert,BenchmarkCore,BenchmarkServe,BenchmarkDynamicChurn,BenchmarkDynamicRecompute
 # Benchmarks additionally gated on allocs_per_op (the disk-peel scan
-# paths are expected to stay allocation-flat as workers scale).
-BENCH_ALLOC_GATED = BenchmarkFileStreamPeel,BenchmarkBinaryStreamPeel
-BENCH_PATTERN = BenchmarkTable1|BenchmarkParallelPeel|BenchmarkMapReducePeel|BenchmarkMapReduceSpill|BenchmarkFileStreamPeel|BenchmarkBinaryStreamPeel|BenchmarkConvert|BenchmarkCore|BenchmarkServe|BenchmarkDynamic
+# paths are expected to stay allocation-flat as workers scale, and the
+# happy-path MapReduce peel must not grow allocations from the
+# fault-injection/speculation/checkpoint plumbing when no faults are
+# configured).
+BENCH_ALLOC_GATED = BenchmarkFileStreamPeel,BenchmarkBinaryStreamPeel,BenchmarkMapReducePeel
+BENCH_PATTERN = BenchmarkTable1|BenchmarkParallelPeel|BenchmarkMapReducePeel|BenchmarkMapReduceCheckpoint|BenchmarkMapReduceSpill|BenchmarkFileStreamPeel|BenchmarkBinaryStreamPeel|BenchmarkConvert|BenchmarkCore|BenchmarkServe|BenchmarkDynamic
 BENCH_PKGS = . ./internal/core ./internal/serve
 
 .PHONY: build test race bench bench-core bench-mr bench-json bench-trend fmt fmt-check vet api-check api-snapshot serve-smoke deprecated-check ci
@@ -35,11 +38,12 @@ bench-core:
 	$(GO) test -bench='BenchmarkCore' -benchtime=1x -run='^$$' ./internal/core
 
 # The MapReduce and out-of-core benchmarks: the cluster-shape sweep,
-# the spill-budget sweep, and the sharded disk-stream sweep — gated
-# against the committed baseline like the peel sweeps.
+# the checkpoint sweep, the spill-budget sweep, and the sharded
+# disk-stream sweep — gated against the committed baseline like the
+# peel sweeps.
 bench-mr:
-	$(GO) test -bench='BenchmarkMapReducePeel|BenchmarkMapReduceSpill|BenchmarkFileStreamPeel|BenchmarkBinaryStreamPeel|BenchmarkConvert' -benchtime=1x -count=3 -run='^$$' . | tee /dev/stderr | scripts/bench_to_json.sh > BENCH_mr_fresh.json
-	scripts/bench_trend.sh BENCH_ci.json BENCH_mr_fresh.json 'BenchmarkMapReducePeel,BenchmarkMapReduceSpill,BenchmarkFileStreamPeel,BenchmarkBinaryStreamPeel,BenchmarkConvert' 1.30 '$(BENCH_ALLOC_GATED)' 1.50
+	$(GO) test -bench='BenchmarkMapReducePeel|BenchmarkMapReduceCheckpoint|BenchmarkMapReduceSpill|BenchmarkFileStreamPeel|BenchmarkBinaryStreamPeel|BenchmarkConvert' -benchtime=1x -count=3 -run='^$$' . | tee /dev/stderr | scripts/bench_to_json.sh > BENCH_mr_fresh.json
+	scripts/bench_trend.sh BENCH_ci.json BENCH_mr_fresh.json 'BenchmarkMapReducePeel,BenchmarkMapReduceCheckpoint,BenchmarkMapReduceSpill,BenchmarkFileStreamPeel,BenchmarkBinaryStreamPeel,BenchmarkConvert' 1.30 '$(BENCH_ALLOC_GATED)' 1.50
 	@rm -f BENCH_mr_fresh.json
 
 # Emit BENCH_ci.json (benchmark name -> ns/op + allocs/op) from the

@@ -182,6 +182,40 @@ type MRResult = mapreduce.MRResult
 // MRDirectedResult is the directed analogue of MRResult.
 type MRDirectedResult = mapreduce.MRDirectedResult
 
+// MRFailurePlan is a deterministic failure schedule for the simulated
+// cluster, installed via MRConfig.Failures: explicit task and machine
+// losses plus seeded pseudo-random drop rates, optionally recovered by
+// speculative execution, and a simulated coordinator crash for the
+// checkpoint/restart path. Every recovery leaves results bit-identical.
+type MRFailurePlan = mapreduce.FailurePlan
+
+// MRFault is one injected failure of an MRFailurePlan.
+type MRFault = mapreduce.Fault
+
+// MRFaultKind selects what an MRFault takes down.
+type MRFaultKind = mapreduce.FaultKind
+
+// The injectable fault kinds, plus the map-task target reproducing the
+// legacy MRConfig.Straggler behavior.
+const (
+	MRFaultMap          = mapreduce.FaultMap
+	MRFaultReduce       = mapreduce.FaultReduce
+	MRFaultMachine      = mapreduce.FaultMachine
+	MRFirstSpilledShard = mapreduce.FirstSpilledShard
+)
+
+// MRFaultStats counts a MapReduce run's fault-tolerance events: task
+// reruns, speculative wins/losses, machine failures, checkpoints
+// written, and the round a resumed run restarted from. Carried in
+// MRResult.Faults and Solution.MRFaults.
+type MRFaultStats = mapreduce.FaultStats
+
+// ErrSimulatedCrash is returned by a MapReduce solve whose failure plan
+// requested a coordinator crash (MRFailurePlan.CrashAfterRound); a
+// subsequent solve with the same MRConfig.CheckpointDir resumes from
+// the persisted round checkpoint.
+var ErrSimulatedCrash = mapreduce.ErrSimulatedCrash
+
 // MapReduce runs Algorithm 1 as MapReduce rounds (§5.2): per pass, one
 // degree job and two marker-join filter jobs, executed on a simulated
 // cluster with real worker parallelism. Results match Undirected
@@ -210,7 +244,12 @@ func MapReduceDirected(g *DirectedGraph, c, eps float64, opts ...Option) (*MRDir
 	if err != nil {
 		return nil, err
 	}
-	return &MRDirectedResult{S: sol.S, T: sol.T, Density: sol.Density, Passes: sol.Passes, Rounds: sol.MRDirectedRounds, SpilledBytes: sol.Stats.BytesSpilled}, nil
+	r := &MRDirectedResult{S: sol.S, T: sol.T, Density: sol.Density, Passes: sol.Passes, Rounds: sol.MRDirectedRounds, SpilledBytes: sol.Stats.BytesSpilled}
+	if sol.MRFaults != nil {
+		r.Faults = *sol.MRFaults
+		r.StragglerReruns = r.Faults.MapTaskReruns
+	}
+	return r, nil
 }
 
 // MapReduceAtLeastK runs Algorithm 2 as MapReduce rounds; results match
@@ -243,5 +282,10 @@ func (s *Solution) asDirectedResult() *DirectedResult {
 
 // asMRResult reconstructs the legacy MRResult shape.
 func (s *Solution) asMRResult() *MRResult {
-	return &MRResult{Set: s.Set, Density: s.Density, Passes: s.Passes, Rounds: s.MRRounds, SpilledBytes: s.Stats.BytesSpilled}
+	r := &MRResult{Set: s.Set, Density: s.Density, Passes: s.Passes, Rounds: s.MRRounds, SpilledBytes: s.Stats.BytesSpilled}
+	if s.MRFaults != nil {
+		r.Faults = *s.MRFaults
+		r.StragglerReruns = r.Faults.MapTaskReruns
+	}
+	return r
 }

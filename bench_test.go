@@ -489,3 +489,35 @@ func BenchmarkMapReducePeel(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkMapReduceCheckpoint measures the round-level checkpoint tax:
+// the MapReduce peel persisting its full driver state (partitioned edge
+// dataset + manifest) every round, versus BenchmarkMapReducePeel's
+// happy path. Results are bit-identical with checkpointing on; the
+// ns/op spread and the checkpoint volume are the price of restartable
+// rounds.
+func BenchmarkMapReduceCheckpoint(b *testing.B) {
+	g, err := ds.GenerateChungLu(20000, 160000, 2.2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, every := range []int{1, 2} {
+		b.Run(fmt.Sprintf("every=%d", every), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(g.NumEdges() * 8)
+			dir := b.TempDir()
+			var ckBytes, ckWrites int64
+			for i := 0; i < b.N; i++ {
+				r, err := ds.MapReduce(g, 1, ds.WithMapReduceConfig(
+					ds.MRConfig{Mappers: 4, Reducers: 4, CheckpointEvery: every, CheckpointDir: dir}))
+				if err != nil {
+					b.Fatal(err)
+				}
+				ckBytes = r.Faults.CheckpointBytes
+				ckWrites = r.Faults.CheckpointsWritten
+			}
+			b.ReportMetric(float64(ckBytes)/(1<<20), "ckpt-MB/run")
+			b.ReportMetric(float64(ckWrites), "ckpts/run")
+		})
+	}
+}

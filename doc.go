@@ -227,6 +227,48 @@
 // shuffle records and bytes, and the per-machine shuffle attribution
 // (Solution.MRRounds) — the series behind the paper's Figure 6.7.
 //
+// # Fault tolerance and elasticity
+//
+// At the cluster scale the paper targets, task loss and machine churn
+// are the normal case, so the simulated cluster carries the classic
+// MapReduce recovery model — and, because every task is a pure function
+// of its durable input split, every recovery path below returns results
+// bit-identical to an undisturbed run at any cluster shape.
+//
+// MRConfig.Failures installs an MRFailurePlan, a deterministic failure
+// schedule: explicit MRFault entries drop a chosen map shard, reduce
+// partition, or whole machine at a chosen round (a machine loss takes
+// every map task scheduled on it and every shuffle partition it owns),
+// and Seed with MapRate/ReduceRate adds a reproducible pseudo-random
+// schedule derived from (seed, round, job, task) alone — never from
+// timing or worker identity, so the same plan always kills the same
+// tasks. A lost map task re-executes from its input split; a lost
+// reduce partition recomputes from the surviving shard buckets. With
+// Speculate the re-run races a speculative backup against the delayed
+// original, first result wins. The legacy MRConfig.Straggler boolean
+// maps onto the canned plan that drops the map task covering each
+// job's first spilled partition. All recovery work is counted in
+// MRResult.Faults / Solution.MRFaults (task reruns, speculative
+// wins/losses, machine failures) and aggregated by densestd under the
+// /metrics mapReduce block.
+//
+// MRConfig.CheckpointEvery/CheckpointDir turn on round-level
+// checkpoint/restart: every N completed rounds the driver persists the
+// surviving edge dataset (one binary spill file per partition, the
+// edgeio block format) plus a small JSON manifest of the coordinator
+// state — removal schedule, best pass and density, round trace, round
+// index, cluster shape — committed atomically by rename. A driver
+// started with the same CheckpointDir and job parameters resumes from
+// the manifest's round instead of from scratch (mismatched parameters
+// are rejected), replays the remaining rounds, and returns a Solution
+// bit-identical to an uninterrupted run — including after a mid-job
+// Machines change, the simulated autoscaling path, since the work
+// decomposition is a function of the data alone. Checkpoints written,
+// their bytes, and the resumed-from round land in the same counters;
+// MRFailurePlan.CrashAfterRound simulates the coordinator crash
+// (ErrSimulatedCrash) the restart path recovers from. A completed run
+// clears its checkpoint directory.
+//
 // # Serving
 //
 // The Problem/Solution pair is also the package's wire format: both

@@ -91,6 +91,29 @@ type SpillFile struct {
 	meta *binaryMeta
 }
 
+// OpenSpill rebuilds a SpillFile descriptor from a file on disk,
+// validating the format and recovering the record count from the block
+// index — the restart path: a MapReduce checkpoint references its
+// partition files by path alone, and the resumed run reopens them here
+// without the writer that produced them.
+func OpenSpill(path string) (*SpillFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("edgeio: %w", err)
+	}
+	defer f.Close()
+	meta, err := readBinaryMeta(f, path)
+	if err != nil {
+		return nil, err
+	}
+	return &SpillFile{
+		Path:    path,
+		Records: int(meta.edges),
+		Bytes:   meta.size,
+		meta:    meta,
+	}, nil
+}
+
 // OpenReader opens a cursor over the file's records. Close it when the
 // scan is done; a SpillFile may have any number of concurrent readers.
 func (sp *SpillFile) OpenReader() (*SpillReader, error) {

@@ -43,30 +43,54 @@ func AtLeastKOpts(g *graph.Undirected, k int, eps float64, cfg Config, o core.Op
 	}
 	defer e.Cleanup()
 
-	edges, err := edgeDataset(e, g)
-	if err != nil {
-		return nil, err
-	}
-
 	alive := make([]bool, n)
-	for u := range alive {
-		alive[u] = true
-	}
 	removedAt := make([]int, n)
 	nodes := n
-
 	bestPass := 0
 	bestDensity := -1.0
 	var rounds []RoundStat
+	pass := 0
+	prev := core.PassStat{Nodes: n, Edges: g.NumEdges(), Density: g.Density()}
+
+	ck := newCheckpointer(e, "atleastk", n, g.NumEdges(), eps, 0, k)
+	var edges *Dataset[int32, int32]
+	if man, restored, err := ck.resume(); err != nil {
+		return nil, err
+	} else if man != nil {
+		if len(man.RemovedAt) != n {
+			return nil, fmt.Errorf("mapreduce: checkpoint removal schedule has %d nodes, want %d", len(man.RemovedAt), n)
+		}
+		edges = restored
+		copy(removedAt, man.RemovedAt)
+		nodes = 0
+		for u := range alive {
+			alive[u] = removedAt[u] == 0
+			if alive[u] {
+				nodes++
+			}
+		}
+		bestPass, bestDensity = man.BestPass, man.BestDensity
+		rounds = append(rounds, man.Rounds...)
+		pass = man.Round
+		if len(rounds) > 0 {
+			prev = rounds[len(rounds)-1].AsPassStat()
+		}
+	} else {
+		for u := range alive {
+			alive[u] = true
+		}
+		if edges, err = edgeDataset(e, g); err != nil {
+			return nil, err
+		}
+	}
+
 	threshold := 2 * (1 + eps)
 	frac := eps / (1 + eps)
-	pass := 0
 	type cand struct {
 		u   int32
 		deg int32
 	}
 	var candidates []cand
-	prev := core.PassStat{Nodes: n, Edges: g.NumEdges(), Density: g.Density()}
 	for nodes >= k {
 		if err := o.Checkpoint(prev); err != nil {
 			return nil, &core.PartialError{Passes: pass, Trace: roundTrace(rounds), Err: err}
@@ -141,10 +165,22 @@ func AtLeastKOpts(g *graph.Undirected, k int, eps float64, cfg Config, o core.Op
 		})
 		prev = rounds[len(rounds)-1].AsPassStat()
 		nodes -= quota
+
+		if err := ck.write(pass, edges, func(m *ckptManifest) {
+			m.BestPass, m.BestDensity = bestPass, bestDensity
+			m.RemovedAt = removedAt
+			m.Rounds = rounds
+		}); err != nil {
+			return nil, err
+		}
+		if err := e.simulateCrash(pass); err != nil {
+			return nil, err
+		}
 	}
 	if bestPass == 0 {
 		return nil, fmt.Errorf("mapreduce: no intermediate subgraph of size >= %d", k)
 	}
+	ck.clear()
 
 	var set []int32
 	for u, p := range removedAt {
@@ -152,5 +188,6 @@ func AtLeastKOpts(g *graph.Undirected, k int, eps float64, cfg Config, o core.Op
 			set = append(set, int32(u))
 		}
 	}
-	return &MRResult{Set: set, Density: bestDensity, Passes: pass, Rounds: rounds, SpilledBytes: e.SpilledBytes(), StragglerReruns: e.StragglerReruns()}, nil
+	fs := e.FaultStats()
+	return &MRResult{Set: set, Density: bestDensity, Passes: pass, Rounds: rounds, SpilledBytes: e.SpilledBytes(), StragglerReruns: fs.MapTaskReruns, Faults: fs}, nil
 }

@@ -38,8 +38,13 @@ type MRResult struct {
 	// the Config.SpillBytes budget (0 for a fully resident run).
 	SpilledBytes int64
 	// StragglerReruns counts the map tasks dropped and re-executed
-	// under Config.Straggler (0 when the simulation is off).
+	// under the failure plan; it mirrors Faults.MapTaskReruns and is
+	// kept for callers of the original straggler simulation.
 	StragglerReruns int64
+	// Faults aggregates every fault-tolerance event of the run:
+	// injected task loss, speculative re-execution, and checkpointing.
+	// Zero when the run saw no failure plan and no checkpointing.
+	Faults FaultStats
 }
 
 // AsPassStat projects a round onto the shared per-pass stat shape; the
@@ -116,24 +121,48 @@ func UndirectedOpts(g *graph.Undirected, eps float64, cfg Config, o core.Opts) (
 	}
 	defer e.Cleanup()
 
-	edges, err := edgeDataset(e, g)
-	if err != nil {
-		return nil, err
-	}
-
 	alive := make([]bool, n)
-	for u := range alive {
-		alive[u] = true
-	}
 	removedAt := make([]int, n)
 	nodes := n
-
 	bestPass := 0
 	bestDensity := -1.0
 	var rounds []RoundStat
-	threshold := 2 * (1 + eps)
 	pass := 0
 	prev := core.PassStat{Nodes: n, Edges: g.NumEdges(), Density: g.Density()}
+
+	ck := newCheckpointer(e, "undirected", n, g.NumEdges(), eps, 0, 0)
+	var edges *Dataset[int32, int32]
+	if man, restored, err := ck.resume(); err != nil {
+		return nil, err
+	} else if man != nil {
+		if len(man.RemovedAt) != n {
+			return nil, fmt.Errorf("mapreduce: checkpoint removal schedule has %d nodes, want %d", len(man.RemovedAt), n)
+		}
+		edges = restored
+		copy(removedAt, man.RemovedAt)
+		nodes = 0
+		for u := range alive {
+			alive[u] = removedAt[u] == 0
+			if alive[u] {
+				nodes++
+			}
+		}
+		bestPass, bestDensity = man.BestPass, man.BestDensity
+		rounds = append(rounds, man.Rounds...)
+		pass = man.Round
+		if len(rounds) > 0 {
+			prev = rounds[len(rounds)-1].AsPassStat()
+		}
+	} else {
+		for u := range alive {
+			alive[u] = true
+		}
+		if edges, err = edgeDataset(e, g); err != nil {
+			return nil, err
+		}
+	}
+
+	threshold := 2 * (1 + eps)
 	for nodes > 0 {
 		if err := o.Checkpoint(prev); err != nil {
 			return nil, &core.PartialError{Passes: pass, Trace: roundTrace(rounds), Err: err}
@@ -200,7 +229,19 @@ func UndirectedOpts(g *graph.Undirected, eps float64, cfg Config, o core.Opts) (
 		})
 		prev = rounds[len(rounds)-1].AsPassStat()
 		nodes -= removed
+
+		if err := ck.write(pass, edges, func(m *ckptManifest) {
+			m.BestPass, m.BestDensity = bestPass, bestDensity
+			m.RemovedAt = removedAt
+			m.Rounds = rounds
+		}); err != nil {
+			return nil, err
+		}
+		if err := e.simulateCrash(pass); err != nil {
+			return nil, err
+		}
 	}
+	ck.clear()
 
 	var set []int32
 	for u, p := range removedAt {
@@ -208,7 +249,8 @@ func UndirectedOpts(g *graph.Undirected, eps float64, cfg Config, o core.Opts) (
 			set = append(set, int32(u))
 		}
 	}
-	return &MRResult{Set: set, Density: bestDensity, Passes: pass, Rounds: rounds, SpilledBytes: e.SpilledBytes(), StragglerReruns: e.StragglerReruns()}, nil
+	fs := e.FaultStats()
+	return &MRResult{Set: set, Density: bestDensity, Passes: pass, Rounds: rounds, SpilledBytes: e.SpilledBytes(), StragglerReruns: fs.MapTaskReruns, Faults: fs}, nil
 }
 
 // StreamEquivalent re-runs the same algorithm through the streaming

@@ -35,8 +35,12 @@ type MRDirectedResult struct {
 	// the Config.SpillBytes budget (0 for a fully resident run).
 	SpilledBytes int64
 	// StragglerReruns counts the map tasks dropped and re-executed
-	// under Config.Straggler (0 when the simulation is off).
+	// under the failure plan; it mirrors Faults.MapTaskReruns and is
+	// kept for callers of the original straggler simulation.
 	StragglerReruns int64
+	// Faults aggregates every fault-tolerance event of the run; see
+	// MRResult.Faults.
+	Faults FaultStats
 }
 
 // AsDirectedPassStat projects a directed round onto the shared directed
@@ -97,33 +101,63 @@ func DirectedOpts(g *graph.Directed, c, eps float64, cfg Config, o core.Opts) (*
 
 	defer e.Cleanup()
 
-	// Edge dataset: key = source (in S), value = destination (in T).
-	recs := make([]Pair[int32, int32], 0, g.NumEdges())
-	g.Edges(func(u, v int32) bool {
-		recs = append(recs, Pair[int32, int32]{Key: u, Value: v})
-		return true
-	})
-	edges := Shard(e, recs, PartitionInt32)
-	if err := maybeSpill(e, edges); err != nil {
-		return nil, err
-	}
-
 	aliveS := make([]bool, n)
 	aliveT := make([]bool, n)
-	for u := 0; u < n; u++ {
-		aliveS[u] = true
-		aliveT[u] = true
-	}
 	removedAtS := make([]int, n)
 	removedAtT := make([]int, n)
 	sizeS, sizeT := n, n
-
 	bestPass := 0
 	bestDensity := -1.0
 	var rounds []DirectedRoundStat
 	pass := 0
 	// Initial state for the first checkpoint: ρ = |E| / √(n·n).
 	prev := core.PassStat{Nodes: 2 * n, Edges: g.NumEdges(), Density: float64(g.NumEdges()) / float64(n)}
+
+	ck := newCheckpointer(e, "directed", n, g.NumEdges(), eps, c, 0)
+	var edges *Dataset[int32, int32]
+	if man, restored, err := ck.resume(); err != nil {
+		return nil, err
+	} else if man != nil {
+		if len(man.RemovedAtS) != n || len(man.RemovedAtT) != n {
+			return nil, fmt.Errorf("mapreduce: checkpoint removal schedules have %d/%d nodes, want %d", len(man.RemovedAtS), len(man.RemovedAtT), n)
+		}
+		edges = restored
+		copy(removedAtS, man.RemovedAtS)
+		copy(removedAtT, man.RemovedAtT)
+		sizeS, sizeT = 0, 0
+		for u := 0; u < n; u++ {
+			aliveS[u] = removedAtS[u] == 0
+			aliveT[u] = removedAtT[u] == 0
+			if aliveS[u] {
+				sizeS++
+			}
+			if aliveT[u] {
+				sizeT++
+			}
+		}
+		bestPass, bestDensity = man.BestPass, man.BestDensity
+		rounds = append(rounds, man.DirectedRounds...)
+		pass = man.Round
+		if len(rounds) > 0 {
+			prev = rounds[len(rounds)-1].AsDirectedPassStat().AsPassStat()
+		}
+	} else {
+		for u := 0; u < n; u++ {
+			aliveS[u] = true
+			aliveT[u] = true
+		}
+		// Edge dataset: key = source (in S), value = destination (in T).
+		recs := make([]Pair[int32, int32], 0, g.NumEdges())
+		g.Edges(func(u, v int32) bool {
+			recs = append(recs, Pair[int32, int32]{Key: u, Value: v})
+			return true
+		})
+		edges = Shard(e, recs, PartitionInt32)
+		if err := maybeSpill(e, edges); err != nil {
+			return nil, err
+		}
+	}
+
 	for sizeS > 0 && sizeT > 0 {
 		if err := o.Checkpoint(prev); err != nil {
 			return nil, &core.PartialError{Passes: pass, DirectedTrace: directedRoundTrace(rounds), Err: err}
@@ -203,7 +237,20 @@ func DirectedOpts(g *graph.Directed, c, eps float64, cfg Config, o core.Opts) (*
 		stat.PerMachine = st.PerMachine
 		rounds = append(rounds, stat)
 		prev = stat.AsDirectedPassStat().AsPassStat()
+
+		if err := ck.write(pass, edges, func(m *ckptManifest) {
+			m.BestPass, m.BestDensity = bestPass, bestDensity
+			m.RemovedAtS = removedAtS
+			m.RemovedAtT = removedAtT
+			m.DirectedRounds = rounds
+		}); err != nil {
+			return nil, err
+		}
+		if err := e.simulateCrash(pass); err != nil {
+			return nil, err
+		}
 	}
+	ck.clear()
 
 	var setS, setT []int32
 	for u := 0; u < n; u++ {
@@ -214,5 +261,6 @@ func DirectedOpts(g *graph.Directed, c, eps float64, cfg Config, o core.Opts) (*
 			setT = append(setT, int32(u))
 		}
 	}
-	return &MRDirectedResult{S: setS, T: setT, Density: bestDensity, Passes: pass, Rounds: rounds, SpilledBytes: e.SpilledBytes(), StragglerReruns: e.StragglerReruns()}, nil
+	fs := e.FaultStats()
+	return &MRDirectedResult{S: setS, T: setT, Density: bestDensity, Passes: pass, Rounds: rounds, SpilledBytes: e.SpilledBytes(), StragglerReruns: fs.MapTaskReruns, Faults: fs}, nil
 }

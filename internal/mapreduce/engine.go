@@ -104,17 +104,35 @@ type Config struct {
 	// spill directory on Cleanup.
 	SpillDir string
 
-	// Straggler simulates a lost map task on every job whose input
-	// dataset has a spilled partition: after the map phase, the output
-	// of the map shard covering the first spilled partition is dropped
-	// and the shard is re-executed — re-reading its input range, spill
-	// files included, through the same scan path. Because a shard's
-	// bucket output is a function of its input range alone, the re-run
-	// reproduces it exactly and every result stays bit-identical; the
-	// re-executions are counted in MRResult.StragglerReruns. This is
-	// the failure/straggler recovery model of a real cluster: a lost
-	// task restarts from its durable input split.
+	// Straggler is the legacy single-fault knob: it maps onto the
+	// canned FailurePlan {Faults: [{Kind: FaultMap, Target:
+	// FirstSpilledShard}]} — on every job whose input dataset has a
+	// spilled partition, the map task covering the first spilled
+	// partition is dropped and re-executed from its durable input
+	// split. Ignored when Failures is set explicitly.
 	Straggler bool
+
+	// Failures is the deterministic fault-injection schedule: explicit
+	// and seeded losses of map tasks, reduce partitions, and whole
+	// simulated machines, optional speculative recovery, and the
+	// simulated-crash hook. nil injects nothing. Every recovery path
+	// preserves bit-identical results; the events are counted in
+	// MRResult.Faults.
+	Failures *FailurePlan
+
+	// CheckpointEvery enables round-level checkpoint/restart: every
+	// CheckpointEvery-th driver round, the surviving edge dataset and
+	// the driver's O(n) state are persisted under CheckpointDir
+	// (through the edgeio spill-file machinery plus a JSON manifest).
+	// A driver started with the same CheckpointDir and parameters
+	// resumes from the manifest's round — after a crash or a Machines
+	// change (simulated autoscaling) — and produces a bit-identical
+	// result. 0 disables checkpointing.
+	CheckpointEvery int
+	// CheckpointDir is where checkpoints live; required when
+	// CheckpointEvery > 0. The directory outlives the run (that is the
+	// point); a successfully completed driver clears it.
+	CheckpointDir string
 }
 
 // DefaultConfig is a small single-machine cluster suitable for tests
@@ -141,6 +159,18 @@ func (c Config) Normalize() (Config, error) {
 	}
 	if c.Machines == 0 {
 		c.Machines = 1
+	}
+	if c.Straggler && c.Failures == nil {
+		c.Failures = stragglerPlan()
+	}
+	if err := c.Failures.Validate(c.Machines); err != nil {
+		return Config{}, err
+	}
+	if c.CheckpointEvery < 0 {
+		return Config{}, fmt.Errorf("mapreduce: negative CheckpointEvery %d", c.CheckpointEvery)
+	}
+	if c.CheckpointEvery > 0 && c.CheckpointDir == "" {
+		return Config{}, fmt.Errorf("mapreduce: CheckpointEvery %d needs a CheckpointDir", c.CheckpointEvery)
 	}
 	return c, nil
 }
@@ -194,9 +224,16 @@ type Engine struct {
 	spillSeq int
 	spilled  atomic.Int64
 
-	// stragglerReruns counts the map tasks dropped and re-executed
-	// under Config.Straggler.
-	stragglerReruns atomic.Int64
+	// faults counts the recovery events of the failure model (see
+	// FaultStats); resumedFrom is the checkpoint round a driver resumed
+	// this engine from, 0 for a fresh run.
+	faults      faultCounters
+	resumedFrom int
+
+	// round numbers the driver passes (StartRound increments it) so
+	// FailurePlan faults can target a specific round; a resumed driver
+	// rewinds it to the checkpoint round via setRound.
+	round int
 }
 
 // NewEngine normalizes the config (see Config.Normalize) and brings up
@@ -238,8 +275,38 @@ func (e *Engine) spillPath() (string, error) {
 }
 
 // StragglerReruns reports how many map tasks the engine has dropped
-// and re-executed under Config.Straggler.
-func (e *Engine) StragglerReruns() int64 { return e.stragglerReruns.Load() }
+// and re-executed under the failure model (Config.Straggler or an
+// explicit FailurePlan) — kept as the legacy name for the original
+// single-straggler simulation.
+func (e *Engine) StragglerReruns() int64 { return e.faults.mapReruns.Load() }
+
+// FaultStats snapshots the engine's failure-model counters: task
+// re-executions, speculative race outcomes, machine losses, and
+// checkpoint volume, plus the round the driver resumed from.
+func (e *Engine) FaultStats() FaultStats {
+	fs := e.faults.snapshot()
+	fs.ResumedFromRound = e.resumedFrom
+	return fs
+}
+
+// setRound rewinds the round counter to a checkpoint's round so the
+// next StartRound continues the original numbering; the drivers call it
+// (with markResumed) when restoring from a manifest.
+func (e *Engine) setRound(r int) { e.round = r }
+
+// markResumed records the checkpoint round the driver resumed from.
+func (e *Engine) markResumed(r int) { e.resumedFrom = r }
+
+// simulateCrash aborts the driver with ErrSimulatedCrash when the
+// FailurePlan scheduled a crash after the given round. The drivers call
+// it after the round's checkpoint is durable, so the crash models a
+// coordinator dying between rounds.
+func (e *Engine) simulateCrash(round int) error {
+	if p := e.cfg.Failures; p != nil && p.CrashAfterRound == round && round > 0 {
+		return fmt.Errorf("%w after round %d", ErrSimulatedCrash, round)
+	}
+	return nil
+}
 
 // Cleanup removes the engine's spill directory and every spill file in
 // it. The drivers defer it; standalone Engine users that enable
@@ -273,10 +340,11 @@ func partIndex[K comparable](partition func(K) uint64, k K) int {
 	return int(partition(k) % NumPartitions)
 }
 
-// stragglerShard returns the map shard whose input range covers the
-// first record of the first spilled partition of in, if any — the task
-// Config.Straggler drops and re-runs. total is the job's full input
-// length (dataset plus extra records).
+// stragglerShard resolves the FirstSpilledShard fault target: the map
+// shard whose input range covers the first record of the first spilled
+// partition of in, if any. total is the job's full input length
+// (dataset plus extra records). Any other shard is targetable directly
+// by index through Fault.Target.
 func stragglerShard[K comparable, V any](in *Dataset[K, V], total int) (int, bool) {
 	if in == nil || in.spills == nil || total == 0 {
 		return 0, false
@@ -314,6 +382,10 @@ type Dataset[K comparable, V any] struct {
 	parts  [][]Pair[K, V]
 	spills []*edgeio.SpillFile // spills[p] != nil ⇒ partition p is on disk
 	n      int
+	// retain marks a dataset whose spill files are owned elsewhere — a
+	// restored checkpoint's partition files must survive Discard so the
+	// manifest stays valid until the next checkpoint supersedes it.
+	retain bool
 }
 
 func emptyDataset[K comparable, V any]() *Dataset[K, V] {
@@ -346,15 +418,20 @@ func (d *Dataset[K, V]) SpilledBytes() int64 {
 // Discard removes the dataset's spill files from disk. The peeling
 // drivers call it as soon as a round's output replaces its input, so
 // disk usage stays proportional to the live datasets rather than the
-// whole run history. Resident partitions are left to the GC. Safe to
-// call multiple times; the dataset must not be read afterwards.
+// whole run history. Resident partitions are left to the GC. A
+// checkpoint-restored dataset only detaches: its partition files belong
+// to the checkpoint and are garbage-collected when the next checkpoint
+// commits. Safe to call multiple times; the dataset must not be read
+// afterwards.
 func (d *Dataset[K, V]) Discard() {
 	if d == nil {
 		return
 	}
 	for p, sp := range d.spills {
 		if sp != nil {
-			sp.Remove()
+			if !d.retain {
+				sp.Remove()
+			}
 			d.spills[p] = nil
 		}
 	}
@@ -598,17 +675,24 @@ func Shard[K comparable, V any](e *Engine, recs []Pair[K, V], partition func(K) 
 }
 
 // Round groups the jobs of one driver pass and aggregates their Stats;
-// drivers read the totals into their per-pass trace.
+// drivers read the totals into their per-pass trace. Its index numbers
+// the pass (1-based) and each RunJob takes a job index within it, so a
+// FailurePlan can address (round, job, task) deterministically.
 type Round struct {
 	e     *Engine
+	index int
+	jobs  int
 	start time.Time
 	stats Stats
 }
 
-// StartRound opens a new round on the engine.
+// StartRound opens a new round on the engine, advancing the engine's
+// round counter.
 func (e *Engine) StartRound() *Round {
+	e.round++
 	return &Round{
 		e:     e,
+		index: e.round,
 		start: time.Now(),
 		stats: Stats{PerMachine: make([]MachineStats, e.machines)},
 	}
@@ -659,6 +743,9 @@ func RunJob[K1 comparable, V1 any, K2 cmp.Ordered, V2 any, V3 any](
 		in = emptyDataset[K1, V1]()
 	}
 	n := in.Len() + len(extra)
+	job := rd.jobs
+	rd.jobs++
+	plan := e.cfg.Failures
 	stats := Stats{
 		InputRecords: int64(n),
 		PerMachine:   make([]MachineStats, e.machines),
@@ -666,28 +753,29 @@ func RunJob[K1 comparable, V1 any, K2 cmp.Ordered, V2 any, V3 any](
 
 	// Map phase: workers claim fixed input shards; each shard owns a
 	// private set of per-partition output buckets, so no locking is
-	// needed until the shuffle. mapShard is a pure function of its
-	// input range, which is what makes the straggler re-run below (and
-	// a real cluster's task retry) safe.
+	// needed until the shuffle. computeShard is a pure function of its
+	// input range, which is what makes every failure-recovery re-run
+	// below (and a real cluster's task retry) safe.
 	mapStart := time.Now()
-	buckets := make([][][]Pair[K2, V2], NumMapShards)
-	mapErrs := make([]error, NumMapShards)
-	mapShard := func(s int) {
+	type mapOut struct {
+		buckets [][]Pair[K2, V2]
+		err     error
+	}
+	computeShard := func(s int) mapOut {
 		lo, hi := shardBounds(s, n)
 		if lo >= hi {
-			return
+			return mapOut{}
 		}
 		local := make([][]Pair[K2, V2], NumPartitions)
-		buckets[s] = local
 		if combineFn == nil {
 			emit := func(k K2, v V2) {
 				p := partIndex(partition, k)
 				local[p] = append(local[p], Pair[K2, V2]{Key: k, Value: v})
 			}
-			mapErrs[s] = in.scanRange(extra, lo, hi, func(r Pair[K1, V1]) {
+			err := in.scanRange(extra, lo, hi, func(r Pair[K1, V1]) {
 				mapFn(r.Key, r.Value, emit)
 			})
-			return
+			return mapOut{buckets: local, err: err}
 		}
 		// Combine per shard: group this shard's emissions by key, fold
 		// each key once, and ship the folded records in sorted key order
@@ -697,8 +785,7 @@ func RunJob[K1 comparable, V1 any, K2 cmp.Ordered, V2 any, V3 any](
 		if err := in.scanRange(extra, lo, hi, func(r Pair[K1, V1]) {
 			mapFn(r.Key, r.Value, emit)
 		}); err != nil {
-			mapErrs[s] = err
-			return
+			return mapOut{err: err}
 		}
 		keys := make([]K2, 0, len(groups))
 		for k := range groups {
@@ -709,18 +796,37 @@ func RunJob[K1 comparable, V1 any, K2 cmp.Ordered, V2 any, V3 any](
 			p := partIndex(partition, k)
 			local[p] = append(local[p], Pair[K2, V2]{Key: k, Value: combineFn(k, groups[k])})
 		}
+		return mapOut{buckets: local}
 	}
-	e.mapPool.ForEach(NumMapShards, mapShard)
-	// Straggler simulation: lose the map task covering the first
-	// spilled input partition — its buckets are discarded mid-job —
-	// and recover it by re-running the shard, which re-reads its input
-	// range (the spill file included) through the same scan path.
-	if e.cfg.Straggler {
-		if s, ok := stragglerShard(in, n); ok {
-			buckets[s] = nil
-			mapErrs[s] = nil
-			mapShard(s)
-			e.stragglerReruns.Add(1)
+	buckets := make([][][]Pair[K2, V2], NumMapShards)
+	mapErrs := make([]error, NumMapShards)
+	e.mapPool.ForEach(NumMapShards, func(s int) {
+		r := computeShard(s)
+		buckets[s], mapErrs[s] = r.buckets, r.err
+	})
+	// Failure injection, map side: lose the planned map tasks — their
+	// buckets are discarded mid-job — and recover each by re-executing
+	// it over its durable input split (spill files re-read through the
+	// same scan path). Under Speculate the re-execution races the
+	// delayed original, first result wins.
+	if plan.active(rd.index) {
+		if down := plan.machinesDown(rd.index); len(down) > 0 {
+			e.faults.machineFailures.Add(int64(len(down)))
+		}
+		resolve := func() (int, bool) { return stragglerShard(in, n) }
+		for _, s := range plan.mapTargets(rd.index, job, e.machines, resolve) {
+			if lo, hi := shardBounds(s, n); lo >= hi {
+				continue // empty split: nothing was lost
+			}
+			buckets[s], mapErrs[s] = nil, nil
+			var r mapOut
+			if plan.Speculate {
+				r = raceRecover(e, func() mapOut { return computeShard(s) })
+			} else {
+				r = computeShard(s)
+			}
+			buckets[s], mapErrs[s] = r.buckets, r.err
+			e.faults.mapReruns.Add(1)
 		}
 	}
 	stats.MapWall = time.Since(mapStart)
@@ -733,13 +839,18 @@ func RunJob[K1 comparable, V1 any, K2 cmp.Ordered, V2 any, V3 any](
 	// Shuffle + reduce phase: workers claim shuffle partitions; each
 	// partition's shard buckets are concatenated in shard order, grouped
 	// by key, and folded in sorted key order into the partition's output
-	// file. The shared record tally is an atomic add, never a mutex.
+	// file. reducePart is pure in the shard buckets, so a lost reduce
+	// task is recovered below by recomputing its partition — the
+	// simulated analogue of a reducer re-fetching map outputs.
 	reduceStart := time.Now()
 	out := emptyDataset[K2, V3]()
 	recSize := int64(unsafe.Sizeof(Pair[K2, V2]{}))
-	var shuffleRecs atomic.Int64
 	partRecs := make([]int64, NumPartitions)
-	e.reducePool.ForEach(NumPartitions, func(p int) {
+	type reduceOut struct {
+		part []Pair[K2, V3]
+		recs int64
+	}
+	reducePart := func(p int) reduceOut {
 		groups := make(map[K2][]V2)
 		var local int64
 		for s := 0; s < NumMapShards; s++ {
@@ -751,10 +862,8 @@ func RunJob[K1 comparable, V1 any, K2 cmp.Ordered, V2 any, V3 any](
 				local++
 			}
 		}
-		shuffleRecs.Add(local)
-		partRecs[p] = local
 		if len(groups) == 0 {
-			return
+			return reduceOut{recs: local}
 		}
 		keys := make([]K2, 0, len(groups))
 		for k := range groups {
@@ -768,16 +877,36 @@ func RunJob[K1 comparable, V1 any, K2 cmp.Ordered, V2 any, V3 any](
 		for _, k := range keys {
 			reduceFn(k, groups[k], emit)
 		}
-		out.parts[p] = outPart
+		return reduceOut{part: outPart, recs: local}
+	}
+	e.reducePool.ForEach(NumPartitions, func(p int) {
+		r := reducePart(p)
+		out.parts[p], partRecs[p] = r.part, r.recs
 	})
+	// Failure injection, reduce side: lose the planned reduce
+	// partitions and recover each by recomputing it from the surviving
+	// shard buckets (speculatively under Speculate).
+	if plan.active(rd.index) {
+		for _, p := range plan.reduceTargets(rd.index, job, e.machineOf) {
+			out.parts[p], partRecs[p] = nil, 0
+			var r reduceOut
+			if plan.Speculate {
+				r = raceRecover(e, func() reduceOut { return reducePart(p) })
+			} else {
+				r = reducePart(p)
+			}
+			out.parts[p], partRecs[p] = r.part, r.recs
+			e.faults.reduceReruns.Add(1)
+		}
+	}
 	stats.ReduceWall = time.Since(reduceStart)
-	stats.ShuffleRecords = shuffleRecs.Load()
-	stats.ShuffleBytes = stats.ShuffleRecords * recSize
 	for p, recs := range partRecs {
+		stats.ShuffleRecords += recs
 		m := e.machineOf(p)
 		stats.PerMachine[m].ShuffleRecords += recs
 		stats.PerMachine[m].ShuffleBytes += recs * recSize
 	}
+	stats.ShuffleBytes = stats.ShuffleRecords * recSize
 	for _, part := range out.parts {
 		out.n += len(part)
 	}

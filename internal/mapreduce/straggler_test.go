@@ -13,11 +13,12 @@ import (
 // recovered run must be bit-identical to an undisturbed one.
 
 // stripStraggler clears the fields that legitimately differ between an
-// undisturbed and a recovered run: wall clock and the rerun count
-// itself.
+// undisturbed and a recovered run: wall clock and the fault-recovery
+// counters themselves.
 func stripStraggler(r *MRResult) *MRResult {
 	c := stripResult(r)
 	c.StragglerReruns = 0
+	c.Faults = FaultStats{}
 	return c
 }
 

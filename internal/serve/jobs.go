@@ -186,6 +186,9 @@ func (s *Server) run(j *job) {
 		ds.WithWorkers(s.cfg.SolveWorkers),
 		ds.WithProgress(func(stat ds.PassStat) bool { j.appendProgress(stat); return true }),
 	}
+	if j.problem.Backend == ds.BackendMapReduce {
+		opts = append(opts, ds.WithMapReduceConfig(s.cfg.MapReduce))
+	}
 	start := time.Now()
 	sol, err := ds.Solve(j.ctx, j.problem, opts...)
 	s.metrics.observe(j.problem.Objective.String(), time.Since(start), err != nil)
@@ -200,6 +203,9 @@ func (s *Server) run(j *job) {
 		// the request was malformed in a way Validate cannot see.
 		j.finish(JobFailed, nil, http.StatusBadRequest, err, nil)
 		return
+	}
+	if j.problem.Backend == ds.BackendMapReduce {
+		s.metrics.observeMR(sol.MRFaults)
 	}
 	data, err := json.Marshal(sol)
 	if err != nil {

@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	ds "densestream"
 )
 
 // latencyBucketsMS are the upper bounds (milliseconds) of the
@@ -26,6 +28,7 @@ type metrics struct {
 	solves    map[string]*latencyHist // keyed by Objective.String()
 	cancels   int64
 	deadlines int64
+	mr        MRFaultView
 }
 
 func newMetrics() *metrics {
@@ -53,6 +56,35 @@ func (m *metrics) observe(objective string, d time.Duration, failed bool) {
 
 func (m *metrics) observeCancel()   { m.mu.Lock(); m.cancels++; m.mu.Unlock() }
 func (m *metrics) observeDeadline() { m.mu.Lock(); m.deadlines++; m.mu.Unlock() }
+
+// observeMR records one completed MapReduce-backend solve and folds its
+// fault-tolerance counters (nil for an undisturbed run) into the gauges.
+func (m *metrics) observeMR(fs *ds.MRFaultStats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.mr.Solves++
+	if fs == nil {
+		return
+	}
+	m.mr.MapTaskReruns += fs.MapTaskReruns
+	m.mr.ReduceReruns += fs.ReduceReruns
+	m.mr.SpeculativeWins += fs.SpeculativeWins
+	m.mr.SpeculativeLosses += fs.SpeculativeLosses
+	m.mr.MachineFailures += fs.MachineFailures
+	m.mr.CheckpointsWritten += fs.CheckpointsWritten
+	m.mr.CheckpointBytes += fs.CheckpointBytes
+	if fs.ResumedFromRound > 0 {
+		m.mr.ResumedSolves++
+	}
+}
+
+// mrView snapshots the MapReduce gauges; ok is false while no
+// MapReduce-backend solve has completed.
+func (m *metrics) mrView() (MRFaultView, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.mr, m.mr.Solves > 0
+}
 
 // LatencyView is the JSON shape of one objective's histogram.
 type LatencyView struct {
@@ -82,6 +114,25 @@ type MetricsView struct {
 	// Dynamic aggregates the maintainer gauges of every dynamic graph;
 	// omitted while no dynamic graph is registered.
 	Dynamic *DynamicView `json:"dynamic,omitempty"`
+	// MapReduce aggregates the fault-tolerance counters of every
+	// MapReduce-backend solve; omitted while none has completed.
+	MapReduce *MRFaultView `json:"mapReduce,omitempty"`
+}
+
+// MRFaultView is the MapReduce block of /metrics: fault-tolerance
+// events summed over every completed MapReduce-backend solve.
+type MRFaultView struct {
+	// Solves counts completed MapReduce-backend solves, disturbed or not.
+	Solves             int64 `json:"solves"`
+	MapTaskReruns      int64 `json:"mapTaskReruns"`
+	ReduceReruns       int64 `json:"reduceReruns"`
+	SpeculativeWins    int64 `json:"speculativeWins"`
+	SpeculativeLosses  int64 `json:"speculativeLosses"`
+	MachineFailures    int64 `json:"machineFailures"`
+	CheckpointsWritten int64 `json:"checkpointsWritten"`
+	CheckpointBytes    int64 `json:"checkpointBytes"`
+	// ResumedSolves counts solves that restarted from a round checkpoint.
+	ResumedSolves int64 `json:"resumedSolves"`
 }
 
 // DynamicView is the dynamic-graph block of /metrics: maintainer

@@ -46,6 +46,11 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxJobs is the async-job retention cap. Default 1024.
 	MaxJobs int
+	// MapReduce configures the simulated cluster every MapReduce-backend
+	// solve runs on — shape, spill budget, failure plan, checkpointing.
+	// The zero value is the backend's default cluster. Fault-tolerance
+	// events land in the /metrics mapReduce block.
+	MapReduce ds.MRConfig
 }
 
 func (c *Config) normalize() {
@@ -708,6 +713,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			dv.TriggerRatio = float64(agg.DriftTriggers) / float64(agg.Epochs)
 		}
 		view.Dynamic = dv
+	}
+	if mr, ok := s.metrics.mrView(); ok {
+		view.MapReduce = &mr
 	}
 	writeJSON(w, http.StatusOK, view)
 }

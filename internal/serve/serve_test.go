@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -566,5 +567,72 @@ func TestHealthz(t *testing.T) {
 	resp, data := doJSON(t, http.MethodGet, ts.URL+"/healthz", nil)
 	if resp.StatusCode != 200 || !strings.Contains(string(data), "ok") {
 		t.Fatalf("healthz: status=%d body=%s", resp.StatusCode, data)
+	}
+}
+
+// TestMetricsMapReduceFaults proves MapReduce fault-tolerance events
+// surface in /metrics: a server whose cluster config injects failures
+// (and checkpoints every round) reports the recovered work in the
+// mapReduce gauge block, and the solve's result is still bit-identical
+// to one from an undisturbed server.
+func TestMetricsMapReduceFaults(t *testing.T) {
+	edges := testEdges(300, 1500, 15, 3)
+	body := map[string]any{"graph": "g", "objective": "Undirected", "backend": "MapReduce", "eps": 0.5}
+
+	clean, cleanTS := newTestServer(t, Config{Workers: 1})
+	mustRegister(t, clean, "g", false, edges)
+	respC, dataC := doJSON(t, http.MethodPost, cleanTS.URL+"/solve", body)
+	if respC.StatusCode != 200 {
+		t.Fatalf("clean solve: status=%d body=%s", respC.StatusCode, dataC)
+	}
+
+	faulty, faultyTS := newTestServer(t, Config{Workers: 1, MapReduce: ds.MRConfig{
+		Mappers: 2, Reducers: 2,
+		Failures:        &ds.MRFailurePlan{Seed: 11, MapRate: 0.2, ReduceRate: 0.2, Speculate: true},
+		CheckpointEvery: 1, CheckpointDir: t.TempDir(),
+	}})
+	mustRegister(t, faulty, "g", false, edges)
+	respF, dataF := doJSON(t, http.MethodPost, faultyTS.URL+"/solve", body)
+	if respF.StatusCode != 200 {
+		t.Fatalf("faulty solve: status=%d body=%s", respF.StatusCode, dataF)
+	}
+
+	var solC, solF ds.Solution
+	if err := json.Unmarshal(dataC, &solC); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(dataF, &solF); err != nil {
+		t.Fatal(err)
+	}
+	if solF.Density != solC.Density || !reflect.DeepEqual(solF.Set, solC.Set) {
+		t.Fatal("fault-injected server returned a different solution")
+	}
+	if solF.MRFaults == nil || solF.MRFaults.MapTaskReruns+solF.MRFaults.ReduceReruns == 0 {
+		t.Fatalf("solution carries no fault counters: %s", dataF)
+	}
+
+	_, mdata := doJSON(t, http.MethodGet, faultyTS.URL+"/metrics", nil)
+	var mv MetricsView
+	if err := json.Unmarshal(mdata, &mv); err != nil {
+		t.Fatalf("decoding metrics: %v", err)
+	}
+	mr := mv.MapReduce
+	if mr == nil || mr.Solves != 1 {
+		t.Fatalf("metrics lack the mapReduce block: %s", mdata)
+	}
+	if mr.MapTaskReruns != solF.MRFaults.MapTaskReruns || mr.ReduceReruns != solF.MRFaults.ReduceReruns ||
+		mr.SpeculativeWins+mr.SpeculativeLosses != mr.MapTaskReruns+mr.ReduceReruns ||
+		mr.CheckpointsWritten == 0 || mr.CheckpointBytes == 0 {
+		t.Fatalf("mapReduce gauges do not match the solve: %s", mdata)
+	}
+
+	// The undisturbed server still counts the solve, with zero events.
+	_, mdataC := doJSON(t, http.MethodGet, cleanTS.URL+"/metrics", nil)
+	var mvC MetricsView
+	if err := json.Unmarshal(mdataC, &mvC); err != nil {
+		t.Fatalf("decoding metrics: %v", err)
+	}
+	if mvC.MapReduce == nil || mvC.MapReduce.Solves != 1 || mvC.MapReduce.MapTaskReruns != 0 {
+		t.Fatalf("clean server mapReduce block wrong: %s", mdataC)
 	}
 }

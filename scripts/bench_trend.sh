@@ -5,7 +5,12 @@
 # point per run (scripts/bench_to_json.sh) and this script keeps the
 # gated sweeps from silently losing their throughput — or, for the
 # alloc-gated sweeps, silently regrowing per-op allocations that the
-# zero-alloc scan paths were built to eliminate.
+# zero-alloc scan paths were built to eliminate. The MapReduce sweeps
+# gate both sides of the fault-tolerance work: the checkpoint sweep
+# (BenchmarkMapReduceCheckpoint, every=1/2) bounds the cost of writing
+# round-level snapshots, while the alloc gate on the happy-path
+# BenchmarkMapReducePeel keeps the failure-injection and speculation
+# plumbing free when no faults are configured.
 #
 # Usage:
 #   scripts/bench_trend.sh BASELINE.json FRESH.json [allowlist] [max-ratio] [alloc-allowlist] [alloc-max-ratio]

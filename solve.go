@@ -58,6 +58,10 @@ type Solution struct {
 	// clock, and the per-machine attribution.
 	MRRounds         []MRRoundStat         `json:"mrRounds,omitempty"`
 	MRDirectedRounds []MRDirectedRoundStat `json:"mrDirectedRounds,omitempty"`
+	// MRFaults reports BackendMapReduce's fault-tolerance events —
+	// injected task loss recovered by re-execution or speculation, and
+	// round-level checkpointing. Omitted when the run saw none.
+	MRFaults *MRFaultStats `json:"mrFaults,omitempty"`
 	// SketchMemoryWords is the Count-Sketch state size in 64-bit words
 	// (BackendStreamSketched only) — compare against NumNodes for the
 	// paper's Table 4 memory ratio.
@@ -251,6 +255,7 @@ func solveDirected(sol *Solution, p Problem, o Options, ex core.Opts) error {
 		sol.S, sol.T, sol.Density, sol.Passes = r.S, r.T, r.Density, r.Passes
 		sol.MRDirectedRounds = r.Rounds
 		sol.Stats.BytesSpilled = r.SpilledBytes
+		sol.setMRFaults(r.Faults)
 		sol.DirectedTrace = make([]DirectedPassStat, len(r.Rounds))
 		for i, rd := range r.Rounds {
 			sol.DirectedTrace[i] = rd.AsDirectedPassStat()
@@ -457,9 +462,19 @@ func (s *Solution) fillMR(r *MRResult) {
 	s.Set, s.Density, s.Passes = r.Set, r.Density, r.Passes
 	s.MRRounds = r.Rounds
 	s.Stats.BytesSpilled = r.SpilledBytes
+	s.setMRFaults(r.Faults)
 	s.Trace = make([]PassStat, len(r.Rounds))
 	for i, rd := range r.Rounds {
 		s.Trace[i] = rd.AsPassStat()
+	}
+}
+
+// setMRFaults attaches a MapReduce run's fault-tolerance counters to the
+// solution; an all-zero record (no failure plan, no checkpointing) stays
+// off the wire.
+func (s *Solution) setMRFaults(fs MRFaultStats) {
+	if fs != (MRFaultStats{}) {
+		s.MRFaults = &fs
 	}
 }
 

@@ -3,6 +3,7 @@ package densestream
 import (
 	"context"
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -171,5 +172,64 @@ func TestSolutionJSONStable(t *testing.T) {
 	}
 	if string(again) != string(data) {
 		t.Fatalf("Solution JSON is not stable under decode/encode:\n%s\nvs\n%s", data, again)
+	}
+}
+
+// TestSolutionMRFaultsWire proves the MapReduce fault-tolerance
+// counters ride the Solution envelope with the documented wire keys and
+// survive a decode/encode round trip bit-identically, and that an
+// undisturbed solve keeps the mrFaults block off the wire entirely.
+func TestSolutionMRFaultsWire(t *testing.T) {
+	g, err := GenerateChungLu(200, 800, 2.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Problem{Graph: g, Eps: 0.5, Backend: BackendMapReduce}
+
+	clean, err := Solve(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanJSON, err := json.Marshal(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(cleanJSON), "mrFaults") {
+		t.Fatalf("undisturbed solve put mrFaults on the wire: %s", cleanJSON)
+	}
+
+	cfg := MRConfig{Mappers: 2, Reducers: 2, Failures: &MRFailurePlan{
+		Faults:    []MRFault{{Round: 1, Kind: MRFaultMap, Target: 3}, {Round: 1, Kind: MRFaultReduce, Target: 5}},
+		Speculate: true,
+	}}
+	sol, err := Solve(context.Background(), p, WithMapReduceConfig(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.MRFaults == nil || sol.MRFaults.MapTaskReruns == 0 || sol.MRFaults.ReduceReruns == 0 {
+		t.Fatalf("fault-injected solve reports no recoveries: %+v", sol.MRFaults)
+	}
+	if !reflect.DeepEqual(sol.Set, clean.Set) || sol.Density != clean.Density {
+		t.Fatal("fault-injected solve differs from undisturbed solve")
+	}
+	data, err := json.Marshal(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"mrFaults":`, `"mapTaskReruns":`, `"reduceReruns":`, `"speculativeWins":`, `"speculativeLosses":`, `"machineFailures":`, `"checkpointsWritten":`, `"checkpointBytes":`, `"resumedFromRound":`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("marshalled Solution lacks %s: %s", key, data)
+		}
+	}
+	var back Solution
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	again, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(data) {
+		t.Fatalf("mrFaults JSON is not stable under decode/encode:\n%s\nvs\n%s", data, again)
 	}
 }
